@@ -1,0 +1,113 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! lookup cache capacity, the variance gate, the per-job overhead term,
+//! and the planner's enumeration algorithm. Each measures the *virtual*
+//! outcome of the choice and reports it through bench labels while timing
+//! the machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efind::{EFindConfig, EFindRuntime, Enumeration, Mode, Strategy};
+use efind_cluster::SimDuration;
+use efind_workloads::log;
+
+fn scenario() -> efind_workloads::harness::Scenario {
+    log::scenario(&log::LogConfig {
+        num_events: 6_000,
+        chunks: 120,
+        extra_delay: SimDuration::from_millis(2),
+        ..log::LogConfig::default()
+    })
+}
+
+fn cache_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for capacity in [64usize, 1024, 16_384] {
+        g.bench_function(format!("cache_capacity_{capacity}"), |b| {
+            b.iter(|| {
+                let mut s = scenario();
+                let config = EFindConfig {
+                    cache_capacity: capacity,
+                    ..s.efind_config.clone()
+                };
+                let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, config);
+                black_box(
+                    rt.run(&s.ijob, Mode::Uniform(Strategy::Cache))
+                        .unwrap()
+                        .total_time,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn variance_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for (label, threshold) in [("gate_strict", 0.01), ("gate_default", 0.5), ("gate_off", 1.0e9)] {
+        g.bench_function(format!("variance_{label}"), |b| {
+            b.iter(|| {
+                let mut s = scenario();
+                let config = EFindConfig {
+                    variance_threshold: threshold,
+                    ..s.efind_config.clone()
+                };
+                let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, config);
+                black_box(rt.run(&s.ijob, Mode::Dynamic).unwrap().replanned)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn enumeration_choice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for (label, enumeration) in [
+        ("full_enumerate", Enumeration::Full),
+        ("krepart_1", Enumeration::KRepart(1)),
+    ] {
+        g.bench_function(format!("enumeration_{label}"), |b| {
+            b.iter(|| {
+                let mut s = scenario();
+                let config = EFindConfig {
+                    enumeration,
+                    ..s.efind_config.clone()
+                };
+                let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, config);
+                rt.run(&s.ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+                black_box(rt.run(&s.ijob, Mode::Optimized).unwrap().total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn job_overhead_term(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for (label, overhead) in [("overhead_zero", 0.0), ("overhead_default", 0.02)] {
+        g.bench_function(format!("job_{label}"), |b| {
+            b.iter(|| {
+                let mut s = scenario();
+                let config = EFindConfig {
+                    job_overhead_secs: overhead,
+                    ..s.efind_config.clone()
+                };
+                let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, config);
+                rt.run(&s.ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+                black_box(rt.run(&s.ijob, Mode::Optimized).unwrap().total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    cache_capacity,
+    variance_gate,
+    enumeration_choice,
+    job_overhead_term
+);
+criterion_main!(ablations);

@@ -1,0 +1,179 @@
+//! Criterion benchmarks, one group per paper figure (Fig. 11(a)–(f),
+//! Fig. 12, Fig. 13): each measures the *wall-clock* cost of regenerating
+//! a representative point of the figure at reduced scale. The virtual
+//! results themselves are produced by `--bin figures`; these benches
+//! track the reproduction machinery's real-time performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efind_cluster::SimDuration;
+use efind_workloads::harness::run_mode;
+use efind_workloads::{log, osm, synthetic, tpch, zknnj};
+use efind::{Mode, Strategy};
+
+fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g
+}
+
+fn fig11a_log(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = log::LogConfig {
+        num_events: 6_000,
+        chunks: 120,
+        extra_delay: SimDuration::from_millis(2),
+        ..log::LogConfig::default()
+    };
+    g.bench_function("fig11a_log_cache", |b| {
+        b.iter(|| {
+            let mut s = log::scenario(&config);
+            run_mode(&mut s, "cache", Mode::Uniform(Strategy::Cache)).unwrap()
+        })
+    });
+    g.bench_function("fig11a_log_dynamic", |b| {
+        b.iter(|| {
+            let mut s = log::scenario(&config);
+            run_mode(&mut s, "dyn", Mode::Dynamic).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig11b_q3(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = tpch::TpchConfig {
+        scale: 0.004,
+        chunks: 120,
+        ..tpch::TpchConfig::default()
+    };
+    g.bench_function("fig11b_q3_cache", |b| {
+        b.iter(|| {
+            let mut s = tpch::q3_scenario(&config);
+            run_mode(&mut s, "cache", Mode::Uniform(Strategy::Cache)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig11c_q9(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = tpch::TpchConfig {
+        scale: 0.004,
+        chunks: 120,
+        ..tpch::TpchConfig::default()
+    };
+    g.bench_function("fig11c_q9_repart", |b| {
+        b.iter(|| {
+            let mut s = tpch::q9_scenario(&config);
+            let overrides = s.repart_overrides.clone();
+            run_mode(&mut s, "repart", Mode::Manual(overrides)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig11d_dup10_q3(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = tpch::TpchConfig {
+        scale: 0.002,
+        dup_lineitem: 10,
+        chunks: 120,
+        ..tpch::TpchConfig::default()
+    };
+    g.bench_function("fig11d_dup10_q3_repart", |b| {
+        b.iter(|| {
+            let mut s = tpch::q3_scenario(&config);
+            let overrides = s.repart_overrides.clone();
+            run_mode(&mut s, "repart", Mode::Manual(overrides)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig11e_dup10_q9(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = tpch::TpchConfig {
+        scale: 0.002,
+        dup_lineitem: 10,
+        chunks: 120,
+        ..tpch::TpchConfig::default()
+    };
+    g.bench_function("fig11e_dup10_q9_repart", |b| {
+        b.iter(|| {
+            let mut s = tpch::q9_scenario(&config);
+            let overrides = s.repart_overrides.clone();
+            run_mode(&mut s, "repart", Mode::Manual(overrides)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fig11f_synthetic(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    for l in [10usize, 30_000] {
+        let config = synthetic::SyntheticConfig {
+            num_records: 4_000,
+            key_space: 2_000,
+            index_value_size: l,
+            chunks: 120,
+            ..synthetic::SyntheticConfig::default()
+        };
+        g.bench_function(format!("fig11f_synthetic_idxloc_{l}B"), |b| {
+            b.iter(|| {
+                let mut s = synthetic::scenario(&config);
+                run_mode(&mut s, "idxloc", Mode::Uniform(Strategy::IndexLocality)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig12_latency(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    g.bench_function("fig12_latency_sweep", |b| {
+        b.iter(synthetic::fig12_rows)
+    });
+    g.finish();
+}
+
+fn fig13_knnj(c: &mut Criterion) {
+    let mut g = bench_config(c);
+    let config = osm::OsmConfig {
+        num_a: 2_000,
+        num_b: 2_000,
+        chunks: 120,
+        ..osm::OsmConfig::default()
+    };
+    g.bench_function("fig13_knnj_efind_idxloc", |b| {
+        b.iter(|| {
+            let mut s = osm::scenario(&config);
+            run_mode(&mut s, "idxloc", Mode::Uniform(Strategy::IndexLocality)).unwrap()
+        })
+    });
+    g.bench_function("fig13_knnj_hzknnj", |b| {
+        let (a, pts_b) = osm::generate_ab(&config);
+        b.iter(|| {
+            let mut s = osm::scenario(&config);
+            let zconf = zknnj::ZknnjConfig {
+                k: config.k,
+                chunks: config.chunks,
+                ..zknnj::ZknnjConfig::default()
+            };
+            zknnj::run(&s.cluster, &mut s.dfs, &zconf, &a, &pts_b).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig11a_log,
+    fig11b_q3,
+    fig11c_q9,
+    fig11d_dup10_q3,
+    fig11e_dup10_q9,
+    fig11f_synthetic,
+    fig12_latency,
+    fig13_knnj
+);
+criterion_main!(figures);

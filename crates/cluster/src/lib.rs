@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Simulated cluster substrate.
+//!
+//! The paper evaluates EFind on a 12-node Hadoop cluster connected by 1 Gbps
+//! Ethernet. This crate replaces the hardware with a deterministic model:
+//!
+//! * [`SimDuration`]/[`SimTime`] — a virtual clock with nanosecond
+//!   resolution; every reported "second" in the reproduction is virtual,
+//! * [`NetworkModel`] — point-to-point bandwidth + latency inside one data
+//!   center (the paper's `BW` term),
+//! * [`DiskModel`] — sequential read/write bandwidth per node,
+//! * [`Cluster`] — node inventory with per-node map/reduce slots,
+//! * [`sched`] — an event-driven slot scheduler that turns per-task costs
+//!   into a phase schedule and makespan, with Hadoop-style locality
+//!   preferences plus the *index locality* affinity of §3.4.
+//!
+//! User code still runs for real; only durations are modeled, so counts
+//! (records, bytes, lookups) are exact and times are reproducible.
+
+pub mod model;
+pub mod node;
+pub mod sched;
+pub mod time;
+
+pub use model::{DiskModel, NetworkModel};
+pub use node::{Cluster, ClusterBuilder, NodeId};
+pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,116 @@
+//! Network and disk cost models.
+//!
+//! The paper's cost analysis (Table 1) assumes MapReduce and the indices are
+//! hosted in one data center with a uniform inter-machine bandwidth `BW`;
+//! [`NetworkModel`] is exactly that, plus a per-message latency so small
+//! lookups are not free. [`DiskModel`] supplies the sequential bandwidths
+//! behind the DFS store/retrieve cost `f`.
+
+use crate::time::SimDuration;
+
+/// Uniform point-to-point network model (the paper's `BW`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Sustained bandwidth between any two machines, in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-message latency (round-trip setup cost).
+    pub latency: SimDuration,
+}
+
+impl NetworkModel {
+    /// The paper's testbed: 1 Gbps Ethernet ≈ 125 MB/s, 100 µs latency.
+    pub fn gigabit() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 125.0e6,
+            latency: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Time to move `bytes` between two machines, one message.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        self.latency + self.volume(bytes)
+    }
+
+    /// Pure volume term `bytes / BW`, without the per-message latency.
+    ///
+    /// This is the form used by the paper's formulae, where many lookups are
+    /// pipelined over one connection.
+    pub fn volume(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::gigabit()
+    }
+}
+
+/// Per-node sequential disk model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskModel {
+    /// Sequential read bandwidth in bytes per second.
+    pub read_bytes_per_sec: f64,
+    /// Sequential write bandwidth in bytes per second.
+    pub write_bytes_per_sec: f64,
+}
+
+impl DiskModel {
+    /// A 7200 rpm SAS drive like the paper's testbed: ~120 MB/s read,
+    /// ~100 MB/s write.
+    pub fn sas_hdd() -> Self {
+        DiskModel {
+            read_bytes_per_sec: 120.0e6,
+            write_bytes_per_sec: 100.0e6,
+        }
+    }
+
+    /// Time to sequentially read `bytes`.
+    pub fn read(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.read_bytes_per_sec)
+    }
+
+    /// Time to sequentially write `bytes`.
+    pub fn write(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.write_bytes_per_sec)
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel::sas_hdd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_transfer_time() {
+        let net = NetworkModel::gigabit();
+        // 125 MB at 125 MB/s = 1 s (plus latency).
+        let t = net.transfer(125_000_000);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn volume_excludes_latency() {
+        let net = NetworkModel::gigabit();
+        assert_eq!(net.volume(0), SimDuration::ZERO);
+        assert!(net.transfer(0) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn disk_read_write() {
+        let d = DiskModel::sas_hdd();
+        assert!((d.read(120_000_000).as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((d.write(100_000_000).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_transfers_take_longer() {
+        let net = NetworkModel::gigabit();
+        assert!(net.transfer(1 << 20) < net.transfer(1 << 24));
+    }
+}

@@ -1,0 +1,264 @@
+//! Node inventory and cluster configuration.
+
+use std::fmt;
+
+use crate::model::{DiskModel, NetworkModel};
+
+/// Identifier of a worker node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A fully configured simulated cluster.
+///
+/// Mirrors the paper's testbed defaults: 12 worker nodes, 8 map slots and 4
+/// reduce slots per TaskTracker, 1 Gbps Ethernet, SAS disks.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    num_nodes: u16,
+    map_slots: u16,
+    reduce_slots: u16,
+    /// The network model shared by all node pairs.
+    pub network: NetworkModel,
+    /// The per-node disk model.
+    pub disk: DiskModel,
+    /// Per-node slowdown factors (1.0 = healthy); models heterogeneous or
+    /// degraded machines ("the unavailability of the machine can slow
+    /// down the entire MapReduce job", §3.4 footnote 3).
+    slowdowns: Vec<(NodeId, f64)>,
+    /// Slowdowns the scheduler does NOT know about when placing tasks
+    /// (surprise stragglers); only speculative execution mitigates these.
+    hidden_slowdowns: Vec<(NodeId, f64)>,
+    /// Whether the scheduler launches backup copies of straggling tasks
+    /// (Hadoop's speculative execution).
+    speculation: bool,
+    /// Flaky nodes: `(node, fraction)` — a task's FIRST attempt on the
+    /// node fails after `fraction` of its duration and is retried
+    /// elsewhere (Hadoop task retry).
+    flaky: Vec<(NodeId, f64)>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The paper's 12-node testbed with default models.
+    pub fn edbt_testbed() -> Cluster {
+        Cluster::builder().build()
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+
+    /// Map slots per node.
+    pub fn map_slots(&self) -> u16 {
+        self.map_slots
+    }
+
+    /// Reduce slots per node.
+    pub fn reduce_slots(&self) -> u16 {
+        self.reduce_slots
+    }
+
+    /// Total map slots in the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.num_nodes as usize * self.map_slots as usize
+    }
+
+    /// Total reduce slots in the cluster.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.num_nodes as usize * self.reduce_slots as usize
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes).map(NodeId)
+    }
+
+    /// True if `node` belongs to this cluster.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.num_nodes
+    }
+
+    /// The slowdown factor of `node` (1.0 = healthy).
+    pub fn slowdown(&self, node: NodeId) -> f64 {
+        self.slowdowns
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
+
+    /// The slowdown the scheduler does not see when planning (surprise
+    /// stragglers; 1.0 = none).
+    pub fn hidden_slowdown(&self, node: NodeId) -> f64 {
+        self.hidden_slowdowns
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .unwrap_or(1.0)
+    }
+
+    /// True if speculative execution is enabled.
+    pub fn speculation_enabled(&self) -> bool {
+        self.speculation
+    }
+
+    /// If `node` is flaky, the fraction of a task's duration wasted by
+    /// the failing first attempt.
+    pub fn flaky_fraction(&self, node: NodeId) -> Option<f64> {
+        self.flaky
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+    }
+}
+
+/// Builder for [`Cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    num_nodes: u16,
+    map_slots: u16,
+    reduce_slots: u16,
+    network: NetworkModel,
+    disk: DiskModel,
+    slowdowns: Vec<(NodeId, f64)>,
+    hidden_slowdowns: Vec<(NodeId, f64)>,
+    speculation: bool,
+    flaky: Vec<(NodeId, f64)>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            num_nodes: 12,
+            map_slots: 8,
+            reduce_slots: 4,
+            network: NetworkModel::gigabit(),
+            disk: DiskModel::sas_hdd(),
+            slowdowns: Vec::new(),
+            hidden_slowdowns: Vec::new(),
+            speculation: false,
+            flaky: Vec::new(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Sets the number of worker nodes (at least 1).
+    pub fn nodes(mut self, n: u16) -> Self {
+        self.num_nodes = n.max(1);
+        self
+    }
+
+    /// Sets map slots per node (at least 1).
+    pub fn map_slots(mut self, n: u16) -> Self {
+        self.map_slots = n.max(1);
+        self
+    }
+
+    /// Sets reduce slots per node (at least 1).
+    pub fn reduce_slots(mut self, n: u16) -> Self {
+        self.reduce_slots = n.max(1);
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Overrides the disk model.
+    pub fn disk(mut self, disk: DiskModel) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Degrades one node: all its task durations multiply by `factor`.
+    /// The scheduler knows and prices this in.
+    pub fn degrade(mut self, node: NodeId, factor: f64) -> Self {
+        self.slowdowns.push((node, factor.max(1.0)));
+        self
+    }
+
+    /// Degrades one node *without* the scheduler's knowledge: tasks placed
+    /// there straggle unexpectedly. Speculative execution is the remedy.
+    pub fn degrade_hidden(mut self, node: NodeId, factor: f64) -> Self {
+        self.hidden_slowdowns.push((node, factor.max(1.0)));
+        self
+    }
+
+    /// Enables speculative execution: when a task overruns its planned
+    /// finish time, a backup copy launches on another free slot and the
+    /// earlier finisher wins (Hadoop 1.x backup tasks).
+    pub fn speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Makes `node` flaky: a task's first attempt there fails after
+    /// `fraction` (clamped to 0–1) of its runtime and is retried on
+    /// another node (Hadoop task retry; results are unaffected because
+    /// failed attempts never commit output).
+    pub fn flaky(mut self, node: NodeId, fraction: f64) -> Self {
+        self.flaky.push((node, fraction.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Finalizes the cluster.
+    pub fn build(self) -> Cluster {
+        Cluster {
+            num_nodes: self.num_nodes,
+            map_slots: self.map_slots,
+            reduce_slots: self.reduce_slots,
+            network: self.network,
+            disk: self.disk,
+            slowdowns: self.slowdowns,
+            hidden_slowdowns: self.hidden_slowdowns,
+            speculation: self.speculation,
+            flaky: self.flaky,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = Cluster::edbt_testbed();
+        assert_eq!(c.num_nodes(), 12);
+        assert_eq!(c.map_slots(), 8);
+        assert_eq!(c.reduce_slots(), 4);
+        assert_eq!(c.total_map_slots(), 96);
+        assert_eq!(c.total_reduce_slots(), 48);
+    }
+
+    #[test]
+    fn builder_clamps_to_one() {
+        let c = Cluster::builder().nodes(0).map_slots(0).reduce_slots(0).build();
+        assert_eq!(c.num_nodes(), 1);
+        assert_eq!(c.map_slots(), 1);
+        assert_eq!(c.reduce_slots(), 1);
+    }
+
+    #[test]
+    fn node_iteration_and_membership() {
+        let c = Cluster::builder().nodes(3).build();
+        let ids: Vec<_> = c.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(c.contains(NodeId(2)));
+        assert!(!c.contains(NodeId(3)));
+    }
+}

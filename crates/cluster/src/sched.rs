@@ -1,0 +1,667 @@
+//! Slot-based event-driven task scheduler.
+//!
+//! Models Hadoop 1.x task scheduling: every node offers a fixed number of
+//! map and reduce slots; free slots pull pending tasks, preferring tasks
+//! whose input data is local (data locality) or — when EFind's index
+//! locality strategy is active — tasks whose index partition lives on the
+//! node (§3.4). Task durations depend on placement: a task scheduled off its
+//! input replicas pays a network transfer for its input, and a task
+//! scheduled off its affinity nodes pays the configured affinity penalty
+//! (the remote-lookup network cost in the index locality cost model, Eq. 4).
+
+use crate::node::{Cluster, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Which slot pool a task occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// A map slot.
+    Map,
+    /// A reduce slot.
+    Reduce,
+}
+
+/// A schedulable task with placement-dependent cost.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Caller-assigned identifier, echoed in the [`Assignment`].
+    pub id: usize,
+    /// Slot pool.
+    pub kind: SlotKind,
+    /// Placement-independent cost (CPU, lookups, shuffle already charged).
+    pub base: SimDuration,
+    /// Bytes of input read at task start (0 if charged elsewhere).
+    pub input_bytes: u64,
+    /// Nodes holding a local replica of the input. Empty means the input is
+    /// placement-neutral (charged as a local disk read).
+    pub input_hosts: Vec<NodeId>,
+    /// Index-locality affinity nodes (empty = no affinity).
+    pub affinity: Vec<NodeId>,
+    /// Extra cost incurred when the task does **not** run on an affinity
+    /// node (e.g. remote index lookup transfer time).
+    pub affinity_penalty: SimDuration,
+    /// If true, the task may ONLY run on its affinity nodes — the hard
+    /// co-location the paper's footnote 3 warns against (provided for the
+    /// soft-vs-hard comparison experiment).
+    pub hard_affinity: bool,
+}
+
+impl TaskSpec {
+    /// A placement-neutral task.
+    pub fn simple(id: usize, kind: SlotKind, base: SimDuration) -> Self {
+        TaskSpec {
+            id,
+            kind,
+            base,
+            input_bytes: 0,
+            input_hosts: Vec::new(),
+            affinity: Vec::new(),
+            affinity_penalty: SimDuration::ZERO,
+            hard_affinity: false,
+        }
+    }
+
+    fn duration_on(&self, node: NodeId, cluster: &Cluster) -> SimDuration {
+        let mut d = self.base;
+        if self.input_bytes > 0 {
+            d += cluster.disk.read(self.input_bytes);
+            if !self.input_hosts.is_empty() && !self.input_hosts.contains(&node) {
+                d += cluster.network.transfer(self.input_bytes);
+            }
+        }
+        if !self.affinity.is_empty() && !self.affinity.contains(&node) {
+            d += self.affinity_penalty;
+        }
+        d.mul_f64(cluster.slowdown(node))
+    }
+}
+
+/// The placement and timing of one task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task's caller-assigned id.
+    pub task_id: usize,
+    /// The node the task ran on.
+    pub node: NodeId,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+    /// Zero-based wave index: position of the task in its slot's queue.
+    pub wave: usize,
+    /// True if the task ran on one of its input replica hosts.
+    pub input_local: bool,
+    /// True if the task ran on one of its affinity nodes (or had none).
+    pub affinity_hit: bool,
+    /// True if a speculative backup copy of this task won the race.
+    pub speculated: bool,
+}
+
+/// A scheduled phase.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    /// One assignment per task, in input order.
+    pub assignments: Vec<Assignment>,
+    /// Completion time of the last task.
+    pub makespan: SimTime,
+    /// Speculative backup copies launched (0 unless the cluster enables
+    /// speculation and surprise stragglers appear).
+    pub speculative_copies: usize,
+    /// Failed first attempts retried on another node (flaky-node model).
+    pub retried_tasks: usize,
+}
+
+impl Schedule {
+    /// Ids of the tasks in wave 0 — the first task of every busy slot.
+    ///
+    /// The adaptive optimizer (§4.1) collects statistics from this wave
+    /// before deciding whether to re-optimize the rest of the job.
+    pub fn first_wave_ids(&self) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .filter(|a| a.wave == 0)
+            .map(|a| a.task_id)
+            .collect()
+    }
+
+    /// Completion time of the first wave (max end among wave-0 tasks).
+    pub fn first_wave_end(&self) -> SimTime {
+        self.assignments
+            .iter()
+            .filter(|a| a.wave == 0)
+            .map(|a| a.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Fraction of tasks that read their input locally.
+    pub fn input_locality(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 1.0;
+        }
+        let local = self.assignments.iter().filter(|a| a.input_local).count();
+        local as f64 / self.assignments.len() as f64
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    node: NodeId,
+    free: SimTime,
+    used: usize,
+}
+
+/// Schedules `tasks` onto the cluster's slots of their kind, starting at
+/// `phase_start`, and returns the resulting timeline.
+///
+/// Greedy earliest-slot-first with locality preference, approximating the
+/// Hadoop JobTracker: the next free slot picks (1) a pending task with
+/// affinity for the node, then (2) one with a local input replica, then (3)
+/// the oldest pending task.
+pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTime) -> Schedule {
+    let mut schedule = Schedule {
+        assignments: Vec::with_capacity(tasks.len()),
+        makespan: phase_start,
+        speculative_copies: 0,
+        retried_tasks: 0,
+    };
+    if tasks.is_empty() {
+        return schedule;
+    }
+    let kind = tasks[0].kind;
+    assert!(
+        tasks.iter().all(|t| t.kind == kind),
+        "a phase must be homogeneous in slot kind"
+    );
+    let slots_per_node = match kind {
+        SlotKind::Map => cluster.map_slots(),
+        SlotKind::Reduce => cluster.reduce_slots(),
+    };
+    // Slots interleaved across nodes (slot 0 of every node, then slot 1,
+    // …) so ties in finish time spread tasks over distinct machines.
+    let mut slots: Vec<Slot> = (0..slots_per_node)
+        .flat_map(|_| {
+            cluster.nodes().map(|node| Slot {
+                node,
+                free: phase_start,
+                used: 0,
+            })
+        })
+        .collect();
+
+    // Task-driven greedy (earliest-finish-time): each task, in submission
+    // order, takes the slot where it finishes first. Placement-dependent
+    // costs (remote input transfer, the index-locality affinity penalty)
+    // are part of the finish time, so the scheduler weighs "wait for a
+    // local/affine slot" against "run remotely now" with real prices —
+    // the trade-off §3.4 describes without hard co-location.
+    let mut assignments: Vec<Option<Assignment>> = vec![None; tasks.len()];
+    // Which slot each task finally ran on — needed to replay per-slot
+    // queues when hidden slowdowns stretch runtimes after placement.
+    let mut assigned_slot: Vec<usize> = vec![0; tasks.len()];
+    // Nodes whose tasks failed get blacklisted for the rest of the phase
+    // (the Hadoop JobTracker's per-job blacklist).
+    let mut blacklisted: Vec<NodeId> = Vec::new();
+    for (task_idx, task) in tasks.iter().enumerate() {
+        let mut best: Option<(SimTime, SimTime, usize)> = None; // (end, start, slot)
+        for pass in 0..2 {
+            for (slot_idx, slot) in slots.iter().enumerate() {
+                // First pass avoids blacklisted nodes; a second pass
+                // admits them if nothing else is eligible.
+                if pass == 0 && blacklisted.contains(&slot.node) {
+                    continue;
+                }
+                if task.hard_affinity
+                    && !task.affinity.is_empty()
+                    && !task.affinity.contains(&slot.node)
+                {
+                    continue;
+                }
+                let start = slot.free;
+                let end = start + task.duration_on(slot.node, cluster);
+                if best.is_none_or(|(bend, _, _)| end < bend) {
+                    best = Some((end, start, slot_idx));
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        let (mut end, start, slot_idx) = best.unwrap_or_else(|| {
+            // Hard affinity to nodes outside the cluster: fall back to
+            // any slot (the penalty applies).
+            let slot = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.free)
+                .map(|(i, _)| i)
+                .expect("cluster has at least one slot");
+            let start = slots[slot].free;
+            (start + task.duration_on(slots[slot].node, cluster), start, slot)
+        });
+        let mut node = slots[slot_idx].node;
+        let wave = slots[slot_idx].used;
+        let mut attempt_start = start;
+        let mut final_slot = slot_idx;
+
+        // Flaky-node model: the first attempt on a flaky node fails after
+        // a fraction of its runtime; the retry goes to the then-best
+        // OTHER node, preferring machines that are not themselves flaky
+        // (Hadoop avoids the failed machine; a retry landing on another
+        // flaky node would just fail again).
+        if let Some(fraction) = cluster.flaky_fraction(node) {
+            if !blacklisted.contains(&node) {
+                blacklisted.push(node);
+            }
+            let wasted = task.duration_on(node, cluster).mul_f64(fraction);
+            let fail_at = start + wasted;
+            slots[slot_idx].free = fail_at;
+            slots[slot_idx].used += 1;
+            schedule.retried_tasks += 1;
+            let mut retry_best: Option<(SimTime, SimTime, usize)> = None;
+            for retry_pass in 0..2 {
+                for (i, slot) in slots.iter().enumerate() {
+                    if slot.node == node {
+                        continue;
+                    }
+                    // First pass considers only healthy machines; flaky
+                    // ones are admitted only when nothing else qualifies.
+                    if retry_pass == 0 && cluster.flaky_fraction(slot.node).is_some() {
+                        continue;
+                    }
+                    if task.hard_affinity
+                        && !task.affinity.is_empty()
+                        && !task.affinity.contains(&slot.node)
+                    {
+                        continue;
+                    }
+                    let rstart = slot.free.max(fail_at);
+                    let rend = rstart + task.duration_on(slot.node, cluster);
+                    if retry_best.is_none_or(|(bend, _, _)| rend < bend) {
+                        retry_best = Some((rend, rstart, i));
+                    }
+                }
+                if retry_best.is_some() {
+                    break;
+                }
+            }
+            if let Some((rend, rstart, rslot)) = retry_best {
+                node = slots[rslot].node;
+                attempt_start = rstart;
+                end = rend;
+                final_slot = rslot;
+                slots[rslot].free = rend;
+                slots[rslot].used += 1;
+            } else {
+                // Single-node cluster: retry on the same node.
+                attempt_start = fail_at;
+                end = fail_at + task.duration_on(node, cluster);
+                slots[slot_idx].free = end;
+            }
+        } else {
+            slots[slot_idx].free = end;
+            slots[slot_idx].used += 1;
+        }
+
+        assigned_slot[task_idx] = final_slot;
+        assignments[task_idx] = Some(Assignment {
+            task_id: task.id,
+            node,
+            start: attempt_start,
+            end,
+            wave,
+            input_local: task.input_hosts.is_empty() || task.input_hosts.contains(&node),
+            affinity_hit: task.affinity.is_empty() || task.affinity.contains(&node),
+            speculated: false,
+        });
+        schedule.makespan = schedule.makespan.max(end);
+    }
+
+    schedule.assignments = assignments.into_iter().map(|a| a.unwrap()).collect();
+
+    // --- Surprise stragglers & speculative execution. ---
+    // The plan above priced only the *known* slowdowns. Hidden slowdowns
+    // stretch the actual runtimes after placement; with speculation on, a
+    // backup copy launches once a task overruns its planned finish, and
+    // the earlier finisher wins (Hadoop 1.x backup tasks).
+    let any_hidden = cluster.nodes().any(|n| cluster.hidden_slowdown(n) > 1.0);
+    if any_hidden {
+        // Replay each slot's queue with true runtimes: a stretched task
+        // delays every later task queued on the same slot, so multi-wave
+        // phases feel a straggler across all of its waves, not just the
+        // first victim. Backup copies are priced on a separate per-slot
+        // availability ledger (healthy slots free up as planned) — they
+        // cap their victim's finish without delaying planned tasks, an
+        // approximation of the JobTracker killing slow copies promptly.
+        let mut slot_free: Vec<SimTime> = vec![phase_start; slots.len()];
+        let mut backup_free: Vec<(NodeId, SimTime)> = slots
+            .iter()
+            .map(|s| (s.node, s.free))
+            .collect();
+        let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+        order.sort_by_key(|&i| (schedule.assignments[i].start, i));
+        schedule.makespan = phase_start;
+        for i in order {
+            let task = &tasks[i];
+            let assignment = &mut schedule.assignments[i];
+            let slot = assigned_slot[i];
+            let planned = assignment.end.since(assignment.start);
+            // Hidden delays only push tasks later, never earlier, so the
+            // planned start is a floor on the replayed one.
+            let start = assignment.start.max(slot_free[slot]);
+            let hidden = cluster.hidden_slowdown(assignment.node);
+            let actual_end = start + planned.mul_f64(hidden);
+            assignment.start = start;
+            assignment.end = actual_end;
+            if hidden > 1.0 && cluster.speculation_enabled() {
+                // The JobTracker notices the overrun at the planned
+                // finish and launches a backup on the then-freest
+                // healthy slot.
+                let notice = start + planned;
+                let backup = backup_free
+                    .iter_mut()
+                    .filter(|(n, _)| cluster.hidden_slowdown(*n) <= 1.0)
+                    .min_by_key(|(_, free)| *free);
+                if let Some((bnode, bfree)) = backup {
+                    let bstart = notice.max(*bfree);
+                    let bdur = task
+                        .duration_on(*bnode, cluster)
+                        .mul_f64(cluster.hidden_slowdown(*bnode));
+                    let bend = bstart + bdur;
+                    *bfree = bend;
+                    schedule.speculative_copies += 1;
+                    if bend < actual_end {
+                        assignment.node = *bnode;
+                        assignment.start = bstart;
+                        assignment.end = bend;
+                        assignment.speculated = true;
+                        assignment.input_local = task.input_hosts.is_empty()
+                            || task.input_hosts.contains(bnode);
+                        assignment.affinity_hit = task.affinity.is_empty()
+                            || task.affinity.contains(bnode);
+                    }
+                }
+            }
+            // The original slot is released at the winner's finish (the
+            // loser copy is killed then).
+            slot_free[slot] = slot_free[slot].max(assignment.end.min(actual_end));
+            schedule.makespan = schedule.makespan.max(assignment.end);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> Cluster {
+        Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build()
+    }
+
+    fn task(id: usize, millis: u64) -> TaskSpec {
+        TaskSpec::simple(id, SlotKind::Map, SimDuration::from_millis(millis))
+    }
+
+    #[test]
+    fn empty_phase() {
+        let s = schedule_phase(&small_cluster(), &[], SimTime::ZERO);
+        assert!(s.assignments.is_empty());
+        assert_eq!(s.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap() {
+        let c = small_cluster(); // 4 map slots total
+        let tasks: Vec<_> = (0..4).map(|i| task(i, 10)).collect();
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(10));
+        assert!(s.assignments.iter().all(|a| a.wave == 0));
+    }
+
+    #[test]
+    fn waves_form_when_tasks_exceed_slots() {
+        let c = small_cluster();
+        let tasks: Vec<_> = (0..8).map(|i| task(i, 10)).collect();
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(20));
+        assert_eq!(s.first_wave_ids().len(), 4);
+        assert_eq!(
+            s.first_wave_end(),
+            SimTime::ZERO + SimDuration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn phase_start_offsets_everything() {
+        let c = small_cluster();
+        let start = SimTime::ZERO + SimDuration::from_secs(5);
+        let s = schedule_phase(&c, &[task(0, 10)], start);
+        assert_eq!(s.assignments[0].start, start);
+        assert_eq!(s.makespan, start + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn input_locality_is_preferred_and_cheaper() {
+        let c = small_cluster();
+        let mk = |id: usize, host: u16| TaskSpec {
+            id,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(1),
+            input_bytes: 12_000_000, // 0.1 s local read at 120 MB/s
+            input_hosts: vec![NodeId(host)],
+            affinity: Vec::new(),
+            affinity_penalty: SimDuration::ZERO,
+            hard_affinity: false,
+        };
+        // Two tasks per node, matching the two slots per node.
+        let tasks = vec![mk(0, 0), mk(1, 0), mk(2, 1), mk(3, 1)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.input_locality(), 1.0, "{:?}", s.assignments);
+        for a in &s.assignments {
+            assert!(a.input_local);
+        }
+    }
+
+    #[test]
+    fn remote_input_pays_network_transfer() {
+        // One node holds all inputs but tasks outnumber its slots, so some
+        // run remotely and take longer.
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        let mk = |id: usize| TaskSpec {
+            id,
+            kind: SlotKind::Map,
+            base: SimDuration::ZERO,
+            input_bytes: 120_000_000, // 1 s local read
+            input_hosts: vec![NodeId(0)],
+            affinity: Vec::new(),
+            affinity_penalty: SimDuration::ZERO,
+            hard_affinity: false,
+        };
+        let tasks = vec![mk(0), mk(1)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        let durations: Vec<f64> = s
+            .assignments
+            .iter()
+            .map(|a| a.end.since(a.start).as_secs_f64())
+            .collect();
+        let local = durations.iter().cloned().fold(f64::MAX, f64::min);
+        let remote = durations.iter().cloned().fold(0.0, f64::max);
+        assert!((local - 1.0).abs() < 1e-6);
+        assert!(remote > 1.9, "remote read should add ~0.96 s: {remote}");
+    }
+
+    #[test]
+    fn affinity_steers_placement() {
+        let c = Cluster::builder().nodes(4).map_slots(1).build();
+        let mk = |id: usize, node: u16| TaskSpec {
+            id,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(10),
+            input_bytes: 0,
+            input_hosts: Vec::new(),
+            affinity: vec![NodeId(node)],
+            affinity_penalty: SimDuration::from_secs(10),
+            hard_affinity: false,
+        };
+        let tasks = vec![mk(0, 3), mk(1, 2), mk(2, 1), mk(3, 0)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        for a in &s.assignments {
+            assert!(a.affinity_hit, "task {} on {}", a.task_id, a.node);
+        }
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn affinity_miss_pays_penalty() {
+        let c = Cluster::builder().nodes(1).map_slots(1).build();
+        let t = TaskSpec {
+            id: 0,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(1),
+            input_bytes: 0,
+            input_hosts: Vec::new(),
+            affinity: vec![NodeId(5)], // not in this cluster
+            affinity_penalty: SimDuration::from_millis(99),
+            hard_affinity: false,
+        };
+        let s = schedule_phase(&c, &[t], SimTime::ZERO);
+        assert_eq!(
+            s.makespan,
+            SimTime::ZERO + SimDuration::from_millis(100)
+        );
+        assert!(!s.assignments[0].affinity_hit);
+    }
+
+    #[test]
+    fn degraded_nodes_are_avoided_when_possible() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade(NodeId(0), 10.0)
+            .build();
+        // Two tasks, two slots: both finish fastest if the second waits
+        // for the healthy node? No — EFT compares 10x-now vs 1x-queued.
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        // One runs on node1 at 100ms; the other either waits (200ms) or
+        // runs degraded (1000ms) — EFT picks waiting.
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(200));
+        assert!(s.assignments.iter().all(|a| a.node == NodeId(1)));
+    }
+
+    #[test]
+    fn hard_affinity_pins_despite_degradation() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade(NodeId(0), 10.0)
+            .build();
+        let mk = |id: usize, hard: bool| TaskSpec {
+            id,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(100),
+            input_bytes: 0,
+            input_hosts: Vec::new(),
+            affinity: vec![NodeId(0)],
+            affinity_penalty: SimDuration::from_millis(10),
+            hard_affinity: hard,
+        };
+        // Soft: pays the 10ms penalty on node1 rather than 10x on node0.
+        let soft = schedule_phase(&c, &[mk(0, false)], SimTime::ZERO);
+        assert_eq!(soft.assignments[0].node, NodeId(1));
+        assert_eq!(soft.makespan, SimTime::ZERO + SimDuration::from_millis(110));
+        // Hard: stuck on the degraded node.
+        let hard = schedule_phase(&c, &[mk(0, true)], SimTime::ZERO);
+        assert_eq!(hard.assignments[0].node, NodeId(0));
+        assert_eq!(hard.makespan, SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn hidden_stragglers_stretch_the_makespan() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade_hidden(NodeId(0), 10.0)
+            .build();
+        // EFT cannot see the hidden slowdown, so it spreads the two tasks.
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(s.speculative_copies, 0);
+    }
+
+    #[test]
+    fn speculation_rescues_hidden_stragglers() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade_hidden(NodeId(0), 10.0)
+            .speculation(true)
+            .build();
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        // The straggling copy is noticed at t=100ms and re-run on node1
+        // (free at 100ms): finishes at 200ms instead of 1s.
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(200));
+        assert_eq!(s.speculative_copies, 1);
+        assert!(s.assignments.iter().any(|a| a.speculated));
+    }
+
+    #[test]
+    fn speculation_keeps_the_original_when_it_wins() {
+        // Mild hidden slowdown: the original still finishes before a
+        // backup could; the backup is launched but loses the race.
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade_hidden(NodeId(0), 1.5)
+            .speculation(true)
+            .build();
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(150));
+        assert!(s.assignments.iter().all(|a| !a.speculated));
+    }
+
+    #[test]
+    fn flaky_node_retries_elsewhere() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.5)
+            .build();
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        // The failed attempt wastes 50 ms on node0 and blacklists it; the
+        // retry runs on node1 (50–150 ms) and the second task follows
+        // (150–250 ms).
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(250));
+        // The surviving attempt of every task ran on the healthy node.
+        assert!(s.assignments.iter().all(|a| a.node == NodeId(1)));
+    }
+
+    #[test]
+    fn flaky_single_node_falls_back_to_same_node_retry() {
+        let c = Cluster::builder()
+            .nodes(1)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.25)
+            .build();
+        let s = schedule_phase(&c, &[task(0, 100)], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(125));
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let c = small_cluster();
+        let tasks: Vec<_> = (0..5).map(|i| task(i, (i as u64 + 1) * 10)).collect();
+        let s = schedule_phase(&c, &tasks, SimTime::ZERO);
+        // Longest single task is 50 ms; makespan cannot be below that.
+        assert!(s.makespan >= SimTime::ZERO + SimDuration::from_millis(50));
+        // And cannot exceed the serial sum.
+        assert!(s.makespan <= SimTime::ZERO + SimDuration::from_millis(150));
+    }
+}

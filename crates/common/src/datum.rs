@@ -1,0 +1,500 @@
+//! The dynamically typed value model.
+//!
+//! EFind's interfaces (Figure 2 of the paper) pass Hadoop `Writable`s between
+//! `preProcess`, `lookup`, and `postProcess`. [`Datum`] is the Rust
+//! equivalent: an owned, ordered, hashable value with a well-defined binary
+//! encoding and a byte-size measure. The size measure feeds the cost model
+//! (every `S*` term in Table 1 is a sum of `Datum::size_bytes`).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+
+/// A dynamically typed value.
+///
+/// `Datum` implements total ordering and hashing (floats order by
+/// `total_cmp` and hash by bit pattern), so it can serve as a MapReduce key,
+/// an index lookup key, or a cache key.
+#[derive(Clone, Debug, Default)]
+pub enum Datum {
+    /// The absent value.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float. Ordered with `total_cmp`, hashed by bit pattern.
+    Float(f64),
+    /// A UTF-8 string.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A heterogeneous list, used for composite keys and carrier records.
+    List(Vec<Datum>),
+}
+
+impl Datum {
+    /// Returns a stable discriminant used for cross-variant ordering and the
+    /// binary encoding tag.
+    fn tag(&self) -> u8 {
+        match self {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) => 2,
+            Datum::Float(_) => 3,
+            Datum::Text(_) => 4,
+            Datum::Bytes(_) => 5,
+            Datum::List(_) => 6,
+        }
+    }
+
+    /// Approximate serialized size in bytes.
+    ///
+    /// This is the measure behind every size statistic in the paper's cost
+    /// model (Table 1). It matches the length of [`Datum::encode`] output to
+    /// within the varint headers.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Datum::Null => 1,
+            Datum::Bool(_) => 2,
+            Datum::Int(_) => 9,
+            Datum::Float(_) => 9,
+            Datum::Text(s) => 5 + s.len() as u64,
+            Datum::Bytes(b) => 5 + b.len() as u64,
+            Datum::List(items) => 5 + items.iter().map(Datum::size_bytes).sum::<u64>(),
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Datum::Float(v) => Some(*v),
+            Datum::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Datum::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte payload, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Datum::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Datum]> {
+        match self {
+            Datum::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Consumes the datum and returns the list payload, if this is a `List`.
+    pub fn into_list(self) -> Option<Vec<Datum>> {
+        match self {
+            Datum::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Builds a composite key from parts.
+    pub fn composite(parts: impl IntoIterator<Item = Datum>) -> Datum {
+        Datum::List(parts.into_iter().collect())
+    }
+
+    /// Appends the binary encoding of `self` to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            Datum::Null => {}
+            Datum::Bool(v) => out.push(*v as u8),
+            Datum::Int(v) => out.extend_from_slice(&v.to_le_bytes()),
+            Datum::Float(v) => out.extend_from_slice(&v.to_bits().to_le_bytes()),
+            Datum::Text(s) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Datum::Bytes(b) => {
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Datum::List(items) => {
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Returns the binary encoding of `self`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes() as usize);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one datum from the front of `buf`, returning it and the rest.
+    pub fn decode_from(buf: &[u8]) -> Result<(Datum, &[u8])> {
+        let (&tag, rest) = buf
+            .split_first()
+            .ok_or_else(|| Error::Decode("empty buffer".into()))?;
+        match tag {
+            0 => Ok((Datum::Null, rest)),
+            1 => {
+                let (&b, rest) = rest
+                    .split_first()
+                    .ok_or_else(|| Error::Decode("truncated bool".into()))?;
+                Ok((Datum::Bool(b != 0), rest))
+            }
+            2 => {
+                let (head, rest) = split_n(rest, 8, "int")?;
+                Ok((Datum::Int(i64::from_le_bytes(head.try_into().unwrap())), rest))
+            }
+            3 => {
+                let (head, rest) = split_n(rest, 8, "float")?;
+                let bits = u64::from_le_bytes(head.try_into().unwrap());
+                Ok((Datum::Float(f64::from_bits(bits)), rest))
+            }
+            4 => {
+                let (payload, rest) = split_len_prefixed(rest, "text")?;
+                let s = std::str::from_utf8(payload)
+                    .map_err(|e| Error::Decode(format!("invalid utf-8: {e}")))?;
+                Ok((Datum::Text(s.to_owned()), rest))
+            }
+            5 => {
+                let (payload, rest) = split_len_prefixed(rest, "bytes")?;
+                Ok((Datum::Bytes(payload.to_vec()), rest))
+            }
+            6 => {
+                let (head, mut rest) = split_n(rest, 4, "list len")?;
+                let n = u32::from_le_bytes(head.try_into().unwrap()) as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let (item, r) = Datum::decode_from(rest)?;
+                    items.push(item);
+                    rest = r;
+                }
+                Ok((Datum::List(items), rest))
+            }
+            other => Err(Error::Decode(format!("unknown datum tag {other}"))),
+        }
+    }
+
+    /// Decodes a datum that must consume the whole buffer.
+    pub fn decode(buf: &[u8]) -> Result<Datum> {
+        let (d, rest) = Datum::decode_from(buf)?;
+        if rest.is_empty() {
+            Ok(d)
+        } else {
+            Err(Error::Decode(format!("{} trailing bytes", rest.len())))
+        }
+    }
+}
+
+fn split_n<'a>(buf: &'a [u8], n: usize, what: &str) -> Result<(&'a [u8], &'a [u8])> {
+    if buf.len() < n {
+        return Err(Error::Decode(format!("truncated {what}")));
+    }
+    Ok(buf.split_at(n))
+}
+
+fn split_len_prefixed<'a>(buf: &'a [u8], what: &str) -> Result<(&'a [u8], &'a [u8])> {
+    let (head, rest) = split_n(buf, 4, what)?;
+    let len = u32::from_le_bytes(head.try_into().unwrap()) as usize;
+    split_n(rest, len, what)
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numerics compare by value so `Int(1) < Float(1.5)` holds,
+            // with total_cmp tie-break falling back to tag order.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.tag());
+        match self {
+            Datum::Null => {}
+            Datum::Bool(v) => state.write_u8(*v as u8),
+            Datum::Int(v) => state.write_i64(*v),
+            Datum::Float(v) => state.write_u64(v.to_bits()),
+            Datum::Text(s) => state.write(s.as_bytes()),
+            Datum::Bytes(b) => state.write(b),
+            Datum::List(items) => {
+                state.write_usize(items.len());
+                for item in items {
+                    item.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "null"),
+            Datum::Bool(v) => write!(f, "{v}"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Datum::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(v: i32) -> Self {
+        Datum::Int(v as i64)
+    }
+}
+
+impl From<u32> for Datum {
+    fn from(v: u32) -> Self {
+        Datum::Int(v as i64)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(v: bool) -> Self {
+        Datum::Bool(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Text(v)
+    }
+}
+
+impl From<Vec<u8>> for Datum {
+    fn from(v: Vec<u8>) -> Self {
+        Datum::Bytes(v)
+    }
+}
+
+impl From<Vec<Datum>> for Datum {
+    fn from(v: Vec<Datum>) -> Self {
+        Datum::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(d: &Datum) -> u64 {
+        let mut h = DefaultHasher::new();
+        d.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let values = vec![
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Bool(false),
+            Datum::Int(-42),
+            Datum::Int(i64::MAX),
+            Datum::Float(3.5),
+            Datum::Float(f64::NEG_INFINITY),
+            Datum::Text("hello world".into()),
+            Datum::Text(String::new()),
+            Datum::Bytes(vec![0, 255, 1, 2]),
+            Datum::List(vec![Datum::Int(1), Datum::Text("x".into()), Datum::Null]),
+            Datum::List(vec![]),
+        ];
+        for v in values {
+            let enc = v.encode();
+            let dec = Datum::decode(&enc).unwrap();
+            assert_eq!(v, dec, "roundtrip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn nested_list_roundtrip() {
+        let v = Datum::List(vec![
+            Datum::List(vec![Datum::Int(1), Datum::Int(2)]),
+            Datum::List(vec![Datum::Text("a".into())]),
+        ]);
+        assert_eq!(Datum::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = Datum::Int(5).encode();
+        enc.push(0);
+        assert!(Datum::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = Datum::Text("hello".into()).encode();
+        for cut in 0..enc.len() {
+            assert!(Datum::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn ordering_within_variant() {
+        assert!(Datum::Int(1) < Datum::Int(2));
+        assert!(Datum::Text("a".into()) < Datum::Text("b".into()));
+        assert!(Datum::Float(1.0) < Datum::Float(2.0));
+        assert!(Datum::Bytes(vec![1]) < Datum::Bytes(vec![2]));
+        assert!(Datum::List(vec![Datum::Int(1)]) < Datum::List(vec![Datum::Int(2)]));
+    }
+
+    #[test]
+    fn ordering_across_variants_is_total() {
+        let vals = [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Int(0),
+            Datum::Text("".into()),
+            Datum::Bytes(vec![]),
+            Datum::List(vec![]),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert!(Datum::Int(1) < Datum::Float(1.5));
+        assert!(Datum::Float(0.5) < Datum::Int(1));
+    }
+
+    #[test]
+    fn float_nan_is_orderable_and_hashable() {
+        let nan = Datum::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(hash_of(&nan), hash_of(&nan));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Datum::List(vec![Datum::Int(7), Datum::Text("k".into())]);
+        let b = Datum::List(vec![Datum::Int(7), Datum::Text("k".into())]);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn size_bytes_tracks_encoding_length() {
+        let values = vec![
+            Datum::Null,
+            Datum::Int(9),
+            Datum::Text("abcdef".into()),
+            Datum::Bytes(vec![1; 100]),
+            Datum::List(vec![Datum::Int(1); 10]),
+        ];
+        for v in values {
+            let enc_len = v.encode().len() as u64;
+            let sz = v.size_bytes();
+            assert!(
+                sz >= enc_len && sz <= enc_len + 8,
+                "size {sz} vs encoding {enc_len} for {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Datum::Int(3).as_int(), Some(3));
+        assert_eq!(Datum::Int(3).as_float(), Some(3.0));
+        assert_eq!(Datum::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Datum::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Datum::Bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+        assert!(Datum::Null.is_null());
+        assert_eq!(Datum::Text("x".into()).as_int(), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Common error type.
+
+use std::fmt;
+
+/// Errors shared across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A binary decoding failure.
+    Decode(String),
+    /// A named entity (file, index, partition) was not found.
+    NotFound(String),
+    /// The caller supplied an invalid configuration.
+    InvalidConfig(String),
+    /// An operation is unsupported for the given operator/index combination.
+    Unsupported(String),
+    /// An internal invariant was violated.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Decode(msg) => write!(f, "decode error: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias using [`Error`].
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::NotFound("file x".into()).to_string(),
+            "not found: file x"
+        );
+        assert!(Error::Decode("bad".into()).to_string().contains("decode"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Fast non-cryptographic hashing.
+//!
+//! Index lookups, shuffle partitioning, and the lookup cache all hash
+//! [`Datum`] keys on hot paths, where SipHash's keyed security
+//! is wasted. [`FxHasher`] is the multiply-based hasher used by rustc,
+//! reimplemented here to avoid an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use crate::Datum;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style Fx hash: a word-at-a-time multiply-xor hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail));
+            self.add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hashes a byte slice with [`FxHasher`].
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes a [`Datum`] with [`FxHasher`], then applies a full-avalanche
+/// finalizer.
+///
+/// This is the hash behind shuffle partitioning and consistent-hash index
+/// partition schemes; both sides must agree, so they share this function.
+/// The finalizer matters: multiplicative hashes barely mix toward the low
+/// bits, and `hash % num_partitions` reads exactly those bits — short
+/// similar strings like `user17`/`user18` would otherwise pile into a few
+/// partitions.
+pub fn fx_hash_datum(d: &Datum) -> u64 {
+    let mut h = FxHasher::default();
+    d.hash(&mut h);
+    mix64(h.finish())
+}
+
+/// The splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fx_hash_bytes(b"hello"), fx_hash_bytes(b"hello"));
+        assert_ne!(fx_hash_bytes(b"hello"), fx_hash_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn equal_datums_hash_equal() {
+        let a = Datum::composite([Datum::Int(1), Datum::Text("x".into())]);
+        let b = Datum::composite([Datum::Int(1), Datum::Text("x".into())]);
+        assert_eq!(fx_hash_datum(&a), fx_hash_datum(&b));
+    }
+
+    #[test]
+    fn distinct_ints_spread() {
+        // Not a rigorous avalanche test — just a regression guard that the
+        // hasher isn't collapsing small integers onto few buckets.
+        let mut buckets = [0usize; 16];
+        for i in 0..10_000i64 {
+            buckets[(fx_hash_datum(&Datum::Int(i)) % 16) as usize] += 1;
+        }
+        let min = buckets.iter().min().unwrap();
+        let max = buckets.iter().max().unwrap();
+        assert!(
+            *min > 400 && *max < 900,
+            "unbalanced buckets: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn text_keys_spread_under_small_moduli() {
+        // Regression: short similar strings ("user0".."user1499") must not
+        // pile into a few of 32 partitions — this skew broke shuffle
+        // balance before the finalizer existed.
+        let mut buckets = [0usize; 32];
+        for u in 0..1500 {
+            let k = Datum::Text(format!("user{u}"));
+            buckets[(fx_hash_datum(&k) % 32) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 100, "hot partition with {max}/1500 keys: {buckets:?}");
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        assert_ne!(fx_hash_bytes(b"abcdefgh1"), fx_hash_bytes(b"abcdefgh2"));
+        assert_ne!(fx_hash_bytes(b"a"), fx_hash_bytes(b"a\0"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Shared building blocks for the EFind reproduction.
+//!
+//! This crate holds the pieces every other layer needs:
+//!
+//! * [`Datum`] — the dynamically typed value model that plays the role of
+//!   Hadoop's `Writable` in the paper's interfaces,
+//! * [`Record`] — the `(key, value)` pair flowing through MapReduce,
+//! * [`FmSketch`] — the Flajolet–Martin distinct-count sketch EFind uses to
+//!   estimate Θ (average duplicates per index lookup key, Table 1),
+//! * [`FxHashMap`]/[`FxHasher`] — a fast non-cryptographic hasher for hot
+//!   lookup paths,
+//! * [`Error`] — the common error type.
+
+pub mod datum;
+pub mod error;
+pub mod fm;
+pub mod fmtutil;
+pub mod hash;
+pub mod record;
+
+pub use datum::Datum;
+pub use error::{Error, Result};
+pub use fm::FmSketch;
+pub use hash::{fx_hash_bytes, fx_hash_datum, FxHashMap, FxHashSet, FxHasher};
+pub use record::Record;

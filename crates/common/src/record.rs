@@ -1,0 +1,74 @@
+//! The `(key, value)` pair flowing through MapReduce and EFind operators.
+
+use crate::Datum;
+
+/// A MapReduce record: the `(k1, v1)` / `(k2, v2)` pairs of Figure 2.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Record {
+    /// The record key (grouping key in shuffles).
+    pub key: Datum,
+    /// The record value.
+    pub value: Datum,
+}
+
+impl Record {
+    /// Creates a record from anything convertible to [`Datum`].
+    pub fn new(key: impl Into<Datum>, value: impl Into<Datum>) -> Self {
+        Record {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Total approximate serialized size, the unit of every `S*` statistic
+    /// in the paper's Table 1.
+    pub fn size_bytes(&self) -> u64 {
+        self.key.size_bytes() + self.value.size_bytes()
+    }
+
+    /// Encodes key then value.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes() as usize);
+        self.key.encode_into(&mut out);
+        self.value.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a record previously produced by [`Record::encode`].
+    pub fn decode(buf: &[u8]) -> crate::Result<Record> {
+        let (key, rest) = Datum::decode_from(buf)?;
+        let value = Datum::decode(rest)?;
+        Ok(Record { key, value })
+    }
+}
+
+/// Sums the sizes of a slice of records.
+pub fn total_size(records: &[Record]) -> u64 {
+    records.iter().map(Record::size_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Record::new(7i64, "payload");
+        assert_eq!(Record::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn size_is_sum_of_parts() {
+        let r = Record::new("k", "value");
+        assert_eq!(
+            r.size_bytes(),
+            r.key.size_bytes() + r.value.size_bytes()
+        );
+    }
+
+    #[test]
+    fn total_size_sums() {
+        let rs = vec![Record::new(1i64, 2i64), Record::new(3i64, 4i64)];
+        assert_eq!(total_size(&rs), rs[0].size_bytes() * 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! The index accessor interface and the cost-charging lookup wrapper.
+//!
+//! An [`IndexAccessor`] is "implemented once for each type of index and can
+//! be reused" (§2). EFind treats the index as a black box: `lookup` does
+//! the real work, `serve_time` reports the modeled index-side latency `T_j`
+//! (Table 1), and `partition_scheme` optionally exposes how the index is
+//! partitioned — the hook that enables the index locality strategy (§3.4):
+//! *"The partition scheme of an index can be communicated to EFind by
+//! implementing a partition method and setting a flag in the class of
+//! IndexAccessor."*
+
+use std::sync::Arc;
+
+use efind_common::Datum;
+use efind_cluster::{NetworkModel, NodeId, SimDuration};
+use efind_mapreduce::TaskCtx;
+
+/// How a distributed index is partitioned, and where partitions live.
+pub trait PartitionScheme: Send + Sync {
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Partition owning `key`.
+    fn partition_of(&self, key: &Datum) -> usize;
+    /// Replica hosts of a partition.
+    fn hosts(&self, partition: usize) -> Vec<NodeId>;
+}
+
+/// A selectively accessible side data source (the paper's broad "index").
+pub trait IndexAccessor: Send + Sync {
+    /// Stable name used in counters and reports.
+    fn name(&self) -> &str;
+
+    /// Looks up `key`, returning the (possibly empty) list of values.
+    /// Must be idempotent for the duration of a job (§3.2's assumption).
+    fn lookup(&self, key: &Datum) -> Vec<Datum>;
+
+    /// Modeled index-side service time `T_j` for one lookup, excluding
+    /// network transfer (which EFind charges itself).
+    fn serve_time(&self, key: &Datum, result_bytes: u64) -> SimDuration;
+
+    /// The index's partition scheme, if it exposes one. Returning `Some`
+    /// is the flag that makes the index eligible for index locality.
+    fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+        None
+    }
+}
+
+/// How a lookup's network leg is charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupMode {
+    /// The task may run anywhere; the lookup always crosses the network
+    /// (baseline, cache, and re-partitioning strategies).
+    Remote,
+    /// Index-locality: the service time is always paid, but the network
+    /// leg becomes an affinity penalty — charged only if the scheduler
+    /// fails to place the task on an index partition host.
+    Local,
+}
+
+/// Wraps an accessor with cost charging and statistics counters.
+///
+/// Every EFind strategy funnels lookups through this wrapper so the
+/// counters of §4.2 (`Nik`, `Sik`, `Siv`, `T_j` samples, FM distinct
+/// sketches) are collected uniformly.
+pub struct ChargedLookup {
+    accessor: Arc<dyn IndexAccessor>,
+    network: NetworkModel,
+    /// Counter prefix, `efind.<operator>.<index>.`.
+    prefix: String,
+}
+
+impl ChargedLookup {
+    /// Creates a charging wrapper; `prefix` follows the
+    /// `efind.<operator>.<index>.` convention.
+    pub fn new(accessor: Arc<dyn IndexAccessor>, network: NetworkModel, prefix: String) -> Self {
+        ChargedLookup {
+            accessor,
+            network,
+            prefix,
+        }
+    }
+
+    /// The wrapped accessor.
+    pub fn accessor(&self) -> &Arc<dyn IndexAccessor> {
+        &self.accessor
+    }
+
+    /// The counter prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Performs one real lookup, charging virtual time and updating
+    /// statistics counters on `ctx`.
+    pub fn lookup(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Vec<Datum> {
+        let values = self.accessor.lookup(key);
+        let sik = key.size_bytes();
+        let siv: u64 = values.iter().map(Datum::size_bytes).sum();
+        let serve = self.accessor.serve_time(key, siv);
+        // The remote leg pays per-request latency plus volume; a local
+        // lookup (index locality hit) avoids both.
+        let transfer = self.network.transfer(sik + siv);
+        match mode {
+            LookupMode::Remote => ctx.charge(serve + transfer),
+            LookupMode::Local => {
+                ctx.charge(serve);
+                ctx.charge_affinity_penalty(transfer);
+            }
+        }
+        ctx.counters.add(&format!("{}lookups", self.prefix), 1);
+        ctx.counters.add(&format!("{}sik.bytes", self.prefix), sik as i64);
+        ctx.counters.add(&format!("{}siv.bytes", self.prefix), siv as i64);
+        ctx.counters
+            .add(&format!("{}tj.nanos", self.prefix), serve.as_nanos() as i64);
+        values
+    }
+
+    /// Records one requested key (before caching/dedup) for `Nik` and the
+    /// Θ distinct-count sketch.
+    pub fn note_key(&self, key: &Datum, ctx: &mut TaskCtx) {
+        ctx.counters.add(&format!("{}nik", self.prefix), 1);
+        ctx.counters
+            .add(&format!("{}key.bytes", self.prefix), key.size_bytes() as i64);
+        ctx.sketches.observe(&format!("{}distinct", self.prefix), key);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use efind_common::FxHashMap;
+
+    /// A simple in-memory accessor for unit tests.
+    pub struct MemIndex {
+        pub name: String,
+        pub data: FxHashMap<Datum, Vec<Datum>>,
+        pub serve: SimDuration,
+        pub scheme: Option<Arc<dyn PartitionScheme>>,
+    }
+
+    impl MemIndex {
+        pub fn new(name: &str, pairs: Vec<(Datum, Vec<Datum>)>) -> Self {
+            MemIndex {
+                name: name.into(),
+                data: pairs.into_iter().collect(),
+                serve: SimDuration::from_micros(100),
+                scheme: None,
+            }
+        }
+    }
+
+    impl IndexAccessor for MemIndex {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn lookup(&self, key: &Datum) -> Vec<Datum> {
+            self.data.get(key).cloned().unwrap_or_default()
+        }
+        fn serve_time(&self, _key: &Datum, _result_bytes: u64) -> SimDuration {
+            self.serve
+        }
+        fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+            self.scheme.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::MemIndex;
+    use super::*;
+
+    fn charged() -> ChargedLookup {
+        let idx = MemIndex::new(
+            "users",
+            vec![(Datum::Int(1), vec![Datum::Text("alice".into())])],
+        );
+        ChargedLookup::new(Arc::new(idx), NetworkModel::gigabit(), "efind.op.0.".into())
+    }
+
+    #[test]
+    fn remote_lookup_charges_serve_plus_transfer() {
+        let cl = charged();
+        let mut ctx = TaskCtx::new(0);
+        let vals = cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        assert_eq!(vals, vec![Datum::Text("alice".into())]);
+        assert!(ctx.charged() >= SimDuration::from_micros(100));
+        assert_eq!(ctx.affinity_penalty(), SimDuration::ZERO);
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 1);
+        assert!(ctx.counters.get("efind.op.0.siv.bytes") > 0);
+    }
+
+    #[test]
+    fn local_mode_moves_transfer_to_penalty() {
+        let cl = charged();
+        let mut remote_ctx = TaskCtx::new(0);
+        cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut remote_ctx);
+        let mut local_ctx = TaskCtx::new(0);
+        cl.lookup(&Datum::Int(1), LookupMode::Local, &mut local_ctx);
+        assert!(local_ctx.charged() < remote_ctx.charged());
+        assert!(local_ctx.affinity_penalty() > SimDuration::ZERO);
+        assert_eq!(
+            local_ctx.charged() + local_ctx.affinity_penalty(),
+            remote_ctx.charged()
+        );
+    }
+
+    #[test]
+    fn missing_key_returns_empty() {
+        let cl = charged();
+        let mut ctx = TaskCtx::new(0);
+        assert!(cl.lookup(&Datum::Int(99), LookupMode::Remote, &mut ctx).is_empty());
+        assert_eq!(ctx.counters.get("efind.op.0.siv.bytes"), 0);
+    }
+
+    #[test]
+    fn note_key_feeds_nik_and_sketch() {
+        let cl = charged();
+        let mut ctx = TaskCtx::new(0);
+        for i in 0..10 {
+            cl.note_key(&Datum::Int(i % 5), &mut ctx);
+        }
+        assert_eq!(ctx.counters.get("efind.op.0.nik"), 10);
+        let distinct = ctx.sketches.estimate("efind.op.0.distinct");
+        assert!((3.0..=8.0).contains(&distinct), "distinct={distinct}");
+    }
+}

@@ -1,0 +1,819 @@
+//! Adaptive optimization (§4, Algorithm 1, Figs. 9–10).
+//!
+//! `Dynamic` mode starts a job with the baseline plan and no statistics.
+//! When the first map wave completes (one task per map slot — the natural
+//! statistics checkpoint the paper exploits), the runtime:
+//!
+//! 1. gates on cross-task variance of the collected statistics
+//!    (Algorithm 1 lines 1–3),
+//! 2. extracts operator statistics from the wave's counters and FM
+//!    sketches, scaled to the remaining input,
+//! 3. re-optimizes the map-side operators (line 5–6: operators at the
+//!    reduce phase are ignored because their statistics do not exist yet),
+//! 4. switches plans only if the predicted improvement exceeds the
+//!    plan-change overhead (line 10).
+//!
+//! On a plan change, the completed wave's map outputs are *reused*: the
+//! remaining input splits flow through the new plan's job chain, and the
+//! final job's reduce consumes both the new plan's map outputs and the
+//! wave-1 outputs — exactly the merge of Fig. 10(a). The plan changes at
+//! most once per job.
+
+use efind_common::{Error, FxHashMap, Result};
+use efind_cluster::{SimDuration, SimTime};
+use efind_mapreduce::{Counters, JobStats, PhaseStats, Runner, Sketches, TaskStats};
+
+use crate::compile::compile_pipeline;
+use crate::cost::cost_baseline;
+use crate::jobconf::IndexJobConf;
+use crate::plan::{forced_plan, optimize_operator, OperatorPlan, Strategy};
+use crate::runtime::{EFindJobResult, EFindRuntime};
+use crate::statsx::{extract_operator_stats, variance_ok};
+
+/// Runs an enhanced job in dynamic (adaptive) mode.
+pub(crate) fn run_dynamic(
+    rt: &mut EFindRuntime<'_>,
+    ijob: &IndexJobConf,
+) -> Result<EFindJobResult> {
+    let baseline_plans: FxHashMap<String, OperatorPlan> = ijob
+        .operators()
+        .map(|(b, _)| (b.op.name().to_owned(), forced_plan(&b.caps(), Strategy::Baseline)))
+        .collect();
+
+    // Without any operators there is nothing to re-plan at all; run the
+    // baseline plan statically (statistics still collected). Jobs with
+    // only tail operators still flow through the main path so the
+    // reduce-phase branch of Algorithm 1 gets its chance.
+    if ijob.head.is_empty() && ijob.body.is_empty() && ijob.tail.is_empty() {
+        return rt.run_with_plans(ijob, baseline_plans, false);
+    }
+
+    let compiled = compile_pipeline(ijob, &baseline_plans, &rt.runtime_env())?;
+    debug_assert_eq!(
+        compiled.jobs.len(),
+        1,
+        "the baseline plan never inserts shuffle jobs"
+    );
+    let conf = compiled
+        .jobs
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::Internal("empty compiled pipeline".into()))?;
+
+    let chunks = Runner::new(rt.cluster, rt.dfs).chunks(&conf)?;
+    // When the whole map phase fits one wave there is no map-side
+    // remainder to re-plan (remaining_in = 0 disables that branch), but
+    // the reduce-phase branch below still applies.
+    let wave_n = Runner::new(rt.cluster, rt.dfs)
+        .first_wave_count(chunks.len())
+        .min(chunks.len());
+
+    // ---- Wave 1 under the baseline plan (real execution). ----
+    let mut exec1 = Runner::new(rt.cluster, rt.dfs).execute_maps(&conf, &chunks[..wave_n], 0)?;
+    let mut wave_counters = Counters::new();
+    let mut wave_sketches = Sketches::new();
+    for t in &exec1.tasks {
+        wave_counters.merge(&t.stats.counters);
+        wave_sketches.merge(&t.stats.sketches);
+    }
+    let task_refs: Vec<&TaskStats> = exec1.tasks.iter().map(|t| &t.stats).collect();
+
+    // ---- Algorithm 1: re-optimize map-side operators. ----
+    let env = rt.cost_env();
+    let wave_in: u64 = exec1.tasks.iter().map(|t| t.stats.input_records).sum();
+    let total_in: u64 = chunks.iter().map(|c| c.records as u64).sum();
+    let remaining_in = total_in.saturating_sub(wave_in);
+
+    let mut new_plans = baseline_plans.clone();
+    let mut predicted_gain = 0.0f64;
+    if wave_in > 0 && remaining_in > 0 {
+        for (bound, placement) in ijob
+            .head
+            .iter()
+            .map(|b| (b, crate::cost::Placement::Head))
+            .chain(ijob.body.iter().map(|b| (b, crate::cost::Placement::Body)))
+        {
+            if bound.volatile {
+                continue; // §3.2: non-idempotent lookups stay baseline
+            }
+            let desc = bound.descriptor();
+            if !variance_ok(&task_refs, &desc, rt.config.variance_threshold) {
+                continue;
+            }
+            let Some(mut stats) = extract_operator_stats(&wave_counters, &wave_sketches, &desc)
+            else {
+                continue;
+            };
+            // Scale the volume statistic to the remaining input; averages
+            // and ratios carry over unchanged.
+            stats.n1 *= remaining_in as f64 / wave_in as f64;
+            let current: f64 = (0..stats.indices.len())
+                .map(|j| cost_baseline(&env, &stats, j))
+                .sum();
+            let plan = optimize_operator(&stats, &env, placement, rt.config.enumeration);
+            if plan.est_cost_secs < current {
+                predicted_gain += current - plan.est_cost_secs;
+                new_plans.insert(bound.op.name().to_owned(), plan);
+            }
+        }
+    }
+    let replan = env.wall_secs(predicted_gain) > rt.config.plan_change_cost_secs;
+
+    if !replan {
+        // Continue with the baseline plan map-side: execute the remaining
+        // splits. Algorithm 1's else-branch still applies — once the job
+        // reaches its reduce phase, the tail operators (whose statistics
+        // only exist now) get their own re-optimization chance.
+        let exec2 =
+            Runner::new(rt.cluster, rt.dfs).execute_maps(&conf, &chunks[wave_n..], wave_n)?;
+        exec1.tasks.extend(exec2.tasks);
+        if let Some(result) =
+            try_reduce_phase_replan(rt, ijob, &conf, &mut exec1, &baseline_plans)?
+        {
+            return Ok(result);
+        }
+        let res = Runner::new(rt.cluster, rt.dfs).finish(&conf, &mut exec1, SimTime::ZERO)?;
+        let total_time = res.stats.makespan();
+        rt.absorb_stats(ijob, std::slice::from_ref(&res.stats));
+        return Ok(EFindJobResult {
+            output: res.output,
+            total_time,
+            jobs: vec![res.stats],
+            plans: baseline_plans.into_iter().collect(),
+            replanned: false,
+        });
+    }
+
+    // ---- Plan change (Fig. 10(a)). ----
+    // Wave-1 tasks have already run; their elapsed time and outputs are
+    // kept. The plan-change overhead models job resubmission.
+    let wave_sched = Runner::new(rt.cluster, rt.dfs).schedule_maps(&exec1, SimTime::ZERO);
+    let mut t = wave_sched.makespan
+        + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
+
+    // The remaining splits become the new plan's input (namespace
+    // bookkeeping only — no data moves, so no time is charged).
+    let remaining_name = format!("{}.remaining", ijob.name);
+    let mut remaining_records = Vec::new();
+    for chunk in &chunks[wave_n..] {
+        remaining_records.extend_from_slice(rt.dfs.read_chunk(&conf.input, chunk.index)?);
+    }
+    rt.dfs.write_file_with_chunks(
+        &remaining_name,
+        remaining_records,
+        chunks.len() - wave_n,
+    );
+
+    let mut ijob2 = ijob.clone();
+    ijob2.name = format!("{}-replan", ijob.name);
+    ijob2.input = remaining_name.clone();
+    let compiled2 = compile_pipeline(&ijob2, &new_plans, &rt.runtime_env())?;
+
+    let mut job_stats: Vec<JobStats> = Vec::new();
+    let n_jobs = compiled2.jobs.len();
+    for conf2 in &compiled2.jobs[..n_jobs - 1] {
+        let res = Runner::new(rt.cluster, rt.dfs).run(conf2, t)?;
+        t = res.stats.finished;
+        job_stats.push(res.stats);
+    }
+
+    let last = &compiled2.jobs[n_jobs - 1];
+    let (output, total_end) = if last.has_reduce() {
+        let lchunks = Runner::new(rt.cluster, rt.dfs).chunks(last)?;
+        let mut lexec = Runner::new(rt.cluster, rt.dfs).execute_maps(last, &lchunks, 0)?;
+        let lsched = Runner::new(rt.cluster, rt.dfs).schedule_maps(&lexec, t);
+        let map_end = lsched.makespan;
+        // Merge: new-plan map outputs plus the reused wave-1 outputs.
+        let mut sources = lexec.take_outputs();
+        sources.extend(exec1.take_outputs());
+        let outcome =
+            Runner::new(rt.cluster, rt.dfs).run_reduce_from(last, sources, map_end)?;
+        let end = outcome.phase.schedule.makespan.max(map_end);
+
+        let mut counters = Counters::new();
+        let mut sketches = Sketches::new();
+        for ts in lexec.tasks.iter().map(|x| &x.stats).chain(outcome.phase.tasks.iter()) {
+            counters.merge(&ts.counters);
+            sketches.merge(&ts.sketches);
+        }
+        let output_bytes = outcome.output.total_bytes();
+        job_stats.push(JobStats {
+            name: last.name.clone(),
+            started: t,
+            finished: end,
+            map: PhaseStats {
+                tasks: lexec.tasks.iter().map(|x| x.stats.clone()).collect(),
+                schedule: lsched,
+            },
+            reduce: Some(outcome.phase),
+            counters,
+            sketches,
+            shuffle_bytes: outcome.shuffle_bytes,
+            output_bytes,
+        });
+        (outcome.output, end)
+    } else {
+        // Map-only enhanced job: append the reused wave-1 outputs to the
+        // new plan's output.
+        let res = Runner::new(rt.cluster, rt.dfs).run(last, t)?;
+        let end = res.stats.finished;
+        job_stats.push(res.stats);
+        let mut all: Vec<_> = exec1.take_outputs().into_iter().flatten().collect();
+        all.extend(rt.dfs.read_file(&ijob.output)?);
+        let output = rt.dfs.write_file(&ijob.output, all);
+        (output, end)
+    };
+
+    if !rt.config.keep_intermediates {
+        for tmp in &compiled2.temp_files {
+            rt.dfs.delete(tmp);
+        }
+        rt.dfs.delete(&remaining_name);
+    }
+
+    // Catalog: wave-1 statistics plus everything the new plan collected.
+    let mut counters = wave_counters;
+    let mut sketches = wave_sketches;
+    for j in &job_stats {
+        counters.merge(&j.counters);
+        sketches.merge(&j.sketches);
+    }
+    rt.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+
+    Ok(EFindJobResult {
+        output,
+        total_time: total_end.since(SimTime::ZERO),
+        jobs: job_stats,
+        plans: new_plans.into_iter().collect(),
+        replanned: true,
+    })
+}
+
+/// Fig. 10(b) / Algorithm 1's reduce-phase branch: when the final job's
+/// reduce runs in multiple waves and the tail operators (running baseline
+/// inside `reduce_post`) turn out to be worth a shuffle strategy, the
+/// completed wave's outputs move to the job output, the remaining reduce
+/// tasks run *without* the tail chains, and a re-planned tail pipeline
+/// processes their outputs. Returns `None` when the preconditions do not
+/// hold or the gain does not cover the plan-change cost.
+fn try_reduce_phase_replan(
+    rt: &mut EFindRuntime<'_>,
+    ijob: &IndexJobConf,
+    conf: &efind_mapreduce::JobConf,
+    exec: &mut efind_mapreduce::MapPhaseExec,
+    baseline_plans: &FxHashMap<String, OperatorPlan>,
+) -> Result<Option<EFindJobResult>> {
+    let reduce_slots = rt.cluster.total_reduce_slots();
+    if ijob.tail.is_empty() || !conf.has_reduce() || conf.num_reducers <= reduce_slots {
+        // The caller's normal finish path still owns the map outputs.
+        return Ok(None);
+    }
+
+    // Map phase timeline and shuffle partitioning.
+    let map_schedule = Runner::new(rt.cluster, rt.dfs).schedule_maps(exec, SimTime::ZERO);
+    let map_end = map_schedule.makespan;
+    let sources = exec.take_outputs();
+    let (partitions, shuffle_bytes) =
+        Runner::new(rt.cluster, rt.dfs).partition_for_reduce(conf, sources);
+
+    // ---- Reduce wave 1 under the current (tail-baseline) plan. ----
+    let wave_refs: Vec<(usize, &[efind_common::Record])> = partitions[..reduce_slots]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p.as_slice()))
+        .collect();
+    let wave1 = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &wave_refs)?;
+    let wave_specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
+    let wave_schedule =
+        efind_cluster::sched::schedule_phase(rt.cluster, &wave_specs, map_end);
+    let wave_end = wave_schedule.makespan;
+
+    // ---- Re-optimize the tail operators from wave-1 statistics. ----
+    let mut wave_counters = Counters::new();
+    let mut wave_sketches = Sketches::new();
+    for t in &wave1 {
+        wave_counters.merge(&t.stats.counters);
+        wave_sketches.merge(&t.stats.sketches);
+    }
+    let task_stats: Vec<&TaskStats> = wave1.iter().map(|t| &t.stats).collect();
+    let wave_in: u64 = wave1.iter().map(|t| t.stats.input_records).sum();
+    let remaining_in: u64 = partitions[reduce_slots..]
+        .iter()
+        .map(|p| p.len() as u64)
+        .sum();
+
+    let mut change = false;
+    let mut tail_plans: FxHashMap<String, OperatorPlan> = FxHashMap::default();
+    if wave_in > 0 && remaining_in > 0 {
+        let env = rt.cost_env();
+        let mut predicted_gain = 0.0f64;
+        for bound in &ijob.tail {
+            // Operators skipped by a gate stay on the baseline plan — but
+            // the compiled tail pipeline still needs a plan entry for them.
+            let fallback = || forced_plan(&bound.caps(), Strategy::Baseline);
+            if bound.volatile {
+                // §3.2: non-idempotent lookups stay baseline
+                tail_plans.insert(bound.op.name().to_owned(), fallback());
+                continue;
+            }
+            let desc = bound.descriptor();
+            if !variance_ok(&task_stats, &desc, rt.config.variance_threshold) {
+                tail_plans.insert(bound.op.name().to_owned(), fallback());
+                continue;
+            }
+            let Some(mut stats) =
+                extract_operator_stats(&wave_counters, &wave_sketches, &desc)
+            else {
+                tail_plans.insert(bound.op.name().to_owned(), fallback());
+                continue;
+            };
+            stats.n1 *= remaining_in as f64 / wave_in as f64;
+            let current: f64 = (0..stats.indices.len())
+                .map(|j| cost_baseline(&env, &stats, j))
+                .sum();
+            let plan = optimize_operator(
+                &stats,
+                &env,
+                crate::cost::Placement::Tail,
+                rt.config.enumeration,
+            );
+            if plan.est_cost_secs < current {
+                predicted_gain += current - plan.est_cost_secs;
+            }
+            tail_plans.insert(bound.op.name().to_owned(), plan);
+        }
+        // Any beneficial plan (cache or a shuffle strategy) justifies the
+        // change: the re-planned tail pipeline runs map-side either way.
+        let improved = tail_plans
+            .values()
+            .any(|p| p.choices.iter().any(|c| c.strategy != Strategy::Baseline));
+        change = env.wall_secs(predicted_gain) > rt.config.plan_change_cost_secs && improved;
+    }
+
+    if !change {
+        // No plan change: the map outputs were already consumed above, so
+        // complete the job here — execute the remaining reduce waves under
+        // the current plan and assemble an uninterrupted-equivalent run.
+        let rest_refs: Vec<(usize, &[efind_common::Record])> = partitions[reduce_slots..]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (reduce_slots + i, p.as_slice()))
+            .collect();
+        let rest =
+            Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &rest_refs)?;
+        let mut specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
+        specs.extend(rest.iter().map(|t| t.spec.clone()));
+        let reduce_schedule =
+            efind_cluster::sched::schedule_phase(rt.cluster, &specs, map_end);
+        let finished = reduce_schedule.makespan;
+        let all_output: Vec<efind_common::Record> = wave1
+            .iter()
+            .chain(rest.iter())
+            .flat_map(|x| x.output.iter().cloned())
+            .collect();
+        let output = rt.dfs.write_file(&ijob.output, all_output);
+
+        let mut counters = wave_counters;
+        let mut sketches = wave_sketches;
+        for x in exec.tasks.iter().map(|x| &x.stats).chain(rest.iter().map(|x| &x.stats)) {
+            counters.merge(&x.counters);
+            sketches.merge(&x.sketches);
+        }
+        rt.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+        let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
+        reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));
+        let output_bytes = output.total_bytes();
+        let stats = JobStats {
+            name: conf.name.clone(),
+            started: SimTime::ZERO,
+            finished,
+            map: PhaseStats {
+                tasks: exec.tasks.iter().map(|x| x.stats.clone()).collect(),
+                schedule: map_schedule,
+            },
+            reduce: Some(PhaseStats {
+                tasks: reduce_tasks,
+                schedule: reduce_schedule,
+            }),
+            counters,
+            sketches,
+            shuffle_bytes,
+            output_bytes,
+        };
+        return Ok(Some(EFindJobResult {
+            output,
+            total_time: finished.since(SimTime::ZERO),
+            jobs: vec![stats],
+            plans: baseline_plans.clone().into_iter().collect(),
+            replanned: false,
+        }));
+    }
+
+    // ---- Plan change (Fig. 10(b)). ----
+    // Completed wave-1 outputs move straight to the job output; the
+    // remaining reduce tasks run without the tail chains.
+    let mut stripped = conf.clone();
+    stripped.reduce_post = Vec::new();
+    let rest_refs: Vec<(usize, &[efind_common::Record])> = partitions[reduce_slots..]
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (reduce_slots + i, p.as_slice()))
+        .collect();
+    let rest =
+        Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(&stripped, &rest_refs)?;
+    let rest_specs: Vec<_> = rest.iter().map(|t| t.spec.clone()).collect();
+    let rest_start = wave_end + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
+    let rest_schedule =
+        efind_cluster::sched::schedule_phase(rt.cluster, &rest_specs, rest_start);
+    let mut t = rest_schedule.makespan;
+
+    // The re-planned tail pipeline consumes the stripped outputs.
+    let rest_records: Vec<efind_common::Record> =
+        rest.iter().flat_map(|x| x.output.iter().cloned()).collect();
+    let tmp_in = format!("{}.tail-replan.in", ijob.name);
+    rt.dfs.write_file_with_chunks(
+        &tmp_in,
+        rest_records,
+        rt.cluster.total_map_slots(),
+    );
+    let tmp_out = format!("{}.tail-replan.out", ijob.name);
+    let mut tail_ijob = IndexJobConf::new(format!("{}-tailreplan", ijob.name), &tmp_in, &tmp_out);
+    tail_ijob.head = ijob.tail.clone();
+    tail_ijob.cpu_per_record = ijob.cpu_per_record;
+    let compiled = compile_pipeline(&tail_ijob, &tail_plans, &rt.runtime_env())?;
+    let mut job_stats: Vec<JobStats> = Vec::new();
+    for tconf in &compiled.jobs {
+        let res = Runner::new(rt.cluster, rt.dfs).run(tconf, t)?;
+        t = res.stats.finished;
+        job_stats.push(res.stats);
+    }
+
+    // Merge: completed wave-1 outputs + the tail pipeline's outputs.
+    let mut final_records: Vec<efind_common::Record> =
+        wave1.iter().flat_map(|x| x.output.iter().cloned()).collect();
+    final_records.extend(rt.dfs.read_file(&tmp_out)?);
+    let output = rt.dfs.write_file(&ijob.output, final_records);
+    if !rt.config.keep_intermediates {
+        rt.dfs.delete(&tmp_in);
+        rt.dfs.delete(&tmp_out);
+        for tmp in &compiled.temp_files {
+            rt.dfs.delete(tmp);
+        }
+    }
+
+    // Assemble stats: the split reduce phases plus the tail jobs. The
+    // first JobStats carries only its own tasks' counters — the tail
+    // jobs are appended as separate entries, so merging theirs here
+    // would double-count for anyone summing over `result.jobs`.
+    let mut counters = wave_counters;
+    let mut sketches = wave_sketches;
+    for x in exec.tasks.iter().map(|x| &x.stats).chain(rest.iter().map(|x| &x.stats)) {
+        counters.merge(&x.counters);
+        sketches.merge(&x.sketches);
+    }
+    let mut absorb_counters = counters.clone();
+    let mut absorb_sketches = sketches.clone();
+    for j in &job_stats {
+        absorb_counters.merge(&j.counters);
+        absorb_sketches.merge(&j.sketches);
+    }
+    rt.catalog.absorb(&absorb_counters, &absorb_sketches, &ijob.descriptors());
+
+    let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
+    reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));
+    let mut reduce_schedule = wave_schedule;
+    reduce_schedule
+        .assignments
+        .extend(rest_schedule.assignments);
+    reduce_schedule.makespan = reduce_schedule.makespan.max(rest_schedule.makespan);
+    let output_bytes = output.total_bytes();
+    let mut jobs = vec![JobStats {
+        name: conf.name.clone(),
+        started: SimTime::ZERO,
+        finished: reduce_schedule.makespan,
+        map: PhaseStats {
+            tasks: exec.tasks.iter().map(|x| x.stats.clone()).collect(),
+            schedule: map_schedule,
+        },
+        reduce: Some(PhaseStats {
+            tasks: reduce_tasks,
+            schedule: reduce_schedule,
+        }),
+        counters,
+        sketches,
+        shuffle_bytes,
+        output_bytes,
+    }];
+    jobs.extend(job_stats);
+
+    Ok(Some(EFindJobResult {
+        output,
+        total_time: t.since(SimTime::ZERO),
+        jobs,
+        plans: tail_plans.into_iter().collect(),
+        replanned: true,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accessor::testutil::MemIndex;
+    use crate::jobconf::BoundOperator;
+    use crate::operator::{operator_fn, IndexInput, IndexOutput};
+    use crate::runtime::{EFindConfig, Mode};
+    use efind_common::{Datum, Record};
+    use efind_cluster::Cluster;
+    use efind_dfs::{Dfs, DfsConfig};
+    use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
+    use std::sync::Arc;
+
+    /// A workload with heavy global key duplication and an expensive
+    /// index, so the optimizer should switch to re-partitioning.
+    fn setup(n: i64, distinct: i64, serve_ms: u64) -> (Cluster, Dfs, IndexJobConf) {
+        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(2).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 2048,
+                replication: 2,
+                seed: 11,
+            },
+        );
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(i, Datum::Int((i * 7919) % distinct)))
+            .collect();
+        dfs.write_file("in", records);
+
+        let mut index = MemIndex::new(
+            "vals",
+            (0..distinct)
+                .map(|i| (Datum::Int(i), vec![Datum::Bytes(vec![7u8; 256])]))
+                .collect(),
+        );
+        index.serve = SimDuration::from_millis(serve_ms);
+        let op = operator_fn(
+            "join",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| keys.put(0, rec.value.clone()),
+            |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
+                let hit = !values.first(0).is_empty();
+                out.collect(Record::new(rec.value, i64::from(hit)));
+            },
+        );
+        let ijob = IndexJobConf::new("dyn", "in", "out")
+            .add_head_index_operator(BoundOperator::new(op).add_index(Arc::new(index)))
+            .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+            .set_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                2,
+            );
+        (cluster, dfs, ijob)
+    }
+
+    fn cheap_change_config() -> EFindConfig {
+        EFindConfig {
+            plan_change_cost_secs: 0.01,
+            variance_threshold: 5.0,
+            ..EFindConfig::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_replans_under_heavy_duplication() {
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let mut rt =
+            EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(res.replanned, "expected a plan change");
+        let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
+        assert!(plan.has_shuffle(), "expected a shuffle strategy: {plan:?}");
+    }
+
+    #[test]
+    fn dynamic_output_matches_baseline_after_replan() {
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let mut expected = rt.dfs.read_file("out").unwrap();
+        expected.sort();
+
+        let (cluster2, mut dfs2, ijob2) = setup(2000, 10, 5);
+        let mut rt2 =
+            EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let res = rt2.run(&ijob2, Mode::Dynamic).unwrap();
+        assert!(res.replanned);
+        let mut got = rt2.dfs.read_file("out").unwrap();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dynamic_beats_pure_baseline_when_replanning() {
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        let base = rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+
+        let (cluster2, mut dfs2, ijob2) = setup(2000, 10, 5);
+        let mut rt2 =
+            EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let dynamic = rt2.run(&ijob2, Mode::Dynamic).unwrap();
+        assert!(
+            dynamic.total_time < base.total_time,
+            "dynamic {} vs baseline {}",
+            dynamic.total_time,
+            base.total_time
+        );
+    }
+
+    #[test]
+    fn dynamic_keeps_baseline_when_change_is_expensive() {
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let config = EFindConfig {
+            plan_change_cost_secs: 1.0e9, // prohibitive
+            ..EFindConfig::default()
+        };
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, config);
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(!res.replanned);
+    }
+
+    #[test]
+    fn dynamic_keeps_baseline_when_no_redundancy() {
+        // Unique keys, tiny serve time: baseline is already optimal.
+        let (cluster, mut dfs, ijob) = setup(500, 1_000_000, 0);
+        let mut rt =
+            EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(!res.replanned);
+    }
+
+    /// A job whose only expensive index is a *tail* operator with heavy
+    /// global key duplication: the map-side pass finds nothing to re-plan,
+    /// and the reduce-phase branch of Algorithm 1 must fire instead.
+    fn tail_heavy_setup(n: i64) -> (Cluster, Dfs, IndexJobConf) {
+        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 2048,
+                replication: 2,
+                seed: 13,
+            },
+        );
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record::new(i, Datum::Int((i * 31) % 500)))
+            .collect();
+        dfs.write_file("in", records);
+
+        let mut index = MemIndex::new(
+            "enrichment",
+            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+        );
+        index.serve = SimDuration::from_millis(5);
+        let tail_op = operator_fn(
+            "tail-enrich",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| {
+                // Only 8 distinct keys over all reduce outputs → Θ is huge.
+                keys.put(0, rec.key.as_int().unwrap_or(0) % 8);
+            },
+            |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
+                let v = values.first(0).first().cloned().unwrap_or(Datum::Null);
+                out.collect(Record {
+                    key: rec.key,
+                    value: Datum::List(vec![rec.value, v]),
+                });
+            },
+        );
+        // A trivially cheap head operator keeps the map-side branch alive
+        // but unprofitable.
+        let head_op = operator_fn(
+            "cheap-head",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| keys.put(0, rec.key.clone()),
+            |rec: Record, _values: &IndexOutput, out: &mut dyn Collector| out.collect(rec),
+        );
+        let cheap = MemIndex::new("noop", vec![]);
+        let ijob = IndexJobConf::new("tailjob", "in", "out")
+            .add_head_index_operator(BoundOperator::new(head_op).add_index(Arc::new(cheap)))
+            .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+            .set_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                // More reducers than the 2 reduce slots → multiple waves.
+                6,
+            )
+            .add_tail_index_operator(BoundOperator::new(tail_op).add_index(Arc::new(index)));
+        (cluster, dfs, ijob)
+    }
+
+    #[test]
+    fn reduce_phase_replan_fires_for_expensive_tail_ops() {
+        let (cluster, mut dfs, ijob) = tail_heavy_setup(3000);
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(res.replanned, "tail operator should trigger a reduce-phase plan change");
+        let plan = &res.plans.iter().find(|(n, _)| n == "tail-enrich").unwrap().1;
+        assert!(
+            plan.choices.iter().all(|c| c.strategy != Strategy::Baseline),
+            "the re-planned tail must leave the baseline: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn reduce_phase_replan_preserves_output() {
+        let (cluster, mut dfs, ijob) = tail_heavy_setup(3000);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let mut expected = rt.dfs.read_file("out").unwrap();
+        expected.sort();
+
+        let (cluster2, mut dfs2, ijob2) = tail_heavy_setup(3000);
+        let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let res = rt2.run(&ijob2, Mode::Dynamic).unwrap();
+        assert!(res.replanned);
+        let mut got = rt2.dfs.read_file("out").unwrap();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_phase_replan_beats_tail_baseline() {
+        let (cluster, mut dfs, ijob) = tail_heavy_setup(3000);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        let base = rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+
+        let (cluster2, mut dfs2, ijob2) = tail_heavy_setup(3000);
+        let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let dynamic = rt2.run(&ijob2, Mode::Dynamic).unwrap();
+        assert!(
+            dynamic.total_time < base.total_time,
+            "dynamic {} vs baseline {}",
+            dynamic.total_time,
+            base.total_time
+        );
+    }
+
+    #[test]
+    fn tail_no_change_path_preserves_all_output() {
+        // Regression: when the reduce-phase branch evaluates a change and
+        // declines (cheap tail lookups), the job must still produce the
+        // complete output — the map outputs were already consumed by the
+        // wave split and must not be lost.
+        let (cluster, mut dfs, mut ijob) = tail_heavy_setup(2500);
+        // Make the tail index too cheap to justify any plan change.
+        let cheap = MemIndex::new(
+            "enrichment",
+            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+        );
+        ijob.tail[0].indices[0] = Arc::new(cheap);
+
+        let mut rt1 = EFindRuntime::new(&cluster, &mut dfs);
+        rt1.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let mut expected = rt1.dfs.read_file("out").unwrap();
+        expected.sort();
+        assert!(!expected.is_empty());
+
+        let (cluster2, mut dfs2, mut ijob2) = tail_heavy_setup(2500);
+        let cheap2 = MemIndex::new(
+            "enrichment",
+            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+        );
+        ijob2.tail[0].indices[0] = Arc::new(cheap2);
+        let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let res = rt2.run(&ijob2, Mode::Dynamic).unwrap();
+        let mut got = rt2.dfs.read_file("out").unwrap();
+        got.sort();
+        assert_eq!(got.len(), expected.len(), "output lost on the no-change path");
+        assert_eq!(got, expected);
+        let _ = res.replanned; // either decision is fine; output must match
+    }
+
+    #[test]
+    fn no_reduce_phase_replan_when_reducers_fit_one_wave() {
+        let (cluster, mut dfs, mut ijob) = tail_heavy_setup(2000);
+        ijob.num_reducers = 2; // fits the 2 reduce slots → single wave
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(!res.replanned);
+    }
+
+    #[test]
+    fn variance_gate_blocks_replanning() {
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let config = EFindConfig {
+            plan_change_cost_secs: 0.01,
+            // Even zero-variance statistics fail a negative threshold, so
+            // the gate rejects everything.
+            variance_threshold: -1.0,
+            ..EFindConfig::default()
+        };
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, config);
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(!res.replanned);
+    }
+}

@@ -1,0 +1,359 @@
+//! The lookup cache (§3.2) and the shadow cache used to estimate its miss
+//! ratio while running other strategies (§4.2).
+//!
+//! *"EFind inserts the input ik and the result {iv} of a lookup operation
+//! into an LRU-organized cache. … It invokes the lookup method only when
+//! there is a miss in the lookup cache."* The cache holds a fixed number of
+//! key→value entries (1024 in the paper's experiments).
+
+use efind_common::{Datum, FxHashMap};
+
+/// Intrusive doubly-linked LRU list over a slab of entries.
+struct Entry<V> {
+    key: Datum,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity LRU map from lookup keys to values.
+pub struct LruMap<V> {
+    map: FxHashMap<Datum, usize>,
+    slab: Vec<Entry<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V> LruMap<V> {
+    /// Creates an LRU map holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruMap {
+            map: FxHashMap::default(),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, key: &Datum) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts or refreshes `key`, evicting the least-recently-used entry
+    /// at capacity.
+    pub fn insert(&mut self, key: Datum, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        if self.map.len() == self.capacity {
+            // Evict LRU and reuse its slab slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::replace(&mut self.slab[victim].key, key.clone());
+            self.map.remove(&old_key);
+            self.slab[victim].value = value;
+            self.map.insert(key, victim);
+            self.push_front(victim);
+        } else {
+            let idx = self.slab.len();
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Keys from most- to least-recently used (test/debug helper).
+    pub fn keys_mru_order(&self) -> Vec<&Datum> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(&self.slab[cur].key);
+            cur = self.slab[cur].next;
+        }
+        out
+    }
+}
+
+/// The lookup cache: an LRU of key → result lists, with hit statistics.
+pub struct LookupCache {
+    lru: LruMap<Vec<Datum>>,
+    probes: u64,
+    hits: u64,
+}
+
+impl LookupCache {
+    /// Paper default: 1024 index key-value entries.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a cache with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LookupCache {
+            lru: LruMap::new(capacity),
+            probes: 0,
+            hits: 0,
+        }
+    }
+
+    /// Probes for `key`; returns the cached result list on a hit.
+    pub fn probe(&mut self, key: &Datum) -> Option<Vec<Datum>> {
+        self.probes += 1;
+        let hit = self.lru.get(key).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Inserts a freshly looked-up result.
+    pub fn insert(&mut self, key: Datum, values: Vec<Datum>) {
+        self.lru.insert(key, values);
+    }
+
+    /// Total probes.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Observed miss ratio `R` (1.0 before any probe).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            1.0 - self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
+/// The statistics-only cache of §4.2: *"we use a simple version of the
+/// lookup cache that does not cache lookup results"* — it tracks keys only,
+/// to estimate what the miss ratio `R` *would be*, without memory cost or
+/// time charges.
+pub struct ShadowCache {
+    lru: LruMap<()>,
+    probes: u64,
+    hits: u64,
+}
+
+impl ShadowCache {
+    /// Creates a shadow cache sized like the real one.
+    pub fn new(capacity: usize) -> Self {
+        ShadowCache {
+            lru: LruMap::new(capacity),
+            probes: 0,
+            hits: 0,
+        }
+    }
+
+    /// Observes one key request.
+    pub fn observe(&mut self, key: &Datum) {
+        self.probes += 1;
+        if self.lru.get(key).is_some() {
+            self.hits += 1;
+        } else {
+            self.lru.insert(key.clone(), ());
+        }
+    }
+
+    /// Keys observed.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Would-be hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Estimated miss ratio `R`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.probes == 0 {
+            1.0
+        } else {
+            1.0 - self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: i64) -> Datum {
+        Datum::Int(i)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LookupCache::new(4);
+        assert!(c.probe(&k(1)).is_none());
+        c.insert(k(1), vec![k(10)]);
+        assert_eq!(c.probe(&k(1)), Some(vec![k(10)]));
+        assert_eq!(c.probes(), 2);
+        assert_eq!(c.hits(), 1);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = LruMap::new(3);
+        for i in 0..100 {
+            c.insert(k(i), i);
+            assert!(c.len() <= 3);
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruMap::new(3);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        c.insert(k(3), 3);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&k(1)), Some(&1));
+        c.insert(k(4), 4);
+        assert!(c.get(&k(2)).is_none(), "2 should have been evicted");
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+        assert!(c.get(&k(4)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruMap::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        c.insert(k(1), 10); // refresh: 2 is now LRU
+        c.insert(k(3), 3);
+        assert!(c.get(&k(2)).is_none());
+        assert_eq!(c.get(&k(1)), Some(&10));
+    }
+
+    #[test]
+    fn mru_order_tracks_access() {
+        let mut c = LruMap::new(3);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        c.insert(k(3), 3);
+        c.get(&k(1));
+        let order: Vec<i64> = c
+            .keys_mru_order()
+            .iter()
+            .map(|d| d.as_int().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = LruMap::new(1);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert!(c.get(&k(1)).is_none());
+        assert_eq!(c.get(&k(2)), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let c: LruMap<i32> = LruMap::new(0);
+        assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn shadow_cache_estimates_same_ratio_as_real() {
+        // A cyclic key stream with reuse distance under capacity: both
+        // caches must agree exactly.
+        let stream: Vec<Datum> = (0..1000).map(|i| k(i % 8)).collect();
+        let mut real = LookupCache::new(16);
+        let mut shadow = ShadowCache::new(16);
+        for key in &stream {
+            shadow.observe(key);
+            if real.probe(key).is_none() {
+                real.insert(key.clone(), vec![]);
+            }
+        }
+        assert!((real.miss_ratio() - shadow.miss_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_stream_misses_everything() {
+        let mut shadow = ShadowCache::new(4);
+        for i in 0..100 {
+            shadow.observe(&k(i));
+        }
+        assert_eq!(shadow.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_cache_reports_full_miss_ratio() {
+        assert_eq!(LookupCache::new(4).miss_ratio(), 1.0);
+        assert_eq!(ShadowCache::new(4).miss_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,724 @@
+//! Physical plan compilation.
+//!
+//! Turns an [`IndexJobConf`] plus per-operator [`OperatorPlan`]s into a
+//! chain of plain MapReduce jobs:
+//!
+//! * **Baseline/Cache** indices become chained record-wise functions inside
+//!   the current map (or reduce) computation — exactly Fig. 6.
+//! * **Repartition/IndexLocality** indices insert a *shuffling job*
+//!   (Fig. 7): records are re-keyed by the lookup key, shuffled so equal
+//!   keys meet, and the shuffle job's reduce performs **one** lookup per
+//!   distinct key. Index locality additionally co-partitions the shuffle
+//!   with the index and declares scheduler affinity for the partition
+//!   hosts (§3.4).
+//!
+//! Record-wise stages following a shuffle fold into that job's reduce, so
+//! each job boundary stores the *latest* (usually smallest) intermediate —
+//! the job-boundary placement freedom of Fig. 7 that the cost model's
+//! `S_min` term reasons about.
+
+use std::sync::Arc;
+
+use efind_common::{Datum, Error, FxHashMap, Record, Result};
+use efind_cluster::{NetworkModel, SimDuration};
+use efind_mapreduce::{
+    partition::partitioner_fn, Collector, HashPartitioner, JobConf, Mapper, MapperFactory,
+    Partitioner, Reducer, ReducerFactory, TaskCtx,
+};
+
+use crate::accessor::{ChargedLookup, LookupMode, PartitionScheme};
+use crate::cache::{LookupCache, ShadowCache};
+use crate::carrier::Carrier;
+use crate::jobconf::{BoundOperator, IndexJobConf};
+use crate::operator::{IndexInput, IndexOperator};
+use crate::plan::{OperatorPlan, Strategy};
+use crate::statsx::names;
+
+/// Environment constants the compiled stages need.
+#[derive(Clone)]
+pub struct RuntimeEnv {
+    /// Network model for lookup transfer charging.
+    pub network: NetworkModel,
+    /// Cache probe time `T_cache`.
+    pub t_cache: SimDuration,
+    /// Lookup cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Reducer count for shuffling jobs (re-partitioning strategy).
+    pub shuffle_reducers: usize,
+    /// Chunk count for intermediate DFS files between chained jobs, so the
+    /// follow-up job's map phase keeps the cluster busy.
+    pub intermediate_chunks: usize,
+    /// Hard co-location for index-locality tasks (experimental; the paper
+    /// argues soft affinity is safer — footnote 3).
+    pub hard_colocation: bool,
+}
+
+/// A logical stage of the compiled data flow.
+enum Stage {
+    /// A record-wise chained function. `heavy` marks stages that perform
+    /// index lookups: after a shuffle boundary these are *not* folded into
+    /// the (less parallel) reduce — they start the next job's map phase,
+    /// where every map slot works on them.
+    Mapwise { factory: MapperFactory, heavy: bool },
+    /// A shuffle boundary with its group-processing function.
+    Shuffle(ShuffleSpec),
+}
+
+fn light(factory: MapperFactory) -> Stage {
+    Stage::Mapwise { factory, heavy: false }
+}
+
+fn heavy(factory: MapperFactory) -> Stage {
+    Stage::Mapwise { factory, heavy: true }
+}
+
+struct ShuffleSpec {
+    partitioner: Arc<dyn Partitioner>,
+    num_reducers: usize,
+    /// `None` = identity group-by.
+    reducer: Option<ReducerFactory>,
+    /// True for shuffles inserted by a shuffle *strategy* (whose reduce
+    /// parallelism is limited); false for the job's own Reduce, where the
+    /// paper's Fig. 6 places chained tail functions.
+    from_strategy: bool,
+}
+
+/// A compiled pipeline: one or more plain MapReduce jobs to run in order.
+pub struct CompiledPipeline {
+    /// Jobs in execution order; each consumes the previous one's output.
+    pub jobs: Vec<JobConf>,
+    /// Intermediate DFS files created between jobs (cleanup candidates).
+    pub temp_files: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// Stage implementations
+// ---------------------------------------------------------------------
+
+/// `preProcess` + statistics: emits carrier records.
+struct PreMapper {
+    op: Arc<dyn IndexOperator>,
+    opname: String,
+    charged: Arc<Vec<Arc<ChargedLookup>>>,
+    shadows: Vec<ShadowCache>,
+}
+
+impl Mapper for PreMapper {
+    fn map(&mut self, mut rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        ctx.counters.add(&names::op(&self.opname, "n1"), 1);
+        ctx.counters
+            .add(&names::op(&self.opname, "s1.bytes"), rec.size_bytes() as i64);
+        let mut keys = IndexInput::new(self.charged.len());
+        self.op.pre_process(&mut rec, &mut keys);
+        let key_lists = keys.into_keys();
+        for (j, list) in key_lists.iter().enumerate() {
+            for key in list {
+                self.charged[j].note_key(key, ctx);
+                self.shadows[j].observe(key);
+            }
+            if list.len() != 1 {
+                ctx.counters
+                    .add(&names::idx(&self.opname, j, "nik.irregular"), 1);
+            }
+        }
+        let routing = rec.key.clone();
+        let crec = Carrier::new(rec.key, rec.value, key_lists).into_record(routing);
+        ctx.counters
+            .add(&names::op(&self.opname, "spre.bytes"), crec.size_bytes() as i64);
+        out.collect(crec);
+    }
+
+    fn flush(&mut self, _out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        for (j, shadow) in self.shadows.iter().enumerate() {
+            ctx.counters.add(
+                &names::idx(&self.opname, j, "shadow.probes"),
+                shadow.probes() as i64,
+            );
+            ctx.counters.add(
+                &names::idx(&self.opname, j, "shadow.hits"),
+                shadow.hits() as i64,
+            );
+        }
+    }
+}
+
+/// Record-wise lookup for one index: baseline, or cache-fronted.
+struct DirectLookupMapper {
+    charged: Arc<ChargedLookup>,
+    slot: usize,
+    cache: Option<LookupCache>,
+    t_cache: SimDuration,
+}
+
+impl Mapper for DirectLookupMapper {
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        let routing = rec.key;
+        let mut carrier = match Carrier::from_value(rec.value) {
+            Ok(c) => c,
+            Err(e) => return ctx.fail(format!("lookup stage: {e}")),
+        };
+        let keys = std::mem::take(&mut carrier.keys[self.slot]);
+        let mut results = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let values = match self.cache.as_mut() {
+                Some(cache) => match cache.probe(key) {
+                    Some(hit) => hit,
+                    None => {
+                        let fresh = self.charged.lookup(key, LookupMode::Remote, ctx);
+                        cache.insert(key.clone(), fresh.clone());
+                        fresh
+                    }
+                },
+                None => self.charged.lookup(key, LookupMode::Remote, ctx),
+            };
+            results.push(values);
+        }
+        carrier.keys[self.slot] = keys;
+        carrier.values[self.slot] = Some(results);
+        out.collect(carrier.into_record(routing));
+    }
+
+    fn flush(&mut self, _out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        if let Some(cache) = &self.cache {
+            // Probe time is charged in bulk: probes × T_cache (Eq. 2).
+            ctx.charge(self.t_cache * cache.probes());
+            ctx.counters.add(
+                &format!("{}cache.probes", self.charged.prefix()),
+                cache.probes() as i64,
+            );
+            ctx.counters.add(
+                &format!("{}cache.hits", self.charged.prefix()),
+                cache.hits() as i64,
+            );
+        }
+    }
+}
+
+/// Re-keys carrier records by the lookup key of index `slot`, preparing
+/// the shuffle that groups duplicate keys together.
+struct RekeyMapper {
+    slot: usize,
+}
+
+impl Mapper for RekeyMapper {
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        let carrier = match Carrier::from_value(rec.value) {
+            Ok(c) => c,
+            Err(e) => return ctx.fail(format!("rekey stage: {e}")),
+        };
+        match carrier.single_key(self.slot) {
+            Ok(k) => {
+                let k = k.clone();
+                out.collect(carrier.into_record(k));
+            }
+            Err(e) => ctx.fail(e.to_string()),
+        }
+    }
+}
+
+/// The shuffling job's reduce: one lookup per distinct key, fanned back
+/// out to every carrier in the group.
+struct LookupGroupReducer {
+    charged: Arc<ChargedLookup>,
+    slot: usize,
+    locality: Option<Arc<dyn PartitionScheme>>,
+    hard_colocation: bool,
+}
+
+impl Reducer for LookupGroupReducer {
+    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        let mode = if let Some(scheme) = &self.locality {
+            let p = scheme.partition_of(&key);
+            ctx.add_affinity(&scheme.hosts(p));
+            if self.hard_colocation {
+                ctx.require_affinity();
+            }
+            LookupMode::Local
+        } else {
+            LookupMode::Remote
+        };
+        let result = self.charged.lookup(&key, mode, ctx);
+        for payload in values {
+            let mut carrier = match Carrier::from_value(payload) {
+                Ok(c) => c,
+                Err(e) => return ctx.fail(format!("group lookup stage: {e}")),
+            };
+            carrier.values[self.slot] = Some(vec![result.clone()]);
+            let routing = carrier.k1.clone();
+            out.collect(carrier.into_record(routing));
+        }
+    }
+}
+
+/// `postProcess` + statistics: consumes filled carriers.
+struct PostMapper {
+    op: Arc<dyn IndexOperator>,
+    opname: String,
+}
+
+impl Mapper for PostMapper {
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        ctx.counters
+            .add(&names::op(&self.opname, "sidx.bytes"), rec.size_bytes() as i64);
+        let carrier = match Carrier::from_value(rec.value) {
+            Ok(c) => c,
+            Err(e) => return ctx.fail(format!("post stage: {e}")),
+        };
+        let (prec, iout) = match carrier.into_post_input() {
+            Ok(v) => v,
+            Err(e) => return ctx.fail(e.to_string()),
+        };
+        let mut buf: Vec<Record> = Vec::new();
+        self.op.post_process(prec, &iout, &mut buf);
+        let bytes: u64 = buf.iter().map(Record::size_bytes).sum();
+        ctx.counters
+            .add(&names::op(&self.opname, "spost.bytes"), bytes as i64);
+        ctx.counters
+            .add(&names::op(&self.opname, "post.out"), buf.len() as i64);
+        for r in buf {
+            out.collect(r);
+        }
+    }
+}
+
+/// Counts the original Map's output (the `Smap` statistic).
+struct MapOutCounter;
+
+impl Mapper for MapOutCounter {
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        ctx.counters.add(names::MAPOUT_RECORDS, 1);
+        ctx.counters.add(names::MAPOUT_BYTES, rec.size_bytes() as i64);
+        out.collect(rec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+fn compile_operator(
+    bound: &BoundOperator,
+    plan: &OperatorPlan,
+    env: &RuntimeEnv,
+    stages: &mut Vec<Stage>,
+) -> Result<()> {
+    let opname = bound.op.name().to_owned();
+    let charged: Arc<Vec<Arc<ChargedLookup>>> = Arc::new(
+        bound
+            .indices
+            .iter()
+            .enumerate()
+            .map(|(j, acc)| {
+                Arc::new(ChargedLookup::new(
+                    acc.clone(),
+                    env.network,
+                    names::idx_prefix(&opname, j),
+                ))
+            })
+            .collect(),
+    );
+    if plan.choices.len() != bound.indices.len() {
+        return Err(Error::Internal(format!(
+            "plan for operator {opname} covers {} of {} indices",
+            plan.choices.len(),
+            bound.indices.len()
+        )));
+    }
+
+    // preProcess stage.
+    {
+        let op = bound.op.clone();
+        let opname = opname.clone();
+        let charged = charged.clone();
+        // The shadow cache must mirror the real lookup cache's capacity,
+        // or the miss ratio R it reports misleads the planner.
+        let shadow_capacity = env.cache_capacity;
+        stages.push(light(Arc::new(move || {
+            Box::new(PreMapper {
+                op: op.clone(),
+                opname: opname.clone(),
+                charged: charged.clone(),
+                shadows: (0..charged.len())
+                    .map(|_| ShadowCache::new(shadow_capacity))
+                    .collect(),
+            })
+        })));
+    }
+
+    // Lookup stages, in plan order.
+    for choice in &plan.choices {
+        let slot = choice.index;
+        let cl = charged[slot].clone();
+        match choice.strategy {
+            Strategy::Baseline | Strategy::Cache => {
+                let with_cache = choice.strategy == Strategy::Cache;
+                let t_cache = env.t_cache;
+                let capacity = env.cache_capacity;
+                stages.push(heavy(Arc::new(move || {
+                    Box::new(DirectLookupMapper {
+                        charged: cl.clone(),
+                        slot,
+                        cache: with_cache.then(|| LookupCache::new(capacity)),
+                        t_cache,
+                    })
+                })));
+            }
+            Strategy::Repartition | Strategy::IndexLocality => {
+                let locality = if choice.strategy == Strategy::IndexLocality {
+                    Some(cl.accessor().partition_scheme().ok_or_else(|| {
+                        Error::InvalidConfig(format!(
+                            "index {} of operator {opname} has no partition scheme; \
+                             index locality is unavailable",
+                            slot
+                        ))
+                    })?)
+                } else {
+                    None
+                };
+                stages.push(light(Arc::new(move || {
+                    Box::new(RekeyMapper { slot })
+                })));
+                let (partitioner, num_reducers): (Arc<dyn Partitioner>, usize) =
+                    match &locality {
+                        Some(scheme) => {
+                            let s = scheme.clone();
+                            (
+                                partitioner_fn(move |key, n| s.partition_of(key) % n.max(1)),
+                                scheme.num_partitions(),
+                            )
+                        }
+                        None => (Arc::new(HashPartitioner), env.shuffle_reducers),
+                    };
+                let cl2 = cl.clone();
+                let hard_colocation = env.hard_colocation;
+                let reducer: ReducerFactory = Arc::new(move || {
+                    Box::new(LookupGroupReducer {
+                        charged: cl2.clone(),
+                        slot,
+                        locality: locality.clone(),
+                        hard_colocation,
+                    })
+                });
+                stages.push(Stage::Shuffle(ShuffleSpec {
+                    partitioner,
+                    num_reducers,
+                    reducer: Some(reducer),
+                    from_strategy: true,
+                }));
+            }
+        }
+    }
+
+    // postProcess stage.
+    {
+        let op = bound.op.clone();
+        stages.push(light(Arc::new(move || {
+            Box::new(PostMapper {
+                op: op.clone(),
+                opname: opname.clone(),
+            })
+        })));
+    }
+    Ok(())
+}
+
+/// Compiles an enhanced job + plans into a chain of plain MapReduce jobs.
+pub fn compile_pipeline(
+    ijob: &IndexJobConf,
+    plans: &FxHashMap<String, OperatorPlan>,
+    env: &RuntimeEnv,
+) -> Result<CompiledPipeline> {
+    ijob.validate()?;
+    let plan_of = |bound: &BoundOperator| -> Result<&OperatorPlan> {
+        plans.get(bound.op.name()).ok_or_else(|| {
+            Error::Internal(format!("no plan for operator {}", bound.op.name()))
+        })
+    };
+
+    let mut stages: Vec<Stage> = Vec::new();
+    for bound in &ijob.head {
+        compile_operator(bound, plan_of(bound)?, env, &mut stages)?;
+    }
+    for user_map in &ijob.map {
+        stages.push(light(user_map.clone()));
+    }
+    stages.push(light(Arc::new(|| Box::new(MapOutCounter))));
+    for bound in &ijob.body {
+        compile_operator(bound, plan_of(bound)?, env, &mut stages)?;
+    }
+    if ijob.has_reduce() {
+        stages.push(Stage::Shuffle(ShuffleSpec {
+            partitioner: ijob.partitioner.clone(),
+            num_reducers: ijob.num_reducers,
+            reducer: ijob.reducer.clone(),
+            from_strategy: false,
+        }));
+    }
+    for bound in &ijob.tail {
+        compile_operator(bound, plan_of(bound)?, env, &mut stages)?;
+    }
+
+    // Split the stage list into jobs at shuffle boundaries: record-wise
+    // stages after a shuffle fold into that job's reduce.
+    #[derive(Default)]
+    struct JobBuild {
+        map: Vec<MapperFactory>,
+        shuffle: Option<ShuffleSpec>,
+        post: Vec<MapperFactory>,
+    }
+    impl JobBuild {
+        fn strategy_shuffle(&self) -> bool {
+            self.shuffle.as_ref().is_some_and(|s| s.from_strategy)
+        }
+    }
+    let mut builds: Vec<JobBuild> = vec![JobBuild::default()];
+    for stage in stages {
+        let open = builds.last_mut().expect("at least one build");
+        match stage {
+            Stage::Mapwise { factory, heavy } => {
+                if open.shuffle.is_none() {
+                    open.map.push(factory);
+                } else if heavy && open.strategy_shuffle() {
+                    // Lookup stages after a *strategy* shuffle start a new
+                    // job so they run map-side (full slot parallelism)
+                    // instead of inside the shuffle job's narrow reduce.
+                    // After the job's own Reduce they stay chained, as in
+                    // Fig. 6(c).
+                    builds.push(JobBuild {
+                        map: vec![factory],
+                        shuffle: None,
+                        post: Vec::new(),
+                    });
+                } else {
+                    open.post.push(factory);
+                }
+            }
+            Stage::Shuffle(spec) => {
+                if open.shuffle.is_none() {
+                    open.shuffle = Some(spec);
+                } else {
+                    builds.push(JobBuild {
+                        map: Vec::new(),
+                        shuffle: Some(spec),
+                        post: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    let total = builds.len();
+    let mut jobs = Vec::with_capacity(total);
+    let mut temp_files = Vec::new();
+    for (i, build) in builds.into_iter().enumerate() {
+        let input = if i == 0 {
+            ijob.input.clone()
+        } else {
+            format!("{}.tmp{}", ijob.name, i - 1)
+        };
+        let is_last = i + 1 == total;
+        let output = if is_last {
+            ijob.output.clone()
+        } else {
+            let t = format!("{}.tmp{}", ijob.name, i);
+            temp_files.push(t.clone());
+            t
+        };
+        let mut conf = JobConf::new(format!("{}-j{i}", ijob.name), input, output)
+            .with_cpu_per_record(ijob.cpu_per_record);
+        if !is_last {
+            conf.output_chunks = Some(env.intermediate_chunks.max(1));
+        }
+        conf.map_chain = build.map;
+        if let Some(spec) = build.shuffle {
+            conf.num_reducers = spec.num_reducers.max(1);
+            conf.partitioner = spec.partitioner;
+            conf.reducer = spec.reducer;
+            conf.reduce_post = build.post;
+        } else {
+            debug_assert!(build.post.is_empty());
+        }
+        jobs.push(conf);
+    }
+    Ok(CompiledPipeline { jobs, temp_files })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accessor::testutil::MemIndex;
+    use crate::operator::operator_fn;
+    use crate::plan::forced_plan;
+    use efind_cluster::Cluster;
+    use efind_dfs::{Dfs, DfsConfig};
+    use efind_mapreduce::{mapper_fn, reducer_fn, Runner};
+    use efind_cluster::SimTime;
+
+    fn env() -> RuntimeEnv {
+        RuntimeEnv {
+            network: NetworkModel::gigabit(),
+            t_cache: SimDuration::from_micros(1),
+            cache_capacity: 64,
+            shuffle_reducers: 4,
+            intermediate_chunks: 8,
+            hard_colocation: false,
+        }
+    }
+
+    /// A tiny enhanced job: head operator enriches each record's value by
+    /// looking up `key % 10` in an index, Map uppercases, Reduce counts.
+    fn sample_ijob(strategy: Strategy) -> (IndexJobConf, FxHashMap<String, OperatorPlan>) {
+        let index = Arc::new(MemIndex::new(
+            "mod10",
+            (0..10i64)
+                .map(|i| (Datum::Int(i), vec![Datum::Text(format!("g{i}"))]))
+                .collect(),
+        ));
+        let op = operator_fn(
+            "enrich",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| {
+                keys.put(0, rec.key.as_int().unwrap() % 10);
+            },
+            |rec: Record, values: &crate::operator::IndexOutput, out: &mut dyn Collector| {
+                let group = values.first(0).first().cloned().unwrap_or(Datum::Null);
+                out.collect(Record {
+                    key: group,
+                    value: rec.value,
+                });
+            },
+        );
+        let bound = BoundOperator::new(op).add_index(index);
+        let caps = bound.caps();
+        let ijob = IndexJobConf::new("sample", "in", "out")
+            .add_head_index_operator(bound)
+            .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+            .set_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                2,
+            );
+        let mut plans = FxHashMap::default();
+        plans.insert("enrich".to_owned(), forced_plan(&caps, strategy));
+        (ijob, plans)
+    }
+
+    fn run_pipeline(strategy: Strategy) -> (Vec<Record>, usize) {
+        let cluster = Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication: 2,
+                seed: 3,
+            },
+        );
+        let records: Vec<Record> = (0..100i64).map(|i| Record::new(i, "x")).collect();
+        dfs.write_file("in", records);
+        let (ijob, plans) = sample_ijob(strategy);
+        let compiled = compile_pipeline(&ijob, &plans, &env()).unwrap();
+        let n_jobs = compiled.jobs.len();
+        let mut t = SimTime::ZERO;
+        for job in &compiled.jobs {
+            let res = Runner::new(&cluster, &mut dfs).run(job, t).unwrap();
+            t = res.stats.finished;
+        }
+        let mut out = dfs.read_file("out").unwrap();
+        out.sort();
+        (out, n_jobs)
+    }
+
+    #[test]
+    fn baseline_compiles_to_single_job() {
+        let (out, n_jobs) = run_pipeline(Strategy::Baseline);
+        assert_eq!(n_jobs, 1);
+        assert_eq!(out.len(), 10);
+        for r in &out {
+            assert_eq!(r.value, Datum::Int(10)); // 100 records over 10 groups
+        }
+    }
+
+    #[test]
+    fn cache_produces_identical_output() {
+        let (base, _) = run_pipeline(Strategy::Baseline);
+        let (cache, n_jobs) = run_pipeline(Strategy::Cache);
+        assert_eq!(n_jobs, 1);
+        assert_eq!(base, cache);
+    }
+
+    #[test]
+    fn repartition_adds_a_shuffle_job_and_matches() {
+        let (base, _) = run_pipeline(Strategy::Baseline);
+        let (repart, n_jobs) = run_pipeline(Strategy::Repartition);
+        assert_eq!(n_jobs, 2, "head repartition should split into two jobs");
+        assert_eq!(base, repart);
+    }
+
+    #[test]
+    fn lookup_counters_reflect_dedup() {
+        let cluster = Cluster::builder().nodes(2).map_slots(1).reduce_slots(1).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 100_000,
+                replication: 1,
+                seed: 3,
+            },
+        );
+        let records: Vec<Record> = (0..100i64).map(|i| Record::new(i, "x")).collect();
+        dfs.write_file("in", records);
+
+        // Baseline: 100 lookups. Repartition: one per distinct key (10).
+        for (strategy, expected_lookups) in [(Strategy::Baseline, 100), (Strategy::Repartition, 10)]
+        {
+            let (ijob, plans) = sample_ijob(strategy);
+            let compiled = compile_pipeline(&ijob, &plans, &env()).unwrap();
+            let mut t = SimTime::ZERO;
+            let mut lookups = 0i64;
+            for job in &compiled.jobs {
+                let res = Runner::new(&cluster, &mut dfs).run(job, t).unwrap();
+                t = res.stats.finished;
+                lookups += res.stats.counters.get("efind.enrich.0.lookups");
+            }
+            assert_eq!(lookups, expected_lookups, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn cache_counters_present() {
+        let cluster = Cluster::builder().nodes(2).map_slots(1).reduce_slots(1).build();
+        let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+        let records: Vec<Record> = (0..100i64).map(|i| Record::new(i, "x")).collect();
+        dfs.write_file("in", records);
+        let (ijob, plans) = sample_ijob(Strategy::Cache);
+        let compiled = compile_pipeline(&ijob, &plans, &env()).unwrap();
+        let res = Runner::new(&cluster, &mut dfs)
+            .run(&compiled.jobs[0], SimTime::ZERO)
+            .unwrap();
+        let c = &res.stats.counters;
+        assert_eq!(c.get("efind.enrich.0.cache.probes"), 100);
+        // 10 distinct keys in one task: 90 hits.
+        assert_eq!(c.get("efind.enrich.0.cache.hits"), 90);
+        assert_eq!(c.get("efind.enrich.0.lookups"), 10);
+        assert_eq!(c.get("efind.enrich.n1"), 100);
+        assert!(c.get("efind.enrich.spre.bytes") > 0);
+        assert!(c.get("efind.enrich.spost.bytes") > 0);
+        assert!(c.get(names::MAPOUT_BYTES) > 0);
+    }
+
+    #[test]
+    fn index_locality_without_scheme_is_rejected() {
+        let (ijob, mut plans) = sample_ijob(Strategy::Baseline);
+        // Force index locality despite MemIndex exposing no scheme.
+        plans.get_mut("enrich").unwrap().choices[0].strategy = Strategy::IndexLocality;
+        assert!(compile_pipeline(&ijob, &plans, &env()).is_err());
+    }
+
+    #[test]
+    fn missing_plan_is_an_error() {
+        let (ijob, _) = sample_ijob(Strategy::Baseline);
+        let empty = FxHashMap::default();
+        assert!(compile_pipeline(&ijob, &empty, &env()).is_err());
+    }
+}

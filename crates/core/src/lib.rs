@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # EFind — Efficient and Flexible Index Access in MapReduce
+//!
+//! Reproduction of Ma, Cao, Feng, Chen, Wang, *Efficient and Flexible Index
+//! Access in MapReduce*, EDBT 2014. EFind is a connection layer between
+//! MapReduce and arbitrary "indices" — any side data source that supports
+//! selective access: KV stores, B-trees, spatial indices, remote cloud
+//! services, even dynamic computation-based knowledge bases.
+//!
+//! ## Programming interface (§2)
+//!
+//! * [`IndexAccessor`] — implemented once per index *type*; its `lookup`
+//!   answers a key with a list of values.
+//! * [`IndexOperator`] — job-specific customization: `pre_process` extracts
+//!   per-index key lists from a record, `post_process` combines lookup
+//!   results into output records.
+//! * [`IndexJobConf`] — places operators before Map (*head*), between Map
+//!   and Reduce (*body*), or after Reduce (*tail*) and submits the enhanced
+//!   job.
+//!
+//! ## Index access strategies (§3)
+//!
+//! [`Strategy`] covers the paper's four: **Baseline** (chained functions,
+//! every lookup remote), **Cache** (per-task LRU removing local
+//! redundancy), **Repartition** (an extra shuffle job grouping equal keys,
+//! removing global redundancy), and **IndexLocality** (shuffle
+//! co-partitioned with the index plus affinity scheduling, making lookups
+//! local). The cost model of Table 1 / Eqs. 1–4 lives in [`cost`]; the
+//! multi-index planning algorithms *FullEnumerate* and *k-Repart* live in
+//! [`plan`].
+//!
+//! ## Adaptive optimization (§4)
+//!
+//! [`EFindRuntime`] runs an enhanced job in one of four [`Mode`]s. In
+//! `Dynamic` mode it starts with the baseline plan, harvests counters and
+//! FM sketches from the first map wave, gates on cross-task variance,
+//! re-optimizes (Algorithm 1), and — when the predicted gain exceeds the
+//! plan-change cost — switches plans mid-job, reusing the completed wave's
+//! outputs (Fig. 10).
+
+pub mod accessor;
+pub mod adaptive;
+pub mod cache;
+pub mod carrier;
+pub mod compile;
+pub mod cost;
+pub mod jobconf;
+pub mod operator;
+pub mod plan;
+pub mod runtime;
+pub mod statsx;
+
+pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, PartitionScheme};
+pub use cache::LookupCache;
+pub use cost::{CostEnv, IndexStatsEstimate, OperatorStatsEstimate, Placement};
+pub use jobconf::{BoundOperator, IndexJobConf};
+pub use operator::{operator_fn, IndexInput, IndexOperator, IndexOutput};
+pub use plan::{Enumeration, OperatorPlan, Strategy};
+pub use runtime::{EFindConfig, EFindJobResult, EFindRuntime, Mode};
+pub use statsx::Catalog;

@@ -1,0 +1,202 @@
+//! The index operator interface.
+//!
+//! Mirrors Figure 2: an `IndexOperator` customizes index access at one
+//! point in a MapReduce data flow. `pre_process` takes `(k1, v1)`, extracts
+//! one key list per index, and may rewrite the record (projection);
+//! `post_process` combines the lookup results into `(k2, v2)` outputs,
+//! optionally filtering.
+
+use std::sync::Arc;
+
+use efind_common::{Datum, Record};
+use efind_mapreduce::Collector;
+
+/// Key lists extracted by `pre_process`, one list per index
+/// (the `{{ik_1}, …, {ik_m}}` of Fig. 2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexInput {
+    keys: Vec<Vec<Datum>>,
+}
+
+impl IndexInput {
+    /// Creates key lists for `m` indices.
+    pub fn new(num_indices: usize) -> Self {
+        IndexInput {
+            keys: vec![Vec::new(); num_indices],
+        }
+    }
+
+    /// Adds a lookup key for index `j` (the paper's `iklist.put(j, key)`).
+    pub fn put(&mut self, index: usize, key: impl Into<Datum>) {
+        self.keys[index].push(key.into());
+    }
+
+    /// Number of indices.
+    pub fn num_indices(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Keys extracted for index `j`.
+    pub fn keys(&self, index: usize) -> &[Datum] {
+        &self.keys[index]
+    }
+
+    /// Consumes the input, returning the per-index key lists.
+    pub fn into_keys(self) -> Vec<Vec<Datum>> {
+        self.keys
+    }
+}
+
+/// Lookup results handed to `post_process`: for each index, one value list
+/// per extracted key (the `{{ik_1},{iv_1},…` of Fig. 2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexOutput {
+    values: Vec<Vec<Vec<Datum>>>,
+}
+
+impl IndexOutput {
+    /// Wraps per-index, per-key value lists.
+    pub fn new(values: Vec<Vec<Vec<Datum>>>) -> Self {
+        IndexOutput { values }
+    }
+
+    /// All value lists for index `j`, one per extracted key.
+    pub fn get(&self, index: usize) -> &[Vec<Datum>] {
+        &self.values[index]
+    }
+
+    /// The value list of the first key of index `j` — the common case when
+    /// `pre_process` extracts exactly one key (like the paper's
+    /// `indexValues.get(0).getAll()[0]` idiom).
+    pub fn first(&self, index: usize) -> &[Datum] {
+        self.values[index].first().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indices.
+    pub fn num_indices(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Job-specific index access customization at one data-flow point.
+pub trait IndexOperator: Send + Sync {
+    /// Stable name used in counters, plans, and reports.
+    fn name(&self) -> &str;
+
+    /// Number of indices this operator accesses (`m`).
+    fn num_indices(&self) -> usize;
+
+    /// Extracts per-index lookup keys from `(k1, v1)` and may rewrite the
+    /// record in place (e.g. project away fields that are no longer
+    /// needed, shrinking everything downstream).
+    fn pre_process(&self, rec: &mut Record, keys: &mut IndexInput);
+
+    /// Combines the index lookup results with the (possibly rewritten)
+    /// record into zero or more `(k2, v2)` outputs.
+    fn post_process(&self, rec: Record, values: &IndexOutput, out: &mut dyn Collector);
+}
+
+struct FnOperator<P, Q> {
+    name: String,
+    num_indices: usize,
+    pre: P,
+    post: Q,
+}
+
+impl<P, Q> IndexOperator for FnOperator<P, Q>
+where
+    P: Fn(&mut Record, &mut IndexInput) + Send + Sync,
+    Q: Fn(Record, &IndexOutput, &mut dyn Collector) + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_indices(&self) -> usize {
+        self.num_indices
+    }
+    fn pre_process(&self, rec: &mut Record, keys: &mut IndexInput) {
+        (self.pre)(rec, keys)
+    }
+    fn post_process(&self, rec: Record, values: &IndexOutput, out: &mut dyn Collector) {
+        (self.post)(rec, values, out)
+    }
+}
+
+/// Builds an [`IndexOperator`] from two closures — the lightweight way to
+/// express the paper's `UserProfileIndexOperator`-style classes.
+pub fn operator_fn<P, Q>(
+    name: &str,
+    num_indices: usize,
+    pre: P,
+    post: Q,
+) -> Arc<dyn IndexOperator>
+where
+    P: Fn(&mut Record, &mut IndexInput) + Send + Sync + 'static,
+    Q: Fn(Record, &IndexOutput, &mut dyn Collector) + Send + Sync + 'static,
+{
+    Arc::new(FnOperator {
+        name: name.to_owned(),
+        num_indices,
+        pre,
+        post,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_input_collects_per_index() {
+        let mut input = IndexInput::new(2);
+        input.put(0, 1i64);
+        input.put(1, "a");
+        input.put(1, "b");
+        assert_eq!(input.num_indices(), 2);
+        assert_eq!(input.keys(0), &[Datum::Int(1)]);
+        assert_eq!(input.keys(1).len(), 2);
+    }
+
+    #[test]
+    fn index_output_accessors() {
+        let out = IndexOutput::new(vec![
+            vec![vec![Datum::Int(10)]],
+            vec![],
+        ]);
+        assert_eq!(out.first(0), &[Datum::Int(10)]);
+        assert_eq!(out.first(1), &[] as &[Datum]);
+        assert_eq!(out.get(0).len(), 1);
+    }
+
+    #[test]
+    fn fn_operator_roundtrip() {
+        let op = operator_fn(
+            "enrich",
+            1,
+            |rec, keys| {
+                keys.put(0, rec.key.clone());
+                rec.value = Datum::Null; // projection
+            },
+            |rec, values, out| {
+                let looked = values.first(0).first().cloned().unwrap_or(Datum::Null);
+                out.collect(Record {
+                    key: rec.key,
+                    value: looked,
+                });
+            },
+        );
+        assert_eq!(op.name(), "enrich");
+        assert_eq!(op.num_indices(), 1);
+
+        let mut rec = Record::new(7i64, "payload");
+        let mut keys = IndexInput::new(1);
+        op.pre_process(&mut rec, &mut keys);
+        assert_eq!(keys.keys(0), &[Datum::Int(7)]);
+        assert!(rec.value.is_null());
+
+        let values = IndexOutput::new(vec![vec![vec![Datum::Text("hit".into())]]]);
+        let mut out: Vec<Record> = Vec::new();
+        op.post_process(rec, &values, &mut out);
+        assert_eq!(out, vec![Record::new(7i64, "hit")]);
+    }
+}

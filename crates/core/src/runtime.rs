@@ -1,0 +1,490 @@
+//! The EFind runtime (Fig. 8): plan selection, plan implementation, and
+//! execution of enhanced jobs.
+
+use efind_common::{Error, FxHashMap, Result};
+use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_dfs::{Dfs, DfsFile};
+use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
+
+use crate::compile::{compile_pipeline, RuntimeEnv};
+use crate::cost::CostEnv;
+use crate::jobconf::IndexJobConf;
+use crate::plan::{forced_plan, optimize_operator, Enumeration, OperatorPlan, Strategy};
+use crate::statsx::Catalog;
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct EFindConfig {
+    /// Lookup cache capacity (paper: 1024 entries).
+    pub cache_capacity: usize,
+    /// Cache probe time `T_cache`.
+    pub t_cache: SimDuration,
+    /// Algorithm 1's statistics-variance gate: re-optimize only if
+    /// cross-task `stddev/mean` of key counters stays below this. The
+    /// paper suggests 0.05 on 64 MB splits; the scaled-down default is
+    /// looser because small splits are noisier.
+    pub variance_threshold: f64,
+    /// Modeled overhead of switching plans mid-job (job resubmission,
+    /// scheduling, reading reused outputs), in wall-clock seconds. The
+    /// default matches the scaled-down reproduction's job durations; a
+    /// production Hadoop deployment would set seconds here.
+    pub plan_change_cost_secs: f64,
+    /// Multi-index planning algorithm.
+    pub enumeration: Enumeration,
+    /// Reducer count for shuffling jobs (`None` = all reduce slots).
+    pub shuffle_reducers: Option<usize>,
+    /// Keep intermediate DFS files after the job (for inspection).
+    pub keep_intermediates: bool,
+    /// Hard co-location for index-locality reduce tasks. The paper keeps
+    /// affinity *soft* (footnote 3: pinning a reducer to one machine lets
+    /// that machine's unavailability stall the job); this switch exists
+    /// for the experiment that demonstrates why.
+    pub hard_colocation: bool,
+    /// Fixed wall-clock overhead the planner charges per *extra* MapReduce
+    /// job a shuffle strategy introduces (startup, phase barriers, the
+    /// follow-up job's fixed latency) — the reason "it is rare that such
+    /// strategies are chosen by many indices" (§3.5). Scaled to the
+    /// reproduction's virtual job durations; Hadoop deployments would use
+    /// tens of seconds.
+    pub job_overhead_secs: f64,
+}
+
+impl Default for EFindConfig {
+    fn default() -> Self {
+        EFindConfig {
+            cache_capacity: 1024,
+            t_cache: SimDuration::from_micros(1),
+            variance_threshold: 0.5,
+            plan_change_cost_secs: 0.05,
+            enumeration: Enumeration::Full,
+            shuffle_reducers: None,
+            keep_intermediates: false,
+            hard_colocation: false,
+            job_overhead_secs: 0.02,
+        }
+    }
+}
+
+/// How the runtime chooses index access strategies.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Force one strategy on every operator (with graceful fallbacks) —
+    /// the `Base`/`Cache`/`Repart`/`Idxloc` configurations of §5.
+    Uniform(Strategy),
+    /// Per-operator forced strategies (unlisted operators default to
+    /// `Cache`, matching the paper's multi-join methodology).
+    Manual(FxHashMap<String, Strategy>),
+    /// Cost-based optimization from catalog statistics (§5's `Optimized`;
+    /// requires statistics from a previous run).
+    Optimized,
+    /// Adaptive optimization from scratch (§4, §5's `Dynamic`): start with
+    /// baseline, collect statistics in the first map wave, re-optimize.
+    Dynamic,
+}
+
+/// Result of an EFind-enhanced job.
+#[derive(Clone, Debug)]
+pub struct EFindJobResult {
+    /// Final DFS output.
+    pub output: DfsFile,
+    /// Total virtual wall-clock across all constituent MapReduce jobs.
+    pub total_time: SimDuration,
+    /// Statistics of each executed MapReduce job, in order.
+    pub jobs: Vec<JobStats>,
+    /// The plan used for each operator (final plan if re-planned).
+    pub plans: Vec<(String, OperatorPlan)>,
+    /// True if the adaptive runtime changed plans mid-job.
+    pub replanned: bool,
+}
+
+/// Executes EFind-enhanced jobs on a simulated cluster.
+///
+/// ```
+/// use std::sync::Arc;
+/// use efind::*;
+/// use efind_common::{Datum, Record};
+/// use efind_cluster::{Cluster, SimDuration};
+/// use efind_dfs::{Dfs, DfsConfig};
+/// use efind_mapreduce::{mapper_fn, reducer_fn};
+///
+/// // A trivial index: id → id * 10.
+/// struct TimesTen;
+/// impl IndexAccessor for TimesTen {
+///     fn name(&self) -> &str { "times-ten" }
+///     fn lookup(&self, key: &Datum) -> Vec<Datum> {
+///         key.as_int().map(|v| vec![Datum::Int(v * 10)]).unwrap_or_default()
+///     }
+///     fn serve_time(&self, _: &Datum, _: u64) -> SimDuration {
+///         SimDuration::from_micros(100)
+///     }
+/// }
+///
+/// let cluster = Cluster::builder().nodes(2).build();
+/// let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+/// dfs.write_file("in", (0..100i64).map(|i| Record::new(i, i % 7)).collect());
+///
+/// let op = operator_fn(
+///     "enrich", 1,
+///     |rec, keys| keys.put(0, rec.value.clone()),            // preProcess
+///     |rec, values, out| {                                   // postProcess
+///         let v = values.first(0).first().cloned().unwrap_or(Datum::Null);
+///         out.collect(Record { key: v, value: rec.key });
+///     },
+/// );
+/// let ijob = IndexJobConf::new("demo", "in", "out")
+///     .add_head_index_operator(BoundOperator::new(op).add_index(Arc::new(TimesTen)))
+///     .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+///     .set_reducer(reducer_fn(|key, values, out, _| {
+///         out.collect(Record::new(key, values.len() as i64));
+///     }), 2);
+///
+/// let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+/// let res = rt.run(&ijob, Mode::Uniform(Strategy::Cache)).unwrap();
+/// assert_eq!(res.output.total_records(), 7);
+/// ```
+pub struct EFindRuntime<'a> {
+    /// The cluster.
+    pub cluster: &'a Cluster,
+    /// The distributed file system.
+    pub dfs: &'a mut Dfs,
+    /// Runtime configuration.
+    pub config: EFindConfig,
+    /// Statistics catalog persisted across jobs.
+    pub catalog: Catalog,
+}
+
+impl<'a> EFindRuntime<'a> {
+    /// Creates a runtime with default configuration.
+    pub fn new(cluster: &'a Cluster, dfs: &'a mut Dfs) -> Self {
+        Self::with_config(cluster, dfs, EFindConfig::default())
+    }
+
+    /// Creates a runtime with explicit configuration.
+    pub fn with_config(cluster: &'a Cluster, dfs: &'a mut Dfs, config: EFindConfig) -> Self {
+        EFindRuntime {
+            cluster,
+            dfs,
+            config,
+            catalog: Catalog::new(),
+        }
+    }
+
+    /// The cost-model environment derived from the cluster and DFS models.
+    pub fn cost_env(&self) -> CostEnv {
+        let n = self.cluster.num_nodes() as f64;
+        // One extra-shuffle byte pays: map-side spill (disk write), the
+        // remote fraction of the transfer, and the reduce-side merge
+        // (disk write + read) — mirroring what the runner charges.
+        let probe = 1u64 << 20;
+        let shuffle_secs_per_byte = (self.cluster.disk.write(probe).as_secs_f64() * 2.0
+            + self.cluster.disk.read(probe).as_secs_f64()
+            + self.cluster.network.volume(probe).as_secs_f64() * (n - 1.0) / n)
+            / probe as f64;
+        CostEnv {
+            bw_bytes_per_sec: self.cluster.network.bandwidth_bytes_per_sec,
+            f_per_byte: self.dfs.f_per_byte(),
+            t_cache_secs: self.config.t_cache.as_secs_f64(),
+            lookup_latency_secs: self.cluster.network.latency.as_secs_f64(),
+            shuffle_secs_per_byte,
+            job_overhead_secs: self.config.job_overhead_secs,
+            reduce_parallelism: self
+                .config
+                .shuffle_reducers
+                .unwrap_or_else(|| self.cluster.total_reduce_slots())
+                .min(self.cluster.total_reduce_slots()) as f64,
+            parallelism: self.cluster.total_map_slots() as f64,
+        }
+    }
+
+    pub(crate) fn runtime_env(&self) -> RuntimeEnv {
+        RuntimeEnv {
+            network: self.cluster.network,
+            t_cache: self.config.t_cache,
+            cache_capacity: self.config.cache_capacity,
+            shuffle_reducers: self
+                .config
+                .shuffle_reducers
+                .unwrap_or_else(|| self.cluster.total_reduce_slots()),
+            intermediate_chunks: self.cluster.total_map_slots() * 2,
+            hard_colocation: self.config.hard_colocation,
+        }
+    }
+
+    /// Computes the per-operator plans for a mode (except `Dynamic`, whose
+    /// plans emerge during execution).
+    pub fn plans_for(
+        &self,
+        ijob: &IndexJobConf,
+        mode: &Mode,
+    ) -> Result<FxHashMap<String, OperatorPlan>> {
+        let mut plans = FxHashMap::default();
+        match mode {
+            Mode::Uniform(strategy) => {
+                for (bound, _) in ijob.operators() {
+                    plans.insert(bound.op.name().to_owned(), forced_plan(&bound.caps(), *strategy));
+                }
+            }
+            Mode::Manual(per_op) => {
+                for (bound, _) in ijob.operators() {
+                    let s = per_op.get(bound.op.name()).copied().unwrap_or(Strategy::Cache);
+                    plans.insert(bound.op.name().to_owned(), forced_plan(&bound.caps(), s));
+                }
+            }
+            Mode::Optimized => {
+                let env = self.cost_env();
+                for (bound, placement) in ijob.operators() {
+                    let name = bound.op.name();
+                    let mut stats = self
+                        .catalog
+                        .get(name)
+                        .ok_or_else(|| {
+                            Error::InvalidConfig(format!(
+                                "no catalog statistics for operator {name}; run the job once \
+                                 (any mode) or use Mode::Dynamic"
+                            ))
+                        })?
+                        .clone();
+                    // Partition-scheme availability is structural, not
+                    // statistical — refresh it from the bound accessors.
+                    for (j, (_, scheme)) in bound.caps().iter().enumerate() {
+                        if let Some(idx) = stats.indices.get_mut(j) {
+                            idx.has_partition_scheme = *scheme;
+                        }
+                    }
+                    plans.insert(
+                        name.to_owned(),
+                        optimize_operator(&stats, &env, placement, self.config.enumeration),
+                    );
+                }
+            }
+            Mode::Dynamic => {
+                return Err(Error::Internal(
+                    "Dynamic plans are computed during execution".into(),
+                ))
+            }
+        }
+        // Volatile operators (non-idempotent lookups, §3.2) are pinned to
+        // the baseline strategy regardless of mode: caching or
+        // deduplicating their lookups would change results.
+        for (bound, _) in ijob.operators() {
+            if bound.volatile {
+                plans.insert(
+                    bound.op.name().to_owned(),
+                    forced_plan(&bound.caps(), Strategy::Baseline),
+                );
+            }
+        }
+        Ok(plans)
+    }
+
+    /// Runs an enhanced job.
+    pub fn run(&mut self, ijob: &IndexJobConf, mode: Mode) -> Result<EFindJobResult> {
+        ijob.validate()?;
+        match mode {
+            Mode::Dynamic => crate::adaptive::run_dynamic(self, ijob),
+            other => {
+                let plans = self.plans_for(ijob, &other)?;
+                self.run_with_plans(ijob, plans, false)
+            }
+        }
+    }
+
+    /// Compiles and executes the pipeline for fixed plans.
+    pub(crate) fn run_with_plans(
+        &mut self,
+        ijob: &IndexJobConf,
+        plans: FxHashMap<String, OperatorPlan>,
+        replanned: bool,
+    ) -> Result<EFindJobResult> {
+        let compiled = compile_pipeline(ijob, &plans, &self.runtime_env())?;
+        let mut t = SimTime::ZERO;
+        let mut jobs = Vec::with_capacity(compiled.jobs.len());
+        let mut output: Option<DfsFile> = None;
+        for conf in &compiled.jobs {
+            let res = Runner::new(self.cluster, self.dfs).run(conf, t)?;
+            t = res.stats.finished;
+            jobs.push(res.stats);
+            output = Some(res.output);
+        }
+        self.absorb_stats(ijob, &jobs);
+        if !self.config.keep_intermediates {
+            for tmp in &compiled.temp_files {
+                self.dfs.delete(tmp);
+            }
+        }
+        let output = output.ok_or_else(|| Error::Internal("pipeline produced no jobs".into()))?;
+        Ok(EFindJobResult {
+            output,
+            total_time: t.since(SimTime::ZERO),
+            jobs,
+            plans: plans.into_iter().collect(),
+            replanned,
+        })
+    }
+
+    /// Harvests operator statistics from executed jobs into the catalog.
+    pub(crate) fn absorb_stats(&mut self, ijob: &IndexJobConf, jobs: &[JobStats]) {
+        let mut counters = Counters::new();
+        let mut sketches = Sketches::new();
+        for j in jobs {
+            counters.merge(&j.counters);
+            sketches.merge(&j.sketches);
+        }
+        self.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accessor::testutil::MemIndex;
+    use crate::jobconf::BoundOperator;
+    use crate::operator::{operator_fn, IndexInput, IndexOutput};
+    use efind_common::{Datum, Record};
+    use efind_dfs::DfsConfig;
+    use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
+    use std::sync::Arc;
+
+    fn setup(n_records: i64, distinct: i64) -> (Cluster, Dfs, IndexJobConf) {
+        let cluster = Cluster::builder().nodes(4).map_slots(2).reduce_slots(2).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 1024,
+                replication: 2,
+                seed: 5,
+            },
+        );
+        let records: Vec<Record> = (0..n_records)
+            .map(|i| Record::new(i, Datum::Int(i % distinct)))
+            .collect();
+        dfs.write_file("in", records);
+
+        let index = Arc::new(MemIndex::new(
+            "vals",
+            (0..distinct)
+                .map(|i| (Datum::Int(i), vec![Datum::Text(format!("v{i}"))]))
+                .collect(),
+        ));
+        let op = operator_fn(
+            "join",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| {
+                keys.put(0, rec.value.clone());
+            },
+            |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
+                let v = values.first(0).first().cloned().unwrap_or(Datum::Null);
+                out.collect(Record { key: v, value: rec.key });
+            },
+        );
+        let ijob = IndexJobConf::new("test", "in", "out")
+            .add_head_index_operator(BoundOperator::new(op).add_index(index))
+            .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+            .set_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                2,
+            );
+        (cluster, dfs, ijob)
+    }
+
+    fn sorted_output(dfs: &Dfs) -> Vec<Record> {
+        let mut out = dfs.read_file("out").unwrap();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn all_static_modes_agree_on_output() {
+        let mut outputs = Vec::new();
+        for strategy in [Strategy::Baseline, Strategy::Cache, Strategy::Repartition] {
+            let (cluster, mut dfs, ijob) = setup(200, 10);
+            let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+            rt.run(&ijob, Mode::Uniform(strategy)).unwrap();
+            outputs.push(sorted_output(&dfs));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0].len(), 10);
+    }
+
+    #[test]
+    fn optimized_requires_catalog_then_works() {
+        let (cluster, mut dfs, ijob) = setup(200, 10);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        assert!(rt.run(&ijob, Mode::Optimized).is_err());
+        rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let baseline_out = sorted_output(rt.dfs);
+        let res = rt.run(&ijob, Mode::Optimized).unwrap();
+        assert_eq!(sorted_output(rt.dfs), baseline_out);
+        assert_eq!(res.plans.len(), 1);
+    }
+
+    #[test]
+    fn cache_strategy_is_faster_on_redundant_keys() {
+        let (cluster, mut dfs, ijob) = setup(400, 5);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        let base = rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let cache = rt.run(&ijob, Mode::Uniform(Strategy::Cache)).unwrap();
+        assert!(
+            cache.total_time < base.total_time,
+            "cache {} vs base {}",
+            cache.total_time,
+            base.total_time
+        );
+    }
+
+    #[test]
+    fn manual_mode_defaults_to_cache() {
+        let (cluster, mut dfs, ijob) = setup(100, 10);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        let res = rt
+            .run(&ijob, Mode::Manual(FxHashMap::default()))
+            .unwrap();
+        assert_eq!(res.plans[0].1.choices[0].strategy, Strategy::Cache);
+    }
+
+    #[test]
+    fn intermediates_cleaned_up() {
+        let (cluster, mut dfs, ijob) = setup(100, 10);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        rt.run(&ijob, Mode::Uniform(Strategy::Repartition)).unwrap();
+        assert!(!rt.dfs.exists("test.tmp0"));
+    }
+
+    #[test]
+    fn volatile_operators_are_pinned_to_baseline() {
+        // A non-idempotent index (a counter posing as a lookup) must
+        // never be cached or deduplicated, whatever the mode asks for.
+        let (cluster, mut dfs, mut ijob) = setup(200, 10);
+        ijob.head[0].volatile = true;
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        for mode in [
+            Mode::Uniform(Strategy::Cache),
+            Mode::Uniform(Strategy::Repartition),
+            Mode::Dynamic,
+        ] {
+            let res = rt.run(&ijob, mode).unwrap();
+            let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
+            assert!(
+                plan.choices.iter().all(|c| c.strategy == Strategy::Baseline),
+                "volatile operator must stay baseline: {plan:?}"
+            );
+        }
+        // Optimized mode too (statistics exist from the runs above).
+        let res = rt.run(&ijob, Mode::Optimized).unwrap();
+        let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
+        assert!(plan.choices.iter().all(|c| c.strategy == Strategy::Baseline));
+    }
+
+    #[test]
+    fn catalog_populated_after_run() {
+        let (cluster, mut dfs, ijob) = setup(100, 10);
+        let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+        rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+        let stats = rt.catalog.get("join").unwrap();
+        assert!((stats.n1 - 100.0).abs() < 1e-9);
+        assert!((stats.indices[0].nik - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,495 @@
+//! Statistics collection (§4.2): counter naming, extraction into cost-model
+//! estimates, the catalog, and the cross-task variance gate.
+//!
+//! EFind's chain elements write counters under the prefixes
+//! `efind.<operator>.` (operator-level sizes) and
+//! `efind.<operator>.<index>.` (per-index lookup statistics), plus one FM
+//! sketch per index for the distinct key count behind Θ. This module turns
+//! those raw counters into [`OperatorStatsEstimate`]s and keeps them in a
+//! [`Catalog`] across jobs.
+
+use efind_common::FxHashMap;
+use efind_mapreduce::{Counters, Sketches, TaskStats};
+
+use crate::cost::{IndexStatsEstimate, OperatorStatsEstimate};
+
+/// Structural description of an operator, needed to interpret counters.
+#[derive(Clone, Debug)]
+pub struct OpDescriptor {
+    /// Operator name (counter prefix component).
+    pub name: String,
+    /// Number of indices.
+    pub num_indices: usize,
+    /// Whether each index exposes a partition scheme.
+    pub schemes: Vec<bool>,
+    /// Partition count per index (0 = none/unknown).
+    pub partition_counts: Vec<usize>,
+}
+
+/// Counter name helpers — single source of truth for the naming scheme.
+pub mod names {
+    /// Operator-level counter `efind.<op>.<what>`.
+    pub fn op(op: &str, what: &str) -> String {
+        format!("efind.{op}.{what}")
+    }
+
+    /// Index-level counter `efind.<op>.<j>.<what>`.
+    pub fn idx(op: &str, j: usize, what: &str) -> String {
+        format!("efind.{op}.{j}.{what}")
+    }
+
+    /// The per-index charging prefix handed to `ChargedLookup`.
+    pub fn idx_prefix(op: &str, j: usize) -> String {
+        format!("efind.{op}.{j}.")
+    }
+
+    /// Job-level counter for the original Map's output (`Smap`).
+    pub const MAPOUT_RECORDS: &str = "efind.mapout.records";
+    /// Job-level counter for the original Map's output bytes.
+    pub const MAPOUT_BYTES: &str = "efind.mapout.bytes";
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Extracts an operator's statistics from merged counters and sketches.
+/// Returns `None` when the operator processed no input.
+pub fn extract_operator_stats(
+    counters: &Counters,
+    sketches: &Sketches,
+    desc: &OpDescriptor,
+) -> Option<OperatorStatsEstimate> {
+    let n1 = counters.get(&names::op(&desc.name, "n1")) as f64;
+    if n1 <= 0.0 {
+        return None;
+    }
+    let s1 = ratio(counters.get(&names::op(&desc.name, "s1.bytes")) as f64, n1);
+    let spre = ratio(counters.get(&names::op(&desc.name, "spre.bytes")) as f64, n1);
+    let spost = ratio(counters.get(&names::op(&desc.name, "spost.bytes")) as f64, n1);
+    let mapout = counters.get(names::MAPOUT_BYTES) as f64;
+    // Smap per operator input; if the job-level Map counter is absent
+    // (map-only flows) fall back to Spost so min() terms stay meaningful.
+    let smap = if mapout > 0.0 { mapout / n1 } else { spost };
+
+    let mut indices = Vec::with_capacity(desc.num_indices);
+    for j in 0..desc.num_indices {
+        let nik_total = counters.get(&names::idx(&desc.name, j, "nik")) as f64;
+        let lookups = counters.get(&names::idx(&desc.name, j, "lookups")) as f64;
+        let key_bytes = counters.get(&names::idx(&desc.name, j, "key.bytes")) as f64;
+        let siv_bytes = counters.get(&names::idx(&desc.name, j, "siv.bytes")) as f64;
+        let tj_nanos = counters.get(&names::idx(&desc.name, j, "tj.nanos")) as f64;
+        let irregular = counters.get(&names::idx(&desc.name, j, "nik.irregular"));
+
+        // Miss ratio: real cache stats if the cache ran, else the shadow
+        // cache sampled during baseline execution, else assume all-miss.
+        let (probes, hits) = {
+            let cp = counters.get(&names::idx(&desc.name, j, "cache.probes"));
+            if cp > 0 {
+                (cp as f64, counters.get(&names::idx(&desc.name, j, "cache.hits")) as f64)
+            } else {
+                (
+                    counters.get(&names::idx(&desc.name, j, "shadow.probes")) as f64,
+                    counters.get(&names::idx(&desc.name, j, "shadow.hits")) as f64,
+                )
+            }
+        };
+        let miss_ratio = if probes > 0.0 { 1.0 - hits / probes } else { 1.0 };
+
+        let distinct = sketches.estimate(&names::idx(&desc.name, j, "distinct"));
+        let theta = if distinct > 0.0 {
+            (nik_total / distinct).max(1.0)
+        } else {
+            1.0
+        };
+
+        indices.push(IndexStatsEstimate {
+            nik: ratio(nik_total, n1),
+            sik: ratio(key_bytes, nik_total),
+            siv: ratio(siv_bytes, lookups),
+            tj_secs: ratio(tj_nanos, lookups) / 1e9,
+            miss_ratio: miss_ratio.clamp(0.0, 1.0),
+            theta,
+            has_partition_scheme: desc.schemes.get(j).copied().unwrap_or(false),
+            shuffleable: irregular == 0,
+            partitions: desc.partition_counts.get(j).copied().unwrap_or(0),
+        });
+    }
+    Some(OperatorStatsEstimate {
+        n1,
+        s1,
+        spre,
+        spost,
+        smap,
+        indices,
+    })
+}
+
+/// Algorithm 1 lines 1–3: statistics are trusted only if, for every key
+/// counter, the cross-task `stddev/mean` is at most `threshold` (the paper
+/// suggests 0.05; larger values accept noisier workloads).
+pub fn variance_ok(tasks: &[&TaskStats], desc: &OpDescriptor, threshold: f64) -> bool {
+    if tasks.len() < 2 {
+        // A single sample has no variance estimate; trust it (matches the
+        // central-limit argument degenerating gracefully).
+        return true;
+    }
+    let mut counter_names = vec![names::op(&desc.name, "n1")];
+    for j in 0..desc.num_indices {
+        counter_names.push(names::idx(&desc.name, j, "nik"));
+    }
+    for cname in counter_names {
+        let values: Vec<f64> = tasks.iter().map(|t| t.counters.get(&cname) as f64).collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        if mean <= 0.0 {
+            continue;
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        if var.sqrt() / mean > threshold {
+            return false;
+        }
+    }
+    true
+}
+
+/// The statistics catalog (Fig. 8): operator statistics persisted across
+/// jobs, keyed by operator name.
+#[derive(Default)]
+pub struct Catalog {
+    ops: FxHashMap<String, OperatorStatsEstimate>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (replaces) an operator's statistics.
+    pub fn put(&mut self, name: &str, stats: OperatorStatsEstimate) {
+        self.ops.insert(name.to_owned(), stats);
+    }
+
+    /// Fetches an operator's statistics.
+    pub fn get(&self, name: &str) -> Option<&OperatorStatsEstimate> {
+        self.ops.get(name)
+    }
+
+    /// True if statistics exist for every listed operator.
+    pub fn covers<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> bool {
+        names.into_iter().all(|n| self.ops.contains_key(n))
+    }
+
+    /// Harvests statistics for `descs` from merged job counters/sketches.
+    pub fn absorb(&mut self, counters: &Counters, sketches: &Sketches, descs: &[OpDescriptor]) {
+        for desc in descs {
+            if let Some(stats) = extract_operator_stats(counters, sketches, desc) {
+                self.put(&desc.name, stats);
+            }
+        }
+    }
+
+    /// Serializes the catalog to a line-oriented text format, so
+    /// statistics survive across runtimes (the paper's catalog persists
+    /// between jobs, Fig. 8).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut names: Vec<&String> = self.ops.keys().collect();
+        names.sort();
+        let mut s = String::from("efind-catalog v1\n");
+        for name in names {
+            let op = &self.ops[name];
+            let _ = writeln!(
+                s,
+                "op {name} n1={} s1={} spre={} spost={} smap={}",
+                op.n1, op.s1, op.spre, op.spost, op.smap
+            );
+            for idx in &op.indices {
+                let _ = writeln!(
+                    s,
+                    "  idx nik={} sik={} siv={} tj={} miss={} theta={} scheme={} shuffleable={} partitions={}",
+                    idx.nik,
+                    idx.sik,
+                    idx.siv,
+                    idx.tj_secs,
+                    idx.miss_ratio,
+                    idx.theta,
+                    idx.has_partition_scheme,
+                    idx.shuffleable,
+                    idx.partitions,
+                );
+            }
+        }
+        s
+    }
+
+    /// Parses a catalog previously produced by [`Catalog::to_text`].
+    pub fn from_text(text: &str) -> Result<Catalog, efind_common::Error> {
+        use efind_common::Error;
+        let parse_err = |line: &str| Error::Decode(format!("catalog: bad line `{line}`"));
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("efind-catalog v1") => {}
+            other => {
+                return Err(Error::Decode(format!(
+                    "catalog: bad header {other:?}"
+                )))
+            }
+        }
+        fn kv<T: std::str::FromStr>(tok: &str, key: &str) -> Option<T> {
+            tok.strip_prefix(key)
+                .and_then(|s| s.strip_prefix('='))
+                .and_then(|s| s.parse().ok())
+        }
+        let mut catalog = Catalog::new();
+        let mut current: Option<(String, OperatorStatsEstimate)> = None;
+        for line in lines {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("op ") {
+                if let Some((name, op)) = current.take() {
+                    catalog.put(&name, op);
+                }
+                let mut toks = rest.split_whitespace();
+                let name = toks.next().ok_or_else(|| parse_err(line))?.to_owned();
+                let mut op = OperatorStatsEstimate {
+                    n1: 0.0,
+                    s1: 0.0,
+                    spre: 0.0,
+                    spost: 0.0,
+                    smap: 0.0,
+                    indices: Vec::new(),
+                };
+                for tok in toks {
+                    if let Some(v) = kv(tok, "n1") {
+                        op.n1 = v;
+                    } else if let Some(v) = kv(tok, "s1") {
+                        op.s1 = v;
+                    } else if let Some(v) = kv(tok, "spre") {
+                        op.spre = v;
+                    } else if let Some(v) = kv(tok, "spost") {
+                        op.spost = v;
+                    } else if let Some(v) = kv(tok, "smap") {
+                        op.smap = v;
+                    } else {
+                        return Err(parse_err(line));
+                    }
+                }
+                current = Some((name, op));
+            } else if let Some(rest) = trimmed.strip_prefix("idx ") {
+                let (_, op) = current
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line))?;
+                let mut idx = IndexStatsEstimate {
+                    nik: 0.0,
+                    sik: 0.0,
+                    siv: 0.0,
+                    tj_secs: 0.0,
+                    miss_ratio: 1.0,
+                    theta: 1.0,
+                    has_partition_scheme: false,
+                    shuffleable: true,
+                    partitions: 0,
+                };
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = kv(tok, "nik") {
+                        idx.nik = v;
+                    } else if let Some(v) = kv(tok, "sik") {
+                        idx.sik = v;
+                    } else if let Some(v) = kv(tok, "siv") {
+                        idx.siv = v;
+                    } else if let Some(v) = kv(tok, "tj") {
+                        idx.tj_secs = v;
+                    } else if let Some(v) = kv(tok, "miss") {
+                        idx.miss_ratio = v;
+                    } else if let Some(v) = kv(tok, "theta") {
+                        idx.theta = v;
+                    } else if let Some(v) = kv(tok, "scheme") {
+                        idx.has_partition_scheme = v;
+                    } else if let Some(v) = kv(tok, "shuffleable") {
+                        idx.shuffleable = v;
+                    } else if let Some(v) = kv(tok, "partitions") {
+                        idx.partitions = v;
+                    } else {
+                        return Err(parse_err(line));
+                    }
+                }
+                op.indices.push(idx);
+            } else {
+                return Err(parse_err(line));
+            }
+        }
+        if let Some((name, op)) = current.take() {
+            catalog.put(&name, op);
+        }
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efind_common::Datum;
+
+    fn desc() -> OpDescriptor {
+        OpDescriptor {
+            name: "op".into(),
+            num_indices: 1,
+            schemes: vec![true],
+            partition_counts: vec![32],
+        }
+    }
+
+    fn sample_counters() -> (Counters, Sketches) {
+        let mut c = Counters::new();
+        c.add("efind.op.n1", 1000);
+        c.add("efind.op.s1.bytes", 100_000);
+        c.add("efind.op.spre.bytes", 80_000);
+        c.add("efind.op.spost.bytes", 60_000);
+        c.add(names::MAPOUT_BYTES, 40_000);
+        c.add(names::MAPOUT_RECORDS, 1000);
+        c.add("efind.op.0.nik", 1000);
+        c.add("efind.op.0.key.bytes", 9_000);
+        c.add("efind.op.0.lookups", 500);
+        c.add("efind.op.0.siv.bytes", 250_000);
+        c.add("efind.op.0.tj.nanos", 500_000_000);
+        c.add("efind.op.0.cache.probes", 1000);
+        c.add("efind.op.0.cache.hits", 500);
+        let mut s = Sketches::new();
+        for i in 0..200i64 {
+            s.observe("efind.op.0.distinct", &Datum::Int(i));
+        }
+        (c, s)
+    }
+
+    #[test]
+    fn extraction_computes_averages() {
+        let (c, s) = sample_counters();
+        let stats = extract_operator_stats(&c, &s, &desc()).unwrap();
+        assert!((stats.n1 - 1000.0).abs() < 1e-9);
+        assert!((stats.s1 - 100.0).abs() < 1e-9);
+        assert!((stats.spre - 80.0).abs() < 1e-9);
+        assert!((stats.spost - 60.0).abs() < 1e-9);
+        assert!((stats.smap - 40.0).abs() < 1e-9);
+        let idx = &stats.indices[0];
+        assert!((idx.nik - 1.0).abs() < 1e-9);
+        assert!((idx.sik - 9.0).abs() < 1e-9);
+        assert!((idx.siv - 500.0).abs() < 1e-9);
+        assert!((idx.tj_secs - 1.0e-3).abs() < 1e-9);
+        assert!((idx.miss_ratio - 0.5).abs() < 1e-9);
+        // 1000 keys over ~200 distinct → Θ ≈ 5.
+        assert!(idx.theta > 3.0 && idx.theta < 8.0, "theta={}", idx.theta);
+        assert!(idx.shuffleable);
+        assert!(idx.has_partition_scheme);
+    }
+
+    #[test]
+    fn empty_operator_yields_none() {
+        let c = Counters::new();
+        let s = Sketches::new();
+        assert!(extract_operator_stats(&c, &s, &desc()).is_none());
+    }
+
+    #[test]
+    fn irregular_keys_block_shuffle() {
+        let (mut c, s) = sample_counters();
+        c.add("efind.op.0.nik.irregular", 3);
+        let stats = extract_operator_stats(&c, &s, &desc()).unwrap();
+        assert!(!stats.indices[0].shuffleable);
+    }
+
+    #[test]
+    fn shadow_stats_used_when_cache_absent() {
+        let (mut c, s) = sample_counters();
+        // Wipe real cache stats, provide shadow ones.
+        c.add("efind.op.0.cache.probes", -1000);
+        c.add("efind.op.0.cache.hits", -500);
+        c.add("efind.op.0.shadow.probes", 1000);
+        c.add("efind.op.0.shadow.hits", 900);
+        let stats = extract_operator_stats(&c, &s, &desc()).unwrap();
+        assert!((stats.indices[0].miss_ratio - 0.1).abs() < 1e-9);
+    }
+
+    fn task_with(n1: i64) -> TaskStats {
+        let mut counters = Counters::new();
+        counters.add("efind.op.n1", n1);
+        counters.add("efind.op.0.nik", n1);
+        TaskStats {
+            task_id: 0,
+            input_records: 0,
+            input_bytes: 0,
+            output_records: 0,
+            output_bytes: 0,
+            compute_cost: efind_cluster::SimDuration::ZERO,
+            counters,
+            sketches: Sketches::new(),
+        }
+    }
+
+    #[test]
+    fn variance_gate() {
+        let uniform: Vec<TaskStats> = (0..8).map(|_| task_with(100)).collect();
+        let refs: Vec<&TaskStats> = uniform.iter().collect();
+        assert!(variance_ok(&refs, &desc(), 0.05));
+
+        let skewed: Vec<TaskStats> = (0..8).map(|i| task_with(10 + i * 50)).collect();
+        let refs: Vec<&TaskStats> = skewed.iter().collect();
+        assert!(!variance_ok(&refs, &desc(), 0.05));
+        // A permissive threshold accepts the same data.
+        assert!(variance_ok(&refs, &desc(), 10.0));
+    }
+
+    #[test]
+    fn variance_gate_single_task_trusted() {
+        let one = [task_with(5)];
+        let refs: Vec<&TaskStats> = one.iter().collect();
+        assert!(variance_ok(&refs, &desc(), 0.0));
+    }
+
+    #[test]
+    fn catalog_text_roundtrip() {
+        let (c, s) = sample_counters();
+        let mut cat = Catalog::new();
+        cat.absorb(&c, &s, &[desc()]);
+        let text = cat.to_text();
+        let back = Catalog::from_text(&text).unwrap();
+        let a = cat.get("op").unwrap();
+        let b = back.get("op").unwrap();
+        assert_eq!(a.n1, b.n1);
+        assert_eq!(a.spre, b.spre);
+        assert_eq!(a.indices.len(), b.indices.len());
+        assert_eq!(a.indices[0].theta, b.indices[0].theta);
+        assert_eq!(a.indices[0].partitions, b.indices[0].partitions);
+        assert_eq!(a.indices[0].has_partition_scheme, b.indices[0].has_partition_scheme);
+        // Round-trips through text again identically.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn catalog_text_rejects_garbage() {
+        assert!(Catalog::from_text("").is_err());
+        assert!(Catalog::from_text("not a catalog").is_err());
+        assert!(Catalog::from_text("efind-catalog v1\nbogus line").is_err());
+        assert!(Catalog::from_text("efind-catalog v1\n  idx nik=1").is_err()); // idx before op
+        // An empty catalog is fine.
+        assert!(Catalog::from_text("efind-catalog v1\n").is_ok());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let (c, s) = sample_counters();
+        let mut cat = Catalog::new();
+        assert!(!cat.covers(["op"]));
+        cat.absorb(&c, &s, &[desc()]);
+        assert!(cat.covers(["op"]));
+        assert!(cat.get("op").is_some());
+        assert!(cat.get("other").is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the EFind core: LRU cache invariants, cost
+//! model monotonicity, and planner soundness.
+
+use efind::cache::{LookupCache, LruMap, ShadowCache};
+use efind::cost::{
+    cost_baseline, cost_cache, cost_repartition, CostEnv, IndexStatsEstimate,
+    OperatorStatsEstimate, Placement,
+};
+use efind::plan::{optimize_operator, Enumeration, Strategy as AccessStrategy};
+use efind_common::Datum;
+use proptest::prelude::*;
+
+fn env() -> CostEnv {
+    CostEnv {
+        bw_bytes_per_sec: 125.0e6,
+        f_per_byte: 2.0e-8,
+        t_cache_secs: 1.0e-6,
+        lookup_latency_secs: 1.0e-4,
+        shuffle_secs_per_byte: 3.6e-8,
+        job_overhead_secs: 0.0,
+        reduce_parallelism: 48.0,
+        parallelism: 96.0,
+    }
+}
+
+fn arb_index() -> impl Strategy<Value = IndexStatsEstimate> {
+    (
+        0.1f64..4.0,        // nik
+        1.0f64..64.0,       // sik
+        0.0f64..40_000.0,   // siv
+        1.0e-6f64..5.0e-3,  // tj
+        0.0f64..1.0,        // miss ratio
+        1.0f64..100.0,      // theta
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(nik, sik, siv, tj, miss, theta, scheme, shuffleable)| {
+            IndexStatsEstimate {
+                nik,
+                sik,
+                siv,
+                tj_secs: tj,
+                miss_ratio: miss,
+                theta,
+                has_partition_scheme: scheme,
+                shuffleable,
+                partitions: if scheme { 32 } else { 0 },
+            }
+        })
+}
+
+fn arb_op(m: usize) -> impl Strategy<Value = OperatorStatsEstimate> {
+    (
+        1.0f64..1.0e7,
+        proptest::collection::vec(arb_index(), m..=m),
+        1.0f64..4096.0,
+        1.0f64..4096.0,
+        1.0f64..4096.0,
+        1.0f64..4096.0,
+    )
+        .prop_map(|(n1, indices, s1, spre, spost, smap)| OperatorStatsEstimate {
+            n1,
+            s1,
+            spre,
+            spost,
+            smap,
+            indices,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lru_never_exceeds_capacity(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..400), cap in 1usize..64) {
+        let mut lru: LruMap<u32> = LruMap::new(cap);
+        for (k, is_insert) in ops {
+            let key = Datum::Int(k as i64 % 96);
+            if is_insert {
+                lru.insert(key, k as u32);
+            } else {
+                let _ = lru.get(&key);
+            }
+            prop_assert!(lru.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn lru_most_recent_insert_always_hits(keys in proptest::collection::vec(0i64..32, 1..200)) {
+        let mut lru: LruMap<i64> = LruMap::new(4);
+        for (i, k) in keys.iter().enumerate() {
+            lru.insert(Datum::Int(*k), i as i64);
+            prop_assert_eq!(lru.get(&Datum::Int(*k)), Some(&(i as i64)));
+        }
+    }
+
+    #[test]
+    fn shadow_and_real_cache_agree_on_miss_ratio(keys in proptest::collection::vec(0i64..64, 0..500)) {
+        let mut real = LookupCache::new(16);
+        let mut shadow = ShadowCache::new(16);
+        for k in &keys {
+            let key = Datum::Int(*k);
+            shadow.observe(&key);
+            if real.probe(&key).is_none() {
+                real.insert(key, vec![]);
+            }
+        }
+        prop_assert!((real.miss_ratio() - shadow.miss_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_cost_never_above_baseline_plus_probes(op in arb_op(1)) {
+        let env = env();
+        let base = cost_baseline(&env, &op, 0);
+        let cached = cost_cache(&env, &op, 0);
+        let probes = op.n1 * op.indices[0].nik * env.t_cache_secs;
+        prop_assert!(cached <= base + probes + 1e-9);
+    }
+
+    #[test]
+    fn repartition_lookup_savings_monotone_in_theta(op in arb_op(1)) {
+        let env = env();
+        let mut more_dup = op.clone();
+        more_dup.indices[0].theta = op.indices[0].theta * 2.0;
+        let carried = op.spre;
+        let c1 = cost_repartition(&env, &op, 0, Placement::Body, carried);
+        let c2 = cost_repartition(&env, &more_dup, 0, Placement::Body, carried);
+        prop_assert!(c2 <= c1 + 1e-9);
+    }
+
+    #[test]
+    fn planner_output_is_a_permutation(op in arb_op(3)) {
+        let env = env();
+        let plan = optimize_operator(&op, &env, Placement::Body, Enumeration::Full);
+        let mut seen: Vec<usize> = plan.choices.iter().map(|c| c.index).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn planner_respects_capabilities(op in arb_op(3)) {
+        let env = env();
+        let plan = optimize_operator(&op, &env, Placement::Head, Enumeration::Full);
+        for choice in &plan.choices {
+            let idx = &op.indices[choice.index];
+            if choice.strategy == AccessStrategy::IndexLocality {
+                prop_assert!(idx.has_partition_scheme && idx.shuffleable);
+            }
+            if choice.strategy == AccessStrategy::Repartition {
+                prop_assert!(idx.shuffleable);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_property4_shuffles_first(op in arb_op(4)) {
+        let env = env();
+        let plan = optimize_operator(&op, &env, Placement::Body, Enumeration::Full);
+        let mut seen_non_shuffle = false;
+        for choice in &plan.choices {
+            if choice.strategy.is_shuffle() {
+                prop_assert!(!seen_non_shuffle, "shuffle after non-shuffle");
+            } else {
+                seen_non_shuffle = true;
+            }
+        }
+    }
+
+    #[test]
+    fn full_enumerate_never_worse_than_krepart(op in arb_op(3), k in 0usize..4) {
+        let env = env();
+        let full = optimize_operator(&op, &env, Placement::Body, Enumeration::Full);
+        let kr = optimize_operator(&op, &env, Placement::Body, Enumeration::KRepart(k));
+        prop_assert!(full.est_cost_secs <= kr.est_cost_secs + 1e-6);
+    }
+}

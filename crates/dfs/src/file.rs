@@ -1,0 +1,358 @@
+//! File namespace, chunking, and cost accounting.
+
+use efind_common::{fx_hash_bytes, Error, FxHashMap, Record, Result};
+use efind_cluster::{Cluster, NodeId, SimDuration};
+
+use crate::placement::Placement;
+
+/// DFS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DfsConfig {
+    /// Maximum chunk size in bytes. The paper uses 64 MB; scaled-down
+    /// experiments typically set this so inputs split into tens of chunks.
+    pub chunk_size_bytes: u64,
+    /// Number of replicas per chunk (paper: 3).
+    pub replication: usize,
+    /// Placement seed for determinism.
+    pub seed: u64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            chunk_size_bytes: 4 << 20,
+            replication: 3,
+            seed: 0xD_F5,
+        }
+    }
+}
+
+/// Metadata of one stored chunk.
+#[derive(Clone, Debug)]
+pub struct ChunkMeta {
+    /// Index of the chunk within its file.
+    pub index: usize,
+    /// Serialized size of the chunk's records.
+    pub bytes: u64,
+    /// Number of records.
+    pub records: usize,
+    /// Replica hosts.
+    pub hosts: Vec<NodeId>,
+}
+
+/// A lightweight handle describing a stored file.
+#[derive(Clone, Debug)]
+pub struct DfsFile {
+    /// File name in the namespace.
+    pub name: String,
+    /// Chunk metadata in order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl DfsFile {
+    /// Total serialized bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total record count.
+    pub fn total_records(&self) -> usize {
+        self.chunks.iter().map(|c| c.records).sum()
+    }
+}
+
+struct StoredChunk {
+    hosts: Vec<NodeId>,
+    bytes: u64,
+    records: Vec<Record>,
+}
+
+/// The in-memory distributed file system.
+pub struct Dfs {
+    cluster: Cluster,
+    config: DfsConfig,
+    files: FxHashMap<String, Vec<StoredChunk>>,
+}
+
+impl Dfs {
+    /// Creates an empty DFS over `cluster`.
+    pub fn new(cluster: Cluster, config: DfsConfig) -> Self {
+        Dfs {
+            cluster,
+            config,
+            files: FxHashMap::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Writes `records` as `name`, splitting into chunks of at most the
+    /// configured size and placing replicas deterministically.
+    /// Overwrites any existing file of the same name.
+    pub fn write_file(&mut self, name: &str, records: Vec<Record>) -> DfsFile {
+        self.write_file_chunked(name, records, self.config.chunk_size_bytes)
+    }
+
+    /// Writes `records` as `name` targeting approximately `num_chunks`
+    /// equal-size chunks. Used by experiments to control the number of map
+    /// tasks (and hence waves) precisely.
+    pub fn write_file_with_chunks(
+        &mut self,
+        name: &str,
+        records: Vec<Record>,
+        num_chunks: usize,
+    ) -> DfsFile {
+        let total: u64 = records.iter().map(Record::size_bytes).sum();
+        let per_chunk = (total / num_chunks.max(1) as u64).max(1);
+        self.write_file_chunked(name, records, per_chunk)
+    }
+
+    fn write_file_chunked(
+        &mut self,
+        name: &str,
+        records: Vec<Record>,
+        chunk_bytes: u64,
+    ) -> DfsFile {
+        let mut placement = Placement::new(
+            self.cluster.num_nodes(),
+            self.config.seed ^ fx_hash_bytes(name.as_bytes()),
+        );
+        let mut chunks = Vec::new();
+        let mut current = Vec::new();
+        let mut current_bytes = 0u64;
+        let mut flush = |current: &mut Vec<Record>, current_bytes: &mut u64| {
+            if current.is_empty() {
+                return;
+            }
+            chunks.push(StoredChunk {
+                hosts: placement.pick(self.config.replication),
+                bytes: *current_bytes,
+                records: std::mem::take(current),
+            });
+            *current_bytes = 0;
+        };
+        for rec in records {
+            let sz = rec.size_bytes();
+            if current_bytes + sz > chunk_bytes && !current.is_empty() {
+                flush(&mut current, &mut current_bytes);
+            }
+            current_bytes += sz;
+            current.push(rec);
+        }
+        flush(&mut current, &mut current_bytes);
+        // An empty file still exists in the namespace with zero chunks.
+        let meta = DfsFile {
+            name: name.to_owned(),
+            chunks: chunks
+                .iter()
+                .enumerate()
+                .map(|(index, c)| ChunkMeta {
+                    index,
+                    bytes: c.bytes,
+                    records: c.records.len(),
+                    hosts: c.hosts.clone(),
+                })
+                .collect(),
+        };
+        self.files.insert(name.to_owned(), chunks);
+        meta
+    }
+
+    /// Returns the metadata handle of an existing file.
+    pub fn stat(&self, name: &str) -> Result<DfsFile> {
+        let chunks = self
+            .files
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        Ok(DfsFile {
+            name: name.to_owned(),
+            chunks: chunks
+                .iter()
+                .enumerate()
+                .map(|(index, c)| ChunkMeta {
+                    index,
+                    bytes: c.bytes,
+                    records: c.records.len(),
+                    hosts: c.hosts.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Reads the records of one chunk.
+    pub fn read_chunk(&self, name: &str, chunk: usize) -> Result<&[Record]> {
+        let chunks = self
+            .files
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        chunks
+            .get(chunk)
+            .map(|c| c.records.as_slice())
+            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
+    }
+
+    /// Reads a whole file in chunk order.
+    pub fn read_file(&self, name: &str) -> Result<Vec<Record>> {
+        let chunks = self
+            .files
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        Ok(chunks.iter().flat_map(|c| c.records.iter().cloned()).collect())
+    }
+
+    /// Removes a file; removing a missing file is a no-op.
+    pub fn delete(&mut self, name: &str) {
+        self.files.remove(name);
+    }
+
+    /// True if `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Time for a task to durably store `bytes`: a local disk write plus one
+    /// (pipelined) network hop when replication > 1.
+    pub fn store_cost(&self, bytes: u64) -> SimDuration {
+        let mut d = self.cluster.disk.write(bytes);
+        if self.config.replication > 1 {
+            d += self.cluster.network.volume(bytes);
+        }
+        d
+    }
+
+    /// Time to retrieve `bytes` from a local replica.
+    pub fn retrieve_cost_local(&self, bytes: u64) -> SimDuration {
+        self.cluster.disk.read(bytes)
+    }
+
+    /// Time to retrieve `bytes` from a remote replica.
+    pub fn retrieve_cost_remote(&self, bytes: u64) -> SimDuration {
+        self.cluster.disk.read(bytes) + self.cluster.network.transfer(bytes)
+    }
+
+    /// The Table 1 `f` term: average store+retrieve cost per byte, in
+    /// seconds. The retrieve half averages local and remote reads weighted
+    /// by the expected locality of `replication` replicas on this cluster.
+    pub fn f_per_byte(&self) -> f64 {
+        let probe = 1u64 << 20;
+        let store = self.store_cost(probe).as_secs_f64();
+        let p_local =
+            (self.config.replication as f64 / self.cluster.num_nodes() as f64).min(1.0);
+        let retrieve = p_local * self.retrieve_cost_local(probe).as_secs_f64()
+            + (1.0 - p_local) * self.retrieve_cost_remote(probe).as_secs_f64();
+        (store + retrieve) / probe as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efind_common::Datum;
+
+    fn dfs() -> Dfs {
+        Dfs::new(
+            Cluster::edbt_testbed(),
+            DfsConfig {
+                chunk_size_bytes: 1024,
+                replication: 3,
+                seed: 1,
+            },
+        )
+    }
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(i as i64, Datum::Bytes(vec![0u8; 100])))
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = dfs();
+        let data = records(50);
+        let meta = d.write_file("input", data.clone());
+        assert!(meta.chunks.len() > 1, "should split: {}", meta.chunks.len());
+        assert_eq!(meta.total_records(), 50);
+        assert_eq!(d.read_file("input").unwrap(), data);
+    }
+
+    #[test]
+    fn chunks_respect_size_limit() {
+        let mut d = dfs();
+        let meta = d.write_file("input", records(50));
+        for c in &meta.chunks {
+            assert!(c.bytes <= 1024 + 200, "chunk of {} bytes", c.bytes);
+            assert_eq!(c.hosts.len(), 3);
+        }
+    }
+
+    #[test]
+    fn chunk_order_preserved() {
+        let mut d = dfs();
+        let data = records(30);
+        let meta = d.write_file("input", data.clone());
+        let mut collected = Vec::new();
+        for c in &meta.chunks {
+            collected.extend(d.read_chunk("input", c.index).unwrap().iter().cloned());
+        }
+        assert_eq!(collected, data);
+    }
+
+    #[test]
+    fn target_chunk_count() {
+        let mut d = dfs();
+        let meta = d.write_file_with_chunks("input", records(100), 10);
+        assert!(
+            (8..=12).contains(&meta.chunks.len()),
+            "{} chunks",
+            meta.chunks.len()
+        );
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let d = dfs();
+        assert!(d.stat("nope").is_err());
+        assert!(d.read_chunk("nope", 0).is_err());
+        assert!(d.read_file("nope").is_err());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut d = dfs();
+        d.write_file("f", records(10));
+        d.write_file("f", records(2));
+        assert_eq!(d.read_file("f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delete_and_exists() {
+        let mut d = dfs();
+        d.write_file("f", records(1));
+        assert!(d.exists("f"));
+        d.delete("f");
+        assert!(!d.exists("f"));
+        d.delete("f"); // no-op
+    }
+
+    #[test]
+    fn empty_file_is_stattable() {
+        let mut d = dfs();
+        let meta = d.write_file("empty", vec![]);
+        assert_eq!(meta.chunks.len(), 0);
+        assert!(d.exists("empty"));
+        assert_eq!(d.read_file("empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let d = dfs();
+        assert!(d.store_cost(1 << 20) < d.store_cost(1 << 24));
+        assert!(d.retrieve_cost_local(1 << 20) < d.retrieve_cost_remote(1 << 20));
+        let f = d.f_per_byte();
+        assert!(f > 0.0 && f < 1e-6, "f = {f} s/byte");
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Distributed file system simulation.
+//!
+//! Plays the role HDFS plays in the paper's testbed: files are split into
+//! chunks (64 MB, replication 3 in the paper; both configurable here),
+//! chunks are placed on nodes, and MapReduce schedules map tasks near chunk
+//! replicas. The cost of "storing and retrieving a byte from the
+//! distributed file system" is the `f` term of Table 1, used by the
+//! re-partitioning strategy's `Cost_result` (Eq. 3).
+//!
+//! Records are kept in memory — the simulation models *costs*, not
+//! capacity — but chunking, replica placement, and locality are faithful.
+
+pub mod file;
+pub mod placement;
+
+pub use file::{ChunkMeta, Dfs, DfsConfig, DfsFile};

@@ -1,0 +1,89 @@
+//! Replica placement policy.
+//!
+//! HDFS spreads the first replica at the writer and the rest across the
+//! cluster. We have no writer node in the namespace API, so the policy is:
+//! first replica round-robin over nodes (even load), remaining replicas on
+//! random distinct nodes, all deterministic under a seed.
+
+use efind_cluster::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic replica placement.
+#[derive(Debug)]
+pub struct Placement {
+    num_nodes: u16,
+    rng: SmallRng,
+    next_primary: u16,
+}
+
+impl Placement {
+    /// Creates a placement policy over `num_nodes` nodes.
+    pub fn new(num_nodes: u16, seed: u64) -> Self {
+        Placement {
+            num_nodes: num_nodes.max(1),
+            rng: SmallRng::seed_from_u64(seed),
+            next_primary: 0,
+        }
+    }
+
+    /// Picks `replication` distinct hosts for the next chunk (capped at the
+    /// node count).
+    pub fn pick(&mut self, replication: usize) -> Vec<NodeId> {
+        let replication = replication.clamp(1, self.num_nodes as usize);
+        let mut hosts = Vec::with_capacity(replication);
+        hosts.push(NodeId(self.next_primary));
+        self.next_primary = (self.next_primary + 1) % self.num_nodes;
+        while hosts.len() < replication {
+            let candidate = NodeId(self.rng.gen_range(0..self.num_nodes));
+            if !hosts.contains(&candidate) {
+                hosts.push(candidate);
+            }
+        }
+        hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_distinct() {
+        let mut p = Placement::new(12, 7);
+        for _ in 0..100 {
+            let hosts = p.pick(3);
+            assert_eq!(hosts.len(), 3);
+            let mut sorted = hosts.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "{hosts:?}");
+        }
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let mut p = Placement::new(2, 0);
+        assert_eq!(p.pick(3).len(), 2);
+        let mut p1 = Placement::new(1, 0);
+        assert_eq!(p1.pick(3), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn primaries_round_robin() {
+        let mut p = Placement::new(4, 1);
+        let primaries: Vec<u16> = (0..8).map(|_| p.pick(1)[0].0).collect();
+        assert_eq!(primaries, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let runs: Vec<Vec<Vec<NodeId>>> = (0..2)
+            .map(|_| {
+                let mut p = Placement::new(8, 42);
+                (0..10).map(|_| p.pick(3)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the DFS: chunking must preserve content and
+//! order, respect size bounds, and place valid replicas for any input.
+
+use efind_common::{Datum, Record};
+use efind_cluster::Cluster;
+use efind_dfs::{Dfs, DfsConfig};
+use proptest::prelude::*;
+
+fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(
+        (any::<i64>(), proptest::collection::vec(any::<u8>(), 0..120)),
+        0..150,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(k, payload)| Record::new(k, Datum::Bytes(payload)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_read_roundtrip(records in arb_records(), chunk_kb in 1u64..8, replication in 1usize..5) {
+        let cluster = Cluster::builder().nodes(4).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: chunk_kb * 256,
+                replication,
+                seed: 1,
+            },
+        );
+        let meta = dfs.write_file("f", records.clone());
+        prop_assert_eq!(dfs.read_file("f").unwrap(), records.clone());
+        prop_assert_eq!(meta.total_records(), records.len());
+
+        // Chunk-by-chunk reads concatenate to the file.
+        let mut joined = Vec::new();
+        for c in &meta.chunks {
+            prop_assert!(!c.hosts.is_empty());
+            prop_assert!(c.hosts.len() <= replication.min(4));
+            let mut hosts = c.hosts.clone();
+            hosts.sort();
+            hosts.dedup();
+            prop_assert_eq!(hosts.len(), c.hosts.len(), "duplicate replicas");
+            joined.extend(dfs.read_chunk("f", c.index).unwrap().iter().cloned());
+        }
+        prop_assert_eq!(joined, records);
+    }
+
+    #[test]
+    fn chunk_sizes_respect_the_limit(records in arb_records()) {
+        let limit = 1024u64;
+        let cluster = Cluster::builder().nodes(3).build();
+        let mut dfs = Dfs::new(
+            cluster,
+            DfsConfig {
+                chunk_size_bytes: limit,
+                replication: 2,
+                seed: 9,
+            },
+        );
+        let meta = dfs.write_file("f", records.clone());
+        for c in &meta.chunks {
+            // A chunk may exceed the limit only by a single record (a
+            // record is never split).
+            if c.records > 1 {
+                prop_assert!(c.bytes <= limit + 200, "chunk {} bytes", c.bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn target_chunk_counts_are_roughly_honored(records in arb_records(), target in 1usize..20) {
+        prop_assume!(records.len() >= target);
+        let cluster = Cluster::builder().nodes(3).build();
+        let mut dfs = Dfs::new(cluster, DfsConfig::default());
+        let meta = dfs.write_file_with_chunks("f", records.clone(), target);
+        // Equal-size records split near the target; arbitrary ones within 2×.
+        prop_assert!(meta.chunks.len() <= target * 2 + 1);
+        prop_assert_eq!(dfs.read_file("f").unwrap(), records);
+    }
+}

@@ -1,0 +1,477 @@
+//! A compressed bitmap index.
+//!
+//! §1 motivates index-based joins "using bitmap indices", citing O'Neil's
+//! Model 204. This module provides the substrate: a word-aligned-hybrid
+//! (WAH-style) compressed bitmap — literal 63-bit words interleaved with
+//! run-length fill words — and a bitmap index mapping low-cardinality
+//! column values to row-id bitmaps, with membership probes exposed through
+//! the EFind accessor interface.
+
+use std::sync::Arc;
+
+use efind::{IndexAccessor, PartitionScheme};
+use efind_common::{fx_hash_datum, Datum, FxHashMap};
+use efind_cluster::{Cluster, NodeId, SimDuration};
+
+const BITS: u64 = 63;
+const FILL_FLAG: u64 = 1 << 63;
+const FILL_VALUE: u64 = 1 << 62;
+const FILL_COUNT_MASK: u64 = FILL_VALUE - 1;
+const LITERAL_MASK: u64 = (1 << BITS) - 1;
+
+/// A WAH-style compressed bitmap over row ids, built in ascending order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompressedBitmap {
+    /// Literal words (63 payload bits) and fill words
+    /// (`FILL_FLAG | value<<62 | count`).
+    words: Vec<u64>,
+    /// The partially filled trailing literal word.
+    tail: u64,
+    /// Index of the word the tail belongs to.
+    tail_word: u64,
+    /// Number of set bits.
+    ones: u64,
+}
+
+impl CompressedBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a bitmap from ascending, distinct row ids.
+    pub fn from_sorted(rows: impl IntoIterator<Item = u64>) -> Self {
+        let mut b = Self::new();
+        for r in rows {
+            b.push(r);
+        }
+        b
+    }
+
+    fn flush_through(&mut self, word: u64) {
+        // Emit the current tail, then zero-fill up to (excluding) `word`.
+        debug_assert!(word >= self.tail_word);
+        if word == self.tail_word {
+            return;
+        }
+        self.emit_literal(self.tail);
+        self.tail = 0;
+        let zero_words = word - self.tail_word - 1;
+        if zero_words > 0 {
+            self.emit_fill(false, zero_words);
+        }
+        self.tail_word = word;
+    }
+
+    fn emit_literal(&mut self, literal: u64) {
+        if literal == 0 {
+            self.emit_fill(false, 1);
+        } else if literal == LITERAL_MASK {
+            self.emit_fill(true, 1);
+        } else {
+            self.words.push(literal);
+        }
+    }
+
+    fn emit_fill(&mut self, value: bool, count: u64) {
+        if count == 0 {
+            return;
+        }
+        // Merge with a preceding fill of the same polarity.
+        if let Some(last) = self.words.last_mut() {
+            if *last & FILL_FLAG != 0 {
+                let last_value = *last & FILL_VALUE != 0;
+                if last_value == value {
+                    let merged = (*last & FILL_COUNT_MASK) + count;
+                    *last = FILL_FLAG | if value { FILL_VALUE } else { 0 } | merged;
+                    return;
+                }
+            }
+        }
+        self.words
+            .push(FILL_FLAG | if value { FILL_VALUE } else { 0 } | count);
+    }
+
+    /// Appends a set bit at `row`, which must exceed every previous row.
+    ///
+    /// # Panics
+    /// Panics if rows are pushed out of order.
+    pub fn push(&mut self, row: u64) {
+        let word = row / BITS;
+        let bit = row % BITS;
+        assert!(
+            word > self.tail_word || (word == self.tail_word && self.tail >> bit == 0),
+            "bitmap rows must be pushed in strictly ascending order"
+        );
+        self.flush_through(word);
+        self.tail |= 1 << bit;
+        self.ones += 1;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Number of compressed words (the storage/scan cost measure).
+    pub fn words(&self) -> usize {
+        self.words.len() + 1
+    }
+
+    /// Tests a single row id.
+    pub fn contains(&self, row: u64) -> bool {
+        let target_word = row / BITS;
+        let bit = row % BITS;
+        if target_word == self.tail_word {
+            return self.tail >> bit & 1 == 1;
+        }
+        if target_word > self.tail_word {
+            return false;
+        }
+        let mut word_idx = 0u64;
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let count = w & FILL_COUNT_MASK;
+                if target_word < word_idx + count {
+                    return w & FILL_VALUE != 0;
+                }
+                word_idx += count;
+            } else {
+                if target_word == word_idx {
+                    return w >> bit & 1 == 1;
+                }
+                word_idx += 1;
+            }
+        }
+        false
+    }
+
+    /// Iterates all set row ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        let mut out = Vec::with_capacity(self.ones as usize);
+        let mut word_idx = 0u64;
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let count = w & FILL_COUNT_MASK;
+                if w & FILL_VALUE != 0 {
+                    for wi in word_idx..word_idx + count {
+                        for b in 0..BITS {
+                            out.push(wi * BITS + b);
+                        }
+                    }
+                }
+                word_idx += count;
+            } else {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as u64;
+                    out.push(word_idx * BITS + b);
+                    bits &= bits - 1;
+                }
+                word_idx += 1;
+            }
+        }
+        let mut bits = self.tail;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as u64;
+            out.push(self.tail_word * BITS + b);
+            bits &= bits - 1;
+        }
+        out.into_iter()
+    }
+
+    /// Bitwise AND via merged iteration (materialized).
+    pub fn and(&self, other: &CompressedBitmap) -> CompressedBitmap {
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        let mut out = CompressedBitmap::new();
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        out
+    }
+
+    /// Bitwise OR via merged iteration (materialized).
+    pub fn or(&self, other: &CompressedBitmap) -> CompressedBitmap {
+        let mut rows: Vec<u64> = self.iter().chain(other.iter()).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        CompressedBitmap::from_sorted(rows)
+    }
+}
+
+/// A bitmap index: one compressed bitmap per distinct column value,
+/// value-hash partitioned across the cluster.
+pub struct BitmapIndex {
+    name: String,
+    bitmaps: FxHashMap<Datum, CompressedBitmap>,
+    scheme: Arc<ValueScheme>,
+    base_serve: SimDuration,
+    serve_secs_per_word: f64,
+}
+
+/// Value-hash partition scheme for the bitmap index.
+pub struct ValueScheme {
+    hosts: Vec<Vec<NodeId>>,
+}
+
+impl PartitionScheme for ValueScheme {
+    fn num_partitions(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn partition_of(&self, key: &Datum) -> usize {
+        // Keys are `[value, row]` probes or bare values: partition by the
+        // value component so probes for one value co-locate.
+        let value = key.as_list().and_then(|l| l.first()).unwrap_or(key);
+        (fx_hash_datum(value) % self.hosts.len() as u64) as usize
+    }
+
+    fn hosts(&self, partition: usize) -> Vec<NodeId> {
+        self.hosts[partition].clone()
+    }
+}
+
+impl BitmapIndex {
+    /// Builds the index from `(row id, value)` pairs (rows need not be
+    /// sorted).
+    pub fn build(
+        name: impl Into<String>,
+        cluster: &Cluster,
+        num_partitions: usize,
+        rows: impl IntoIterator<Item = (u64, Datum)>,
+    ) -> Self {
+        let name = name.into();
+        let mut by_value: FxHashMap<Datum, Vec<u64>> = FxHashMap::default();
+        for (row, value) in rows {
+            by_value.entry(value).or_default().push(row);
+        }
+        let bitmaps = by_value
+            .into_iter()
+            .map(|(v, mut rows)| {
+                rows.sort_unstable();
+                rows.dedup();
+                (v, CompressedBitmap::from_sorted(rows))
+            })
+            .collect();
+        let n_nodes = cluster.num_nodes();
+        let hosts = (0..num_partitions.max(1))
+            .map(|p| {
+                (0..3usize.min(n_nodes as usize))
+                    .map(|r| NodeId(((p + r * 7 + r) % n_nodes as usize) as u16))
+                    .fold(Vec::new(), |mut acc, h| {
+                        if !acc.contains(&h) {
+                            acc.push(h);
+                        }
+                        acc
+                    })
+            })
+            .collect();
+        BitmapIndex {
+            name,
+            bitmaps,
+            scheme: Arc::new(ValueScheme { hosts }),
+            base_serve: SimDuration::from_micros(80),
+            serve_secs_per_word: 2.0e-8,
+        }
+    }
+
+    /// The bitmap of a value (empty if absent).
+    pub fn bitmap(&self, value: &Datum) -> Option<&CompressedBitmap> {
+        self.bitmaps.get(value)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn cardinality(&self) -> usize {
+        self.bitmaps.len()
+    }
+}
+
+impl IndexAccessor for BitmapIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Two probe forms:
+    /// * `value` → `[Int count]` — the value's row count (bitmap COUNT);
+    /// * `[value, Int row]` → `[Bool]` — membership of `row` in the
+    ///   value's bitmap (the semijoin filter probe).
+    fn lookup(&self, key: &Datum) -> Vec<Datum> {
+        if let Some(parts) = key.as_list() {
+            if parts.len() == 2 {
+                if let Some(row) = parts[1].as_int() {
+                    let hit = self
+                        .bitmaps
+                        .get(&parts[0])
+                        .is_some_and(|b| b.contains(row as u64));
+                    return vec![Datum::Bool(hit)];
+                }
+            }
+        }
+        match self.bitmaps.get(key) {
+            Some(b) => vec![Datum::Int(b.count_ones() as i64)],
+            None => vec![Datum::Int(0)],
+        }
+    }
+
+    fn serve_time(&self, key: &Datum, _result_bytes: u64) -> SimDuration {
+        let value = key.as_list().and_then(|l| l.first()).unwrap_or(key);
+        let words = self.bitmaps.get(value).map(CompressedBitmap::words).unwrap_or(1);
+        self.base_serve
+            + SimDuration::from_secs_f64(words as f64 * self.serve_secs_per_word)
+    }
+
+    fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+        Some(self.scheme.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap() {
+        let b = CompressedBitmap::new();
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.contains(0));
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn roundtrip_sparse_and_dense() {
+        let sparse: Vec<u64> = vec![0, 1, 62, 63, 1000, 100_000];
+        let b = CompressedBitmap::from_sorted(sparse.clone());
+        assert_eq!(b.iter().collect::<Vec<_>>(), sparse);
+        for &r in &sparse {
+            assert!(b.contains(r), "row {r}");
+        }
+        assert!(!b.contains(2));
+        assert!(!b.contains(99_999));
+        assert!(!b.contains(200_000));
+
+        let dense: Vec<u64> = (0..500).collect();
+        let d = CompressedBitmap::from_sorted(dense.clone());
+        assert_eq!(d.iter().collect::<Vec<_>>(), dense);
+        assert_eq!(d.count_ones(), 500);
+    }
+
+    #[test]
+    fn long_runs_compress() {
+        // A bitmap with one bit set at 10M: the gap compresses into a
+        // couple of fill words.
+        let b = CompressedBitmap::from_sorted(vec![3, 10_000_000]);
+        assert!(b.words() < 8, "words = {}", b.words());
+        assert!(b.contains(3));
+        assert!(b.contains(10_000_000));
+        assert!(!b.contains(5_000_000));
+    }
+
+    #[test]
+    fn dense_runs_compress() {
+        // 63*100 consecutive bits = fill words of ones.
+        let b = CompressedBitmap::from_sorted(0..6300);
+        assert!(b.words() < 8, "words = {}", b.words());
+        assert_eq!(b.count_ones(), 6300);
+        assert!(b.contains(6299));
+        assert!(!b.contains(6300));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn out_of_order_push_rejected() {
+        let mut b = CompressedBitmap::new();
+        b.push(10);
+        b.push(5);
+    }
+
+    #[test]
+    fn and_or_match_set_semantics() {
+        let a = CompressedBitmap::from_sorted(vec![1, 5, 100, 1000, 5000]);
+        let b = CompressedBitmap::from_sorted(vec![5, 100, 2000, 5000]);
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), vec![5, 100, 5000]);
+        assert_eq!(
+            a.or(&b).iter().collect::<Vec<_>>(),
+            vec![1, 5, 100, 1000, 2000, 5000]
+        );
+    }
+
+    fn index() -> BitmapIndex {
+        BitmapIndex::build(
+            "status",
+            &Cluster::edbt_testbed(),
+            8,
+            (0..1000u64).map(|r| {
+                (
+                    r,
+                    Datum::Text(if r % 10 == 0 { "active" } else { "inactive" }.into()),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn index_counts_and_membership() {
+        let idx = index();
+        assert_eq!(idx.cardinality(), 2);
+        assert_eq!(
+            idx.lookup(&Datum::Text("active".into())),
+            vec![Datum::Int(100)]
+        );
+        assert_eq!(
+            idx.lookup(&Datum::Text("missing".into())),
+            vec![Datum::Int(0)]
+        );
+        let probe_hit = Datum::List(vec![Datum::Text("active".into()), Datum::Int(40)]);
+        assert_eq!(idx.lookup(&probe_hit), vec![Datum::Bool(true)]);
+        let probe_miss = Datum::List(vec![Datum::Text("active".into()), Datum::Int(41)]);
+        assert_eq!(idx.lookup(&probe_miss), vec![Datum::Bool(false)]);
+    }
+
+    #[test]
+    fn probe_partitions_by_value() {
+        let idx = index();
+        let scheme = idx.partition_scheme().unwrap();
+        let bare = Datum::Text("active".into());
+        for row in [0i64, 7, 999] {
+            let probe = Datum::List(vec![bare.clone(), Datum::Int(row)]);
+            assert_eq!(scheme.partition_of(&probe), scheme.partition_of(&bare));
+        }
+    }
+
+    #[test]
+    fn serve_time_scales_with_bitmap_size() {
+        let idx = BitmapIndex::build(
+            "skew",
+            &Cluster::edbt_testbed(),
+            4,
+            (0..100_000u64).map(|r| {
+                (
+                    r,
+                    Datum::Int(if r % 1000 == 0 { 1 } else { i64::from(r % 63 == 0) * 2 }),
+                )
+            }),
+        );
+        let rare = idx.serve_time(&Datum::Int(1), 0);
+        let common = idx.serve_time(&Datum::Int(0), 0);
+        assert!(common > rare, "{common} vs {rare}");
+    }
+}

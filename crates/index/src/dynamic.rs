@@ -1,0 +1,166 @@
+//! A dynamic, computation-based index.
+//!
+//! The paper stresses that indices "can be dynamic in that given a search
+//! key the return value is dynamically computed … this index can compute
+//! results for any input text, thus the number of valid keys is infinite"
+//! (§1, the knowledge-base service of Example 2.1). [`TopicClassifier`]
+//! is that service: its "lookup" runs a deterministic scoring classifier
+//! over the keywords in the key, so every distinct keyword list is a valid
+//! key and nothing is stored.
+
+use std::sync::Arc;
+
+use efind::{IndexAccessor, PartitionScheme};
+use efind_common::{fx_hash_bytes, Datum};
+use efind_cluster::SimDuration;
+
+/// A keyword-list → topic classifier posing as an index.
+pub struct TopicClassifier {
+    name: String,
+    topics: Vec<String>,
+    base_serve: SimDuration,
+    per_keyword: SimDuration,
+}
+
+impl TopicClassifier {
+    /// Creates a classifier over a fixed topic vocabulary. The per-lookup
+    /// time models the ML inference: a base cost plus a per-keyword term.
+    pub fn new(
+        name: impl Into<String>,
+        topics: Vec<String>,
+        base_serve: SimDuration,
+        per_keyword: SimDuration,
+    ) -> Self {
+        assert!(!topics.is_empty(), "classifier needs at least one topic");
+        TopicClassifier {
+            name: name.into(),
+            topics,
+            base_serve,
+            per_keyword,
+        }
+    }
+
+    /// A default news-ish vocabulary used by the tweet examples.
+    pub fn news() -> Self {
+        Self::new(
+            "topic-kb",
+            [
+                "politics", "sports", "technology", "music", "weather", "finance", "health",
+                "travel",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(50),
+        )
+    }
+
+    fn keywords(key: &Datum) -> Vec<&str> {
+        match key {
+            Datum::Text(s) => s.split_whitespace().collect(),
+            Datum::List(items) => items.iter().filter_map(Datum::as_text).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Classifies a keyword list deterministically: each (keyword, topic)
+    /// pair contributes a pseudo-random affinity score, the top-scoring
+    /// topic wins.
+    pub fn classify(&self, key: &Datum) -> Option<&str> {
+        let words = Self::keywords(key);
+        if words.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for (t, topic) in self.topics.iter().enumerate() {
+            let score: u64 = words
+                .iter()
+                .map(|w| {
+                    let mut buf = Vec::with_capacity(w.len() + topic.len() + 1);
+                    buf.extend_from_slice(w.as_bytes());
+                    buf.push(0);
+                    buf.extend_from_slice(topic.as_bytes());
+                    fx_hash_bytes(&buf) % 1000
+                })
+                .sum();
+            if score > best_score {
+                best_score = score;
+                best = t;
+            }
+        }
+        Some(&self.topics[best])
+    }
+}
+
+impl IndexAccessor for TopicClassifier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&self, key: &Datum) -> Vec<Datum> {
+        self.classify(key)
+            .map(|t| vec![Datum::Text(t.to_owned())])
+            .unwrap_or_default()
+    }
+
+    fn serve_time(&self, key: &Datum, _result_bytes: u64) -> SimDuration {
+        self.base_serve + self.per_keyword * Self::keywords(key).len() as u64
+    }
+
+    fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_classification() {
+        let c = TopicClassifier::news();
+        let key = Datum::Text("game score playoff".into());
+        let a = c.lookup(&key);
+        let b = c.lookup(&key);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn any_key_is_valid() {
+        let c = TopicClassifier::news();
+        for text in ["xyzzy frobnicate", "a", "völkerball über"] {
+            assert_eq!(c.lookup(&Datum::Text(text.into())).len(), 1);
+        }
+    }
+
+    #[test]
+    fn keyword_lists_accepted() {
+        let c = TopicClassifier::news();
+        let key = Datum::List(vec![Datum::Text("rain".into()), Datum::Text("storm".into())]);
+        assert_eq!(c.lookup(&key).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_invalid_keys_yield_nothing() {
+        let c = TopicClassifier::news();
+        assert!(c.lookup(&Datum::Text("".into())).is_empty());
+        assert!(c.lookup(&Datum::Int(5)).is_empty());
+    }
+
+    #[test]
+    fn serve_time_scales_with_keywords() {
+        let c = TopicClassifier::news();
+        let short = c.serve_time(&Datum::Text("one".into()), 0);
+        let long = c.serve_time(&Datum::Text("one two three four".into()), 0);
+        assert!(long > short);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn empty_vocabulary_rejected() {
+        TopicClassifier::new("x", vec![], SimDuration::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Index substrates for the EFind reproduction.
+//!
+//! The paper's four index flexibility dimensions start with "*what* type of
+//! index is used". This crate provides the types its experiments need —
+//! each implementing [`efind::IndexAccessor`], several exposing a
+//! [`efind::PartitionScheme`] for the index locality strategy:
+//!
+//! * [`kvstore`] — a Cassandra-like hash-partitioned, replicated key-value
+//!   store (the paper's default index service; TPC-H and Synthetic).
+//! * [`btree`] — a range-partitioned distributed B-tree with a root router
+//!   (the "distributed B-tree" of the paper's related work \[2\]).
+//! * [`rtree`] — an R\*-tree with best-first kNN search, the building
+//!   block of the spatial index.
+//! * [`spatial`] — a grid of replicated R\*-trees over 2-D points with
+//!   exact k-nearest-neighbor lookup (the OSM kNN-join experiment).
+//! * [`remote`] — a single-host remote service with configurable latency
+//!   (the LOG experiment's geo-IP cloud service).
+//! * [`dynamic`] — a computation-based index whose "lookup" runs a
+//!   deterministic classifier (the knowledge-base service of Example 2.1:
+//!   infinitely many valid keys, results computed, not stored).
+//! * [`inverted`] — a term-partitioned inverted text index (the text
+//!   analysis motivation of §1).
+//! * [`bitmap`] — a WAH-compressed bitmap index (the "join using bitmap
+//!   indices" motivation of §1, after Model 204).
+//! * [`mem`] — a plain in-memory table, handy for tests and examples.
+
+pub mod bitmap;
+pub mod btree;
+pub mod dynamic;
+pub mod inverted;
+pub mod kvstore;
+pub mod mem;
+pub mod remote;
+pub mod rtree;
+pub mod spatial;
+
+pub use bitmap::{BitmapIndex, CompressedBitmap};
+pub use btree::DistBTree;
+pub use dynamic::TopicClassifier;
+pub use inverted::InvertedIndex;
+pub use kvstore::{KvStore, KvStoreConfig};
+pub use mem::MemTable;
+pub use remote::RemoteService;
+pub use rtree::{Point, Rect, RStarTree};
+pub use spatial::{SpatialGridIndex, SpatialGridConfig};

@@ -1,0 +1,106 @@
+//! A single-host remote service index.
+//!
+//! The LOG experiment's geo-IP service: *"It uses a cloud service to look
+//! up the geographical region for an IP address. The cloud service runs on
+//! a single node with Java RMI interface … incurs a T = 0.8 ms delay for a
+//! lookup. … we introduce an extra 0, 1 ms, …, 5 ms to the lookup"*
+//! (§5.2). Single-host, so no partition scheme — index locality does not
+//! apply, exactly as in Fig. 11(a).
+
+use std::sync::Arc;
+
+use efind::{IndexAccessor, PartitionScheme};
+use efind_common::{Datum, FxHashMap};
+use efind_cluster::SimDuration;
+
+/// The lookup function a [`RemoteService`] wraps.
+pub type LookupFn = Box<dyn Fn(&Datum) -> Vec<Datum> + Send + Sync>;
+
+/// A remote service answering lookups through a user-provided function,
+/// with a configurable per-lookup delay.
+pub struct RemoteService {
+    name: String,
+    delay: SimDuration,
+    func: LookupFn,
+}
+
+impl RemoteService {
+    /// The paper's base service delay (0.8 ms).
+    pub const BASE_DELAY: SimDuration = SimDuration::from_micros(800);
+
+    /// Wraps a lookup function with a fixed delay.
+    pub fn new(
+        name: impl Into<String>,
+        delay: SimDuration,
+        func: impl Fn(&Datum) -> Vec<Datum> + Send + Sync + 'static,
+    ) -> Self {
+        RemoteService {
+            name: name.into(),
+            delay,
+            func: Box::new(func),
+        }
+    }
+
+    /// Convenience: a remote service backed by a static table.
+    pub fn table(
+        name: impl Into<String>,
+        delay: SimDuration,
+        pairs: impl IntoIterator<Item = (Datum, Vec<Datum>)>,
+    ) -> Self {
+        let table: FxHashMap<Datum, Vec<Datum>> = pairs.into_iter().collect();
+        Self::new(name, delay, move |k| table.get(k).cloned().unwrap_or_default())
+    }
+
+    /// The configured per-lookup delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+}
+
+impl IndexAccessor for RemoteService {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lookup(&self, key: &Datum) -> Vec<Datum> {
+        (self.func)(key)
+    }
+
+    fn serve_time(&self, _key: &Datum, _result_bytes: u64) -> SimDuration {
+        self.delay
+    }
+
+    fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_backed_lookup() {
+        let svc = RemoteService::new("doubler", SimDuration::from_millis(1), |k| {
+            k.as_int().map(|v| vec![Datum::Int(v * 2)]).unwrap_or_default()
+        });
+        assert_eq!(svc.lookup(&Datum::Int(21)), vec![Datum::Int(42)]);
+        assert!(svc.lookup(&Datum::Text("x".into())).is_empty());
+        assert_eq!(svc.serve_time(&Datum::Int(0), 100), SimDuration::from_millis(1));
+        assert!(svc.partition_scheme().is_none());
+    }
+
+    #[test]
+    fn table_backed_lookup() {
+        let svc = RemoteService::table(
+            "geo",
+            RemoteService::BASE_DELAY,
+            vec![(Datum::Text("1.2.3.4".into()), vec![Datum::Text("us-west".into())])],
+        );
+        assert_eq!(
+            svc.lookup(&Datum::Text("1.2.3.4".into())),
+            vec![Datum::Text("us-west".into())]
+        );
+        assert_eq!(svc.delay(), SimDuration::from_micros(800));
+    }
+}

@@ -1,0 +1,659 @@
+//! An R\*-tree over 2-D points.
+//!
+//! Implements the structure from Beckmann et al. (SIGMOD 1990) that the
+//! paper's OSM experiment builds per grid cell: ChooseSubtree with overlap
+//! minimization at the leaf level, the R\* split (axis by minimum margin
+//! sum, distribution by minimum overlap), and forced reinsertion of the
+//! 30% outermost entries on first leaf overflow. Queries: best-first
+//! k-nearest-neighbor search and rectangle range search.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A 2-D point.
+pub type Point = [f64; 2];
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 32;
+/// Minimum fill (40% of max, per the R\* paper's recommendation).
+const MIN_ENTRIES: usize = MAX_ENTRIES * 2 / 5;
+/// Fraction of entries force-reinserted on first leaf overflow (30%).
+const REINSERT_COUNT: usize = (MAX_ENTRIES + 1) * 3 / 10;
+
+/// An axis-aligned rectangle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// The degenerate rectangle of a single point.
+    pub fn of_point(p: Point) -> Rect {
+        Rect { min: p, max: p }
+    }
+
+    /// A rectangle from explicit corners.
+    pub fn new(min: Point, max: Point) -> Rect {
+        Rect { min, max }
+    }
+
+    /// The smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: [self.min[0].min(other.min[0]), self.min[1].min(other.min[1])],
+            max: [self.max[0].max(other.max[0]), self.max[1].max(other.max[1])],
+        }
+    }
+
+    /// Area (0 for degenerate rectangles).
+    pub fn area(&self) -> f64 {
+        (self.max[0] - self.min[0]).max(0.0) * (self.max[1] - self.min[1]).max(0.0)
+    }
+
+    /// Half-perimeter (the R\* margin measure).
+    pub fn margin(&self) -> f64 {
+        (self.max[0] - self.min[0]).max(0.0) + (self.max[1] - self.min[1]).max(0.0)
+    }
+
+    /// Overlap area with another rectangle.
+    pub fn overlap(&self, other: &Rect) -> f64 {
+        let w = (self.max[0].min(other.max[0]) - self.min[0].max(other.min[0])).max(0.0);
+        let h = (self.max[1].min(other.max[1]) - self.min[1].max(other.min[1])).max(0.0);
+        w * h
+    }
+
+    /// True if the rectangles intersect (boundaries included).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min[0] <= other.max[0]
+            && other.min[0] <= self.max[0]
+            && self.min[1] <= other.max[1]
+            && other.min[1] <= self.max[1]
+    }
+
+    /// True if the point lies inside (boundaries included).
+    pub fn contains(&self, p: Point) -> bool {
+        p[0] >= self.min[0] && p[0] <= self.max[0] && p[1] >= self.min[1] && p[1] <= self.max[1]
+    }
+
+    /// Squared minimum distance from `p` to the rectangle.
+    pub fn min_dist2(&self, p: Point) -> f64 {
+        let dx = (self.min[0] - p[0]).max(0.0).max(p[0] - self.max[0]);
+        let dy = (self.min[1] - p[1]).max(0.0).max(p[1] - self.max[1]);
+        dx * dx + dy * dy
+    }
+
+    /// Area growth needed to also cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        [
+            (self.min[0] + self.max[0]) / 2.0,
+            (self.min[1] + self.max[1]) / 2.0,
+        ]
+    }
+}
+
+/// Squared Euclidean distance between points.
+pub fn dist2(a: Point, b: Point) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    dx * dx + dy * dy
+}
+
+#[derive(Clone, Debug)]
+struct LeafEntry {
+    point: Point,
+    id: u64,
+}
+
+#[derive(Debug)]
+struct InnerEntry {
+    rect: Rect,
+    child: Box<Node>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<LeafEntry>),
+    Inner(Vec<InnerEntry>),
+}
+
+impl Node {
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Leaf(entries) => entries
+                .iter()
+                .map(|e| Rect::of_point(e.point))
+                .reduce(|a, b| a.union(&b))
+                .unwrap_or(Rect::new([0.0, 0.0], [0.0, 0.0])),
+            Node::Inner(entries) => entries
+                .iter()
+                .map(|e| e.rect)
+                .reduce(|a, b| a.union(&b))
+                .unwrap_or(Rect::new([0.0, 0.0], [0.0, 0.0])),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+}
+
+enum Outcome {
+    Fit,
+    Split(Box<Node>),
+    Reinsert(Vec<LeafEntry>),
+}
+
+/// The R\*-tree.
+#[derive(Debug)]
+pub struct RStarTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RStarTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RStarTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RStarTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+
+    /// Builds a tree by inserting all points.
+    pub fn bulk(points: impl IntoIterator<Item = (Point, u64)>) -> Self {
+        let mut t = Self::new();
+        for (p, id) in points {
+            t.insert(p, id);
+        }
+        t
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of all points.
+    pub fn bbox(&self) -> Rect {
+        self.root.bbox()
+    }
+
+    /// Inserts a point with an id.
+    pub fn insert(&mut self, point: Point, id: u64) {
+        self.len += 1;
+        self.insert_entry(LeafEntry { point, id }, true);
+    }
+
+    fn insert_entry(&mut self, entry: LeafEntry, allow_reinsert: bool) {
+        match insert_rec(&mut self.root, entry, allow_reinsert) {
+            Outcome::Fit => {}
+            Outcome::Split(sibling) => {
+                let old = std::mem::replace(&mut self.root, Node::Inner(Vec::new()));
+                let entries = vec![
+                    InnerEntry {
+                        rect: old.bbox(),
+                        child: Box::new(old),
+                    },
+                    InnerEntry {
+                        rect: sibling.bbox(),
+                        child: sibling,
+                    },
+                ];
+                self.root = Node::Inner(entries);
+            }
+            Outcome::Reinsert(entries) => {
+                for e in entries {
+                    self.insert_entry(e, false);
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest neighbors of `q` with squared distances, ascending.
+    /// Best-first search (Hjaltason & Samet).
+    pub fn knn(&self, q: Point, k: usize) -> Vec<(u64, Point, f64)> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        enum Item<'a> {
+            Node(&'a Node),
+            Point(&'a LeafEntry),
+        }
+        struct HeapEntry<'a> {
+            d2: f64,
+            seq: usize,
+            item: Item<'a>,
+        }
+        impl PartialEq for HeapEntry<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.d2 == other.d2 && self.seq == other.seq
+            }
+        }
+        impl Eq for HeapEntry<'_> {}
+        impl PartialOrd for HeapEntry<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapEntry<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.d2.total_cmp(&other.d2).then(self.seq.cmp(&other.seq))
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+        let mut seq = 0usize;
+        heap.push(Reverse(HeapEntry {
+            d2: 0.0,
+            seq,
+            item: Item::Node(&self.root),
+        }));
+        while let Some(Reverse(HeapEntry { d2, item, .. })) = heap.pop() {
+            match item {
+                Item::Point(e) => {
+                    out.push((e.id, e.point, d2));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(Node::Leaf(entries)) => {
+                    for e in entries {
+                        seq += 1;
+                        heap.push(Reverse(HeapEntry {
+                            d2: dist2(e.point, q),
+                            seq,
+                            item: Item::Point(e),
+                        }));
+                    }
+                }
+                Item::Node(Node::Inner(entries)) => {
+                    for e in entries {
+                        seq += 1;
+                        heap.push(Reverse(HeapEntry {
+                            d2: e.rect.min_dist2(q),
+                            seq,
+                            item: Item::Node(&e.child),
+                        }));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All points inside `rect` (boundaries included).
+    pub fn range(&self, rect: &Rect) -> Vec<(u64, Point)> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        if rect.contains(e.point) {
+                            out.push((e.id, e.point));
+                        }
+                    }
+                }
+                Node::Inner(entries) => {
+                    for e in entries {
+                        if rect.intersects(&e.rect) {
+                            stack.push(&e.child);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural invariants (tests/debugging): fan-out bounds and
+    /// bounding-box containment. Returns the tree height.
+    pub fn check_invariants(&self) -> usize {
+        fn rec(node: &Node, is_root: bool) -> usize {
+            match node {
+                Node::Leaf(entries) => {
+                    assert!(entries.len() <= MAX_ENTRIES, "leaf overflow");
+                    if !is_root {
+                        assert!(entries.len() >= MIN_ENTRIES.min(1), "leaf underflow");
+                    }
+                    1
+                }
+                Node::Inner(entries) => {
+                    assert!(!entries.is_empty() && entries.len() <= MAX_ENTRIES);
+                    let mut height = None;
+                    for e in entries {
+                        let child_box = e.child.bbox();
+                        assert!(
+                            e.rect.union(&child_box) == e.rect,
+                            "child bbox escapes parent rect"
+                        );
+                        let h = rec(&e.child, false);
+                        if let Some(prev) = height {
+                            assert_eq!(prev, h, "unbalanced tree");
+                        }
+                        height = Some(h);
+                    }
+                    height.unwrap() + 1
+                }
+            }
+        }
+        rec(&self.root, true)
+    }
+}
+
+fn insert_rec(node: &mut Node, entry: LeafEntry, allow_reinsert: bool) -> Outcome {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() <= MAX_ENTRIES {
+                Outcome::Fit
+            } else if allow_reinsert {
+                // Forced reinsertion: evict the entries furthest from the
+                // node center and push them back into the tree.
+                let center = Node::Leaf(std::mem::take(entries));
+                let (mut all, center_point) = match center {
+                    Node::Leaf(v) => {
+                        let bbox = v
+                            .iter()
+                            .map(|e| Rect::of_point(e.point))
+                            .reduce(|a, b| a.union(&b))
+                            .expect("non-empty");
+                        (v, bbox.center())
+                    }
+                    Node::Inner(_) => unreachable!(),
+                };
+                all.sort_by(|a, b| {
+                    dist2(b.point, center_point).total_cmp(&dist2(a.point, center_point))
+                });
+                let reinsert: Vec<LeafEntry> = all.drain(..REINSERT_COUNT).collect();
+                *entries = all;
+                Outcome::Reinsert(reinsert)
+            } else {
+                let sibling = split_leaf(entries);
+                Outcome::Split(Box::new(Node::Leaf(sibling)))
+            }
+        }
+        Node::Inner(entries) => {
+            let i = choose_subtree(entries, entry.point);
+            let outcome = insert_rec(&mut entries[i].child, entry, allow_reinsert);
+            entries[i].rect = entries[i].child.bbox();
+            match outcome {
+                Outcome::Fit => Outcome::Fit,
+                Outcome::Reinsert(r) => Outcome::Reinsert(r),
+                Outcome::Split(sibling) => {
+                    entries.push(InnerEntry {
+                        rect: sibling.bbox(),
+                        child: sibling,
+                    });
+                    if entries.len() <= MAX_ENTRIES {
+                        Outcome::Fit
+                    } else {
+                        let sibling = split_inner(entries);
+                        Outcome::Split(Box::new(Node::Inner(sibling)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R\* ChooseSubtree: minimum overlap enlargement when children are
+/// leaves, minimum area enlargement otherwise (area as tie-break).
+fn choose_subtree(entries: &[InnerEntry], point: Point) -> usize {
+    let prect = Rect::of_point(point);
+    let children_are_leaves = entries[0].child.is_leaf();
+    let mut best = 0usize;
+    let mut best_key = (f64::MAX, f64::MAX, f64::MAX);
+    for (i, e) in entries.iter().enumerate() {
+        let enlarged = e.rect.union(&prect);
+        let key = if children_are_leaves {
+            let overlap_delta: f64 = entries
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, o)| enlarged.overlap(&o.rect) - e.rect.overlap(&o.rect))
+                .sum();
+            (overlap_delta, e.rect.enlargement(&prect), e.rect.area())
+        } else {
+            (e.rect.enlargement(&prect), e.rect.area(), 0.0)
+        };
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The R\* split applied to sortable items: picks the axis with minimum
+/// total margin over all legal distributions, then the distribution with
+/// minimum overlap (area as tie-break). Returns the split position in the
+/// sorted order of the chosen axis, and reorders `items` accordingly.
+fn rstar_split_positions<T>(items: &mut [T], rect_of: impl Fn(&T) -> Rect) -> usize {
+    let total = items.len();
+    debug_assert!(total == MAX_ENTRIES + 1);
+    let mut best_axis = 0;
+    let mut best_axis_margin = f64::MAX;
+
+    for axis in 0..2 {
+        items.sort_by(|a, b| {
+            let (ra, rb) = (rect_of(a), rect_of(b));
+            (ra.min[axis], ra.max[axis]).partial_cmp(&(rb.min[axis], rb.max[axis])).unwrap()
+        });
+        let mut margin_sum = 0.0;
+        for split in MIN_ENTRIES..=(total - MIN_ENTRIES) {
+            let left = items[..split]
+                .iter()
+                .map(&rect_of)
+                .reduce(|a, b| a.union(&b))
+                .unwrap();
+            let right = items[split..]
+                .iter()
+                .map(&rect_of)
+                .reduce(|a, b| a.union(&b))
+                .unwrap();
+            margin_sum += left.margin() + right.margin();
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    items.sort_by(|a, b| {
+        let (ra, rb) = (rect_of(a), rect_of(b));
+        (ra.min[best_axis], ra.max[best_axis])
+            .partial_cmp(&(rb.min[best_axis], rb.max[best_axis]))
+            .unwrap()
+    });
+    let mut best_split = MIN_ENTRIES;
+    let mut best_key = (f64::MAX, f64::MAX);
+    for split in MIN_ENTRIES..=(total - MIN_ENTRIES) {
+        let left = items[..split]
+            .iter()
+            .map(&rect_of)
+            .reduce(|a, b| a.union(&b))
+            .unwrap();
+        let right = items[split..]
+            .iter()
+            .map(&rect_of)
+            .reduce(|a, b| a.union(&b))
+            .unwrap();
+        let key = (left.overlap(&right), left.area() + right.area());
+        if key < best_key {
+            best_key = key;
+            best_split = split;
+        }
+    }
+    best_split
+}
+
+fn split_leaf(entries: &mut Vec<LeafEntry>) -> Vec<LeafEntry> {
+    let split = rstar_split_positions(entries, |e| Rect::of_point(e.point));
+    entries.split_off(split)
+}
+
+fn split_inner(entries: &mut Vec<InnerEntry>) -> Vec<InnerEntry> {
+    let split = rstar_split_positions(entries, |e| e.rect);
+    entries.split_off(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Point, u64)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| ([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)], i as u64))
+            .collect()
+    }
+
+    fn brute_knn(points: &[(Point, u64)], q: Point, k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = points.iter().map(|(p, id)| (*id, dist2(*p, q))).collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RStarTree::new();
+        assert!(t.is_empty());
+        assert!(t.knn([0.0, 0.0], 5).is_empty());
+        assert!(t.range(&Rect::new([0.0, 0.0], [10.0, 10.0])).is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_as_tree_grows() {
+        let mut t = RStarTree::new();
+        for (i, (p, id)) in random_points(2000, 42).into_iter().enumerate() {
+            t.insert(p, id);
+            if i % 251 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert_eq!(t.len(), 2000);
+        let h = t.check_invariants();
+        assert!(h >= 2, "2000 points should not fit one node: height {h}");
+    }
+
+    #[test]
+    fn range_over_bbox_returns_everything() {
+        let points = random_points(1000, 7);
+        let t = RStarTree::bulk(points.clone());
+        let found = t.range(&t.bbox());
+        assert_eq!(found.len(), 1000);
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let points = random_points(800, 3);
+        let t = RStarTree::bulk(points.clone());
+        let q = Rect::new([20.0, 30.0], [60.0, 70.0]);
+        let mut got: Vec<u64> = t.range(&q).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = points
+            .iter()
+            .filter(|(p, _)| q.contains(*p))
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let points = random_points(1200, 9);
+        let t = RStarTree::bulk(points.clone());
+        for q in [[50.0, 50.0], [0.0, 0.0], [99.0, 1.0]] {
+            let got = t.knn(q, 10);
+            let expected = brute_knn(&points, q, 10);
+            assert_eq!(got.len(), 10);
+            for (g, e) in got.iter().zip(&expected) {
+                assert!(
+                    (g.2 - e.1).abs() < 1e-9,
+                    "distance mismatch at {q:?}: {} vs {}",
+                    g.2,
+                    e.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_distances_ascend() {
+        let t = RStarTree::bulk(random_points(500, 11));
+        let got = t.knn([25.0, 75.0], 50);
+        for w in got.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_len() {
+        let t = RStarTree::bulk(random_points(5, 1));
+        assert_eq!(t.knn([0.0, 0.0], 100).len(), 5);
+    }
+
+    #[test]
+    fn duplicate_points_supported() {
+        let mut t = RStarTree::new();
+        for i in 0..100 {
+            t.insert([5.0, 5.0], i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.knn([5.0, 5.0], 100).len(), 100);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn rect_math() {
+        let a = Rect::new([0.0, 0.0], [2.0, 2.0]);
+        let b = Rect::new([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.area(), 4.0);
+        assert_eq!(a.margin(), 4.0);
+        assert_eq!(a.overlap(&b), 1.0);
+        assert_eq!(a.union(&b), Rect::new([0.0, 0.0], [3.0, 3.0]));
+        assert!(a.intersects(&b));
+        assert!(a.contains([1.0, 1.0]));
+        assert!(!a.contains([2.5, 0.5]));
+        assert_eq!(a.min_dist2([4.0, 2.0]), 4.0);
+        assert_eq!(a.min_dist2([1.0, 1.0]), 0.0);
+        assert_eq!(a.enlargement(&b), 5.0);
+        assert_eq!(a.center(), [1.0, 1.0]);
+    }
+
+    #[test]
+    fn clustered_data_stays_balanced() {
+        // Pathological insert order: sorted along a line.
+        let mut t = RStarTree::new();
+        for i in 0..1500u64 {
+            t.insert([i as f64, (i % 7) as f64], i);
+        }
+        let h = t.check_invariants();
+        assert!(h <= 4, "height {h} too tall for 1500 points");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the compressed bitmap: it must behave exactly
+//! like a `BTreeSet<u64>` on arbitrary sparse/dense row-id sets.
+
+use std::collections::BTreeSet;
+
+use efind_index::CompressedBitmap;
+use proptest::prelude::*;
+
+fn arb_rows() -> impl Strategy<Value = BTreeSet<u64>> {
+    // A mix of clustered runs and isolated bits, the regimes WAH
+    // compression must handle.
+    proptest::collection::vec((0u64..5_000, 1u64..80), 0..30).prop_map(|runs| {
+        let mut set = BTreeSet::new();
+        for (start, len) in runs {
+            for r in start..start + len {
+                set.insert(r);
+            }
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn iter_matches_reference(rows in arb_rows()) {
+        let b = CompressedBitmap::from_sorted(rows.iter().copied());
+        let got: Vec<u64> = b.iter().collect();
+        let expected: Vec<u64> = rows.iter().copied().collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(b.count_ones(), rows.len() as u64);
+    }
+
+    #[test]
+    fn contains_matches_reference(rows in arb_rows(), probes in proptest::collection::vec(0u64..6_000, 0..100)) {
+        let b = CompressedBitmap::from_sorted(rows.iter().copied());
+        for p in probes {
+            prop_assert_eq!(b.contains(p), rows.contains(&p), "row {}", p);
+        }
+    }
+
+    #[test]
+    fn and_or_match_set_ops(a in arb_rows(), b in arb_rows()) {
+        let ba = CompressedBitmap::from_sorted(a.iter().copied());
+        let bb = CompressedBitmap::from_sorted(b.iter().copied());
+        let and: Vec<u64> = ba.and(&bb).iter().collect();
+        let or: Vec<u64> = ba.or(&bb).iter().collect();
+        let expect_and: Vec<u64> = a.intersection(&b).copied().collect();
+        let expect_or: Vec<u64> = a.union(&b).copied().collect();
+        prop_assert_eq!(and, expect_and);
+        prop_assert_eq!(or, expect_or);
+    }
+
+    #[test]
+    fn dense_runs_stay_compact(start in 0u64..1_000, len in 64u64..4_000) {
+        let b = CompressedBitmap::from_sorted(start..start + len);
+        // A contiguous run must compress to O(1) words regardless of len.
+        prop_assert!(b.words() <= 6, "{} words for a {}-bit run", b.words(), len);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the index substrates: R\*-tree queries equal
+//! brute force, the grid index stays exact, and routing matches storage.
+
+use efind::IndexAccessor;
+use efind_cluster::Cluster;
+use efind_common::Datum;
+use efind_index::rtree::{dist2, Point, RStarTree, Rect};
+use efind_index::spatial::{decode_neighbor, encode_point, SpatialGridConfig, SpatialGridIndex};
+use efind_index::{DistBTree, KvStore, KvStoreConfig};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<(Point, u64)>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..max).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| ([x, y], i as u64))
+            .collect()
+    })
+}
+
+fn brute_knn(points: &[(Point, u64)], q: Point, k: usize) -> Vec<(u64, f64)> {
+    let mut all: Vec<(u64, f64)> = points.iter().map(|(p, id)| (*id, dist2(*p, q))).collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rstar_knn_matches_brute_force(points in arb_points(400), qx in 0.0f64..100.0, qy in 0.0f64..100.0, k in 1usize..20) {
+        let tree = RStarTree::bulk(points.iter().copied());
+        tree.check_invariants();
+        let got = tree.knn([qx, qy], k);
+        let expected = brute_knn(&points, [qx, qy], k);
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!((g.2 - e.1).abs() < 1e-9, "dist {} vs {}", g.2, e.1);
+        }
+    }
+
+    #[test]
+    fn rstar_range_matches_brute_force(points in arb_points(400), x0 in 0.0f64..100.0, y0 in 0.0f64..100.0, w in 0.0f64..60.0, h in 0.0f64..60.0) {
+        let tree = RStarTree::bulk(points.iter().copied());
+        let rect = Rect::new([x0, y0], [x0 + w, y0 + h]);
+        let mut got: Vec<u64> = tree.range(&rect).into_iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = points
+            .iter()
+            .filter(|(p, _)| rect.contains(*p))
+            .map(|(_, id)| *id)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn grid_index_knn_is_exact(points in arb_points(300), qx in 0.0f64..100.0, qy in 0.0f64..100.0) {
+        let k = 5usize.min(points.len());
+        let idx = SpatialGridIndex::build(
+            "p",
+            &Cluster::edbt_testbed(),
+            SpatialGridConfig { k, overlap: 2.0, ..SpatialGridConfig::default() },
+            Rect::new([0.0, 0.0], [100.0, 100.0]),
+            points.clone(),
+        );
+        let got = idx.lookup(&encode_point([qx, qy]));
+        let expected = brute_knn(&points, [qx, qy], k);
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            let (_, _, d2) = decode_neighbor(g).unwrap();
+            prop_assert!((d2 - e.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kvstore_stores_and_finds_everything(keys in proptest::collection::btree_set(any::<i64>(), 1..300)) {
+        let store = KvStore::build(
+            "kv",
+            &Cluster::edbt_testbed(),
+            KvStoreConfig::default(),
+            keys.iter().map(|&k| (Datum::Int(k), vec![Datum::Int(k.wrapping_mul(2))])),
+        );
+        for &k in &keys {
+            prop_assert_eq!(store.lookup(&Datum::Int(k)), vec![Datum::Int(k.wrapping_mul(2))]);
+        }
+        prop_assert_eq!(store.len(), keys.len());
+    }
+
+    #[test]
+    fn btree_range_scans_are_sorted_and_complete(keys in proptest::collection::btree_set(-1000i64..1000, 1..200), lo in -1000i64..1000, span in 0i64..500) {
+        let tree = DistBTree::build(
+            "bt",
+            &Cluster::edbt_testbed(),
+            7,
+            2,
+            keys.iter().map(|&k| (Datum::Int(k), vec![Datum::Int(k)])),
+        );
+        let hi = lo + span;
+        let out = tree.range(&Datum::Int(lo), &Datum::Int(hi));
+        let expected: Vec<i64> = keys.iter().copied().filter(|k| (lo..=hi).contains(k)).collect();
+        let got: Vec<i64> = out.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,208 @@
+//! User-code traits and the chained-function mechanism.
+//!
+//! Hadoop's `ChainMapper`/`ChainReducer` let several functions run inside
+//! one task, each consuming the previous one's output. The paper's baseline
+//! strategy (Fig. 6) implements an `IndexOperator` by inserting its three
+//! methods as chained functions around the original Map/Reduce. Here a map
+//! computation is a `Vec<MapperFactory>` and a reduce computation is an
+//! optional [`Reducer`] followed by more chained mappers.
+//!
+//! Factories exist because tasks need private state — the lookup cache of
+//! §3.2 lives inside one task's chain instance — so every task instantiates
+//! its own chain.
+
+use std::sync::Arc;
+
+use efind_common::{Datum, Record};
+
+use crate::context::TaskCtx;
+
+/// Receives the records a user function emits.
+pub trait Collector {
+    /// Emits one record downstream.
+    fn collect(&mut self, rec: Record);
+}
+
+impl Collector for Vec<Record> {
+    fn collect(&mut self, rec: Record) {
+        self.push(rec);
+    }
+}
+
+/// A record-at-a-time user function (Map, or a chained function).
+pub trait Mapper: Send {
+    /// Processes one input record, emitting any number of output records.
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx);
+
+    /// Called once after the last record of the task; emits any buffered
+    /// output (used by stateful chain elements).
+    fn flush(&mut self, _out: &mut dyn Collector, _ctx: &mut TaskCtx) {}
+}
+
+/// A group-at-a-time user function (Reduce).
+pub trait Reducer: Send {
+    /// Processes one key group.
+    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx);
+
+    /// Called once after the last group of the task.
+    fn flush(&mut self, _out: &mut dyn Collector, _ctx: &mut TaskCtx) {}
+}
+
+/// Creates a fresh [`Mapper`] instance per task.
+pub type MapperFactory = Arc<dyn Fn() -> Box<dyn Mapper> + Send + Sync>;
+
+/// Creates a fresh [`Reducer`] instance per task.
+pub type ReducerFactory = Arc<dyn Fn() -> Box<dyn Reducer> + Send + Sync>;
+
+struct FnMapper<F>(F);
+
+impl<F> Mapper for FnMapper<F>
+where
+    F: FnMut(Record, &mut dyn Collector, &mut TaskCtx) + Send,
+{
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        (self.0)(rec, out, ctx);
+    }
+}
+
+/// Wraps a stateless closure as a [`MapperFactory`].
+pub fn mapper_fn<F>(f: F) -> MapperFactory
+where
+    F: Fn(Record, &mut dyn Collector, &mut TaskCtx) + Send + Sync + Clone + 'static,
+{
+    Arc::new(move || Box::new(FnMapper(f.clone())))
+}
+
+struct FnReducer<F>(F);
+
+impl<F> Reducer for FnReducer<F>
+where
+    F: FnMut(Datum, Vec<Datum>, &mut dyn Collector, &mut TaskCtx) + Send,
+{
+    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        (self.0)(key, values, out, ctx);
+    }
+}
+
+/// Wraps a stateless closure as a [`ReducerFactory`].
+pub fn reducer_fn<F>(f: F) -> ReducerFactory
+where
+    F: Fn(Datum, Vec<Datum>, &mut dyn Collector, &mut TaskCtx) + Send + Sync + Clone + 'static,
+{
+    Arc::new(move || Box::new(FnReducer(f.clone())))
+}
+
+/// The identity map: passes records through unchanged.
+pub fn identity_mapper() -> MapperFactory {
+    mapper_fn(|rec, out, _ctx| out.collect(rec))
+}
+
+/// Runs `records` through an instantiated chain of mappers, honoring
+/// per-stage `flush`. Stages execute in order; each stage sees the whole
+/// output of the previous one.
+pub fn run_chain(
+    chain: &[MapperFactory],
+    records: Vec<Record>,
+    ctx: &mut TaskCtx,
+) -> Vec<Record> {
+    let mut current = records;
+    for factory in chain {
+        let mut stage = factory();
+        let mut next = Vec::with_capacity(current.len());
+        for rec in current {
+            stage.map(rec, &mut next, ctx);
+        }
+        stage.flush(&mut next, ctx);
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> TaskCtx {
+        TaskCtx::new(0)
+    }
+
+    #[test]
+    fn identity_chain_passes_through() {
+        let recs = vec![Record::new(1i64, "a"), Record::new(2i64, "b")];
+        let out = run_chain(&[identity_mapper()], recs.clone(), &mut ctx());
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn chain_composes_in_order() {
+        let double = mapper_fn(|rec: Record, out: &mut dyn Collector, _: &mut TaskCtx| {
+            let v = rec.key.as_int().unwrap();
+            out.collect(Record::new(v * 2, Datum::Null));
+        });
+        let inc = mapper_fn(|rec: Record, out: &mut dyn Collector, _: &mut TaskCtx| {
+            let v = rec.key.as_int().unwrap();
+            out.collect(Record::new(v + 1, Datum::Null));
+        });
+        let recs = vec![Record::new(3i64, Datum::Null)];
+        // (3*2)+1 = 7, not (3+1)*2 = 8.
+        let out = run_chain(&[double.clone(), inc.clone()], recs.clone(), &mut ctx());
+
+        assert_eq!(out[0].key, Datum::Int(7));
+        let out = run_chain(&[inc, double], recs, &mut ctx());
+        assert_eq!(out[0].key, Datum::Int(8));
+    }
+
+    #[test]
+    fn one_to_many_expansion() {
+        let explode = mapper_fn(|rec: Record, out: &mut dyn Collector, _: &mut TaskCtx| {
+            let n = rec.key.as_int().unwrap();
+            for i in 0..n {
+                out.collect(Record::new(i, Datum::Null));
+            }
+        });
+        let out = run_chain(&[explode], vec![Record::new(3i64, Datum::Null)], &mut ctx());
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn stateful_stage_flushes() {
+        struct Summer {
+            total: i64,
+        }
+        impl Mapper for Summer {
+            fn map(&mut self, rec: Record, _out: &mut dyn Collector, _ctx: &mut TaskCtx) {
+                self.total += rec.key.as_int().unwrap();
+            }
+            fn flush(&mut self, out: &mut dyn Collector, _ctx: &mut TaskCtx) {
+                out.collect(Record::new(self.total, Datum::Null));
+            }
+        }
+        let factory: MapperFactory = Arc::new(|| Box::new(Summer { total: 0 }));
+        let recs = (1..=4i64).map(|i| Record::new(i, Datum::Null)).collect();
+        let out = run_chain(&[factory], recs, &mut ctx());
+        assert_eq!(out, vec![Record::new(10i64, Datum::Null)]);
+    }
+
+    #[test]
+    fn fresh_instance_per_run() {
+        struct Counting {
+            seen: usize,
+        }
+        impl Mapper for Counting {
+            fn map(&mut self, _rec: Record, out: &mut dyn Collector, _ctx: &mut TaskCtx) {
+                self.seen += 1;
+                out.collect(Record::new(self.seen as i64, Datum::Null));
+            }
+        }
+        let factory: MapperFactory = Arc::new(|| Box::new(Counting { seen: 0 }));
+        for _ in 0..2 {
+            let out = run_chain(
+                std::slice::from_ref(&factory),
+                vec![Record::new(0i64, Datum::Null)],
+                &mut ctx(),
+            );
+            // State must not leak between task instantiations.
+            assert_eq!(out[0].key, Datum::Int(1));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Global counters and mergeable sketches.
+//!
+//! §4.2: *"We leverage a feature in MapReduce systems, called counter, in
+//! the implementation. A counter can be incremented by individual Map or
+//! Reduce tasks and will be globally visible."* EFind derives every Table 1
+//! statistic from counters, and estimates Θ from per-task Flajolet–Martin
+//! bit vectors OR-ed together — [`Sketches`] carries those.
+
+use efind_common::{Datum, FmSketch, FxHashMap};
+
+/// A set of named integer counters.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    values: FxHashMap<String, i64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: i64) {
+        *self.values.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn get(&self, name: &str) -> i64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another counter set into this one by summing.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates counters in sorted-name order (for stable reports).
+    pub fn iter_sorted(&self) -> Vec<(&str, i64)> {
+        let mut items: Vec<(&str, i64)> =
+            self.values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        items.sort_unstable();
+        items
+    }
+
+    /// True if no counter has been written.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Named FM sketches, one per statistic that needs a distinct count.
+#[derive(Clone, Debug, Default)]
+pub struct Sketches {
+    sketches: FxHashMap<String, FmSketch>,
+}
+
+impl Sketches {
+    /// Creates an empty sketch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes `key` under sketch `name`.
+    pub fn observe(&mut self, name: &str, key: &Datum) {
+        self.sketches
+            .entry(name.to_owned())
+            .or_default()
+            .insert(key);
+    }
+
+    /// Estimated distinct count under `name` (0 if never observed).
+    pub fn estimate(&self, name: &str) -> f64 {
+        self.sketches.get(name).map_or(0.0, FmSketch::estimate)
+    }
+
+    /// ORs another sketch set into this one.
+    pub fn merge(&mut self, other: &Sketches) {
+        for (k, v) in &other.sketches {
+            self.sketches.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_get_merge() {
+        let mut a = Counters::new();
+        a.add("x", 3);
+        a.inc("x");
+        assert_eq!(a.get("x"), 4);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("x", 6);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 10);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn sorted_iteration() {
+        let mut c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        assert_eq!(c.iter_sorted(), vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn sketches_merge_like_union() {
+        let mut a = Sketches::new();
+        let mut b = Sketches::new();
+        for i in 0..2_000i64 {
+            a.observe("keys", &Datum::Int(i));
+            b.observe("keys", &Datum::Int(i + 1_000));
+        }
+        a.merge(&b);
+        let est = a.estimate("keys");
+        assert!((est - 3_000.0).abs() / 3_000.0 < 0.3, "est={est}");
+        assert_eq!(a.estimate("other"), 0.0);
+    }
+}

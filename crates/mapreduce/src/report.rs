@@ -1,0 +1,185 @@
+//! Human-readable job reports: phase summaries, locality rates, top
+//! counters, and an ASCII per-node timeline of the virtual schedule.
+
+use std::fmt::Write as _;
+
+use efind_cluster::sched::Schedule;
+use efind_cluster::SimTime;
+
+use crate::stats::{JobStats, PhaseStats};
+
+/// Renders a one-job summary: phases, task counts, locality, counters.
+pub fn render_summary(stats: &JobStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "job {}: {} (virtual), {} map tasks, {} reduce tasks",
+        stats.name,
+        stats.makespan(),
+        stats.map.tasks.len(),
+        stats.reduce.as_ref().map(|r| r.tasks.len()).unwrap_or(0),
+    );
+    let _ = writeln!(
+        s,
+        "  map phase: input locality {:.0}%, {} output bytes",
+        stats.map.schedule.input_locality() * 100.0,
+        stats.map.output_bytes(),
+    );
+    if let Some(reduce) = &stats.reduce {
+        let affinity_hits = reduce
+            .schedule
+            .assignments
+            .iter()
+            .filter(|a| a.affinity_hit)
+            .count();
+        let _ = writeln!(
+            s,
+            "  reduce phase: {} shuffle bytes, affinity hits {}/{}",
+            stats.shuffle_bytes,
+            affinity_hits,
+            reduce.schedule.assignments.len(),
+        );
+    }
+    let mut counters = stats.counters.iter_sorted();
+    counters.retain(|(k, _)| k.starts_with("efind."));
+    if !counters.is_empty() {
+        let _ = writeln!(s, "  efind counters:");
+        for (k, v) in counters {
+            let _ = writeln!(s, "    {k} = {v}");
+        }
+    }
+    s
+}
+
+/// Renders a phase's schedule as an ASCII Gantt chart: one row per node,
+/// `#` marks time buckets where at least one of the node's slots is busy.
+pub fn render_timeline(phase: &PhaseStats, width: usize) -> String {
+    render_schedule_timeline(&phase.schedule, width)
+}
+
+/// Renders any schedule as an ASCII timeline.
+pub fn render_schedule_timeline(schedule: &Schedule, width: usize) -> String {
+    let width = width.clamp(10, 200);
+    let mut s = String::new();
+    if schedule.assignments.is_empty() {
+        let _ = writeln!(s, "  (no tasks)");
+        return s;
+    }
+    let start = schedule
+        .assignments
+        .iter()
+        .map(|a| a.start)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let end = schedule.makespan;
+    let span = end.since(start).as_secs_f64().max(1e-9);
+
+    let mut nodes: Vec<_> = schedule.assignments.iter().map(|a| a.node).collect();
+    nodes.sort();
+    nodes.dedup();
+    for node in nodes {
+        let mut row = vec![b'.'; width];
+        let mut tasks = 0usize;
+        for a in schedule.assignments.iter().filter(|a| a.node == node) {
+            tasks += 1;
+            let b0 = ((a.start.since(start).as_secs_f64() / span) * width as f64) as usize;
+            let b1 = ((a.end.since(start).as_secs_f64() / span) * width as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b1.min(width)).skip(b0.min(width - 1)) {
+                *cell = b'#';
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  {:<7} |{}| {} tasks",
+            node.to_string(),
+            String::from_utf8_lossy(&row),
+            tasks,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  {:<7}  0{:>w$}",
+        "",
+        efind_common::fmtutil::human_secs(span),
+        w = width - 1
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{identity_mapper, mapper_fn, reducer_fn};
+    use crate::job::JobConf;
+    use crate::runner::run_job;
+    use efind_common::{Datum, Record};
+    use efind_cluster::Cluster;
+    use efind_dfs::{Dfs, DfsConfig};
+
+    fn run() -> JobStats {
+        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 256,
+                replication: 1,
+                seed: 2,
+            },
+        );
+        let recs: Vec<Record> = (0..100i64).map(|i| Record::new(i, i % 5)).collect();
+        dfs.write_file("in", recs);
+        let conf = JobConf::new("demo", "in", "out")
+            .add_mapper(mapper_fn(|rec, out, _| {
+                out.collect(Record {
+                    key: rec.value.clone(),
+                    value: Datum::Int(1),
+                });
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                2,
+            );
+        run_job(&cluster, &mut dfs, &conf).unwrap().stats
+    }
+
+    #[test]
+    fn summary_mentions_phases_and_counts() {
+        let stats = run();
+        let s = render_summary(&stats);
+        assert!(s.contains("job demo"));
+        assert!(s.contains("map tasks"));
+        assert!(s.contains("reduce phase"));
+        assert!(s.contains("input locality"));
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_busy_node() {
+        let stats = run();
+        let t = render_timeline(&stats.map, 40);
+        let rows = t.lines().filter(|l| l.contains('|')).count();
+        assert!((1..=2).contains(&rows), "{t}");
+        assert!(t.contains('#'), "{t}");
+    }
+
+    #[test]
+    fn timeline_handles_empty_schedules() {
+        let empty = PhaseStats {
+            tasks: vec![],
+            schedule: Schedule::default(),
+        };
+        assert!(render_timeline(&empty, 40).contains("no tasks"));
+    }
+
+    #[test]
+    fn identity_job_summary_renders() {
+        let cluster = Cluster::builder().nodes(1).build();
+        let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+        dfs.write_file("in", vec![Record::new(1i64, 2i64)]);
+        let conf = JobConf::new("copy", "in", "out").add_mapper(identity_mapper());
+        let stats = run_job(&cluster, &mut dfs, &conf).unwrap().stats;
+        let s = render_summary(&stats);
+        assert!(s.contains("0 reduce tasks"));
+    }
+}

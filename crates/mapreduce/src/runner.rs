@@ -1,0 +1,878 @@
+//! Job execution.
+//!
+//! User code runs for real — every map task reads its chunk's records,
+//! applies the chained functions, and the reduce phase sorts, groups, and
+//! reduces actual data — while the virtual timeline comes from the cluster
+//! scheduler: each task's placement-independent cost is accumulated during
+//! execution (CPU model, charges from user code, spill and shuffle
+//! volumes), then [`efind_cluster::sched::schedule_phase`] assigns tasks to
+//! slots and yields the phase makespan.
+//!
+//! The runner's pieces are public individually (`execute_maps`,
+//! `run_reduce_from`, `schedule_maps`) because EFind's adaptive optimizer
+//! (§4.3, Fig. 10) needs to stop a job after its first map wave, re-plan,
+//! and stitch the completed wave's outputs into the new plan's reduce.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use efind_common::{Error, Record, Result};
+use efind_cluster::{
+    sched::{schedule_phase, Schedule, SlotKind, TaskSpec},
+    Cluster, SimDuration, SimTime,
+};
+use efind_dfs::{ChunkMeta, Dfs, DfsFile};
+use parking_lot::Mutex;
+
+use crate::api::{run_chain, Collector};
+use crate::context::TaskCtx;
+use crate::job::JobConf;
+use crate::stats::{JobStats, PhaseStats, TaskStats};
+
+/// Result of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Handle of the DFS output file.
+    pub output: DfsFile,
+    /// Full statistics and timeline.
+    pub stats: JobStats,
+}
+
+/// One executed (but not yet scheduled) map task.
+#[derive(Debug)]
+pub struct MapTaskExec {
+    /// Task id within the phase.
+    pub task_id: usize,
+    /// Input chunk size in bytes (scheduler charges the read).
+    pub input_bytes: u64,
+    /// Input replica hosts.
+    pub input_hosts: Vec<efind_cluster::NodeId>,
+    /// Placement-independent cost of the task body.
+    pub base_cost: SimDuration,
+    /// Index-locality affinity declared by user code.
+    pub affinity: Vec<efind_cluster::NodeId>,
+    /// Extra cost when scheduled off the affinity nodes.
+    pub affinity_penalty: SimDuration,
+    /// Whether the task must run on its affinity nodes.
+    pub hard_affinity: bool,
+    /// The task's full output (pre-shuffle).
+    pub output: Vec<Record>,
+    /// Per-task statistics.
+    pub stats: TaskStats,
+}
+
+/// All executed map tasks of a (partial or full) map phase.
+#[derive(Debug, Default)]
+pub struct MapPhaseExec {
+    /// Executed tasks in task-id order.
+    pub tasks: Vec<MapTaskExec>,
+}
+
+impl MapPhaseExec {
+    /// Total bytes produced by these map tasks.
+    pub fn output_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.stats.output_bytes).sum()
+    }
+
+    /// Moves the per-task output record vectors out, in task order.
+    pub fn take_outputs(&mut self) -> Vec<Vec<Record>> {
+        self.tasks.iter_mut().map(|t| std::mem::take(&mut t.output)).collect()
+    }
+}
+
+/// One executed (but not yet scheduled) reduce task.
+pub struct ReduceTaskExec {
+    /// Reduce task id (= partition index).
+    pub task_id: usize,
+    /// Per-task statistics.
+    pub stats: TaskStats,
+    /// The schedulable task.
+    pub spec: TaskSpec,
+    /// The task's output records.
+    pub output: Vec<Record>,
+}
+
+/// Outcome of a reduce phase.
+pub struct ReduceOutcome {
+    /// Reduce phase statistics and timeline.
+    pub phase: PhaseStats,
+    /// The written DFS output file.
+    pub output: DfsFile,
+    /// Bytes moved through the shuffle.
+    pub shuffle_bytes: u64,
+}
+
+/// Executes jobs against a cluster and DFS.
+pub struct Runner<'a> {
+    /// The simulated cluster.
+    pub cluster: &'a Cluster,
+    /// The distributed file system.
+    pub dfs: &'a mut Dfs,
+}
+
+impl<'a> Runner<'a> {
+    /// Creates a runner.
+    pub fn new(cluster: &'a Cluster, dfs: &'a mut Dfs) -> Self {
+        Runner { cluster, dfs }
+    }
+
+    /// The input chunks of a job, in order.
+    pub fn chunks(&self, conf: &JobConf) -> Result<Vec<ChunkMeta>> {
+        Ok(self.dfs.stat(&conf.input)?.chunks)
+    }
+
+    /// How many of `total` map tasks run in the first wave (one per slot).
+    pub fn first_wave_count(&self, total: usize) -> usize {
+        total.min(self.cluster.total_map_slots())
+    }
+
+    /// Executes the map computation over `chunks` (real data, virtual
+    /// cost), numbering tasks from `base_task_id`. Tasks run in parallel on
+    /// real threads; results are deterministic.
+    pub fn execute_maps(
+        &self,
+        conf: &JobConf,
+        chunks: &[ChunkMeta],
+        base_task_id: usize,
+    ) -> Result<MapPhaseExec> {
+        let n = chunks.len();
+        if n == 0 {
+            return Ok(MapPhaseExec::default());
+        }
+        let results: Mutex<Vec<Option<Result<MapTaskExec>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n);
+        let dfs = &*self.dfs;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let exec = self.execute_one_map(conf, &chunks[i], base_task_id + i, dfs);
+                    results.lock()[i] = Some(exec);
+                });
+            }
+        })
+        .expect("map worker panicked");
+        let mut tasks = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            tasks.push(slot.expect("all map tasks executed")?);
+        }
+        Ok(MapPhaseExec { tasks })
+    }
+
+    fn execute_one_map(
+        &self,
+        conf: &JobConf,
+        chunk: &ChunkMeta,
+        task_id: usize,
+        dfs: &Dfs,
+    ) -> Result<MapTaskExec> {
+        let records = dfs.read_chunk(&conf.input, chunk.index)?.to_vec();
+        let input_records = records.len() as u64;
+        let mut ctx = TaskCtx::new(task_id);
+        let mut output = run_chain(&conf.map_chain, records, &mut ctx);
+        // The map function's emit cost is per *emitted* record — count it
+        // before the combiner shrinks the output, and charge the combiner
+        // its own pass over those records.
+        let emitted_records = output.len() as u64;
+        let mut combiner_cost = SimDuration::ZERO;
+        if let Some(combiner) = conf.combiner.as_ref().filter(|_| conf.has_reduce()) {
+            output = run_combiner(combiner, output, &mut ctx);
+            combiner_cost = conf.cpu_per_record * emitted_records;
+        }
+        if let Some(msg) = ctx.error() {
+            return Err(Error::Internal(format!(
+                "map task {task_id} of job {}: {msg}",
+                conf.name
+            )));
+        }
+        let output_records = output.len() as u64;
+        let output_bytes: u64 = output.iter().map(Record::size_bytes).sum();
+
+        let mut base_cost = ctx.charged()
+            + conf.cpu_per_record * (input_records + emitted_records)
+            + combiner_cost;
+        if conf.has_reduce() {
+            // Map-side spill of the shuffle input.
+            base_cost += self.cluster.disk.write(output_bytes);
+        }
+
+        ctx.counters.add("mr.map.input.records", input_records as i64);
+        ctx.counters.add("mr.map.input.bytes", chunk.bytes as i64);
+        ctx.counters.add("mr.map.output.records", output_records as i64);
+        ctx.counters.add("mr.map.output.bytes", output_bytes as i64);
+
+        let affinity = ctx.affinity().to_vec();
+        let affinity_penalty = ctx.affinity_penalty();
+        let hard_affinity = ctx.hard_affinity();
+        let stats = TaskStats {
+            task_id,
+            input_records,
+            input_bytes: chunk.bytes,
+            output_records,
+            output_bytes,
+            compute_cost: base_cost,
+            counters: ctx.counters,
+            sketches: ctx.sketches,
+        };
+        Ok(MapTaskExec {
+            task_id,
+            input_bytes: chunk.bytes,
+            input_hosts: chunk.hosts.clone(),
+            base_cost,
+            affinity,
+            affinity_penalty,
+            hard_affinity,
+            output,
+            stats,
+        })
+    }
+
+    /// Schedules executed map tasks onto the cluster starting at `start`.
+    pub fn schedule_maps(&self, exec: &MapPhaseExec, start: SimTime) -> Schedule {
+        let specs: Vec<TaskSpec> = exec
+            .tasks
+            .iter()
+            .map(|t| TaskSpec {
+                id: t.task_id,
+                kind: SlotKind::Map,
+                base: t.base_cost,
+                input_bytes: t.input_bytes,
+                input_hosts: t.input_hosts.clone(),
+                affinity: t.affinity.clone(),
+                affinity_penalty: t.affinity_penalty,
+                hard_affinity: t.hard_affinity,
+            })
+            .collect();
+        schedule_phase(self.cluster, &specs, start)
+    }
+
+    /// Partitions per-source map outputs into the job's reduce buckets,
+    /// returning the partitions and the total shuffled bytes.
+    pub fn partition_for_reduce(
+        &self,
+        conf: &JobConf,
+        sources: Vec<Vec<Record>>,
+    ) -> (Vec<Vec<Record>>, u64) {
+        let num_r = conf.num_reducers.max(1);
+        let mut partitions: Vec<Vec<Record>> = (0..num_r).map(|_| Vec::new()).collect();
+        let mut shuffle_bytes = 0u64;
+        for source in sources {
+            for rec in source {
+                shuffle_bytes += rec.size_bytes();
+                let p = conf.partitioner.partition(&rec.key, num_r);
+                partitions[p].push(rec);
+            }
+        }
+        (partitions, shuffle_bytes)
+    }
+
+    /// Executes (real computation, no scheduling) the reduce tasks for the
+    /// given `(task_id, input)` partitions. Used directly by the adaptive
+    /// optimizer to run the reduce phase wave by wave (Fig. 10(b)).
+    pub fn execute_reduce_partitions(
+        &self,
+        conf: &JobConf,
+        partitions: &[(usize, &[Record])],
+    ) -> Result<Vec<ReduceTaskExec>> {
+        let n = partitions.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        type ReduceExec = Result<(TaskStats, TaskSpec, Vec<Record>)>;
+        let results: Mutex<Vec<Option<ReduceExec>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (task_id, input) = partitions[i];
+                    let out = self.execute_one_reduce(conf, task_id, input);
+                    results.lock()[i] = Some(out);
+                });
+            }
+        })
+        .expect("reduce worker panicked");
+        let mut tasks = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            let (stats, spec, output) = slot.expect("all reduce tasks executed")?;
+            tasks.push(ReduceTaskExec {
+                task_id: spec.id,
+                stats,
+                spec,
+                output,
+            });
+        }
+        Ok(tasks)
+    }
+
+    /// Runs the reduce phase over per-source map outputs (in source order),
+    /// writes the job output file, and returns the outcome.
+    ///
+    /// `sources` is one record vector per completed map task; the shuffle
+    /// partitions each with the job's partitioner. This entry point is also
+    /// how the adaptive optimizer merges a completed first wave (old plan)
+    /// with the new plan's map outputs — Fig. 10(a).
+    pub fn run_reduce_from(
+        &mut self,
+        conf: &JobConf,
+        sources: Vec<Vec<Record>>,
+        start: SimTime,
+    ) -> Result<ReduceOutcome> {
+        if !conf.has_reduce() {
+            return Err(Error::InvalidConfig(format!(
+                "job {} has no reduce phase",
+                conf.name
+            )));
+        }
+        let (partitions, shuffle_bytes) = self.partition_for_reduce(conf, sources);
+        let refs: Vec<(usize, &[Record])> = partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.as_slice()))
+            .collect();
+        let execs = self.execute_reduce_partitions(conf, &refs)?;
+
+        let mut tasks = Vec::with_capacity(execs.len());
+        let mut specs = Vec::with_capacity(execs.len());
+        let mut outputs = Vec::with_capacity(execs.len());
+        for e in execs {
+            tasks.push(e.stats);
+            specs.push(e.spec);
+            outputs.push(e.output);
+        }
+        let schedule = schedule_phase(self.cluster, &specs, start);
+        let all_output: Vec<Record> = outputs.into_iter().flatten().collect();
+        let output = match conf.output_chunks {
+            Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
+            None => self.dfs.write_file(&conf.output, all_output),
+        };
+        Ok(ReduceOutcome {
+            phase: PhaseStats { tasks, schedule },
+            output,
+            shuffle_bytes,
+        })
+    }
+
+    fn execute_one_reduce(
+        &self,
+        conf: &JobConf,
+        task_id: usize,
+        input: &[Record],
+    ) -> Result<(TaskStats, TaskSpec, Vec<Record>)> {
+        let input_records = input.len() as u64;
+        let input_bytes: u64 = input.iter().map(Record::size_bytes).sum();
+        let mut sorted = input.to_vec();
+        sorted.sort_by(|a, b| a.key.cmp(&b.key));
+
+        let mut ctx = TaskCtx::new(task_id);
+        let mut reduced: Vec<Record> = Vec::new();
+        {
+            let mut reducer = conf.reducer.as_ref().map(|f| f());
+            let mut group_start = 0usize;
+            while group_start < sorted.len() {
+                let mut group_end = group_start + 1;
+                while group_end < sorted.len() && sorted[group_end].key == sorted[group_start].key
+                {
+                    group_end += 1;
+                }
+                let key = sorted[group_start].key.clone();
+                let values: Vec<_> = sorted[group_start..group_end]
+                    .iter()
+                    .map(|r| r.value.clone())
+                    .collect();
+                match reducer.as_mut() {
+                    Some(red) => red.reduce(key, values, &mut reduced, &mut ctx),
+                    None => {
+                        // Identity reduce: grouped pass-through.
+                        for v in values {
+                            reduced.collect(Record {
+                                key: key.clone(),
+                                value: v,
+                            });
+                        }
+                    }
+                }
+                group_start = group_end;
+            }
+            if let Some(red) = reducer.as_mut() {
+                red.flush(&mut reduced, &mut ctx);
+            }
+        }
+        let output = run_chain(&conf.reduce_post, reduced, &mut ctx);
+        if let Some(msg) = ctx.error() {
+            return Err(Error::Internal(format!(
+                "reduce task {task_id} of job {}: {msg}",
+                conf.name
+            )));
+        }
+        let output_records = output.len() as u64;
+        let output_bytes: u64 = output.iter().map(Record::size_bytes).sum();
+
+        // Shuffle transfer (remote fraction), merge spill, and the DFS
+        // write of the task's output slice.
+        let nodes = self.cluster.num_nodes() as u64;
+        let remote_bytes = input_bytes * (nodes.saturating_sub(1)) / nodes.max(1);
+        let mut base_cost = ctx.charged()
+            + conf.cpu_per_record * (input_records + output_records)
+            + self.cluster.network.volume(remote_bytes)
+            + self.cluster.disk.write(input_bytes)
+            + self.cluster.disk.read(input_bytes)
+            + self.dfs.store_cost(output_bytes);
+        // Sorting cost: n log2 n comparisons at the per-record CPU rate
+        // scaled down (a comparison is much cheaper than a record pass).
+        if input_records > 1 {
+            let logn = (input_records as f64).log2();
+            base_cost += conf
+                .cpu_per_record
+                .mul_f64(input_records as f64 * logn / 16.0);
+        }
+
+        ctx.counters.add("mr.reduce.input.records", input_records as i64);
+        ctx.counters.add("mr.reduce.input.bytes", input_bytes as i64);
+        ctx.counters.add("mr.reduce.output.records", output_records as i64);
+        ctx.counters.add("mr.reduce.output.bytes", output_bytes as i64);
+
+        let spec = TaskSpec {
+            id: task_id,
+            kind: SlotKind::Reduce,
+            base: base_cost,
+            input_bytes: 0, // shuffle reads charged in base (scattered sources)
+            input_hosts: Vec::new(),
+            affinity: ctx.affinity().to_vec(),
+            affinity_penalty: ctx.affinity_penalty(),
+            hard_affinity: ctx.hard_affinity(),
+        };
+        let stats = TaskStats {
+            task_id,
+            input_records,
+            input_bytes,
+            output_records,
+            output_bytes,
+            compute_cost: base_cost,
+            counters: ctx.counters,
+            sketches: ctx.sketches,
+        };
+        Ok((stats, spec, output))
+    }
+
+    /// Runs a full job starting at virtual time `start`.
+    pub fn run(&mut self, conf: &JobConf, start: SimTime) -> Result<JobResult> {
+        let chunks = self.chunks(conf)?;
+        let mut exec = self.execute_maps(conf, &chunks, 0)?;
+        self.finish(conf, &mut exec, start)
+    }
+
+    /// Schedules an executed map phase, runs the reduce phase (if any),
+    /// writes the output, and assembles the result. Consumes the map
+    /// outputs held in `exec`.
+    pub fn finish(
+        &mut self,
+        conf: &JobConf,
+        exec: &mut MapPhaseExec,
+        start: SimTime,
+    ) -> Result<JobResult> {
+        // Map-only jobs pay the DFS store from within the map tasks.
+        if !conf.has_reduce() {
+            for t in &mut exec.tasks {
+                let extra = self.dfs.store_cost(t.stats.output_bytes);
+                t.base_cost += extra;
+                t.stats.compute_cost += extra;
+            }
+        }
+        let map_schedule = self.schedule_maps(exec, start);
+        let map_end = map_schedule.makespan;
+
+        let mut counters = crate::counters::Counters::new();
+        let mut sketches = crate::counters::Sketches::new();
+        for t in &exec.tasks {
+            counters.merge(&t.stats.counters);
+            sketches.merge(&t.stats.sketches);
+        }
+
+        let map_stats = PhaseStats {
+            tasks: exec.tasks.iter().map(|t| t.stats.clone()).collect(),
+            schedule: map_schedule,
+        };
+
+        if conf.has_reduce() {
+            let sources = exec.take_outputs();
+            let outcome = self.run_reduce_from(conf, sources, map_end)?;
+            for t in &outcome.phase.tasks {
+                counters.merge(&t.counters);
+                sketches.merge(&t.sketches);
+            }
+            let finished = outcome.phase.schedule.makespan.max(map_end);
+            let output_bytes = outcome.output.total_bytes();
+            Ok(JobResult {
+                output: outcome.output,
+                stats: JobStats {
+                    name: conf.name.clone(),
+                    started: start,
+                    finished,
+                    map: map_stats,
+                    reduce: Some(outcome.phase),
+                    counters,
+                    sketches,
+                    shuffle_bytes: outcome.shuffle_bytes,
+                    output_bytes,
+                },
+            })
+        } else {
+            let all_output: Vec<Record> = exec.take_outputs().into_iter().flatten().collect();
+            let output = match conf.output_chunks {
+                Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
+                None => self.dfs.write_file(&conf.output, all_output),
+            };
+            let output_bytes = output.total_bytes();
+            Ok(JobResult {
+                output,
+                stats: JobStats {
+                    name: conf.name.clone(),
+                    started: start,
+                    finished: map_end,
+                    map: map_stats,
+                    reduce: None,
+                    counters,
+                    sketches,
+                    shuffle_bytes: 0,
+                    output_bytes,
+                },
+            })
+        }
+    }
+}
+
+/// Runs the combiner over one map task's output: groups by key locally
+/// and applies the combining reduce function (Hadoop's map-side combine).
+fn run_combiner(
+    combiner: &crate::api::ReducerFactory,
+    mut records: Vec<Record>,
+    ctx: &mut TaskCtx,
+) -> Vec<Record> {
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out: Vec<Record> = Vec::new();
+    let mut c = combiner();
+    let mut start = 0usize;
+    while start < records.len() {
+        let mut end = start + 1;
+        while end < records.len() && records[end].key == records[start].key {
+            end += 1;
+        }
+        let key = records[start].key.clone();
+        let values: Vec<_> = records[start..end]
+            .iter()
+            .map(|r| r.value.clone())
+            .collect();
+        c.reduce(key, values, &mut out, ctx);
+        start = end;
+    }
+    c.flush(&mut out, ctx);
+    out
+}
+
+/// Convenience wrapper: runs `conf` from time zero.
+pub fn run_job(cluster: &Cluster, dfs: &mut Dfs, conf: &JobConf) -> Result<JobResult> {
+    Runner::new(cluster, dfs).run(conf, SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{identity_mapper, mapper_fn, reducer_fn};
+    use efind_common::Datum;
+    use efind_dfs::DfsConfig;
+
+    fn setup(records: Vec<Record>) -> (Cluster, Dfs) {
+        let cluster = Cluster::builder().nodes(4).map_slots(2).reduce_slots(2).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication: 2,
+                seed: 9,
+            },
+        );
+        dfs.write_file("input", records);
+        (cluster, dfs)
+    }
+
+    fn words() -> Vec<Record> {
+        let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+        text.iter()
+            .cycle()
+            .take(200)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect()
+    }
+
+    fn wordcount_conf() -> JobConf {
+        JobConf::new("wordcount", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _ctx| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _ctx| {
+                    let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                    out.collect(Record::new(key, total));
+                }),
+                3,
+            )
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let (cluster, mut dfs) = setup(words());
+        let res = run_job(&cluster, &mut dfs, &wordcount_conf()).unwrap();
+        let mut out = dfs.read_file("out").unwrap();
+        out.sort();
+        let counts: Vec<(String, i64)> = out
+            .iter()
+            .map(|r| (r.key.as_text().unwrap().to_owned(), r.value.as_int().unwrap()))
+            .collect();
+        assert_eq!(counts.len(), 5);
+        let the = counts.iter().find(|(w, _)| w == "the").unwrap().1;
+        assert_eq!(the, 75); // 3 of every 8 words, 200 words
+        assert!(res.stats.makespan() > SimDuration::ZERO);
+        assert_eq!(res.stats.counters.get("mr.map.input.records"), 200);
+        assert_eq!(res.stats.counters.get("mr.reduce.output.records"), 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (cluster, mut dfs1) = setup(words());
+        let r1 = run_job(&cluster, &mut dfs1, &wordcount_conf()).unwrap();
+        let (_, mut dfs2) = setup(words());
+        let r2 = run_job(&cluster, &mut dfs2, &wordcount_conf()).unwrap();
+        assert_eq!(r1.stats.makespan(), r2.stats.makespan());
+        assert_eq!(
+            dfs1.read_file("out").unwrap(),
+            dfs2.read_file("out").unwrap()
+        );
+    }
+
+    #[test]
+    fn map_only_job_writes_output() {
+        let (cluster, mut dfs) = setup(words());
+        let conf = JobConf::new("copy", "input", "copied").add_mapper(identity_mapper());
+        let res = run_job(&cluster, &mut dfs, &conf).unwrap();
+        assert!(res.stats.reduce.is_none());
+        assert_eq!(dfs.read_file("copied").unwrap().len(), 200);
+        assert_eq!(res.stats.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn identity_reduce_groups_without_loss() {
+        let (cluster, mut dfs) = setup(words());
+        let conf = JobConf::new("group", "input", "grouped")
+            .add_mapper(mapper_fn(|rec, out, _| {
+                out.collect(Record::new(rec.value.clone(), rec.key.clone()));
+            }))
+            .with_identity_reduce(2);
+        run_job(&cluster, &mut dfs, &conf).unwrap();
+        assert_eq!(dfs.read_file("grouped").unwrap().len(), 200);
+    }
+
+    #[test]
+    fn reduce_post_chain_applies() {
+        let (cluster, mut dfs) = setup(words());
+        let mut conf = wordcount_conf();
+        conf.output = "out2".into();
+        conf = conf.add_reduce_post(mapper_fn(|rec, out, _| {
+            let c = rec.value.as_int().unwrap();
+            if c >= 50 {
+                out.collect(rec);
+            }
+        }));
+        run_job(&cluster, &mut dfs, &conf).unwrap();
+        let out = dfs.read_file("out2").unwrap();
+        assert_eq!(out.len(), 2); // "the" (75) and "fox" (50)
+    }
+
+    #[test]
+    fn charged_cost_increases_makespan() {
+        let (cluster, mut dfs) = setup(words());
+        let cheap = JobConf::new("cheap", "input", "o1").add_mapper(identity_mapper());
+        let costly = JobConf::new("costly", "input", "o2").add_mapper(mapper_fn(
+            |rec, out: &mut dyn Collector, ctx: &mut TaskCtx| {
+                ctx.charge(SimDuration::from_millis(1));
+                out.collect(rec);
+            },
+        ));
+        let t_cheap = run_job(&cluster, &mut dfs, &cheap).unwrap().stats.makespan();
+        let t_costly = run_job(&cluster, &mut dfs, &costly).unwrap().stats.makespan();
+        assert!(t_costly > t_cheap, "{t_costly} vs {t_cheap}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let (cluster, mut dfs) = setup(vec![]);
+        let conf = JobConf::new("empty", "input", "out").add_mapper(identity_mapper());
+        let res = run_job(&cluster, &mut dfs, &conf).unwrap();
+        assert_eq!(res.stats.makespan(), SimDuration::ZERO);
+        assert_eq!(dfs.read_file("out").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let (cluster, mut dfs) = setup(vec![]);
+        let conf = JobConf::new("x", "no-such-file", "out");
+        assert!(run_job(&cluster, &mut dfs, &conf).is_err());
+    }
+
+    #[test]
+    fn reduce_from_requires_reduce() {
+        let (cluster, mut dfs) = setup(vec![]);
+        let conf = JobConf::new("x", "input", "out");
+        let mut runner = Runner::new(&cluster, &mut dfs);
+        assert!(runner
+            .run_reduce_from(&conf, vec![], SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn wave_split_then_merge_matches_full_run() {
+        // Simulates what the adaptive optimizer does when it decides NOT to
+        // change plans: wave 1 and the remainder executed separately must
+        // reduce to the same output as one full run.
+        let (cluster, mut dfs) = setup(words());
+        let conf = wordcount_conf();
+        let full = run_job(&cluster, &mut dfs, &conf).unwrap();
+        let full_out = dfs.read_file("out").unwrap();
+
+        let (cluster2, mut dfs2) = setup(words());
+        let mut runner = Runner::new(&cluster2, &mut dfs2);
+        let chunks = runner.chunks(&conf).unwrap();
+        let w = runner.first_wave_count(chunks.len()).min(chunks.len() - 1).max(1);
+        let mut exec1 = runner.execute_maps(&conf, &chunks[..w], 0).unwrap();
+        let mut exec2 = runner.execute_maps(&conf, &chunks[w..], w).unwrap();
+        let mut sources = exec1.take_outputs();
+        sources.extend(exec2.take_outputs());
+        let outcome = runner.run_reduce_from(&conf, sources, SimTime::ZERO).unwrap();
+        let merged_out = dfs2.read_file("out").unwrap();
+        assert_eq!(full_out, merged_out);
+        assert_eq!(full.output.total_bytes(), outcome.output.total_bytes());
+    }
+
+    #[test]
+    fn per_task_counters_survive_in_stats() {
+        let (cluster, mut dfs) = setup(words());
+        let conf = JobConf::new("count", "input", "out")
+            .add_mapper(mapper_fn(|rec, out: &mut dyn Collector, ctx: &mut TaskCtx| {
+                ctx.counters.inc("custom.seen");
+                out.collect(rec);
+            }))
+            .with_identity_reduce(1);
+        let res = run_job(&cluster, &mut dfs, &conf).unwrap();
+        assert_eq!(res.stats.counters.get("custom.seen"), 200);
+        let per_task: i64 = res
+            .stats
+            .map
+            .tasks
+            .iter()
+            .map(|t| t.counters.get("custom.seen"))
+            .sum();
+        assert_eq!(per_task, 200);
+        assert!(res.stats.map.tasks.len() > 1);
+    }
+}
+
+#[cfg(test)]
+mod combiner_tests {
+    use super::*;
+    use crate::api::{mapper_fn, reducer_fn};
+    use efind_common::Datum;
+    use efind_dfs::DfsConfig;
+
+    fn setup() -> (Cluster, Dfs) {
+        let cluster = Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication: 2,
+                seed: 4,
+            },
+        );
+        let words = ["a", "b", "a", "c", "a", "b"];
+        let records: Vec<Record> = words
+            .iter()
+            .cycle()
+            .take(300)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect();
+        dfs.write_file("input", records);
+        (cluster, dfs)
+    }
+
+    fn count_conf(with_combiner: bool) -> JobConf {
+        let sum = reducer_fn(|key, values, out: &mut dyn crate::api::Collector, _ctx: &mut TaskCtx| {
+            let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+            out.collect(Record::new(key, total));
+        });
+        let mut conf = JobConf::new("wc", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(sum.clone(), 2);
+        if with_combiner {
+            conf = conf.with_combiner(sum);
+        }
+        conf
+    }
+
+    #[test]
+    fn combiner_preserves_results() {
+        let (cluster, mut dfs) = setup();
+        run_job(&cluster, &mut dfs, &count_conf(false)).unwrap();
+        let mut plain = dfs.read_file("out").unwrap();
+        plain.sort();
+        run_job(&cluster, &mut dfs, &count_conf(true)).unwrap();
+        let mut combined = dfs.read_file("out").unwrap();
+        combined.sort();
+        assert_eq!(plain, combined);
+        assert_eq!(plain.len(), 3);
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_volume() {
+        let (cluster, mut dfs) = setup();
+        let plain = run_job(&cluster, &mut dfs, &count_conf(false)).unwrap();
+        let combined = run_job(&cluster, &mut dfs, &count_conf(true)).unwrap();
+        assert!(
+            combined.stats.shuffle_bytes < plain.stats.shuffle_bytes / 5,
+            "shuffle {} vs {}",
+            combined.stats.shuffle_bytes,
+            plain.stats.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn combiner_ignored_for_map_only_jobs() {
+        let (cluster, mut dfs) = setup();
+        let mut conf = JobConf::new("copy", "input", "copied")
+            .add_mapper(crate::api::identity_mapper());
+        conf.combiner = Some(reducer_fn(|_k, _v, _out, _ctx| {
+            panic!("combiner must not run without a reduce phase")
+        }));
+        let res = run_job(&cluster, &mut dfs, &conf).unwrap();
+        assert_eq!(res.output.total_records(), 300);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the MapReduce framework: shuffle correctness,
+//! determinism, and combiner equivalence on arbitrary inputs.
+
+use efind_common::{Datum, Record};
+use efind_cluster::Cluster;
+use efind_dfs::{Dfs, DfsConfig};
+use efind_mapreduce::{mapper_fn, reducer_fn, run_job, JobConf};
+use proptest::prelude::*;
+
+fn cluster() -> Cluster {
+    Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build()
+}
+
+fn load(records: &[(i64, i64)]) -> Dfs {
+    let mut dfs = Dfs::new(
+        cluster(),
+        DfsConfig {
+            chunk_size_bytes: 256,
+            replication: 2,
+            seed: 6,
+        },
+    );
+    let recs: Vec<Record> = records
+        .iter()
+        .enumerate()
+        .map(|(i, (k, v))| {
+            Record::new(
+                i as i64,
+                Datum::List(vec![Datum::Int(*k), Datum::Int(*v)]),
+            )
+        })
+        .collect();
+    dfs.write_file("in", recs);
+    dfs
+}
+
+fn sum_by_key_conf(reducers: usize, combiner: bool) -> JobConf {
+    let sum = reducer_fn(|key, values, out: &mut dyn efind_mapreduce::Collector, _ctx: &mut efind_mapreduce::TaskCtx| {
+        let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+        out.collect(Record::new(key, total));
+    });
+    let mut conf = JobConf::new("sum", "in", "out")
+        .add_mapper(mapper_fn(|rec, out, _| {
+            let f = rec.value.as_list().unwrap();
+            out.collect(Record {
+                key: f[0].clone(),
+                value: f[1].clone(),
+            });
+        }))
+        .with_reducer(sum.clone(), reducers);
+    if combiner {
+        conf = conf.with_combiner(sum);
+    }
+    conf
+}
+
+fn reference(records: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (k, v) in records {
+        *map.entry(*k).or_insert(0i64) += v;
+    }
+    map.into_iter().collect()
+}
+
+fn run_sum(records: &[(i64, i64)], reducers: usize, combiner: bool) -> Vec<(i64, i64)> {
+    let c = cluster();
+    let mut dfs = load(records);
+    run_job(&c, &mut dfs, &sum_by_key_conf(reducers, combiner)).unwrap();
+    let mut out: Vec<(i64, i64)> = dfs
+        .read_file("out")
+        .unwrap()
+        .iter()
+        .map(|r| (r.key.as_int().unwrap(), r.value.as_int().unwrap()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shuffle_groups_match_reference(
+        records in proptest::collection::vec((-20i64..20, -100i64..100), 1..300),
+        reducers in 1usize..8,
+    ) {
+        prop_assert_eq!(run_sum(&records, reducers, false), reference(&records));
+    }
+
+    #[test]
+    fn reducer_count_never_changes_the_answer(
+        records in proptest::collection::vec((-10i64..10, -50i64..50), 1..200),
+    ) {
+        let one = run_sum(&records, 1, false);
+        let many = run_sum(&records, 7, false);
+        prop_assert_eq!(one, many);
+    }
+
+    #[test]
+    fn combiner_is_transparent_for_associative_sums(
+        records in proptest::collection::vec((-10i64..10, -50i64..50), 1..200),
+    ) {
+        prop_assert_eq!(run_sum(&records, 4, true), run_sum(&records, 4, false));
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        records in proptest::collection::vec((0i64..15, 0i64..50), 1..150),
+    ) {
+        let a = run_sum(&records, 3, false);
+        let b = run_sum(&records, 3, false);
+        prop_assert_eq!(a, b);
+        // Virtual makespans are reproducible too.
+        let c = cluster();
+        let mut d1 = load(&records);
+        let t1 = run_job(&c, &mut d1, &sum_by_key_conf(3, false)).unwrap().stats.makespan();
+        let mut d2 = load(&records);
+        let t2 = run_job(&c, &mut d2, &sum_by_key_conf(3, false)).unwrap().stats.makespan();
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,190 @@
+//! The query model: a linear pipeline of steps over a scanned input,
+//! optionally ending in a group-by with aggregates.
+
+use std::sync::Arc;
+
+use efind::IndexAccessor;
+
+use crate::expr::{Expr, Pred};
+
+/// How index-join misses are handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Drop rows whose key finds nothing (the index-nested-loop joins of
+    /// the paper's TPC-H experiments).
+    Inner,
+    /// Keep them, padding the taken columns with `Null`.
+    Left,
+}
+
+/// One index join: look `on` up in `index`, append the `take` columns of
+/// the first result value to the row.
+#[derive(Clone)]
+pub struct IndexJoinSpec {
+    /// A stable name (becomes the EFind operator name).
+    pub name: String,
+    /// The index accessor.
+    pub index: Arc<dyn IndexAccessor>,
+    /// The lookup key expression.
+    pub on: Expr,
+    /// Which fields of the index value (itself a positional list) to
+    /// append to the row.
+    pub take: Vec<usize>,
+    /// Inner or left join.
+    pub kind: JoinKind,
+}
+
+/// One pipeline step.
+#[derive(Clone)]
+pub enum Step {
+    /// Keep rows satisfying the predicate.
+    Filter(Pred),
+    /// Replace the row with the given expressions.
+    Project(Vec<Expr>),
+    /// Join against an index (compiles to an EFind operator).
+    IndexJoin(IndexJoinSpec),
+}
+
+/// An aggregate over a group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Agg {
+    /// Row count.
+    Count,
+    /// Numeric sum of an expression.
+    Sum(Expr),
+    /// Minimum by [`efind_common::Datum`] ordering.
+    Min(Expr),
+    /// Maximum by ordering.
+    Max(Expr),
+    /// Numeric average (`Null` on empty numeric input).
+    Avg(Expr),
+    /// The `take` values of the `k` rows with the largest `sort` values
+    /// (descending), as a `Datum::List` — e.g. the top-k URLs by count.
+    TopKBy {
+        /// Ranking expression (descending).
+        sort: Expr,
+        /// Value extracted from each winning row.
+        take: Expr,
+        /// How many winners to keep.
+        k: usize,
+    },
+}
+
+/// A declarative query.
+#[derive(Clone)]
+pub struct Query {
+    /// DFS input file (rows: `value = Datum::List`).
+    pub input: String,
+    /// Pipeline steps in order.
+    pub steps: Vec<Step>,
+    /// Group-by key expressions (empty = one global group).
+    pub group_by: Vec<Expr>,
+    /// Aggregates computed per group (empty = emit distinct group keys).
+    pub aggs: Vec<Agg>,
+    /// Reduce task count.
+    pub num_reducers: usize,
+}
+
+impl Query {
+    /// Starts a query scanning `input`.
+    pub fn scan(input: impl Into<String>) -> Self {
+        Query {
+            input: input.into(),
+            steps: Vec::new(),
+            group_by: Vec::new(),
+            aggs: Vec::new(),
+            num_reducers: 24,
+        }
+    }
+
+    /// Appends a filter step.
+    pub fn filter(mut self, pred: Pred) -> Self {
+        self.steps.push(Step::Filter(pred));
+        self
+    }
+
+    /// Appends a projection step.
+    pub fn project(mut self, exprs: impl IntoIterator<Item = Expr>) -> Self {
+        self.steps.push(Step::Project(exprs.into_iter().collect()));
+        self
+    }
+
+    /// Appends an inner index join.
+    pub fn index_join(
+        mut self,
+        name: impl Into<String>,
+        index: Arc<dyn IndexAccessor>,
+        on: Expr,
+        take: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.steps.push(Step::IndexJoin(IndexJoinSpec {
+            name: name.into(),
+            index,
+            on,
+            take: take.into_iter().collect(),
+            kind: JoinKind::Inner,
+        }));
+        self
+    }
+
+    /// Appends a left index join.
+    pub fn left_index_join(
+        mut self,
+        name: impl Into<String>,
+        index: Arc<dyn IndexAccessor>,
+        on: Expr,
+        take: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.steps.push(Step::IndexJoin(IndexJoinSpec {
+            name: name.into(),
+            index,
+            on,
+            take: take.into_iter().collect(),
+            kind: JoinKind::Left,
+        }));
+        self
+    }
+
+    /// Sets the grouping keys.
+    pub fn group_by(mut self, keys: impl IntoIterator<Item = Expr>) -> Self {
+        self.group_by = keys.into_iter().collect();
+        self
+    }
+
+    /// Sets the aggregates.
+    pub fn aggregate(mut self, aggs: impl IntoIterator<Item = Agg>) -> Self {
+        self.aggs = aggs.into_iter().collect();
+        self
+    }
+
+    /// Overrides the reduce task count.
+    pub fn reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n.max(1);
+        self
+    }
+
+    /// Compiles into an EFind-enhanced job writing to `output`.
+    pub fn into_job(self, name: &str, output: &str) -> efind::IndexJobConf {
+        crate::compile::compile(self, name, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let q = Query::scan("t")
+            .filter(col(0).gt(lit(1i64)))
+            .project([col(0), col(2)])
+            .group_by([col(0)])
+            .aggregate([Agg::Count, Agg::Sum(col(1))])
+            .reducers(4);
+        assert_eq!(q.steps.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.aggs.len(), 2);
+        assert_eq!(q.num_reducers, 4);
+    }
+}

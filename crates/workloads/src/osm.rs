@@ -1,0 +1,250 @@
+//! The OSM kNN-join workload (§5.1, §5.4, Fig. 13).
+//!
+//! *"The job computes knnj (k = 10) between two randomly selected sub-sets
+//! (A and B) of records from the OSM data set. For the EFind based
+//! implementation, we use A as the main input to MapReduce and build a
+//! distributed index on B to support knn search."* The synthetic point
+//! generator reproduces OSM's character: strongly clustered (city-like)
+//! locations over a US-shaped aspect-ratio bounding box.
+
+use std::sync::Arc;
+
+use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
+use efind_common::{Datum, FxHashMap, Record};
+use efind_cluster::Cluster;
+use efind_dfs::{Dfs, DfsConfig};
+use efind_index::spatial::{SpatialGridConfig, SpatialGridIndex};
+use efind_index::rtree::{Point, Rect};
+use efind_mapreduce::{mapper_fn, Collector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::Scenario;
+
+/// OSM experiment configuration.
+#[derive(Clone, Debug)]
+pub struct OsmConfig {
+    /// Points in set A (the main input).
+    pub num_a: usize,
+    /// Points in set B (the indexed set).
+    pub num_b: usize,
+    /// City-like clusters the points concentrate around.
+    pub clusters: usize,
+    /// Neighbors per query (the paper's k = 10).
+    pub k: usize,
+    /// Input chunks for A.
+    pub chunks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OsmConfig {
+    fn default() -> Self {
+        OsmConfig {
+            num_a: 20_000,
+            num_b: 20_000,
+            clusters: 64,
+            k: 10,
+            chunks: 200,
+            seed: 0x05A,
+        }
+    }
+}
+
+/// The map's bounding box (continental-US-like aspect ratio, abstract
+/// units).
+pub fn bbox() -> Rect {
+    Rect::new([0.0, 0.0], [40.0, 20.0])
+}
+
+/// Generates clustered points: cluster centers uniform over the box,
+/// members offset by a small uniform jitter.
+pub fn generate_points(n: usize, clusters: usize, seed: u64) -> Vec<(Point, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bb = bbox();
+    let centers: Vec<Point> = (0..clusters.max(1))
+        .map(|_| {
+            [
+                rng.gen_range(bb.min[0]..bb.max[0]),
+                rng.gen_range(bb.min[1]..bb.max[1]),
+            ]
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let p = [
+                (c[0] + rng.gen_range(-0.8..0.8)).clamp(bb.min[0], bb.max[0]),
+                (c[1] + rng.gen_range(-0.8..0.8)).clamp(bb.min[1], bb.max[1]),
+            ];
+            (p, i as u64)
+        })
+        .collect()
+}
+
+/// Converts points to MapReduce records: `key = id`, `value = [x, y]`.
+pub fn points_to_records(points: &[(Point, u64)]) -> Vec<Record> {
+    points
+        .iter()
+        .map(|(p, id)| {
+            Record::new(
+                *id as i64,
+                Datum::List(vec![Datum::Float(p[0]), Datum::Float(p[1])]),
+            )
+        })
+        .collect()
+}
+
+/// Builds the distributed spatial index on B (4×8 grid of R\*-trees,
+/// replication 3 — the paper's setup).
+pub fn build_index(config: &OsmConfig, cluster: &Cluster, b: Vec<(Point, u64)>) -> Arc<SpatialGridIndex> {
+    Arc::new(SpatialGridIndex::build(
+        "osm-b",
+        cluster,
+        SpatialGridConfig {
+            k: config.k,
+            ..SpatialGridConfig::default()
+        },
+        bbox(),
+        b,
+    ))
+}
+
+/// Builds the EFind kNN-join job: a head operator looks each A point up
+/// in the B index; the result pairs flow to an identity group-by.
+pub fn build_job(index: Arc<SpatialGridIndex>) -> IndexJobConf {
+    let knn_op = operator_fn(
+        "knn",
+        1,
+        |rec: &mut Record, keys: &mut efind::IndexInput| {
+            keys.put(0, rec.value.clone());
+        },
+        |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
+            out.collect(Record {
+                key: rec.key,
+                value: Datum::List(values.first(0).to_vec()),
+            });
+        },
+    );
+    IndexJobConf::new("osm-knnj", "osm.a", "osm.knnj")
+        .add_head_index_operator(BoundOperator::new(knn_op).add_index(index))
+        .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+        .set_identity_reducer(24)
+}
+
+/// A set of identified points.
+pub type PointSet = Vec<(Point, u64)>;
+
+/// Draws A and B as the paper does: *"two randomly selected sub-sets (A
+/// and B) of records from the OSM data set"* — disjoint halves of one
+/// generated point pool, so they share the spatial clusters.
+pub fn generate_ab(config: &OsmConfig) -> (PointSet, PointSet) {
+    let pool = generate_points(config.num_a + config.num_b, config.clusters, config.seed);
+    let (a, b): (Vec<_>, Vec<_>) = pool.into_iter().partition(|(_, id)| *id % 2 == 0);
+    (
+        a.into_iter().take(config.num_a).collect(),
+        b.into_iter().take(config.num_b).collect(),
+    )
+}
+
+/// Builds the full scenario. The same `generate_ab` split is used by the
+/// H-zkNNJ comparator so both answer the identical join.
+pub fn scenario(config: &OsmConfig) -> Scenario {
+    // The spatial index is served over an RMI-style request/response
+    // protocol: every remote kNN call pays a millisecond-class round
+    // trip, which is what index locality eliminates (§5.4).
+    let cluster = Cluster::builder()
+        .network(efind_cluster::NetworkModel {
+            bandwidth_bytes_per_sec: 125.0e6,
+            latency: efind_cluster::SimDuration::from_micros(1_500),
+        })
+        .build();
+    let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+    let (a, b) = generate_ab(config);
+    dfs.write_file_with_chunks("osm.a", points_to_records(&a), config.chunks);
+    let index = build_index(config, &cluster, b);
+    let ijob = build_job(index);
+    Scenario {
+        cluster,
+        dfs,
+        ijob,
+        repart_overrides: FxHashMap::default(),
+        idxloc_applicable: true,
+        efind_config: EFindConfig::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_mode;
+    use efind::{Mode, Strategy};
+    use efind_index::spatial::decode_neighbor;
+    use efind_index::rtree::dist2;
+
+    fn tiny() -> OsmConfig {
+        OsmConfig {
+            num_a: 500,
+            num_b: 800,
+            clusters: 10,
+            chunks: 12,
+            ..OsmConfig::default()
+        }
+    }
+
+    #[test]
+    fn points_are_clustered() {
+        let pts = generate_points(2000, 10, 1);
+        // Mean nearest-neighbor distance should be far below the uniform
+        // expectation (~0.5 * sqrt(area/n) ≈ 0.32 for 2000 points).
+        let sample: Vec<Point> = pts.iter().take(200).map(|(p, _)| *p).collect();
+        let mut total = 0.0;
+        for (i, p) in sample.iter().enumerate() {
+            let mut best = f64::MAX;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(dist2(*p, q.0));
+                }
+            }
+            total += best.sqrt();
+        }
+        let mean_nn = total / sample.len() as f64;
+        assert!(mean_nn < 0.25, "mean NN distance {mean_nn}");
+    }
+
+    #[test]
+    fn knnj_is_exact_vs_brute_force() {
+        let config = tiny();
+        let (a, b) = generate_ab(&config);
+        let mut s = scenario(&config);
+        run_mode(&mut s, "x", Mode::Uniform(Strategy::Baseline)).unwrap();
+        let out = s.dfs.read_file("osm.knnj").unwrap();
+        assert_eq!(out.len(), config.num_a);
+        // Spot-check ten queries against brute force.
+        for r in out.iter().step_by(50) {
+            let a_id = r.key.as_int().unwrap() as u64;
+            let q = a.iter().find(|(_, id)| *id == a_id).unwrap().0;
+            let neighbors = r.value.as_list().unwrap();
+            assert_eq!(neighbors.len(), config.k);
+            let got_first = decode_neighbor(&neighbors[0]).unwrap();
+            let mut dists: Vec<f64> = b.iter().map(|(p, _)| dist2(*p, q)).collect();
+            dists.sort_by(f64::total_cmp);
+            assert!((got_first.2 - dists[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idxloc_matches_baseline_output() {
+        let config = tiny();
+        let mut s1 = scenario(&config);
+        run_mode(&mut s1, "x", Mode::Uniform(Strategy::Baseline)).unwrap();
+        let mut base = s1.dfs.read_file("osm.knnj").unwrap();
+        base.sort();
+
+        let mut s2 = scenario(&config);
+        run_mode(&mut s2, "x", Mode::Uniform(Strategy::IndexLocality)).unwrap();
+        let mut loc = s2.dfs.read_file("osm.knnj").unwrap();
+        loc.sort();
+        assert_eq!(base, loc);
+    }
+}

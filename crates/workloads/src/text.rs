@@ -1,0 +1,295 @@
+//! A text-analysis workload with an inverted index and an acronym
+//! dictionary — the paper's first motivating application (§1):
+//! *"Unstructured text analysis … often requires accessing indices, e.g.,
+//! inverted indices, precomputed acronym dictionaries, and knowledge
+//! bases."*
+//!
+//! The job scores a stream of short documents: a *head* operator expands
+//! acronyms through a dictionary service, the Map extracts the rarest
+//! expanded term per document, a *body* operator fetches that term's
+//! document frequency from the inverted index (over a reference corpus),
+//! and the Reduce buckets documents by rarity band.
+
+use std::sync::Arc;
+
+use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
+use efind_common::{Datum, FxHashMap, Record};
+use efind_cluster::{Cluster, SimDuration};
+use efind_dfs::{Dfs, DfsConfig};
+use efind_index::{InvertedIndex, RemoteService};
+use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::Scenario;
+
+/// Text workload configuration.
+#[derive(Clone, Debug)]
+pub struct TextConfig {
+    /// Documents in the analyzed stream.
+    pub num_docs: usize,
+    /// Reference corpus size behind the inverted index.
+    pub corpus_docs: usize,
+    /// Vocabulary size (Zipf-ish usage).
+    pub vocab: usize,
+    /// Number of known acronyms.
+    pub num_acronyms: usize,
+    /// Words per document.
+    pub words_per_doc: usize,
+    /// Input chunks.
+    pub chunks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig {
+            num_docs: 20_000,
+            corpus_docs: 4_000,
+            vocab: 2_000,
+            num_acronyms: 64,
+            words_per_doc: 8,
+            chunks: 240,
+            seed: 0x7E47,
+        }
+    }
+}
+
+fn word(w: usize) -> String {
+    format!("term{w}")
+}
+
+fn zipf_word(rng: &mut SmallRng, vocab: usize) -> usize {
+    // Crude Zipf: quadratic skew toward low ids.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    ((u * u) * vocab as f64) as usize % vocab.max(1)
+}
+
+/// Generates documents: `key = doc id`, `value = Text`. A fraction of the
+/// words are acronyms (`AC<n>`) that the dictionary expands.
+pub fn generate(config: &TextConfig) -> Vec<Record> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..config.num_docs)
+        .map(|i| {
+            let mut words = Vec::with_capacity(config.words_per_doc);
+            for _ in 0..config.words_per_doc {
+                if rng.gen_bool(0.25) {
+                    words.push(format!("AC{}", rng.gen_range(0..config.num_acronyms)));
+                } else {
+                    words.push(word(zipf_word(&mut rng, config.vocab)));
+                }
+            }
+            Record::new(i as i64, Datum::Text(words.join(" ")))
+        })
+        .collect()
+}
+
+/// The acronym dictionary: a remote service expanding `AC<n>` into a
+/// deterministic two-word phrase.
+pub fn acronym_dictionary(config: &TextConfig) -> Arc<RemoteService> {
+    let vocab = config.vocab;
+    Arc::new(RemoteService::new(
+        "acronyms",
+        SimDuration::from_micros(600),
+        move |key| match key.as_text() {
+            Some(acr) if acr.starts_with("AC") => {
+                let n: usize = acr[2..].parse().unwrap_or(0);
+                vec![Datum::Text(format!(
+                    "{} {}",
+                    word((n * 13) % vocab),
+                    word((n * 29 + 7) % vocab)
+                ))]
+            }
+            _ => Vec::new(),
+        },
+    ))
+}
+
+/// Builds the reference-corpus inverted index.
+pub fn reference_index(config: &TextConfig, cluster: &Cluster) -> Arc<InvertedIndex> {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0);
+    let docs: Vec<(u64, String)> = (0..config.corpus_docs)
+        .map(|d| {
+            let text: Vec<String> = (0..12)
+                .map(|_| word(zipf_word(&mut rng, config.vocab)))
+                .collect();
+            (d as u64, text.join(" "))
+        })
+        .collect();
+    Arc::new(InvertedIndex::build(
+        "corpus",
+        cluster,
+        32,
+        docs.iter().map(|(d, t)| (*d, t.as_str())),
+    ))
+}
+
+/// Builds the enhanced job.
+pub fn build_job(
+    dictionary: Arc<RemoteService>,
+    corpus: Arc<InvertedIndex>,
+) -> IndexJobConf {
+    // Head: expand the document's FIRST acronym (if any) through the
+    // dictionary; documents without acronyms pass through.
+    let expand = operator_fn(
+        "acronyms",
+        1,
+        |rec: &mut Record, keys: &mut efind::IndexInput| {
+            let first_acr = rec
+                .value
+                .as_text()
+                .and_then(|t| t.split_whitespace().find(|w| w.starts_with("AC")))
+                .map(|w| Datum::Text(w.to_owned()))
+                .unwrap_or(Datum::Text(String::new()));
+            keys.put(0, first_acr);
+        },
+        |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
+            let Some(text) = rec.value.as_text() else { return };
+            let expanded = match values.first(0).first().and_then(Datum::as_text) {
+                Some(expansion) => {
+                    let mut t = text.to_owned();
+                    t.push(' ');
+                    t.push_str(expansion);
+                    t
+                }
+                None => text.to_owned(),
+            };
+            out.collect(Record {
+                key: rec.key,
+                value: Datum::Text(expanded),
+            });
+        },
+    );
+
+    // Body: look the Map-chosen representative term up in the inverted
+    // index; postProcess turns the posting list into a document frequency.
+    let rarity = operator_fn(
+        "rarity",
+        1,
+        |rec: &mut Record, keys: &mut efind::IndexInput| {
+            keys.put(0, rec.value.clone());
+        },
+        |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
+            let df = values.first(0).len() as i64;
+            // Rarity bands: 0 = unseen, then log-spaced.
+            let band = match df {
+                0 => 0,
+                1..=3 => 1,
+                4..=15 => 2,
+                16..=63 => 3,
+                _ => 4,
+            };
+            out.collect(Record {
+                key: Datum::Int(band),
+                value: rec.key,
+            });
+        },
+    );
+
+    IndexJobConf::new("text-rarity", "text.docs", "text.bands")
+        .add_head_index_operator(BoundOperator::new(expand).add_index(dictionary))
+        .set_mapper(mapper_fn(|rec, out, _| {
+            // Map: pick the lexicographically-last expanded term (a cheap
+            // deterministic "rarest term" heuristic) as the record value.
+            let Some(text) = rec.value.as_text() else { return };
+            let Some(term) = text
+                .split_whitespace()
+                .filter(|w| !w.starts_with("AC"))
+                .max()
+            else {
+                return;
+            };
+            out.collect(Record {
+                key: rec.key,
+                value: Datum::Text(term.to_owned()),
+            });
+        }))
+        .add_body_index_operator(BoundOperator::new(rarity).add_index(corpus))
+        .set_reducer(
+            reducer_fn(|band, docs, out, _| {
+                out.collect(Record::new(band, docs.len() as i64));
+            }),
+            8,
+        )
+}
+
+/// Builds the full scenario.
+pub fn scenario(config: &TextConfig) -> Scenario {
+    let cluster = Cluster::edbt_testbed();
+    let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+    dfs.write_file_with_chunks("text.docs", generate(config), config.chunks);
+    let dictionary = acronym_dictionary(config);
+    let corpus = reference_index(config, &cluster);
+    let ijob = build_job(dictionary, corpus);
+    Scenario {
+        cluster,
+        dfs,
+        ijob,
+        repart_overrides: FxHashMap::default(),
+        idxloc_applicable: true, // the inverted index exposes a term scheme
+        efind_config: EFindConfig::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_mode;
+    use efind::{Mode, Strategy};
+
+    fn tiny() -> TextConfig {
+        TextConfig {
+            num_docs: 2_000,
+            corpus_docs: 500,
+            vocab: 300,
+            chunks: 20,
+            ..TextConfig::default()
+        }
+    }
+
+    #[test]
+    fn bands_cover_all_documents() {
+        let mut s = scenario(&tiny());
+        run_mode(&mut s, "x", Mode::Uniform(Strategy::Cache)).unwrap();
+        let out = s.dfs.read_file("text.bands").unwrap();
+        assert!(!out.is_empty());
+        let total: i64 = out.iter().map(|r| r.value.as_int().unwrap()).sum();
+        assert_eq!(total, 2_000);
+        // With a Zipf vocabulary there must be both common and rare bands.
+        assert!(out.len() >= 2, "only {} bands", out.len());
+    }
+
+    #[test]
+    fn acronym_expansion_affects_results_deterministically() {
+        use efind::IndexAccessor;
+        let config = tiny();
+        let dict = acronym_dictionary(&config);
+        let a = dict.lookup(&Datum::Text("AC5".into()));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a, dict.lookup(&Datum::Text("AC5".into())));
+        assert!(dict.lookup(&Datum::Text("word".into())).is_empty());
+    }
+
+    #[test]
+    fn strategies_agree_on_text_pipeline() {
+        let config = tiny();
+        let mut outputs = Vec::new();
+        for strategy in [Strategy::Baseline, Strategy::Cache, Strategy::Repartition] {
+            let mut s = scenario(&config);
+            run_mode(&mut s, "x", Mode::Uniform(strategy)).unwrap();
+            let mut out = s.dfs.read_file("text.bands").unwrap();
+            out.sort();
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn dynamic_mode_runs_text_pipeline() {
+        let mut s = scenario(&tiny());
+        let m = run_mode(&mut s, "x", Mode::Dynamic).unwrap();
+        assert!(m.secs > 0.0);
+    }
+}

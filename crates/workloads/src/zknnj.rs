@@ -1,0 +1,443 @@
+//! H-zkNNJ — the hand-tuned kNN-join comparator (§5.4, Fig. 13).
+//!
+//! A from-scratch implementation of Zhang, Li, Jestes, *Efficient parallel
+//! kNN joins for large data in MapReduce*, EDBT 2012, the baseline the
+//! paper compares EFind against with α = 2 and ε = 0.003:
+//!
+//! 1. α randomly shifted copies of both data sets are mapped onto a
+//!    z-order (Morton) curve;
+//! 2. sampled quantiles of B's z-values define range partitions;
+//! 3. a MapReduce job routes A to its partition and B to its partition
+//!    *and both neighbors* (covering boundary effects), then each
+//!    partition finds every A point's k best candidates among the 2k
+//!    z-nearest B points;
+//! 4. a second job merges candidates across shifts per A point and keeps
+//!    the k closest — an ε-approximate kNN join.
+//!
+//! Everything runs as plain MapReduce jobs on the same simulated cluster
+//! as the EFind version, so Fig. 13's comparison is apples-to-apples.
+
+use std::sync::Arc;
+
+use efind_common::{Datum, Record, Result};
+use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_dfs::Dfs;
+use efind_index::rtree::{dist2, Point};
+use efind_mapreduce::{reducer_fn, Collector, JobConf, Mapper, Runner, TaskCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::osm::bbox;
+
+/// H-zkNNJ configuration.
+#[derive(Clone, Debug)]
+pub struct ZknnjConfig {
+    /// Shifted copies (the paper sets α = 2).
+    pub alpha: usize,
+    /// Z-range partitions per shift.
+    pub partitions: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Sample size for quantile estimation.
+    pub sample_size: usize,
+    /// Input chunks for the combined file.
+    pub chunks: usize,
+    /// RNG seed (shift vectors, sampling).
+    pub seed: u64,
+}
+
+impl Default for ZknnjConfig {
+    fn default() -> Self {
+        ZknnjConfig {
+            alpha: 2,
+            partitions: 32,
+            k: 10,
+            sample_size: 2048,
+            chunks: 200,
+            seed: 0x2C44,
+        }
+    }
+}
+
+const QUANT_BITS: u32 = 20;
+
+/// Interleaves the bits of the quantized coordinates (Morton code).
+fn z_value(p: Point, shift: Point, extent: (Point, Point)) -> u64 {
+    let (lo, hi) = extent;
+    let qx = quantize(p[0] + shift[0], lo[0], hi[0]);
+    let qy = quantize(p[1] + shift[1], lo[1], hi[1]);
+    interleave(qx) | (interleave(qy) << 1)
+}
+
+fn quantize(v: f64, lo: f64, hi: f64) -> u32 {
+    let t = ((v - lo) / (hi - lo).max(1e-12)).clamp(0.0, 1.0);
+    (t * ((1u64 << QUANT_BITS) - 1) as f64) as u32
+}
+
+fn interleave(mut v: u32) -> u64 {
+    let mut x = v as u64 & ((1 << QUANT_BITS) - 1);
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    v = 0;
+    let _ = v;
+    x
+}
+
+struct Shifts {
+    vectors: Vec<Point>,
+    extent: (Point, Point),
+    /// Per-shift ascending z boundaries (len = partitions - 1).
+    boundaries: Vec<Vec<u64>>,
+}
+
+fn plan_shifts(config: &ZknnjConfig, b: &[(Point, u64)]) -> Shifts {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let bb = bbox();
+    let span = [bb.max[0] - bb.min[0], bb.max[1] - bb.min[1]];
+    // Shift vectors are drawn over the whole domain so the α z-curves are
+    // decorrelated (small shifts leave the curves' high-order structure
+    // aligned and the extra shifts contribute nothing).
+    let mut vectors = vec![[0.0, 0.0]];
+    for _ in 1..config.alpha.max(1) {
+        vectors.push([rng.gen_range(0.0..span[0]), rng.gen_range(0.0..span[1])]);
+    }
+    // Extent covers every shifted coordinate.
+    let max_shift = vectors.iter().fold([0.0f64, 0.0f64], |m, v| {
+        [m[0].max(v[0]), m[1].max(v[1])]
+    });
+    let extent = (bb.min, [bb.max[0] + max_shift[0], bb.max[1] + max_shift[1]]);
+
+    // Quantiles of B's z-values per shift, from a deterministic sample —
+    // H-zkNNJ's sampling pre-step.
+    let step = (b.len() / config.sample_size.max(1)).max(1);
+    let boundaries = vectors
+        .iter()
+        .map(|&v| {
+            let mut sample: Vec<u64> = b
+                .iter()
+                .step_by(step)
+                .map(|(p, _)| z_value(*p, v, extent))
+                .collect();
+            sample.sort_unstable();
+            (1..config.partitions)
+                .map(|i| sample[i * sample.len() / config.partitions])
+                .collect()
+        })
+        .collect();
+    Shifts {
+        vectors,
+        extent,
+        boundaries,
+    }
+}
+
+fn partition_of(boundaries: &[u64], z: u64) -> usize {
+    boundaries.partition_point(|&b| b <= z)
+}
+
+/// Routes records to `(shift, partition)` groups. B points additionally
+/// go to both neighboring partitions to cover boundary truncation.
+struct RouteMapper {
+    shifts: Arc<Shifts>,
+    partitions: usize,
+}
+
+impl Mapper for RouteMapper {
+    fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        let Some(fields) = rec.value.as_list() else {
+            return ctx.fail("zknnj: malformed input record");
+        };
+        let tag = fields[0].clone();
+        let is_b = tag.as_text() == Some("B");
+        let p = [
+            fields[1].as_float().unwrap_or(0.0),
+            fields[2].as_float().unwrap_or(0.0),
+        ];
+        for (i, &shift) in self.shifts.vectors.iter().enumerate() {
+            let z = z_value(p, shift, self.shifts.extent);
+            let home = partition_of(&self.shifts.boundaries[i], z);
+            let mut targets = vec![home];
+            if is_b {
+                if home > 0 {
+                    targets.push(home - 1);
+                }
+                if home + 1 < self.partitions {
+                    targets.push(home + 1);
+                }
+            }
+            for t in targets {
+                out.collect(Record {
+                    key: Datum::List(vec![Datum::Int(i as i64), Datum::Int(t as i64)]),
+                    value: Datum::List(vec![
+                        tag.clone(),
+                        rec.key.clone(),
+                        Datum::Int(z as i64),
+                        Datum::Float(p[0]),
+                        Datum::Float(p[1]),
+                    ]),
+                });
+            }
+        }
+    }
+}
+
+/// Per-partition candidate search: for each A point, the k best of its 2k
+/// z-nearest B points.
+fn partition_knn(
+    values: Vec<Datum>,
+    k: usize,
+    out: &mut dyn Collector,
+    ctx: &mut TaskCtx,
+) {
+    let mut a_points: Vec<(i64, u64, Point)> = Vec::new();
+    let mut b_points: Vec<(u64, i64, Point)> = Vec::new(); // (z, id, point)
+    for v in values {
+        let Some(f) = v.as_list() else { continue };
+        let id = f[1].as_int().unwrap_or(0);
+        let z = f[2].as_int().unwrap_or(0) as u64;
+        let p = [f[3].as_float().unwrap_or(0.0), f[4].as_float().unwrap_or(0.0)];
+        if f[0].as_text() == Some("A") {
+            a_points.push((id, z, p));
+        } else {
+            b_points.push((z, id, p));
+        }
+    }
+    b_points.sort_unstable_by_key(|e| e.0);
+    for (a_id, z, ap) in a_points {
+        let pos = b_points.partition_point(|e| e.0 < z);
+        let lo = pos.saturating_sub(k);
+        let hi = (pos + k).min(b_points.len());
+        let mut cands: Vec<(f64, i64)> = b_points[lo..hi]
+            .iter()
+            .map(|(_, bid, bp)| (dist2(*bp, ap), *bid))
+            .collect();
+        // Model the per-candidate distance computations.
+        ctx.charge(SimDuration::from_nanos(100 * cands.len() as u64));
+        cands.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        cands.truncate(k);
+        let list: Vec<Datum> = cands
+            .into_iter()
+            .map(|(d2, bid)| Datum::List(vec![Datum::Int(bid), Datum::Float(d2)]))
+            .collect();
+        out.collect(Record {
+            key: Datum::Int(a_id),
+            value: Datum::List(list),
+        });
+    }
+}
+
+/// The H-zkNNJ result for one A point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnnResult {
+    /// A-point id.
+    pub a_id: u64,
+    /// `(b_id, squared distance)` ascending, up to k entries.
+    pub neighbors: Vec<(u64, f64)>,
+}
+
+/// Runs the full H-zkNNJ pipeline and returns the virtual duration plus
+/// the per-A results.
+pub fn run(
+    cluster: &Cluster,
+    dfs: &mut Dfs,
+    config: &ZknnjConfig,
+    a: &[(Point, u64)],
+    b: &[(Point, u64)],
+) -> Result<(SimDuration, Vec<KnnResult>)> {
+    let shifts = Arc::new(plan_shifts(config, b));
+
+    // Combined tagged input.
+    let mut input = Vec::with_capacity(a.len() + b.len());
+    for (p, id) in a {
+        input.push(Record::new(
+            *id as i64,
+            Datum::List(vec![
+                Datum::Text("A".into()),
+                Datum::Float(p[0]),
+                Datum::Float(p[1]),
+            ]),
+        ));
+    }
+    for (p, id) in b {
+        input.push(Record::new(
+            *id as i64,
+            Datum::List(vec![
+                Datum::Text("B".into()),
+                Datum::Float(p[0]),
+                Datum::Float(p[1]),
+            ]),
+        ));
+    }
+    dfs.write_file_with_chunks("zknnj.input", input, config.chunks);
+
+    // Job 1: route by (shift, z-partition); per-partition candidate kNN.
+    let k = config.k;
+    let partitions = config.partitions;
+    let route_shifts = shifts.clone();
+    let job1 = JobConf::new("zknnj-partition", "zknnj.input", "zknnj.cands");
+    let mut job1 = job1;
+    job1.map_chain.push(Arc::new(move || {
+        Box::new(RouteMapper {
+            shifts: route_shifts.clone(),
+            partitions,
+        })
+    }));
+    let job1 = job1.with_reducer(
+        reducer_fn(move |_group, values, out, ctx| {
+            partition_knn(values, k, out, ctx);
+        }),
+        config.partitions,
+    );
+
+    let mut runner = Runner::new(cluster, dfs);
+    let res1 = runner.run(&job1, SimTime::ZERO)?;
+
+    // Job 2: merge candidates across shifts per A point, keep k best.
+    let job2 = JobConf::new("zknnj-merge", "zknnj.cands", "zknnj.result")
+        .add_mapper(efind_mapreduce::identity_mapper())
+        .with_reducer(
+            reducer_fn(move |a_id, values, out, _ctx| {
+                let mut best: Vec<(f64, i64)> = Vec::new();
+                for list in values {
+                    let Some(items) = list.as_list() else { continue };
+                    for item in items {
+                        let Some(pair) = item.as_list() else { continue };
+                        best.push((
+                            pair[1].as_float().unwrap_or(f64::MAX),
+                            pair[0].as_int().unwrap_or(0),
+                        ));
+                    }
+                }
+                best.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                best.dedup_by_key(|e| e.1);
+                best.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                best.truncate(k);
+                let list: Vec<Datum> = best
+                    .into_iter()
+                    .map(|(d2, bid)| Datum::List(vec![Datum::Int(bid), Datum::Float(d2)]))
+                    .collect();
+                out.collect(Record {
+                    key: a_id,
+                    value: Datum::List(list),
+                });
+            }),
+            24,
+        );
+    let mut runner = Runner::new(cluster, dfs);
+    let res2 = runner.run(&job2, res1.stats.finished)?;
+    let total = res2.stats.finished.since(SimTime::ZERO);
+
+    let results = dfs
+        .read_file("zknnj.result")?
+        .into_iter()
+        .map(|rec| KnnResult {
+            a_id: rec.key.as_int().unwrap_or(0) as u64,
+            neighbors: rec
+                .value
+                .as_list()
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|i| {
+                            let pair = i.as_list()?;
+                            Some((pair[0].as_int()? as u64, pair[1].as_float()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+        .collect();
+    Ok((total, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efind_dfs::DfsConfig;
+
+    type Pts = Vec<(Point, u64)>;
+
+    fn setup() -> (Cluster, Dfs, Pts, Pts) {
+        let cluster = Cluster::edbt_testbed();
+        let dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+        let (a, b) = crate::osm::generate_ab(&crate::osm::OsmConfig {
+            num_a: 600,
+            num_b: 900,
+            clusters: 12,
+            seed: 21,
+            ..crate::osm::OsmConfig::default()
+        });
+        (cluster, dfs, a, b)
+    }
+
+    fn brute(b: &[(Point, u64)], q: Point, k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = b.iter().map(|(p, id)| (*id, dist2(*p, q))).collect();
+        all.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn z_values_preserve_locality() {
+        let extent = ([0.0, 0.0], [40.0, 20.0]);
+        let z1 = z_value([5.0, 5.0], [0.0, 0.0], extent);
+        let z2 = z_value([5.001, 5.001], [0.0, 0.0], extent);
+        let z3 = z_value([35.0, 15.0], [0.0, 0.0], extent);
+        assert!(z1.abs_diff(z2) < z1.abs_diff(z3));
+    }
+
+    #[test]
+    fn interleave_is_monotone_in_each_dim() {
+        assert!(interleave(1) < interleave(2));
+        assert_eq!(interleave(0), 0);
+        assert_eq!(interleave(0b11), 0b0101);
+    }
+
+    #[test]
+    fn pipeline_returns_one_result_per_a_point() {
+        let (cluster, mut dfs, a, b) = setup();
+        let (dur, results) = run(&cluster, &mut dfs, &ZknnjConfig { chunks: 20, ..Default::default() }, &a, &b).unwrap();
+        assert!(dur > SimDuration::ZERO);
+        assert_eq!(results.len(), a.len());
+        for r in &results {
+            assert_eq!(r.neighbors.len(), 10);
+            for w in r.neighbors.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_quality_is_high() {
+        let (cluster, mut dfs, a, b) = setup();
+        let (_, results) = run(&cluster, &mut dfs, &ZknnjConfig { chunks: 20, ..Default::default() }, &a, &b).unwrap();
+        let mut recall_hits = 0usize;
+        let mut recall_total = 0usize;
+        let mut ratio_sum = 0.0;
+        let mut ratio_n = 0usize;
+        for r in results.iter().step_by(7) {
+            let q = a.iter().find(|(_, id)| *id == r.a_id).unwrap().0;
+            let exact = brute(&b, q, 10);
+            let exact_ids: std::collections::HashSet<u64> =
+                exact.iter().map(|(id, _)| *id).collect();
+            recall_total += exact.len();
+            recall_hits += r
+                .neighbors
+                .iter()
+                .filter(|(id, _)| exact_ids.contains(id))
+                .count();
+            // k-th distance ratio (approximation factor).
+            let exact_kth = exact.last().unwrap().1.sqrt().max(1e-12);
+            let got_kth = r.neighbors.last().unwrap().1.sqrt();
+            ratio_sum += got_kth / exact_kth;
+            ratio_n += 1;
+        }
+        let recall = recall_hits as f64 / recall_total as f64;
+        let ratio = ratio_sum / ratio_n as f64;
+        assert!(recall > 0.8, "recall {recall}");
+        assert!(ratio < 1.25, "distance ratio {ratio}");
+    }
+}

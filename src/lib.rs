@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the EFind reproduction workspace.
+//!
+//! Re-exports every layer so examples and integration tests can use a single
+//! dependency. See `README.md` for the architecture overview and `DESIGN.md`
+//! for the paper-to-module map.
+
+pub use efind as core;
+pub use efind_cluster as cluster;
+pub use efind_common as common;
+pub use efind_dfs as dfs;
+pub use efind_index as index;
+pub use efind_mapreduce as mapreduce;
+pub use efind_ql as ql;
+pub use efind_workloads as workloads;

@@ -1,0 +1,152 @@
+//! Integration: the LOG application (top-k URLs per region, Fig. 11(a))
+//! expressed as two chained declarative queries — the remote geo-IP index
+//! joined through `efind-ql`, grouped counts, then a top-k rollup over the
+//! first query's output.
+
+use std::sync::Arc;
+
+use efind_repro::cluster::Cluster;
+use efind_repro::common::Record;
+use efind_repro::core::{EFindRuntime, Mode, Strategy};
+use efind_repro::dfs::{Dfs, DfsConfig};
+use efind_repro::ql::{col, Agg, Query};
+use efind_repro::workloads::log::{self, LogConfig};
+
+fn config() -> LogConfig {
+    LogConfig {
+        num_events: 4_000,
+        num_ips: 150,
+        num_urls: 60,
+        num_regions: 12,
+        chunks: 30,
+        ..LogConfig::default()
+    }
+}
+
+#[test]
+fn declarative_log_topk_matches_operator_pipeline() {
+    let config = config();
+
+    // Reference: the hand-written operator pipeline.
+    let mut s = log::scenario(&config);
+    let mut rt = EFindRuntime::new(&s.cluster, &mut s.dfs);
+    rt.run(&s.ijob, Mode::Uniform(Strategy::Cache)).unwrap();
+    let mut reference: Vec<(String, Vec<String>)> = rt
+        .dfs
+        .read_file("log.topk")
+        .unwrap()
+        .iter()
+        .map(|r| {
+            let urls: Vec<String> = r
+                .value
+                .as_list()
+                .unwrap()
+                .iter()
+                .step_by(2) // [url, count, url, count, …]
+                .map(|u| u.as_text().unwrap().to_owned())
+                .collect();
+            (r.key.as_text().unwrap().to_owned(), urls)
+        })
+        .collect();
+    reference.sort();
+
+    // Declarative version. Events become rows [ip, url, ts].
+    let cluster = Cluster::edbt_testbed();
+    let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+    dfs.write_file_with_chunks("events", log::generate(&config), config.chunks);
+    let geo: Arc<_> = Arc::new(log::geo_service(&config));
+
+    // Stage 1: region join + (region, url) counts.
+    let stage1 = Query::scan("events")
+        .index_join("geo", geo, col(0), [0]) // + region(3)
+        .group_by([col(3), col(1)])
+        .aggregate([Agg::Count])
+        .into_job("log-ql-1", "mid");
+    // Stage 2: top-k URLs per region from the counted rows
+    // [region, url, count].
+    let stage2 = Query::scan("mid")
+        .group_by([col(0)])
+        .aggregate([Agg::TopKBy {
+            sort: col(2),
+            take: col(1),
+            k: config.top_k,
+        }])
+        .into_job("log-ql-2", "topk");
+
+    let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+    rt.run(&stage1, Mode::Uniform(Strategy::Cache)).unwrap();
+    rt.run(&stage2, Mode::Uniform(Strategy::Cache)).unwrap();
+
+    let mut got: Vec<(String, Vec<String>)> = rt
+        .dfs
+        .read_file("topk")
+        .unwrap()
+        .iter()
+        .map(|r: &Record| {
+            let row = r.value.as_list().unwrap();
+            let urls: Vec<String> = row[1]
+                .as_list()
+                .unwrap()
+                .iter()
+                .map(|u| u.as_text().unwrap().to_owned())
+                .collect();
+            (row[0].as_text().unwrap().to_owned(), urls)
+        })
+        .collect();
+    got.sort();
+
+    // Same regions, same top-k cardinality, same top URL sets (ordering
+    // among equal counts may differ between the two tie-breaks, so we
+    // compare as sets).
+    assert_eq!(got.len(), reference.len());
+    for ((region_a, urls_a), (region_b, urls_b)) in got.iter().zip(&reference) {
+        assert_eq!(region_a, region_b);
+        assert_eq!(urls_a.len(), urls_b.len(), "{region_a}");
+        let a: std::collections::BTreeSet<_> = urls_a.iter().collect();
+        let b: std::collections::BTreeSet<_> = urls_b.iter().collect();
+        // Tie-breaks may swap borderline URLs; the overlap must dominate.
+        let overlap = a.intersection(&b).count();
+        assert!(
+            overlap * 10 >= urls_a.len() * 7,
+            "{region_a}: only {overlap}/{} URLs agree",
+            urls_a.len()
+        );
+    }
+
+    // And the stage-1 counts are exact.
+    let total: i64 = rt
+        .dfs
+        .read_file("mid")
+        .unwrap()
+        .iter()
+        .map(|r| r.value.as_list().unwrap()[2].as_int().unwrap())
+        .sum();
+    assert_eq!(total, config.num_events as i64);
+}
+
+#[test]
+fn dynamic_mode_optimizes_declarative_pipelines() {
+    // The adaptive runtime works on compiled queries too: expensive geo
+    // lookups with heavy IP redundancy trigger a mid-job plan change.
+    let config = LogConfig {
+        extra_delay: efind_repro::cluster::SimDuration::from_millis(5),
+        num_events: 8_000,
+        chunks: 240,
+        ..config()
+    };
+    let cluster = Cluster::edbt_testbed();
+    let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+    dfs.write_file_with_chunks("events", log::generate(&config), config.chunks);
+    let geo: Arc<_> = Arc::new(log::geo_service(&config));
+    let job = Query::scan("events")
+        .index_join("geo", geo, col(0), [0])
+        .group_by([col(3)])
+        .aggregate([Agg::Count])
+        .into_job("log-dyn", "out");
+
+    let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+    let base = rt.run(&job, Mode::Uniform(Strategy::Baseline)).unwrap();
+    let dynamic = rt.run(&job, Mode::Dynamic).unwrap();
+    assert!(dynamic.replanned, "5 ms geo lookups should trigger a re-plan");
+    assert!(dynamic.total_time < base.total_time);
+}

@@ -1,0 +1,168 @@
+//! Integration: the paper's qualitative results (§5) must hold on the
+//! reproduction — who wins, and roughly where the crossovers fall. These
+//! assertions encode the *shape* claims, not absolute numbers.
+
+use efind_repro::core::{Mode, Strategy};
+use efind_repro::workloads::harness::{run_mode, run_standard, secs_of};
+use efind_repro::workloads::{log, osm, synthetic, tpch, zknnj};
+use efind_repro::cluster::SimDuration;
+
+fn log_config(extra_ms: u64) -> log::LogConfig {
+    log::LogConfig {
+        num_events: 12_000,
+        chunks: 240,
+        extra_delay: SimDuration::from_millis(extra_ms),
+        ..log::LogConfig::default()
+    }
+}
+
+#[test]
+fn log_cache_and_repart_beat_baseline_and_grow_with_delay() {
+    // Fig. 11(a): cache 1.2–4.7×, repart more, improvements grow with the
+    // lookup delay.
+    let speedup_at = |ms: u64| {
+        let mut s = log::scenario(&log_config(ms));
+        let rows = run_standard(&mut s).unwrap();
+        (
+            secs_of(&rows, "base") / secs_of(&rows, "cache"),
+            secs_of(&rows, "base") / secs_of(&rows, "repart"),
+        )
+    };
+    let (cache0, repart0) = speedup_at(0);
+    let (cache5, repart5) = speedup_at(5);
+    assert!(cache0 > 1.5, "cache speedup at 0ms: {cache0}");
+    assert!(repart5 > 2.5, "repart speedup at 5ms: {repart5}");
+    assert!(repart5 > repart0, "repart gains should grow with delay");
+    assert!(repart5 > cache5, "repart should beat cache at high delay");
+}
+
+#[test]
+fn q3_cache_wins_and_repartition_is_not_worth_it() {
+    // Fig. 11(b): the cache exploits clustered l_orderkey; paying for a
+    // shuffle job is slower than caching.
+    let config = tpch::TpchConfig {
+        scale: 0.0075,
+        chunks: 240,
+        ..tpch::TpchConfig::default()
+    };
+    let mut s = tpch::q3_scenario(&config);
+    let rows = run_standard(&mut s).unwrap();
+    let base = secs_of(&rows, "base");
+    let cache = secs_of(&rows, "cache");
+    let repart = secs_of(&rows, "repart");
+    assert!(base / cache > 2.0, "Q3 cache speedup: {}", base / cache);
+    assert!(repart > cache, "Q3: repartitioning must not beat the cache");
+    // Optimized is the best or close to it (within 25%).
+    let best = cache.min(repart).min(secs_of(&rows, "idxloc"));
+    assert!(secs_of(&rows, "optimized") <= best * 1.25);
+}
+
+#[test]
+fn q9_repartitioning_wins_where_cache_cannot() {
+    // Fig. 11(c): no locality in l_suppkey — cache ≈ baseline, the shuffle
+    // removes the global redundancy.
+    let config = tpch::TpchConfig {
+        scale: 0.0075,
+        chunks: 240,
+        ..tpch::TpchConfig::default()
+    };
+    let mut s = tpch::q9_scenario(&config);
+    let rows = run_standard(&mut s).unwrap();
+    let base = secs_of(&rows, "base");
+    let cache = secs_of(&rows, "cache");
+    let repart = secs_of(&rows, "repart");
+    assert!(cache / base > 0.85 && cache / base < 1.15, "Q9 cache ≈ base, got {}", cache / base);
+    assert!(base / repart > 1.25, "Q9 repart speedup: {}", base / repart);
+}
+
+#[test]
+fn dup10_amplifies_repartitioning() {
+    // Fig. 11(d)/(e): ×10 duplication means ×10 global redundancy.
+    let one = tpch::TpchConfig {
+        scale: 0.004,
+        chunks: 120,
+        ..tpch::TpchConfig::default()
+    };
+    let ten = tpch::TpchConfig {
+        dup_lineitem: 10,
+        ..one.clone()
+    };
+    let factor = |config: &tpch::TpchConfig| {
+        let mut s = tpch::q9_scenario(config);
+        let overrides = s.repart_overrides.clone();
+        let base = run_mode(&mut s, "b", Mode::Uniform(Strategy::Baseline)).unwrap().secs;
+        let repart = run_mode(&mut s, "r", Mode::Manual(overrides)).unwrap().secs;
+        base / repart
+    };
+    let f1 = factor(&one);
+    let f10 = factor(&ten);
+    assert!(f10 > 2.0 * f1, "DUP10 should amplify: {f1} -> {f10}");
+    assert!(f10 > 4.0, "DUP10 repart factor: {f10}");
+}
+
+#[test]
+fn synthetic_index_locality_crossover() {
+    // Fig. 11(f): index locality loses for small results, wins for 30 KB.
+    let run = |l: usize| {
+        let config = synthetic::SyntheticConfig {
+            num_records: 8_000,
+            key_space: 4_000,
+            index_value_size: l,
+            chunks: 240,
+            ..synthetic::SyntheticConfig::default()
+        };
+        let mut s = synthetic::scenario(&config);
+        (
+            run_mode(&mut s, "r", Mode::Uniform(Strategy::Repartition)).unwrap().secs,
+            run_mode(&mut s, "i", Mode::Uniform(Strategy::IndexLocality)).unwrap().secs,
+        )
+    };
+    let (repart_small, idxloc_small) = run(10);
+    let (repart_big, idxloc_big) = run(30_000);
+    assert!(
+        idxloc_small >= repart_small * 0.95,
+        "at 10 B locality should not win clearly: {idxloc_small} vs {repart_small}"
+    );
+    assert!(
+        idxloc_big < repart_big,
+        "at 30 KB locality must win: {idxloc_big} vs {repart_big}"
+    );
+}
+
+#[test]
+fn fig12_remote_local_gap_grows() {
+    let rows = synthetic::fig12_rows();
+    let gap_first = rows.first().map(|r| r.2 - r.1).unwrap();
+    let gap_last = rows.last().map(|r| r.2 - r.1).unwrap();
+    assert!(gap_last > gap_first * 2.0);
+}
+
+#[test]
+fn efind_knnj_performs_like_hand_tuned() {
+    // Fig. 13: the EFind expression of kNNJ is within a small factor of
+    // the hand-tuned H-zkNNJ (the paper reports "similar performance").
+    let config = osm::OsmConfig {
+        num_a: 3_000,
+        num_b: 3_000,
+        chunks: 120,
+        ..osm::OsmConfig::default()
+    };
+    let mut s = osm::scenario(&config);
+    let efind_best = run_mode(&mut s, "i", Mode::Uniform(Strategy::IndexLocality))
+        .unwrap()
+        .secs;
+    let (a, b) = osm::generate_ab(&config);
+    let zconf = zknnj::ZknnjConfig {
+        k: config.k,
+        chunks: config.chunks,
+        ..zknnj::ZknnjConfig::default()
+    };
+    let (dur, results) = zknnj::run(&s.cluster, &mut s.dfs, &zconf, &a, &b).unwrap();
+    let hand = dur.as_secs_f64();
+    assert_eq!(results.len(), config.num_a);
+    let ratio = efind_best / hand;
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "EFind vs hand-tuned ratio out of 'similar' range: {ratio}"
+    );
+}
