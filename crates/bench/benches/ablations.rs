@@ -44,7 +44,11 @@ fn cache_capacity(c: &mut Criterion) {
 fn variance_gate(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    for (label, threshold) in [("gate_strict", 0.01), ("gate_default", 0.5), ("gate_off", 1.0e9)] {
+    for (label, threshold) in [
+        ("gate_strict", 0.01),
+        ("gate_default", 0.5),
+        ("gate_off", 1.0e9),
+    ] {
         g.bench_function(format!("variance_{label}"), |b| {
             b.iter(|| {
                 let mut s = scenario();

@@ -150,5 +150,12 @@ fn planner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(components, lru_cache, fm_sketch, rtree, hashing_and_carrier, planner);
+criterion_group!(
+    components,
+    lru_cache,
+    fm_sketch,
+    rtree,
+    hashing_and_carrier,
+    planner
+);
 criterion_main!(components);

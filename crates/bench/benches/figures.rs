@@ -5,12 +5,14 @@
 //! track the reproduction machinery's real-time performance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use efind::{Mode, Strategy};
 use efind_cluster::SimDuration;
 use efind_workloads::harness::run_mode;
 use efind_workloads::{log, osm, synthetic, tpch, zknnj};
-use efind::{Mode, Strategy};
 
-fn bench_config(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+fn bench_config(
+    c: &mut Criterion,
+) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
     g
@@ -130,9 +132,7 @@ fn fig11f_synthetic(c: &mut Criterion) {
 
 fn fig12_latency(c: &mut Criterion) {
     let mut g = bench_config(c);
-    g.bench_function("fig12_latency_sweep", |b| {
-        b.iter(synthetic::fig12_rows)
-    });
+    g.bench_function("fig12_latency_sweep", |b| b.iter(synthetic::fig12_rows));
     g.finish();
 }
 

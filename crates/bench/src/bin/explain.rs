@@ -8,6 +8,10 @@
 use efind::{EFindRuntime, Mode, Strategy};
 use efind_workloads::{log, multi, osm, synthetic, topics, tpch};
 
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("  {l}\n")).collect()
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "q9".into());
     let mut scenario = match which.as_str() {
@@ -66,8 +70,10 @@ fn main() {
     for (bound, placement) in scenario.ijob.operators() {
         let name = bound.op.name();
         if let Some(stats) = rt.catalog.get(name) {
-            println!("\noperator {name} ({placement:?}): n1={:.0} spre={:.0}B spost={:.0}B smap={:.0}B",
-                stats.n1, stats.spre, stats.spost, stats.smap);
+            println!(
+                "\noperator {name} ({placement:?}): n1={:.0} spre={:.0}B spost={:.0}B smap={:.0}B",
+                stats.n1, stats.spre, stats.spost, stats.smap
+            );
             for (j, idx) in stats.indices.iter().enumerate() {
                 println!(
                     "  index {j}: nik={:.2} sik={:.0}B siv={:.0}B tj={:.0}µs R={:.2} Θ={:.1} scheme={} shuffleable={}",
@@ -79,7 +85,11 @@ fn main() {
     }
 
     // Forced-strategy breakdowns for comparison.
-    for strategy in [Strategy::Cache, Strategy::Repartition, Strategy::IndexLocality] {
+    for strategy in [
+        Strategy::Cache,
+        Strategy::Repartition,
+        Strategy::IndexLocality,
+    ] {
         match rt.run(&scenario.ijob, Mode::Uniform(strategy)) {
             Ok(res) => {
                 println!("\n{strategy:?}: {:.3}s", res.total_time.as_secs_f64());
@@ -88,8 +98,16 @@ fn main() {
                         .reduce
                         .as_ref()
                         .map(|r| {
-                            let hits = r.schedule.assignments.iter().filter(|a| a.affinity_hit).count();
-                            (r.tasks.len(), format!("{}/{} affinity hits", hits, r.tasks.len()))
+                            let hits = r
+                                .schedule
+                                .assignments
+                                .iter()
+                                .filter(|a| a.affinity_hit)
+                                .count();
+                            (
+                                r.tasks.len(),
+                                format!("{}/{} affinity hits", hits, r.tasks.len()),
+                            )
                         })
                         .unwrap_or((0, String::new()));
                     println!(
@@ -106,15 +124,52 @@ fn main() {
         }
     }
 
-    let opt = rt.run(&scenario.ijob, Mode::Optimized).expect("optimized run");
-    println!("\noptimized: {:.3}s ({} jobs)", opt.total_time.as_secs_f64(), opt.jobs.len());
+    // Static analysis of the optimized plan: structural checks over the
+    // plan the optimizer would pick, plus the statistics-dependent
+    // cost-model checks (EF009..EF013) from the freshly-populated catalog.
+    println!("\nstatic analysis:");
+    match rt.plans_for(&scenario.ijob, &Mode::Optimized) {
+        Ok(plans) => match efind::analysis::analyze_job(&scenario.ijob, &plans) {
+            Ok(report) if report.is_clean() => println!("  structural: clean"),
+            Ok(report) => print!("{}", indent(&report.to_text())),
+            Err(e) => println!("  structural: {e}"),
+        },
+        Err(e) => println!("  structural: {e}"),
+    }
+    let cost_report = efind::analysis::analyze_costs(
+        &scenario.ijob,
+        &rt.catalog,
+        &rt.cost_env(),
+        rt.config.enumeration,
+    );
+    if cost_report.is_clean() {
+        println!("  cost model: clean");
+    } else {
+        print!("{}", indent(&cost_report.to_text()));
+    }
+
+    let opt = rt
+        .run(&scenario.ijob, Mode::Optimized)
+        .expect("optimized run");
+    println!(
+        "\noptimized: {:.3}s ({} jobs)",
+        opt.total_time.as_secs_f64(),
+        opt.jobs.len()
+    );
     let mut plans = opt.plans.clone();
     plans.sort_by(|a, b| a.0.cmp(&b.0));
     for (op, plan) in &plans {
         let choices: Vec<String> = plan
             .choices
             .iter()
-            .map(|c| format!("{}:{} ({:.2}s est)", c.index, c.strategy.label(), c.est_cost_secs / 96.0))
+            .map(|c| {
+                format!(
+                    "{}:{} ({:.2}s est)",
+                    c.index,
+                    c.strategy.label(),
+                    c.est_cost_secs / 96.0
+                )
+            })
             .collect();
         println!("  {op}: [{}]", choices.join(", "));
     }
@@ -131,12 +186,18 @@ fn main() {
 
     // Virtual timeline of the optimized run's last job.
     if let Some(job) = opt.jobs.last() {
-        println!("
-map-phase timeline of {}:", job.name);
+        println!(
+            "
+map-phase timeline of {}:",
+            job.name
+        );
         print!("{}", efind_mapreduce::report::render_timeline(&job.map, 72));
         if let Some(reduce) = &job.reduce {
             println!("reduce-phase timeline:");
-            print!("{}", efind_mapreduce::report::render_schedule_timeline(&reduce.schedule, 72));
+            print!(
+                "{}",
+                efind_mapreduce::report::render_schedule_timeline(&reduce.schedule, 72)
+            );
         }
     }
 }

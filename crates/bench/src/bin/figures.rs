@@ -37,7 +37,11 @@ fn main() -> ExitCode {
         match efind_bench::run_figure(id, quick) {
             Ok(figure) => {
                 println!("{}", figure.render());
-                eprintln!("[{} generated in {:.1}s wall]", id, start.elapsed().as_secs_f64());
+                eprintln!(
+                    "[{} generated in {:.1}s wall]",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
                 if let Some(dir) = &csv_dir {
                     let path = format!("{dir}/{id}.csv");
                     let mut csv = String::from("group,config,virtual_seconds,replanned\n");

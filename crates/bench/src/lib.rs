@@ -39,7 +39,11 @@ impl Figure {
 
 /// Fig. 11(a): LOG under 0–5 ms extra lookup delay.
 pub fn fig11a(quick: bool) -> Result<Figure> {
-    let delays_ms: &[u64] = if quick { &[0, 2, 5] } else { &[0, 1, 2, 3, 4, 5] };
+    let delays_ms: &[u64] = if quick {
+        &[0, 2, 5]
+    } else {
+        &[0, 1, 2, 3, 4, 5]
+    };
     let mut groups = Vec::new();
     for &ms in delays_ms {
         let config = log::LogConfig {
@@ -253,8 +257,14 @@ pub fn e10(quick: bool) -> Result<Figure> {
                 })
             }),
         ),
-        ("TPC-H Q3", Box::new(move || tpch::q3_scenario(&tpch_config(true, 1)))),
-        ("TPC-H Q9", Box::new(move || tpch::q9_scenario(&tpch_config(true, 1)))),
+        (
+            "TPC-H Q3",
+            Box::new(move || tpch::q3_scenario(&tpch_config(true, 1))),
+        ),
+        (
+            "TPC-H Q9",
+            Box::new(move || tpch::q9_scenario(&tpch_config(true, 1))),
+        ),
         (
             "Synthetic 10KB",
             Box::new(move || {
@@ -332,11 +342,13 @@ pub fn e11(quick: bool) -> Result<Figure> {
     }
     // Baseline anchor for the speedup column.
     let mut scenario = synthetic::scenario(&config);
-    rows.insert(0, run_mode(&mut scenario, "base", Mode::Uniform(Strategy::Baseline))?);
+    rows.insert(
+        0,
+        run_mode(&mut scenario, "base", Mode::Uniform(Strategy::Baseline))?,
+    );
     Ok(Figure {
         id: "e11",
-        title: "Lookup cache capacity sweep (Zipf keys) — the paper's stated future work"
-            .into(),
+        title: "Lookup cache capacity sweep (Zipf keys) — the paper's stated future work".into(),
         groups: vec![("capacities".into(), rows)],
     })
 }
@@ -399,16 +411,29 @@ pub fn e12(quick: bool) -> Result<Figure> {
 
     let mut rows = Vec::new();
     let mut s = build(false, false);
-    rows.push(run_mode(&mut s, "healthy/soft", Mode::Uniform(Strategy::IndexLocality))?);
+    rows.push(run_mode(
+        &mut s,
+        "healthy/soft",
+        Mode::Uniform(Strategy::IndexLocality),
+    )?);
     let mut s = build(true, false);
-    rows.push(run_mode(&mut s, "degraded/soft", Mode::Uniform(Strategy::IndexLocality))?);
+    rows.push(run_mode(
+        &mut s,
+        "degraded/soft",
+        Mode::Uniform(Strategy::IndexLocality),
+    )?);
     let mut s = build(true, true);
-    rows.push(run_mode(&mut s, "degraded/hard", Mode::Uniform(Strategy::IndexLocality))?);
+    rows.push(run_mode(
+        &mut s,
+        "degraded/hard",
+        Mode::Uniform(Strategy::IndexLocality),
+    )?);
 
     Ok(Figure {
         id: "e12",
-        title: "Index locality under a degraded node: soft affinity vs hard co-location (§3.4 fn.3)"
-            .into(),
+        title:
+            "Index locality under a degraded node: soft affinity vs hard co-location (§3.4 fn.3)"
+                .into(),
         groups: vec![("kNN join".into(), rows)],
     })
 }
@@ -481,8 +506,7 @@ pub fn e14(quick: bool) -> Result<Figure> {
     ] {
         let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
         let (scan_t, scan_n) = scanjoin::run_scan_join(&cluster, &mut dfs, &data, cutoff, 240)?;
-        let (index_t, index_n) =
-            scanjoin::run_index_join(&cluster, &mut dfs, &data, cutoff, 240)?;
+        let (index_t, index_n) = scanjoin::run_index_join(&cluster, &mut dfs, &data, cutoff, 240)?;
         debug_assert_eq!(scan_n, index_n);
         groups.push((
             format!("{label} ({scan_n} joined rows)"),

@@ -116,10 +116,7 @@ impl Cluster {
     /// If `node` is flaky, the fraction of a task's duration wasted by
     /// the failing first attempt.
     pub fn flaky_fraction(&self, node: NodeId) -> Option<f64> {
-        self.flaky
-            .iter()
-            .find(|(n, _)| *n == node)
-            .map(|(_, f)| *f)
+        self.flaky.iter().find(|(n, _)| *n == node).map(|(_, f)| *f)
     }
 }
 
@@ -247,7 +244,11 @@ mod tests {
 
     #[test]
     fn builder_clamps_to_one() {
-        let c = Cluster::builder().nodes(0).map_slots(0).reduce_slots(0).build();
+        let c = Cluster::builder()
+            .nodes(0)
+            .map_slots(0)
+            .reduce_slots(0)
+            .build();
         assert_eq!(c.num_nodes(), 1);
         assert_eq!(c.map_slots(), 1);
         assert_eq!(c.reduce_slots(), 1);

@@ -237,7 +237,11 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
                 .map(|(i, _)| i)
                 .expect("cluster has at least one slot");
             let start = slots[slot].free;
-            (start + task.duration_on(slots[slot].node, cluster), start, slot)
+            (
+                start + task.duration_on(slots[slot].node, cluster),
+                start,
+                slot,
+            )
         });
         let mut node = slots[slot_idx].node;
         let wave = slots[slot_idx].used;
@@ -334,10 +338,8 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
         // cap their victim's finish without delaying planned tasks, an
         // approximation of the JobTracker killing slow copies promptly.
         let mut slot_free: Vec<SimTime> = vec![phase_start; slots.len()];
-        let mut backup_free: Vec<(NodeId, SimTime)> = slots
-            .iter()
-            .map(|s| (s.node, s.free))
-            .collect();
+        let mut backup_free: Vec<(NodeId, SimTime)> =
+            slots.iter().map(|s| (s.node, s.free)).collect();
         let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
         order.sort_by_key(|&i| (schedule.assignments[i].start, i));
         schedule.makespan = phase_start;
@@ -375,10 +377,10 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
                         assignment.start = bstart;
                         assignment.end = bend;
                         assignment.speculated = true;
-                        assignment.input_local = task.input_hosts.is_empty()
-                            || task.input_hosts.contains(bnode);
-                        assignment.affinity_hit = task.affinity.is_empty()
-                            || task.affinity.contains(bnode);
+                        assignment.input_local =
+                            task.input_hosts.is_empty() || task.input_hosts.contains(bnode);
+                        assignment.affinity_hit =
+                            task.affinity.is_empty() || task.affinity.contains(bnode);
                     }
                 }
             }
@@ -396,7 +398,11 @@ mod tests {
     use super::*;
 
     fn small_cluster() -> Cluster {
-        Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build()
+        Cluster::builder()
+            .nodes(2)
+            .map_slots(2)
+            .reduce_slots(1)
+            .build()
     }
 
     fn task(id: usize, millis: u64) -> TaskSpec {
@@ -526,10 +532,7 @@ mod tests {
             hard_affinity: false,
         };
         let s = schedule_phase(&c, &[t], SimTime::ZERO);
-        assert_eq!(
-            s.makespan,
-            SimTime::ZERO + SimDuration::from_millis(100)
-        );
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(100));
         assert!(!s.assignments[0].affinity_hit);
     }
 

@@ -129,7 +129,11 @@ impl Sum for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", efind_common::fmtutil::human_secs(self.as_secs_f64()))
+        write!(
+            f,
+            "{}",
+            efind_common::fmtutil::human_secs(self.as_secs_f64())
+        )
     }
 }
 
@@ -182,7 +186,11 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t+{}", efind_common::fmtutil::human_secs(self.as_secs_f64()))
+        write!(
+            f,
+            "t+{}",
+            efind_common::fmtutil::human_secs(self.as_secs_f64())
+        )
     }
 }
 
@@ -194,8 +202,14 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1500)
+        );
     }
 
     #[test]

@@ -15,7 +15,12 @@ struct TaskInput {
 
 fn arb_tasks(max_nodes: u16) -> impl Strategy<Value = Vec<TaskInput>> {
     proptest::collection::vec(
-        (1u64..500, 0u64..256, proptest::option::of(0..max_nodes), proptest::option::of(0..max_nodes))
+        (
+            1u64..500,
+            0u64..256,
+            proptest::option::of(0..max_nodes),
+            proptest::option::of(0..max_nodes),
+        )
             .prop_map(|(base_ms, input_kb, host, affinity)| TaskInput {
                 base_ms,
                 input_kb,

@@ -36,6 +36,53 @@ pub enum Datum {
     List(Vec<Datum>),
 }
 
+/// The static type of an index lookup key.
+///
+/// Used by the static plan analyzer to catch key-type mismatches between
+/// what an operator's `preProcess` emits and what an accessor expects
+/// (diagnostic `EF007`) before the job runs. `Any` means "undeclared /
+/// accepts everything" and is compatible with every kind, so declaring
+/// kinds is always opt-in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KeyKind {
+    /// Undeclared; compatible with every kind.
+    #[default]
+    Any,
+    /// [`Datum::Bool`] keys.
+    Bool,
+    /// [`Datum::Int`] keys.
+    Int,
+    /// [`Datum::Float`] keys.
+    Float,
+    /// [`Datum::Text`] keys.
+    Text,
+    /// [`Datum::Bytes`] keys.
+    Bytes,
+    /// [`Datum::List`] (composite) keys.
+    List,
+}
+
+impl KeyKind {
+    /// True when a key of kind `self` can be served by an accessor
+    /// declaring `other` (either side being [`KeyKind::Any`] matches).
+    pub fn compatible(self, other: KeyKind) -> bool {
+        self == KeyKind::Any || other == KeyKind::Any || self == other
+    }
+
+    /// Short label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyKind::Any => "any",
+            KeyKind::Bool => "bool",
+            KeyKind::Int => "int",
+            KeyKind::Float => "float",
+            KeyKind::Text => "text",
+            KeyKind::Bytes => "bytes",
+            KeyKind::List => "list",
+        }
+    }
+}
+
 impl Datum {
     /// Returns a stable discriminant used for cross-variant ordering and the
     /// binary encoding tag.
@@ -174,7 +221,10 @@ impl Datum {
             }
             2 => {
                 let (head, rest) = split_n(rest, 8, "int")?;
-                Ok((Datum::Int(i64::from_le_bytes(head.try_into().unwrap())), rest))
+                Ok((
+                    Datum::Int(i64::from_le_bytes(head.try_into().unwrap())),
+                    rest,
+                ))
             }
             3 => {
                 let (head, rest) = split_n(rest, 8, "float")?;

@@ -128,10 +128,7 @@ mod tests {
         }
         let min = buckets.iter().min().unwrap();
         let max = buckets.iter().max().unwrap();
-        assert!(
-            *min > 400 && *max < 900,
-            "unbalanced buckets: {buckets:?}"
-        );
+        assert!(*min > 400 && *max < 900, "unbalanced buckets: {buckets:?}");
     }
 
     #[test]

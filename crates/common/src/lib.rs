@@ -20,7 +20,7 @@ pub mod fmtutil;
 pub mod hash;
 pub mod record;
 
-pub use datum::Datum;
+pub use datum::{Datum, KeyKind};
 pub use error::{Error, Result};
 pub use fm::FmSketch;
 pub use hash::{fx_hash_bytes, fx_hash_datum, FxHashMap, FxHashSet, FxHasher};

@@ -60,10 +60,7 @@ mod tests {
     #[test]
     fn size_is_sum_of_parts() {
         let r = Record::new("k", "value");
-        assert_eq!(
-            r.size_bytes(),
-            r.key.size_bytes() + r.value.size_bytes()
-        );
+        assert_eq!(r.size_bytes(), r.key.size_bytes() + r.value.size_bytes());
     }
 
     #[test]

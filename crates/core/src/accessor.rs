@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
-use efind_common::Datum;
 use efind_cluster::{NetworkModel, NodeId, SimDuration};
+use efind_common::{Datum, KeyKind};
 use efind_mapreduce::TaskCtx;
 
 /// How a distributed index is partitioned, and where partitions live.
@@ -42,6 +42,22 @@ pub trait IndexAccessor: Send + Sync {
     /// is the flag that makes the index eligible for index locality.
     fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
         None
+    }
+
+    /// Whether `lookup` is a pure function of its key for the duration of
+    /// a job. Accessors backed by mutable or sampled sources return
+    /// `false`; the static analyzer then emits `EF012` and the adaptive
+    /// runtime disables mid-job result reuse (§3.2's idempotence
+    /// assumption).
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    /// The key kind this accessor accepts. [`KeyKind::Any`] (the default)
+    /// opts out of static key-type checking; a concrete kind lets the
+    /// analyzer flag mismatched operators with `EF007`.
+    fn key_kind(&self) -> KeyKind {
+        KeyKind::Any
     }
 }
 
@@ -108,8 +124,10 @@ impl ChargedLookup {
             }
         }
         ctx.counters.add(&format!("{}lookups", self.prefix), 1);
-        ctx.counters.add(&format!("{}sik.bytes", self.prefix), sik as i64);
-        ctx.counters.add(&format!("{}siv.bytes", self.prefix), siv as i64);
+        ctx.counters
+            .add(&format!("{}sik.bytes", self.prefix), sik as i64);
+        ctx.counters
+            .add(&format!("{}siv.bytes", self.prefix), siv as i64);
         ctx.counters
             .add(&format!("{}tj.nanos", self.prefix), serve.as_nanos() as i64);
         values
@@ -119,9 +137,12 @@ impl ChargedLookup {
     /// Θ distinct-count sketch.
     pub fn note_key(&self, key: &Datum, ctx: &mut TaskCtx) {
         ctx.counters.add(&format!("{}nik", self.prefix), 1);
-        ctx.counters
-            .add(&format!("{}key.bytes", self.prefix), key.size_bytes() as i64);
-        ctx.sketches.observe(&format!("{}distinct", self.prefix), key);
+        ctx.counters.add(
+            &format!("{}key.bytes", self.prefix),
+            key.size_bytes() as i64,
+        );
+        ctx.sketches
+            .observe(&format!("{}distinct", self.prefix), key);
     }
 }
 
@@ -209,7 +230,9 @@ mod tests {
     fn missing_key_returns_empty() {
         let cl = charged();
         let mut ctx = TaskCtx::new(0);
-        assert!(cl.lookup(&Datum::Int(99), LookupMode::Remote, &mut ctx).is_empty());
+        assert!(cl
+            .lookup(&Datum::Int(99), LookupMode::Remote, &mut ctx)
+            .is_empty());
         assert_eq!(ctx.counters.get("efind.op.0.siv.bytes"), 0);
     }
 

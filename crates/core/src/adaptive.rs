@@ -19,8 +19,8 @@
 //! wave-1 outputs — exactly the merge of Fig. 10(a). The plan changes at
 //! most once per job.
 
-use efind_common::{Error, FxHashMap, Result};
 use efind_cluster::{SimDuration, SimTime};
+use efind_common::{Error, FxHashMap, Result};
 use efind_mapreduce::{Counters, JobStats, PhaseStats, Runner, Sketches, TaskStats};
 
 use crate::compile::compile_pipeline;
@@ -37,7 +37,12 @@ pub(crate) fn run_dynamic(
 ) -> Result<EFindJobResult> {
     let baseline_plans: FxHashMap<String, OperatorPlan> = ijob
         .operators()
-        .map(|(b, _)| (b.op.name().to_owned(), forced_plan(&b.caps(), Strategy::Baseline)))
+        .map(|(b, _)| {
+            (
+                b.op.name().to_owned(),
+                forced_plan(&b.caps(), Strategy::Baseline),
+            )
+        })
         .collect();
 
     // Without any operators there is nothing to re-plan at all; run the
@@ -45,6 +50,15 @@ pub(crate) fn run_dynamic(
     // only tail operators still flow through the main path so the
     // reduce-phase branch of Algorithm 1 gets its chance.
     if ijob.head.is_empty() && ijob.body.is_empty() && ijob.tail.is_empty() {
+        return rt.run_with_plans(ijob, baseline_plans, false);
+    }
+
+    // A mid-job plan change reuses the completed wave's outputs, which is
+    // only sound when every lookup is a pure function of its key (§3.2).
+    // A non-deterministic accessor (EF012, warned at compile time) thus
+    // statically disables adaptive re-optimization: the job runs its
+    // baseline plan end to end.
+    if crate::analysis::has_nondeterministic_accessor(ijob) {
         return rt.run_with_plans(ijob, baseline_plans, false);
     }
 
@@ -127,8 +141,7 @@ pub(crate) fn run_dynamic(
         let exec2 =
             Runner::new(rt.cluster, rt.dfs).execute_maps(&conf, &chunks[wave_n..], wave_n)?;
         exec1.tasks.extend(exec2.tasks);
-        if let Some(result) =
-            try_reduce_phase_replan(rt, ijob, &conf, &mut exec1, &baseline_plans)?
+        if let Some(result) = try_reduce_phase_replan(rt, ijob, &conf, &mut exec1, &baseline_plans)?
         {
             return Ok(result);
         }
@@ -148,8 +161,7 @@ pub(crate) fn run_dynamic(
     // Wave-1 tasks have already run; their elapsed time and outputs are
     // kept. The plan-change overhead models job resubmission.
     let wave_sched = Runner::new(rt.cluster, rt.dfs).schedule_maps(&exec1, SimTime::ZERO);
-    let mut t = wave_sched.makespan
-        + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
+    let mut t = wave_sched.makespan + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
 
     // The remaining splits become the new plan's input (namespace
     // bookkeeping only — no data moves, so no time is charged).
@@ -158,15 +170,16 @@ pub(crate) fn run_dynamic(
     for chunk in &chunks[wave_n..] {
         remaining_records.extend_from_slice(rt.dfs.read_chunk(&conf.input, chunk.index)?);
     }
-    rt.dfs.write_file_with_chunks(
-        &remaining_name,
-        remaining_records,
-        chunks.len() - wave_n,
-    );
+    rt.dfs
+        .write_file_with_chunks(&remaining_name, remaining_records, chunks.len() - wave_n);
 
     let mut ijob2 = ijob.clone();
     ijob2.name = format!("{}-replan", ijob.name);
     ijob2.input = remaining_name.clone();
+    debug_assert!(
+        crate::analysis::passes(&ijob2, &new_plans),
+        "adaptive map-side replan produced an analyzer-rejected plan"
+    );
     let compiled2 = compile_pipeline(&ijob2, &new_plans, &rt.runtime_env())?;
 
     let mut job_stats: Vec<JobStats> = Vec::new();
@@ -186,13 +199,17 @@ pub(crate) fn run_dynamic(
         // Merge: new-plan map outputs plus the reused wave-1 outputs.
         let mut sources = lexec.take_outputs();
         sources.extend(exec1.take_outputs());
-        let outcome =
-            Runner::new(rt.cluster, rt.dfs).run_reduce_from(last, sources, map_end)?;
+        let outcome = Runner::new(rt.cluster, rt.dfs).run_reduce_from(last, sources, map_end)?;
         let end = outcome.phase.schedule.makespan.max(map_end);
 
         let mut counters = Counters::new();
         let mut sketches = Sketches::new();
-        for ts in lexec.tasks.iter().map(|x| &x.stats).chain(outcome.phase.tasks.iter()) {
+        for ts in lexec
+            .tasks
+            .iter()
+            .map(|x| &x.stats)
+            .chain(outcome.phase.tasks.iter())
+        {
             counters.merge(&ts.counters);
             sketches.merge(&ts.sketches);
         }
@@ -284,8 +301,7 @@ fn try_reduce_phase_replan(
         .collect();
     let wave1 = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &wave_refs)?;
     let wave_specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
-    let wave_schedule =
-        efind_cluster::sched::schedule_phase(rt.cluster, &wave_specs, map_end);
+    let wave_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &wave_specs, map_end);
     let wave_end = wave_schedule.makespan;
 
     // ---- Re-optimize the tail operators from wave-1 statistics. ----
@@ -321,8 +337,7 @@ fn try_reduce_phase_replan(
                 tail_plans.insert(bound.op.name().to_owned(), fallback());
                 continue;
             }
-            let Some(mut stats) =
-                extract_operator_stats(&wave_counters, &wave_sketches, &desc)
+            let Some(mut stats) = extract_operator_stats(&wave_counters, &wave_sketches, &desc)
             else {
                 tail_plans.insert(bound.op.name().to_owned(), fallback());
                 continue;
@@ -359,12 +374,10 @@ fn try_reduce_phase_replan(
             .enumerate()
             .map(|(i, p)| (reduce_slots + i, p.as_slice()))
             .collect();
-        let rest =
-            Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &rest_refs)?;
+        let rest = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &rest_refs)?;
         let mut specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
         specs.extend(rest.iter().map(|t| t.spec.clone()));
-        let reduce_schedule =
-            efind_cluster::sched::schedule_phase(rt.cluster, &specs, map_end);
+        let reduce_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &specs, map_end);
         let finished = reduce_schedule.makespan;
         let all_output: Vec<efind_common::Record> = wave1
             .iter()
@@ -375,7 +388,12 @@ fn try_reduce_phase_replan(
 
         let mut counters = wave_counters;
         let mut sketches = wave_sketches;
-        for x in exec.tasks.iter().map(|x| &x.stats).chain(rest.iter().map(|x| &x.stats)) {
+        for x in exec
+            .tasks
+            .iter()
+            .map(|x| &x.stats)
+            .chain(rest.iter().map(|x| &x.stats))
+        {
             counters.merge(&x.counters);
             sketches.merge(&x.sketches);
         }
@@ -419,27 +437,26 @@ fn try_reduce_phase_replan(
         .enumerate()
         .map(|(i, p)| (reduce_slots + i, p.as_slice()))
         .collect();
-    let rest =
-        Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(&stripped, &rest_refs)?;
+    let rest = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(&stripped, &rest_refs)?;
     let rest_specs: Vec<_> = rest.iter().map(|t| t.spec.clone()).collect();
     let rest_start = wave_end + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
-    let rest_schedule =
-        efind_cluster::sched::schedule_phase(rt.cluster, &rest_specs, rest_start);
+    let rest_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &rest_specs, rest_start);
     let mut t = rest_schedule.makespan;
 
     // The re-planned tail pipeline consumes the stripped outputs.
     let rest_records: Vec<efind_common::Record> =
         rest.iter().flat_map(|x| x.output.iter().cloned()).collect();
     let tmp_in = format!("{}.tail-replan.in", ijob.name);
-    rt.dfs.write_file_with_chunks(
-        &tmp_in,
-        rest_records,
-        rt.cluster.total_map_slots(),
-    );
+    rt.dfs
+        .write_file_with_chunks(&tmp_in, rest_records, rt.cluster.total_map_slots());
     let tmp_out = format!("{}.tail-replan.out", ijob.name);
     let mut tail_ijob = IndexJobConf::new(format!("{}-tailreplan", ijob.name), &tmp_in, &tmp_out);
     tail_ijob.head = ijob.tail.clone();
     tail_ijob.cpu_per_record = ijob.cpu_per_record;
+    debug_assert!(
+        crate::analysis::passes(&tail_ijob, &tail_plans),
+        "adaptive reduce-phase replan produced an analyzer-rejected plan"
+    );
     let compiled = compile_pipeline(&tail_ijob, &tail_plans, &rt.runtime_env())?;
     let mut job_stats: Vec<JobStats> = Vec::new();
     for tconf in &compiled.jobs {
@@ -449,8 +466,10 @@ fn try_reduce_phase_replan(
     }
 
     // Merge: completed wave-1 outputs + the tail pipeline's outputs.
-    let mut final_records: Vec<efind_common::Record> =
-        wave1.iter().flat_map(|x| x.output.iter().cloned()).collect();
+    let mut final_records: Vec<efind_common::Record> = wave1
+        .iter()
+        .flat_map(|x| x.output.iter().cloned())
+        .collect();
     final_records.extend(rt.dfs.read_file(&tmp_out)?);
     let output = rt.dfs.write_file(&ijob.output, final_records);
     if !rt.config.keep_intermediates {
@@ -467,7 +486,12 @@ fn try_reduce_phase_replan(
     // would double-count for anyone summing over `result.jobs`.
     let mut counters = wave_counters;
     let mut sketches = wave_sketches;
-    for x in exec.tasks.iter().map(|x| &x.stats).chain(rest.iter().map(|x| &x.stats)) {
+    for x in exec
+        .tasks
+        .iter()
+        .map(|x| &x.stats)
+        .chain(rest.iter().map(|x| &x.stats))
+    {
         counters.merge(&x.counters);
         sketches.merge(&x.sketches);
     }
@@ -477,7 +501,8 @@ fn try_reduce_phase_replan(
         absorb_counters.merge(&j.counters);
         absorb_sketches.merge(&j.sketches);
     }
-    rt.catalog.absorb(&absorb_counters, &absorb_sketches, &ijob.descriptors());
+    rt.catalog
+        .absorb(&absorb_counters, &absorb_sketches, &ijob.descriptors());
 
     let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
     reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));
@@ -522,8 +547,8 @@ mod tests {
     use crate::jobconf::BoundOperator;
     use crate::operator::{operator_fn, IndexInput, IndexOutput};
     use crate::runtime::{EFindConfig, Mode};
-    use efind_common::{Datum, Record};
     use efind_cluster::Cluster;
+    use efind_common::{Datum, Record};
     use efind_dfs::{Dfs, DfsConfig};
     use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
     use std::sync::Arc;
@@ -531,7 +556,11 @@ mod tests {
     /// A workload with heavy global key duplication and an expensive
     /// index, so the optimizer should switch to re-partitioning.
     fn setup(n: i64, distinct: i64, serve_ms: u64) -> (Cluster, Dfs, IndexJobConf) {
-        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -584,8 +613,7 @@ mod tests {
     #[test]
     fn dynamic_replans_under_heavy_duplication() {
         let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
-        let mut rt =
-            EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
         let res = rt.run(&ijob, Mode::Dynamic).unwrap();
         assert!(res.replanned, "expected a plan change");
         let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
@@ -601,8 +629,7 @@ mod tests {
         expected.sort();
 
         let (cluster2, mut dfs2, ijob2) = setup(2000, 10, 5);
-        let mut rt2 =
-            EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
         let res = rt2.run(&ijob2, Mode::Dynamic).unwrap();
         assert!(res.replanned);
         let mut got = rt2.dfs.read_file("out").unwrap();
@@ -617,8 +644,7 @@ mod tests {
         let base = rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
 
         let (cluster2, mut dfs2, ijob2) = setup(2000, 10, 5);
-        let mut rt2 =
-            EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
+        let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
         let dynamic = rt2.run(&ijob2, Mode::Dynamic).unwrap();
         assert!(
             dynamic.total_time < base.total_time,
@@ -644,8 +670,7 @@ mod tests {
     fn dynamic_keeps_baseline_when_no_redundancy() {
         // Unique keys, tiny serve time: baseline is already optimal.
         let (cluster, mut dfs, ijob) = setup(500, 1_000_000, 0);
-        let mut rt =
-            EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
         let res = rt.run(&ijob, Mode::Dynamic).unwrap();
         assert!(!res.replanned);
     }
@@ -654,7 +679,11 @@ mod tests {
     /// global key duplication: the map-side pass finds nothing to re-plan,
     /// and the reduce-phase branch of Algorithm 1 must fire instead.
     fn tail_heavy_setup(n: i64) -> (Cluster, Dfs, IndexJobConf) {
-        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(2)
+            .reduce_slots(1)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -670,7 +699,9 @@ mod tests {
 
         let mut index = MemIndex::new(
             "enrichment",
-            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+            (0..8i64)
+                .map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))]))
+                .collect(),
         );
         index.serve = SimDuration::from_millis(5);
         let tail_op = operator_fn(
@@ -716,10 +747,20 @@ mod tests {
         let (cluster, mut dfs, ijob) = tail_heavy_setup(3000);
         let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
         let res = rt.run(&ijob, Mode::Dynamic).unwrap();
-        assert!(res.replanned, "tail operator should trigger a reduce-phase plan change");
-        let plan = &res.plans.iter().find(|(n, _)| n == "tail-enrich").unwrap().1;
         assert!(
-            plan.choices.iter().all(|c| c.strategy != Strategy::Baseline),
+            res.replanned,
+            "tail operator should trigger a reduce-phase plan change"
+        );
+        let plan = &res
+            .plans
+            .iter()
+            .find(|(n, _)| n == "tail-enrich")
+            .unwrap()
+            .1;
+        assert!(
+            plan.choices
+                .iter()
+                .all(|c| c.strategy != Strategy::Baseline),
             "the re-planned tail must leave the baseline: {plan:?}"
         );
     }
@@ -768,7 +809,9 @@ mod tests {
         // Make the tail index too cheap to justify any plan change.
         let cheap = MemIndex::new(
             "enrichment",
-            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+            (0..8i64)
+                .map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))]))
+                .collect(),
         );
         ijob.tail[0].indices[0] = Arc::new(cheap);
 
@@ -781,14 +824,20 @@ mod tests {
         let (cluster2, mut dfs2, mut ijob2) = tail_heavy_setup(2500);
         let cheap2 = MemIndex::new(
             "enrichment",
-            (0..8i64).map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))])).collect(),
+            (0..8i64)
+                .map(|i| (Datum::Int(i), vec![Datum::Text(format!("e{i}"))]))
+                .collect(),
         );
         ijob2.tail[0].indices[0] = Arc::new(cheap2);
         let mut rt2 = EFindRuntime::with_config(&cluster2, &mut dfs2, cheap_change_config());
         let res = rt2.run(&ijob2, Mode::Dynamic).unwrap();
         let mut got = rt2.dfs.read_file("out").unwrap();
         got.sort();
-        assert_eq!(got.len(), expected.len(), "output lost on the no-change path");
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "output lost on the no-change path"
+        );
         assert_eq!(got, expected);
         let _ = res.replanned; // either decision is fine; output must match
     }
@@ -800,6 +849,57 @@ mod tests {
         let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
         let res = rt.run(&ijob, Mode::Dynamic).unwrap();
         assert!(!res.replanned);
+    }
+
+    /// Wraps an accessor and declares its lookups non-deterministic.
+    struct NonDetIndex(MemIndex);
+
+    impl crate::accessor::IndexAccessor for NonDetIndex {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn lookup(&self, key: &Datum) -> Vec<Datum> {
+            self.0.lookup(key)
+        }
+        fn serve_time(&self, key: &Datum, result_bytes: u64) -> SimDuration {
+            self.0.serve_time(key, result_bytes)
+        }
+        fn partition_scheme(&self) -> Option<Arc<dyn crate::accessor::PartitionScheme>> {
+            self.0.partition_scheme()
+        }
+        fn deterministic(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn non_deterministic_accessor_disables_result_reuse() {
+        // The identical workload replans in
+        // `dynamic_replans_under_heavy_duplication`; the only difference
+        // here is the accessor declaring itself non-deterministic, which
+        // must statically disable the adaptive path (EF012).
+        let (cluster, mut dfs, mut ijob) = setup(2000, 10, 5);
+        let mut index = MemIndex::new(
+            "vals",
+            (0..10i64)
+                .map(|i| (Datum::Int(i), vec![Datum::Bytes(vec![7u8; 256])]))
+                .collect(),
+        );
+        index.serve = SimDuration::from_millis(5);
+        ijob.head[0].indices[0] = Arc::new(NonDetIndex(index));
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, cheap_change_config());
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(
+            !res.replanned,
+            "result reuse must stay disabled for non-deterministic accessors"
+        );
+        let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
+        assert!(
+            plan.choices
+                .iter()
+                .all(|c| c.strategy == Strategy::Baseline),
+            "the job must run its baseline plan end to end: {plan:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Bridge to the `efind-analyze` static plan verifier.
+//!
+//! The analyzer crate knows nothing about the runtime types; this module
+//! lowers an [`IndexJobConf`] plus per-operator [`OperatorPlan`]s into its
+//! neutral IR and runs the checks. [`crate::compile::compile_pipeline`]
+//! calls [`analyze_job`] before building any stage — analyzer errors abort
+//! compilation, warnings ride along in the compiled pipeline and are
+//! printed at job start. [`analyze_costs`] additionally exercises the
+//! statistics-dependent checks (`EF009`–`EF011`, `EF013`) from catalog
+//! statistics, for `explain`-style reporting.
+
+use efind_analyze::{
+    analyze, ChoiceModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
+    Report, StrategyKind,
+};
+use efind_common::{Error, FxHashMap, Result};
+
+use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
+use crate::jobconf::{BoundOperator, IndexJobConf};
+use crate::plan::{forced_plan, optimize_operator, Enumeration, OperatorPlan, Strategy};
+use crate::statsx::Catalog;
+
+fn strategy_kind(s: Strategy) -> StrategyKind {
+    match s {
+        Strategy::Baseline => StrategyKind::Baseline,
+        Strategy::Cache => StrategyKind::Cache,
+        Strategy::Repartition => StrategyKind::Repartition,
+        Strategy::IndexLocality => StrategyKind::IndexLocality,
+    }
+}
+
+fn placement_kind(p: Placement) -> PlacementKind {
+    match p {
+        Placement::Head => PlacementKind::Head,
+        Placement::Body => PlacementKind::Body,
+        Placement::Tail => PlacementKind::Tail,
+    }
+}
+
+fn operator_model(
+    bound: &BoundOperator,
+    placement: Placement,
+    plan: &OperatorPlan,
+) -> OperatorModel {
+    let indices = bound
+        .indices
+        .iter()
+        .map(|acc| {
+            let scheme = acc.partition_scheme();
+            IndexModel {
+                name: acc.name().to_owned(),
+                deterministic: acc.deterministic(),
+                // Shuffleability (exactly one key per record) is a runtime
+                // property; statically it is assumed, matching `caps()`.
+                shuffleable: true,
+                has_partition_scheme: scheme.is_some(),
+                partitions: scheme.map(|s| s.num_partitions()).unwrap_or(0),
+                key_kind: acc.key_kind(),
+                nik: None,
+            }
+        })
+        .collect();
+    OperatorModel {
+        name: bound.op.name().to_owned(),
+        placement: placement_kind(placement),
+        declared_arity: bound.op.num_indices(),
+        volatile: bound.volatile,
+        indices,
+        lookup_key_kinds: bound.key_kinds.clone(),
+        choices: plan
+            .choices
+            .iter()
+            .map(|c| ChoiceModel {
+                slot: c.index,
+                strategy: strategy_kind(c.strategy),
+                est_cost_secs: c.est_cost_secs,
+            })
+            .collect(),
+        est_cost_secs: plan.est_cost_secs,
+        costs: None,
+    }
+}
+
+/// Lowers a job and its plans into the analyzer's IR. A missing plan is an
+/// internal error, exactly as the compiler reported it before the analyzer
+/// existed.
+pub fn job_model(
+    ijob: &IndexJobConf,
+    plans: &FxHashMap<String, OperatorPlan>,
+) -> Result<PlanModel> {
+    let mut operators = Vec::new();
+    for (bound, placement) in ijob.operators() {
+        let plan = plans
+            .get(bound.op.name())
+            .ok_or_else(|| Error::Internal(format!("no plan for operator {}", bound.op.name())))?;
+        operators.push(operator_model(bound, placement, plan));
+    }
+    Ok(PlanModel {
+        job: ijob.name.clone(),
+        has_reduce: ijob.has_reduce(),
+        operators,
+    })
+}
+
+/// Runs the structural checks over a job and its plans.
+pub fn analyze_job(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>) -> Result<Report> {
+    Ok(analyze(&job_model(ijob, plans)?))
+}
+
+/// Runs the full check set — structural plus the statistics-dependent
+/// cost-model checks — from catalog statistics. Operators without catalog
+/// entries are verified structurally under a forced baseline plan.
+pub fn analyze_costs(
+    ijob: &IndexJobConf,
+    catalog: &Catalog,
+    env: &CostEnv,
+    enumeration: Enumeration,
+) -> Report {
+    let mut operators = Vec::new();
+    for (bound, placement) in ijob.operators() {
+        let Some(stats) = catalog.get(bound.op.name()) else {
+            let plan = forced_plan(&bound.caps(), Strategy::Baseline);
+            operators.push(operator_model(bound, placement, &plan));
+            continue;
+        };
+        let mut stats = stats.clone();
+        // Partition-scheme availability is structural, not statistical —
+        // refresh it from the bound accessors (as `plans_for` does).
+        for (j, (_, scheme)) in bound.caps().iter().enumerate() {
+            if let Some(idx) = stats.indices.get_mut(j) {
+                idx.has_partition_scheme = *scheme;
+            }
+        }
+        let plan = optimize_operator(&stats, env, placement, enumeration);
+        let mut model = operator_model(bound, placement, &plan);
+        // Enrich the structural model with what the statistics know.
+        for (m, s) in model.indices.iter_mut().zip(&stats.indices) {
+            m.shuffleable = s.shuffleable;
+            m.nik = Some(s.nik);
+            if s.partitions > 0 {
+                m.partitions = s.partitions;
+            }
+        }
+        model.costs = Some(operator_costs(&stats, env, placement, &plan, enumeration));
+        operators.push(model);
+    }
+    analyze(&PlanModel {
+        job: ijob.name.clone(),
+        has_reduce: ijob.has_reduce(),
+        operators,
+    })
+}
+
+fn operator_costs(
+    stats: &OperatorStatsEstimate,
+    env: &CostEnv,
+    placement: Placement,
+    plan: &OperatorPlan,
+    enumeration: Enumeration,
+) -> OperatorCosts {
+    let full = optimize_operator(stats, env, placement, Enumeration::Full);
+    let krepart_k = match enumeration {
+        Enumeration::KRepart(k) => k.max(1),
+        Enumeration::Full => 2,
+    };
+    let krepart = optimize_operator(stats, env, placement, Enumeration::KRepart(krepart_k));
+    let mut s_min_by_position = Vec::with_capacity(plan.choices.len());
+    let mut carried_by_position = Vec::with_capacity(plan.choices.len());
+    let mut accessed: Vec<usize> = Vec::with_capacity(plan.choices.len());
+    for choice in &plan.choices {
+        let carried = stats.carried_size(&accessed);
+        s_min_by_position.push(s_min(stats, choice.index, placement, carried));
+        carried_by_position.push(carried);
+        accessed.push(choice.index);
+    }
+    OperatorCosts {
+        n1: stats.n1,
+        t_cache_secs: env.t_cache_secs,
+        full_est_secs: full.est_cost_secs,
+        krepart_est_secs: krepart.est_cost_secs,
+        krepart_k,
+        s_min_by_position,
+        carried_by_position,
+    }
+}
+
+/// Property 4 as a predicate over a runtime plan: no shuffle-strategy
+/// access after a baseline/cache access. Used in debug assertions on every
+/// planner exit path.
+pub fn respects_property4(plan: &OperatorPlan) -> bool {
+    let mut seen_non_shuffle = false;
+    for c in &plan.choices {
+        if c.strategy.is_shuffle() {
+            if seen_non_shuffle {
+                return false;
+            }
+        } else {
+            seen_non_shuffle = true;
+        }
+    }
+    true
+}
+
+/// True when the job and plans pass structural analysis without errors —
+/// the invariant the adaptive runtime debug-asserts before compiling a
+/// mid-job replacement pipeline.
+pub fn passes(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>) -> bool {
+    analyze_job(ijob, plans)
+        .map(|r| r.is_passing())
+        .unwrap_or(false)
+}
+
+/// True when any bound accessor reports non-deterministic lookups — the
+/// static gate (`EF012`) that disables the adaptive runtime's wave-1
+/// result reuse.
+pub fn has_nondeterministic_accessor(ijob: &IndexJobConf) -> bool {
+    ijob.operators()
+        .any(|(b, _)| b.indices.iter().any(|a| !a.deterministic()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accessor::testutil::MemIndex;
+    use crate::accessor::IndexAccessor;
+    use crate::cost::IndexStatsEstimate;
+    use crate::operator::{operator_fn, IndexInput, IndexOutput};
+    use crate::plan::IndexChoice;
+    use efind_analyze::DiagCode;
+    use efind_common::{Datum, KeyKind, Record};
+    use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
+    use std::sync::Arc;
+
+    fn sample_bound(name: &str) -> BoundOperator {
+        let op = operator_fn(
+            name,
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| keys.put(0, rec.key.clone()),
+            |rec: Record, _v: &IndexOutput, out: &mut dyn Collector| out.collect(rec),
+        );
+        BoundOperator::new(op).add_index(Arc::new(MemIndex::new("mem", vec![])))
+    }
+
+    fn sample_job(bound: BoundOperator) -> IndexJobConf {
+        IndexJobConf::new("j", "in", "out")
+            .add_head_index_operator(bound)
+            .set_mapper(mapper_fn(|rec, out, _| out.collect(rec)))
+            .set_reducer(
+                reducer_fn(|key, values, out, _| {
+                    out.collect(Record::new(key, values.len() as i64));
+                }),
+                2,
+            )
+    }
+
+    fn plans_with(ijob: &IndexJobConf, strategy: Strategy) -> FxHashMap<String, OperatorPlan> {
+        ijob.operators()
+            .map(|(b, _)| (b.op.name().to_owned(), forced_plan(&b.caps(), strategy)))
+            .collect()
+    }
+
+    #[test]
+    fn lowering_preserves_shape() {
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let model = job_model(&ijob, &plans).unwrap();
+        assert_eq!(model.operators.len(), 1);
+        assert_eq!(model.operators[0].name, "op");
+        assert_eq!(model.operators[0].declared_arity, 1);
+        assert_eq!(model.operators[0].indices[0].name, "mem");
+        assert!(model.has_reduce);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn missing_plan_is_internal_error() {
+        let ijob = sample_job(sample_bound("op"));
+        assert!(job_model(&ijob, &FxHashMap::default()).is_err());
+    }
+
+    #[test]
+    fn property4_predicate() {
+        let choice = |index, strategy| IndexChoice {
+            index,
+            strategy,
+            est_cost_secs: 0.0,
+        };
+        let good = OperatorPlan {
+            choices: vec![choice(1, Strategy::Repartition), choice(0, Strategy::Cache)],
+            est_cost_secs: 0.0,
+        };
+        assert!(respects_property4(&good));
+        let bad = OperatorPlan {
+            choices: vec![choice(0, Strategy::Cache), choice(1, Strategy::Repartition)],
+            est_cost_secs: 0.0,
+        };
+        assert!(!respects_property4(&bad));
+    }
+
+    #[test]
+    fn volatile_non_baseline_plan_fails_analysis() {
+        let mut bound = sample_bound("op");
+        bound.volatile = true;
+        let ijob = sample_job(bound);
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let report = analyze_job(&ijob, &plans).unwrap();
+        assert!(report.has_code(DiagCode::EF014));
+        assert!(!passes(&ijob, &plans));
+    }
+
+    /// An accessor that declares a concrete key kind and non-determinism.
+    struct TypedIndex {
+        kind: KeyKind,
+        det: bool,
+    }
+
+    impl IndexAccessor for TypedIndex {
+        fn name(&self) -> &str {
+            "typed"
+        }
+        fn lookup(&self, _key: &Datum) -> Vec<Datum> {
+            vec![]
+        }
+        fn serve_time(&self, _: &Datum, _: u64) -> efind_cluster::SimDuration {
+            efind_cluster::SimDuration::ZERO
+        }
+        fn deterministic(&self) -> bool {
+            self.det
+        }
+        fn key_kind(&self) -> KeyKind {
+            self.kind
+        }
+    }
+
+    #[test]
+    fn key_kind_mismatch_is_ef007() {
+        let op = operator_fn(
+            "op",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| keys.put(0, rec.key.clone()),
+            |rec: Record, _v: &IndexOutput, out: &mut dyn Collector| out.collect(rec),
+        );
+        let bound = BoundOperator::new(op)
+            .add_index(Arc::new(TypedIndex {
+                kind: KeyKind::Int,
+                det: true,
+            }))
+            .key_kinds(vec![KeyKind::Text]);
+        let ijob = sample_job(bound);
+        let plans = plans_with(&ijob, Strategy::Baseline);
+        let report = analyze_job(&ijob, &plans).unwrap();
+        assert!(report.has_code(DiagCode::EF007));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn non_deterministic_accessor_warns_but_passes() {
+        let op = operator_fn(
+            "op",
+            1,
+            |rec: &mut Record, keys: &mut IndexInput| keys.put(0, rec.key.clone()),
+            |rec: Record, _v: &IndexOutput, out: &mut dyn Collector| out.collect(rec),
+        );
+        let bound = BoundOperator::new(op).add_index(Arc::new(TypedIndex {
+            kind: KeyKind::Any,
+            det: false,
+        }));
+        let ijob = sample_job(bound);
+        assert!(has_nondeterministic_accessor(&ijob));
+        let plans = plans_with(&ijob, Strategy::Baseline);
+        let report = analyze_job(&ijob, &plans).unwrap();
+        assert!(report.has_code(DiagCode::EF012));
+        assert!(report.is_passing());
+    }
+
+    fn catalog_with(name: &str, theta: f64) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.put(
+            name,
+            OperatorStatsEstimate {
+                n1: 1.0e6,
+                s1: 100.0,
+                spre: 80.0,
+                spost: 60.0,
+                smap: 40.0,
+                indices: vec![IndexStatsEstimate {
+                    nik: 1.0,
+                    sik: 10.0,
+                    siv: 500.0,
+                    tj_secs: 1.0e-3,
+                    miss_ratio: 0.2,
+                    theta,
+                    has_partition_scheme: false,
+                    shuffleable: true,
+                    partitions: 0,
+                }],
+            },
+        );
+        cat
+    }
+
+    fn cost_env() -> CostEnv {
+        CostEnv {
+            bw_bytes_per_sec: 125.0e6,
+            f_per_byte: 2.0e-8,
+            t_cache_secs: 1.0e-6,
+            lookup_latency_secs: 1.0e-4,
+            shuffle_secs_per_byte: 3.6e-8,
+            job_overhead_secs: 0.0,
+            reduce_parallelism: 48.0,
+            parallelism: 96.0,
+        }
+    }
+
+    #[test]
+    fn cost_analysis_on_sane_statistics_is_passing() {
+        let ijob = sample_job(sample_bound("op"));
+        let report = analyze_costs(
+            &ijob,
+            &catalog_with("op", 2.0),
+            &cost_env(),
+            Enumeration::Full,
+        );
+        assert!(report.is_passing(), "{}", report.to_text());
+        assert!(!report.has_code(DiagCode::EF009));
+        assert!(!report.has_code(DiagCode::EF011));
+    }
+
+    #[test]
+    fn cost_analysis_without_catalog_is_structural_only() {
+        let ijob = sample_job(sample_bound("op"));
+        let report = analyze_costs(&ijob, &Catalog::new(), &cost_env(), Enumeration::Full);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn corrupt_statistics_trigger_ef009() {
+        let ijob = sample_job(sample_bound("op"));
+        let mut cat = catalog_with("op", 2.0);
+        let mut stats = cat.get("op").unwrap().clone();
+        stats.n1 = -5.0;
+        cat.put("op", stats);
+        let report = analyze_costs(&ijob, &cat, &cost_env(), Enumeration::Full);
+        assert!(report.has_code(DiagCode::EF009), "{}", report.to_text());
+    }
+}

@@ -45,9 +45,7 @@ impl Carrier {
                 .into_iter()
                 .map(|v| match v {
                     None => Datum::Null,
-                    Some(per_key) => {
-                        Datum::List(per_key.into_iter().map(Datum::List).collect())
-                    }
+                    Some(per_key) => Datum::List(per_key.into_iter().map(Datum::List).collect()),
                 })
                 .collect(),
         );
@@ -166,7 +164,10 @@ mod tests {
         let mut c = Carrier::new(
             Datum::Int(1),
             Datum::Text("v".into()),
-            vec![vec![Datum::Int(10)], vec![Datum::Text("a".into()), Datum::Text("b".into())]],
+            vec![
+                vec![Datum::Int(10)],
+                vec![Datum::Text("a".into()), Datum::Text("b".into())],
+            ],
         );
         c.values[0] = Some(vec![vec![Datum::Int(100), Datum::Int(200)]]);
         c

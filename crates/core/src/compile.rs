@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_cluster::{NetworkModel, SimDuration};
+use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
     partition::partitioner_fn, Collector, HashPartitioner, JobConf, Mapper, MapperFactory,
     Partitioner, Reducer, ReducerFactory, TaskCtx,
@@ -65,11 +65,17 @@ enum Stage {
 }
 
 fn light(factory: MapperFactory) -> Stage {
-    Stage::Mapwise { factory, heavy: false }
+    Stage::Mapwise {
+        factory,
+        heavy: false,
+    }
 }
 
 fn heavy(factory: MapperFactory) -> Stage {
-    Stage::Mapwise { factory, heavy: true }
+    Stage::Mapwise {
+        factory,
+        heavy: true,
+    }
 }
 
 struct ShuffleSpec {
@@ -89,6 +95,9 @@ pub struct CompiledPipeline {
     pub jobs: Vec<JobConf>,
     /// Intermediate DFS files created between jobs (cleanup candidates).
     pub temp_files: Vec<String>,
+    /// The static analysis report. Contains warnings only: analyzer errors
+    /// abort compilation before this struct exists.
+    pub analysis: efind_analyze::Report,
 }
 
 // ---------------------------------------------------------------------
@@ -106,8 +115,10 @@ struct PreMapper {
 impl Mapper for PreMapper {
     fn map(&mut self, mut rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
         ctx.counters.add(&names::op(&self.opname, "n1"), 1);
-        ctx.counters
-            .add(&names::op(&self.opname, "s1.bytes"), rec.size_bytes() as i64);
+        ctx.counters.add(
+            &names::op(&self.opname, "s1.bytes"),
+            rec.size_bytes() as i64,
+        );
         let mut keys = IndexInput::new(self.charged.len());
         self.op.pre_process(&mut rec, &mut keys);
         let key_lists = keys.into_keys();
@@ -123,8 +134,10 @@ impl Mapper for PreMapper {
         }
         let routing = rec.key.clone();
         let crec = Carrier::new(rec.key, rec.value, key_lists).into_record(routing);
-        ctx.counters
-            .add(&names::op(&self.opname, "spre.bytes"), crec.size_bytes() as i64);
+        ctx.counters.add(
+            &names::op(&self.opname, "spre.bytes"),
+            crec.size_bytes() as i64,
+        );
         out.collect(crec);
     }
 
@@ -226,7 +239,13 @@ struct LookupGroupReducer {
 }
 
 impl Reducer for LookupGroupReducer {
-    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+    fn reduce(
+        &mut self,
+        key: Datum,
+        values: Vec<Datum>,
+        out: &mut dyn Collector,
+        ctx: &mut TaskCtx,
+    ) {
         let mode = if let Some(scheme) = &self.locality {
             let p = scheme.partition_of(&key);
             ctx.add_affinity(&scheme.hosts(p));
@@ -258,8 +277,10 @@ struct PostMapper {
 
 impl Mapper for PostMapper {
     fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
-        ctx.counters
-            .add(&names::op(&self.opname, "sidx.bytes"), rec.size_bytes() as i64);
+        ctx.counters.add(
+            &names::op(&self.opname, "sidx.bytes"),
+            rec.size_bytes() as i64,
+        );
         let carrier = match Carrier::from_value(rec.value) {
             Ok(c) => c,
             Err(e) => return ctx.fail(format!("post stage: {e}")),
@@ -287,7 +308,8 @@ struct MapOutCounter;
 impl Mapper for MapOutCounter {
     fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
         ctx.counters.add(names::MAPOUT_RECORDS, 1);
-        ctx.counters.add(names::MAPOUT_BYTES, rec.size_bytes() as i64);
+        ctx.counters
+            .add(names::MAPOUT_BYTES, rec.size_bytes() as i64);
         out.collect(rec);
     }
 }
@@ -375,20 +397,17 @@ fn compile_operator(
                 } else {
                     None
                 };
-                stages.push(light(Arc::new(move || {
-                    Box::new(RekeyMapper { slot })
-                })));
-                let (partitioner, num_reducers): (Arc<dyn Partitioner>, usize) =
-                    match &locality {
-                        Some(scheme) => {
-                            let s = scheme.clone();
-                            (
-                                partitioner_fn(move |key, n| s.partition_of(key) % n.max(1)),
-                                scheme.num_partitions(),
-                            )
-                        }
-                        None => (Arc::new(HashPartitioner), env.shuffle_reducers),
-                    };
+                stages.push(light(Arc::new(move || Box::new(RekeyMapper { slot }))));
+                let (partitioner, num_reducers): (Arc<dyn Partitioner>, usize) = match &locality {
+                    Some(scheme) => {
+                        let s = scheme.clone();
+                        (
+                            partitioner_fn(move |key, n| s.partition_of(key) % n.max(1)),
+                            scheme.num_partitions(),
+                        )
+                    }
+                    None => (Arc::new(HashPartitioner), env.shuffle_reducers),
+                };
                 let cl2 = cl.clone();
                 let hard_colocation = env.hard_colocation;
                 let reducer: ReducerFactory = Arc::new(move || {
@@ -429,10 +448,13 @@ pub fn compile_pipeline(
     env: &RuntimeEnv,
 ) -> Result<CompiledPipeline> {
     ijob.validate()?;
+    // Static plan verification (EF001..): hard errors abort compilation
+    // here, before any stage is built; warnings travel with the pipeline.
+    let analysis = crate::analysis::analyze_job(ijob, plans)?.into_result()?;
     let plan_of = |bound: &BoundOperator| -> Result<&OperatorPlan> {
-        plans.get(bound.op.name()).ok_or_else(|| {
-            Error::Internal(format!("no plan for operator {}", bound.op.name()))
-        })
+        plans
+            .get(bound.op.name())
+            .ok_or_else(|| Error::Internal(format!("no plan for operator {}", bound.op.name())))
     };
 
     let mut stages: Vec<Stage> = Vec::new();
@@ -540,7 +562,11 @@ pub fn compile_pipeline(
         }
         jobs.push(conf);
     }
-    Ok(CompiledPipeline { jobs, temp_files })
+    Ok(CompiledPipeline {
+        jobs,
+        temp_files,
+        analysis,
+    })
 }
 
 #[cfg(test)]
@@ -550,9 +576,9 @@ mod tests {
     use crate::operator::operator_fn;
     use crate::plan::forced_plan;
     use efind_cluster::Cluster;
+    use efind_cluster::SimTime;
     use efind_dfs::{Dfs, DfsConfig};
     use efind_mapreduce::{mapper_fn, reducer_fn, Runner};
-    use efind_cluster::SimTime;
 
     fn env() -> RuntimeEnv {
         RuntimeEnv {
@@ -605,7 +631,11 @@ mod tests {
     }
 
     fn run_pipeline(strategy: Strategy) -> (Vec<Record>, usize) {
-        let cluster = Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -657,7 +687,11 @@ mod tests {
 
     #[test]
     fn lookup_counters_reflect_dedup() {
-        let cluster = Cluster::builder().nodes(2).map_slots(1).reduce_slots(1).build();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .reduce_slots(1)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -687,7 +721,11 @@ mod tests {
 
     #[test]
     fn cache_counters_present() {
-        let cluster = Cluster::builder().nodes(2).map_slots(1).reduce_slots(1).build();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .reduce_slots(1)
+            .build();
         let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
         let records: Vec<Record> = (0..100i64).map(|i| Record::new(i, "x")).collect();
         dfs.write_file("in", records);

@@ -144,7 +144,11 @@ impl OperatorStatsEstimate {
     /// `indices`) have attached their results — the size that must be
     /// shuffled for the *next* shuffle-based index (Property 2).
     pub fn carried_size(&self, accessed: &[usize]) -> f64 {
-        self.spre + accessed.iter().map(|&j| self.indices[j].result_growth()).sum::<f64>()
+        self.spre
+            + accessed
+                .iter()
+                .map(|&j| self.indices[j].result_growth())
+                .sum::<f64>()
     }
 }
 
@@ -165,8 +169,7 @@ pub fn cost_cache(env: &CostEnv, op: &OperatorStatsEstimate, j: usize) -> f64 {
     let idx = &op.indices[j];
     op.n1
         * idx.nik
-        * (env.t_cache_secs
-            + idx.miss_ratio * (remote_lookup_secs(env, idx) + idx.tj_secs))
+        * (env.t_cache_secs + idx.miss_ratio * (remote_lookup_secs(env, idx) + idx.tj_secs))
 }
 
 /// The `S_min` boundary size of Eq. 3: the smallest intermediate the
@@ -213,9 +216,9 @@ pub fn cost_index_locality(
     let idx = &op.indices[j];
     let shuffle = op.n1 * carried * env.shuffle_secs_per_byte;
     let result = env.f_per_byte * op.n1 * s_min(op, j, placement, carried);
-    let lookups = op.n1 * idx.nik / idx.theta.max(1.0) * idx.tj_secs
-        * env.reduce_inflation(idx.partitions)
-        + op.n1 * env.transfer_secs(carried);
+    let lookups =
+        op.n1 * idx.nik / idx.theta.max(1.0) * idx.tj_secs * env.reduce_inflation(idx.partitions)
+            + op.n1 * env.transfer_secs(carried);
     shuffle + result + lookups
 }
 
@@ -236,7 +239,13 @@ pub(crate) mod testutil {
         }
     }
 
-    pub fn one_index_op(nik: f64, siv: f64, tj: f64, miss: f64, theta: f64) -> OperatorStatsEstimate {
+    pub fn one_index_op(
+        nik: f64,
+        siv: f64,
+        tj: f64,
+        miss: f64,
+        theta: f64,
+    ) -> OperatorStatsEstimate {
         OperatorStatsEstimate {
             n1: 1.0e6,
             s1: 100.0,

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use efind_common::{Error, FxHashSet, Result};
 use efind_cluster::SimDuration;
+use efind_common::{Error, FxHashSet, KeyKind, Result};
 use efind_mapreduce::{HashPartitioner, MapperFactory, Partitioner, ReducerFactory};
 
 use crate::accessor::IndexAccessor;
@@ -23,6 +23,10 @@ pub struct BoundOperator {
     /// an EFind enhanced job"). When that is false, mark the operator
     /// volatile and every mode pins it to the baseline strategy.
     pub volatile: bool,
+    /// Key kinds the operator's `preProcess` emits, one per index slot.
+    /// Empty (the default) means undeclared — every slot is treated as
+    /// [`KeyKind::Any`] and skips static key-type checking.
+    pub key_kinds: Vec<KeyKind>,
 }
 
 impl BoundOperator {
@@ -32,6 +36,7 @@ impl BoundOperator {
             op,
             indices: Vec::new(),
             volatile: false,
+            key_kinds: Vec::new(),
         }
     }
 
@@ -48,6 +53,14 @@ impl BoundOperator {
         self
     }
 
+    /// Declares the key kinds `preProcess` emits, one per index slot, so
+    /// the static analyzer can verify them against each accessor's
+    /// declared key kind (`EF007`).
+    pub fn key_kinds(mut self, kinds: Vec<KeyKind>) -> Self {
+        self.key_kinds = kinds;
+        self
+    }
+
     /// The structural descriptor used for statistics extraction.
     pub fn descriptor(&self) -> OpDescriptor {
         OpDescriptor {
@@ -61,7 +74,11 @@ impl BoundOperator {
             partition_counts: self
                 .indices
                 .iter()
-                .map(|a| a.partition_scheme().map(|s| s.num_partitions()).unwrap_or(0))
+                .map(|a| {
+                    a.partition_scheme()
+                        .map(|s| s.num_partitions())
+                        .unwrap_or(0)
+                })
                 .collect(),
         }
     }
@@ -122,7 +139,11 @@ pub struct IndexJobConf {
 
 impl IndexJobConf {
     /// Creates an enhanced job configuration.
-    pub fn new(name: impl Into<String>, input: impl Into<String>, output: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
         IndexJobConf {
             name: name.into(),
             input: input.into(),
@@ -252,7 +273,10 @@ mod tests {
             .add_body_index_operator(BoundOperator::new(noop_op("b", 1)).add_index(mem()))
             .add_tail_index_operator(BoundOperator::new(noop_op("c", 1)).add_index(mem()));
         conf.validate().unwrap();
-        let placements: Vec<_> = conf.operators().map(|(b, p)| (b.op.name().to_owned(), p)).collect();
+        let placements: Vec<_> = conf
+            .operators()
+            .map(|(b, p)| (b.op.name().to_owned(), p))
+            .collect();
         assert_eq!(placements.len(), 3);
         assert_eq!(placements[0].0, "a");
         assert_eq!(placements[2].1, crate::cost::Placement::Tail);

@@ -38,9 +38,20 @@
 //! re-optimizes (Algorithm 1), and — when the predicted gain exceeds the
 //! plan-change cost — switches plans mid-job, reusing the completed wave's
 //! outputs (Fig. 10).
+//!
+//! ## Static plan analysis
+//!
+//! Before any pipeline is compiled, [`analysis`] lowers the job and its
+//! plans into `efind-analyze`'s IR and verifies them: placement legality
+//! and Property 4, strategy/capability fit, key-kind compatibility,
+//! cost-model sanity, and a determinism audit gating the adaptive
+//! runtime's result reuse. Errors (stable `EFxxx` codes) abort
+//! compilation; warnings are printed at job start and surface in the
+//! `explain` report.
 
 pub mod accessor;
 pub mod adaptive;
+pub mod analysis;
 pub mod cache;
 pub mod carrier;
 pub mod compile;
@@ -54,6 +65,8 @@ pub mod statsx;
 pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, PartitionScheme};
 pub use cache::LookupCache;
 pub use cost::{CostEnv, IndexStatsEstimate, OperatorStatsEstimate, Placement};
+pub use efind_analyze::{DiagCode, Diagnostic, Report, Severity, Span};
+pub use efind_common::KeyKind;
 pub use jobconf::{BoundOperator, IndexJobConf};
 pub use operator::{operator_fn, IndexInput, IndexOperator, IndexOutput};
 pub use plan::{Enumeration, OperatorPlan, Strategy};

@@ -124,12 +124,7 @@ where
 
 /// Builds an [`IndexOperator`] from two closures — the lightweight way to
 /// express the paper's `UserProfileIndexOperator`-style classes.
-pub fn operator_fn<P, Q>(
-    name: &str,
-    num_indices: usize,
-    pre: P,
-    post: Q,
-) -> Arc<dyn IndexOperator>
+pub fn operator_fn<P, Q>(name: &str, num_indices: usize, pre: P, post: Q) -> Arc<dyn IndexOperator>
 where
     P: Fn(&mut Record, &mut IndexInput) + Send + Sync + 'static,
     Q: Fn(Record, &IndexOutput, &mut dyn Collector) + Send + Sync + 'static,
@@ -159,10 +154,7 @@ mod tests {
 
     #[test]
     fn index_output_accessors() {
-        let out = IndexOutput::new(vec![
-            vec![vec![Datum::Int(10)]],
-            vec![],
-        ]);
+        let out = IndexOutput::new(vec![vec![vec![Datum::Int(10)]], vec![]]);
         assert_eq!(out.first(0), &[Datum::Int(10)]);
         assert_eq!(out.first(1), &[] as &[Datum]);
         assert_eq!(out.get(0).len(), 1);

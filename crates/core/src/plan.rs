@@ -76,7 +76,10 @@ pub struct OperatorPlan {
 impl OperatorPlan {
     /// The strategy chosen for declaration-order index `j`.
     pub fn strategy_of(&self, index: usize) -> Option<Strategy> {
-        self.choices.iter().find(|c| c.index == index).map(|c| c.strategy)
+        self.choices
+            .iter()
+            .find(|c| c.index == index)
+            .map(|c| c.strategy)
     }
 
     /// True if any index uses a shuffle strategy.
@@ -372,7 +375,10 @@ mod tests {
 
     #[test]
     fn forced_plan_fallbacks() {
-        let plan = forced_plan(&[(true, true), (true, false), (false, false)], Strategy::IndexLocality);
+        let plan = forced_plan(
+            &[(true, true), (true, false), (false, false)],
+            Strategy::IndexLocality,
+        );
         assert_eq!(plan.choices[0].strategy, Strategy::IndexLocality);
         assert_eq!(plan.choices[1].strategy, Strategy::Repartition);
         assert_eq!(plan.choices[2].strategy, Strategy::Cache);

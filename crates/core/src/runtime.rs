@@ -1,8 +1,8 @@
 //! The EFind runtime (Fig. 8): plan selection, plan implementation, and
 //! execution of enhanced jobs.
 
-use efind_common::{Error, FxHashMap, Result};
 use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
 use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
 
@@ -221,12 +221,18 @@ impl<'a> EFindRuntime<'a> {
         match mode {
             Mode::Uniform(strategy) => {
                 for (bound, _) in ijob.operators() {
-                    plans.insert(bound.op.name().to_owned(), forced_plan(&bound.caps(), *strategy));
+                    plans.insert(
+                        bound.op.name().to_owned(),
+                        forced_plan(&bound.caps(), *strategy),
+                    );
                 }
             }
             Mode::Manual(per_op) => {
                 for (bound, _) in ijob.operators() {
-                    let s = per_op.get(bound.op.name()).copied().unwrap_or(Strategy::Cache);
+                    let s = per_op
+                        .get(bound.op.name())
+                        .copied()
+                        .unwrap_or(Strategy::Cache);
                     plans.insert(bound.op.name().to_owned(), forced_plan(&bound.caps(), s));
                 }
             }
@@ -274,6 +280,10 @@ impl<'a> EFindRuntime<'a> {
                 );
             }
         }
+        debug_assert!(
+            plans.values().all(crate::analysis::respects_property4),
+            "planner produced a Property 4 violation (shuffle after non-shuffle)"
+        );
         Ok(plans)
     }
 
@@ -297,6 +307,9 @@ impl<'a> EFindRuntime<'a> {
         replanned: bool,
     ) -> Result<EFindJobResult> {
         let compiled = compile_pipeline(ijob, &plans, &self.runtime_env())?;
+        for warning in compiled.analysis.warnings() {
+            eprintln!("efind: {warning}");
+        }
         let mut t = SimTime::ZERO;
         let mut jobs = Vec::with_capacity(compiled.jobs.len());
         let mut output: Option<DfsFile> = None;
@@ -330,7 +343,8 @@ impl<'a> EFindRuntime<'a> {
             counters.merge(&j.counters);
             sketches.merge(&j.sketches);
         }
-        self.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+        self.catalog
+            .absorb(&counters, &sketches, &ijob.descriptors());
     }
 }
 
@@ -346,7 +360,11 @@ mod tests {
     use std::sync::Arc;
 
     fn setup(n_records: i64, distinct: i64) -> (Cluster, Dfs, IndexJobConf) {
-        let cluster = Cluster::builder().nodes(4).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -374,7 +392,10 @@ mod tests {
             },
             |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
                 let v = values.first(0).first().cloned().unwrap_or(Datum::Null);
-                out.collect(Record { key: v, value: rec.key });
+                out.collect(Record {
+                    key: v,
+                    value: rec.key,
+                });
             },
         );
         let ijob = IndexJobConf::new("test", "in", "out")
@@ -439,9 +460,7 @@ mod tests {
     fn manual_mode_defaults_to_cache() {
         let (cluster, mut dfs, ijob) = setup(100, 10);
         let mut rt = EFindRuntime::new(&cluster, &mut dfs);
-        let res = rt
-            .run(&ijob, Mode::Manual(FxHashMap::default()))
-            .unwrap();
+        let res = rt.run(&ijob, Mode::Manual(FxHashMap::default())).unwrap();
         assert_eq!(res.plans[0].1.choices[0].strategy, Strategy::Cache);
     }
 
@@ -468,14 +487,19 @@ mod tests {
             let res = rt.run(&ijob, mode).unwrap();
             let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
             assert!(
-                plan.choices.iter().all(|c| c.strategy == Strategy::Baseline),
+                plan.choices
+                    .iter()
+                    .all(|c| c.strategy == Strategy::Baseline),
                 "volatile operator must stay baseline: {plan:?}"
             );
         }
         // Optimized mode too (statistics exist from the runs above).
         let res = rt.run(&ijob, Mode::Optimized).unwrap();
         let plan = &res.plans.iter().find(|(n, _)| n == "join").unwrap().1;
-        assert!(plan.choices.iter().all(|c| c.strategy == Strategy::Baseline));
+        assert!(plan
+            .choices
+            .iter()
+            .all(|c| c.strategy == Strategy::Baseline));
     }
 
     #[test]

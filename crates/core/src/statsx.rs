@@ -69,8 +69,14 @@ pub fn extract_operator_stats(
         return None;
     }
     let s1 = ratio(counters.get(&names::op(&desc.name, "s1.bytes")) as f64, n1);
-    let spre = ratio(counters.get(&names::op(&desc.name, "spre.bytes")) as f64, n1);
-    let spost = ratio(counters.get(&names::op(&desc.name, "spost.bytes")) as f64, n1);
+    let spre = ratio(
+        counters.get(&names::op(&desc.name, "spre.bytes")) as f64,
+        n1,
+    );
+    let spost = ratio(
+        counters.get(&names::op(&desc.name, "spost.bytes")) as f64,
+        n1,
+    );
     let mapout = counters.get(names::MAPOUT_BYTES) as f64;
     // Smap per operator input; if the job-level Map counter is absent
     // (map-only flows) fall back to Spost so min() terms stay meaningful.
@@ -90,7 +96,10 @@ pub fn extract_operator_stats(
         let (probes, hits) = {
             let cp = counters.get(&names::idx(&desc.name, j, "cache.probes"));
             if cp > 0 {
-                (cp as f64, counters.get(&names::idx(&desc.name, j, "cache.hits")) as f64)
+                (
+                    cp as f64,
+                    counters.get(&names::idx(&desc.name, j, "cache.hits")) as f64,
+                )
             } else {
                 (
                     counters.get(&names::idx(&desc.name, j, "shadow.probes")) as f64,
@@ -98,7 +107,11 @@ pub fn extract_operator_stats(
                 )
             }
         };
-        let miss_ratio = if probes > 0.0 { 1.0 - hits / probes } else { 1.0 };
+        let miss_ratio = if probes > 0.0 {
+            1.0 - hits / probes
+        } else {
+            1.0
+        };
 
         let distinct = sketches.estimate(&names::idx(&desc.name, j, "distinct"));
         let theta = if distinct > 0.0 {
@@ -143,7 +156,10 @@ pub fn variance_ok(tasks: &[&TaskStats], desc: &OpDescriptor, threshold: f64) ->
         counter_names.push(names::idx(&desc.name, j, "nik"));
     }
     for cname in counter_names {
-        let values: Vec<f64> = tasks.iter().map(|t| t.counters.get(&cname) as f64).collect();
+        let values: Vec<f64> = tasks
+            .iter()
+            .map(|t| t.counters.get(&cname) as f64)
+            .collect();
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         if mean <= 0.0 {
@@ -235,11 +251,7 @@ impl Catalog {
         let mut lines = text.lines();
         match lines.next() {
             Some("efind-catalog v1") => {}
-            other => {
-                return Err(Error::Decode(format!(
-                    "catalog: bad header {other:?}"
-                )))
-            }
+            other => return Err(Error::Decode(format!("catalog: bad header {other:?}"))),
         }
         fn kv<T: std::str::FromStr>(tok: &str, key: &str) -> Option<T> {
             tok.strip_prefix(key)
@@ -284,9 +296,7 @@ impl Catalog {
                 }
                 current = Some((name, op));
             } else if let Some(rest) = trimmed.strip_prefix("idx ") {
-                let (_, op) = current
-                    .as_mut()
-                    .ok_or_else(|| parse_err(line))?;
+                let (_, op) = current.as_mut().ok_or_else(|| parse_err(line))?;
                 let mut idx = IndexStatsEstimate {
                     nik: 0.0,
                     sik: 0.0,
@@ -467,7 +477,10 @@ mod tests {
         assert_eq!(a.indices.len(), b.indices.len());
         assert_eq!(a.indices[0].theta, b.indices[0].theta);
         assert_eq!(a.indices[0].partitions, b.indices[0].partitions);
-        assert_eq!(a.indices[0].has_partition_scheme, b.indices[0].has_partition_scheme);
+        assert_eq!(
+            a.indices[0].has_partition_scheme,
+            b.indices[0].has_partition_scheme
+        );
         // Round-trips through text again identically.
         assert_eq!(text, back.to_text());
     }
@@ -478,7 +491,7 @@ mod tests {
         assert!(Catalog::from_text("not a catalog").is_err());
         assert!(Catalog::from_text("efind-catalog v1\nbogus line").is_err());
         assert!(Catalog::from_text("efind-catalog v1\n  idx nik=1").is_err()); // idx before op
-        // An empty catalog is fine.
+                                                                               // An empty catalog is fine.
         assert!(Catalog::from_text("efind-catalog v1\n").is_ok());
     }
 

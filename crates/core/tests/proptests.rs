@@ -25,17 +25,17 @@ fn env() -> CostEnv {
 
 fn arb_index() -> impl Strategy<Value = IndexStatsEstimate> {
     (
-        0.1f64..4.0,        // nik
-        1.0f64..64.0,       // sik
-        0.0f64..40_000.0,   // siv
-        1.0e-6f64..5.0e-3,  // tj
-        0.0f64..1.0,        // miss ratio
-        1.0f64..100.0,      // theta
+        0.1f64..4.0,       // nik
+        1.0f64..64.0,      // sik
+        0.0f64..40_000.0,  // siv
+        1.0e-6f64..5.0e-3, // tj
+        0.0f64..1.0,       // miss ratio
+        1.0f64..100.0,     // theta
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(nik, sik, siv, tj, miss, theta, scheme, shuffleable)| {
-            IndexStatsEstimate {
+        .prop_map(
+            |(nik, sik, siv, tj, miss, theta, scheme, shuffleable)| IndexStatsEstimate {
                 nik,
                 sik,
                 siv,
@@ -45,8 +45,8 @@ fn arb_index() -> impl Strategy<Value = IndexStatsEstimate> {
                 has_partition_scheme: scheme,
                 shuffleable,
                 partitions: if scheme { 32 } else { 0 },
-            }
-        })
+            },
+        )
 }
 
 fn arb_op(m: usize) -> impl Strategy<Value = OperatorStatsEstimate> {
@@ -58,14 +58,16 @@ fn arb_op(m: usize) -> impl Strategy<Value = OperatorStatsEstimate> {
         1.0f64..4096.0,
         1.0f64..4096.0,
     )
-        .prop_map(|(n1, indices, s1, spre, spost, smap)| OperatorStatsEstimate {
-            n1,
-            s1,
-            spre,
-            spost,
-            smap,
-            indices,
-        })
+        .prop_map(
+            |(n1, indices, s1, spre, spost, smap)| OperatorStatsEstimate {
+                n1,
+                s1,
+                spre,
+                spost,
+                smap,
+                indices,
+            },
+        )
 }
 
 proptest! {
@@ -172,5 +174,172 @@ proptest! {
         let full = optimize_operator(&op, &env, Placement::Body, Enumeration::Full);
         let kr = optimize_operator(&op, &env, Placement::Body, Enumeration::KRepart(k));
         prop_assert!(full.est_cost_secs <= kr.est_cost_secs + 1e-6);
+    }
+
+    // With k = m the k-Repart beam keeps every prefix, so it degenerates
+    // into FullEnumerate: both must land on an equal-cost plan.
+    #[test]
+    fn krepart_with_full_budget_matches_full_enumerate(op in arb_op(4), m in 1usize..=4) {
+        let mut op = op;
+        op.indices.truncate(m);
+        let env = env();
+        let full = optimize_operator(&op, &env, Placement::Body, Enumeration::Full);
+        let kr = optimize_operator(&op, &env, Placement::Body, Enumeration::KRepart(m));
+        let scale = full.est_cost_secs.abs().max(1.0);
+        prop_assert!(
+            (full.est_cost_secs - kr.est_cost_secs).abs() <= 1e-9 * scale,
+            "full {} vs k-repart({m}) {}",
+            full.est_cost_secs,
+            kr.est_cost_secs
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer soundness end-to-end: any plan the planner produces for a random
+// job must be analyzer-clean, and the job must compile and run without
+// panicking. Fewer cases — each spins up a simulated cluster.
+
+mod end_to_end {
+    use super::*;
+    use efind::analysis;
+    use efind::{
+        operator_fn, BoundOperator, EFindRuntime, IndexAccessor, IndexInput, IndexJobConf,
+        IndexOutput, Mode, PartitionScheme,
+    };
+    use efind_cluster::{Cluster, NodeId, SimDuration};
+    use efind_common::Record;
+    use efind_dfs::{Dfs, DfsConfig};
+    use efind_mapreduce::Collector;
+    use std::sync::Arc;
+
+    struct TestScheme {
+        partitions: usize,
+        nodes: u16,
+    }
+
+    impl PartitionScheme for TestScheme {
+        fn num_partitions(&self) -> usize {
+            self.partitions
+        }
+        fn partition_of(&self, key: &Datum) -> usize {
+            match key {
+                Datum::Int(i) => (*i as usize) % self.partitions,
+                _ => 0,
+            }
+        }
+        fn hosts(&self, partition: usize) -> Vec<NodeId> {
+            vec![NodeId((partition % self.nodes as usize) as u16)]
+        }
+    }
+
+    struct TestIndex {
+        name: String,
+        distinct: i64,
+        scheme: Option<Arc<dyn PartitionScheme>>,
+    }
+
+    impl IndexAccessor for TestIndex {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn lookup(&self, key: &Datum) -> Vec<Datum> {
+            match key {
+                Datum::Int(i) if *i < self.distinct => vec![Datum::Int(i * 2)],
+                _ => vec![],
+            }
+        }
+        fn serve_time(&self, _key: &Datum, _result_bytes: u64) -> SimDuration {
+            SimDuration::from_micros(50)
+        }
+        fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
+            self.scheme.clone()
+        }
+    }
+
+    /// A pass-through join operator: looks up the record value on every
+    /// index, emits the record unchanged (so operators chain arbitrarily).
+    fn passthrough_op(name: &str, num_indices: usize) -> Arc<dyn efind::IndexOperator> {
+        operator_fn(
+            name,
+            num_indices,
+            move |rec: &mut Record, keys: &mut IndexInput| {
+                for slot in 0..num_indices {
+                    keys.put(slot, rec.value.clone());
+                }
+            },
+            |rec: Record, _values: &IndexOutput, out: &mut dyn Collector| {
+                out.collect(rec);
+            },
+        )
+    }
+
+    fn build_job(shape: &[Vec<bool>], distinct: i64, nodes: u16) -> IndexJobConf {
+        let mut ijob = IndexJobConf::new("prop", "in", "out").set_identity_reducer(2);
+        for (i, schemes) in shape.iter().enumerate() {
+            let mut bound = BoundOperator::new(passthrough_op(&format!("op{i}"), schemes.len()));
+            for (j, with_scheme) in schemes.iter().enumerate() {
+                bound = bound.add_index(Arc::new(TestIndex {
+                    name: format!("idx{i}_{j}"),
+                    distinct,
+                    scheme: with_scheme.then(|| {
+                        Arc::new(TestScheme {
+                            partitions: 4,
+                            nodes,
+                        }) as Arc<dyn PartitionScheme>
+                    }),
+                }));
+            }
+            ijob = ijob.add_head_index_operator(bound);
+        }
+        ijob
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn planner_clean_plans_compile_and_run(
+            shape in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 1..=2),
+                1..=2,
+            ),
+            strategy_pick in 0usize..4,
+            distinct in 2i64..12,
+        ) {
+            let nodes = 3u16;
+            let cluster = Cluster::builder().nodes(nodes).map_slots(2).reduce_slots(2).build();
+            let mut dfs = Dfs::new(
+                cluster.clone(),
+                DfsConfig { chunk_size_bytes: 512, replication: 2, seed: 7 },
+            );
+            let records: Vec<Record> = (0..120i64)
+                .map(|i| Record::new(i, Datum::Int(i % distinct)))
+                .collect();
+            dfs.write_file("in", records);
+
+            let ijob = build_job(&shape, distinct, nodes);
+            let strategy = [
+                AccessStrategy::Baseline,
+                AccessStrategy::Cache,
+                AccessStrategy::Repartition,
+                AccessStrategy::IndexLocality,
+            ][strategy_pick];
+            let mode = Mode::Uniform(strategy);
+
+            let mut rt = EFindRuntime::new(&cluster, &mut dfs);
+            let plans = rt.plans_for(&ijob, &mode).unwrap();
+            // Whatever the planner produced (including capability
+            // fallbacks) must pass static analysis...
+            prop_assert!(
+                analysis::passes(&ijob, &plans),
+                "planner produced an analyzer-rejected plan for shape {shape:?} / {strategy:?}"
+            );
+            // ...and the job must compile and run to completion.
+            let res = rt.run(&ijob, mode);
+            prop_assert!(res.is_ok(), "run failed: {:?}", res.err().map(|e| e.to_string()));
+            let out = rt.dfs.read_file("out").unwrap();
+            prop_assert!(!out.is_empty());
+        }
     }
 }

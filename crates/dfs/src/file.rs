@@ -1,7 +1,7 @@
 //! File namespace, chunking, and cost accounting.
 
-use efind_common::{fx_hash_bytes, Error, FxHashMap, Record, Result};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_bytes, Error, FxHashMap, Record, Result};
 
 use crate::placement::Placement;
 
@@ -200,7 +200,10 @@ impl Dfs {
             .files
             .get(name)
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
-        Ok(chunks.iter().flat_map(|c| c.records.iter().cloned()).collect())
+        Ok(chunks
+            .iter()
+            .flat_map(|c| c.records.iter().cloned())
+            .collect())
     }
 
     /// Removes a file; removing a missing file is a no-op.
@@ -239,8 +242,7 @@ impl Dfs {
     pub fn f_per_byte(&self) -> f64 {
         let probe = 1u64 << 20;
         let store = self.store_cost(probe).as_secs_f64();
-        let p_local =
-            (self.config.replication as f64 / self.cluster.num_nodes() as f64).min(1.0);
+        let p_local = (self.config.replication as f64 / self.cluster.num_nodes() as f64).min(1.0);
         let retrieve = p_local * self.retrieve_cost_local(probe).as_secs_f64()
             + (1.0 - p_local) * self.retrieve_cost_remote(probe).as_secs_f64();
         (store + retrieve) / probe as f64

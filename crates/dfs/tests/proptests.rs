@@ -1,8 +1,8 @@
 //! Property-based tests for the DFS: chunking must preserve content and
 //! order, respect size bounds, and place valid replicas for any input.
 
-use efind_common::{Datum, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use proptest::prelude::*;
 

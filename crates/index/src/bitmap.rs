@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_datum, Datum, FxHashMap};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_datum, Datum, FxHashMap};
 
 const BITS: u64 = 63;
 const FILL_FLAG: u64 = 1 << 63;
@@ -333,9 +333,12 @@ impl IndexAccessor for BitmapIndex {
 
     fn serve_time(&self, key: &Datum, _result_bytes: u64) -> SimDuration {
         let value = key.as_list().and_then(|l| l.first()).unwrap_or(key);
-        let words = self.bitmaps.get(value).map(CompressedBitmap::words).unwrap_or(1);
-        self.base_serve
-            + SimDuration::from_secs_f64(words as f64 * self.serve_secs_per_word)
+        let words = self
+            .bitmaps
+            .get(value)
+            .map(CompressedBitmap::words)
+            .unwrap_or(1);
+        self.base_serve + SimDuration::from_secs_f64(words as f64 * self.serve_secs_per_word)
     }
 
     fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
@@ -466,7 +469,11 @@ mod tests {
             (0..100_000u64).map(|r| {
                 (
                     r,
-                    Datum::Int(if r % 1000 == 0 { 1 } else { i64::from(r % 63 == 0) * 2 }),
+                    Datum::Int(if r % 1000 == 0 {
+                        1
+                    } else {
+                        i64::from(r % 63 == 0) * 2
+                    }),
                 )
             }),
         );

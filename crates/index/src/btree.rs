@@ -12,8 +12,8 @@ use std::ops::Bound;
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_bytes, Datum};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_bytes, Datum};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -130,8 +130,8 @@ impl DistBTree {
         let last = self.scheme.route(hi);
         let mut out = Vec::new();
         for p in first..=last.min(self.partitions.len() - 1) {
-            for (k, v) in self.partitions[p]
-                .range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
+            for (k, v) in
+                self.partitions[p].range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
             {
                 out.push((k.clone(), v.clone()));
             }
@@ -156,8 +156,7 @@ impl IndexAccessor for DistBTree {
     }
 
     fn serve_time(&self, _key: &Datum, result_bytes: u64) -> SimDuration {
-        self.base_serve
-            + SimDuration::from_secs_f64(result_bytes as f64 * self.serve_secs_per_byte)
+        self.base_serve + SimDuration::from_secs_f64(result_bytes as f64 * self.serve_secs_per_byte)
     }
 
     fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {

@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_bytes, Datum};
 use efind_cluster::SimDuration;
+use efind_common::{fx_hash_bytes, Datum};
 
 /// A keyword-list → topic classifier posing as an index.
 pub struct TopicClassifier {
@@ -45,7 +45,13 @@ impl TopicClassifier {
         Self::new(
             "topic-kb",
             [
-                "politics", "sports", "technology", "music", "weather", "finance", "health",
+                "politics",
+                "sports",
+                "technology",
+                "music",
+                "weather",
+                "finance",
+                "health",
                 "travel",
             ]
             .iter()
@@ -139,7 +145,10 @@ mod tests {
     #[test]
     fn keyword_lists_accepted() {
         let c = TopicClassifier::news();
-        let key = Datum::List(vec![Datum::Text("rain".into()), Datum::Text("storm".into())]);
+        let key = Datum::List(vec![
+            Datum::Text("rain".into()),
+            Datum::Text("storm".into()),
+        ]);
         assert_eq!(c.lookup(&key).len(), 1);
     }
 

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_datum, Datum, FxHashMap};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_datum, Datum, FxHashMap};
 
 /// One posting: `(document id, term frequency)`.
 pub type Posting = (u64, u32);
@@ -133,16 +133,13 @@ impl IndexAccessor for InvertedIndex {
         };
         self.postings(term)
             .iter()
-            .map(|(doc, tf)| {
-                Datum::List(vec![Datum::Int(*doc as i64), Datum::Int(*tf as i64)])
-            })
+            .map(|(doc, tf)| Datum::List(vec![Datum::Int(*doc as i64), Datum::Int(*tf as i64)]))
             .collect()
     }
 
     fn serve_time(&self, key: &Datum, _result_bytes: u64) -> SimDuration {
         let postings = key.as_text().map(|t| self.postings(t).len()).unwrap_or(0);
-        self.base_serve
-            + SimDuration::from_secs_f64(postings as f64 * self.serve_secs_per_posting)
+        self.base_serve + SimDuration::from_secs_f64(postings as f64 * self.serve_secs_per_posting)
     }
 
     fn partition_scheme(&self) -> Option<Arc<dyn PartitionScheme>> {
@@ -199,10 +196,7 @@ mod tests {
         let idx = index();
         let values = idx.lookup(&Datum::Text("dog".into()));
         assert_eq!(values.len(), 2);
-        assert_eq!(
-            values[0],
-            Datum::List(vec![Datum::Int(2), Datum::Int(1)])
-        );
+        assert_eq!(values[0], Datum::List(vec![Datum::Int(2), Datum::Int(1)]));
         assert!(idx.lookup(&Datum::Int(3)).is_empty());
         assert!(idx.partition_scheme().is_some());
         // Longer posting lists take longer to serve.

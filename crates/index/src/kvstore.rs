@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_bytes, fx_hash_datum, Datum, FxHashMap};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_bytes, fx_hash_datum, Datum, FxHashMap};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

@@ -43,5 +43,5 @@ pub use inverted::InvertedIndex;
 pub use kvstore::{KvStore, KvStoreConfig};
 pub use mem::MemTable;
 pub use remote::RemoteService;
-pub use rtree::{Point, Rect, RStarTree};
-pub use spatial::{SpatialGridIndex, SpatialGridConfig};
+pub use rtree::{Point, RStarTree, Rect};
+pub use spatial::{SpatialGridConfig, SpatialGridIndex};

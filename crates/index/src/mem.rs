@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{Datum, FxHashMap};
 use efind_cluster::SimDuration;
+use efind_common::{Datum, FxHashMap};
 
 /// An unpartitioned in-memory key → values table.
 ///
@@ -76,6 +76,9 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
         assert!(t.partition_scheme().is_none());
-        assert_eq!(t.serve_time(&Datum::Int(1), 0), SimDuration::from_micros(10));
+        assert_eq!(
+            t.serve_time(&Datum::Int(1), 0),
+            SimDuration::from_micros(10)
+        );
     }
 }

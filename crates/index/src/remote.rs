@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{Datum, FxHashMap};
 use efind_cluster::SimDuration;
+use efind_common::{Datum, FxHashMap};
 
 /// The lookup function a [`RemoteService`] wraps.
 pub type LookupFn = Box<dyn Fn(&Datum) -> Vec<Datum> + Send + Sync>;
@@ -48,7 +48,9 @@ impl RemoteService {
         pairs: impl IntoIterator<Item = (Datum, Vec<Datum>)>,
     ) -> Self {
         let table: FxHashMap<Datum, Vec<Datum>> = pairs.into_iter().collect();
-        Self::new(name, delay, move |k| table.get(k).cloned().unwrap_or_default())
+        Self::new(name, delay, move |k| {
+            table.get(k).cloned().unwrap_or_default()
+        })
     }
 
     /// The configured per-lookup delay.
@@ -82,11 +84,16 @@ mod tests {
     #[test]
     fn function_backed_lookup() {
         let svc = RemoteService::new("doubler", SimDuration::from_millis(1), |k| {
-            k.as_int().map(|v| vec![Datum::Int(v * 2)]).unwrap_or_default()
+            k.as_int()
+                .map(|v| vec![Datum::Int(v * 2)])
+                .unwrap_or_default()
         });
         assert_eq!(svc.lookup(&Datum::Int(21)), vec![Datum::Int(42)]);
         assert!(svc.lookup(&Datum::Text("x".into())).is_empty());
-        assert_eq!(svc.serve_time(&Datum::Int(0), 100), SimDuration::from_millis(1));
+        assert_eq!(
+            svc.serve_time(&Datum::Int(0), 100),
+            SimDuration::from_millis(1)
+        );
         assert!(svc.partition_scheme().is_none());
     }
 
@@ -95,7 +102,10 @@ mod tests {
         let svc = RemoteService::table(
             "geo",
             RemoteService::BASE_DELAY,
-            vec![(Datum::Text("1.2.3.4".into()), vec![Datum::Text("us-west".into())])],
+            vec![(
+                Datum::Text("1.2.3.4".into()),
+                vec![Datum::Text("us-west".into())],
+            )],
         );
         assert_eq!(
             svc.lookup(&Datum::Text("1.2.3.4".into())),

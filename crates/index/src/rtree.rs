@@ -457,7 +457,9 @@ fn rstar_split_positions<T>(items: &mut [T], rect_of: impl Fn(&T) -> Rect) -> us
     for axis in 0..2 {
         items.sort_by(|a, b| {
             let (ra, rb) = (rect_of(a), rect_of(b));
-            (ra.min[axis], ra.max[axis]).partial_cmp(&(rb.min[axis], rb.max[axis])).unwrap()
+            (ra.min[axis], ra.max[axis])
+                .partial_cmp(&(rb.min[axis], rb.max[axis]))
+                .unwrap()
         });
         let mut margin_sum = 0.0;
         for split in MIN_ENTRIES..=(total - MIN_ENTRIES) {
@@ -526,7 +528,12 @@ mod tests {
     fn random_points(n: usize, seed: u64) -> Vec<(Point, u64)> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| ([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)], i as u64))
+            .map(|i| {
+                (
+                    [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)],
+                    i as u64,
+                )
+            })
             .collect()
     }
 

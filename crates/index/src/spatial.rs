@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use efind::{IndexAccessor, PartitionScheme};
-use efind_common::{fx_hash_bytes, Datum, FxHashSet};
 use efind_cluster::{Cluster, NodeId, SimDuration};
+use efind_common::{fx_hash_bytes, Datum, FxHashSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,7 +77,10 @@ impl GridScheme {
         let w = (self.bbox.max[0] - self.bbox.min[0]) / self.grid_x as f64;
         let h = (self.bbox.max[1] - self.bbox.min[1]) / self.grid_y as f64;
         Rect::new(
-            [self.bbox.min[0] + ix as f64 * w, self.bbox.min[1] + iy as f64 * h],
+            [
+                self.bbox.min[0] + ix as f64 * w,
+                self.bbox.min[1] + iy as f64 * h,
+            ],
             [
                 self.bbox.min[0] + (ix + 1) as f64 * w,
                 self.bbox.min[1] + (iy + 1) as f64 * h,
@@ -327,8 +330,7 @@ mod tests {
     }
 
     fn brute(points: &[(Point, u64)], q: Point, k: usize) -> Vec<(u64, f64)> {
-        let mut all: Vec<(u64, f64)> =
-            points.iter().map(|(p, id)| (*id, dist2(*p, q))).collect();
+        let mut all: Vec<(u64, f64)> = points.iter().map(|(p, id)| (*id, dist2(*p, q))).collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -391,10 +393,7 @@ mod tests {
         assert_eq!(scheme.num_partitions(), 32);
         // Corner points route to corner cells.
         assert_eq!(scheme.partition_of(&encode_point([0.1, 0.1])), 0);
-        assert_eq!(
-            scheme.partition_of(&encode_point([39.9, 19.9])),
-            31
-        );
+        assert_eq!(scheme.partition_of(&encode_point([39.9, 19.9])), 31);
         // Out-of-bbox points clamp rather than panic.
         let _ = scheme.partition_of(&encode_point([-5.0, 100.0]));
         for p in 0..scheme.num_partitions() {

@@ -42,7 +42,13 @@ pub trait Mapper: Send {
 /// A group-at-a-time user function (Reduce).
 pub trait Reducer: Send {
     /// Processes one key group.
-    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx);
+    fn reduce(
+        &mut self,
+        key: Datum,
+        values: Vec<Datum>,
+        out: &mut dyn Collector,
+        ctx: &mut TaskCtx,
+    );
 
     /// Called once after the last group of the task.
     fn flush(&mut self, _out: &mut dyn Collector, _ctx: &mut TaskCtx) {}
@@ -79,7 +85,13 @@ impl<F> Reducer for FnReducer<F>
 where
     F: FnMut(Datum, Vec<Datum>, &mut dyn Collector, &mut TaskCtx) + Send,
 {
-    fn reduce(&mut self, key: Datum, values: Vec<Datum>, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+    fn reduce(
+        &mut self,
+        key: Datum,
+        values: Vec<Datum>,
+        out: &mut dyn Collector,
+        ctx: &mut TaskCtx,
+    ) {
         (self.0)(key, values, out, ctx);
     }
 }
@@ -100,11 +112,7 @@ pub fn identity_mapper() -> MapperFactory {
 /// Runs `records` through an instantiated chain of mappers, honoring
 /// per-stage `flush`. Stages execute in order; each stage sees the whole
 /// output of the previous one.
-pub fn run_chain(
-    chain: &[MapperFactory],
-    records: Vec<Record>,
-    ctx: &mut TaskCtx,
-) -> Vec<Record> {
+pub fn run_chain(chain: &[MapperFactory], records: Vec<Record>, ctx: &mut TaskCtx) -> Vec<Record> {
     let mut current = records;
     for factory in chain {
         let mut stage = factory();

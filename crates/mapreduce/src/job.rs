@@ -48,7 +48,11 @@ pub struct JobConf {
 impl JobConf {
     /// Creates a job with defaults: hash partitioning, identity reduce
     /// disabled (map-only), 1 µs of CPU per record.
-    pub fn new(name: impl Into<String>, input: impl Into<String>, output: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
         JobConf {
             name: name.into(),
             input: input.into(),

@@ -112,12 +112,16 @@ mod tests {
     use crate::api::{identity_mapper, mapper_fn, reducer_fn};
     use crate::job::JobConf;
     use crate::runner::run_job;
-    use efind_common::{Datum, Record};
     use efind_cluster::Cluster;
+    use efind_common::{Datum, Record};
     use efind_dfs::{Dfs, DfsConfig};
 
     fn run() -> JobStats {
-        let cluster = Cluster::builder().nodes(2).map_slots(2).reduce_slots(1).build();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(2)
+            .reduce_slots(1)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {

@@ -16,11 +16,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use efind_common::{Error, Record, Result};
 use efind_cluster::{
     sched::{schedule_phase, Schedule, SlotKind, TaskSpec},
     Cluster, SimDuration, SimTime,
 };
+use efind_common::{Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
 use parking_lot::Mutex;
 
@@ -76,7 +76,10 @@ impl MapPhaseExec {
 
     /// Moves the per-task output record vectors out, in task order.
     pub fn take_outputs(&mut self) -> Vec<Vec<Record>> {
-        self.tasks.iter_mut().map(|t| std::mem::take(&mut t.output)).collect()
+        self.tasks
+            .iter_mut()
+            .map(|t| std::mem::take(&mut t.output))
+            .collect()
     }
 }
 
@@ -159,10 +162,11 @@ impl<'a> Runner<'a> {
                 });
             }
         })
-        .expect("map worker panicked");
+        .map_err(|_| Error::Internal("map worker panicked".into()))?;
         let mut tasks = Vec::with_capacity(n);
         for slot in results.into_inner() {
-            tasks.push(slot.expect("all map tasks executed")?);
+            let exec = slot.ok_or_else(|| Error::Internal("map task produced no result".into()))?;
+            tasks.push(exec?);
         }
         Ok(MapPhaseExec { tasks })
     }
@@ -196,17 +200,18 @@ impl<'a> Runner<'a> {
         let output_records = output.len() as u64;
         let output_bytes: u64 = output.iter().map(Record::size_bytes).sum();
 
-        let mut base_cost = ctx.charged()
-            + conf.cpu_per_record * (input_records + emitted_records)
-            + combiner_cost;
+        let mut base_cost =
+            ctx.charged() + conf.cpu_per_record * (input_records + emitted_records) + combiner_cost;
         if conf.has_reduce() {
             // Map-side spill of the shuffle input.
             base_cost += self.cluster.disk.write(output_bytes);
         }
 
-        ctx.counters.add("mr.map.input.records", input_records as i64);
+        ctx.counters
+            .add("mr.map.input.records", input_records as i64);
         ctx.counters.add("mr.map.input.bytes", chunk.bytes as i64);
-        ctx.counters.add("mr.map.output.records", output_records as i64);
+        ctx.counters
+            .add("mr.map.output.records", output_records as i64);
         ctx.counters.add("mr.map.output.bytes", output_bytes as i64);
 
         let affinity = ctx.affinity().to_vec();
@@ -287,8 +292,7 @@ impl<'a> Runner<'a> {
             return Ok(Vec::new());
         }
         type ReduceExec = Result<(TaskStats, TaskSpec, Vec<Record>)>;
-        let results: Mutex<Vec<Option<ReduceExec>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<ReduceExec>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = thread::available_parallelism()
             .map(|p| p.get())
@@ -307,10 +311,11 @@ impl<'a> Runner<'a> {
                 });
             }
         })
-        .expect("reduce worker panicked");
+        .map_err(|_| Error::Internal("reduce worker panicked".into()))?;
         let mut tasks = Vec::with_capacity(n);
         for slot in results.into_inner() {
-            let (stats, spec, output) = slot.expect("all reduce tasks executed")?;
+            let (stats, spec, output) =
+                slot.ok_or_else(|| Error::Internal("reduce task produced no result".into()))??;
             tasks.push(ReduceTaskExec {
                 task_id: spec.id,
                 stats,
@@ -387,8 +392,7 @@ impl<'a> Runner<'a> {
             let mut group_start = 0usize;
             while group_start < sorted.len() {
                 let mut group_end = group_start + 1;
-                while group_end < sorted.len() && sorted[group_end].key == sorted[group_start].key
-                {
+                while group_end < sorted.len() && sorted[group_end].key == sorted[group_start].key {
                     group_end += 1;
                 }
                 let key = sorted[group_start].key.clone();
@@ -443,10 +447,14 @@ impl<'a> Runner<'a> {
                 .mul_f64(input_records as f64 * logn / 16.0);
         }
 
-        ctx.counters.add("mr.reduce.input.records", input_records as i64);
-        ctx.counters.add("mr.reduce.input.bytes", input_bytes as i64);
-        ctx.counters.add("mr.reduce.output.records", output_records as i64);
-        ctx.counters.add("mr.reduce.output.bytes", output_bytes as i64);
+        ctx.counters
+            .add("mr.reduce.input.records", input_records as i64);
+        ctx.counters
+            .add("mr.reduce.input.bytes", input_bytes as i64);
+        ctx.counters
+            .add("mr.reduce.output.records", output_records as i64);
+        ctx.counters
+            .add("mr.reduce.output.bytes", output_bytes as i64);
 
         let spec = TaskSpec {
             id: task_id,
@@ -599,7 +607,11 @@ mod tests {
     use efind_dfs::DfsConfig;
 
     fn setup(records: Vec<Record>) -> (Cluster, Dfs) {
-        let cluster = Cluster::builder().nodes(4).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -644,7 +656,12 @@ mod tests {
         out.sort();
         let counts: Vec<(String, i64)> = out
             .iter()
-            .map(|r| (r.key.as_text().unwrap().to_owned(), r.value.as_int().unwrap()))
+            .map(|r| {
+                (
+                    r.key.as_text().unwrap().to_owned(),
+                    r.value.as_int().unwrap(),
+                )
+            })
             .collect();
         assert_eq!(counts.len(), 5);
         let the = counts.iter().find(|(w, _)| w == "the").unwrap().1;
@@ -715,8 +732,14 @@ mod tests {
                 out.collect(rec);
             },
         ));
-        let t_cheap = run_job(&cluster, &mut dfs, &cheap).unwrap().stats.makespan();
-        let t_costly = run_job(&cluster, &mut dfs, &costly).unwrap().stats.makespan();
+        let t_cheap = run_job(&cluster, &mut dfs, &cheap)
+            .unwrap()
+            .stats
+            .makespan();
+        let t_costly = run_job(&cluster, &mut dfs, &costly)
+            .unwrap()
+            .stats
+            .makespan();
         assert!(t_costly > t_cheap, "{t_costly} vs {t_cheap}");
     }
 
@@ -759,12 +782,17 @@ mod tests {
         let (cluster2, mut dfs2) = setup(words());
         let mut runner = Runner::new(&cluster2, &mut dfs2);
         let chunks = runner.chunks(&conf).unwrap();
-        let w = runner.first_wave_count(chunks.len()).min(chunks.len() - 1).max(1);
+        let w = runner
+            .first_wave_count(chunks.len())
+            .min(chunks.len() - 1)
+            .max(1);
         let mut exec1 = runner.execute_maps(&conf, &chunks[..w], 0).unwrap();
         let mut exec2 = runner.execute_maps(&conf, &chunks[w..], w).unwrap();
         let mut sources = exec1.take_outputs();
         sources.extend(exec2.take_outputs());
-        let outcome = runner.run_reduce_from(&conf, sources, SimTime::ZERO).unwrap();
+        let outcome = runner
+            .run_reduce_from(&conf, sources, SimTime::ZERO)
+            .unwrap();
         let merged_out = dfs2.read_file("out").unwrap();
         assert_eq!(full_out, merged_out);
         assert_eq!(full.output.total_bytes(), outcome.output.total_bytes());
@@ -774,10 +802,12 @@ mod tests {
     fn per_task_counters_survive_in_stats() {
         let (cluster, mut dfs) = setup(words());
         let conf = JobConf::new("count", "input", "out")
-            .add_mapper(mapper_fn(|rec, out: &mut dyn Collector, ctx: &mut TaskCtx| {
-                ctx.counters.inc("custom.seen");
-                out.collect(rec);
-            }))
+            .add_mapper(mapper_fn(
+                |rec, out: &mut dyn Collector, ctx: &mut TaskCtx| {
+                    ctx.counters.inc("custom.seen");
+                    out.collect(rec);
+                },
+            ))
             .with_identity_reduce(1);
         let res = run_job(&cluster, &mut dfs, &conf).unwrap();
         assert_eq!(res.stats.counters.get("custom.seen"), 200);
@@ -801,7 +831,11 @@ mod combiner_tests {
     use efind_dfs::DfsConfig;
 
     fn setup() -> (Cluster, Dfs) {
-        let cluster = Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -823,10 +857,12 @@ mod combiner_tests {
     }
 
     fn count_conf(with_combiner: bool) -> JobConf {
-        let sum = reducer_fn(|key, values, out: &mut dyn crate::api::Collector, _ctx: &mut TaskCtx| {
-            let total: i64 = values.iter().filter_map(Datum::as_int).sum();
-            out.collect(Record::new(key, total));
-        });
+        let sum = reducer_fn(
+            |key, values, out: &mut dyn crate::api::Collector, _ctx: &mut TaskCtx| {
+                let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                out.collect(Record::new(key, total));
+            },
+        );
         let mut conf = JobConf::new("wc", "input", "out")
             .add_mapper(mapper_fn(|rec, out, _| {
                 out.collect(Record::new(rec.value.clone(), 1i64));
@@ -867,8 +903,8 @@ mod combiner_tests {
     #[test]
     fn combiner_ignored_for_map_only_jobs() {
         let (cluster, mut dfs) = setup();
-        let mut conf = JobConf::new("copy", "input", "copied")
-            .add_mapper(crate::api::identity_mapper());
+        let mut conf =
+            JobConf::new("copy", "input", "copied").add_mapper(crate::api::identity_mapper());
         conf.combiner = Some(reducer_fn(|_k, _v, _out, _ctx| {
             panic!("combiner must not run without a reduce phase")
         }));

@@ -52,7 +52,11 @@ impl PhaseStats {
         if n == 0 {
             return (0.0, 0.0);
         }
-        let values: Vec<f64> = self.tasks.iter().map(|t| t.counters.get(name) as f64).collect();
+        let values: Vec<f64> = self
+            .tasks
+            .iter()
+            .map(|t| t.counters.get(name) as f64)
+            .collect();
         let mean = values.iter().sum::<f64>() / n as f64;
         if n == 1 {
             return (mean, 0.0);

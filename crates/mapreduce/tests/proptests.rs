@@ -1,14 +1,18 @@
 //! Property-based tests for the MapReduce framework: shuffle correctness,
 //! determinism, and combiner equivalence on arbitrary inputs.
 
-use efind_common::{Datum, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_mapreduce::{mapper_fn, reducer_fn, run_job, JobConf};
 use proptest::prelude::*;
 
 fn cluster() -> Cluster {
-    Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build()
+    Cluster::builder()
+        .nodes(3)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build()
 }
 
 fn load(records: &[(i64, i64)]) -> Dfs {
@@ -23,22 +27,22 @@ fn load(records: &[(i64, i64)]) -> Dfs {
     let recs: Vec<Record> = records
         .iter()
         .enumerate()
-        .map(|(i, (k, v))| {
-            Record::new(
-                i as i64,
-                Datum::List(vec![Datum::Int(*k), Datum::Int(*v)]),
-            )
-        })
+        .map(|(i, (k, v))| Record::new(i as i64, Datum::List(vec![Datum::Int(*k), Datum::Int(*v)])))
         .collect();
     dfs.write_file("in", recs);
     dfs
 }
 
 fn sum_by_key_conf(reducers: usize, combiner: bool) -> JobConf {
-    let sum = reducer_fn(|key, values, out: &mut dyn efind_mapreduce::Collector, _ctx: &mut efind_mapreduce::TaskCtx| {
-        let total: i64 = values.iter().filter_map(Datum::as_int).sum();
-        out.collect(Record::new(key, total));
-    });
+    let sum = reducer_fn(
+        |key,
+         values,
+         out: &mut dyn efind_mapreduce::Collector,
+         _ctx: &mut efind_mapreduce::TaskCtx| {
+            let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+            out.collect(Record::new(key, total));
+        },
+    );
     let mut conf = JobConf::new("sum", "in", "out")
         .add_mapper(mapper_fn(|rec, out, _| {
             let f = rec.value.as_list().unwrap();

@@ -45,7 +45,10 @@ fn transform_operator(name: String, transforms: Vec<Transform>) -> BoundOperator
         |_rec: &mut Record, _keys: &mut IndexInput| {},
         move |rec: Record, _values: &IndexOutput, out: &mut dyn Collector| {
             if let Some(row) = apply_transforms(&transforms, rec.value) {
-                out.collect(Record { key: rec.key, value: row });
+                out.collect(Record {
+                    key: rec.key,
+                    value: row,
+                });
             }
         },
     );
@@ -70,8 +73,8 @@ fn join_operator(spec: IndexJoinSpec) -> BoundOperator {
         },
         move |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
             let _ = &on_post; // the key expression is part of the operator's identity
-            // Convention: the index's value list IS the positional row
-            // (how the KV-store substrates hold table rows).
+                              // Convention: the index's value list IS the positional row
+                              // (how the KV-store substrates hold table rows).
             let fields = values.first(0);
             let mut row = match rec.value.into_list() {
                 Some(cols) => cols,
@@ -112,8 +115,7 @@ fn eval_aggs(aggs: &[Agg], rows: &[Datum]) -> Vec<Datum> {
             Agg::Min(e) => rows.iter().map(|r| e.eval(r)).min().unwrap_or(Datum::Null),
             Agg::Max(e) => rows.iter().map(|r| e.eval(r)).max().unwrap_or(Datum::Null),
             Agg::Avg(e) => {
-                let nums: Vec<f64> =
-                    rows.iter().filter_map(|r| e.eval(r).as_float()).collect();
+                let nums: Vec<f64> = rows.iter().filter_map(|r| e.eval(r).as_float()).collect();
                 if nums.is_empty() {
                     Datum::Null
                 } else {
@@ -121,10 +123,8 @@ fn eval_aggs(aggs: &[Agg], rows: &[Datum]) -> Vec<Datum> {
                 }
             }
             Agg::TopKBy { sort, take, k } => {
-                let mut ranked: Vec<(Datum, Datum)> = rows
-                    .iter()
-                    .map(|r| (sort.eval(r), take.eval(r)))
-                    .collect();
+                let mut ranked: Vec<(Datum, Datum)> =
+                    rows.iter().map(|r| (sort.eval(r), take.eval(r))).collect();
                 ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
                 ranked.truncate(*k);
                 Datum::List(ranked.into_iter().map(|(_, t)| t).collect())
@@ -157,10 +157,8 @@ pub fn compile(query: Query, name: &str, output: &str) -> IndexJobConf {
         }
     }
     if !pending.is_empty() {
-        ijob = ijob.add_head_index_operator(transform_operator(
-            format!("{name}-stage{stage}"),
-            pending,
-        ));
+        ijob = ijob
+            .add_head_index_operator(transform_operator(format!("{name}-stage{stage}"), pending));
     }
 
     let grouped = !query.group_by.is_empty() || !query.aggs.is_empty();
@@ -207,18 +205,37 @@ pub fn compile(query: Query, name: &str, output: &str) -> IndexJobConf {
     ijob
 }
 
+/// Like [`compile`], but validates the resulting job configuration before
+/// handing it back. User-supplied join names can collide (duplicate
+/// operator names) or otherwise violate [`IndexJobConf::validate`]; this
+/// entry point surfaces those as [`efind_common::Error::InvalidConfig`]
+/// instead of deferring the failure to `compile_pipeline`.
+pub fn compile_checked(
+    query: Query,
+    name: &str,
+    output: &str,
+) -> efind_common::Result<IndexJobConf> {
+    let ijob = compile(query, name, output);
+    ijob.validate()?;
+    Ok(ijob)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::{col, lit};
-    use std::sync::Arc;
     use efind::{EFindRuntime, Mode, Strategy};
     use efind_cluster::{Cluster, SimDuration};
     use efind_dfs::{Dfs, DfsConfig};
     use efind_index::MemTable;
+    use std::sync::Arc;
 
     fn setup() -> (Cluster, Dfs, Arc<MemTable>) {
-        let cluster = Cluster::builder().nodes(3).map_slots(2).reduce_slots(2).build();
+        let cluster = Cluster::builder()
+            .nodes(3)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
         let mut dfs = Dfs::new(
             cluster.clone(),
             DfsConfig {
@@ -258,12 +275,7 @@ mod tests {
         (cluster, dfs, catalog)
     }
 
-    fn run(
-        cluster: &Cluster,
-        dfs: &mut Dfs,
-        job: &IndexJobConf,
-        mode: Mode,
-    ) -> Vec<Record> {
+    fn run(cluster: &Cluster, dfs: &mut Dfs, job: &IndexJobConf, mode: Mode) -> Vec<Record> {
         let mut rt = EFindRuntime::new(cluster, dfs);
         if matches!(mode, Mode::Optimized) {
             rt.run(job, Mode::Uniform(Strategy::Baseline)).unwrap();
@@ -286,6 +298,28 @@ mod tests {
         for r in &out {
             assert_eq!(r.value.as_list().unwrap().len(), 2);
         }
+    }
+
+    #[test]
+    fn compile_checked_rejects_duplicate_join_names() {
+        let (_, _, catalog) = setup();
+        let query = Query::scan("sales")
+            .index_join("catalog", catalog.clone(), col(0), [0])
+            .index_join("catalog", catalog, col(0), [1]);
+        let err = match compile_checked(query, "dup", "out") {
+            Ok(_) => panic!("duplicate join names were accepted"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn compile_checked_accepts_valid_query() {
+        let (_, _, catalog) = setup();
+        let query = Query::scan("sales")
+            .filter(col(1).gt(lit(1i64)))
+            .index_join("catalog", catalog, col(0), [0]);
+        assert!(compile_checked(query, "ok", "out").is_ok());
     }
 
     #[test]
@@ -395,7 +429,12 @@ mod tests {
             .group_by([col(0)])
             .aggregate([Agg::Sum(col(2)), Agg::Avg(col(1))])
             .into_job("s1", "mid");
-        run(&cluster, &mut dfs, &stage1, Mode::Uniform(Strategy::Baseline));
+        run(
+            &cluster,
+            &mut dfs,
+            &stage1,
+            Mode::Uniform(Strategy::Baseline),
+        );
         // mid rows: [product, revenue, avg_qty]
         let stage2 = Query::scan("mid")
             .filter(col(1).gt(lit(50.0)))

@@ -43,9 +43,7 @@ impl Expr {
                 .and_then(|cols| cols.get(*i))
                 .cloned()
                 .unwrap_or(Datum::Null),
-            Expr::Composite(parts) => {
-                Datum::List(parts.iter().map(|e| e.eval(row)).collect())
-            }
+            Expr::Composite(parts) => Datum::List(parts.iter().map(|e| e.eval(row)).collect()),
         }
     }
 

@@ -26,6 +26,6 @@ pub mod compile;
 pub mod expr;
 pub mod query;
 
-pub use compile::compile;
+pub use compile::{compile, compile_checked};
 pub use expr::{col, composite, lit, Expr, Pred};
 pub use query::{Agg, IndexJoinSpec, JoinKind, Query, Step};

@@ -8,8 +8,8 @@
 //! configurations of §5.1 and reports virtual seconds per configuration.
 
 use efind::{EFindConfig, EFindRuntime, Mode, Strategy};
-use efind_common::{FxHashMap, Result};
 use efind_cluster::Cluster;
+use efind_common::{FxHashMap, Result};
 use efind_dfs::Dfs;
 
 /// A fully built experiment configuration.
@@ -188,7 +188,10 @@ mod tests {
         let modes = standard_modes(&scenario);
         let labels: Vec<&str> = modes.iter().map(|(l, _)| l.as_str()).collect();
         // LOG: single-host index → no idxloc row.
-        assert_eq!(labels, vec!["base", "cache", "repart", "optimized", "dynamic"]);
+        assert_eq!(
+            labels,
+            vec!["base", "cache", "repart", "optimized", "dynamic"]
+        );
 
         let scenario = crate::tpch::q3_scenario(&crate::tpch::TpchConfig {
             scale: 0.002,

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{fx_hash_bytes, Datum, FxHashMap, Record};
 use efind_cluster::{Cluster, SimDuration};
+use efind_common::{fx_hash_bytes, Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::RemoteService;
 use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
@@ -263,7 +263,12 @@ mod tests {
             let top = r.value.as_list().unwrap();
             assert!(top.len() <= 2 * 10);
             // Counts are descending.
-            let counts: Vec<i64> = top.iter().skip(1).step_by(2).map(|d| d.as_int().unwrap()).collect();
+            let counts: Vec<i64> = top
+                .iter()
+                .skip(1)
+                .step_by(2)
+                .map(|d| d.as_int().unwrap())
+                .collect();
             for w in counts.windows(2) {
                 assert!(w[0] >= w[1]);
             }

@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::{KvStore, KvStoreConfig};
 use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
@@ -87,15 +87,23 @@ pub fn build_indices(
         "users",
         cluster,
         KvStoreConfig::default(),
-        (0..config.num_users as i64)
-            .map(|u| (Datum::Int(u), vec![Datum::Text(format!("segment{}", u % 16))])),
+        (0..config.num_users as i64).map(|u| {
+            (
+                Datum::Int(u),
+                vec![Datum::Text(format!("segment{}", u % 16))],
+            )
+        }),
     ));
     let ads = Arc::new(KvStore::build(
         "ads",
         cluster,
         KvStoreConfig::default(),
-        (0..config.num_ads as i64)
-            .map(|a| (Datum::Int(a), vec![Datum::Text(format!("campaign{}", a % 64))])),
+        (0..config.num_ads as i64).map(|a| {
+            (
+                Datum::Int(a),
+                vec![Datum::Text(format!("campaign{}", a % 64))],
+            )
+        }),
     ));
     let sites = Arc::new(KvStore::build(
         "sites",
@@ -113,11 +121,7 @@ pub fn build_indices(
 
 /// Builds the job: one head operator with three independent indices, then
 /// a count-by-(segment, campaign) reduce.
-pub fn build_job(
-    users: Arc<KvStore>,
-    ads: Arc<KvStore>,
-    sites: Arc<KvStore>,
-) -> IndexJobConf {
+pub fn build_job(users: Arc<KvStore>, ads: Arc<KvStore>, sites: Arc<KvStore>) -> IndexJobConf {
     let enrich = operator_fn(
         "enrich3",
         3,
@@ -254,11 +258,8 @@ mod tests {
             chunks: 60,
             ..tiny()
         });
-        let mut rt = efind::EFindRuntime::with_config(
-            &s.cluster,
-            &mut s.dfs,
-            s.efind_config.clone(),
-        );
+        let mut rt =
+            efind::EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
         rt.run(&s.ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
         // Statistics measured under the baseline plan must reflect the
         // designed profiles: users highly redundant, ads locally bursty,
@@ -266,7 +267,11 @@ mod tests {
         // *after* an earlier index's shuffle would differ — the shuffle
         // reorders the stream and destroys the ads' burst locality.)
         let stats = rt.catalog.get("enrich3").unwrap().clone();
-        assert!(stats.indices[0].theta > 10.0, "users Θ={}", stats.indices[0].theta);
+        assert!(
+            stats.indices[0].theta > 10.0,
+            "users Θ={}",
+            stats.indices[0].theta
+        );
         assert!(
             stats.indices[1].miss_ratio < 0.5,
             "ads bursts should hit the cache shadow: R={}",

@@ -10,11 +10,11 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
-use efind_index::spatial::{SpatialGridConfig, SpatialGridIndex};
 use efind_index::rtree::{Point, Rect};
+use efind_index::spatial::{SpatialGridConfig, SpatialGridIndex};
 use efind_mapreduce::{mapper_fn, Collector};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -97,7 +97,11 @@ pub fn points_to_records(points: &[(Point, u64)]) -> Vec<Record> {
 
 /// Builds the distributed spatial index on B (4×8 grid of R\*-trees,
 /// replication 3 — the paper's setup).
-pub fn build_index(config: &OsmConfig, cluster: &Cluster, b: Vec<(Point, u64)>) -> Arc<SpatialGridIndex> {
+pub fn build_index(
+    config: &OsmConfig,
+    cluster: &Cluster,
+    b: Vec<(Point, u64)>,
+) -> Arc<SpatialGridIndex> {
     Arc::new(SpatialGridIndex::build(
         "osm-b",
         cluster,
@@ -179,8 +183,8 @@ mod tests {
     use super::*;
     use crate::harness::run_mode;
     use efind::{Mode, Strategy};
-    use efind_index::spatial::decode_neighbor;
     use efind_index::rtree::dist2;
+    use efind_index::spatial::decode_neighbor;
 
     fn tiny() -> OsmConfig {
         OsmConfig {

@@ -12,8 +12,8 @@
 
 use std::sync::Arc;
 
-use efind_common::{Datum, Record, Result};
 use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_common::{Datum, Record, Result};
 use efind_dfs::Dfs;
 use efind_mapreduce::{mapper_fn, reducer_fn, JobConf, Runner};
 
@@ -37,8 +37,7 @@ pub fn run_scan_join(
 ) -> Result<(SimDuration, u64)> {
     // The combined tagged input both sides are scanned from — exactly how
     // a reduce-side join feeds one MapReduce job.
-    let mut input: Vec<Record> =
-        Vec::with_capacity(data.lineitem.len() + data.orders.len());
+    let mut input: Vec<Record> = Vec::with_capacity(data.lineitem.len() + data.orders.len());
     for rec in &data.lineitem {
         input.push(Record::new(
             rec.key.clone(),
@@ -48,10 +47,7 @@ pub fn run_scan_join(
     for (orderkey, fields) in &data.orders {
         input.push(Record::new(
             orderkey.clone(),
-            Datum::List(vec![
-                Datum::Text("O".into()),
-                Datum::List(fields.clone()),
-            ]),
+            Datum::List(vec![Datum::Text("O".into()), Datum::List(fields.clone())]),
         ));
     }
     dfs.write_file_with_chunks("scanjoin.input", input, chunks);
@@ -59,7 +55,9 @@ pub fn run_scan_join(
     let conf = JobConf::new("scan-join", "scanjoin.input", "scanjoin.out")
         .with_cpu_per_record(CPU_PER_RECORD)
         .add_mapper(mapper_fn(move |rec, out, _| {
-            let Some(parts) = rec.value.as_list() else { return };
+            let Some(parts) = rec.value.as_list() else {
+                return;
+            };
             let tag = parts[0].as_text().unwrap_or("");
             match tag {
                 "L" => {

@@ -15,8 +15,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::{KvStore, KvStoreConfig};
 use efind_mapreduce::{mapper_fn, Collector};
@@ -100,8 +100,12 @@ pub fn build_index(config: &SyntheticConfig, cluster: &Cluster) -> Arc<KvStore> 
             serve_secs_per_byte: 1.0e-9,
             ..KvStoreConfig::default()
         },
-        (0..config.key_space as i64)
-            .map(|k| (Datum::Int(k), vec![Datum::Bytes(vec![0xCD; config.index_value_size])])),
+        (0..config.key_space as i64).map(|k| {
+            (
+                Datum::Int(k),
+                vec![Datum::Bytes(vec![0xCD; config.index_value_size])],
+            )
+        }),
     ))
 }
 
@@ -112,7 +116,13 @@ pub fn build_job(index: Arc<KvStore>) -> IndexJobConf {
         "synjoin",
         1,
         |rec: &mut Record, keys: &mut efind::IndexInput| {
-            keys.put(0, rec.value.as_list().map(|l| l[0].clone()).unwrap_or(Datum::Null));
+            keys.put(
+                0,
+                rec.value
+                    .as_list()
+                    .map(|l| l[0].clone())
+                    .unwrap_or(Datum::Null),
+            );
             // The padding has served its purpose (input volume); project
             // it away so downstream sizes reflect the join result.
             if let Some(l) = rec.value.as_list() {
@@ -156,7 +166,9 @@ pub fn fig12_row(cluster: &Cluster, index: &KvStore, result_bytes: usize) -> (us
     use efind::IndexAccessor;
     let key = Datum::Int(0);
     let serve = index.serve_time(&key, result_bytes as u64);
-    let transfer = cluster.network.transfer(key.size_bytes() + result_bytes as u64);
+    let transfer = cluster
+        .network
+        .transfer(key.size_bytes() + result_bytes as u64);
     (
         result_bytes,
         serve.as_millis_f64(),
@@ -212,7 +224,11 @@ mod tests {
 
     #[test]
     fn join_attaches_index_values_under_all_strategies() {
-        for strategy in [Strategy::Baseline, Strategy::Repartition, Strategy::IndexLocality] {
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::Repartition,
+            Strategy::IndexLocality,
+        ] {
             let mut s = scenario(&tiny());
             run_mode(&mut s, "x", Mode::Uniform(strategy)).unwrap();
             let out = s.dfs.read_file("syn.joined").unwrap();

@@ -13,8 +13,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::{Cluster, SimDuration};
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::{InvertedIndex, RemoteService};
 use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
@@ -126,10 +126,7 @@ pub fn reference_index(config: &TextConfig, cluster: &Cluster) -> Arc<InvertedIn
 }
 
 /// Builds the enhanced job.
-pub fn build_job(
-    dictionary: Arc<RemoteService>,
-    corpus: Arc<InvertedIndex>,
-) -> IndexJobConf {
+pub fn build_job(dictionary: Arc<RemoteService>, corpus: Arc<InvertedIndex>) -> IndexJobConf {
     // Head: expand the document's FIRST acronym (if any) through the
     // dictionary; documents without acronyms pass through.
     let expand = operator_fn(
@@ -145,7 +142,9 @@ pub fn build_job(
             keys.put(0, first_acr);
         },
         |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
-            let Some(text) = rec.value.as_text() else { return };
+            let Some(text) = rec.value.as_text() else {
+                return;
+            };
             let expanded = match values.first(0).first().and_then(Datum::as_text) {
                 Some(expansion) => {
                     let mut t = text.to_owned();
@@ -192,7 +191,9 @@ pub fn build_job(
         .set_mapper(mapper_fn(|rec, out, _| {
             // Map: pick the lexicographically-last expanded term (a cheap
             // deterministic "rarest term" heuristic) as the record value.
-            let Some(text) = rec.value.as_text() else { return };
+            let Some(text) = rec.value.as_text() else {
+                return;
+            };
             let Some(term) = text
                 .split_whitespace()
                 .filter(|w| !w.starts_with("AC"))

@@ -16,8 +16,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::{DistBTree, KvStore, KvStoreConfig, TopicClassifier};
 use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
@@ -143,7 +143,9 @@ pub fn build_job(
             }
         },
         |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
-            let Some(city) = values.first(0).first() else { return };
+            let Some(city) = values.first(0).first() else {
+                return;
+            };
             let Some(f) = rec.value.as_list() else { return };
             out.collect(Record {
                 key: rec.key,
@@ -161,7 +163,9 @@ pub fn build_job(
             keys.put(0, rec.value.clone());
         },
         |rec: Record, values: &efind::IndexOutput, out: &mut dyn Collector| {
-            let Some(topic) = values.first(0).first() else { return };
+            let Some(topic) = values.first(0).first() else {
+                return;
+            };
             out.collect(Record {
                 key: rec.key,
                 value: topic.clone(),
@@ -213,8 +217,11 @@ pub fn build_job(
                 }
                 let mut ranked: Vec<(&Datum, usize)> = counts.into_iter().collect();
                 ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-                let top: Vec<Datum> =
-                    ranked.into_iter().take(top_k).map(|(t, _)| t.clone()).collect();
+                let top: Vec<Datum> = ranked
+                    .into_iter()
+                    .take(top_k)
+                    .map(|(t, _)| t.clone())
+                    .collect();
                 out.collect(Record {
                     key,
                     value: Datum::List(top),
@@ -273,7 +280,9 @@ mod tests {
             assert!(key[0].as_text().unwrap().starts_with("city"));
             let v = r.value.as_list().unwrap();
             assert!(!v.is_empty());
-            if v.iter().any(|d| d.as_text().is_some_and(|t| t.starts_with("event-"))) {
+            if v.iter()
+                .any(|d| d.as_text().is_some_and(|t| t.starts_with("event-")))
+            {
                 any_event = true;
             }
         }
@@ -301,6 +310,9 @@ mod tests {
         // is a valid key, even ones never generated before.
         let c = TopicClassifier::news();
         use efind::IndexAccessor;
-        assert_eq!(c.lookup(&Datum::Text("entirely novel words".into())).len(), 1);
+        assert_eq!(
+            c.lookup(&Datum::Text("entirely novel words".into())).len(),
+            1
+        );
     }
 }

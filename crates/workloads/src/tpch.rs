@@ -18,8 +18,8 @@
 use std::sync::Arc;
 
 use efind::{operator_fn, BoundOperator, EFindConfig, IndexJobConf, Strategy};
-use efind_common::{Datum, FxHashMap, Record};
 use efind_cluster::Cluster;
+use efind_common::{Datum, FxHashMap, Record};
 use efind_dfs::{Dfs, DfsConfig};
 use efind_index::{KvStore, KvStoreConfig};
 use efind_mapreduce::{mapper_fn, reducer_fn, Collector};
@@ -36,12 +36,44 @@ pub const Q3_SEGMENT: &str = "BUILDING";
 /// Q9's part-name token filter (`p_name like '%green%'`).
 pub const Q9_COLOR: &str = "green";
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const COLORS: [&str; 30] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "green",
 ];
 const NATIONS: usize = 25;
 
@@ -222,11 +254,19 @@ pub fn generate(config: &TpchConfig) -> TpchData {
 }
 
 fn kv(name: &str, cluster: &Cluster, pairs: Vec<(Datum, Vec<Datum>)>) -> Arc<KvStore> {
-    Arc::new(KvStore::build(name, cluster, KvStoreConfig::default(), pairs))
+    Arc::new(KvStore::build(
+        name,
+        cluster,
+        KvStoreConfig::default(),
+        pairs,
+    ))
 }
 
 fn field(value: &Datum, idx: usize) -> Datum {
-    value.as_list().map(|l| l[idx].clone()).unwrap_or(Datum::Null)
+    value
+        .as_list()
+        .map(|l| l[idx].clone())
+        .unwrap_or(Datum::Null)
 }
 
 /// Builds the Q3 job over a loaded DFS (`tpch.lineitem` present).
@@ -375,7 +415,9 @@ pub fn q9_job(cluster: &Cluster, data: &TpchData) -> IndexJobConf {
             if ps.is_empty() {
                 return;
             }
-            let Some(mut v) = rec.value.into_list() else { return };
+            let Some(mut v) = rec.value.into_list() else {
+                return;
+            };
             v.push(ps[0].clone()); // supplycost at [7]
             out.collect(Record {
                 key: rec.key,
@@ -396,7 +438,9 @@ pub fn q9_job(cluster: &Cluster, data: &TpchData) -> IndexJobConf {
             if o.is_empty() {
                 return;
             }
-            let Some(mut v) = rec.value.into_list() else { return };
+            let Some(mut v) = rec.value.into_list() else {
+                return;
+            };
             v.push(Datum::Int(o[1].as_int().unwrap_or(0) / 365));
             out.collect(Record {
                 key: rec.key,
@@ -417,7 +461,9 @@ pub fn q9_job(cluster: &Cluster, data: &TpchData) -> IndexJobConf {
             if n.is_empty() {
                 return;
             }
-            let Some(mut v) = rec.value.into_list() else { return };
+            let Some(mut v) = rec.value.into_list() else {
+                return;
+            };
             v.push(n[0].clone());
             out.collect(Record {
                 key: rec.key,
@@ -492,8 +538,7 @@ pub fn q9_scenario(config: &TpchConfig) -> Scenario {
 
 /// Serial reference implementation of Q3 (test oracle).
 pub fn q3_reference(data: &TpchData) -> FxHashMap<Datum, f64> {
-    let orders: FxHashMap<&Datum, &Vec<Datum>> =
-        data.orders.iter().map(|(k, v)| (k, v)).collect();
+    let orders: FxHashMap<&Datum, &Vec<Datum>> = data.orders.iter().map(|(k, v)| (k, v)).collect();
     let customers: FxHashMap<&Datum, &Vec<Datum>> =
         data.customer.iter().map(|(k, v)| (k, v)).collect();
     let mut out: FxHashMap<Datum, f64> = FxHashMap::default();
@@ -503,7 +548,9 @@ pub fn q3_reference(data: &TpchData) -> FxHashMap<Datum, f64> {
         if o[1].as_int().unwrap() >= Q3_DATE_CUTOFF || l[6].as_int().unwrap() <= Q3_DATE_CUTOFF {
             continue;
         }
-        let Some(c) = customers.get(&o[0]) else { continue };
+        let Some(c) = customers.get(&o[0]) else {
+            continue;
+        };
         if c[0].as_text() != Some(Q3_SEGMENT) {
             continue;
         }
@@ -551,8 +598,7 @@ mod tests {
             "each order's lineitems must be contiguous"
         );
         // Every (partkey, suppkey) pair exists in partsupp.
-        let ps: std::collections::HashSet<&Datum> =
-            data.partsupp.iter().map(|(k, _)| k).collect();
+        let ps: std::collections::HashSet<&Datum> = data.partsupp.iter().map(|(k, _)| k).collect();
         for rec in data.lineitem.iter().take(100) {
             let l = rec.value.as_list().unwrap();
             let key = Datum::List(vec![l[1].clone(), l[2].clone()]);

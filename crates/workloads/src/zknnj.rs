@@ -19,8 +19,8 @@
 
 use std::sync::Arc;
 
-use efind_common::{Datum, Record, Result};
 use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_common::{Datum, Record, Result};
 use efind_dfs::Dfs;
 use efind_index::rtree::{dist2, Point};
 use efind_mapreduce::{reducer_fn, Collector, JobConf, Mapper, Runner, TaskCtx};
@@ -105,9 +105,9 @@ fn plan_shifts(config: &ZknnjConfig, b: &[(Point, u64)]) -> Shifts {
         vectors.push([rng.gen_range(0.0..span[0]), rng.gen_range(0.0..span[1])]);
     }
     // Extent covers every shifted coordinate.
-    let max_shift = vectors.iter().fold([0.0f64, 0.0f64], |m, v| {
-        [m[0].max(v[0]), m[1].max(v[1])]
-    });
+    let max_shift = vectors
+        .iter()
+        .fold([0.0f64, 0.0f64], |m, v| [m[0].max(v[0]), m[1].max(v[1])]);
     let extent = (bb.min, [bb.max[0] + max_shift[0], bb.max[1] + max_shift[1]]);
 
     // Quantiles of B's z-values per shift, from a deterministic sample —
@@ -186,19 +186,17 @@ impl Mapper for RouteMapper {
 
 /// Per-partition candidate search: for each A point, the k best of its 2k
 /// z-nearest B points.
-fn partition_knn(
-    values: Vec<Datum>,
-    k: usize,
-    out: &mut dyn Collector,
-    ctx: &mut TaskCtx,
-) {
+fn partition_knn(values: Vec<Datum>, k: usize, out: &mut dyn Collector, ctx: &mut TaskCtx) {
     let mut a_points: Vec<(i64, u64, Point)> = Vec::new();
     let mut b_points: Vec<(u64, i64, Point)> = Vec::new(); // (z, id, point)
     for v in values {
         let Some(f) = v.as_list() else { continue };
         let id = f[1].as_int().unwrap_or(0);
         let z = f[2].as_int().unwrap_or(0) as u64;
-        let p = [f[3].as_float().unwrap_or(0.0), f[4].as_float().unwrap_or(0.0)];
+        let p = [
+            f[3].as_float().unwrap_or(0.0),
+            f[4].as_float().unwrap_or(0.0),
+        ];
         if f[0].as_text() == Some("A") {
             a_points.push((id, z, p));
         } else {
@@ -302,7 +300,9 @@ pub fn run(
             reducer_fn(move |a_id, values, out, _ctx| {
                 let mut best: Vec<(f64, i64)> = Vec::new();
                 for list in values {
-                    let Some(items) = list.as_list() else { continue };
+                    let Some(items) = list.as_list() else {
+                        continue;
+                    };
                     for item in items {
                         let Some(pair) = item.as_list() else { continue };
                         best.push((
@@ -399,7 +399,17 @@ mod tests {
     #[test]
     fn pipeline_returns_one_result_per_a_point() {
         let (cluster, mut dfs, a, b) = setup();
-        let (dur, results) = run(&cluster, &mut dfs, &ZknnjConfig { chunks: 20, ..Default::default() }, &a, &b).unwrap();
+        let (dur, results) = run(
+            &cluster,
+            &mut dfs,
+            &ZknnjConfig {
+                chunks: 20,
+                ..Default::default()
+            },
+            &a,
+            &b,
+        )
+        .unwrap();
         assert!(dur > SimDuration::ZERO);
         assert_eq!(results.len(), a.len());
         for r in &results {
@@ -413,7 +423,17 @@ mod tests {
     #[test]
     fn approximation_quality_is_high() {
         let (cluster, mut dfs, a, b) = setup();
-        let (_, results) = run(&cluster, &mut dfs, &ZknnjConfig { chunks: 20, ..Default::default() }, &a, &b).unwrap();
+        let (_, results) = run(
+            &cluster,
+            &mut dfs,
+            &ZknnjConfig {
+                chunks: 20,
+                ..Default::default()
+            },
+            &a,
+            &b,
+        )
+        .unwrap();
         let mut recall_hits = 0usize;
         let mut recall_total = 0usize;
         let mut ratio_sum = 0.0;

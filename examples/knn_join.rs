@@ -23,7 +23,10 @@ fn main() {
         chunks: 240,
         ..OsmConfig::default()
     };
-    println!("kNN join (k={}) of {} x {} clustered points\n", config.k, config.num_a, config.num_b);
+    println!(
+        "kNN join (k={}) of {} x {} clustered points\n",
+        config.k, config.num_a, config.num_b
+    );
 
     // EFind, with the strategies the harness sweeps.
     for (label, mode) in [
@@ -33,7 +36,11 @@ fn main() {
     ] {
         let mut s = scenario(&config);
         let m = run_mode(&mut s, label, mode).expect("knnj runs");
-        println!("{label}  {:>8.3}s virtual{}", m.secs, if m.replanned { "  (re-planned)" } else { "" });
+        println!(
+            "{label}  {:>8.3}s virtual{}",
+            m.secs,
+            if m.replanned { "  (re-planned)" } else { "" }
+        );
     }
 
     // The hand-tuned comparator on the same data and cluster.
@@ -45,7 +52,11 @@ fn main() {
         ..ZknnjConfig::default()
     };
     let (dur, results) = run_zknnj(&s.cluster, &mut s.dfs, &zconf, &a, &b).expect("zknnj runs");
-    println!("h-zknnj         {:>8.3}s virtual  (α={}, approximate)", dur.as_secs_f64(), zconf.alpha);
+    println!(
+        "h-zknnj         {:>8.3}s virtual  (α={}, approximate)",
+        dur.as_secs_f64(),
+        zconf.alpha
+    );
 
     // Sanity: compare one answer against the exact EFind output.
     run_mode(&mut s, "exact", Mode::Uniform(Strategy::Baseline)).expect("exact run");

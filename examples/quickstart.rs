@@ -13,8 +13,7 @@ use std::sync::Arc;
 use efind_repro::cluster::{Cluster, SimDuration};
 use efind_repro::common::{Datum, Record};
 use efind_repro::core::{
-    operator_fn, BoundOperator, EFindRuntime, IndexInput, IndexJobConf, IndexOutput, Mode,
-    Strategy,
+    operator_fn, BoundOperator, EFindRuntime, IndexInput, IndexJobConf, IndexOutput, Mode, Strategy,
 };
 use efind_repro::dfs::{Dfs, DfsConfig};
 use efind_repro::index::MemTable;
@@ -32,7 +31,7 @@ fn main() {
                 i,
                 Datum::List(vec![
                     Datum::Int((i * 7919) % 500), // product id, skewed reuse
-                    Datum::Int(1 + i % 5), // quantity
+                    Datum::Int(1 + i % 5),        // quantity
                 ]),
             )
         })
@@ -62,7 +61,11 @@ fn main() {
         },
         |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
             let category = values.first(0).first().cloned().unwrap_or(Datum::Null);
-            let qty = rec.value.as_list().map(|f| f[1].clone()).unwrap_or(Datum::Null);
+            let qty = rec
+                .value
+                .as_list()
+                .map(|f| f[1].clone())
+                .unwrap_or(Datum::Null);
             out.collect(Record {
                 key: category,
                 value: qty,
@@ -95,12 +98,19 @@ fn main() {
         println!(
             "{label}  {:>8.3}s virtual{}",
             res.total_time.as_secs_f64(),
-            if res.replanned { "  (re-planned mid-job)" } else { "" }
+            if res.replanned {
+                "  (re-planned mid-job)"
+            } else {
+                ""
+            }
         );
     }
 
     // 7. Inspect the output.
-    let mut out = rt.dfs.read_file("sales-by-category").expect("output exists");
+    let mut out = rt
+        .dfs
+        .read_file("sales-by-category")
+        .expect("output exists");
     out.sort();
     println!("\ntop categories:");
     for rec in out.iter().take(5) {

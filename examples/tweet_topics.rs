@@ -40,7 +40,11 @@ fn main() {
         println!(
             "{label}  {:>8.3}s virtual{}",
             m.secs,
-            if m.replanned { "  (re-planned mid-job)" } else { "" }
+            if m.replanned {
+                "  (re-planned mid-job)"
+            } else {
+                ""
+            }
         );
     }
 

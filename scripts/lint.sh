@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Workspace lint gate: formatting + clippy with warnings denied.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint: clean"

@@ -22,14 +22,19 @@ fn dynamic_replans_on_expensive_lookups_and_preserves_output() {
 
     let mut s1 = log::scenario(&config);
     let mut rt1 = EFindRuntime::new(&s1.cluster, &mut s1.dfs);
-    let base = rt1.run(&s1.ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
+    let base = rt1
+        .run(&s1.ijob, Mode::Uniform(Strategy::Baseline))
+        .unwrap();
     let mut expected = rt1.dfs.read_file("log.topk").unwrap();
     expected.sort();
 
     let mut s2 = log::scenario(&config);
     let mut rt2 = EFindRuntime::new(&s2.cluster, &mut s2.dfs);
     let dynamic = rt2.run(&s2.ijob, Mode::Dynamic).unwrap();
-    assert!(dynamic.replanned, "5 ms lookups should trigger a plan change");
+    assert!(
+        dynamic.replanned,
+        "5 ms lookups should trigger a plan change"
+    );
     assert!(
         dynamic.total_time < base.total_time,
         "dynamic {} vs base {}",
@@ -48,12 +53,18 @@ fn dynamic_sits_between_baseline_and_optimized() {
     let config = config_with_delay(5);
     let mut s = log::scenario(&config);
     let mut rt = EFindRuntime::new(&s.cluster, &mut s.dfs);
-    let base = rt.run(&s.ijob, Mode::Uniform(Strategy::Baseline)).unwrap().total_time;
+    let base = rt
+        .run(&s.ijob, Mode::Uniform(Strategy::Baseline))
+        .unwrap()
+        .total_time;
     let optimized = rt.run(&s.ijob, Mode::Optimized).unwrap().total_time;
     let dynamic = rt.run(&s.ijob, Mode::Dynamic).unwrap().total_time;
     assert!(optimized < base);
     assert!(dynamic <= base, "dynamic {dynamic} vs base {base}");
-    assert!(dynamic >= optimized, "dynamic {dynamic} vs optimized {optimized}");
+    assert!(
+        dynamic >= optimized,
+        "dynamic {dynamic} vs optimized {optimized}"
+    );
 }
 
 #[test]
@@ -97,7 +108,11 @@ fn plan_changes_at_most_once() {
     let res = rt.run(&s.ijob, Mode::Dynamic).unwrap();
     if res.replanned {
         // The replanned pipeline is the shuffle job + the original job.
-        assert!(res.jobs.len() <= 3, "unexpected job count {}", res.jobs.len());
+        assert!(
+            res.jobs.len() <= 3,
+            "unexpected job count {}",
+            res.jobs.len()
+        );
     }
 }
 

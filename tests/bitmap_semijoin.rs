@@ -11,8 +11,7 @@ use std::sync::Arc;
 use efind_repro::cluster::Cluster;
 use efind_repro::common::{Datum, Record};
 use efind_repro::core::{
-    operator_fn, BoundOperator, EFindRuntime, IndexInput, IndexJobConf, IndexOutput, Mode,
-    Strategy,
+    operator_fn, BoundOperator, EFindRuntime, IndexInput, IndexJobConf, IndexOutput, Mode, Strategy,
 };
 use efind_repro::dfs::{Dfs, DfsConfig};
 use efind_repro::index::BitmapIndex;
@@ -22,7 +21,11 @@ const CUSTOMERS: u64 = 500;
 const ORDERS: i64 = 6_000;
 
 fn setup() -> (Cluster, Dfs, IndexJobConf) {
-    let cluster = Cluster::builder().nodes(4).map_slots(2).reduce_slots(2).build();
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build();
     let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
 
     // Orders: [custkey, amount]
@@ -63,10 +66,7 @@ fn setup() -> (Cluster, Dfs, IndexJobConf) {
                 .and_then(|f| f.first())
                 .cloned()
                 .unwrap_or(Datum::Null);
-            keys.put(
-                0,
-                Datum::List(vec![Datum::Text("active".into()), custkey]),
-            );
+            keys.put(0, Datum::List(vec![Datum::Text("active".into()), custkey]));
         },
         |rec: Record, values: &IndexOutput, out: &mut dyn Collector| {
             if values.first(0).first() == Some(&Datum::Bool(true)) {
@@ -147,7 +147,10 @@ fn probe_redundancy_makes_the_cache_and_optimizer_effective() {
     // optimizer should find a plan at least as good as baseline.
     let (cluster, mut dfs, ijob) = setup();
     let mut rt = EFindRuntime::new(&cluster, &mut dfs);
-    let base = rt.run(&ijob, Mode::Uniform(Strategy::Baseline)).unwrap().total_time;
+    let base = rt
+        .run(&ijob, Mode::Uniform(Strategy::Baseline))
+        .unwrap()
+        .total_time;
     let opt = rt.run(&ijob, Mode::Optimized).unwrap().total_time;
     assert!(opt <= base, "optimized {opt} vs baseline {base}");
 }

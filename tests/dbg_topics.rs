@@ -1,17 +1,34 @@
 #[test]
 fn debug_topics_optimized() {
+    use efind_repro::core::{EFindRuntime, Mode, Strategy};
     use efind_repro::workloads::topics::*;
-    use efind_repro::core::{Mode, Strategy, EFindRuntime};
-    let config = TopicsConfig { num_tweets: 20_000, ..TopicsConfig::default() };
+    let config = TopicsConfig {
+        num_tweets: 20_000,
+        ..TopicsConfig::default()
+    };
     let mut s = scenario(&config);
     let mut rt = EFindRuntime::new(&s.cluster, &mut s.dfs);
     rt.run(&s.ijob, Mode::Uniform(Strategy::Baseline)).unwrap();
     let res = rt.run(&s.ijob, Mode::Optimized).unwrap();
     for job in &res.jobs {
-        eprintln!("job {} makespan {:.3}", job.name, job.makespan().as_secs_f64());
+        eprintln!(
+            "job {} makespan {:.3}",
+            job.name,
+            job.makespan().as_secs_f64()
+        );
         if let Some(r) = &job.reduce {
-            let mut times: Vec<(usize, f64, i64, u64)> = r.tasks.iter().zip(&r.schedule.assignments)
-                .map(|(t, a)| (t.task_id, a.end.since(a.start).as_secs_f64(), t.counters.get("efind.topic.0.lookups"), t.input_records))
+            let mut times: Vec<(usize, f64, i64, u64)> = r
+                .tasks
+                .iter()
+                .zip(&r.schedule.assignments)
+                .map(|(t, a)| {
+                    (
+                        t.task_id,
+                        a.end.since(a.start).as_secs_f64(),
+                        t.counters.get("efind.topic.0.lookups"),
+                        t.input_records,
+                    )
+                })
                 .collect();
             times.sort_by(|x, y| y.1.total_cmp(&x.1));
             for (id, dur, lk, inrec) in times.iter().take(5) {

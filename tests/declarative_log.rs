@@ -147,6 +147,9 @@ fn dynamic_mode_optimizes_declarative_pipelines() {
     let mut rt = EFindRuntime::new(&cluster, &mut dfs);
     let base = rt.run(&job, Mode::Uniform(Strategy::Baseline)).unwrap();
     let dynamic = rt.run(&job, Mode::Dynamic).unwrap();
-    assert!(dynamic.replanned, "5 ms geo lookups should trigger a re-plan");
+    assert!(
+        dynamic.replanned,
+        "5 ms geo lookups should trigger a re-plan"
+    );
     assert!(dynamic.total_time < base.total_time);
 }

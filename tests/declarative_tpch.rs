@@ -20,8 +20,17 @@ fn config() -> TpchConfig {
     }
 }
 
-fn kv(name: &str, cluster: &Cluster, pairs: Vec<(efind_repro::common::Datum, Vec<efind_repro::common::Datum>)>) -> Arc<KvStore> {
-    Arc::new(KvStore::build(name, cluster, KvStoreConfig::default(), pairs))
+fn kv(
+    name: &str,
+    cluster: &Cluster,
+    pairs: Vec<(efind_repro::common::Datum, Vec<efind_repro::common::Datum>)>,
+) -> Arc<KvStore> {
+    Arc::new(KvStore::build(
+        name,
+        cluster,
+        KvStoreConfig::default(),
+        pairs,
+    ))
 }
 
 #[test]
@@ -91,23 +100,42 @@ fn declarative_q9_with_composite_partsupp_key() {
     let mut rt = EFindRuntime::new(&cluster, &mut dfs);
     rt.run(&job, Mode::Uniform(Strategy::Cache)).unwrap();
     let out = rt.dfs.read_file("q9.out").unwrap();
-    assert!(!out.is_empty(), "the green-part filter should keep some rows");
+    assert!(
+        !out.is_empty(),
+        "the green-part filter should keep some rows"
+    );
 
     // Reference: serial nested-loop evaluation.
-    let supplier_map: std::collections::HashMap<_, _> =
-        data.supplier.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-    let part_map: std::collections::HashMap<_, _> =
-        data.part.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-    let ps_map: std::collections::HashMap<_, _> =
-        data.partsupp.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-    let nation_map: std::collections::HashMap<_, _> =
-        data.nation.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let supplier_map: std::collections::HashMap<_, _> = data
+        .supplier
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let part_map: std::collections::HashMap<_, _> = data
+        .part
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let ps_map: std::collections::HashMap<_, _> = data
+        .partsupp
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let nation_map: std::collections::HashMap<_, _> = data
+        .nation
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
 
     let mut expect: std::collections::BTreeMap<String, i64> = Default::default();
     for rec in &data.lineitem {
         let l = rec.value.as_list().unwrap();
-        let Some(s) = supplier_map.get(&l[2]) else { continue };
-        let Some(p) = part_map.get(&l[1]) else { continue };
+        let Some(s) = supplier_map.get(&l[2]) else {
+            continue;
+        };
+        let Some(p) = part_map.get(&l[1]) else {
+            continue;
+        };
         if !p[0].as_text().unwrap().contains(Q9_COLOR) {
             continue;
         }
@@ -115,7 +143,10 @@ fn declarative_q9_with_composite_partsupp_key() {
         if !ps_map.contains_key(&ps_key) {
             continue;
         }
-        let nation = nation_map.get(&s[1]).unwrap()[0].as_text().unwrap().to_owned();
+        let nation = nation_map.get(&s[1]).unwrap()[0]
+            .as_text()
+            .unwrap()
+            .to_owned();
         *expect.entry(nation).or_insert(0) += 1;
     }
     assert_eq!(out.len(), expect.len());

@@ -2,10 +2,10 @@
 //! reproduction — who wins, and roughly where the crossovers fall. These
 //! assertions encode the *shape* claims, not absolute numbers.
 
+use efind_repro::cluster::SimDuration;
 use efind_repro::core::{Mode, Strategy};
 use efind_repro::workloads::harness::{run_mode, run_standard, secs_of};
 use efind_repro::workloads::{log, osm, synthetic, tpch, zknnj};
-use efind_repro::cluster::SimDuration;
 
 fn log_config(extra_ms: u64) -> log::LogConfig {
     log::LogConfig {
@@ -71,7 +71,11 @@ fn q9_repartitioning_wins_where_cache_cannot() {
     let base = secs_of(&rows, "base");
     let cache = secs_of(&rows, "cache");
     let repart = secs_of(&rows, "repart");
-    assert!(cache / base > 0.85 && cache / base < 1.15, "Q9 cache ≈ base, got {}", cache / base);
+    assert!(
+        cache / base > 0.85 && cache / base < 1.15,
+        "Q9 cache ≈ base, got {}",
+        cache / base
+    );
     assert!(base / repart > 1.25, "Q9 repart speedup: {}", base / repart);
 }
 
@@ -90,7 +94,9 @@ fn dup10_amplifies_repartitioning() {
     let factor = |config: &tpch::TpchConfig| {
         let mut s = tpch::q9_scenario(config);
         let overrides = s.repart_overrides.clone();
-        let base = run_mode(&mut s, "b", Mode::Uniform(Strategy::Baseline)).unwrap().secs;
+        let base = run_mode(&mut s, "b", Mode::Uniform(Strategy::Baseline))
+            .unwrap()
+            .secs;
         let repart = run_mode(&mut s, "r", Mode::Manual(overrides)).unwrap().secs;
         base / repart
     };
@@ -113,8 +119,12 @@ fn synthetic_index_locality_crossover() {
         };
         let mut s = synthetic::scenario(&config);
         (
-            run_mode(&mut s, "r", Mode::Uniform(Strategy::Repartition)).unwrap().secs,
-            run_mode(&mut s, "i", Mode::Uniform(Strategy::IndexLocality)).unwrap().secs,
+            run_mode(&mut s, "r", Mode::Uniform(Strategy::Repartition))
+                .unwrap()
+                .secs,
+            run_mode(&mut s, "i", Mode::Uniform(Strategy::IndexLocality))
+                .unwrap()
+                .secs,
         )
     };
     let (repart_small, idxloc_small) = run(10);

@@ -58,7 +58,11 @@ fn topics_three_placements_agree() {
         Mode::Uniform(Strategy::Baseline),
     );
     assert!(!reference.is_empty());
-    for strategy in [Strategy::Cache, Strategy::Repartition, Strategy::IndexLocality] {
+    for strategy in [
+        Strategy::Cache,
+        Strategy::Repartition,
+        Strategy::IndexLocality,
+    ] {
         let got = output_of(
             topics::scenario(&config),
             "topics.out",

@@ -1,0 +1,89 @@
+//! `any::<T>()` support for the primitive types the workspace tests use.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `A`'s whole domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix full-width noise with small values so boundary-ish
+                // inputs show up often, mimicking proptest's bias.
+                match rng.below(4) {
+                    0 => (rng.below(16) as i64 - 8) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Finite floats across many magnitudes (no NaN/inf: the
+                // real crate gates those behind strategy flags too).
+                match rng.below(8) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => {
+                        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                        let exp = rng.below(121) as i32 - 60;
+                        let mantissa = rng.unit_f64() + 1.0;
+                        (sign * mantissa * (2.0f64).powi(exp)) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+float_arbitrary!(f32, f64);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII with occasional non-ASCII scalar values.
+        if rng.below(8) == 0 {
+            char::from_u32(0xA0 + rng.below(0x500) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary(_rng: &mut TestRng) {}
+}

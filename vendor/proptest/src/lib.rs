@@ -1,0 +1,73 @@
+//! Minimal offline stand-in for `proptest` 1.x.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`, range
+//! and tuple strategies, `any::<T>()`, `Just`, simple `[class]{lo,hi}`
+//! string-pattern strategies, `collection::{vec, btree_set}`, the
+//! `proptest!` test macro, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` / `prop_oneof!` macros. Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — a failing case
+//! reports its case number and seed instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod option;
+pub mod string;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+/// Re-exports everything the tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Alias so `prop::collection::vec(...)` etc. work from the prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs one property test: `cases` iterations of generate-then-check.
+///
+/// Used by the [`proptest!`] macro expansion; not part of proptest's real
+/// public API surface.
+#[doc(hidden)]
+pub fn run_proptest<F>(config: test_runner::Config, file: &str, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let base_seed = test_runner::seed_for(file, name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 20 + 100;
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest {name}: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted; too many prop_assume! rejections)",
+                config.cases
+            );
+        }
+        let seed = base_seed ^ (attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = test_runner::TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => continue,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed at case {} (seed {seed:#x}): {msg}",
+                    accepted + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! String generation from the tiny regex dialect the workspace tests use:
+//! a single character class with a bounded repetition, `[chars]{lo,hi}`.
+//! Anything else falls back to short alphanumeric strings.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string for `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some((alphabet, lo, hi)) if !alphabet.is_empty() => {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+        _ => {
+            // Fallback: 0..=16 alphanumeric characters.
+            let alphabet: Vec<char> =
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+            let len = rng.below(17) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+/// Parses `[chars]{lo,hi}` into (alphabet, lo, hi).
+fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let class_end = rest.find(']')?;
+    let class = &rest[..class_end];
+    let reps = rest[class_end + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if a > b {
+                return None;
+            }
+            alphabet.extend(a..=b);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_with_ranges() {
+        let (alphabet, lo, hi) = parse("[a-zA-Z0-9 ]{0,24}").unwrap();
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 24);
+        assert_eq!(alphabet.len(), 26 + 26 + 10 + 1);
+        assert!(alphabet.contains(&' '));
+    }
+
+    #[test]
+    fn generated_strings_match_the_class() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ab]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

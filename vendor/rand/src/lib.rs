@@ -1,0 +1,333 @@
+//! Minimal offline stand-in for `rand` 0.8.
+//!
+//! Provides the exact subset this workspace uses: `rngs::SmallRng`
+//! (xoshiro256++ seeded via splitmix64), `SeedableRng::{seed_from_u64,
+//! from_seed}`, and `Rng::{gen_range, gen_bool, gen}` over half-open and
+//! inclusive integer ranges and half-open float ranges. Deterministic for a
+//! given seed, which is all the simulation and tests rely on.
+
+/// A core random number generator yielding raw `u32`/`u64` output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a standard-distribution type.
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard2<Self>,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform-sampling support types (subset of `rand::distributions`).
+pub mod distributions {
+    /// Range sampling (subset of `rand::distributions::uniform`).
+    ///
+    /// Mirrors real rand's structure — a single blanket `SampleRange` impl
+    /// per range shape tied to a `SampleUniform` element trait — because
+    /// that structure is what lets type inference flow from the surrounding
+    /// expression into unsuffixed range literals.
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Element types that support uniform sampling between two bounds.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Samples uniformly from `[start, end)`.
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self)
+                -> Self;
+            /// Samples uniformly from `[start, end]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self)
+                -> Self;
+        }
+
+        /// A range from which a single value can be sampled.
+        pub trait SampleRange<T> {
+            /// Samples one value uniformly from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "empty range in gen_range");
+                T::sample_half_open(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                T::sample_inclusive(rng, start, end)
+            }
+        }
+
+        macro_rules! impl_int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        start: Self,
+                        end: Self,
+                    ) -> Self {
+                        let span = (end as i128 - start as i128) as u128;
+                        let wide = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                        (start as i128 + (wide % span) as i128) as $t
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        start: Self,
+                        end: Self,
+                    ) -> Self {
+                        let span = (end as i128 - start as i128 + 1) as u128;
+                        let wide = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+                        (start as i128 + (wide % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        start: Self,
+                        end: Self,
+                    ) -> Self {
+                        let unit = crate::unit_f64(rng.next_u64()) as $t;
+                        start + unit * (end - start)
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        start: Self,
+                        end: Self,
+                    ) -> Self {
+                        let unit = crate::unit_f64(rng.next_u64()) as $t;
+                        start + unit * (end - start)
+                    }
+                }
+            )*};
+        }
+
+        impl_float_uniform!(f32, f64);
+    }
+
+    use crate::RngCore;
+
+    /// Standard-distribution sampling for `Rng::gen`.
+    pub trait Standard2<R: RngCore + ?Sized> {
+        /// Samples one value.
+        fn sample(rng: &mut R) -> Self;
+    }
+
+    impl<R: RngCore + ?Sized> Standard2<R> for bool {
+        fn sample(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<R: RngCore + ?Sized> Standard2<R> for f64 {
+        fn sample(rng: &mut R) -> f64 {
+            super::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl<R: RngCore + ?Sized> Standard2<R> for f32 {
+        fn sample(rng: &mut R) -> f32 {
+            super::unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    impl<R: RngCore + ?Sized> Standard2<R> for u64 {
+        fn sample(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl<R: RngCore + ?Sized> Standard2<R> for u32 {
+        fn sample(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+}
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // A xoshiro state of all zeros is a fixed point; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1usize..=7);
+            assert!((1..=7).contains(&w));
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let f = rng.gen_range(0.25f64..4.0);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_900..3_100).contains(&hits), "hits={hits}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+    }
+
+    #[test]
+    fn distributions_cover_all_int_widths() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _: u8 = rng.gen_range(0u8..255);
+        let _: u16 = rng.gen_range(0u16..65_000);
+        let _: u32 = rng.gen_range(0u32..4_000_000);
+        let _: i32 = rng.gen_range(-100i32..100);
+        let full: u64 = rng.gen_range(0u64..u64::MAX);
+        assert!(full < u64::MAX);
+        let b: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let _ = b;
+    }
+}
