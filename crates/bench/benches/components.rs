@@ -21,7 +21,7 @@ fn lru_cache(c: &mut Criterion) {
             let mut cache = LookupCache::new(1024);
             for k in &keys {
                 if cache.probe(k).is_none() {
-                    cache.insert(k.clone(), vec![Datum::Int(1)]);
+                    cache.insert(k.clone(), vec![Datum::Int(1)].into());
                 }
             }
             black_box(cache.miss_ratio())

@@ -1,0 +1,395 @@
+//! Wall-clock hot-path benchmark (`cargo run --release -p efind-bench --bin hotpath`).
+//!
+//! Unlike the figure benches — which report *virtual* SimTime — this
+//! harness measures real elapsed time of the framework hot paths over
+//! three representative workloads:
+//!
+//! * `wordcount` — plain MapReduce: map emit, shuffle partition, sort,
+//!   group, reduce (no index access at all).
+//! * `scanjoin` — the reduce-side TPC-H LineItem ⋈ Orders join: DFS
+//!   write, tagged shuffle, large reduce groups.
+//! * `lookup_heavy` — the synthetic join under the cache strategy: one
+//!   index lookup per record through `ChargedLookup`, the per-lookup
+//!   counter/sketch path, and the lookup cache.
+//!
+//! Results append to `BENCH_hotpath.json` as one labeled run:
+//! `{workload, wall_ms, peak_rss_kb, lookups_per_s, virtual_secs}`.
+//! `virtual_secs` is the *virtual* makespan — it must be bit-identical
+//! across hot-path rewrites (real-time optimizations must never move the
+//! simulated clock).
+//!
+//! `--check` re-measures every workload (median of 3) and exits nonzero
+//! if any wall-clock regresses more than 25% against the last committed
+//! run — the criterion-style regression gate wired into `scripts/ci.sh`.
+
+use std::time::Instant;
+
+use efind::{EFindConfig, EFindRuntime, Mode, Strategy};
+use efind_cluster::Cluster;
+use efind_common::{Datum, Record};
+use efind_dfs::{Dfs, DfsConfig};
+use efind_mapreduce::{mapper_fn, reducer_fn, run_job, JobConf};
+use efind_workloads::scanjoin::run_scan_join;
+use efind_workloads::synthetic::{self, SyntheticConfig};
+use efind_workloads::tpch::{self, TpchConfig};
+
+/// Wall-clock regression tolerance for `--check` (fraction over baseline).
+const CHECK_TOLERANCE: f64 = 0.25;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+struct WorkloadResult {
+    workload: String,
+    wall_ms: f64,
+    peak_rss_kb: u64,
+    lookups_per_s: f64,
+    virtual_secs: f64,
+}
+
+/// One labeled benchmark run (a row group in the JSON trajectory).
+#[derive(Clone, Debug)]
+struct BenchRun {
+    label: String,
+    iters: usize,
+    results: Vec<WorkloadResult>,
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut iters = 5usize;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => {
+                label = args
+                    .next()
+                    .unwrap_or_else(|| usage("--label needs a value"))
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a number"))
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--check" => check = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    if check {
+        std::process::exit(run_check(&out_path));
+    }
+
+    let run = measure_all(&label, iters.max(1));
+    print_table(&run);
+    let mut runs = parse_runs(&std::fs::read_to_string(&out_path).unwrap_or_default());
+    runs.push(run);
+    let json = render_json(&runs);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("hotpath: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("appended run to {out_path}");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("hotpath: {msg}");
+    eprintln!("usage: hotpath [--label NAME] [--iters N] [--out PATH] [--check]");
+    std::process::exit(2)
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+fn measure_all(label: &str, iters: usize) -> BenchRun {
+    let results = vec![
+        measure("wordcount", iters, bench_wordcount),
+        measure("scanjoin", iters, bench_scanjoin()),
+        measure("lookup_heavy", iters, bench_lookup_heavy),
+    ];
+    BenchRun {
+        label: label.to_owned(),
+        iters,
+        results,
+    }
+}
+
+/// Times `iters` runs of a workload and keeps the median wall-clock.
+/// The returned tuple from the workload closure is
+/// `(lookup keys served, virtual seconds)`.
+fn measure(name: &str, iters: usize, mut body: impl FnMut() -> (u64, f64)) -> WorkloadResult {
+    let mut walls = Vec::with_capacity(iters);
+    let mut lookups = 0u64;
+    let mut virtual_secs = 0.0f64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let (n, vs) = body();
+        walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        lookups = n;
+        virtual_secs = vs;
+    }
+    let wall_ms = median(&mut walls);
+    WorkloadResult {
+        workload: name.to_owned(),
+        wall_ms,
+        peak_rss_kb: peak_rss_kb(),
+        lookups_per_s: if wall_ms > 0.0 {
+            lookups as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        virtual_secs,
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_unstable_by(|a, b| a.total_cmp(b));
+    values[values.len() / 2]
+}
+
+/// Peak resident set size (VmHWM) in kB; 0 where /proc is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Plain wordcount: 120k words, 48 chunks, 8 reducers. Setup (input
+/// generation, DFS write) is untimed; only the job run is measured.
+fn bench_wordcount() -> (u64, f64) {
+    const VOCAB: [&str; 24] = [
+        "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "pack", "my", "box",
+        "with", "five", "dozen", "liquor", "jugs", "how", "vexingly", "daft", "zebras", "judge",
+        "sphinx", "of", "quartz",
+    ];
+    let cluster = Cluster::builder()
+        .nodes(8)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build();
+    let mut dfs = Dfs::new(
+        cluster.clone(),
+        DfsConfig {
+            chunk_size_bytes: 1 << 20,
+            replication: 2,
+            seed: 9,
+        },
+    );
+    let records: Vec<Record> = (0..120_000usize)
+        .map(|i| Record::new(i as i64, VOCAB[(i * 7919) % VOCAB.len()]))
+        .collect();
+    dfs.write_file_with_chunks("input", records, 48);
+    let conf = JobConf::new("wordcount", "input", "out")
+        .add_mapper(mapper_fn(|rec, out, _| {
+            out.collect(Record::new(rec.value.clone(), 1i64));
+        }))
+        .with_reducer(
+            reducer_fn(|key, values, out, _| {
+                let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                out.collect(Record::new(key, total));
+            }),
+            8,
+        );
+    let res = run_job(&cluster, &mut dfs, &conf).expect("wordcount failed");
+    (0, res.stats.makespan().as_secs_f64())
+}
+
+/// Reduce-side TPC-H join; the generated tables are shared across
+/// iterations, the timed section includes the tagged-input DFS write the
+/// scan join performs itself.
+fn bench_scanjoin() -> impl FnMut() -> (u64, f64) {
+    let data = tpch::generate(&TpchConfig {
+        scale: 0.01,
+        chunks: 40,
+        seed: 3,
+        ..TpchConfig::default()
+    });
+    let cluster = Cluster::edbt_testbed();
+    move || {
+        let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+        let (t, joined) =
+            run_scan_join(&cluster, &mut dfs, &data, 2_500, 40).expect("scan join failed");
+        assert!(joined > 0, "scan join joined nothing");
+        (0, t.as_secs_f64())
+    }
+}
+
+/// The lookup-heavy synthetic join under the cache strategy: 24k records,
+/// Θ = 10 duplicate keys, small payloads so the per-lookup framework path
+/// (counters, sketches, cache, charging) dominates. `lookups_per_s`
+/// reports requested keys (`nik`) per wall-clock second.
+fn bench_lookup_heavy() -> (u64, f64) {
+    let config = SyntheticConfig {
+        num_records: 24_000,
+        key_space: 2_400,
+        record_pad: 16,
+        index_value_size: 64,
+        chunks: 48,
+        ..SyntheticConfig::default()
+    };
+    let mut s = synthetic::scenario(&config);
+    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, EFindConfig::default());
+    let res = rt
+        .run(&s.ijob, Mode::Uniform(Strategy::Cache))
+        .expect("synthetic join failed");
+    let served: i64 = res
+        .jobs
+        .iter()
+        .map(|j| j.counters.get("efind.synjoin.0.nik"))
+        .sum();
+    (served.max(0) as u64, res.total_time.as_secs_f64())
+}
+
+// ---------------------------------------------------------------------
+// Regression check
+// ---------------------------------------------------------------------
+
+fn run_check(out_path: &str) -> i32 {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        eprintln!("hotpath --check: no baseline file {out_path}");
+        return 2;
+    };
+    let runs = parse_runs(&text);
+    let Some(baseline) = runs.last() else {
+        eprintln!("hotpath --check: {out_path} contains no runs");
+        return 2;
+    };
+    println!(
+        "checking against run \"{}\" ({} workloads), tolerance {:.0}%",
+        baseline.label,
+        baseline.results.len(),
+        CHECK_TOLERANCE * 100.0
+    );
+    // A single iteration is too noisy to gate on: take a median of 3,
+    // like the recording path.
+    let fresh = measure_all("check", 3);
+    let mut failed = false;
+    for now in &fresh.results {
+        let Some(base) = baseline.results.iter().find(|b| b.workload == now.workload) else {
+            println!(
+                "  {:<14} {:>9.1} ms  (no baseline, skipped)",
+                now.workload, now.wall_ms
+            );
+            continue;
+        };
+        let limit = base.wall_ms * (1.0 + CHECK_TOLERANCE);
+        let ok = now.wall_ms <= limit;
+        println!(
+            "  {:<14} {:>9.1} ms vs baseline {:>9.1} ms (limit {:>9.1})  {}",
+            now.workload,
+            now.wall_ms,
+            base.wall_ms,
+            limit,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "hotpath --check: wall-clock regression over {:.0}% detected",
+            CHECK_TOLERANCE * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn print_table(run: &BenchRun) {
+    println!(
+        "hotpath run \"{}\" ({} iters, median wall-clock):",
+        run.label, run.iters
+    );
+    for r in &run.results {
+        println!(
+            "  {:<14} {:>9.1} ms   rss {:>8} kB   {:>12.0} lookups/s   virtual {:.6} s",
+            r.workload, r.wall_ms, r.peak_rss_kb, r.lookups_per_s, r.virtual_secs
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled: the workspace vendors no serde; the format keeps one
+// result object per line so parsing stays a line scan)
+// ---------------------------------------------------------------------
+
+fn render_json(runs: &[BenchRun]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"hotpath\",\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"label\": \"{}\", \"iters\": {}, \"results\": [",
+            run.label, run.iters
+        );
+        for (j, r) in run.results.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      {{ \"workload\": \"{}\", \"wall_ms\": {:.3}, \"peak_rss_kb\": {}, \
+                 \"lookups_per_s\": {:.1}, \"virtual_secs\": {:.9} }}{}",
+                r.workload,
+                r.wall_ms,
+                r.peak_rss_kb,
+                r.lookups_per_s,
+                r.virtual_secs,
+                if j + 1 == run.results.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(s, "    ] }}{}", if i + 1 == runs.len() { "" } else { "," });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn parse_runs(text: &str) -> Vec<BenchRun> {
+    let mut runs: Vec<BenchRun> = Vec::new();
+    for line in text.lines() {
+        if let Some(label) = extract_str(line, "label") {
+            runs.push(BenchRun {
+                label,
+                iters: extract_num(line, "iters").unwrap_or(1.0) as usize,
+                results: Vec::new(),
+            });
+        } else if let Some(workload) = extract_str(line, "workload") {
+            if let Some(run) = runs.last_mut() {
+                run.results.push(WorkloadResult {
+                    workload,
+                    wall_ms: extract_num(line, "wall_ms").unwrap_or(0.0),
+                    peak_rss_kb: extract_num(line, "peak_rss_kb").unwrap_or(0.0) as u64,
+                    lookups_per_s: extract_num(line, "lookups_per_s").unwrap_or(0.0),
+                    virtual_secs: extract_num(line, "virtual_secs").unwrap_or(0.0),
+                });
+            }
+        }
+    }
+    runs
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -1,0 +1,98 @@
+//! A global string interner for counter and sketch names.
+//!
+//! EFind charges every lookup, shuffle byte, and cache probe to a *named*
+//! counter (§4.2). Those names are built from a small set of templates
+//! (`efind.op.N.lookups`, `efind.op.N.idx.J.nik`, …), so resolving each
+//! one to a dense [`Symbol`] once — and paying a `u32` hash instead of a
+//! `String` allocation plus byte-wise hash per increment — removes the
+//! framework's dominant real-time cost without changing any virtual-time
+//! observable.
+//!
+//! The table is append-only and process-global: a `Symbol` never moves and
+//! is valid for the life of the process, which is what lets
+//! `CounterHandle`s in `efind-mapreduce` be `Copy` and lets hot paths hold
+//! them across task boundaries. [`table_len`] exposes the table size so
+//! tests can prove a hot path performs *zero* interner growth (and hence
+//! no name allocation) at steady state.
+
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::FxHashMap;
+
+/// A dense id for an interned string. Cheap to copy, hash, and compare;
+/// resolves back to its text via [`resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dense index of this symbol in the global table.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct InternTable {
+    by_name: FxHashMap<Arc<str>, u32>,
+    by_id: Vec<Arc<str>>,
+}
+
+fn table() -> &'static RwLock<InternTable> {
+    static TABLE: OnceLock<RwLock<InternTable>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(InternTable::default()))
+}
+
+/// Interns `name`, returning its stable [`Symbol`]. Idempotent: the same
+/// text always maps to the same symbol. Allocates only the first time a
+/// given name is seen.
+pub fn intern(name: &str) -> Symbol {
+    let t = table();
+    if let Some(&id) = t.read().expect("intern table poisoned").by_name.get(name) {
+        return Symbol(id);
+    }
+    let mut w = t.write().expect("intern table poisoned");
+    if let Some(&id) = w.by_name.get(name) {
+        return Symbol(id);
+    }
+    let id = u32::try_from(w.by_id.len()).expect("interner overflow");
+    let arc: Arc<str> = Arc::from(name);
+    w.by_id.push(arc.clone());
+    w.by_name.insert(arc, id);
+    Symbol(id)
+}
+
+/// Returns the text of an interned symbol as a shared handle.
+pub fn resolve(sym: Symbol) -> Arc<str> {
+    table().read().expect("intern table poisoned").by_id[sym.0 as usize].clone()
+}
+
+/// Number of distinct strings interned so far. A hot path that is
+/// allocation-free on names leaves this unchanged.
+pub fn table_len() -> usize {
+    table().read().expect("intern table poisoned").by_id.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let a = intern("intern.test.alpha");
+        let b = intern("intern.test.beta");
+        assert_ne!(a, b);
+        assert_eq!(a, intern("intern.test.alpha"));
+        assert_eq!(&*resolve(a), "intern.test.alpha");
+        assert_eq!(&*resolve(b), "intern.test.beta");
+    }
+
+    #[test]
+    fn reinterning_does_not_grow_table() {
+        intern("intern.test.stable");
+        let before = table_len();
+        for _ in 0..1_000 {
+            intern("intern.test.stable");
+        }
+        assert_eq!(table_len(), before);
+    }
+}

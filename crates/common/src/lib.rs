@@ -18,10 +18,12 @@ pub mod error;
 pub mod fm;
 pub mod fmtutil;
 pub mod hash;
+pub mod intern;
 pub mod record;
 
 pub use datum::{Datum, KeyKind};
 pub use error::{Error, Result};
 pub use fm::FmSketch;
 pub use hash::{fx_hash_bytes, fx_hash_datum, FxHashMap, FxHashSet, FxHasher};
+pub use intern::Symbol;
 pub use record::Record;

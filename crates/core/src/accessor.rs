@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use efind_cluster::{NetworkModel, NodeId, SimDuration};
 use efind_common::{Datum, KeyKind};
-use efind_mapreduce::TaskCtx;
+use efind_mapreduce::{CounterHandle, TaskCtx};
 
 /// How a distributed index is partitioned, and where partitions live.
 pub trait PartitionScheme: Send + Sync {
@@ -83,15 +83,33 @@ pub struct ChargedLookup {
     network: NetworkModel,
     /// Counter prefix, `efind.<operator>.<index>.`.
     prefix: String,
+    /// Per-index counter names, resolved once at construction so the
+    /// per-lookup path never formats or allocates a name.
+    c_lookups: CounterHandle,
+    c_sik_bytes: CounterHandle,
+    c_siv_bytes: CounterHandle,
+    c_tj_nanos: CounterHandle,
+    c_nik: CounterHandle,
+    c_key_bytes: CounterHandle,
+    c_distinct: CounterHandle,
 }
 
 impl ChargedLookup {
     /// Creates a charging wrapper; `prefix` follows the
-    /// `efind.<operator>.<index>.` convention.
+    /// `efind.<operator>.<index>.` convention. All per-lookup counter
+    /// names are interned here, once.
     pub fn new(accessor: Arc<dyn IndexAccessor>, network: NetworkModel, prefix: String) -> Self {
+        let h = |suffix: &str| CounterHandle::new(&format!("{prefix}{suffix}"));
         ChargedLookup {
             accessor,
             network,
+            c_lookups: h("lookups"),
+            c_sik_bytes: h("sik.bytes"),
+            c_siv_bytes: h("siv.bytes"),
+            c_tj_nanos: h("tj.nanos"),
+            c_nik: h("nik"),
+            c_key_bytes: h("key.bytes"),
+            c_distinct: h("distinct"),
             prefix,
         }
     }
@@ -107,9 +125,10 @@ impl ChargedLookup {
     }
 
     /// Performs one real lookup, charging virtual time and updating
-    /// statistics counters on `ctx`.
-    pub fn lookup(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Vec<Datum> {
-        let values = self.accessor.lookup(key);
+    /// statistics counters on `ctx`. The result list is a shared handle
+    /// suitable for caching without deep copies.
+    pub fn lookup(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Arc<[Datum]> {
+        let values: Arc<[Datum]> = self.accessor.lookup(key).into();
         let sik = key.size_bytes();
         let siv: u64 = values.iter().map(Datum::size_bytes).sum();
         let serve = self.accessor.serve_time(key, siv);
@@ -123,26 +142,19 @@ impl ChargedLookup {
                 ctx.charge_affinity_penalty(transfer);
             }
         }
-        ctx.counters.add(&format!("{}lookups", self.prefix), 1);
-        ctx.counters
-            .add(&format!("{}sik.bytes", self.prefix), sik as i64);
-        ctx.counters
-            .add(&format!("{}siv.bytes", self.prefix), siv as i64);
-        ctx.counters
-            .add(&format!("{}tj.nanos", self.prefix), serve.as_nanos() as i64);
+        ctx.counters.bump(self.c_lookups, 1);
+        ctx.counters.bump(self.c_sik_bytes, sik as i64);
+        ctx.counters.bump(self.c_siv_bytes, siv as i64);
+        ctx.counters.bump(self.c_tj_nanos, serve.as_nanos() as i64);
         values
     }
 
     /// Records one requested key (before caching/dedup) for `Nik` and the
     /// Θ distinct-count sketch.
     pub fn note_key(&self, key: &Datum, ctx: &mut TaskCtx) {
-        ctx.counters.add(&format!("{}nik", self.prefix), 1);
-        ctx.counters.add(
-            &format!("{}key.bytes", self.prefix),
-            key.size_bytes() as i64,
-        );
-        ctx.sketches
-            .observe(&format!("{}distinct", self.prefix), key);
+        ctx.counters.bump(self.c_nik, 1);
+        ctx.counters.bump(self.c_key_bytes, key.size_bytes() as i64);
+        ctx.sketches.observe_handle(self.c_distinct, key);
     }
 }
 
@@ -204,7 +216,7 @@ mod tests {
         let cl = charged();
         let mut ctx = TaskCtx::new(0);
         let vals = cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
-        assert_eq!(vals, vec![Datum::Text("alice".into())]);
+        assert_eq!(vals[..], [Datum::Text("alice".into())]);
         assert!(ctx.charged() >= SimDuration::from_micros(100));
         assert_eq!(ctx.affinity_penalty(), SimDuration::ZERO);
         assert_eq!(ctx.counters.get("efind.op.0.lookups"), 1);
@@ -234,6 +246,26 @@ mod tests {
             .lookup(&Datum::Int(99), LookupMode::Remote, &mut ctx)
             .is_empty());
         assert_eq!(ctx.counters.get("efind.op.0.siv.bytes"), 0);
+    }
+
+    #[test]
+    fn per_lookup_counter_path_is_allocation_free() {
+        // Acceptance criterion: once a ChargedLookup has resolved its
+        // handles, 10k lookups + key notes must not grow the intern
+        // table — i.e. the per-lookup counter path allocates no names.
+        let cl = charged();
+        let mut ctx = TaskCtx::new(0);
+        cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        cl.note_key(&Datum::Int(1), &mut ctx);
+        let before = efind_common::intern::table_len();
+        for i in 0..10_000i64 {
+            let key = Datum::Int(i % 7);
+            cl.note_key(&key, &mut ctx);
+            cl.lookup(&key, LookupMode::Remote, &mut ctx);
+        }
+        assert_eq!(efind_common::intern::table_len(), before);
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 10_001);
+        assert_eq!(ctx.counters.get("efind.op.0.nik"), 10_001);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! there is a miss in the lookup cache."* The cache holds a fixed number of
 //! key→value entries (1024 in the paper's experiments).
 
+use std::sync::Arc;
+
 use efind_common::{Datum, FxHashMap};
 
 /// Intrusive doubly-linked LRU list over a slab of entries.
@@ -137,8 +139,12 @@ impl<V> LruMap<V> {
 }
 
 /// The lookup cache: an LRU of key → result lists, with hit statistics.
+///
+/// Result lists are stored as `Arc<[Datum]>` so a probe hit hands back a
+/// shared handle — no deep copy of the cached values, regardless of how
+/// large the result list is.
 pub struct LookupCache {
-    lru: LruMap<Vec<Datum>>,
+    lru: LruMap<Arc<[Datum]>>,
     probes: u64,
     hits: u64,
 }
@@ -156,8 +162,9 @@ impl LookupCache {
         }
     }
 
-    /// Probes for `key`; returns the cached result list on a hit.
-    pub fn probe(&mut self, key: &Datum) -> Option<Vec<Datum>> {
+    /// Probes for `key`; returns a shared handle to the cached result
+    /// list on a hit (an `Arc` refcount bump, not a value clone).
+    pub fn probe(&mut self, key: &Datum) -> Option<Arc<[Datum]>> {
         self.probes += 1;
         let hit = self.lru.get(key).cloned();
         if hit.is_some() {
@@ -167,7 +174,7 @@ impl LookupCache {
     }
 
     /// Inserts a freshly looked-up result.
-    pub fn insert(&mut self, key: Datum, values: Vec<Datum>) {
+    pub fn insert(&mut self, key: Datum, values: Arc<[Datum]>) {
         self.lru.insert(key, values);
     }
 
@@ -253,8 +260,8 @@ mod tests {
     fn hit_and_miss() {
         let mut c = LookupCache::new(4);
         assert!(c.probe(&k(1)).is_none());
-        c.insert(k(1), vec![k(10)]);
-        assert_eq!(c.probe(&k(1)), Some(vec![k(10)]));
+        c.insert(k(1), vec![k(10)].into());
+        assert_eq!(c.probe(&k(1)).as_deref(), Some(&[k(10)][..]));
         assert_eq!(c.probes(), 2);
         assert_eq!(c.hits(), 1);
         assert!((c.miss_ratio() - 0.5).abs() < 1e-9);
@@ -336,7 +343,7 @@ mod tests {
         for key in &stream {
             shadow.observe(key);
             if real.probe(key).is_none() {
-                real.insert(key.clone(), vec![]);
+                real.insert(key.clone(), Vec::new().into());
             }
         }
         assert!((real.miss_ratio() - shadow.miss_ratio()).abs() < 1e-12);

@@ -8,9 +8,25 @@
 //! normally, the lookup key `ik_j` while shuffling for index `j`), so the
 //! unmodified MapReduce shuffle machinery moves it.
 
+use std::sync::Arc;
+
 use efind_common::{Datum, Error, Record, Result};
 
 use crate::operator::IndexOutput;
+
+/// Moves a shared result list into an owned `Vec`. When the handle is the
+/// last reference (the common baseline/fresh-lookup case) the elements are
+/// moved out; only a list still shared with a cache entry is deep-cloned —
+/// exactly where the seed implementation cloned too.
+fn unshare_list(mut list: Arc<[Datum]>) -> Vec<Datum> {
+    match Arc::get_mut(&mut list) {
+        Some(slice) => slice
+            .iter_mut()
+            .map(|d| std::mem::replace(d, Datum::Null))
+            .collect(),
+        None => list.to_vec(),
+    }
+}
 
 /// The in-flight state of one record inside an index operator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,8 +37,10 @@ pub struct Carrier {
     pub v1: Datum,
     /// Per-index lookup key lists.
     pub keys: Vec<Vec<Datum>>,
-    /// Per-index lookup results; `None` until the index is accessed.
-    pub values: Vec<Option<Vec<Vec<Datum>>>>,
+    /// Per-index lookup results; `None` until the index is accessed. Each
+    /// per-key result list is a shared handle so cache hits and group
+    /// fan-out don't deep-copy values.
+    pub values: Vec<Option<Vec<Arc<[Datum]>>>>,
 }
 
 impl Carrier {
@@ -45,7 +63,12 @@ impl Carrier {
                 .into_iter()
                 .map(|v| match v {
                     None => Datum::Null,
-                    Some(per_key) => Datum::List(per_key.into_iter().map(Datum::List).collect()),
+                    Some(per_key) => Datum::List(
+                        per_key
+                            .into_iter()
+                            .map(|list| Datum::List(unshare_list(list)))
+                            .collect(),
+                    ),
                 })
                 .collect(),
         );
@@ -95,6 +118,7 @@ impl Carrier {
                     .into_iter()
                     .map(|pk| {
                         pk.into_list()
+                            .map(Arc::from)
                             .ok_or_else(|| Error::Decode("carrier value list malformed".into()))
                     })
                     .collect::<Result<Vec<_>>>()
@@ -111,6 +135,36 @@ impl Carrier {
             keys,
             values,
         })
+    }
+
+    /// Serialized size of the record [`Carrier::into_record`] would build
+    /// with `routing`, computed without building it. Fused (in-memory)
+    /// stages use this to bump the same byte counters the staged pipeline
+    /// derives from real intermediate records.
+    pub fn record_size_bytes(&self, routing: &Datum) -> u64 {
+        const LIST: u64 = 5; // Datum::List header (see Datum::size_bytes)
+        let keys: u64 = LIST
+            + self
+                .keys
+                .iter()
+                .map(|list| LIST + list.iter().map(Datum::size_bytes).sum::<u64>())
+                .sum::<u64>();
+        let values: u64 = LIST
+            + self
+                .values
+                .iter()
+                .map(|v| match v {
+                    None => Datum::Null.size_bytes(),
+                    Some(per_key) => {
+                        LIST + per_key
+                            .iter()
+                            .map(|list| LIST + list.iter().map(Datum::size_bytes).sum::<u64>())
+                            .sum::<u64>()
+                    }
+                })
+                .sum::<u64>();
+        let payload = LIST + self.k1.size_bytes() + self.v1.size_bytes() + keys + values;
+        routing.size_bytes() + payload
     }
 
     /// The single lookup key for index `j`, required by shuffle strategies
@@ -169,7 +223,7 @@ mod tests {
                 vec![Datum::Text("a".into()), Datum::Text("b".into())],
             ],
         );
-        c.values[0] = Some(vec![vec![Datum::Int(100), Datum::Int(200)]]);
+        c.values[0] = Some(vec![vec![Datum::Int(100), Datum::Int(200)].into()]);
         c
     }
 
@@ -192,6 +246,22 @@ mod tests {
     }
 
     #[test]
+    fn record_size_matches_built_record() {
+        let mut c = sample();
+        for routing in [Datum::Int(10), Datum::Text("route".into()), Datum::Null] {
+            assert_eq!(
+                c.record_size_bytes(&routing),
+                c.clone().into_record(routing.clone()).size_bytes(),
+            );
+        }
+        c.values[1] = Some(vec![Vec::new().into(), vec![Datum::Int(1)].into()]);
+        assert_eq!(
+            c.record_size_bytes(&Datum::Int(3)),
+            c.clone().into_record(Datum::Int(3)).size_bytes(),
+        );
+    }
+
+    #[test]
     fn single_key_enforced() {
         let c = sample();
         assert_eq!(c.single_key(0).unwrap(), &Datum::Int(10));
@@ -202,10 +272,10 @@ mod tests {
     fn post_input_requires_complete() {
         let mut c = sample();
         assert!(c.clone().into_post_input().is_err());
-        c.values[1] = Some(vec![vec![], vec![Datum::Int(1)]]);
+        c.values[1] = Some(vec![Vec::new().into(), vec![Datum::Int(1)].into()]);
         let (rec, out) = c.into_post_input().unwrap();
         assert_eq!(rec, Record::new(1i64, "v"));
-        assert_eq!(out.get(1)[1], vec![Datum::Int(1)]);
+        assert_eq!(out.get(1)[1][..], [Datum::Int(1)]);
     }
 
     #[test]

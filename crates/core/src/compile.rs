@@ -22,8 +22,8 @@ use std::sync::Arc;
 use efind_cluster::{NetworkModel, SimDuration};
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
-    partition::partitioner_fn, Collector, HashPartitioner, JobConf, Mapper, MapperFactory,
-    Partitioner, Reducer, ReducerFactory, TaskCtx,
+    partition::partitioner_fn, Collector, CounterHandle, HashPartitioner, JobConf, Mapper,
+    MapperFactory, Partitioner, Reducer, ReducerFactory, TaskCtx,
 };
 
 use crate::accessor::{ChargedLookup, LookupMode, PartitionScheme};
@@ -62,6 +62,17 @@ enum Stage {
     Mapwise { factory: MapperFactory, heavy: bool },
     /// A shuffle boundary with its group-processing function.
     Shuffle(ShuffleSpec),
+    /// A whole operator whose indices all use non-shuffle strategies,
+    /// compiled twice: `fused` runs pre → lookups → post on one in-memory
+    /// carrier (no intermediate record serialization); `staged` is the
+    /// equivalent chain of individual stages. Assembly picks `fused` only
+    /// in a plain map context — behind an open shuffle the staged split
+    /// (pre into the reduce, lookups into the next job's map) is part of
+    /// the job structure and must be preserved.
+    Fusable {
+        fused: MapperFactory,
+        staged: Vec<Stage>,
+    },
 }
 
 fn light(factory: MapperFactory) -> Stage {
@@ -104,21 +115,49 @@ pub struct CompiledPipeline {
 // Stage implementations
 // ---------------------------------------------------------------------
 
+/// Pre-resolved counter names for one [`PreMapper`] — interned once per
+/// operator at compile time so the per-record path never formats a name.
+#[derive(Clone)]
+struct PreHandles {
+    n1: CounterHandle,
+    s1_bytes: CounterHandle,
+    spre_bytes: CounterHandle,
+    irregular: Vec<CounterHandle>,
+    shadow_probes: Vec<CounterHandle>,
+    shadow_hits: Vec<CounterHandle>,
+}
+
+impl PreHandles {
+    fn new(opname: &str, num_indices: usize) -> Self {
+        PreHandles {
+            n1: CounterHandle::new(&names::op(opname, "n1")),
+            s1_bytes: CounterHandle::new(&names::op(opname, "s1.bytes")),
+            spre_bytes: CounterHandle::new(&names::op(opname, "spre.bytes")),
+            irregular: (0..num_indices)
+                .map(|j| CounterHandle::new(&names::idx(opname, j, "nik.irregular")))
+                .collect(),
+            shadow_probes: (0..num_indices)
+                .map(|j| CounterHandle::new(&names::idx(opname, j, "shadow.probes")))
+                .collect(),
+            shadow_hits: (0..num_indices)
+                .map(|j| CounterHandle::new(&names::idx(opname, j, "shadow.hits")))
+                .collect(),
+        }
+    }
+}
+
 /// `preProcess` + statistics: emits carrier records.
 struct PreMapper {
     op: Arc<dyn IndexOperator>,
-    opname: String,
     charged: Arc<Vec<Arc<ChargedLookup>>>,
     shadows: Vec<ShadowCache>,
+    h: PreHandles,
 }
 
 impl Mapper for PreMapper {
     fn map(&mut self, mut rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
-        ctx.counters.add(&names::op(&self.opname, "n1"), 1);
-        ctx.counters.add(
-            &names::op(&self.opname, "s1.bytes"),
-            rec.size_bytes() as i64,
-        );
+        ctx.counters.bump(self.h.n1, 1);
+        ctx.counters.bump(self.h.s1_bytes, rec.size_bytes() as i64);
         let mut keys = IndexInput::new(self.charged.len());
         self.op.pre_process(&mut rec, &mut keys);
         let key_lists = keys.into_keys();
@@ -128,29 +167,22 @@ impl Mapper for PreMapper {
                 self.shadows[j].observe(key);
             }
             if list.len() != 1 {
-                ctx.counters
-                    .add(&names::idx(&self.opname, j, "nik.irregular"), 1);
+                ctx.counters.bump(self.h.irregular[j], 1);
             }
         }
         let routing = rec.key.clone();
         let crec = Carrier::new(rec.key, rec.value, key_lists).into_record(routing);
-        ctx.counters.add(
-            &names::op(&self.opname, "spre.bytes"),
-            crec.size_bytes() as i64,
-        );
+        ctx.counters
+            .bump(self.h.spre_bytes, crec.size_bytes() as i64);
         out.collect(crec);
     }
 
     fn flush(&mut self, _out: &mut dyn Collector, ctx: &mut TaskCtx) {
         for (j, shadow) in self.shadows.iter().enumerate() {
-            ctx.counters.add(
-                &names::idx(&self.opname, j, "shadow.probes"),
-                shadow.probes() as i64,
-            );
-            ctx.counters.add(
-                &names::idx(&self.opname, j, "shadow.hits"),
-                shadow.hits() as i64,
-            );
+            ctx.counters
+                .bump(self.h.shadow_probes[j], shadow.probes() as i64);
+            ctx.counters
+                .bump(self.h.shadow_hits[j], shadow.hits() as i64);
         }
     }
 }
@@ -161,6 +193,8 @@ struct DirectLookupMapper {
     slot: usize,
     cache: Option<LookupCache>,
     t_cache: SimDuration,
+    c_cache_probes: CounterHandle,
+    c_cache_hits: CounterHandle,
 }
 
 impl Mapper for DirectLookupMapper {
@@ -173,6 +207,8 @@ impl Mapper for DirectLookupMapper {
         let keys = std::mem::take(&mut carrier.keys[self.slot]);
         let mut results = Vec::with_capacity(keys.len());
         for key in &keys {
+            // Hits and fresh-insert clones are Arc refcount bumps; the
+            // cached value list itself is never deep-copied here.
             let values = match self.cache.as_mut() {
                 Some(cache) => match cache.probe(key) {
                     Some(hit) => hit,
@@ -195,14 +231,9 @@ impl Mapper for DirectLookupMapper {
         if let Some(cache) = &self.cache {
             // Probe time is charged in bulk: probes × T_cache (Eq. 2).
             ctx.charge(self.t_cache * cache.probes());
-            ctx.counters.add(
-                &format!("{}cache.probes", self.charged.prefix()),
-                cache.probes() as i64,
-            );
-            ctx.counters.add(
-                &format!("{}cache.hits", self.charged.prefix()),
-                cache.hits() as i64,
-            );
+            ctx.counters
+                .bump(self.c_cache_probes, cache.probes() as i64);
+            ctx.counters.bump(self.c_cache_hits, cache.hits() as i64);
         }
     }
 }
@@ -272,15 +303,15 @@ impl Reducer for LookupGroupReducer {
 /// `postProcess` + statistics: consumes filled carriers.
 struct PostMapper {
     op: Arc<dyn IndexOperator>,
-    opname: String,
+    c_sidx_bytes: CounterHandle,
+    c_spost_bytes: CounterHandle,
+    c_post_out: CounterHandle,
 }
 
 impl Mapper for PostMapper {
     fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
-        ctx.counters.add(
-            &names::op(&self.opname, "sidx.bytes"),
-            rec.size_bytes() as i64,
-        );
+        ctx.counters
+            .bump(self.c_sidx_bytes, rec.size_bytes() as i64);
         let carrier = match Carrier::from_value(rec.value) {
             Ok(c) => c,
             Err(e) => return ctx.fail(format!("post stage: {e}")),
@@ -292,24 +323,142 @@ impl Mapper for PostMapper {
         let mut buf: Vec<Record> = Vec::new();
         self.op.post_process(prec, &iout, &mut buf);
         let bytes: u64 = buf.iter().map(Record::size_bytes).sum();
-        ctx.counters
-            .add(&names::op(&self.opname, "spost.bytes"), bytes as i64);
-        ctx.counters
-            .add(&names::op(&self.opname, "post.out"), buf.len() as i64);
+        ctx.counters.bump(self.c_spost_bytes, bytes as i64);
+        ctx.counters.bump(self.c_post_out, buf.len() as i64);
         for r in buf {
             out.collect(r);
         }
     }
 }
 
+/// One direct-lookup slot of a [`FusedLookupMapper`], in plan order.
+struct FusedSlot {
+    charged: Arc<ChargedLookup>,
+    slot: usize,
+    cache: Option<LookupCache>,
+    t_cache: SimDuration,
+    c_cache_probes: CounterHandle,
+    c_cache_hits: CounterHandle,
+}
+
+/// A whole operator fused into one record-wise function: `pre_process`,
+/// direct lookups for every index, and `post_process` run on a single
+/// in-memory [`Carrier`] — no intermediate record serialization between
+/// stages. Counter values (including the `spre`/`sidx` byte statistics,
+/// computed via [`Carrier::record_size_bytes`]) and per-slot cache/shadow
+/// key sequences are identical to the staged pipeline's.
+struct FusedLookupMapper {
+    op: Arc<dyn IndexOperator>,
+    charged: Arc<Vec<Arc<ChargedLookup>>>,
+    shadows: Vec<ShadowCache>,
+    h: PreHandles,
+    lookups: Vec<FusedSlot>,
+    c_sidx_bytes: CounterHandle,
+    c_spost_bytes: CounterHandle,
+    c_post_out: CounterHandle,
+}
+
+impl Mapper for FusedLookupMapper {
+    fn map(&mut self, mut rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        // preProcess + statistics (mirrors PreMapper).
+        ctx.counters.bump(self.h.n1, 1);
+        ctx.counters.bump(self.h.s1_bytes, rec.size_bytes() as i64);
+        let mut keys = IndexInput::new(self.charged.len());
+        self.op.pre_process(&mut rec, &mut keys);
+        let key_lists = keys.into_keys();
+        for (j, list) in key_lists.iter().enumerate() {
+            for key in list {
+                self.charged[j].note_key(key, ctx);
+                self.shadows[j].observe(key);
+            }
+            if list.len() != 1 {
+                ctx.counters.bump(self.h.irregular[j], 1);
+            }
+        }
+        let mut carrier = Carrier::new(rec.key, rec.value, key_lists);
+        // The staged PreMapper routes by the original key (= k1 here).
+        ctx.counters.bump(
+            self.h.spre_bytes,
+            carrier.record_size_bytes(&carrier.k1) as i64,
+        );
+
+        // Direct lookups per slot (mirrors DirectLookupMapper).
+        for fs in &mut self.lookups {
+            let keys = std::mem::take(&mut carrier.keys[fs.slot]);
+            let mut results = Vec::with_capacity(keys.len());
+            for key in &keys {
+                let values = match fs.cache.as_mut() {
+                    Some(cache) => match cache.probe(key) {
+                        Some(hit) => hit,
+                        None => {
+                            let fresh = fs.charged.lookup(key, LookupMode::Remote, ctx);
+                            cache.insert(key.clone(), fresh.clone());
+                            fresh
+                        }
+                    },
+                    None => fs.charged.lookup(key, LookupMode::Remote, ctx),
+                };
+                results.push(values);
+            }
+            carrier.keys[fs.slot] = keys;
+            carrier.values[fs.slot] = Some(results);
+        }
+        ctx.counters.bump(
+            self.c_sidx_bytes,
+            carrier.record_size_bytes(&carrier.k1) as i64,
+        );
+
+        // postProcess + statistics (mirrors PostMapper).
+        let (prec, iout) = match carrier.into_post_input() {
+            Ok(v) => v,
+            Err(e) => return ctx.fail(e.to_string()),
+        };
+        let mut buf: Vec<Record> = Vec::new();
+        self.op.post_process(prec, &iout, &mut buf);
+        let bytes: u64 = buf.iter().map(Record::size_bytes).sum();
+        ctx.counters.bump(self.c_spost_bytes, bytes as i64);
+        ctx.counters.bump(self.c_post_out, buf.len() as i64);
+        for r in buf {
+            out.collect(r);
+        }
+    }
+
+    fn flush(&mut self, _out: &mut dyn Collector, ctx: &mut TaskCtx) {
+        for (j, shadow) in self.shadows.iter().enumerate() {
+            ctx.counters
+                .bump(self.h.shadow_probes[j], shadow.probes() as i64);
+            ctx.counters
+                .bump(self.h.shadow_hits[j], shadow.hits() as i64);
+        }
+        for fs in &self.lookups {
+            if let Some(cache) = &fs.cache {
+                ctx.charge(fs.t_cache * cache.probes());
+                ctx.counters.bump(fs.c_cache_probes, cache.probes() as i64);
+                ctx.counters.bump(fs.c_cache_hits, cache.hits() as i64);
+            }
+        }
+    }
+}
+
 /// Counts the original Map's output (the `Smap` statistic).
-struct MapOutCounter;
+struct MapOutCounter {
+    c_records: CounterHandle,
+    c_bytes: CounterHandle,
+}
+
+impl MapOutCounter {
+    fn new() -> Self {
+        MapOutCounter {
+            c_records: CounterHandle::new(names::MAPOUT_RECORDS),
+            c_bytes: CounterHandle::new(names::MAPOUT_BYTES),
+        }
+    }
+}
 
 impl Mapper for MapOutCounter {
     fn map(&mut self, rec: Record, out: &mut dyn Collector, ctx: &mut TaskCtx) {
-        ctx.counters.add(names::MAPOUT_RECORDS, 1);
-        ctx.counters
-            .add(names::MAPOUT_BYTES, rec.size_bytes() as i64);
+        ctx.counters.bump(self.c_records, 1);
+        ctx.counters.bump(self.c_bytes, rec.size_bytes() as i64);
         out.collect(rec);
     }
 }
@@ -347,27 +496,43 @@ fn compile_operator(
         )));
     }
 
+    let mut op_stages: Vec<Stage> = Vec::new();
+    let pre_handles = PreHandles::new(&opname, charged.len());
+    // The shadow cache must mirror the real lookup cache's capacity,
+    // or the miss ratio R it reports misleads the planner.
+    let shadow_capacity = env.cache_capacity;
+
     // preProcess stage.
     {
         let op = bound.op.clone();
-        let opname = opname.clone();
         let charged = charged.clone();
-        // The shadow cache must mirror the real lookup cache's capacity,
-        // or the miss ratio R it reports misleads the planner.
-        let shadow_capacity = env.cache_capacity;
-        stages.push(light(Arc::new(move || {
+        let h = pre_handles.clone();
+        op_stages.push(light(Arc::new(move || {
             Box::new(PreMapper {
                 op: op.clone(),
-                opname: opname.clone(),
                 charged: charged.clone(),
                 shadows: (0..charged.len())
                     .map(|_| ShadowCache::new(shadow_capacity))
                     .collect(),
+                h: h.clone(),
             })
         })));
     }
 
-    // Lookup stages, in plan order.
+    // Lookup stages, in plan order. Direct (non-shuffle) choices are also
+    // collected for the fused single-pass form of the operator.
+    let all_direct = plan
+        .choices
+        .iter()
+        .all(|c| matches!(c.strategy, Strategy::Baseline | Strategy::Cache));
+    struct DirectConfig {
+        charged: Arc<ChargedLookup>,
+        slot: usize,
+        with_cache: bool,
+        c_cache_probes: CounterHandle,
+        c_cache_hits: CounterHandle,
+    }
+    let mut direct_configs: Vec<DirectConfig> = Vec::new();
     for choice in &plan.choices {
         let slot = choice.index;
         let cl = charged[slot].clone();
@@ -376,12 +541,25 @@ fn compile_operator(
                 let with_cache = choice.strategy == Strategy::Cache;
                 let t_cache = env.t_cache;
                 let capacity = env.cache_capacity;
-                stages.push(heavy(Arc::new(move || {
+                let c_cache_probes = CounterHandle::new(&format!("{}cache.probes", cl.prefix()));
+                let c_cache_hits = CounterHandle::new(&format!("{}cache.hits", cl.prefix()));
+                if all_direct {
+                    direct_configs.push(DirectConfig {
+                        charged: cl.clone(),
+                        slot,
+                        with_cache,
+                        c_cache_probes,
+                        c_cache_hits,
+                    });
+                }
+                op_stages.push(heavy(Arc::new(move || {
                     Box::new(DirectLookupMapper {
                         charged: cl.clone(),
                         slot,
                         cache: with_cache.then(|| LookupCache::new(capacity)),
                         t_cache,
+                        c_cache_probes,
+                        c_cache_hits,
                     })
                 })));
             }
@@ -397,7 +575,7 @@ fn compile_operator(
                 } else {
                     None
                 };
-                stages.push(light(Arc::new(move || Box::new(RekeyMapper { slot }))));
+                op_stages.push(light(Arc::new(move || Box::new(RekeyMapper { slot }))));
                 let (partitioner, num_reducers): (Arc<dyn Partitioner>, usize) = match &locality {
                     Some(scheme) => {
                         let s = scheme.clone();
@@ -418,7 +596,7 @@ fn compile_operator(
                         hard_colocation,
                     })
                 });
-                stages.push(Stage::Shuffle(ShuffleSpec {
+                op_stages.push(Stage::Shuffle(ShuffleSpec {
                     partitioner,
                     num_reducers,
                     reducer: Some(reducer),
@@ -429,14 +607,61 @@ fn compile_operator(
     }
 
     // postProcess stage.
+    let c_sidx_bytes = CounterHandle::new(&names::op(&opname, "sidx.bytes"));
+    let c_spost_bytes = CounterHandle::new(&names::op(&opname, "spost.bytes"));
+    let c_post_out = CounterHandle::new(&names::op(&opname, "post.out"));
     {
         let op = bound.op.clone();
-        stages.push(light(Arc::new(move || {
+        op_stages.push(light(Arc::new(move || {
             Box::new(PostMapper {
                 op: op.clone(),
-                opname: opname.clone(),
+                c_sidx_bytes,
+                c_spost_bytes,
+                c_post_out,
             })
         })));
+    }
+
+    if all_direct {
+        // Every index is looked up record-wise, so the whole operator also
+        // compiles to one fused stage. Assembly picks it when the operator
+        // lands in a plain map context.
+        let op = bound.op.clone();
+        let charged = charged.clone();
+        let h = pre_handles;
+        let t_cache = env.t_cache;
+        let capacity = env.cache_capacity;
+        let configs = Arc::new(direct_configs);
+        let fused: MapperFactory = Arc::new(move || {
+            Box::new(FusedLookupMapper {
+                op: op.clone(),
+                charged: charged.clone(),
+                shadows: (0..charged.len())
+                    .map(|_| ShadowCache::new(shadow_capacity))
+                    .collect(),
+                h: h.clone(),
+                lookups: configs
+                    .iter()
+                    .map(|c| FusedSlot {
+                        charged: c.charged.clone(),
+                        slot: c.slot,
+                        cache: c.with_cache.then(|| LookupCache::new(capacity)),
+                        t_cache,
+                        c_cache_probes: c.c_cache_probes,
+                        c_cache_hits: c.c_cache_hits,
+                    })
+                    .collect(),
+                c_sidx_bytes,
+                c_spost_bytes,
+                c_post_out,
+            })
+        });
+        stages.push(Stage::Fusable {
+            fused,
+            staged: op_stages,
+        });
+    } else {
+        stages.extend(op_stages);
     }
     Ok(())
 }
@@ -464,7 +689,7 @@ pub fn compile_pipeline(
     for user_map in &ijob.map {
         stages.push(light(user_map.clone()));
     }
-    stages.push(light(Arc::new(|| Box::new(MapOutCounter))));
+    stages.push(light(Arc::new(|| Box::new(MapOutCounter::new()))));
     for bound in &ijob.body {
         compile_operator(bound, plan_of(bound)?, env, &mut stages)?;
     }
@@ -493,37 +718,64 @@ pub fn compile_pipeline(
             self.shuffle.as_ref().is_some_and(|s| s.from_strategy)
         }
     }
+    fn push_mapwise(builds: &mut Vec<JobBuild>, factory: MapperFactory, heavy: bool) {
+        let open = builds.last_mut().expect("at least one build");
+        if open.shuffle.is_none() {
+            open.map.push(factory);
+        } else if heavy && open.strategy_shuffle() {
+            // Lookup stages after a *strategy* shuffle start a new
+            // job so they run map-side (full slot parallelism)
+            // instead of inside the shuffle job's narrow reduce.
+            // After the job's own Reduce they stay chained, as in
+            // Fig. 6(c).
+            builds.push(JobBuild {
+                map: vec![factory],
+                shuffle: None,
+                post: Vec::new(),
+            });
+        } else {
+            open.post.push(factory);
+        }
+    }
+    fn push_shuffle(builds: &mut Vec<JobBuild>, spec: ShuffleSpec) {
+        let open = builds.last_mut().expect("at least one build");
+        if open.shuffle.is_none() {
+            open.shuffle = Some(spec);
+        } else {
+            builds.push(JobBuild {
+                map: Vec::new(),
+                shuffle: Some(spec),
+                post: Vec::new(),
+            });
+        }
+    }
     let mut builds: Vec<JobBuild> = vec![JobBuild::default()];
     for stage in stages {
-        let open = builds.last_mut().expect("at least one build");
         match stage {
-            Stage::Mapwise { factory, heavy } => {
+            Stage::Mapwise { factory, heavy } => push_mapwise(&mut builds, factory, heavy),
+            Stage::Shuffle(spec) => push_shuffle(&mut builds, spec),
+            Stage::Fusable { fused, staged } => {
+                let open = builds.last_mut().expect("at least one build");
                 if open.shuffle.is_none() {
-                    open.map.push(factory);
-                } else if heavy && open.strategy_shuffle() {
-                    // Lookup stages after a *strategy* shuffle start a new
-                    // job so they run map-side (full slot parallelism)
-                    // instead of inside the shuffle job's narrow reduce.
-                    // After the job's own Reduce they stay chained, as in
-                    // Fig. 6(c).
-                    builds.push(JobBuild {
-                        map: vec![factory],
-                        shuffle: None,
-                        post: Vec::new(),
-                    });
+                    // Plain map context: the fused form is observationally
+                    // identical to the staged chain and skips the carrier
+                    // serialize/parse between stages.
+                    open.map.push(fused);
                 } else {
-                    open.post.push(factory);
-                }
-            }
-            Stage::Shuffle(spec) => {
-                if open.shuffle.is_none() {
-                    open.shuffle = Some(spec);
-                } else {
-                    builds.push(JobBuild {
-                        map: Vec::new(),
-                        shuffle: Some(spec),
-                        post: Vec::new(),
-                    });
+                    // Behind an open shuffle the staged split (light pre
+                    // into the reduce, heavy lookups starting a new job)
+                    // is part of the job structure — keep it.
+                    for s in staged {
+                        match s {
+                            Stage::Mapwise { factory, heavy } => {
+                                push_mapwise(&mut builds, factory, heavy);
+                            }
+                            Stage::Shuffle(spec) => push_shuffle(&mut builds, spec),
+                            Stage::Fusable { .. } => {
+                                unreachable!("fusable stages do not nest")
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -49,19 +49,29 @@ impl IndexInput {
 
 /// Lookup results handed to `post_process`: for each index, one value list
 /// per extracted key (the `{{ik_1},{iv_1},…` of Fig. 2).
+///
+/// Value lists are shared handles (`Arc<[Datum]>`): a carrier hands its
+/// lookup results over without deep-copying them, and cache-shared lists
+/// stay shared all the way into `post_process`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IndexOutput {
-    values: Vec<Vec<Vec<Datum>>>,
+    values: Vec<Vec<Arc<[Datum]>>>,
 }
 
 impl IndexOutput {
-    /// Wraps per-index, per-key value lists.
-    pub fn new(values: Vec<Vec<Vec<Datum>>>) -> Self {
-        IndexOutput { values }
+    /// Wraps per-index, per-key value lists. Accepts owned `Vec<Datum>`
+    /// lists or already-shared `Arc<[Datum]>` handles.
+    pub fn new<L: Into<Arc<[Datum]>>>(values: Vec<Vec<L>>) -> Self {
+        IndexOutput {
+            values: values
+                .into_iter()
+                .map(|per_key| per_key.into_iter().map(Into::into).collect())
+                .collect(),
+        }
     }
 
     /// All value lists for index `j`, one per extracted key.
-    pub fn get(&self, index: usize) -> &[Vec<Datum>] {
+    pub fn get(&self, index: usize) -> &[Arc<[Datum]>] {
         &self.values[index]
     }
 
@@ -69,7 +79,7 @@ impl IndexOutput {
     /// `pre_process` extracts exactly one key (like the paper's
     /// `indexValues.get(0).getAll()[0]` idiom).
     pub fn first(&self, index: usize) -> &[Datum] {
-        self.values[index].first().map(Vec::as_slice).unwrap_or(&[])
+        self.values[index].first().map(|v| &v[..]).unwrap_or(&[])
     }
 
     /// Number of indices.

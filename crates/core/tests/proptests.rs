@@ -104,7 +104,7 @@ proptest! {
             let key = Datum::Int(*k);
             shadow.observe(&key);
             if real.probe(&key).is_none() {
-                real.insert(key, vec![]);
+                real.insert(key, Vec::new().into());
             }
         }
         prop_assert!((real.miss_ratio() - shadow.miss_ratio()).abs() < 1e-12);

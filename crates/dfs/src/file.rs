@@ -1,5 +1,7 @@
 //! File namespace, chunking, and cost accounting.
 
+use std::sync::Arc;
+
 use efind_cluster::{Cluster, NodeId, SimDuration};
 use efind_common::{fx_hash_bytes, Error, FxHashMap, Record, Result};
 
@@ -64,7 +66,9 @@ impl DfsFile {
 struct StoredChunk {
     hosts: Vec<NodeId>,
     bytes: u64,
-    records: Vec<Record>,
+    /// Shared so map tasks can read a chunk without copying it
+    /// ([`Dfs::read_chunk_shared`]).
+    records: Arc<[Record]>,
 }
 
 /// The in-memory distributed file system.
@@ -130,7 +134,7 @@ impl Dfs {
             chunks.push(StoredChunk {
                 hosts: placement.pick(self.config.replication),
                 bytes: *current_bytes,
-                records: std::mem::take(current),
+                records: std::mem::take(current).into(),
             });
             *current_bytes = 0;
         };
@@ -190,7 +194,21 @@ impl Dfs {
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
         chunks
             .get(chunk)
-            .map(|c| c.records.as_slice())
+            .map(|c| &c.records[..])
+            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
+    }
+
+    /// Reads one chunk as a shared handle — a refcount bump, no record
+    /// copies. Map tasks stream their input straight off shared chunk
+    /// storage instead of materializing a private `Vec` first.
+    pub fn read_chunk_shared(&self, name: &str, chunk: usize) -> Result<Arc<[Record]>> {
+        let chunks = self
+            .files
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        chunks
+            .get(chunk)
+            .map(|c| c.records.clone())
             .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
     }
 

@@ -126,6 +126,27 @@ pub fn run_chain(chain: &[MapperFactory], records: Vec<Record>, ctx: &mut TaskCt
     current
 }
 
+/// [`run_chain`] over a shared input slice. The first stage streams clones
+/// of the shared records (no intermediate `Vec` materialized up front);
+/// later stages consume each other's owned output as usual. Map tasks use
+/// this to feed straight off shared DFS chunk storage.
+pub fn run_chain_shared(
+    chain: &[MapperFactory],
+    records: Arc<[Record]>,
+    ctx: &mut TaskCtx,
+) -> Vec<Record> {
+    let Some((first, rest)) = chain.split_first() else {
+        return records.to_vec();
+    };
+    let mut stage = first();
+    let mut next = Vec::with_capacity(records.len());
+    for rec in records.iter() {
+        stage.map(rec.clone(), &mut next, ctx);
+    }
+    stage.flush(&mut next, ctx);
+    run_chain(rest, next, ctx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

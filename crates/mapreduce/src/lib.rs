@@ -38,7 +38,7 @@ pub use api::{
     ReducerFactory,
 };
 pub use context::TaskCtx;
-pub use counters::{Counters, Sketches};
+pub use counters::{CounterHandle, Counters, Sketches};
 pub use job::JobConf;
 pub use partition::{HashPartitioner, Partitioner};
 pub use runner::{run_job, JobResult, MapPhaseExec, ReduceTaskExec, Runner};

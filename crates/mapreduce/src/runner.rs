@@ -24,7 +24,7 @@ use efind_common::{Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
 use parking_lot::Mutex;
 
-use crate::api::{run_chain, Collector};
+use crate::api::{run_chain, run_chain_shared, Collector};
 use crate::context::TaskCtx;
 use crate::job::JobConf;
 use crate::stats::{JobStats, PhaseStats, TaskStats};
@@ -178,10 +178,10 @@ impl<'a> Runner<'a> {
         task_id: usize,
         dfs: &Dfs,
     ) -> Result<MapTaskExec> {
-        let records = dfs.read_chunk(&conf.input, chunk.index)?.to_vec();
+        let records = dfs.read_chunk_shared(&conf.input, chunk.index)?;
         let input_records = records.len() as u64;
         let mut ctx = TaskCtx::new(task_id);
-        let mut output = run_chain(&conf.map_chain, records, &mut ctx);
+        let mut output = run_chain_shared(&conf.map_chain, records, &mut ctx);
         // The map function's emit cost is per *emitted* record — count it
         // before the combiner shrinks the output, and charge the combiner
         // its own pass over those records.
@@ -261,19 +261,62 @@ impl<'a> Runner<'a> {
 
     /// Partitions per-source map outputs into the job's reduce buckets,
     /// returning the partitions and the total shuffled bytes.
+    ///
+    /// Sources partition independently (in parallel when there are several)
+    /// and merge in source order, so the result — including record order
+    /// within each bucket — is identical to a sequential pass.
     pub fn partition_for_reduce(
         &self,
         conf: &JobConf,
         sources: Vec<Vec<Record>>,
     ) -> (Vec<Vec<Record>>, u64) {
         let num_r = conf.num_reducers.max(1);
-        let mut partitions: Vec<Vec<Record>> = (0..num_r).map(|_| Vec::new()).collect();
+        let n = sources.len();
+        // One source's per-reducer buckets plus its shuffled byte volume.
+        type Partitioned = (Vec<Vec<Record>>, u64);
+        let per_source: Vec<Partitioned> = if n > 1 {
+            let inputs: Vec<Mutex<Option<Vec<Record>>>> =
+                sources.into_iter().map(|s| Mutex::new(Some(s))).collect();
+            let outputs: Mutex<Vec<Option<Partitioned>>> =
+                Mutex::new((0..n).map(|_| None).collect());
+            let next = AtomicUsize::new(0);
+            let workers = thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+                .min(n);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let source = inputs[i].lock().take().unwrap_or_default();
+                        outputs.lock()[i] = Some(partition_one(conf, num_r, source));
+                    });
+                }
+            })
+            .expect("partition worker panicked");
+            outputs
+                .into_inner()
+                .into_iter()
+                .map(|slot| slot.expect("partition task produced no result"))
+                .collect()
+        } else {
+            sources
+                .into_iter()
+                .map(|s| partition_one(conf, num_r, s))
+                .collect()
+        };
+
+        let mut partitions: Vec<Vec<Record>> = (0..num_r)
+            .map(|p| Vec::with_capacity(per_source.iter().map(|(ps, _)| ps[p].len()).sum()))
+            .collect();
         let mut shuffle_bytes = 0u64;
-        for source in sources {
-            for rec in source {
-                shuffle_bytes += rec.size_bytes();
-                let p = conf.partitioner.partition(&rec.key, num_r);
-                partitions[p].push(rec);
+        for (ps, bytes) in per_source {
+            shuffle_bytes += bytes;
+            for (p, recs) in ps.into_iter().enumerate() {
+                partitions[p].extend(recs);
             }
         }
         (partitions, shuffle_bytes)
@@ -287,11 +330,33 @@ impl<'a> Runner<'a> {
         conf: &JobConf,
         partitions: &[(usize, &[Record])],
     ) -> Result<Vec<ReduceTaskExec>> {
+        self.execute_reduce_partitions_owned(
+            conf,
+            partitions
+                .iter()
+                .map(|&(id, input)| (id, input.to_vec()))
+                .collect(),
+        )
+    }
+
+    /// Owned variant of [`Runner::execute_reduce_partitions`]: each reduce
+    /// task takes its partition by move, so the sort and group machinery
+    /// works on the shuffle buffers directly instead of a private copy.
+    pub fn execute_reduce_partitions_owned(
+        &self,
+        conf: &JobConf,
+        partitions: Vec<(usize, Vec<Record>)>,
+    ) -> Result<Vec<ReduceTaskExec>> {
         let n = partitions.len();
         if n == 0 {
             return Ok(Vec::new());
         }
         type ReduceExec = Result<(TaskStats, TaskSpec, Vec<Record>)>;
+        type OwnedPartition = (usize, Vec<Record>);
+        let inputs: Vec<Mutex<Option<OwnedPartition>>> = partitions
+            .into_iter()
+            .map(|p| Mutex::new(Some(p)))
+            .collect();
         let results: Mutex<Vec<Option<ReduceExec>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = thread::available_parallelism()
@@ -305,7 +370,9 @@ impl<'a> Runner<'a> {
                     if i >= n {
                         break;
                     }
-                    let (task_id, input) = partitions[i];
+                    let Some((task_id, input)) = inputs[i].lock().take() else {
+                        break;
+                    };
                     let out = self.execute_one_reduce(conf, task_id, input);
                     results.lock()[i] = Some(out);
                 });
@@ -346,12 +413,8 @@ impl<'a> Runner<'a> {
             )));
         }
         let (partitions, shuffle_bytes) = self.partition_for_reduce(conf, sources);
-        let refs: Vec<(usize, &[Record])> = partitions
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, p.as_slice()))
-            .collect();
-        let execs = self.execute_reduce_partitions(conf, &refs)?;
+        let execs = self
+            .execute_reduce_partitions_owned(conf, partitions.into_iter().enumerate().collect())?;
 
         let mut tasks = Vec::with_capacity(execs.len());
         let mut specs = Vec::with_capacity(execs.len());
@@ -378,41 +441,47 @@ impl<'a> Runner<'a> {
         &self,
         conf: &JobConf,
         task_id: usize,
-        input: &[Record],
+        input: Vec<Record>,
     ) -> Result<(TaskStats, TaskSpec, Vec<Record>)> {
         let input_records = input.len() as u64;
         let input_bytes: u64 = input.iter().map(Record::size_bytes).sum();
-        let mut sorted = input.to_vec();
+        let mut sorted = input;
+        // Stable sort: equal-key order is observable (it sets group value
+        // order and pass-through output order, and record sizes differ, so
+        // reordering shifts downstream chunk boundaries and virtual costs).
         sorted.sort_by(|a, b| a.key.cmp(&b.key));
 
         let mut ctx = TaskCtx::new(task_id);
         let mut reduced: Vec<Record> = Vec::new();
         {
             let mut reducer = conf.reducer.as_ref().map(|f| f());
-            let mut group_start = 0usize;
-            while group_start < sorted.len() {
-                let mut group_end = group_start + 1;
-                while group_end < sorted.len() && sorted[group_end].key == sorted[group_start].key {
-                    group_end += 1;
+            // Drain the sorted buffer group by group: keys and values move
+            // into the reducer, no per-record clones.
+            let mut rest = sorted.into_iter().peekable();
+            while let Some(first) = rest.next() {
+                let key = first.key;
+                let mut values = vec![first.value];
+                while let Some(rec) = rest.next_if(|r| r.key == key) {
+                    values.push(rec.value);
                 }
-                let key = sorted[group_start].key.clone();
-                let values: Vec<_> = sorted[group_start..group_end]
-                    .iter()
-                    .map(|r| r.value.clone())
-                    .collect();
                 match reducer.as_mut() {
                     Some(red) => red.reduce(key, values, &mut reduced, &mut ctx),
                     None => {
-                        // Identity reduce: grouped pass-through.
-                        for v in values {
-                            reduced.collect(Record {
-                                key: key.clone(),
-                                value: v,
-                            });
+                        // Identity reduce: grouped pass-through. Every
+                        // emitted record needs its own key; the last one
+                        // takes ownership.
+                        let mut key = Some(key);
+                        let last = values.len() - 1;
+                        for (i, v) in values.into_iter().enumerate() {
+                            let k = if i == last {
+                                key.take().expect("group key moved early")
+                            } else {
+                                key.clone().expect("group key moved early")
+                            };
+                            reduced.collect(Record { key: k, value: v });
                         }
                     }
                 }
-                group_start = group_end;
             }
             if let Some(red) = reducer.as_mut() {
                 red.flush(&mut reduced, &mut ctx);
@@ -566,29 +635,41 @@ impl<'a> Runner<'a> {
     }
 }
 
+/// Partitions one map task's output into `num_r` reduce buckets, returning
+/// the buckets and the source's shuffled bytes.
+fn partition_one(conf: &JobConf, num_r: usize, source: Vec<Record>) -> (Vec<Vec<Record>>, u64) {
+    let mut partitions: Vec<Vec<Record>> = (0..num_r).map(|_| Vec::new()).collect();
+    let mut bytes = 0u64;
+    for rec in source {
+        bytes += rec.size_bytes();
+        let p = conf.partitioner.partition(&rec.key, num_r);
+        partitions[p].push(rec);
+    }
+    (partitions, bytes)
+}
+
 /// Runs the combiner over one map task's output: groups by key locally
 /// and applies the combining reduce function (Hadoop's map-side combine).
+/// The sorted buffer is drained group by group — keys and values move into
+/// the combiner without per-record clones.
 fn run_combiner(
     combiner: &crate::api::ReducerFactory,
     mut records: Vec<Record>,
     ctx: &mut TaskCtx,
 ) -> Vec<Record> {
+    // Stable for the same reason as the reduce-side sort: combiners may be
+    // order-sensitive and equal-key order is observable downstream.
     records.sort_by(|a, b| a.key.cmp(&b.key));
     let mut out: Vec<Record> = Vec::new();
     let mut c = combiner();
-    let mut start = 0usize;
-    while start < records.len() {
-        let mut end = start + 1;
-        while end < records.len() && records[end].key == records[start].key {
-            end += 1;
+    let mut rest = records.into_iter().peekable();
+    while let Some(first) = rest.next() {
+        let key = first.key;
+        let mut values = vec![first.value];
+        while let Some(rec) = rest.next_if(|r| r.key == key) {
+            values.push(rec.value);
         }
-        let key = records[start].key.clone();
-        let values: Vec<_> = records[start..end]
-            .iter()
-            .map(|r| r.value.clone())
-            .collect();
         c.reduce(key, values, &mut out, ctx);
-        start = end;
     }
     c.flush(&mut out, ctx);
     out
@@ -678,6 +759,11 @@ mod tests {
         let (_, mut dfs2) = setup(words());
         let r2 = run_job(&cluster, &mut dfs2, &wordcount_conf()).unwrap();
         assert_eq!(r1.stats.makespan(), r2.stats.makespan());
+        assert_eq!(r1.stats.shuffle_bytes, r2.stats.shuffle_bytes);
+        assert_eq!(
+            r1.stats.counters.iter_sorted(),
+            r2.stats.counters.iter_sorted()
+        );
         assert_eq!(
             dfs1.read_file("out").unwrap(),
             dfs2.read_file("out").unwrap()

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Wall-clock hot-path benchmark: appends a labeled run to
+# BENCH_hotpath.json. Usage: scripts/bench.sh [label] [iters]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-local}"
+ITERS="${2:-5}"
+
+cargo build --release -p efind-bench --bin hotpath
+cargo run --release -q -p efind-bench --bin hotpath -- \
+  --label "$LABEL" --iters "$ITERS" --out BENCH_hotpath.json

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full CI gate: lint (fmt + clippy -D warnings), the complete test suite,
+# and a one-iteration bench smoke that fails on a >25% wall-clock
+# regression against the committed BENCH_hotpath.json baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+scripts/lint.sh
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== bench smoke (regression check) =="
+cargo run --release -q -p efind-bench --bin hotpath -- --check
+
+echo "ci: clean"

@@ -1,0 +1,191 @@
+//! Golden output-equivalence tests for the real-time hot path.
+//!
+//! The hot-path work (interned counters, `Arc`-shared cache results,
+//! allocation-free shuffle/reduce, shared DFS chunks) is a *real-time*
+//! optimization only: every virtual-time observable — makespans, counter
+//! maps, shuffle bytes, and DFS file contents — must stay bit-identical
+//! to the seed implementation. The constants below were captured from the
+//! seed revision (before the rewrite) and pin that equivalence across a
+//! plain MapReduce job, the scan join, and a multi-index EFind workload.
+
+use efind::{EFindRuntime, Mode, Strategy};
+use efind_cluster::Cluster;
+use efind_common::{fx_hash_bytes, Datum, Record};
+use efind_dfs::{Dfs, DfsConfig};
+use efind_mapreduce::{mapper_fn, reducer_fn, run_job, JobConf, JobStats};
+use efind_workloads::multi::{self, MultiConfig};
+use efind_workloads::scanjoin::run_scan_join;
+use efind_workloads::tpch::{self, TpchConfig};
+
+/// Labeled golden observables; the whole vector is compared at once so a
+/// mismatch prints every captured value next to its expectation.
+type Goldens = Vec<(String, u64)>;
+
+fn golden(label: &str, value: u64) -> (String, u64) {
+    (label.to_owned(), value)
+}
+
+/// Stable fingerprint of a counter map: hash of the sorted
+/// `name=value` lines.
+fn counter_fingerprint(stats: &JobStats) -> u64 {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for (k, v) in stats.counters.iter_sorted() {
+        let _ = writeln!(text, "{k}={v}");
+    }
+    fx_hash_bytes(text.as_bytes())
+}
+
+/// Stable fingerprint of a DFS file's full contents, in chunk order.
+fn file_fingerprint(dfs: &Dfs, name: &str) -> u64 {
+    let mut buf = Vec::new();
+    for rec in dfs.read_file(name).expect("golden output file missing") {
+        buf.extend_from_slice(&rec.encode());
+    }
+    fx_hash_bytes(&buf)
+}
+
+#[test]
+fn wordcount_virtual_results_match_seed() {
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build();
+    let mut dfs = Dfs::new(
+        cluster.clone(),
+        DfsConfig {
+            chunk_size_bytes: 512,
+            replication: 2,
+            seed: 9,
+        },
+    );
+    let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+    let records: Vec<Record> = text
+        .iter()
+        .cycle()
+        .take(200)
+        .enumerate()
+        .map(|(i, w)| Record::new(i as i64, *w))
+        .collect();
+    dfs.write_file("input", records);
+    let conf = JobConf::new("wordcount", "input", "out")
+        .add_mapper(mapper_fn(|rec, out, _| {
+            out.collect(Record::new(rec.value.clone(), 1i64));
+        }))
+        .with_reducer(
+            reducer_fn(|key, values, out, _| {
+                let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                out.collect(Record::new(key, total));
+            }),
+            3,
+        );
+    let res = run_job(&cluster, &mut dfs, &conf).unwrap();
+
+    let captured: Goldens = vec![
+        golden("makespan.nanos", res.stats.makespan().as_nanos()),
+        golden("shuffle.bytes", res.stats.shuffle_bytes),
+        golden("counters.fingerprint", counter_fingerprint(&res.stats)),
+        golden("output.records", res.output.total_records() as u64),
+        golden("output.fingerprint", file_fingerprint(&dfs, "out")),
+    ];
+    let expected: Goldens = vec![
+        golden("makespan.nanos", 208_274),
+        golden("shuffle.bytes", 3_475),
+        golden("counters.fingerprint", 15_743_512_941_036_554_716),
+        golden("output.records", 5),
+        golden("output.fingerprint", 4_377_774_887_622_299_384),
+    ];
+    assert_eq!(captured, expected);
+}
+
+#[test]
+fn scanjoin_virtual_results_match_seed() {
+    let cluster = Cluster::edbt_testbed();
+    let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+    let data = tpch::generate(&TpchConfig {
+        scale: 0.002,
+        chunks: 30,
+        seed: 3,
+        ..TpchConfig::default()
+    });
+    let (makespan, joined) = run_scan_join(&cluster, &mut dfs, &data, 1_200, 30).unwrap();
+
+    let captured: Goldens = vec![
+        golden("makespan.nanos", makespan.as_nanos()),
+        golden("joined.rows", joined),
+        golden("output.fingerprint", file_fingerprint(&dfs, "scanjoin.out")),
+    ];
+    let expected: Goldens = vec![
+        golden("makespan.nanos", 47_634_460),
+        golden("joined.rows", 5_723),
+        golden("output.fingerprint", 1_402_658_617_768_828_488),
+    ];
+    assert_eq!(captured, expected);
+}
+
+/// One multi-index workload (three independent indices in one operator)
+/// under both a chained strategy (cache) and a shuffle strategy
+/// (re-partitioning), pinning per-job makespans, shuffle bytes, counter
+/// maps, and the output file.
+#[test]
+fn multi_index_virtual_results_match_seed() {
+    let expected_by_mode: [(Strategy, Goldens); 2] = [
+        (
+            Strategy::Cache,
+            vec![
+                golden("total.nanos", 117_260_797),
+                golden("jobs", 1),
+                golden("job0.makespan.nanos", 117_260_797),
+                golden("job0.shuffle.bytes", 168_648),
+                golden("job0.counters.fingerprint", 3_799_603_285_767_459_785),
+                golden("output.records", 961),
+                golden("output.fingerprint", 14_711_040_664_649_218_481),
+            ],
+        ),
+        (
+            Strategy::Repartition,
+            vec![
+                golden("total.nanos", 21_230_168),
+                golden("jobs", 4),
+                golden("job0.makespan.nanos", 7_494_530),
+                golden("job0.shuffle.bytes", 330_000),
+                golden("job0.counters.fingerprint", 506_267_820_866_738_143),
+                golden("output.records", 961),
+                golden("output.fingerprint", 14_711_040_664_649_218_481),
+            ],
+        ),
+    ];
+
+    for (strategy, expected) in expected_by_mode {
+        let config = MultiConfig {
+            num_events: 3_000,
+            num_users: 200,
+            num_ads: 500,
+            num_sites: 100,
+            site_value_bytes: 200,
+            chunks: 30,
+            ..MultiConfig::default()
+        };
+        let mut s = multi::scenario(&config);
+        let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
+        let res = rt.run(&s.ijob, Mode::Uniform(strategy)).unwrap();
+
+        let mut captured: Goldens = vec![
+            golden("total.nanos", res.total_time.as_nanos()),
+            golden("jobs", res.jobs.len() as u64),
+            golden("job0.makespan.nanos", res.jobs[0].makespan().as_nanos()),
+            golden("job0.shuffle.bytes", res.jobs[0].shuffle_bytes),
+            golden(
+                "job0.counters.fingerprint",
+                counter_fingerprint(&res.jobs[0]),
+            ),
+        ];
+        captured.push(golden("output.records", res.output.total_records() as u64));
+        captured.push(golden(
+            "output.fingerprint",
+            file_fingerprint(&s.dfs, "ads.enriched"),
+        ));
+        assert_eq!(captured, expected, "strategy {strategy:?}");
+    }
+}
