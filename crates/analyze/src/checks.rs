@@ -1,7 +1,7 @@
 //! The analysis passes: every `EFxxx` check over a [`PlanModel`].
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
-use crate::model::{OperatorModel, PlanModel, StrategyKind};
+use crate::model::{FaultModel, OperatorModel, PlanModel, StrategyKind};
 
 use efind_common::FxHashSet;
 
@@ -28,6 +28,9 @@ pub fn analyze(model: &PlanModel) -> Report {
         check_determinism(pos, op, &mut report);
         check_enumeration_agreement(pos, op, &mut report);
         check_volatile_pinning(pos, op, &mut report);
+    }
+    if let Some(faults) = &model.faults {
+        check_fault_config(faults, &mut report);
     }
     report
 }
@@ -453,6 +456,61 @@ fn check_volatile_pinning(pos: usize, op: &OperatorModel, report: &mut Report) {
     }
 }
 
+/// EF015/EF016: fault-tolerance configuration sanity. Runs only when the
+/// fault layer is armed; a job without faults never sees these codes.
+fn check_fault_config(f: &FaultModel, report: &mut Report) {
+    if f.timeout_nanos == Some(0) {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF015,
+                Span::job(),
+                "per-index timeout is zero: every lookup attempt times out before it can answer",
+            )
+            .with_hint(
+                "set the timeout above the slowest expected serve + transfer time, \
+                 or drop it to disable timeout enforcement",
+            ),
+        );
+    }
+    if f.fail_job_on_exhaustion && f.max_retries == 0 {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF016,
+                Span::job(),
+                "FailJob miss policy with zero retries: one transient failure fails the whole job",
+            )
+            .with_hint("allow at least one retry, or degrade misses instead of failing the job"),
+        );
+    }
+    if f.backoff_base_nanos > f.max_backoff_nanos {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF016,
+                Span::job(),
+                format!(
+                    "backoff base ({} ns) exceeds its cap ({} ns): every pause clamps to the cap",
+                    f.backoff_base_nanos, f.max_backoff_nanos
+                ),
+            )
+            .with_hint("raise max_backoff or lower the base so the exponential schedule applies"),
+        );
+    }
+    if f.breaker_threshold < 1.0 && f.breaker_min_samples <= u64::from(f.max_retries) {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF016,
+                Span::job(),
+                format!(
+                    "breaker min-samples ({}) within one key's retry budget ({}): a single \
+                     black-holed key can open the breaker and degrade the whole task",
+                    f.breaker_min_samples, f.max_retries
+                ),
+            )
+            .with_hint("raise breaker_min_samples above max_retries"),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,5 +766,69 @@ mod tests {
             report.warnings().next().unwrap().severity,
             Severity::Warning
         );
+    }
+
+    #[test]
+    fn benign_fault_config_is_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.faults = Some(crate::model::testutil::faults());
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef015_zero_timeout_is_an_error() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut f = crate::model::testutil::faults();
+        f.timeout_nanos = Some(0);
+        model.faults = Some(f);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF015));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn ef016_fail_job_without_retries_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut f = crate::model::testutil::faults();
+        f.fail_job_on_exhaustion = true;
+        f.max_retries = 0;
+        model.faults = Some(f);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF016));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn ef016_backoff_base_above_cap_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut f = crate::model::testutil::faults();
+        f.backoff_base_nanos = 1_000_000_000;
+        f.max_backoff_nanos = 1_000_000;
+        model.faults = Some(f);
+        assert!(analyze(&model).has_code(DiagCode::EF016));
+    }
+
+    #[test]
+    fn ef016_hair_trigger_breaker_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut f = crate::model::testutil::faults();
+        f.breaker_min_samples = 2; // within one key's retry budget (3)
+        model.faults = Some(f);
+        assert!(analyze(&model).has_code(DiagCode::EF016));
+
+        // A disabled breaker (threshold 1.0) never trips the warning.
+        let mut f = crate::model::testutil::faults();
+        f.breaker_min_samples = 2;
+        f.breaker_threshold = 1.0;
+        model.faults = Some(f);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn absent_fault_model_skips_fault_checks() {
+        let report = analyze(&job(vec![operator("a", StrategyKind::Cache)]));
+        assert!(!report.has_code(DiagCode::EF015));
+        assert!(!report.has_code(DiagCode::EF016));
     }
 }

@@ -38,6 +38,12 @@ pub enum DiagCode {
     EF013,
     /// Volatile operator carrying a non-baseline plan.
     EF014,
+    /// Unsatisfiable fault-tolerance configuration (e.g. a zero per-index
+    /// timeout: every lookup attempt times out before it can answer).
+    EF015,
+    /// Risky fault-tolerance configuration (e.g. `FailJob` with zero
+    /// retries, or a backoff base above its own cap).
+    EF016,
 }
 
 impl DiagCode {
@@ -58,6 +64,8 @@ impl DiagCode {
             DiagCode::EF012 => "EF012",
             DiagCode::EF013 => "EF013",
             DiagCode::EF014 => "EF014",
+            DiagCode::EF015 => "EF015",
+            DiagCode::EF016 => "EF016",
         }
     }
 }

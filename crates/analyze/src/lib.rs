@@ -18,5 +18,6 @@ pub mod model;
 pub use checks::analyze;
 pub use diag::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use model::{
-    ChoiceModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, StrategyKind,
+    ChoiceModel, FaultModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
+    StrategyKind,
 };

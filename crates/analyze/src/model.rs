@@ -132,6 +132,28 @@ pub struct OperatorModel {
     pub costs: Option<OperatorCosts>,
 }
 
+/// The job-wide fault-tolerance configuration, lowered only when the fault
+/// layer is armed (an injection plan is installed). The fault checks
+/// (`EF015`, `EF016`) are skipped without it.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultModel {
+    /// Maximum retries per lookup after the first attempt.
+    pub max_retries: u32,
+    /// First backoff pause in nanoseconds (0 disables pauses).
+    pub backoff_base_nanos: u64,
+    /// Backoff cap in nanoseconds.
+    pub max_backoff_nanos: u64,
+    /// Per-index lookup timeout in nanoseconds, if one is enforced.
+    pub timeout_nanos: Option<u64>,
+    /// True when exhausted retries fail the whole job (the `FailJob` miss
+    /// policy) rather than degrading to a miss.
+    pub fail_job_on_exhaustion: bool,
+    /// Circuit-breaker failure-rate threshold (1.0 = breaker disabled).
+    pub breaker_threshold: f64,
+    /// Attempts observed before the breaker may open.
+    pub breaker_min_samples: u64,
+}
+
 /// The whole job as the analyzer sees it.
 #[derive(Clone, Debug)]
 pub struct PlanModel {
@@ -141,6 +163,8 @@ pub struct PlanModel {
     pub has_reduce: bool,
     /// Operators in data-flow order (head → body → tail).
     pub operators: Vec<OperatorModel>,
+    /// Fault-tolerance configuration, when the fault layer is armed.
+    pub faults: Option<FaultModel>,
 }
 
 #[cfg(test)]
@@ -185,6 +209,20 @@ pub(crate) mod testutil {
             job: "test".into(),
             has_reduce: true,
             operators,
+            faults: None,
+        }
+    }
+
+    /// A benign fault configuration (bounded retries, sane backoff).
+    pub fn faults() -> FaultModel {
+        FaultModel {
+            max_retries: 3,
+            backoff_base_nanos: 1_000_000,
+            max_backoff_nanos: 100_000_000,
+            timeout_nanos: None,
+            fail_job_on_exhaustion: false,
+            breaker_threshold: 0.5,
+            breaker_min_samples: 16,
         }
     }
 }

@@ -124,6 +124,7 @@ fn planner(c: &mut Criterion) {
                 has_partition_scheme: j % 2 == 0,
                 shuffleable: true,
                 partitions: if j % 2 == 0 { 32 } else { 0 },
+                failure_rate: 0.0,
             })
             .collect(),
     };

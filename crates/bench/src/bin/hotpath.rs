@@ -59,6 +59,7 @@ fn main() {
     let mut iters = 5usize;
     let mut out_path = String::from("BENCH_hotpath.json");
     let mut check = false;
+    let mut faults = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +77,7 @@ fn main() {
             }
             "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--check" => check = true,
+            "--faults" => faults = true,
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -84,7 +86,7 @@ fn main() {
         std::process::exit(run_check(&out_path));
     }
 
-    let run = measure_all(&label, iters.max(1));
+    let run = measure_all(&label, iters.max(1), faults);
     print_table(&run);
     let mut runs = parse_runs(&std::fs::read_to_string(&out_path).unwrap_or_default());
     runs.push(run);
@@ -98,7 +100,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("hotpath: {msg}");
-    eprintln!("usage: hotpath [--label NAME] [--iters N] [--out PATH] [--check]");
+    eprintln!("usage: hotpath [--label NAME] [--iters N] [--out PATH] [--check] [--faults]");
     std::process::exit(2)
 }
 
@@ -106,12 +108,23 @@ fn usage(msg: &str) -> ! {
 // Measurement
 // ---------------------------------------------------------------------
 
-fn measure_all(label: &str, iters: usize) -> BenchRun {
-    let results = vec![
+fn measure_all(label: &str, iters: usize, faults: bool) -> BenchRun {
+    let mut results = vec![
         measure("wordcount", iters, bench_wordcount),
         measure("scanjoin", iters, bench_scanjoin()),
         measure("lookup_heavy", iters, bench_lookup_heavy),
     ];
+    if faults {
+        // Recorded only, never gated: `run_check` skips workloads absent
+        // from the committed baseline, so the faulty scenario's wall
+        // clock is tracked without failing CI on its (retry-dominated)
+        // variance.
+        results.push(measure(
+            "lookup_heavy_faulty",
+            iters,
+            bench_lookup_heavy_faulty,
+        ));
+    }
     BenchRun {
         label: label.to_owned(),
         iters,
@@ -230,6 +243,30 @@ fn bench_scanjoin() -> impl FnMut() -> (u64, f64) {
 /// (counters, sketches, cache, charging) dominates. `lookups_per_s`
 /// reports requested keys (`nik`) per wall-clock second.
 fn bench_lookup_heavy() -> (u64, f64) {
+    run_lookup_heavy(efind::FaultConfig::disabled())
+}
+
+/// `lookup_heavy` with the fault layer armed at a 5% mixed fault rate:
+/// the same join, now exercising the per-attempt fault draw, the retry
+/// loop, and the fault counters on every lookup. Enabled by `--faults`.
+fn bench_lookup_heavy_faulty() -> (u64, f64) {
+    use efind_cluster::SimDuration;
+    let mut faults = efind::FaultConfig::disabled().with_plan(
+        efind::FaultPlan::new(0xEF1D_0001)
+            .failures(0.03)
+            .timeouts(0.01)
+            .slowdowns(0.01, 4.0),
+    );
+    faults.retry = efind::RetryPolicy::bounded(
+        16,
+        SimDuration::from_micros(50),
+        SimDuration::from_millis(5),
+    );
+    faults.timeout = Some(SimDuration::from_millis(50));
+    run_lookup_heavy(faults)
+}
+
+fn run_lookup_heavy(faults: efind::FaultConfig) -> (u64, f64) {
     let config = SyntheticConfig {
         num_records: 24_000,
         key_space: 2_400,
@@ -239,7 +276,11 @@ fn bench_lookup_heavy() -> (u64, f64) {
         ..SyntheticConfig::default()
     };
     let mut s = synthetic::scenario(&config);
-    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, EFindConfig::default());
+    let efind_config = EFindConfig {
+        faults,
+        ..EFindConfig::default()
+    };
+    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, efind_config);
     let res = rt
         .run(&s.ijob, Mode::Uniform(Strategy::Cache))
         .expect("synthetic join failed");
@@ -273,7 +314,7 @@ fn run_check(out_path: &str) -> i32 {
     );
     // A single iteration is too noisy to gate on: take a median of 3,
     // like the recording path.
-    let fresh = measure_all("check", 3);
+    let fresh = measure_all("check", 3, false);
     let mut failed = false;
     for now in &fresh.results {
         let Some(base) = baseline.results.iter().find(|b| b.workload == now.workload) else {

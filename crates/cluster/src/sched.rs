@@ -628,6 +628,127 @@ mod tests {
     }
 
     #[test]
+    fn backup_win_recomputes_locality_fields() {
+        // The original lands on node0 (local input + affinity, hidden 10x
+        // slowdown); the backup wins on node1, so the assignment's
+        // `input_local` and `affinity_hit` must be recomputed for the
+        // *winning* node — stats derived from them (locality rates,
+        // affinity hits) would otherwise credit the dead copy's placement.
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .degrade_hidden(NodeId(0), 10.0)
+            .speculation(true)
+            .build();
+        let t = TaskSpec {
+            id: 0,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(100),
+            input_bytes: 12_000_000, // 0.1 s local read
+            input_hosts: vec![NodeId(0)],
+            affinity: vec![NodeId(0)],
+            affinity_penalty: SimDuration::from_millis(50),
+            hard_affinity: false,
+        };
+        let s = schedule_phase(&c, &[t], SimTime::ZERO);
+        let a = &s.assignments[0];
+        assert!(a.speculated, "backup should win against a 10x straggler");
+        assert_eq!(a.node, NodeId(1));
+        assert!(!a.input_local, "locality must reflect the winning node");
+        assert!(!a.affinity_hit, "affinity must reflect the winning node");
+        assert_eq!(s.speculative_copies, 1);
+        // Far better than the 2 s straggling original.
+        assert!(s.makespan < SimTime::ZERO + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn losing_backups_are_counted_but_change_nothing() {
+        // Mild hidden slowdown: backups launch (the JobTracker cannot
+        // know they will lose) but the originals win — the accounting
+        // must show the wasted copies while every assignment keeps its
+        // original placement and the makespan matches a run without
+        // speculation.
+        let build = |spec: bool| {
+            Cluster::builder()
+                .nodes(2)
+                .map_slots(1)
+                .degrade_hidden(NodeId(0), 1.5)
+                .speculation(spec)
+                .build()
+        };
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let with = schedule_phase(&build(true), &tasks, SimTime::ZERO);
+        let without = schedule_phase(&build(false), &tasks, SimTime::ZERO);
+        assert!(with.speculative_copies > 0, "backups must be accounted");
+        assert_eq!(without.speculative_copies, 0);
+        assert_eq!(with.makespan, without.makespan, "losing backups are free");
+        assert!(with.assignments.iter().all(|a| !a.speculated));
+        assert_eq!(
+            with.assignments.iter().map(|a| a.node).collect::<Vec<_>>(),
+            without
+                .assignments
+                .iter()
+                .map(|a| a.node)
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn retry_prefers_healthy_nodes_over_other_flaky_ones() {
+        // node0 and node1 are both flaky; the retry of a task that failed
+        // on node0 must skip node1 (it would just fail again) and land on
+        // the healthy node2, even though all are equally free.
+        let c = Cluster::builder()
+            .nodes(3)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.5)
+            .flaky(NodeId(1), 0.5)
+            .build();
+        let s = schedule_phase(&c, &[task(0, 100)], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        assert_eq!(s.assignments[0].node, NodeId(2));
+
+        // With no healthy machine left, the second pass admits the other
+        // flaky node rather than deadlocking.
+        let all_flaky = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.5)
+            .flaky(NodeId(1), 0.5)
+            .build();
+        let s = schedule_phase(&all_flaky, &[task(0, 100)], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        assert_eq!(s.assignments[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn hard_affinity_retry_falls_back_to_the_failed_node() {
+        // A hard-affine task can only run on its (flaky) affinity node:
+        // the retry finds no eligible other machine and must re-run on
+        // the same node after the failed attempt's wasted time.
+        let c = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.5)
+            .build();
+        let t = TaskSpec {
+            id: 0,
+            kind: SlotKind::Map,
+            base: SimDuration::from_millis(100),
+            input_bytes: 0,
+            input_hosts: Vec::new(),
+            affinity: vec![NodeId(0)],
+            affinity_penalty: SimDuration::from_millis(10),
+            hard_affinity: true,
+        };
+        let s = schedule_phase(&c, &[t], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        assert_eq!(s.assignments[0].node, NodeId(0));
+        // 50 ms wasted attempt + 100 ms clean retry.
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(150));
+    }
+
+    #[test]
     fn flaky_node_retries_elsewhere() {
         let c = Cluster::builder()
             .nodes(2)

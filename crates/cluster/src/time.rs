@@ -75,6 +75,25 @@ impl SimDuration {
         Self::from_secs_f64(self.as_secs_f64() * factor)
     }
 
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Capped exponential backoff: `base · multiplier^attempt`, clamped to
+    /// `cap`. Attempt 0 is the first retry. All charging is virtual time —
+    /// a backoff pause is a task-time charge like any other modeled cost,
+    /// so retried schedules stay exactly reproducible.
+    pub fn exp_backoff(base: SimDuration, multiplier: f64, attempt: u32, cap: SimDuration) -> Self {
+        if base.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // Saturate the exponent computation in f64 space; the cap bounds
+        // the result long before precision matters.
+        let factor = multiplier.max(1.0).powi(attempt.min(63) as i32);
+        base.mul_f64(factor).min(cap)
+    }
+
     /// True if zero.
     pub fn is_zero(self) -> bool {
         self.0 == 0
@@ -236,6 +255,31 @@ mod tests {
         assert_eq!(t.since(SimTime::ZERO), SimDuration::from_secs(2));
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
         assert_eq!(t.max(SimTime::ZERO), t);
+    }
+
+    #[test]
+    fn exp_backoff_grows_and_caps() {
+        let base = SimDuration::from_millis(1);
+        let cap = SimDuration::from_millis(100);
+        assert_eq!(
+            SimDuration::exp_backoff(base, 2.0, 0, cap),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            SimDuration::exp_backoff(base, 2.0, 3, cap),
+            SimDuration::from_millis(8)
+        );
+        assert_eq!(SimDuration::exp_backoff(base, 2.0, 20, cap), cap);
+        // A zero base disables the pause entirely.
+        assert_eq!(
+            SimDuration::exp_backoff(SimDuration::ZERO, 2.0, 5, cap),
+            SimDuration::ZERO
+        );
+        // Sub-1 multipliers clamp to a constant pause, never a shrinking one.
+        assert_eq!(
+            SimDuration::exp_backoff(base, 0.5, 4, cap),
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]

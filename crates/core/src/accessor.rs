@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use crate::fault::{Breaker, FaultConfig, FaultKind, FaultPlan, MissPolicy, RetryPolicy};
 use efind_cluster::{NetworkModel, NodeId, SimDuration};
 use efind_common::{Datum, KeyKind};
 use efind_mapreduce::{CounterHandle, TaskCtx};
@@ -25,6 +26,20 @@ pub trait PartitionScheme: Send + Sync {
     fn hosts(&self, partition: usize) -> Vec<NodeId>;
 }
 
+/// Outcome of a fallible lookup: distinguishes "the key is absent" from
+/// "the service failed", which an infallible `Vec` return conflates into
+/// an empty result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LookupResult {
+    /// The service answered; the list may legitimately be empty.
+    Hit(Vec<Datum>),
+    /// The service answered: the key has no entry.
+    Miss,
+    /// The service failed to answer (connection/service error). Fed into
+    /// the retry path and counted separately from misses.
+    Failed(String),
+}
+
 /// A selectively accessible side data source (the paper's broad "index").
 pub trait IndexAccessor: Send + Sync {
     /// Stable name used in counters and reports.
@@ -33,6 +48,14 @@ pub trait IndexAccessor: Send + Sync {
     /// Looks up `key`, returning the (possibly empty) list of values.
     /// Must be idempotent for the duration of a job (§3.2's assumption).
     fn lookup(&self, key: &Datum) -> Vec<Datum>;
+
+    /// Fallible lookup. The default wraps [`lookup`](Self::lookup) in
+    /// [`LookupResult::Hit`] — infallible accessors need no change.
+    /// Accessors that can distinguish absent keys (or fail) override this
+    /// so misses and failures land in separate counters.
+    fn try_lookup(&self, key: &Datum) -> LookupResult {
+        LookupResult::Hit(self.lookup(key))
+    }
 
     /// Modeled index-side service time `T_j` for one lookup, excluding
     /// network transfer (which EFind charges itself).
@@ -83,6 +106,8 @@ pub struct ChargedLookup {
     network: NetworkModel,
     /// Counter prefix, `efind.<operator>.<index>.`.
     prefix: String,
+    /// Fault-tolerance state; `None` keeps the plain, zero-overhead path.
+    fault: Option<FaultState>,
     /// Per-index counter names, resolved once at construction so the
     /// per-lookup path never formats or allocates a name.
     c_lookups: CounterHandle,
@@ -92,6 +117,24 @@ pub struct ChargedLookup {
     c_nik: CounterHandle,
     c_key_bytes: CounterHandle,
     c_distinct: CounterHandle,
+    c_misses: CounterHandle,
+    c_f_failures: CounterHandle,
+    c_f_timeouts: CounterHandle,
+    c_f_slowdowns: CounterHandle,
+    c_f_retries: CounterHandle,
+    c_f_backoff_nanos: CounterHandle,
+    c_f_exhausted: CounterHandle,
+    c_f_degraded: CounterHandle,
+}
+
+/// The per-index slice of [`FaultConfig`] installed in a wrapper.
+struct FaultState {
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    timeout: Option<SimDuration>,
+    miss_policy: MissPolicy,
+    breaker_threshold: f64,
+    breaker_min_samples: u64,
 }
 
 impl ChargedLookup {
@@ -103,6 +146,7 @@ impl ChargedLookup {
         ChargedLookup {
             accessor,
             network,
+            fault: None,
             c_lookups: h("lookups"),
             c_sik_bytes: h("sik.bytes"),
             c_siv_bytes: h("siv.bytes"),
@@ -110,8 +154,42 @@ impl ChargedLookup {
             c_nik: h("nik"),
             c_key_bytes: h("key.bytes"),
             c_distinct: h("distinct"),
+            c_misses: h("misses"),
+            c_f_failures: h("fault.failures"),
+            c_f_timeouts: h("fault.timeouts"),
+            c_f_slowdowns: h("fault.slowdowns"),
+            c_f_retries: h("fault.retries"),
+            c_f_backoff_nanos: h("fault.backoff.nanos"),
+            c_f_exhausted: h("fault.exhausted"),
+            c_f_degraded: h("fault.degraded"),
             prefix,
         }
+    }
+
+    /// Installs the fault layer. A config with no [`FaultPlan`] leaves the
+    /// wrapper on the plain path (real accessor failures are still counted,
+    /// but nothing is injected and no retries are attempted).
+    pub fn with_faults(mut self, config: &FaultConfig) -> Self {
+        if let Some(plan) = config.plan {
+            self.fault = Some(FaultState {
+                plan,
+                retry: config.retry,
+                timeout: config.timeout,
+                miss_policy: config.miss_policy.clone(),
+                breaker_threshold: config.breaker_threshold(),
+                breaker_min_samples: config.breaker_min_samples,
+            });
+        }
+        self
+    }
+
+    /// A fresh per-task circuit breaker, or `None` when the fault layer is
+    /// not installed. Each mapper/reducer instance owns its breaker so
+    /// degradation decisions never couple concurrent tasks.
+    pub fn new_breaker(&self) -> Option<Breaker> {
+        self.fault
+            .as_ref()
+            .map(|f| Breaker::new(f.breaker_threshold, f.breaker_min_samples))
     }
 
     /// The wrapped accessor.
@@ -128,13 +206,36 @@ impl ChargedLookup {
     /// statistics counters on `ctx`. The result list is a shared handle
     /// suitable for caching without deep copies.
     pub fn lookup(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Arc<[Datum]> {
-        let values: Arc<[Datum]> = self.accessor.lookup(key).into();
-        let sik = key.size_bytes();
-        let siv: u64 = values.iter().map(Datum::size_bytes).sum();
-        let serve = self.accessor.serve_time(key, siv);
+        self.lookup_guarded(key, mode, ctx, None)
+    }
+
+    /// [`lookup`](Self::lookup) with an optional per-task circuit breaker.
+    /// Call sites that own a breaker (one per mapper/reducer instance)
+    /// route through here; with no fault layer installed this is exactly
+    /// the plain lookup path.
+    pub fn lookup_guarded(
+        &self,
+        key: &Datum,
+        mode: LookupMode,
+        ctx: &mut TaskCtx,
+        breaker: Option<&mut Breaker>,
+    ) -> Arc<[Datum]> {
+        match &self.fault {
+            None => self.lookup_plain(key, mode, ctx),
+            Some(fault) => self.lookup_faulty(fault, key, mode, ctx, breaker),
+        }
+    }
+
+    /// Splits a lookup's cost between task time and affinity penalty.
+    fn charge_split(
+        &self,
+        mode: LookupMode,
+        ctx: &mut TaskCtx,
+        serve: SimDuration,
+        transfer: SimDuration,
+    ) {
         // The remote leg pays per-request latency plus volume; a local
         // lookup (index locality hit) avoids both.
-        let transfer = self.network.transfer(sik + siv);
         match mode {
             LookupMode::Remote => ctx.charge(serve + transfer),
             LookupMode::Local => {
@@ -142,11 +243,169 @@ impl ChargedLookup {
                 ctx.charge_affinity_penalty(transfer);
             }
         }
+    }
+
+    /// Bumps the four per-lookup statistics counters of §4.2.
+    fn bump_lookup_counters(&self, ctx: &mut TaskCtx, sik: u64, siv: u64, serve: SimDuration) {
         ctx.counters.bump(self.c_lookups, 1);
         ctx.counters.bump(self.c_sik_bytes, sik as i64);
         ctx.counters.bump(self.c_siv_bytes, siv as i64);
         ctx.counters.bump(self.c_tj_nanos, serve.as_nanos() as i64);
-        values
+    }
+
+    /// The fault-free path; byte-for-byte the pre-fault-layer behavior for
+    /// accessors whose `try_lookup` never reports a miss or failure.
+    fn lookup_plain(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Arc<[Datum]> {
+        let sik = key.size_bytes();
+        match self.accessor.try_lookup(key) {
+            LookupResult::Hit(values) => {
+                let values: Arc<[Datum]> = values.into();
+                let siv: u64 = values.iter().map(Datum::size_bytes).sum();
+                let serve = self.accessor.serve_time(key, siv);
+                self.charge_split(mode, ctx, serve, self.network.transfer(sik + siv));
+                self.bump_lookup_counters(ctx, sik, siv, serve);
+                values
+            }
+            LookupResult::Miss => {
+                // A miss is a completed round trip with an empty answer;
+                // it costs the same as an empty hit but is counted apart.
+                let serve = self.accessor.serve_time(key, 0);
+                self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                self.bump_lookup_counters(ctx, sik, 0, serve);
+                ctx.counters.bump(self.c_misses, 1);
+                Vec::new().into()
+            }
+            LookupResult::Failed(_) => {
+                // Without a fault layer there is no retry budget: charge
+                // the failed round trip, count it, and surface an empty
+                // result (the historical silent behavior, now visible).
+                let serve = self.accessor.serve_time(key, 0);
+                self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                ctx.counters.bump(self.c_f_failures, 1);
+                Vec::new().into()
+            }
+        }
+    }
+
+    /// The guarded path: injects faults from the plan, retries with
+    /// virtual-time backoff, enforces the per-index timeout, and degrades
+    /// through the breaker / miss policy. The real accessor is consulted
+    /// only on attempts the plan lets through, so a lookup is
+    /// exactly-once-effective no matter how many attempts it takes.
+    fn lookup_faulty(
+        &self,
+        fault: &FaultState,
+        key: &Datum,
+        mode: LookupMode,
+        ctx: &mut TaskCtx,
+        mut breaker: Option<&mut Breaker>,
+    ) -> Arc<[Datum]> {
+        if breaker.as_deref().is_some_and(Breaker::is_open) {
+            ctx.counters.bump(self.c_f_degraded, 1);
+            return self.miss_result(fault, key, ctx);
+        }
+        let sik = key.size_bytes();
+        let mut attempt: u32 = 0;
+        loop {
+            let kind = fault.plan.outcome(&self.prefix, key, attempt);
+            match kind {
+                FaultKind::Fail => {
+                    // A refused/errored request still pays the request
+                    // latency and the outbound key bytes.
+                    let serve = self.accessor.serve_time(key, 0);
+                    self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                    ctx.counters.bump(self.c_f_failures, 1);
+                }
+                FaultKind::Timeout => {
+                    // A hung request costs the full timeout budget (or the
+                    // would-be round trip when no timeout is configured).
+                    let serve = self.accessor.serve_time(key, 0);
+                    let wait = fault.timeout.unwrap_or(serve + self.network.transfer(sik));
+                    ctx.charge(wait);
+                    ctx.counters.bump(self.c_f_timeouts, 1);
+                }
+                FaultKind::Ok | FaultKind::Slow => match self.accessor.try_lookup(key) {
+                    LookupResult::Hit(values) => {
+                        let values: Arc<[Datum]> = values.into();
+                        let siv: u64 = values.iter().map(Datum::size_bytes).sum();
+                        let mut serve = self.accessor.serve_time(key, siv);
+                        if kind == FaultKind::Slow {
+                            serve = serve.mul_f64(fault.plan.slowdown_factor);
+                        }
+                        let transfer = self.network.transfer(sik + siv);
+                        if fault.timeout.is_some_and(|t| serve + transfer > t) {
+                            // Too slow: the caller gives up at the
+                            // deadline; the answer is discarded.
+                            ctx.charge(fault.timeout.unwrap_or(SimDuration::ZERO));
+                            ctx.counters.bump(self.c_f_timeouts, 1);
+                        } else {
+                            if kind == FaultKind::Slow {
+                                ctx.counters.bump(self.c_f_slowdowns, 1);
+                            }
+                            self.charge_split(mode, ctx, serve, transfer);
+                            self.bump_lookup_counters(ctx, sik, siv, serve);
+                            if let Some(b) = breaker.as_deref_mut() {
+                                b.record(true);
+                            }
+                            return values;
+                        }
+                    }
+                    LookupResult::Miss => {
+                        let mut serve = self.accessor.serve_time(key, 0);
+                        if kind == FaultKind::Slow {
+                            serve = serve.mul_f64(fault.plan.slowdown_factor);
+                            ctx.counters.bump(self.c_f_slowdowns, 1);
+                        }
+                        self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                        self.bump_lookup_counters(ctx, sik, 0, serve);
+                        ctx.counters.bump(self.c_misses, 1);
+                        if let Some(b) = breaker.as_deref_mut() {
+                            b.record(true);
+                        }
+                        return Vec::new().into();
+                    }
+                    LookupResult::Failed(_) => {
+                        let serve = self.accessor.serve_time(key, 0);
+                        self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                        ctx.counters.bump(self.c_f_failures, 1);
+                    }
+                },
+            }
+            // The attempt failed (injected or real). Update the breaker,
+            // then either retry on the virtual clock or give up.
+            if let Some(b) = breaker.as_deref_mut() {
+                b.record(false);
+                if b.is_open() {
+                    ctx.counters.bump(self.c_f_degraded, 1);
+                    return self.miss_result(fault, key, ctx);
+                }
+            }
+            if attempt >= fault.retry.max_retries {
+                ctx.counters.bump(self.c_f_exhausted, 1);
+                return self.miss_result(fault, key, ctx);
+            }
+            let pause = fault.retry.backoff(attempt);
+            ctx.charge(pause);
+            ctx.counters.bump(self.c_f_retries, 1);
+            ctx.counters
+                .bump(self.c_f_backoff_nanos, pause.as_nanos() as i64);
+            attempt += 1;
+        }
+    }
+
+    /// Resolves a given-up lookup through the miss policy.
+    fn miss_result(&self, fault: &FaultState, key: &Datum, ctx: &mut TaskCtx) -> Arc<[Datum]> {
+        match &fault.miss_policy {
+            MissPolicy::Skip => Vec::new().into(),
+            MissPolicy::Default(datum) => vec![datum.clone()].into(),
+            MissPolicy::FailJob => {
+                ctx.fail(format!(
+                    "{}lookup for key {key:?} failed after exhausting retries",
+                    self.prefix
+                ));
+                Vec::new().into()
+            }
+        }
     }
 
     /// Records one requested key (before caching/dedup) for `Nik` and the
@@ -278,5 +537,199 @@ mod tests {
         assert_eq!(ctx.counters.get("efind.op.0.nik"), 10);
         let distinct = ctx.sketches.estimate("efind.op.0.distinct");
         assert!((3.0..=8.0).contains(&distinct), "distinct={distinct}");
+    }
+
+    fn charged_with(config: FaultConfig) -> ChargedLookup {
+        let idx = MemIndex::new(
+            "users",
+            vec![(Datum::Int(1), vec![Datum::Text("alice".into())])],
+        );
+        ChargedLookup::new(Arc::new(idx), NetworkModel::gigabit(), "efind.op.0.".into())
+            .with_faults(&config)
+    }
+
+    #[test]
+    fn quiet_fault_plan_is_observably_identical_to_plain_path() {
+        let plain = charged();
+        let quiet = charged_with(FaultConfig::disabled().with_plan(FaultPlan::new(5)));
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..200i64 {
+            let key = Datum::Int(i % 3);
+            let va = plain.lookup(&key, LookupMode::Remote, &mut a);
+            let vb = quiet.lookup_guarded(&key, LookupMode::Remote, &mut b, None);
+            assert_eq!(va[..], vb[..]);
+        }
+        assert_eq!(a.charged(), b.charged());
+        for c in ["lookups", "sik.bytes", "siv.bytes", "tj.nanos"] {
+            let name = format!("efind.op.0.{c}");
+            assert_eq!(a.counters.get(&name), b.counters.get(&name), "{c}");
+        }
+        assert_eq!(b.counters.get("efind.op.0.fault.failures"), 0);
+        assert_eq!(b.counters.get("efind.op.0.fault.retries"), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_follow_the_miss_policy_and_charge_backoff() {
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(1).failures(1.0));
+        config.miss_policy = MissPolicy::Default(Datum::Text("fallback".into()));
+        let cl = charged_with(config);
+        let mut ctx = TaskCtx::new(0);
+        let vals = cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        assert_eq!(vals[..], [Datum::Text("fallback".into())]);
+        // Default policy: 3 retries → 4 failed attempts, 1+2+4 ms backoff.
+        assert_eq!(ctx.counters.get("efind.op.0.fault.failures"), 4);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.retries"), 3);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.exhausted"), 1);
+        assert_eq!(
+            ctx.counters.get("efind.op.0.fault.backoff.nanos"),
+            SimDuration::from_millis(7).as_nanos() as i64
+        );
+        assert!(ctx.charged() >= SimDuration::from_millis(7));
+        // No successful lookup was recorded.
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 0);
+    }
+
+    #[test]
+    fn transient_failures_recover_without_changing_results() {
+        let idx = MemIndex::new(
+            "users",
+            (0..50)
+                .map(|i| (Datum::Int(i), vec![Datum::Int(i * 2)]))
+                .collect(),
+        );
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(17).failures(0.4));
+        // Deep retry budget: exhaustion probability 0.4^17 per key.
+        config.retry = RetryPolicy::bounded(
+            16,
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(10),
+        );
+        let cl = ChargedLookup::new(Arc::new(idx), NetworkModel::gigabit(), "efind.op.0.".into())
+            .with_faults(&config);
+        let mut ctx = TaskCtx::new(0);
+        for i in 0..50 {
+            let vals = cl.lookup(&Datum::Int(i), LookupMode::Remote, &mut ctx);
+            assert_eq!(vals[..], [Datum::Int(i * 2)], "key {i}");
+        }
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 50);
+        assert!(ctx.counters.get("efind.op.0.fault.retries") > 0);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.exhausted"), 0);
+        assert!(ctx.error().is_none());
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_to_degraded_lookups() {
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(2).failures(1.0));
+        config.retry = RetryPolicy::none();
+        config.breaker_threshold_x1000 = 200;
+        config.breaker_min_samples = 4;
+        let cl = charged_with(config);
+        let mut breaker = cl.new_breaker();
+        let mut ctx = TaskCtx::new(0);
+        for i in 0..10i64 {
+            let vals = cl.lookup_guarded(
+                &Datum::Int(i),
+                LookupMode::Remote,
+                &mut ctx,
+                breaker.as_mut(),
+            );
+            assert!(vals.is_empty());
+        }
+        // Lookups 1–3 exhaust their (empty) retry budget; lookup 4 trips
+        // the breaker mid-flight; 5–10 short-circuit without an attempt.
+        assert_eq!(ctx.counters.get("efind.op.0.fault.failures"), 4);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.exhausted"), 3);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.degraded"), 7);
+        assert!(breaker.unwrap().is_open());
+    }
+
+    #[test]
+    fn fail_job_miss_policy_reports_through_the_task_context() {
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(3).failures(1.0));
+        config.retry = RetryPolicy::none();
+        config.miss_policy = MissPolicy::FailJob;
+        let cl = charged_with(config);
+        let mut ctx = TaskCtx::new(0);
+        let vals = cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        assert!(vals.is_empty());
+        let err = ctx.error().expect("FailJob must surface a task error");
+        assert!(err.contains("efind.op.0."), "{err}");
+    }
+
+    #[test]
+    fn per_index_timeout_bounds_slow_lookups() {
+        // The MemIndex serves in 100 µs; a 50 µs deadline can never be
+        // met, so every attempt times out and the lookup degrades.
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(4));
+        config.timeout = Some(SimDuration::from_micros(50));
+        let cl = charged_with(config);
+        let mut ctx = TaskCtx::new(0);
+        let vals = cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        assert!(vals.is_empty());
+        assert_eq!(ctx.counters.get("efind.op.0.fault.timeouts"), 4);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.exhausted"), 1);
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 0);
+    }
+
+    struct FlakyIndex {
+        inner: MemIndex,
+        misses: bool,
+    }
+
+    impl IndexAccessor for FlakyIndex {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn lookup(&self, key: &Datum) -> Vec<Datum> {
+            self.inner.lookup(key)
+        }
+        fn try_lookup(&self, key: &Datum) -> LookupResult {
+            if self.misses && !self.inner.data.contains_key(key) {
+                LookupResult::Miss
+            } else if !self.misses {
+                LookupResult::Failed("service unavailable".into())
+            } else {
+                LookupResult::Hit(self.lookup(key))
+            }
+        }
+        fn serve_time(&self, key: &Datum, result_bytes: u64) -> SimDuration {
+            self.inner.serve_time(key, result_bytes)
+        }
+    }
+
+    #[test]
+    fn misses_and_failures_are_counted_apart() {
+        let missy = FlakyIndex {
+            inner: MemIndex::new("m", vec![(Datum::Int(1), vec![Datum::Int(10)])]),
+            misses: true,
+        };
+        let cl = ChargedLookup::new(
+            Arc::new(missy),
+            NetworkModel::gigabit(),
+            "efind.op.0.".into(),
+        );
+        let mut ctx = TaskCtx::new(0);
+        cl.lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx);
+        cl.lookup(&Datum::Int(99), LookupMode::Remote, &mut ctx);
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 2);
+        assert_eq!(ctx.counters.get("efind.op.0.misses"), 1);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.failures"), 0);
+
+        let failing = FlakyIndex {
+            inner: MemIndex::new("f", vec![]),
+            misses: false,
+        };
+        let cl = ChargedLookup::new(
+            Arc::new(failing),
+            NetworkModel::gigabit(),
+            "efind.op.0.".into(),
+        );
+        let mut ctx = TaskCtx::new(0);
+        assert!(cl
+            .lookup(&Datum::Int(1), LookupMode::Remote, &mut ctx)
+            .is_empty());
+        assert_eq!(ctx.counters.get("efind.op.0.lookups"), 0);
+        assert_eq!(ctx.counters.get("efind.op.0.fault.failures"), 1);
     }
 }

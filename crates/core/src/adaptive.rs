@@ -118,6 +118,16 @@ pub(crate) fn run_dynamic(
             else {
                 continue;
             };
+            // Graceful degradation: when wave-1 counters show an index
+            // failing or timing out beyond the configured threshold, the
+            // operator stays on the baseline plan — committing a shuffle
+            // job (or cached reuse) to an index that may be black-holed
+            // compounds the damage, and baseline keeps the retry/breaker
+            // machinery on the simplest path.
+            let degrade = rt.config.faults.degrade_threshold();
+            if stats.indices.iter().any(|i| i.failure_rate > degrade) {
+                continue;
+            }
             // Scale the volume statistic to the remaining input; averages
             // and ratios carry over unchanged.
             stats.n1 *= remaining_in as f64 / wave_in as f64;
@@ -342,6 +352,13 @@ fn try_reduce_phase_replan(
                 tail_plans.insert(bound.op.name().to_owned(), fallback());
                 continue;
             };
+            // Same degradation rule as the map-side pass: a failing index
+            // keeps its operator on the baseline plan.
+            let degrade = rt.config.faults.degrade_threshold();
+            if stats.indices.iter().any(|i| i.failure_rate > degrade) {
+                tail_plans.insert(bound.op.name().to_owned(), fallback());
+                continue;
+            }
             stats.n1 *= remaining_in as f64 / wave_in as f64;
             let current: f64 = (0..stats.indices.len())
                 .map(|j| cost_baseline(&env, &stats, j))
@@ -900,6 +917,47 @@ mod tests {
                 .all(|c| c.strategy == Strategy::Baseline),
             "the job must run its baseline plan end to end: {plan:?}"
         );
+    }
+
+    #[test]
+    fn failing_index_blocks_replanning() {
+        use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
+        // The identical workload replans in
+        // `dynamic_replans_under_heavy_duplication`; here the index fails
+        // 70% of its attempts — past the 50% degradation threshold — so
+        // the adaptive runtime must keep the operator on baseline instead
+        // of committing a shuffle job to a failing index.
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let mut config = cheap_change_config();
+        config.faults = FaultConfig::disabled().with_plan(FaultPlan::new(42).failures(0.7));
+        config.faults.retry =
+            RetryPolicy::bounded(8, SimDuration::from_micros(50), SimDuration::from_millis(5));
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, config);
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(
+            !res.replanned,
+            "a failing index must pin its operator to baseline"
+        );
+        // The harvested catalog carries the observed failure rate.
+        let stats = rt.catalog.get("join").unwrap();
+        assert!(
+            stats.indices[0].failure_rate > 0.5,
+            "failure rate {} should reflect the injected 70%",
+            stats.indices[0].failure_rate
+        );
+    }
+
+    #[test]
+    fn healthy_fault_config_does_not_block_replanning() {
+        use crate::fault::FaultConfig;
+        // An *armed but quiet* fault layer (plan with zero rates) must not
+        // change the adaptive decision.
+        let (cluster, mut dfs, ijob) = setup(2000, 10, 5);
+        let mut config = cheap_change_config();
+        config.faults = FaultConfig::disabled().with_plan(crate::fault::FaultPlan::new(1));
+        let mut rt = EFindRuntime::with_config(&cluster, &mut dfs, config);
+        let res = rt.run(&ijob, Mode::Dynamic).unwrap();
+        assert!(res.replanned, "quiet fault layer must not block the replan");
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! statistics, for `explain`-style reporting.
 
 use efind_analyze::{
-    analyze, ChoiceModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
-    Report, StrategyKind,
+    analyze, ChoiceModel, FaultModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind,
+    PlanModel, Report, StrategyKind,
 };
 use efind_common::{Error, FxHashMap, Result};
 
 use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
+use crate::fault::{FaultConfig, MissPolicy};
 use crate::jobconf::{BoundOperator, IndexJobConf};
 use crate::plan::{forced_plan, optimize_operator, Enumeration, OperatorPlan, Strategy};
 use crate::statsx::Catalog;
@@ -99,12 +100,43 @@ pub fn job_model(
         job: ijob.name.clone(),
         has_reduce: ijob.has_reduce(),
         operators,
+        faults: None,
+    })
+}
+
+/// Lowers the runtime fault configuration into the analyzer's IR. Only an
+/// armed configuration (one with an injection plan installed) is lowered —
+/// the fault checks are meaningless for the zero-fault path, which never
+/// retries, pauses, or times out.
+pub fn fault_model(config: &FaultConfig) -> Option<FaultModel> {
+    config.plan.as_ref()?;
+    Some(FaultModel {
+        max_retries: config.retry.max_retries,
+        backoff_base_nanos: config.retry.backoff_base.as_nanos(),
+        max_backoff_nanos: config.retry.max_backoff.as_nanos(),
+        timeout_nanos: config.timeout.map(|t| t.as_nanos()),
+        fail_job_on_exhaustion: matches!(config.miss_policy, MissPolicy::FailJob),
+        breaker_threshold: config.breaker_threshold(),
+        breaker_min_samples: config.breaker_min_samples,
     })
 }
 
 /// Runs the structural checks over a job and its plans.
 pub fn analyze_job(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>) -> Result<Report> {
-    Ok(analyze(&job_model(ijob, plans)?))
+    analyze_job_with_faults(ijob, plans, &FaultConfig::disabled())
+}
+
+/// [`analyze_job`] with the runtime fault configuration lowered alongside
+/// the plan, so the fault checks (`EF015`, `EF016`) run when the fault
+/// layer is armed. This is the variant the compiler calls.
+pub fn analyze_job_with_faults(
+    ijob: &IndexJobConf,
+    plans: &FxHashMap<String, OperatorPlan>,
+    faults: &FaultConfig,
+) -> Result<Report> {
+    let mut model = job_model(ijob, plans)?;
+    model.faults = fault_model(faults);
+    Ok(analyze(&model))
 }
 
 /// Runs the full check set — structural plus the statistics-dependent
@@ -148,6 +180,7 @@ pub fn analyze_costs(
         job: ijob.name.clone(),
         has_reduce: ijob.has_reduce(),
         operators,
+        faults: None,
     })
 }
 
@@ -279,6 +312,43 @@ mod tests {
     }
 
     #[test]
+    fn fault_lowering_requires_an_armed_plan() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use efind_cluster::SimDuration;
+
+        assert!(fault_model(&FaultConfig::disabled()).is_none());
+
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(7).failures(0.1));
+        config.retry =
+            RetryPolicy::bounded(5, SimDuration::from_micros(50), SimDuration::from_millis(1));
+        config.timeout = Some(SimDuration::from_millis(2));
+        config.miss_policy = MissPolicy::FailJob;
+        let model = fault_model(&config).expect("armed config lowers");
+        assert_eq!(model.max_retries, 5);
+        assert_eq!(model.backoff_base_nanos, 50_000);
+        assert_eq!(model.max_backoff_nanos, 1_000_000);
+        assert_eq!(model.timeout_nanos, Some(2_000_000));
+        assert!(model.fail_job_on_exhaustion);
+    }
+
+    #[test]
+    fn zero_timeout_fault_config_fails_analysis() {
+        use crate::fault::FaultPlan;
+        use efind_cluster::SimDuration;
+
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut config = FaultConfig::disabled().with_plan(FaultPlan::new(7).failures(0.1));
+        config.timeout = Some(SimDuration::ZERO);
+        let report = analyze_job_with_faults(&ijob, &plans, &config).unwrap();
+        assert!(report.has_code(efind_analyze::DiagCode::EF015));
+        assert!(report.into_result().is_err());
+
+        // The same job analyzed without faults stays clean.
+        assert!(analyze_job(&ijob, &plans).unwrap().is_clean());
+    }
+
+    #[test]
     fn property4_predicate() {
         let choice = |index, strategy| IndexChoice {
             index,
@@ -393,6 +463,7 @@ mod tests {
                     has_partition_scheme: false,
                     shuffleable: true,
                     partitions: 0,
+                    failure_rate: 0.0,
                 }],
             },
         );

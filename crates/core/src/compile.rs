@@ -29,6 +29,7 @@ use efind_mapreduce::{
 use crate::accessor::{ChargedLookup, LookupMode, PartitionScheme};
 use crate::cache::{LookupCache, ShadowCache};
 use crate::carrier::Carrier;
+use crate::fault::{Breaker, FaultConfig};
 use crate::jobconf::{BoundOperator, IndexJobConf};
 use crate::operator::{IndexInput, IndexOperator};
 use crate::plan::{OperatorPlan, Strategy};
@@ -51,6 +52,9 @@ pub struct RuntimeEnv {
     /// Hard co-location for index-locality tasks (experimental; the paper
     /// argues soft affinity is safer — footnote 3).
     pub hard_colocation: bool,
+    /// Fault-tolerance configuration attached to every [`ChargedLookup`]
+    /// built for this pipeline. Disabled = the plain lookup path.
+    pub faults: FaultConfig,
 }
 
 /// A logical stage of the compiled data flow.
@@ -195,6 +199,8 @@ struct DirectLookupMapper {
     t_cache: SimDuration,
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
+    /// Per-task circuit breaker (present only when faults are configured).
+    breaker: Option<Breaker>,
 }
 
 impl Mapper for DirectLookupMapper {
@@ -213,12 +219,20 @@ impl Mapper for DirectLookupMapper {
                 Some(cache) => match cache.probe(key) {
                     Some(hit) => hit,
                     None => {
-                        let fresh = self.charged.lookup(key, LookupMode::Remote, ctx);
+                        let fresh = self.charged.lookup_guarded(
+                            key,
+                            LookupMode::Remote,
+                            ctx,
+                            self.breaker.as_mut(),
+                        );
                         cache.insert(key.clone(), fresh.clone());
                         fresh
                     }
                 },
-                None => self.charged.lookup(key, LookupMode::Remote, ctx),
+                None => {
+                    self.charged
+                        .lookup_guarded(key, LookupMode::Remote, ctx, self.breaker.as_mut())
+                }
             };
             results.push(values);
         }
@@ -267,6 +281,8 @@ struct LookupGroupReducer {
     slot: usize,
     locality: Option<Arc<dyn PartitionScheme>>,
     hard_colocation: bool,
+    /// Per-task circuit breaker (present only when faults are configured).
+    breaker: Option<Breaker>,
 }
 
 impl Reducer for LookupGroupReducer {
@@ -287,7 +303,9 @@ impl Reducer for LookupGroupReducer {
         } else {
             LookupMode::Remote
         };
-        let result = self.charged.lookup(&key, mode, ctx);
+        let result = self
+            .charged
+            .lookup_guarded(&key, mode, ctx, self.breaker.as_mut());
         for payload in values {
             let mut carrier = match Carrier::from_value(payload) {
                 Ok(c) => c,
@@ -339,6 +357,8 @@ struct FusedSlot {
     t_cache: SimDuration,
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
+    /// Per-task circuit breaker (present only when faults are configured).
+    breaker: Option<Breaker>,
 }
 
 /// A whole operator fused into one record-wise function: `pre_process`,
@@ -391,12 +411,20 @@ impl Mapper for FusedLookupMapper {
                     Some(cache) => match cache.probe(key) {
                         Some(hit) => hit,
                         None => {
-                            let fresh = fs.charged.lookup(key, LookupMode::Remote, ctx);
+                            let fresh = fs.charged.lookup_guarded(
+                                key,
+                                LookupMode::Remote,
+                                ctx,
+                                fs.breaker.as_mut(),
+                            );
                             cache.insert(key.clone(), fresh.clone());
                             fresh
                         }
                     },
-                    None => fs.charged.lookup(key, LookupMode::Remote, ctx),
+                    None => {
+                        fs.charged
+                            .lookup_guarded(key, LookupMode::Remote, ctx, fs.breaker.as_mut())
+                    }
                 };
                 results.push(values);
             }
@@ -480,11 +508,10 @@ fn compile_operator(
             .iter()
             .enumerate()
             .map(|(j, acc)| {
-                Arc::new(ChargedLookup::new(
-                    acc.clone(),
-                    env.network,
-                    names::idx_prefix(&opname, j),
-                ))
+                Arc::new(
+                    ChargedLookup::new(acc.clone(), env.network, names::idx_prefix(&opname, j))
+                        .with_faults(&env.faults),
+                )
             })
             .collect(),
     );
@@ -560,6 +587,7 @@ fn compile_operator(
                         t_cache,
                         c_cache_probes,
                         c_cache_hits,
+                        breaker: cl.new_breaker(),
                     })
                 })));
             }
@@ -594,6 +622,7 @@ fn compile_operator(
                         slot,
                         locality: locality.clone(),
                         hard_colocation,
+                        breaker: cl2.new_breaker(),
                     })
                 });
                 op_stages.push(Stage::Shuffle(ShuffleSpec {
@@ -649,6 +678,7 @@ fn compile_operator(
                         t_cache,
                         c_cache_probes: c.c_cache_probes,
                         c_cache_hits: c.c_cache_hits,
+                        breaker: c.charged.new_breaker(),
                     })
                     .collect(),
                 c_sidx_bytes,
@@ -675,7 +705,8 @@ pub fn compile_pipeline(
     ijob.validate()?;
     // Static plan verification (EF001..): hard errors abort compilation
     // here, before any stage is built; warnings travel with the pipeline.
-    let analysis = crate::analysis::analyze_job(ijob, plans)?.into_result()?;
+    let analysis =
+        crate::analysis::analyze_job_with_faults(ijob, plans, &env.faults)?.into_result()?;
     let plan_of = |bound: &BoundOperator| -> Result<&OperatorPlan> {
         plans
             .get(bound.op.name())
@@ -840,6 +871,7 @@ mod tests {
             shuffle_reducers: 4,
             intermediate_chunks: 8,
             hard_colocation: false,
+            faults: FaultConfig::disabled(),
         }
     }
 

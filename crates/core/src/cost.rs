@@ -109,6 +109,10 @@ pub struct IndexStatsEstimate {
     /// shuffle is co-partitioned with the index, so its reduce
     /// parallelism is capped by this.
     pub partitions: usize,
+    /// Observed fraction of lookup attempts that fail or time out
+    /// (0 = healthy). Harvested from the fault counters; drives the
+    /// expected-retry inflation of every lookup term.
+    pub failure_rate: f64,
 }
 
 impl IndexStatsEstimate {
@@ -116,6 +120,15 @@ impl IndexStatsEstimate {
     /// attached.
     pub fn result_growth(&self) -> f64 {
         self.nik * self.siv
+    }
+
+    /// Expected attempts per successful lookup under independent retries:
+    /// `1 / (1 - failure_rate)`, the mean of the geometric distribution.
+    /// Exactly 1.0 for a healthy index; the rate is capped at 0.95 so a
+    /// fully black-holed index stays finite (the breaker, not the cost
+    /// model, handles that regime).
+    pub fn retry_factor(&self) -> f64 {
+        1.0 / (1.0 - self.failure_rate.clamp(0.0, 0.95))
     }
 }
 
@@ -152,10 +165,11 @@ impl OperatorStatsEstimate {
     }
 }
 
-/// Eq. 1 — baseline: every key pays a remote lookup.
+/// Eq. 1 — baseline: every key pays a remote lookup (inflated by the
+/// expected retries on a faulty index).
 pub fn cost_baseline(env: &CostEnv, op: &OperatorStatsEstimate, j: usize) -> f64 {
     let idx = &op.indices[j];
-    op.n1 * idx.nik * (remote_lookup_secs(env, idx) + idx.tj_secs)
+    op.n1 * idx.nik * (remote_lookup_secs(env, idx) + idx.tj_secs) * idx.retry_factor()
 }
 
 /// The network leg of one remote lookup: request latency plus volume.
@@ -169,7 +183,8 @@ pub fn cost_cache(env: &CostEnv, op: &OperatorStatsEstimate, j: usize) -> f64 {
     let idx = &op.indices[j];
     op.n1
         * idx.nik
-        * (env.t_cache_secs + idx.miss_ratio * (remote_lookup_secs(env, idx) + idx.tj_secs))
+        * (env.t_cache_secs
+            + idx.miss_ratio * (remote_lookup_secs(env, idx) + idx.tj_secs) * idx.retry_factor())
 }
 
 /// The `S_min` boundary size of Eq. 3: the smallest intermediate the
@@ -199,6 +214,7 @@ pub fn cost_repartition(
     let result = env.f_per_byte * op.n1 * s_min(op, j, placement, carried);
     let lookups = op.n1 * idx.nik / idx.theta.max(1.0)
         * (remote_lookup_secs(env, idx) + idx.tj_secs)
+        * idx.retry_factor()
         * env.reduce_inflation(0);
     shuffle + result + lookups
 }
@@ -216,9 +232,11 @@ pub fn cost_index_locality(
     let idx = &op.indices[j];
     let shuffle = op.n1 * carried * env.shuffle_secs_per_byte;
     let result = env.f_per_byte * op.n1 * s_min(op, j, placement, carried);
-    let lookups =
-        op.n1 * idx.nik / idx.theta.max(1.0) * idx.tj_secs * env.reduce_inflation(idx.partitions)
-            + op.n1 * env.transfer_secs(carried);
+    let lookups = op.n1 * idx.nik / idx.theta.max(1.0)
+        * idx.tj_secs
+        * idx.retry_factor()
+        * env.reduce_inflation(idx.partitions)
+        + op.n1 * env.transfer_secs(carried);
     shuffle + result + lookups
 }
 
@@ -262,6 +280,7 @@ pub(crate) mod testutil {
                 has_partition_scheme: true,
                 shuffleable: true,
                 partitions: 32,
+                failure_rate: 0.0,
             }],
         }
     }
@@ -373,6 +392,7 @@ mod tests {
             has_partition_scheme: false,
             shuffleable: false,
             partitions: 0,
+            failure_rate: 0.0,
         });
         assert_eq!(op.carried_size(&[]), 80.0);
         assert_eq!(op.carried_size(&[0]), 80.0 + 1000.0);
@@ -383,5 +403,30 @@ mod tests {
     fn wall_clock_scaling() {
         let env = env();
         assert!((env.wall_secs(96.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_rate_inflates_every_lookup_term() {
+        let env = env();
+        let healthy = one_index_op(1.0, 1000.0, 1.0e-3, 1.0, 4.0);
+        let mut flaky = healthy.clone();
+        flaky.indices[0].failure_rate = 0.5;
+        // Expected attempts double at a 50% failure rate.
+        assert!((flaky.indices[0].retry_factor() - 2.0).abs() < 1e-12);
+        assert!((healthy.indices[0].retry_factor() - 1.0).abs() < 1e-12);
+        assert!(cost_baseline(&env, &flaky, 0) > cost_baseline(&env, &healthy, 0));
+        assert!(cost_cache(&env, &flaky, 0) > cost_cache(&env, &healthy, 0));
+        let carried = healthy.spre;
+        assert!(
+            cost_repartition(&env, &flaky, 0, Placement::Head, carried)
+                > cost_repartition(&env, &healthy, 0, Placement::Head, carried)
+        );
+        assert!(
+            cost_index_locality(&env, &flaky, 0, Placement::Head, carried)
+                > cost_index_locality(&env, &healthy, 0, Placement::Head, carried)
+        );
+        // The inflation is capped: a black-holed index stays finite.
+        flaky.indices[0].failure_rate = 1.0;
+        assert!((flaky.indices[0].retry_factor() - 20.0).abs() < 1e-9);
     }
 }

@@ -48,6 +48,17 @@
 //! runtime's result reuse. Errors (stable `EFxxx` codes) abort
 //! compilation; warnings are printed at job start and surface in the
 //! `explain` report.
+//!
+//! ## Fault tolerance
+//!
+//! [`fault`] adds a deterministic fault-injection and tolerance layer to
+//! the accessor path: a seeded [`FaultPlan`] (failures, timeouts,
+//! slowdowns decided by a pure hash — no wall clock), a [`RetryPolicy`]
+//! with exponential backoff charged to virtual time, per-index timeouts,
+//! and a per-task circuit [`Breaker`](fault::Breaker) degrading to a
+//! configurable [`MissPolicy`]. The adaptive runtime reads the failure
+//! counters as a re-optimization trigger and the cost model charges
+//! expected retry overhead.
 
 pub mod accessor;
 pub mod adaptive;
@@ -56,17 +67,19 @@ pub mod cache;
 pub mod carrier;
 pub mod compile;
 pub mod cost;
+pub mod fault;
 pub mod jobconf;
 pub mod operator;
 pub mod plan;
 pub mod runtime;
 pub mod statsx;
 
-pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, PartitionScheme};
+pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, LookupResult, PartitionScheme};
 pub use cache::LookupCache;
 pub use cost::{CostEnv, IndexStatsEstimate, OperatorStatsEstimate, Placement};
 pub use efind_analyze::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use efind_common::KeyKind;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, MissPolicy, RetryPolicy};
 pub use jobconf::{BoundOperator, IndexJobConf};
 pub use operator::{operator_fn, IndexInput, IndexOperator, IndexOutput};
 pub use plan::{Enumeration, OperatorPlan, Strategy};

@@ -294,6 +294,7 @@ mod tests {
             has_partition_scheme: scheme,
             shuffleable: true,
             partitions: if scheme { 32 } else { 0 },
+            failure_rate: 0.0,
         }
     }
 

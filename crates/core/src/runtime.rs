@@ -8,6 +8,7 @@ use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
 
 use crate::compile::{compile_pipeline, RuntimeEnv};
 use crate::cost::CostEnv;
+use crate::fault::FaultConfig;
 use crate::jobconf::IndexJobConf;
 use crate::plan::{forced_plan, optimize_operator, Enumeration, OperatorPlan, Strategy};
 use crate::statsx::Catalog;
@@ -47,6 +48,11 @@ pub struct EFindConfig {
     /// reproduction's virtual job durations; Hadoop deployments would use
     /// tens of seconds.
     pub job_overhead_secs: f64,
+    /// Fault-tolerance configuration for the accessor path: injection
+    /// plan (tests/chaos runs), retry policy, per-index timeout, circuit
+    /// breaker, and miss policy. Disabled by default — the zero-fault
+    /// lookup path is byte-identical to a build without the fault layer.
+    pub faults: FaultConfig,
 }
 
 impl Default for EFindConfig {
@@ -61,6 +67,7 @@ impl Default for EFindConfig {
             keep_intermediates: false,
             hard_colocation: false,
             job_overhead_secs: 0.02,
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -207,6 +214,7 @@ impl<'a> EFindRuntime<'a> {
                 .unwrap_or_else(|| self.cluster.total_reduce_slots()),
             intermediate_chunks: self.cluster.total_map_slots() * 2,
             hard_colocation: self.config.hard_colocation,
+            faults: self.config.faults.clone(),
         }
     }
 

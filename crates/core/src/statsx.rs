@@ -113,6 +113,15 @@ pub fn extract_operator_stats(
             1.0
         };
 
+        // Failure rate of lookup *attempts*: injected failures and
+        // timeouts over all attempts that reached the index path. Zero on
+        // a healthy run (the fault counters are never created then).
+        let failures = counters.get(&names::idx(&desc.name, j, "fault.failures")) as f64
+            + counters.get(&names::idx(&desc.name, j, "fault.timeouts")) as f64;
+        let misses = counters.get(&names::idx(&desc.name, j, "misses")) as f64;
+        let attempts = lookups + misses + failures;
+        let failure_rate = ratio(failures, attempts);
+
         let distinct = sketches.estimate(&names::idx(&desc.name, j, "distinct"));
         let theta = if distinct > 0.0 {
             (nik_total / distinct).max(1.0)
@@ -130,6 +139,7 @@ pub fn extract_operator_stats(
             has_partition_scheme: desc.schemes.get(j).copied().unwrap_or(false),
             shuffleable: irregular == 0,
             partitions: desc.partition_counts.get(j).copied().unwrap_or(0),
+            failure_rate: failure_rate.clamp(0.0, 1.0),
         });
     }
     Some(OperatorStatsEstimate {
@@ -228,7 +238,7 @@ impl Catalog {
             for idx in &op.indices {
                 let _ = writeln!(
                     s,
-                    "  idx nik={} sik={} siv={} tj={} miss={} theta={} scheme={} shuffleable={} partitions={}",
+                    "  idx nik={} sik={} siv={} tj={} miss={} theta={} scheme={} shuffleable={} partitions={} fail={}",
                     idx.nik,
                     idx.sik,
                     idx.siv,
@@ -238,6 +248,7 @@ impl Catalog {
                     idx.has_partition_scheme,
                     idx.shuffleable,
                     idx.partitions,
+                    idx.failure_rate,
                 );
             }
         }
@@ -307,6 +318,7 @@ impl Catalog {
                     has_partition_scheme: false,
                     shuffleable: true,
                     partitions: 0,
+                    failure_rate: 0.0,
                 };
                 for tok in rest.split_whitespace() {
                     if let Some(v) = kv(tok, "nik") {
@@ -327,6 +339,8 @@ impl Catalog {
                         idx.shuffleable = v;
                     } else if let Some(v) = kv(tok, "partitions") {
                         idx.partitions = v;
+                    } else if let Some(v) = kv(tok, "fail") {
+                        idx.failure_rate = v;
                     } else {
                         return Err(parse_err(line));
                     }
@@ -398,6 +412,27 @@ mod tests {
         assert!(idx.theta > 3.0 && idx.theta < 8.0, "theta={}", idx.theta);
         assert!(idx.shuffleable);
         assert!(idx.has_partition_scheme);
+    }
+
+    #[test]
+    fn failure_rate_extracted_from_fault_counters() {
+        let (c, s) = sample_counters();
+        // Healthy run: no fault counters → rate 0.
+        let stats = extract_operator_stats(&c, &s, &desc()).unwrap();
+        assert_eq!(stats.indices[0].failure_rate, 0.0);
+
+        // 500 successful lookups, 100 injected failures + 25 timeouts:
+        // rate = 125 / 625.
+        let (mut c, s) = sample_counters();
+        c.add("efind.op.0.fault.failures", 100);
+        c.add("efind.op.0.fault.timeouts", 25);
+        let stats = extract_operator_stats(&c, &s, &desc()).unwrap();
+        assert!((stats.indices[0].failure_rate - 0.2).abs() < 1e-9);
+        // The rate survives the catalog's text round-trip.
+        let mut cat = Catalog::new();
+        cat.put("op", stats);
+        let back = Catalog::from_text(&cat.to_text()).unwrap();
+        assert!((back.get("op").unwrap().indices[0].failure_rate - 0.2).abs() < 1e-9);
     }
 
     #[test]

@@ -33,9 +33,10 @@ fn arb_index() -> impl Strategy<Value = IndexStatsEstimate> {
         1.0f64..100.0,     // theta
         any::<bool>(),
         any::<bool>(),
+        0.0f64..0.6, // failure rate
     )
         .prop_map(
-            |(nik, sik, siv, tj, miss, theta, scheme, shuffleable)| IndexStatsEstimate {
+            |(nik, sik, siv, tj, miss, theta, scheme, shuffleable, fail)| IndexStatsEstimate {
                 nik,
                 sik,
                 siv,
@@ -45,6 +46,7 @@ fn arb_index() -> impl Strategy<Value = IndexStatsEstimate> {
                 has_partition_scheme: scheme,
                 shuffleable,
                 partitions: if scheme { 32 } else { 0 },
+                failure_rate: fail,
             },
         )
 }

@@ -9,11 +9,18 @@
 
 use std::sync::Arc;
 
-use efind::{IndexAccessor, PartitionScheme};
+use efind::{IndexAccessor, LookupResult, PartitionScheme};
 use efind_cluster::SimDuration;
 use efind_common::{Datum, FxHashMap};
 
-/// The lookup function a [`RemoteService`] wraps.
+/// The fallible lookup function a [`RemoteService`] wraps. Remote
+/// services are exactly the accessors where "the key has no entry" and
+/// "the service did not answer" are different events, so the canonical
+/// interface is the fallible one; the infallible [`LookupFn`]-style
+/// constructors wrap into it.
+pub type TryLookupFn = Box<dyn Fn(&Datum) -> LookupResult + Send + Sync>;
+
+/// The infallible lookup function accepted by [`RemoteService::new`].
 pub type LookupFn = Box<dyn Fn(&Datum) -> Vec<Datum> + Send + Sync>;
 
 /// A remote service answering lookups through a user-provided function,
@@ -21,18 +28,31 @@ pub type LookupFn = Box<dyn Fn(&Datum) -> Vec<Datum> + Send + Sync>;
 pub struct RemoteService {
     name: String,
     delay: SimDuration,
-    func: LookupFn,
+    func: TryLookupFn,
 }
 
 impl RemoteService {
     /// The paper's base service delay (0.8 ms).
     pub const BASE_DELAY: SimDuration = SimDuration::from_micros(800);
 
-    /// Wraps a lookup function with a fixed delay.
+    /// Wraps an infallible lookup function with a fixed delay. Every
+    /// answer — including an empty one — is a [`LookupResult::Hit`].
     pub fn new(
         name: impl Into<String>,
         delay: SimDuration,
         func: impl Fn(&Datum) -> Vec<Datum> + Send + Sync + 'static,
+    ) -> Self {
+        Self::fallible(name, delay, move |k| LookupResult::Hit(func(k)))
+    }
+
+    /// Wraps a fallible lookup function: the service decides per key
+    /// whether it answers ([`LookupResult::Hit`]), reports the key absent
+    /// ([`LookupResult::Miss`]), or fails ([`LookupResult::Failed`] — fed
+    /// into the accessor path's retry machinery).
+    pub fn fallible(
+        name: impl Into<String>,
+        delay: SimDuration,
+        func: impl Fn(&Datum) -> LookupResult + Send + Sync + 'static,
     ) -> Self {
         RemoteService {
             name: name.into(),
@@ -41,15 +61,19 @@ impl RemoteService {
         }
     }
 
-    /// Convenience: a remote service backed by a static table.
+    /// Convenience: a remote service backed by a static table. A key
+    /// absent from the table is reported as [`LookupResult::Miss`] — not
+    /// as a silent empty result — so miss and failure counters stay
+    /// distinguishable downstream.
     pub fn table(
         name: impl Into<String>,
         delay: SimDuration,
         pairs: impl IntoIterator<Item = (Datum, Vec<Datum>)>,
     ) -> Self {
         let table: FxHashMap<Datum, Vec<Datum>> = pairs.into_iter().collect();
-        Self::new(name, delay, move |k| {
-            table.get(k).cloned().unwrap_or_default()
+        Self::fallible(name, delay, move |k| match table.get(k) {
+            Some(values) => LookupResult::Hit(values.clone()),
+            None => LookupResult::Miss,
         })
     }
 
@@ -65,6 +89,13 @@ impl IndexAccessor for RemoteService {
     }
 
     fn lookup(&self, key: &Datum) -> Vec<Datum> {
+        match (self.func)(key) {
+            LookupResult::Hit(values) => values,
+            LookupResult::Miss | LookupResult::Failed(_) => Vec::new(),
+        }
+    }
+
+    fn try_lookup(&self, key: &Datum) -> LookupResult {
         (self.func)(key)
     }
 
@@ -90,6 +121,12 @@ mod tests {
         });
         assert_eq!(svc.lookup(&Datum::Int(21)), vec![Datum::Int(42)]);
         assert!(svc.lookup(&Datum::Text("x".into())).is_empty());
+        // Infallible services never report a miss: an empty answer is
+        // still a Hit.
+        assert_eq!(
+            svc.try_lookup(&Datum::Text("x".into())),
+            LookupResult::Hit(vec![])
+        );
         assert_eq!(
             svc.serve_time(&Datum::Int(0), 100),
             SimDuration::from_millis(1)
@@ -112,5 +149,47 @@ mod tests {
             vec![Datum::Text("us-west".into())]
         );
         assert_eq!(svc.delay(), SimDuration::from_micros(800));
+    }
+
+    #[test]
+    fn table_misses_are_distinguishable_from_empty_hits() {
+        let svc = RemoteService::table(
+            "geo",
+            RemoteService::BASE_DELAY,
+            vec![
+                (Datum::Int(1), vec![Datum::Text("east".into())]),
+                (Datum::Int(2), vec![]),
+            ],
+        );
+        assert!(matches!(
+            svc.try_lookup(&Datum::Int(1)),
+            LookupResult::Hit(v) if v.len() == 1
+        ));
+        // A key mapped to an empty list answers Hit([]) …
+        assert_eq!(svc.try_lookup(&Datum::Int(2)), LookupResult::Hit(vec![]));
+        // … while an absent key is a Miss; the infallible view of both is
+        // an empty Vec.
+        assert_eq!(svc.try_lookup(&Datum::Int(3)), LookupResult::Miss);
+        assert!(svc.lookup(&Datum::Int(3)).is_empty());
+    }
+
+    #[test]
+    fn fallible_services_can_fail() {
+        let svc =
+            RemoteService::fallible("flaky", RemoteService::BASE_DELAY, |k| match k.as_int() {
+                Some(v) if v % 2 == 0 => LookupResult::Hit(vec![Datum::Int(v / 2)]),
+                Some(_) => LookupResult::Failed("shard offline".into()),
+                None => LookupResult::Miss,
+            });
+        assert_eq!(
+            svc.try_lookup(&Datum::Int(4)),
+            LookupResult::Hit(vec![Datum::Int(2)])
+        );
+        assert!(matches!(
+            svc.try_lookup(&Datum::Int(3)),
+            LookupResult::Failed(_)
+        ));
+        // The infallible view degrades a failure to empty, as before.
+        assert!(svc.lookup(&Datum::Int(3)).is_empty());
     }
 }

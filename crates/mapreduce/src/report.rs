@@ -42,6 +42,25 @@ pub fn render_summary(stats: &JobStats) -> String {
     }
     let mut counters = stats.counters.iter_sorted();
     counters.retain(|(k, _)| k.starts_with("efind."));
+    let fault_total = |suffix: &str| -> i64 {
+        counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let failures = fault_total(".fault.failures");
+    let timeouts = fault_total(".fault.timeouts");
+    let retries = fault_total(".fault.retries");
+    let exhausted = fault_total(".fault.exhausted");
+    let degraded = fault_total(".fault.degraded");
+    if failures + timeouts + retries + exhausted + degraded > 0 {
+        let _ = writeln!(
+            s,
+            "  fault tolerance: {failures} transient failures, {timeouts} timeouts, \
+             {retries} retries, {exhausted} exhausted, {degraded} degraded",
+        );
+    }
     if !counters.is_empty() {
         let _ = writeln!(s, "  efind counters:");
         for (k, v) in counters {
@@ -156,6 +175,12 @@ mod tests {
         assert!(s.contains("map tasks"));
         assert!(s.contains("reduce phase"));
         assert!(s.contains("input locality"));
+    }
+
+    #[test]
+    fn summary_omits_fault_line_without_fault_counters() {
+        let stats = run();
+        assert!(!render_summary(&stats).contains("fault tolerance"));
     }
 
     #[test]

@@ -11,6 +11,14 @@ scripts/lint.sh
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== fault injection (pinned seed matrix) =="
+# Deterministic chaos sweep: per (seed, rate, strategy) cell two runs
+# must be bit-identical, and the zero-fault cell must match the hotpath
+# goldens. The pinned matrix is the suite's default; widen it by
+# exporting more seeds.
+EFIND_FAULT_SEEDS="${EFIND_FAULT_SEEDS:-0xEF1D0001,0xC0FFEE42}" \
+    cargo test -q --test fault_injection --test fault_props
+
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
 

@@ -1,0 +1,166 @@
+//! Property-based pins for the fault layer's two core guarantees:
+//!
+//! 1. **Quiet-plan transparency** — arming the fault layer with a
+//!    zero-rate plan changes *nothing*: every virtual observable
+//!    (makespans, shuffle bytes, counter maps, output fingerprints) is
+//!    bit-identical to a run without the fault layer, whatever the seed
+//!    and strategy.
+//! 2. **Exactly-once-effective retries** — transient failures never
+//!    change the job *output* (only makespan and counters), for any
+//!    seed and rate up to 0.2, under each miss policy. The real accessor
+//!    is only invoked on attempts the plan lets through, and with 16
+//!    retries exhaustion is unreachable at these rates.
+//!
+//! Each case spins up a full simulated cluster, so the case counts stay
+//! small; the deterministic sweep in `tests/fault_injection.rs` covers
+//! the pinned seed matrix densely.
+
+use efind::{EFindRuntime, FaultConfig, FaultPlan, MissPolicy, Mode, RetryPolicy, Strategy};
+use efind_cluster::SimDuration;
+use efind_common::{fx_hash_bytes, Datum};
+use efind_dfs::Dfs;
+use efind_mapreduce::JobStats;
+use efind_workloads::multi::{self, MultiConfig};
+use proptest::prelude::*;
+
+/// Labeled virtual observables (see `tests/fault_injection.rs`).
+type Observables = Vec<(String, u64)>;
+
+fn counter_fingerprint(stats: &JobStats) -> u64 {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for (k, v) in stats.counters.iter_sorted() {
+        let _ = writeln!(text, "{k}={v}");
+    }
+    fx_hash_bytes(text.as_bytes())
+}
+
+fn file_fingerprint(dfs: &Dfs, name: &str) -> u64 {
+    let mut buf = Vec::new();
+    for rec in dfs.read_file(name).expect("output file missing") {
+        buf.extend_from_slice(&rec.encode());
+    }
+    fx_hash_bytes(&buf)
+}
+
+/// A small multi-index workload: three indices, every strategy viable.
+fn tiny_config() -> MultiConfig {
+    MultiConfig {
+        num_events: 600,
+        num_users: 60,
+        num_ads: 100,
+        num_sites: 40,
+        site_value_bytes: 64,
+        chunks: 8,
+        ..MultiConfig::default()
+    }
+}
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Baseline,
+    Strategy::Cache,
+    Strategy::Repartition,
+    Strategy::IndexLocality,
+];
+
+/// Runs the workload and captures every virtual observable.
+fn run_observed(strategy: Strategy, faults: FaultConfig) -> Observables {
+    let mut s = multi::scenario(&tiny_config());
+    s.efind_config.faults = faults;
+    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
+    let res = rt.run(&s.ijob, Mode::Uniform(strategy)).unwrap();
+    let mut captured: Observables = vec![
+        ("total.nanos".into(), res.total_time.as_nanos()),
+        ("jobs".into(), res.jobs.len() as u64),
+    ];
+    for (i, job) in res.jobs.iter().enumerate() {
+        captured.push((format!("job{i}.makespan.nanos"), job.makespan().as_nanos()));
+        captured.push((format!("job{i}.shuffle.bytes"), job.shuffle_bytes));
+        captured.push((
+            format!("job{i}.counters.fingerprint"),
+            counter_fingerprint(job),
+        ));
+    }
+    captured.push((
+        "output.fingerprint".into(),
+        file_fingerprint(&s.dfs, "ads.enriched"),
+    ));
+    captured
+}
+
+/// Only the output rows of an observable vector.
+fn output_of(observables: &Observables) -> Vec<(String, u64)> {
+    observables
+        .iter()
+        .filter(|(k, _)| k.starts_with("output."))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite 1: a zero-fault plan is observably absent. All four
+    /// strategies run per case so a strategy-specific leak cannot hide.
+    #[test]
+    fn quiet_fault_plan_changes_no_observable(seed in any::<u64>()) {
+        for &strategy in &STRATEGIES {
+            let without = run_observed(strategy, FaultConfig::disabled());
+            // Armed with a quiet plan: fault state installed everywhere,
+            // zero injection probability.
+            let mut armed = FaultConfig::disabled().with_plan(FaultPlan::new(seed));
+            armed.timeout = Some(SimDuration::from_secs(1));
+            let with = run_observed(strategy, armed);
+            prop_assert_eq!(
+                &with, &without,
+                "quiet plan perturbed observables: seed={} strategy={:?}",
+                seed, strategy
+            );
+        }
+    }
+
+    /// Satellite 2: transient failures are exactly-once-effective. The
+    /// output fingerprint never moves, whatever the seed, rate (≤ 0.2),
+    /// strategy, or miss policy; only makespan and counters may change.
+    #[test]
+    fn transient_failures_never_change_output(
+        seed in any::<u64>(),
+        rate in 0.0f64..0.2,
+        strategy_pick in 0usize..4,
+        policy_pick in 0usize..3,
+    ) {
+        let strategy = STRATEGIES[strategy_pick];
+        let clean = run_observed(strategy, FaultConfig::disabled());
+
+        let policy = [
+            MissPolicy::Skip,
+            MissPolicy::Default(Datum::Text("fallback".into())),
+            MissPolicy::FailJob,
+        ][policy_pick].clone();
+        let mut faults = FaultConfig::disabled().with_plan(
+            FaultPlan::new(seed)
+                .failures(rate * 0.7)
+                .timeouts(rate * 0.3),
+        );
+        faults.retry = RetryPolicy::bounded(
+            16,
+            SimDuration::from_micros(20),
+            SimDuration::from_millis(2),
+        );
+        faults.miss_policy = policy;
+        let faulty = run_observed(strategy, faults);
+
+        prop_assert_eq!(
+            output_of(&faulty),
+            output_of(&clean),
+            "output moved: seed={} rate={} strategy={:?}",
+            seed, rate, strategy
+        );
+        // At meaningful rates faults were certainly injected (≥ 1 in
+        // ~1800 attempts bumps a fault counter), so the equality above
+        // is not vacuous: some non-output observable must have moved.
+        if rate > 0.05 {
+            prop_assert_ne!(faulty, clean);
+        }
+    }
+}
