@@ -124,6 +124,11 @@ fn measure_all(label: &str, iters: usize, faults: bool) -> BenchRun {
             iters,
             bench_lookup_heavy_faulty,
         ));
+        results.push(measure(
+            "lookup_heavy_nodecrash",
+            iters,
+            bench_lookup_heavy_nodecrash,
+        ));
     }
     BenchRun {
         label: label.to_owned(),
@@ -243,7 +248,10 @@ fn bench_scanjoin() -> impl FnMut() -> (u64, f64) {
 /// (counters, sketches, cache, charging) dominates. `lookups_per_s`
 /// reports requested keys (`nik`) per wall-clock second.
 fn bench_lookup_heavy() -> (u64, f64) {
-    run_lookup_heavy(efind::FaultConfig::disabled())
+    run_lookup_heavy(
+        efind::FaultConfig::disabled(),
+        efind_cluster::ChaosPlan::none(),
+    )
 }
 
 /// `lookup_heavy` with the fault layer armed at a 5% mixed fault rate:
@@ -263,10 +271,27 @@ fn bench_lookup_heavy_faulty() -> (u64, f64) {
         SimDuration::from_millis(5),
     );
     faults.timeout = Some(SimDuration::from_millis(50));
-    run_lookup_heavy(faults)
+    run_lookup_heavy(faults, efind_cluster::ChaosPlan::none())
 }
 
-fn run_lookup_heavy(faults: efind::FaultConfig) -> (u64, f64) {
+/// `lookup_heavy` with two seeded node crashes landing mid-job (the
+/// virtual makespan is ~188 ms; the deaths draw from [25 ms, 115 ms)):
+/// exercises lost-output recompute waves, shuffle-fetch retries, and DFS
+/// re-replication on the wall clock. Enabled by `--faults`, recorded
+/// only — `run_check` skips it.
+fn bench_lookup_heavy_nodecrash() -> (u64, f64) {
+    use efind_cluster::{ChaosPlan, SimDuration, SimTime};
+    let chaos = ChaosPlan::seeded(
+        0xEF1D_0002,
+        Cluster::edbt_testbed().num_nodes(),
+        2,
+        SimTime::ZERO + SimDuration::from_millis(25),
+        SimDuration::from_millis(90),
+    );
+    run_lookup_heavy(efind::FaultConfig::disabled(), chaos)
+}
+
+fn run_lookup_heavy(faults: efind::FaultConfig, chaos: efind_cluster::ChaosPlan) -> (u64, f64) {
     let config = SyntheticConfig {
         num_records: 24_000,
         key_space: 2_400,
@@ -278,6 +303,7 @@ fn run_lookup_heavy(faults: efind::FaultConfig) -> (u64, f64) {
     let mut s = synthetic::scenario(&config);
     let efind_config = EFindConfig {
         faults,
+        chaos,
         ..EFindConfig::default()
     };
     let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, efind_config);

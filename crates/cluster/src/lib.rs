@@ -18,11 +18,13 @@
 //! User code still runs for real; only durations are modeled, so counts
 //! (records, bytes, lookups) are exact and times are reproducible.
 
+pub mod chaos;
 pub mod model;
 pub mod node;
 pub mod sched;
 pub mod time;
 
+pub use chaos::{ChaosPlan, CrashEvent};
 pub use model::{DiskModel, NetworkModel};
 pub use node::{Cluster, ClusterBuilder, NodeId};
 pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};

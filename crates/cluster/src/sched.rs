@@ -9,6 +9,7 @@
 //! scheduled off its affinity nodes pays the configured affinity penalty
 //! (the remote-lookup network cost in the index locality cost model, Eq. 4).
 
+use crate::chaos::ChaosPlan;
 use crate::node::{Cluster, NodeId};
 use crate::time::{SimDuration, SimTime};
 
@@ -109,6 +110,9 @@ pub struct Schedule {
     pub speculative_copies: usize,
     /// Failed first attempts retried on another node (flaky-node model).
     pub retried_tasks: usize,
+    /// Attempts killed mid-run by a node crash and re-executed elsewhere
+    /// (chaos plan; 0 under the quiet plan).
+    pub crashed_attempts: usize,
 }
 
 impl Schedule {
@@ -159,11 +163,29 @@ struct Slot {
 /// affinity for the node, then (2) one with a local input replica, then (3)
 /// the oldest pending task.
 pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTime) -> Schedule {
+    schedule_phase_chaos(cluster, tasks, phase_start, &ChaosPlan::none())
+}
+
+/// [`schedule_phase`] with a node-crash plan replayed on top.
+///
+/// Planning is crash-blind (the JobTracker cannot foresee a death), exactly
+/// like the hidden-straggler model: after placement, assignments are replayed
+/// against the plan — an attempt interrupted mid-run is killed at the crash
+/// instant and re-executed on the then-best surviving node, and tasks queued
+/// on a dead node's slots migrate to survivors. With a quiet plan the replay
+/// is skipped entirely, so the result is bit-identical to [`schedule_phase`].
+pub fn schedule_phase_chaos(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    phase_start: SimTime,
+    chaos: &ChaosPlan,
+) -> Schedule {
     let mut schedule = Schedule {
         assignments: Vec::with_capacity(tasks.len()),
         makespan: phase_start,
         speculative_copies: 0,
         retried_tasks: 0,
+        crashed_attempts: 0,
     };
     if tasks.is_empty() {
         return schedule;
@@ -262,15 +284,21 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
             slots[slot_idx].free = fail_at;
             slots[slot_idx].used += 1;
             schedule.retried_tasks += 1;
+            // Retry placement in strict preference order: (1) a healthy
+            // node other than the failed attempt's, (2) any OTHER node
+            // even if flaky — it may fail again, but re-running where the
+            // attempt just failed is guaranteed waste, so the fallback
+            // pass must never land the retry back on the original node —
+            // and only with no other eligible slot at all (single-node
+            // cluster, hard affinity) (3) the original node itself.
             let mut retry_best: Option<(SimTime, SimTime, usize)> = None;
-            for retry_pass in 0..2 {
+            for admit_flaky in [false, true] {
                 for (i, slot) in slots.iter().enumerate() {
+                    // Both passes exclude the first attempt's node.
                     if slot.node == node {
                         continue;
                     }
-                    // First pass considers only healthy machines; flaky
-                    // ones are admitted only when nothing else qualifies.
-                    if retry_pass == 0 && cluster.flaky_fraction(slot.node).is_some() {
+                    if !admit_flaky && cluster.flaky_fraction(slot.node).is_some() {
                         continue;
                     }
                     if task.hard_affinity
@@ -290,6 +318,7 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
                 }
             }
             if let Some((rend, rstart, rslot)) = retry_best {
+                debug_assert_ne!(slots[rslot].node, node, "retry must avoid the failed node");
                 node = slots[rslot].node;
                 attempt_start = rstart;
                 end = rend;
@@ -387,6 +416,96 @@ pub fn schedule_phase(cluster: &Cluster, tasks: &[TaskSpec], phase_start: SimTim
             // The original slot is released at the winner's finish (the
             // loser copy is killed then).
             slot_free[slot] = slot_free[slot].max(assignment.end.min(actual_end));
+            schedule.makespan = schedule.makespan.max(assignment.end);
+        }
+    }
+
+    // --- Node-crash replay. ---
+    // Like the hidden-straggler pass, crashes are invisible to the planner;
+    // the final assignments are replayed against the chaos plan. A task
+    // whose node dies before it starts simply migrates; one interrupted
+    // mid-run is killed at the crash instant (the wasted work stays on the
+    // dead machine, which serves nothing afterwards anyway) and re-executed
+    // on the surviving node where it finishes earliest.
+    if !chaos.is_quiet() {
+        let mut slot_free: Vec<SimTime> = vec![phase_start; slots.len()];
+        let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+        order.sort_by_key(|&i| (schedule.assignments[i].start, i));
+        schedule.makespan = phase_start;
+        for i in order {
+            let task = &tasks[i];
+            let slot = assigned_slot[i];
+            let assignment = &mut schedule.assignments[i];
+            let planned = assignment.end.since(assignment.start);
+            let start = assignment.start.max(slot_free[slot]);
+            let end = start + planned;
+            let crash = chaos.crash_time(assignment.node);
+            let needs_move = match crash {
+                Some(at) if at <= start => Some(start.max(at)), // dead before launch
+                Some(at) if at < end => {
+                    // Killed mid-run: attempt wasted up to the crash.
+                    schedule.crashed_attempts += 1;
+                    Some(at)
+                }
+                _ => None,
+            };
+            match needs_move {
+                None => {
+                    assignment.start = start;
+                    assignment.end = end;
+                    slot_free[slot] = end;
+                }
+                Some(floor) => {
+                    // EFT over slots whose node survives the candidate
+                    // attempt end-to-end; hard affinity is honoured first
+                    // and relaxed only when it leaves no live candidate.
+                    let mut best: Option<(SimTime, SimTime, usize)> = None;
+                    for honour_affinity in [true, false] {
+                        for (j, s) in slots.iter().enumerate() {
+                            if honour_affinity
+                                && task.hard_affinity
+                                && !task.affinity.is_empty()
+                                && !task.affinity.contains(&s.node)
+                            {
+                                continue;
+                            }
+                            let rstart = slot_free[j].max(floor);
+                            let rdur = task
+                                .duration_on(s.node, cluster)
+                                .mul_f64(cluster.hidden_slowdown(s.node));
+                            let rend = rstart + rdur;
+                            if chaos.crash_time(s.node).is_some_and(|at| at < rend) {
+                                continue;
+                            }
+                            if best.is_none_or(|(bend, _, _)| rend < bend) {
+                                best = Some((rend, rstart, j));
+                            }
+                        }
+                        if best.is_some() {
+                            break;
+                        }
+                    }
+                    // A plan may only kill a strict subset of the nodes
+                    // (`ChaosPlan::seeded` guarantees a survivor), so a
+                    // candidate always exists; if a hand-built plan kills
+                    // everything, the attempt finishes on its original
+                    // node as if the crash arrived just after.
+                    if let Some((rend, rstart, rslot)) = best {
+                        assignment.node = slots[rslot].node;
+                        assignment.start = rstart;
+                        assignment.end = rend;
+                        assignment.input_local = task.input_hosts.is_empty()
+                            || task.input_hosts.contains(&assignment.node);
+                        assignment.affinity_hit =
+                            task.affinity.is_empty() || task.affinity.contains(&assignment.node);
+                        slot_free[rslot] = rend;
+                    } else {
+                        assignment.start = start;
+                        assignment.end = end;
+                        slot_free[slot] = end;
+                    }
+                }
+            }
             schedule.makespan = schedule.makespan.max(assignment.end);
         }
     }
@@ -776,6 +895,95 @@ mod tests {
         let s = schedule_phase(&c, &[task(0, 100)], SimTime::ZERO);
         assert_eq!(s.retried_tasks, 1);
         assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(125));
+    }
+
+    #[test]
+    fn all_flaky_cluster_retries_avoid_each_tasks_failed_node() {
+        // Regression: with EVERY node flaky the fallback pass admits flaky
+        // machines, but it must never land a retry back on the node where
+        // that task's first attempt just failed.
+        let c = Cluster::builder()
+            .nodes(3)
+            .map_slots(1)
+            .flaky(NodeId(0), 0.5)
+            .flaky(NodeId(1), 0.5)
+            .flaky(NodeId(2), 0.5)
+            .build();
+        // Single task: first attempt lands on node0 and fails there.
+        let s = schedule_phase(&c, &[task(0, 100)], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 1);
+        assert_ne!(s.assignments[0].node, NodeId(0));
+        // Two tasks: task0 fails on node0 and retries on node1; task1
+        // (node0 blacklisted) fails on node2 and retries on node0 — a
+        // *different* flaky node is acceptable, its own failed one is not.
+        let s = schedule_phase(&c, &[task(0, 100), task(1, 100)], SimTime::ZERO);
+        assert_eq!(s.retried_tasks, 2);
+        assert_eq!(s.assignments[0].node, NodeId(1));
+        assert_eq!(s.assignments[1].node, NodeId(0));
+    }
+
+    #[test]
+    fn quiet_chaos_plan_changes_nothing() {
+        let c = Cluster::builder()
+            .nodes(3)
+            .map_slots(2)
+            .flaky(NodeId(1), 0.5)
+            .degrade_hidden(NodeId(2), 2.0)
+            .speculation(true)
+            .build();
+        let tasks: Vec<_> = (0..10).map(|i| task(i, 10 + i as u64)).collect();
+        let plain = schedule_phase(&c, &tasks, SimTime::ZERO);
+        let quiet = schedule_phase_chaos(&c, &tasks, SimTime::ZERO, &ChaosPlan::none());
+        assert_eq!(plain.assignments, quiet.assignments);
+        assert_eq!(plain.makespan, quiet.makespan);
+        assert_eq!(quiet.crashed_attempts, 0);
+    }
+
+    #[test]
+    fn crash_mid_task_reexecutes_on_a_survivor() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        // The task starts on node0 at t=0; node0 dies at 50 ms.
+        let plan = ChaosPlan::new(7).kill(NodeId(0), SimTime::ZERO + SimDuration::from_millis(50));
+        let s = schedule_phase_chaos(&c, &[task(0, 100)], SimTime::ZERO, &plan);
+        assert_eq!(s.crashed_attempts, 1);
+        assert_eq!(s.assignments[0].node, NodeId(1));
+        // 50 ms wasted on the dead node, then a full re-execution.
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn node_dead_before_launch_migrates_without_a_crashed_attempt() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        let plan = ChaosPlan::new(7).kill(NodeId(0), SimTime::ZERO);
+        let tasks = vec![task(0, 100), task(1, 100)];
+        let s = schedule_phase_chaos(&c, &tasks, SimTime::ZERO, &plan);
+        // Nothing ever ran on node0, so no attempt was wasted; both tasks
+        // queue on the sole survivor.
+        assert_eq!(s.crashed_attempts, 0);
+        assert!(s.assignments.iter().all(|a| a.node == NodeId(1)));
+        assert_eq!(s.makespan, SimTime::ZERO + SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic() {
+        let c = Cluster::builder().nodes(4).map_slots(2).build();
+        let tasks: Vec<_> = (0..16).map(|i| task(i, 10 + (i as u64 % 5) * 7)).collect();
+        let plan = ChaosPlan::seeded(0xBADD, 4, 2, SimTime::ZERO, SimDuration::from_millis(40));
+        let a = schedule_phase_chaos(&c, &tasks, SimTime::ZERO, &plan);
+        let b = schedule_phase_chaos(&c, &tasks, SimTime::ZERO, &plan);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.crashed_attempts, b.crashed_attempts);
+        // No surviving assignment may sit on a node that was dead when the
+        // attempt ran.
+        for asg in &a.assignments {
+            assert!(
+                !plan.is_dead_at(asg.node, asg.start),
+                "task {} placed on dead node {}",
+                asg.task_id,
+                asg.node
+            );
+        }
     }
 
     #[test]

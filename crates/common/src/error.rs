@@ -15,6 +15,9 @@ pub enum Error {
     Unsupported(String),
     /// An internal invariant was violated.
     Internal(String),
+    /// Data became permanently unavailable — every replica of a stored
+    /// chunk was lost to node crashes and nothing can recompute it.
+    DataLoss(String),
 }
 
 impl fmt::Display for Error {
@@ -25,6 +28,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
+            Error::DataLoss(msg) => write!(f, "data loss: {msg}"),
         }
     }
 }
@@ -45,5 +49,9 @@ mod tests {
             "not found: file x"
         );
         assert!(Error::Decode("bad".into()).to_string().contains("decode"));
+        assert_eq!(
+            Error::DataLoss("chunk 3 of x".into()).to_string(),
+            "data loss: chunk 3 of x"
+        );
     }
 }

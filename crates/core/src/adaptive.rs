@@ -21,7 +21,7 @@
 
 use efind_cluster::{SimDuration, SimTime};
 use efind_common::{Error, FxHashMap, Result};
-use efind_mapreduce::{Counters, JobStats, PhaseStats, Runner, Sketches, TaskStats};
+use efind_mapreduce::{Counters, JobStats, PhaseStats, RecoveryLog, Runner, Sketches, TaskStats};
 
 use crate::compile::compile_pipeline;
 use crate::cost::cost_baseline;
@@ -29,6 +29,33 @@ use crate::jobconf::IndexJobConf;
 use crate::plan::{forced_plan, optimize_operator, OperatorPlan, Strategy};
 use crate::runtime::{EFindJobResult, EFindRuntime};
 use crate::statsx::{extract_operator_stats, variance_ok};
+
+/// A runner carrying the runtime's node-crash plan, so every adaptive
+/// sub-step (wave execution, scheduling, re-planned sub-jobs) sees the
+/// same planned crashes as a plain `run_with_plans` execution.
+fn runner<'r>(rt: &'r mut EFindRuntime<'_>) -> Runner<'r> {
+    Runner::with_chaos(rt.cluster, rt.dfs, rt.config.chaos.clone())
+}
+
+/// Applies every planned crash at or before `upto` to the DFS and records
+/// it in `log`. `Dfs::crash_node` is idempotent, so crashes a sub-job's
+/// runner already applied are no-ops here (and re-replication of an
+/// already-healed chunk moves zero bytes).
+fn apply_chaos_to_dfs(rt: &mut EFindRuntime<'_>, upto: SimTime, log: &mut RecoveryLog) {
+    if rt.config.chaos.is_quiet() {
+        return;
+    }
+    for e in rt.config.chaos.events().to_vec() {
+        if e.at <= upto && !rt.dfs.is_dead(e.node) {
+            log.crashes.push(e);
+            rt.dfs.crash_node(e.node);
+            let rep = rt.dfs.re_replicate();
+            log.rereplicated_chunks += rep.chunks;
+            log.rereplicated_bytes += rep.bytes;
+            log.rereplication_time += rep.duration;
+        }
+    }
+}
 
 /// Runs an enhanced job in dynamic (adaptive) mode.
 pub(crate) fn run_dynamic(
@@ -74,16 +101,14 @@ pub(crate) fn run_dynamic(
         .next()
         .ok_or_else(|| Error::Internal("empty compiled pipeline".into()))?;
 
-    let chunks = Runner::new(rt.cluster, rt.dfs).chunks(&conf)?;
+    let chunks = runner(rt).chunks(&conf)?;
     // When the whole map phase fits one wave there is no map-side
     // remainder to re-plan (remaining_in = 0 disables that branch), but
     // the reduce-phase branch below still applies.
-    let wave_n = Runner::new(rt.cluster, rt.dfs)
-        .first_wave_count(chunks.len())
-        .min(chunks.len());
+    let wave_n = runner(rt).first_wave_count(chunks.len()).min(chunks.len());
 
     // ---- Wave 1 under the baseline plan (real execution). ----
-    let mut exec1 = Runner::new(rt.cluster, rt.dfs).execute_maps(&conf, &chunks[..wave_n], 0)?;
+    let mut exec1 = runner(rt).execute_maps(&conf, &chunks[..wave_n], 0)?;
     let mut wave_counters = Counters::new();
     let mut wave_sketches = Sketches::new();
     for t in &exec1.tasks {
@@ -148,14 +173,13 @@ pub(crate) fn run_dynamic(
         // splits. Algorithm 1's else-branch still applies — once the job
         // reaches its reduce phase, the tail operators (whose statistics
         // only exist now) get their own re-optimization chance.
-        let exec2 =
-            Runner::new(rt.cluster, rt.dfs).execute_maps(&conf, &chunks[wave_n..], wave_n)?;
+        let exec2 = runner(rt).execute_maps(&conf, &chunks[wave_n..], wave_n)?;
         exec1.tasks.extend(exec2.tasks);
         if let Some(result) = try_reduce_phase_replan(rt, ijob, &conf, &mut exec1, &baseline_plans)?
         {
             return Ok(result);
         }
-        let res = Runner::new(rt.cluster, rt.dfs).finish(&conf, &mut exec1, SimTime::ZERO)?;
+        let res = runner(rt).finish(&conf, &mut exec1, SimTime::ZERO)?;
         let total_time = res.stats.makespan();
         rt.absorb_stats(ijob, std::slice::from_ref(&res.stats));
         return Ok(EFindJobResult {
@@ -170,18 +194,57 @@ pub(crate) fn run_dynamic(
     // ---- Plan change (Fig. 10(a)). ----
     // Wave-1 tasks have already run; their elapsed time and outputs are
     // kept. The plan-change overhead models job resubmission.
-    let wave_sched = Runner::new(rt.cluster, rt.dfs).schedule_maps(&exec1, SimTime::ZERO);
+    let wave_sched = runner(rt).schedule_maps(&exec1, SimTime::ZERO);
     let mut t = wave_sched.makespan + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
 
-    // The remaining splits become the new plan's input (namespace
-    // bookkeeping only — no data moves, so no time is charged).
+    // Crash-surviving re-plan: a wave-1 result on a node with a planned
+    // death cannot be served to the re-planned job's (much later) reduce —
+    // the node-local spill dies with the node. Those tasks are *lost*: the
+    // re-plan reuses exactly the surviving results and sends the lost
+    // tasks' input splits back through the new plan. The ledger records
+    // both sets, so reports (and tests) can check the reuse is exact.
+    let mut recovery = RecoveryLog {
+        crashed_attempts: wave_sched.crashed_attempts,
+        ..RecoveryLog::default()
+    };
+    let mut lost: Vec<usize> = Vec::new();
+    if !rt.config.chaos.is_quiet() {
+        for a in &wave_sched.assignments {
+            if rt.config.chaos.crash_time(a.node).is_some() {
+                lost.push(a.task_id);
+            }
+        }
+        lost.sort_unstable();
+        apply_chaos_to_dfs(rt, SimTime::from_nanos(u64::MAX), &mut recovery);
+        recovery.lost_tasks = lost.clone();
+        recovery.surviving_tasks = wave_sched
+            .assignments
+            .iter()
+            .map(|a| a.task_id)
+            .filter(|id| !lost.contains(id))
+            .collect();
+        recovery.surviving_tasks.sort_unstable();
+        exec1.tasks.retain(|x| !lost.contains(&x.task_id));
+    }
+
+    // The remaining splits — plus the lost wave-1 splits, which must be
+    // re-mapped — become the new plan's input (namespace bookkeeping only:
+    // no data moves, so no time is charged). Wave-1 task ids equal their
+    // chunk indices, and a read whose last replica died with a node fails
+    // with a diagnosable `DataLoss` instead of silently dropping input.
     let remaining_name = format!("{}.remaining", ijob.name);
     let mut remaining_records = Vec::new();
+    for id in &lost {
+        remaining_records.extend_from_slice(rt.dfs.read_chunk(&conf.input, *id)?);
+    }
     for chunk in &chunks[wave_n..] {
         remaining_records.extend_from_slice(rt.dfs.read_chunk(&conf.input, chunk.index)?);
     }
-    rt.dfs
-        .write_file_with_chunks(&remaining_name, remaining_records, chunks.len() - wave_n);
+    rt.dfs.write_file_with_chunks(
+        &remaining_name,
+        remaining_records,
+        chunks.len() - wave_n + lost.len(),
+    );
 
     let mut ijob2 = ijob.clone();
     ijob2.name = format!("{}-replan", ijob.name);
@@ -195,21 +258,21 @@ pub(crate) fn run_dynamic(
     let mut job_stats: Vec<JobStats> = Vec::new();
     let n_jobs = compiled2.jobs.len();
     for conf2 in &compiled2.jobs[..n_jobs - 1] {
-        let res = Runner::new(rt.cluster, rt.dfs).run(conf2, t)?;
+        let res = runner(rt).run(conf2, t)?;
         t = res.stats.finished;
         job_stats.push(res.stats);
     }
 
     let last = &compiled2.jobs[n_jobs - 1];
     let (output, total_end) = if last.has_reduce() {
-        let lchunks = Runner::new(rt.cluster, rt.dfs).chunks(last)?;
-        let mut lexec = Runner::new(rt.cluster, rt.dfs).execute_maps(last, &lchunks, 0)?;
-        let lsched = Runner::new(rt.cluster, rt.dfs).schedule_maps(&lexec, t);
+        let lchunks = runner(rt).chunks(last)?;
+        let mut lexec = runner(rt).execute_maps(last, &lchunks, 0)?;
+        let lsched = runner(rt).schedule_maps(&lexec, t);
         let map_end = lsched.makespan;
         // Merge: new-plan map outputs plus the reused wave-1 outputs.
         let mut sources = lexec.take_outputs();
         sources.extend(exec1.take_outputs());
-        let outcome = Runner::new(rt.cluster, rt.dfs).run_reduce_from(last, sources, map_end)?;
+        let outcome = runner(rt).run_reduce_from(last, sources, map_end)?;
         let end = outcome.phase.schedule.makespan.max(map_end);
 
         let mut counters = Counters::new();
@@ -223,6 +286,9 @@ pub(crate) fn run_dynamic(
             counters.merge(&ts.counters);
             sketches.merge(&ts.sketches);
         }
+        recovery.crashed_attempts +=
+            lsched.crashed_attempts + outcome.phase.schedule.crashed_attempts;
+        recovery.add_counters(&mut counters);
         let output_bytes = outcome.output.total_bytes();
         job_stats.push(JobStats {
             name: last.name.clone(),
@@ -237,12 +303,23 @@ pub(crate) fn run_dynamic(
             sketches,
             shuffle_bytes: outcome.shuffle_bytes,
             output_bytes,
+            recovery: std::mem::take(&mut recovery),
         });
         (outcome.output, end)
     } else {
         // Map-only enhanced job: append the reused wave-1 outputs to the
         // new plan's output.
-        let res = Runner::new(rt.cluster, rt.dfs).run(last, t)?;
+        let mut res = runner(rt).run(last, t)?;
+        // The sub-job carries its own window's ledger; graft the re-plan's
+        // reuse decision onto it so `result.jobs` tells the whole story.
+        if !recovery.surviving_tasks.is_empty() {
+            res.stats.counters.add(
+                "mr.recovery.reused.tasks",
+                recovery.surviving_tasks.len() as i64,
+            );
+        }
+        res.stats.recovery.surviving_tasks = std::mem::take(&mut recovery.surviving_tasks);
+        res.stats.recovery.lost_tasks = std::mem::take(&mut recovery.lost_tasks);
         let end = res.stats.finished;
         job_stats.push(res.stats);
         let mut all: Vec<_> = exec1.take_outputs().into_iter().flatten().collect();
@@ -297,11 +374,10 @@ fn try_reduce_phase_replan(
     }
 
     // Map phase timeline and shuffle partitioning.
-    let map_schedule = Runner::new(rt.cluster, rt.dfs).schedule_maps(exec, SimTime::ZERO);
+    let map_schedule = runner(rt).schedule_maps(exec, SimTime::ZERO);
     let map_end = map_schedule.makespan;
     let sources = exec.take_outputs();
-    let (partitions, shuffle_bytes) =
-        Runner::new(rt.cluster, rt.dfs).partition_for_reduce(conf, sources);
+    let (partitions, shuffle_bytes) = runner(rt).partition_for_reduce(conf, sources);
 
     // ---- Reduce wave 1 under the current (tail-baseline) plan. ----
     let wave_refs: Vec<(usize, &[efind_common::Record])> = partitions[..reduce_slots]
@@ -309,9 +385,14 @@ fn try_reduce_phase_replan(
         .enumerate()
         .map(|(i, p)| (i, p.as_slice()))
         .collect();
-    let wave1 = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &wave_refs)?;
+    let wave1 = runner(rt).execute_reduce_partitions(conf, &wave_refs)?;
     let wave_specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
-    let wave_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &wave_specs, map_end);
+    let wave_schedule = efind_cluster::sched::schedule_phase_chaos(
+        rt.cluster,
+        &wave_specs,
+        map_end,
+        &rt.config.chaos,
+    );
     let wave_end = wave_schedule.makespan;
 
     // ---- Re-optimize the tail operators from wave-1 statistics. ----
@@ -391,10 +472,15 @@ fn try_reduce_phase_replan(
             .enumerate()
             .map(|(i, p)| (reduce_slots + i, p.as_slice()))
             .collect();
-        let rest = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(conf, &rest_refs)?;
+        let rest = runner(rt).execute_reduce_partitions(conf, &rest_refs)?;
         let mut specs: Vec<_> = wave1.iter().map(|t| t.spec.clone()).collect();
         specs.extend(rest.iter().map(|t| t.spec.clone()));
-        let reduce_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &specs, map_end);
+        let reduce_schedule = efind_cluster::sched::schedule_phase_chaos(
+            rt.cluster,
+            &specs,
+            map_end,
+            &rt.config.chaos,
+        );
         let finished = reduce_schedule.makespan;
         let all_output: Vec<efind_common::Record> = wave1
             .iter()
@@ -415,6 +501,12 @@ fn try_reduce_phase_replan(
             sketches.merge(&x.sketches);
         }
         rt.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+        let mut recovery = RecoveryLog {
+            crashed_attempts: map_schedule.crashed_attempts + reduce_schedule.crashed_attempts,
+            ..RecoveryLog::default()
+        };
+        apply_chaos_to_dfs(rt, finished, &mut recovery);
+        recovery.add_counters(&mut counters);
         let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
         reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));
         let output_bytes = output.total_bytes();
@@ -434,6 +526,7 @@ fn try_reduce_phase_replan(
             sketches,
             shuffle_bytes,
             output_bytes,
+            recovery,
         };
         return Ok(Some(EFindJobResult {
             output,
@@ -454,10 +547,15 @@ fn try_reduce_phase_replan(
         .enumerate()
         .map(|(i, p)| (reduce_slots + i, p.as_slice()))
         .collect();
-    let rest = Runner::new(rt.cluster, rt.dfs).execute_reduce_partitions(&stripped, &rest_refs)?;
+    let rest = runner(rt).execute_reduce_partitions(&stripped, &rest_refs)?;
     let rest_specs: Vec<_> = rest.iter().map(|t| t.spec.clone()).collect();
     let rest_start = wave_end + SimDuration::from_secs_f64(rt.config.plan_change_cost_secs);
-    let rest_schedule = efind_cluster::sched::schedule_phase(rt.cluster, &rest_specs, rest_start);
+    let rest_schedule = efind_cluster::sched::schedule_phase_chaos(
+        rt.cluster,
+        &rest_specs,
+        rest_start,
+        &rt.config.chaos,
+    );
     let mut t = rest_schedule.makespan;
 
     // The re-planned tail pipeline consumes the stripped outputs.
@@ -477,7 +575,7 @@ fn try_reduce_phase_replan(
     let compiled = compile_pipeline(&tail_ijob, &tail_plans, &rt.runtime_env())?;
     let mut job_stats: Vec<JobStats> = Vec::new();
     for tconf in &compiled.jobs {
-        let res = Runner::new(rt.cluster, rt.dfs).run(tconf, t)?;
+        let res = runner(rt).run(tconf, t)?;
         t = res.stats.finished;
         job_stats.push(res.stats);
     }
@@ -528,6 +626,12 @@ fn try_reduce_phase_replan(
         .assignments
         .extend(rest_schedule.assignments);
     reduce_schedule.makespan = reduce_schedule.makespan.max(rest_schedule.makespan);
+    let mut recovery = RecoveryLog {
+        crashed_attempts: map_schedule.crashed_attempts + reduce_schedule.crashed_attempts,
+        ..RecoveryLog::default()
+    };
+    apply_chaos_to_dfs(rt, reduce_schedule.makespan, &mut recovery);
+    recovery.add_counters(&mut counters);
     let output_bytes = output.total_bytes();
     let mut jobs = vec![JobStats {
         name: conf.name.clone(),
@@ -545,6 +649,7 @@ fn try_reduce_phase_replan(
         sketches,
         shuffle_bytes,
         output_bytes,
+        recovery,
     }];
     jobs.extend(job_stats);
 

@@ -1,7 +1,7 @@
 //! The EFind runtime (Fig. 8): plan selection, plan implementation, and
 //! execution of enhanced jobs.
 
-use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_cluster::{ChaosPlan, Cluster, SimDuration, SimTime};
 use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
 use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
@@ -53,6 +53,13 @@ pub struct EFindConfig {
     /// breaker, and miss policy. Disabled by default — the zero-fault
     /// lookup path is byte-identical to a build without the fault layer.
     pub faults: FaultConfig,
+    /// Node-crash plan applied to every constituent MapReduce job: nodes
+    /// die at their planned virtual times, completed map outputs lost with
+    /// them are recomputed, the DFS re-replicates, and the adaptive
+    /// re-plan reuses exactly the first-wave results that survived. Quiet
+    /// by default — the crash-free path is byte-identical to a build
+    /// without the recovery layer.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for EFindConfig {
@@ -68,6 +75,7 @@ impl Default for EFindConfig {
             hard_colocation: false,
             job_overhead_secs: 0.02,
             faults: FaultConfig::disabled(),
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -322,7 +330,8 @@ impl<'a> EFindRuntime<'a> {
         let mut jobs = Vec::with_capacity(compiled.jobs.len());
         let mut output: Option<DfsFile> = None;
         for conf in &compiled.jobs {
-            let res = Runner::new(self.cluster, self.dfs).run(conf, t)?;
+            let res = Runner::with_chaos(self.cluster, self.dfs, self.config.chaos.clone())
+                .run(conf, t)?;
             t = res.stats.finished;
             jobs.push(res.stats);
             output = Some(res.output);

@@ -71,11 +71,28 @@ struct StoredChunk {
     records: Arc<[Record]>,
 }
 
+/// Outcome of one background re-replication sweep
+/// ([`Dfs::re_replicate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReReplication {
+    /// Chunks that received at least one new replica.
+    pub chunks: usize,
+    /// Bytes copied (one full chunk per new replica).
+    pub bytes: u64,
+    /// Virtual time the copies took, priced on the network and disk
+    /// models. Re-replication runs in the background, so callers record
+    /// this rather than serializing it into a job's makespan.
+    pub duration: SimDuration,
+}
+
 /// The in-memory distributed file system.
 pub struct Dfs {
     cluster: Cluster,
     config: DfsConfig,
     files: FxHashMap<String, Vec<StoredChunk>>,
+    /// Nodes declared dead, in crash order. Their replicas are gone; new
+    /// placements avoid them.
+    dead: Vec<NodeId>,
 }
 
 impl Dfs {
@@ -85,6 +102,7 @@ impl Dfs {
             cluster,
             config,
             files: FxHashMap::default(),
+            dead: Vec::new(),
         }
     }
 
@@ -124,6 +142,7 @@ impl Dfs {
             self.cluster.num_nodes(),
             self.config.seed ^ fx_hash_bytes(name.as_bytes()),
         );
+        let dead = self.dead.clone();
         let mut chunks = Vec::new();
         let mut current = Vec::new();
         let mut current_bytes = 0u64;
@@ -132,7 +151,7 @@ impl Dfs {
                 return;
             }
             chunks.push(StoredChunk {
-                hosts: placement.pick(self.config.replication),
+                hosts: placement.pick_avoiding(self.config.replication, &dead),
                 bytes: *current_bytes,
                 records: std::mem::take(current).into(),
             });
@@ -192,10 +211,15 @@ impl Dfs {
             .files
             .get(name)
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
-        chunks
+        let c = chunks
             .get(chunk)
-            .map(|c| &c.records[..])
-            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
+            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))?;
+        if c.hosts.is_empty() {
+            return Err(Error::DataLoss(format!(
+                "all replicas of chunk {chunk} of {name} lost to node crashes"
+            )));
+        }
+        Ok(&c.records[..])
     }
 
     /// Reads one chunk as a shared handle — a refcount bump, no record
@@ -206,10 +230,15 @@ impl Dfs {
             .files
             .get(name)
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
-        chunks
+        let c = chunks
             .get(chunk)
-            .map(|c| c.records.clone())
-            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
+            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))?;
+        if c.hosts.is_empty() {
+            return Err(Error::DataLoss(format!(
+                "all replicas of chunk {chunk} of {name} lost to node crashes"
+            )));
+        }
+        Ok(c.records.clone())
     }
 
     /// Reads a whole file in chunk order.
@@ -218,6 +247,11 @@ impl Dfs {
             .files
             .get(name)
             .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        if let Some(idx) = chunks.iter().position(|c| c.hosts.is_empty()) {
+            return Err(Error::DataLoss(format!(
+                "all replicas of chunk {idx} of {name} lost to node crashes"
+            )));
+        }
         Ok(chunks
             .iter()
             .flat_map(|c| c.records.iter().cloned())
@@ -252,6 +286,134 @@ impl Dfs {
     /// Time to retrieve `bytes` from a remote replica.
     pub fn retrieve_cost_remote(&self, bytes: u64) -> SimDuration {
         self.cluster.disk.read(bytes) + self.cluster.network.transfer(bytes)
+    }
+
+    /// Declares `node` dead: every replica it held is gone and future
+    /// placements avoid it. Idempotent. Returns the chunks that lost their
+    /// *last* replica — permanently unavailable data — sorted by
+    /// `(file, chunk index)` for determinism.
+    pub fn crash_node(&mut self, node: NodeId) -> Vec<(String, usize)> {
+        if self.dead.contains(&node) {
+            return Vec::new();
+        }
+        self.dead.push(node);
+        let mut lost = Vec::new();
+        for (name, chunks) in &mut self.files {
+            for (idx, c) in chunks.iter_mut().enumerate() {
+                let before = c.hosts.len();
+                c.hosts.retain(|h| *h != node);
+                if before > 0 && c.hosts.is_empty() {
+                    lost.push((name.clone(), idx));
+                }
+            }
+        }
+        lost.sort();
+        lost
+    }
+
+    /// Nodes declared dead so far, in crash order.
+    pub fn dead_nodes(&self) -> &[NodeId] {
+        &self.dead
+    }
+
+    /// True if `node` has been declared dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
+    /// Live replica count of one chunk. 0 means the data is lost.
+    pub fn live_replicas(&self, name: &str, chunk: usize) -> Result<usize> {
+        let chunks = self
+            .files
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("dfs file {name}")))?;
+        chunks
+            .get(chunk)
+            .map(|c| c.hosts.len())
+            .ok_or_else(|| Error::NotFound(format!("chunk {chunk} of {name}")))
+    }
+
+    /// The replication target given the current live-node count: the
+    /// configured factor, capped at the number of surviving nodes.
+    fn target_replication(&self) -> usize {
+        let live = (self.cluster.num_nodes() as usize).saturating_sub(self.dead.len());
+        self.config.replication.min(live.max(1))
+    }
+
+    /// Chunks holding fewer live replicas than the target (but at least
+    /// one — lost chunks cannot be re-replicated), as
+    /// `(file, chunk index, live replicas)` sorted for determinism.
+    pub fn under_replicated(&self) -> Vec<(String, usize, usize)> {
+        let target = self.target_replication();
+        let mut out = Vec::new();
+        for (name, chunks) in &self.files {
+            for (idx, c) in chunks.iter().enumerate() {
+                if !c.hosts.is_empty() && c.hosts.len() < target {
+                    out.push((name.clone(), idx, c.hosts.len()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Number of currently under-replicated chunks — the health counter
+    /// reports and tests assert re-replication progress against.
+    pub fn under_replicated_count(&self) -> usize {
+        self.under_replicated().len()
+    }
+
+    /// Background re-replication sweep: every under-replicated chunk gains
+    /// replicas on live nodes until it reaches the target. New hosts are
+    /// chosen by a seeded hash over `(file, chunk)`, so the sweep is a pure
+    /// function of the DFS state. The returned [`ReReplication`] prices the
+    /// copies (network transfer + disk write per new replica) for the
+    /// caller to record; the sweep itself does not advance any clock.
+    pub fn re_replicate(&mut self) -> ReReplication {
+        let target = self.target_replication();
+        let live: Vec<NodeId> = self
+            .cluster
+            .nodes()
+            .filter(|n| !self.dead.contains(n))
+            .collect();
+        let mut rep = ReReplication::default();
+        if live.is_empty() {
+            return rep;
+        }
+        let mut names: Vec<String> = self.files.keys().cloned().collect();
+        names.sort();
+        let seed = self.config.seed;
+        for name in names {
+            let chunks = self.files.get_mut(&name).expect("name from keys()");
+            for (idx, c) in chunks.iter_mut().enumerate() {
+                if c.hosts.is_empty() || c.hosts.len() >= target {
+                    continue;
+                }
+                let mut buf = Vec::with_capacity(name.len() + 16);
+                buf.extend_from_slice(&seed.to_le_bytes());
+                buf.extend_from_slice(name.as_bytes());
+                buf.extend_from_slice(&(idx as u64).to_le_bytes());
+                let offset = fx_hash_bytes(&buf) as usize % live.len();
+                let mut added = false;
+                for k in 0..live.len() {
+                    if c.hosts.len() >= target {
+                        break;
+                    }
+                    let candidate = live[(offset + k) % live.len()];
+                    if !c.hosts.contains(&candidate) {
+                        c.hosts.push(candidate);
+                        rep.bytes += c.bytes;
+                        rep.duration += self.cluster.network.transfer(c.bytes)
+                            + self.cluster.disk.write(c.bytes);
+                        added = true;
+                    }
+                }
+                if added {
+                    rep.chunks += 1;
+                }
+            }
+        }
+        rep
     }
 
     /// The Table 1 `f` term: average store+retrieve cost per byte, in
@@ -365,6 +527,88 @@ mod tests {
         assert_eq!(meta.chunks.len(), 0);
         assert!(d.exists("empty"));
         assert_eq!(d.read_file("empty").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn crash_strips_replicas_and_tracks_health() {
+        let mut d = dfs();
+        let meta = d.write_file("input", records(50));
+        let victim = meta.chunks[0].hosts[0];
+        assert_eq!(d.live_replicas("input", 0).unwrap(), 3);
+        assert_eq!(d.under_replicated_count(), 0);
+        let lost = d.crash_node(victim);
+        assert!(lost.is_empty(), "3x replication survives one crash");
+        assert!(d.is_dead(victim));
+        assert_eq!(d.live_replicas("input", 0).unwrap(), 2);
+        assert!(d.under_replicated_count() > 0);
+        // Idempotent: crashing the same node again changes nothing.
+        assert!(d.crash_node(victim).is_empty());
+        assert_eq!(d.dead_nodes(), &[victim]);
+        // Reads still work off the surviving replicas.
+        assert_eq!(d.read_file("input").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn re_replication_restores_the_target() {
+        let mut d = dfs();
+        let meta = d.write_file("input", records(50));
+        let victim = meta.chunks[0].hosts[0];
+        d.crash_node(victim);
+        let before = d.under_replicated_count();
+        assert!(before > 0);
+        let rep = d.re_replicate();
+        assert_eq!(rep.chunks, before);
+        assert!(rep.bytes > 0);
+        assert!(!rep.duration.is_zero());
+        assert_eq!(d.under_replicated_count(), 0);
+        // New replicas never land on the dead node; a repeat sweep is a
+        // no-op; double-run determinism.
+        for c in &d.stat("input").unwrap().chunks {
+            assert!(!c.hosts.contains(&victim));
+            let mut hosts = c.hosts.clone();
+            hosts.sort();
+            hosts.dedup();
+            assert_eq!(hosts.len(), c.hosts.len(), "duplicate replica host");
+        }
+        assert_eq!(d.re_replicate(), ReReplication::default());
+    }
+
+    #[test]
+    fn losing_every_replica_is_a_diagnosable_data_loss() {
+        let mut d = Dfs::new(
+            Cluster::edbt_testbed(),
+            DfsConfig {
+                chunk_size_bytes: 1024,
+                replication: 1,
+                seed: 1,
+            },
+        );
+        let meta = d.write_file("input", records(50));
+        let victim = meta.chunks[0].hosts[0];
+        let lost = d.crash_node(victim);
+        assert!(lost.contains(&("input".to_owned(), 0)), "{lost:?}");
+        let err = d.read_chunk("input", 0).unwrap_err();
+        assert!(
+            matches!(err, Error::DataLoss(_)),
+            "expected DataLoss, got {err}"
+        );
+        assert!(err.to_string().contains("input"));
+        assert!(d.read_chunk_shared("input", 0).is_err());
+        assert!(d.read_file("input").is_err());
+        assert_eq!(d.live_replicas("input", 0).unwrap(), 0);
+        // A lost chunk cannot be re-replicated — there is no source copy.
+        d.re_replicate();
+        assert_eq!(d.live_replicas("input", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn writes_after_a_crash_avoid_the_dead_node() {
+        let mut d = dfs();
+        d.crash_node(NodeId(3));
+        let meta = d.write_file("fresh", records(50));
+        for c in &meta.chunks {
+            assert!(!c.hosts.contains(&NodeId(3)), "{:?}", c.hosts);
+        }
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //!
 //! Records are kept in memory — the simulation models *costs*, not
 //! capacity — but chunking, replica placement, and locality are faithful.
+//!
+//! Node crashes are faithful too: [`Dfs::crash_node`] strips a dead node's
+//! replicas, [`Dfs::under_replicated`] exposes per-chunk replica health,
+//! and [`Dfs::re_replicate`] restores the replication target in the
+//! background (priced on the network/disk models). A chunk whose last
+//! replica dies is permanently lost — reads fail with a `DataLoss` error.
 
 pub mod file;
 pub mod placement;
 
-pub use file::{ChunkMeta, Dfs, DfsConfig, DfsFile};
+pub use file::{ChunkMeta, Dfs, DfsConfig, DfsFile, ReReplication};

@@ -30,13 +30,35 @@ impl Placement {
     /// Picks `replication` distinct hosts for the next chunk (capped at the
     /// node count).
     pub fn pick(&mut self, replication: usize) -> Vec<NodeId> {
-        let replication = replication.clamp(1, self.num_nodes as usize);
+        self.pick_avoiding(replication, &[])
+    }
+
+    /// [`pick`](Self::pick) excluding `dead` nodes. With an empty `dead`
+    /// list the draw sequence is bit-identical to `pick` — dead candidates
+    /// are skipped without perturbing the RNG stream for live ones, so
+    /// crash-free placements never change. Returns an empty vector when
+    /// every node is dead.
+    pub fn pick_avoiding(&mut self, replication: usize, dead: &[NodeId]) -> Vec<NodeId> {
+        let live = (0..self.num_nodes)
+            .filter(|n| !dead.contains(&NodeId(*n)))
+            .count();
+        if live == 0 {
+            return Vec::new();
+        }
+        let replication = replication.clamp(1, live);
         let mut hosts = Vec::with_capacity(replication);
-        hosts.push(NodeId(self.next_primary));
-        self.next_primary = (self.next_primary + 1) % self.num_nodes;
+        // Primary: round-robin, skipping dead nodes without an RNG draw.
+        loop {
+            let candidate = NodeId(self.next_primary);
+            self.next_primary = (self.next_primary + 1) % self.num_nodes;
+            if !dead.contains(&candidate) {
+                hosts.push(candidate);
+                break;
+            }
+        }
         while hosts.len() < replication {
             let candidate = NodeId(self.rng.gen_range(0..self.num_nodes));
-            if !hosts.contains(&candidate) {
+            if !hosts.contains(&candidate) && !dead.contains(&candidate) {
                 hosts.push(candidate);
             }
         }
@@ -74,6 +96,33 @@ mod tests {
         let mut p = Placement::new(4, 1);
         let primaries: Vec<u16> = (0..8).map(|_| p.pick(1)[0].0).collect();
         assert_eq!(primaries, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn avoiding_nothing_matches_pick_exactly() {
+        let mut plain = Placement::new(8, 42);
+        let mut avoiding = Placement::new(8, 42);
+        for _ in 0..50 {
+            assert_eq!(plain.pick(3), avoiding.pick_avoiding(3, &[]));
+        }
+    }
+
+    #[test]
+    fn dead_nodes_are_never_picked() {
+        let dead = [NodeId(0), NodeId(5)];
+        let mut p = Placement::new(8, 9);
+        for _ in 0..100 {
+            let hosts = p.pick_avoiding(3, &dead);
+            assert_eq!(hosts.len(), 3);
+            assert!(hosts.iter().all(|h| !dead.contains(h)), "{hosts:?}");
+        }
+        // Replication clamps to the live node count.
+        let mut small = Placement::new(3, 9);
+        let hosts = small.pick_avoiding(3, &[NodeId(1)]);
+        assert_eq!(hosts.len(), 2);
+        // All nodes dead: nothing to place on.
+        let mut gone = Placement::new(2, 9);
+        assert!(gone.pick_avoiding(1, &[NodeId(0), NodeId(1)]).is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod context;
 pub mod counters;
 pub mod job;
 pub mod partition;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod stats;
@@ -41,5 +42,6 @@ pub use context::TaskCtx;
 pub use counters::{CounterHandle, Counters, Sketches};
 pub use job::JobConf;
 pub use partition::{HashPartitioner, Partitioner};
+pub use recovery::RecoveryLog;
 pub use runner::{run_job, JobResult, MapPhaseExec, ReduceTaskExec, Runner};
 pub use stats::{JobStats, PhaseStats, TaskStats};

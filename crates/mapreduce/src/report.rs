@@ -61,6 +61,29 @@ pub fn render_summary(stats: &JobStats) -> String {
              {retries} retries, {exhausted} exhausted, {degraded} degraded",
         );
     }
+    if !stats.recovery.is_empty() {
+        let rec = &stats.recovery;
+        let _ = writeln!(
+            s,
+            "  crash recovery: {} node crashes, {} recompute waves ({} map tasks), \
+             {} fetch retries ({} backoff), {} chunks re-replicated ({} bytes)",
+            rec.crashes.len(),
+            rec.recompute_waves,
+            rec.recomputed_map_tasks.len(),
+            rec.fetch_retries,
+            rec.fetch_backoff,
+            rec.rereplicated_chunks,
+            rec.rereplicated_bytes,
+        );
+        if !rec.surviving_tasks.is_empty() || !rec.lost_tasks.is_empty() {
+            let _ = writeln!(
+                s,
+                "    re-plan reused {} surviving first-wave results, re-mapped {} lost",
+                rec.surviving_tasks.len(),
+                rec.lost_tasks.len(),
+            );
+        }
+    }
     if !counters.is_empty() {
         let _ = writeln!(s, "  efind counters:");
         for (k, v) in counters {
@@ -181,6 +204,31 @@ mod tests {
     fn summary_omits_fault_line_without_fault_counters() {
         let stats = run();
         assert!(!render_summary(&stats).contains("fault tolerance"));
+    }
+
+    #[test]
+    fn summary_omits_recovery_line_on_crash_free_runs() {
+        let stats = run();
+        assert!(stats.recovery.is_empty());
+        assert!(!render_summary(&stats).contains("crash recovery"));
+    }
+
+    #[test]
+    fn summary_reports_recovery_when_crashes_happened() {
+        let mut stats = run();
+        stats.recovery.crashes.push(efind_cluster::CrashEvent {
+            node: efind_cluster::NodeId(1),
+            at: SimTime::from_nanos(5),
+        });
+        stats.recovery.recompute_waves = 1;
+        stats.recovery.recomputed_map_tasks = vec![0, 2];
+        stats.recovery.fetch_retries = 6;
+        stats.recovery.surviving_tasks = vec![1, 3];
+        stats.recovery.lost_tasks = vec![0];
+        let s = render_summary(&stats);
+        assert!(s.contains("crash recovery: 1 node crashes"), "{s}");
+        assert!(s.contains("1 recompute waves (2 map tasks)"), "{s}");
+        assert!(s.contains("reused 2 surviving"), "{s}");
     }
 
     #[test]

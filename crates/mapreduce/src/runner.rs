@@ -17,8 +17,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use efind_cluster::{
-    sched::{schedule_phase, Schedule, SlotKind, TaskSpec},
-    Cluster, SimDuration, SimTime,
+    sched::{schedule_phase_chaos, Schedule, SlotKind, TaskSpec},
+    ChaosPlan, Cluster, CrashEvent, SimDuration, SimTime,
 };
 use efind_common::{Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
@@ -27,7 +27,16 @@ use parking_lot::Mutex;
 use crate::api::{run_chain, run_chain_shared, Collector};
 use crate::context::TaskCtx;
 use crate::job::JobConf;
+use crate::recovery::RecoveryLog;
 use crate::stats::{JobStats, PhaseStats, TaskStats};
+
+/// First pause of a reducer's shuffle-fetch retry loop after a fetch
+/// against a dead host fails; doubles per retry up to the cap below.
+const FETCH_BACKOFF_BASE: SimDuration = SimDuration::from_nanos(500_000);
+/// Backoff growth factor per failed fetch attempt.
+const FETCH_BACKOFF_MULT: f64 = 2.0;
+/// Upper bound on a single fetch-retry pause.
+const FETCH_BACKOFF_CAP: SimDuration = SimDuration::from_nanos(8_000_000);
 
 /// Result of a completed job.
 #[derive(Clone, Debug)]
@@ -111,12 +120,33 @@ pub struct Runner<'a> {
     pub cluster: &'a Cluster,
     /// The distributed file system.
     pub dfs: &'a mut Dfs,
+    /// Node-crash plan replayed against every schedule (quiet by default).
+    chaos: ChaosPlan,
 }
 
 impl<'a> Runner<'a> {
-    /// Creates a runner.
+    /// Creates a runner with no node crashes.
     pub fn new(cluster: &'a Cluster, dfs: &'a mut Dfs) -> Self {
-        Runner { cluster, dfs }
+        Runner {
+            cluster,
+            dfs,
+            chaos: ChaosPlan::none(),
+        }
+    }
+
+    /// Creates a runner whose jobs suffer the node crashes of `chaos`.
+    /// With a quiet plan this is exactly [`Runner::new`].
+    pub fn with_chaos(cluster: &'a Cluster, dfs: &'a mut Dfs, chaos: ChaosPlan) -> Self {
+        Runner {
+            cluster,
+            dfs,
+            chaos,
+        }
+    }
+
+    /// The runner's crash plan.
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
     }
 
     /// The input chunks of a job, in order.
@@ -256,7 +286,7 @@ impl<'a> Runner<'a> {
                 hard_affinity: t.hard_affinity,
             })
             .collect();
-        schedule_phase(self.cluster, &specs, start)
+        schedule_phase_chaos(self.cluster, &specs, start, &self.chaos)
     }
 
     /// Partitions per-source map outputs into the job's reduce buckets,
@@ -424,7 +454,7 @@ impl<'a> Runner<'a> {
             specs.push(e.spec);
             outputs.push(e.output);
         }
-        let schedule = schedule_phase(self.cluster, &specs, start);
+        let schedule = schedule_phase_chaos(self.cluster, &specs, start, &self.chaos);
         let all_output: Vec<Record> = outputs.into_iter().flatten().collect();
         let output = match conf.output_chunks {
             Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
@@ -558,6 +588,16 @@ impl<'a> Runner<'a> {
     /// Schedules an executed map phase, runs the reduce phase (if any),
     /// writes the output, and assembles the result. Consumes the map
     /// outputs held in `exec`.
+    ///
+    /// Under a non-quiet chaos plan this is also where node crashes are
+    /// *applied*: deaths inside the map window strip the dead node's DFS
+    /// replicas, completed map tasks whose node-local outputs died with a
+    /// node are re-scheduled as recompute waves, reducers retry their
+    /// fetches with backoff until the recomputed outputs exist, and the
+    /// DFS re-replicates in the background — all recorded in the job's
+    /// [`RecoveryLog`]. Map task ids are assumed to equal their input
+    /// chunk indices (true for every runner entry point), which lets the
+    /// recompute path find a task's surviving input replicas.
     pub fn finish(
         &mut self,
         conf: &JobConf,
@@ -573,7 +613,138 @@ impl<'a> Runner<'a> {
             }
         }
         let map_schedule = self.schedule_maps(exec, start);
-        let map_end = map_schedule.makespan;
+        let mut map_end = map_schedule.makespan;
+
+        let mut recovery = RecoveryLog {
+            crashed_attempts: map_schedule.crashed_attempts,
+            ..RecoveryLog::default()
+        };
+        // The instant reducers would first fetch map outputs if nothing
+        // crashed — the reference point for fetch-retry backoff.
+        let fetch_ready = map_end;
+        // The surviving attempt of every map task, updated as recompute
+        // waves replace lost ones.
+        let mut attempts = map_schedule.assignments.clone();
+        let mut deferred: Vec<CrashEvent> = Vec::new();
+        if !self.chaos.is_quiet() {
+            for e in self.chaos.events().to_vec() {
+                if e.at >= map_end {
+                    // Falls past the (current) map phase; it can still hit
+                    // the reduce phase, handled after the reduce schedule.
+                    deferred.push(e);
+                    continue;
+                }
+                recovery.crashes.push(e);
+                let lost_chunks = self.dfs.crash_node(e.node);
+                // A surviving attempt that (re)ran past the crash re-reads
+                // its input; losing that input's last replica is fatal.
+                for (name, idx) in &lost_chunks {
+                    if name == &conf.input {
+                        if let Some(a) = attempts.iter().find(|a| a.task_id == *idx) {
+                            if a.end > e.at {
+                                return Err(Error::DataLoss(format!(
+                                    "job {}: map task {} needs chunk {} of {} but its \
+                                     last replica died with node {}",
+                                    conf.name, a.task_id, idx, conf.input, e.node
+                                )));
+                            }
+                        }
+                    }
+                }
+                // Lost-output recompute: completed map outputs are
+                // node-local spills and die with the node; the reduce has
+                // not fetched anything yet (fetches start at the end of
+                // the map phase), so every completed task on the dead node
+                // must re-run.
+                if conf.has_reduce() {
+                    let lost_ids: Vec<usize> = attempts
+                        .iter()
+                        .filter(|a| a.node == e.node && a.end <= e.at)
+                        .map(|a| a.task_id)
+                        .collect();
+                    if !lost_ids.is_empty() {
+                        let meta = self.dfs.stat(&conf.input)?;
+                        let mut specs = Vec::with_capacity(lost_ids.len());
+                        for id in &lost_ids {
+                            let t =
+                                exec.tasks
+                                    .iter()
+                                    .find(|t| t.task_id == *id)
+                                    .ok_or_else(|| {
+                                        Error::Internal(format!(
+                                            "recompute of unknown map task {id}"
+                                        ))
+                                    })?;
+                            let chunk = meta.chunks.get(*id).ok_or_else(|| {
+                                Error::Internal(format!(
+                                    "map task {id} has no chunk {id} in {}",
+                                    conf.input
+                                ))
+                            })?;
+                            if chunk.hosts.is_empty() {
+                                return Err(Error::DataLoss(format!(
+                                    "job {}: recomputing map task {id} needs chunk {id} of {} \
+                                     but its last replica died with node {}",
+                                    conf.name, conf.input, e.node
+                                )));
+                            }
+                            specs.push(TaskSpec {
+                                id: *id,
+                                kind: SlotKind::Map,
+                                base: t.base_cost,
+                                input_bytes: t.input_bytes,
+                                input_hosts: chunk.hosts.clone(),
+                                affinity: t.affinity.clone(),
+                                affinity_penalty: t.affinity_penalty,
+                                hard_affinity: t.hard_affinity,
+                            });
+                        }
+                        let wave = schedule_phase_chaos(self.cluster, &specs, e.at, &self.chaos);
+                        recovery.recompute_waves += 1;
+                        recovery.crashed_attempts += wave.crashed_attempts;
+                        recovery
+                            .recomputed_map_tasks
+                            .extend(lost_ids.iter().copied());
+                        for wa in wave.assignments {
+                            if let Some(a) = attempts.iter_mut().find(|a| a.task_id == wa.task_id) {
+                                *a = wa;
+                            }
+                        }
+                        map_end = map_end.max(wave.makespan);
+                    }
+                }
+                // Background re-replication of under-replicated chunks,
+                // priced on the network/disk models but not serialized
+                // into the job's makespan.
+                let rep = self.dfs.re_replicate();
+                recovery.rereplicated_chunks += rep.chunks;
+                recovery.rereplicated_bytes += rep.bytes;
+                recovery.rereplication_time += rep.duration;
+            }
+            recovery.recomputed_map_tasks.sort_unstable();
+        }
+
+        // Shuffle-fetch retry: reducers began fetching at the original map
+        // phase end, found dead hosts, and back off exponentially until
+        // the recomputed outputs become available.
+        let mut reduce_start = map_end;
+        if conf.has_reduce() && !recovery.recomputed_map_tasks.is_empty() {
+            let mut t = fetch_ready;
+            let mut tries: u32 = 0;
+            while t < map_end {
+                let pause = SimDuration::exp_backoff(
+                    FETCH_BACKOFF_BASE,
+                    FETCH_BACKOFF_MULT,
+                    tries,
+                    FETCH_BACKOFF_CAP,
+                );
+                recovery.fetch_backoff += pause;
+                t += pause;
+                tries += 1;
+            }
+            recovery.fetch_retries = tries as u64 * conf.num_reducers.max(1) as u64;
+            reduce_start = map_end.max(t);
+        }
 
         let mut counters = crate::counters::Counters::new();
         let mut sketches = crate::counters::Sketches::new();
@@ -589,12 +760,27 @@ impl<'a> Runner<'a> {
 
         if conf.has_reduce() {
             let sources = exec.take_outputs();
-            let outcome = self.run_reduce_from(conf, sources, map_end)?;
+            let outcome = self.run_reduce_from(conf, sources, reduce_start)?;
             for t in &outcome.phase.tasks {
                 counters.merge(&t.counters);
                 sketches.merge(&t.sketches);
             }
-            let finished = outcome.phase.schedule.makespan.max(map_end);
+            recovery.crashed_attempts += outcome.phase.schedule.crashed_attempts;
+            let finished = outcome.phase.schedule.makespan.max(reduce_start);
+            // Crashes that fell after the map phase but inside the reduce
+            // window still take DFS replicas with them (the reduce schedule
+            // already re-placed its own attempts via the chaos replay).
+            for e in deferred {
+                if e.at <= finished {
+                    recovery.crashes.push(e);
+                    self.dfs.crash_node(e.node);
+                    let rep = self.dfs.re_replicate();
+                    recovery.rereplicated_chunks += rep.chunks;
+                    recovery.rereplicated_bytes += rep.bytes;
+                    recovery.rereplication_time += rep.duration;
+                }
+            }
+            recovery.add_counters(&mut counters);
             let output_bytes = outcome.output.total_bytes();
             Ok(JobResult {
                 output: outcome.output,
@@ -608,6 +794,7 @@ impl<'a> Runner<'a> {
                     sketches,
                     shuffle_bytes: outcome.shuffle_bytes,
                     output_bytes,
+                    recovery,
                 },
             })
         } else {
@@ -616,6 +803,7 @@ impl<'a> Runner<'a> {
                 Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
                 None => self.dfs.write_file(&conf.output, all_output),
             };
+            recovery.add_counters(&mut counters);
             let output_bytes = output.total_bytes();
             Ok(JobResult {
                 output,
@@ -629,6 +817,7 @@ impl<'a> Runner<'a> {
                     sketches,
                     shuffle_bytes: 0,
                     output_bytes,
+                    recovery,
                 },
             })
         }
@@ -996,5 +1185,237 @@ mod combiner_tests {
         }));
         let res = run_job(&cluster, &mut dfs, &conf).unwrap();
         assert_eq!(res.output.total_records(), 300);
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::api::{identity_mapper, mapper_fn, reducer_fn};
+    use efind_cluster::ChaosPlan;
+    use efind_common::Datum;
+    use efind_dfs::DfsConfig;
+
+    fn setup(replication: usize) -> (Cluster, Dfs) {
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication,
+                seed: 9,
+            },
+        );
+        let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+        let records: Vec<Record> = text
+            .iter()
+            .cycle()
+            .take(800)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect();
+        dfs.write_file("input", records);
+        (cluster, dfs)
+    }
+
+    fn wordcount_conf() -> JobConf {
+        JobConf::new("wordcount", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _ctx| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _ctx| {
+                    let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                    out.collect(Record::new(key, total));
+                }),
+                3,
+            )
+    }
+
+    #[test]
+    fn quiet_chaos_plan_matches_the_plain_runner_exactly() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs1) = setup(2);
+        let plain = Runner::new(&cluster, &mut dfs1)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs2) = setup(2);
+        let quiet = Runner::with_chaos(&cluster, &mut dfs2, ChaosPlan::none())
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        assert!(quiet.stats.recovery.is_empty());
+        assert_eq!(plain.stats.finished, quiet.stats.finished);
+        assert_eq!(
+            plain.stats.counters.iter_sorted(),
+            quiet.stats.counters.iter_sorted()
+        );
+        assert!(!quiet
+            .stats
+            .counters
+            .iter_sorted()
+            .iter()
+            .any(|(name, _)| name.starts_with("mr.recovery.")));
+        assert_eq!(
+            dfs1.read_file("out").unwrap(),
+            dfs2.read_file("out").unwrap()
+        );
+    }
+
+    /// Satellite: a host dies *after* its map tasks completed but before the
+    /// reduce fetch — the completed outputs are gone, a recompute wave
+    /// re-runs them on survivors, reducers back off until the recomputed
+    /// outputs exist, and the final output is bit-identical to a crash-free
+    /// run.
+    #[test]
+    fn host_death_between_map_completion_and_fetch_recovers_bit_identically() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_free) = setup(2);
+        let free = Runner::new(&cluster, &mut dfs_free)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let free_out = dfs_free.read_file("out").unwrap();
+
+        // Kill the node that drains first — at one nanosecond before the
+        // map phase ends, so it is idle (all its attempts completed) and
+        // its node-local outputs die just before reducers start fetching.
+        // The recompute wave then necessarily runs past the fetch point.
+        let sched = &free.stats.map.schedule;
+        let idle_since = |node| {
+            sched
+                .assignments
+                .iter()
+                .filter(|a| a.node == node)
+                .map(|a| a.end)
+                .max()
+                .unwrap()
+        };
+        let victim_node = sched
+            .assignments
+            .iter()
+            .map(|a| a.node)
+            .min_by_key(|&n| (idle_since(n), n.0))
+            .unwrap();
+        assert!(
+            idle_since(victim_node) < sched.makespan,
+            "need a node that drains before the map phase ends"
+        );
+        let crash_at = SimTime::from_nanos(sched.makespan.as_nanos() - 1);
+        let plan = ChaosPlan::new(7).kill(victim_node, crash_at);
+        let victim_task = sched
+            .assignments
+            .iter()
+            .find(|a| a.node == victim_node)
+            .unwrap()
+            .task_id;
+
+        let (_, mut dfs) = setup(2);
+        let crashed = Runner::with_chaos(&cluster, &mut dfs, plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let rec = &crashed.stats.recovery;
+        assert_eq!(rec.crashes.len(), 1);
+        assert!(rec.recompute_waves >= 1);
+        assert!(
+            rec.recomputed_map_tasks.contains(&victim_task),
+            "task {victim_task} lost its output, got {:?}",
+            rec.recomputed_map_tasks
+        );
+        // Reducers found the dead host and backed off in virtual time.
+        assert!(rec.fetch_retries > 0);
+        assert!(rec.fetch_backoff > SimDuration::ZERO);
+        // Recovery costs time but never correctness.
+        assert!(crashed.stats.finished >= free.stats.finished);
+        assert_eq!(dfs.read_file("out").unwrap(), free_out);
+        // The ledger surfaces as counters.
+        assert!(crashed.stats.counters.get("mr.recovery.crashes") >= 1);
+        assert!(crashed.stats.counters.get("mr.recovery.fetch.retries") >= 1);
+    }
+
+    #[test]
+    fn crash_recovery_is_deterministic_across_runs() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_probe) = setup(2);
+        let probe = Runner::new(&cluster, &mut dfs_probe)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let victim = probe
+            .stats
+            .map
+            .schedule
+            .assignments
+            .iter()
+            .min_by_key(|a| (a.end, a.task_id))
+            .unwrap();
+        let plan = ChaosPlan::new(11).kill(victim.node, victim.end);
+
+        let (_, mut dfs1) = setup(2);
+        let r1 = Runner::with_chaos(&cluster, &mut dfs1, plan.clone())
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs2) = setup(2);
+        let r2 = Runner::with_chaos(&cluster, &mut dfs2, plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(r1.stats.finished, r2.stats.finished);
+        assert_eq!(r1.stats.recovery, r2.stats.recovery);
+        assert_eq!(
+            r1.stats.counters.iter_sorted(),
+            r2.stats.counters.iter_sorted()
+        );
+        assert_eq!(
+            dfs1.read_file("out").unwrap(),
+            dfs2.read_file("out").unwrap()
+        );
+    }
+
+    #[test]
+    fn losing_the_last_input_replica_is_a_diagnosable_error() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs) = setup(1);
+        // With replication 1 every chunk has exactly one host; killing chunk
+        // 0's host before anything runs makes the input unrecoverable.
+        let host = dfs.stat("input").unwrap().chunks[0].hosts[0];
+        let plan = ChaosPlan::new(3).kill(host, SimTime::ZERO);
+        let err = Runner::with_chaos(&cluster, &mut dfs, plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap_err();
+        match err {
+            Error::DataLoss(msg) => assert!(msg.contains("replica"), "{msg}"),
+            other => panic!("expected DataLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_only_jobs_survive_crashes_without_recompute() {
+        let conf = JobConf::new("copy", "input", "copied").add_mapper(identity_mapper());
+        let (cluster, mut dfs_free) = setup(2);
+        let free = Runner::new(&cluster, &mut dfs_free)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let victim = free
+            .stats
+            .map
+            .schedule
+            .assignments
+            .iter()
+            .min_by_key(|a| (a.end, a.task_id))
+            .unwrap();
+        let plan = ChaosPlan::new(5).kill(victim.node, victim.end);
+        let (_, mut dfs) = setup(2);
+        let crashed = Runner::with_chaos(&cluster, &mut dfs, plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        // Map-only outputs go straight to the DFS, so a crash costs replica
+        // copies but no recompute and no fetch retries.
+        assert!(crashed.stats.recovery.recomputed_map_tasks.is_empty());
+        assert_eq!(crashed.stats.recovery.fetch_retries, 0);
+        assert_eq!(
+            dfs.read_file("copied").unwrap(),
+            dfs_free.read_file("copied").unwrap()
+        );
     }
 }

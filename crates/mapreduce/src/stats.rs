@@ -8,6 +8,7 @@
 use efind_cluster::{sched::Schedule, SimDuration, SimTime};
 
 use crate::counters::{Counters, Sketches};
+use crate::recovery::RecoveryLog;
 
 /// Statistics of a single executed task.
 #[derive(Clone, Debug)]
@@ -87,6 +88,8 @@ pub struct JobStats {
     pub shuffle_bytes: u64,
     /// Bytes written to the DFS output file.
     pub output_bytes: u64,
+    /// Crash-recovery ledger (empty/default on crash-free runs).
+    pub recovery: RecoveryLog,
 }
 
 impl JobStats {

@@ -19,6 +19,14 @@ echo "== fault injection (pinned seed matrix) =="
 EFIND_FAULT_SEEDS="${EFIND_FAULT_SEEDS:-0xEF1D0001,0xC0FFEE42}" \
     cargo test -q --test fault_injection --test fault_props
 
+echo "== node crash recovery (pinned seed matrix) =="
+# Deterministic node-crash sweep: per (seed, crash count, strategy) cell
+# two runs must be bit-identical, crashes under replication 3 must not
+# change the output, and the zero-crash cell must match the hotpath
+# goldens. Release mode: recompute waves multiply virtual work.
+EFIND_CRASH_SEEDS="${EFIND_CRASH_SEEDS:-0xEF1D0003,0xDEADBEE5,41}" \
+    cargo test -q --release --test node_crash
+
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
 
