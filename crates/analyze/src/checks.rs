@@ -1,7 +1,7 @@
 //! The analysis passes: every `EFxxx` check over a [`PlanModel`].
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
-use crate::model::{FaultModel, OperatorModel, PlanModel, StrategyKind};
+use crate::model::{FaultModel, IntegrityModel, OperatorModel, PlanModel, StrategyKind};
 
 use efind_common::FxHashSet;
 
@@ -31,6 +31,9 @@ pub fn analyze(model: &PlanModel) -> Report {
     }
     if let Some(faults) = &model.faults {
         check_fault_config(faults, &mut report);
+    }
+    if let Some(integrity) = &model.integrity {
+        check_integrity_config(model, integrity, &mut report);
     }
     report
 }
@@ -511,6 +514,49 @@ fn check_fault_config(f: &FaultModel, report: &mut Report) {
     }
 }
 
+/// EF017/EF018: data-integrity configuration sanity. Runs only when a
+/// corruption plan is armed; a job without injected corruption never sees
+/// these codes.
+fn check_integrity_config(model: &PlanModel, integ: &IntegrityModel, report: &mut Report) {
+    if integ.corrupts_chunks && integ.dfs_replication <= 1 {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF017,
+                Span::job(),
+                format!(
+                    "chunk corruption is injected but DFS replication is {}: the first \
+                     corrupted chunk has no intact replica and the job fails by construction",
+                    integ.dfs_replication
+                ),
+            )
+            .with_hint(
+                "raise the DFS replication factor to at least 2 so a corrupt replica \
+                 can be quarantined and re-read, or stop corrupting chunks",
+            ),
+        );
+    }
+    if integ.corrupts_cache && !integ.verification {
+        let cache_in_use = model
+            .operators
+            .iter()
+            .any(|op| op.choices.iter().any(|c| c.strategy == StrategyKind::Cache));
+        if cache_in_use {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF018,
+                    Span::job(),
+                    "lookup-cache corruption is injected with checksum verification \
+                     disabled: poisoned cache entries would be served undetected",
+                )
+                .with_hint(
+                    "keep verification enabled (drop without_verification) so poisoned \
+                     entries are invalidated and re-fetched, or stop corrupting the cache",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,5 +876,63 @@ mod tests {
         let report = analyze(&job(vec![operator("a", StrategyKind::Cache)]));
         assert!(!report.has_code(DiagCode::EF015));
         assert!(!report.has_code(DiagCode::EF016));
+    }
+
+    #[test]
+    fn benign_integrity_config_is_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.integrity = Some(crate::model::testutil::integrity());
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef017_chunk_corruption_on_unreplicated_dfs_is_an_error() {
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        let mut i = crate::model::testutil::integrity();
+        i.dfs_replication = 1;
+        model.integrity = Some(i);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF017));
+        assert!(report.has_errors());
+
+        // Without chunk corruption, replication 1 is fine.
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        let mut i = crate::model::testutil::integrity();
+        i.dfs_replication = 1;
+        i.corrupts_chunks = false;
+        model.integrity = Some(i);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef018_unverified_cache_corruption_warns_only_with_a_cache_plan() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut i = crate::model::testutil::integrity();
+        i.corrupts_cache = true;
+        i.verification = false;
+        i.corrupts_chunks = false;
+        model.integrity = Some(i);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF018));
+        assert!(!report.has_errors(), "EF018 is a warning");
+
+        // No cache strategy in the plan: nothing can be poisoned.
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        model.integrity = Some(i);
+        assert!(analyze(&model).is_clean());
+
+        // Verification enabled: poisoned entries are caught and re-fetched.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        i.verification = true;
+        model.integrity = Some(i);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn absent_integrity_model_skips_integrity_checks() {
+        let report = analyze(&job(vec![operator("a", StrategyKind::Cache)]));
+        assert!(!report.has_code(DiagCode::EF017));
+        assert!(!report.has_code(DiagCode::EF018));
     }
 }

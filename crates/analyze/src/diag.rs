@@ -44,6 +44,14 @@ pub enum DiagCode {
     /// Risky fault-tolerance configuration (e.g. `FailJob` with zero
     /// retries, or a backoff base above its own cap).
     EF016,
+    /// Unrecoverable corruption configuration: chunk corruption injected
+    /// with DFS replication 1 — the first corrupted chunk has no intact
+    /// replica to re-read from, so the job fails by construction.
+    EF017,
+    /// Undetectable corruption configuration: cache entries are corrupted
+    /// while a cache-strategy plan is in use, but checksum verification is
+    /// disabled — poisoned entries would be served as answers.
+    EF018,
 }
 
 impl DiagCode {
@@ -66,6 +74,8 @@ impl DiagCode {
             DiagCode::EF014 => "EF014",
             DiagCode::EF015 => "EF015",
             DiagCode::EF016 => "EF016",
+            DiagCode::EF017 => "EF017",
+            DiagCode::EF018 => "EF018",
         }
     }
 }

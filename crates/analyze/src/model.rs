@@ -154,6 +154,23 @@ pub struct FaultModel {
     pub breaker_min_samples: u64,
 }
 
+/// The job-wide data-integrity configuration, lowered only when the
+/// corruption-injection layer is armed (a non-quiet corruption plan is
+/// installed). The integrity checks (`EF017`, `EF018`) are skipped
+/// without it.
+#[derive(Clone, Copy, Debug)]
+pub struct IntegrityModel {
+    /// DFS replication factor of the cluster the job reads from.
+    pub dfs_replication: usize,
+    /// True when the plan corrupts DFS chunk replicas.
+    pub corrupts_chunks: bool,
+    /// True when the plan corrupts lookup-cache entries.
+    pub corrupts_cache: bool,
+    /// True when checksum verification runs at read boundaries. Disabled
+    /// verification means corruption is injected but never detected.
+    pub verification: bool,
+}
+
 /// The whole job as the analyzer sees it.
 #[derive(Clone, Debug)]
 pub struct PlanModel {
@@ -165,6 +182,8 @@ pub struct PlanModel {
     pub operators: Vec<OperatorModel>,
     /// Fault-tolerance configuration, when the fault layer is armed.
     pub faults: Option<FaultModel>,
+    /// Data-integrity configuration, when corruption injection is armed.
+    pub integrity: Option<IntegrityModel>,
 }
 
 #[cfg(test)]
@@ -210,6 +229,18 @@ pub(crate) mod testutil {
             has_reduce: true,
             operators,
             faults: None,
+            integrity: None,
+        }
+    }
+
+    /// A benign integrity configuration (replicated chunks, verification
+    /// on).
+    pub fn integrity() -> IntegrityModel {
+        IntegrityModel {
+            dfs_replication: 3,
+            corrupts_chunks: true,
+            corrupts_cache: false,
+            verification: true,
         }
     }
 

@@ -129,6 +129,11 @@ fn measure_all(label: &str, iters: usize, faults: bool) -> BenchRun {
             iters,
             bench_lookup_heavy_nodecrash,
         ));
+        results.push(measure(
+            "lookup_heavy_corrupt",
+            iters,
+            bench_lookup_heavy_corrupt,
+        ));
     }
     BenchRun {
         label: label.to_owned(),
@@ -251,6 +256,7 @@ fn bench_lookup_heavy() -> (u64, f64) {
     run_lookup_heavy(
         efind::FaultConfig::disabled(),
         efind_cluster::ChaosPlan::none(),
+        efind_cluster::CorruptionPlan::none(),
     )
 }
 
@@ -271,7 +277,11 @@ fn bench_lookup_heavy_faulty() -> (u64, f64) {
         SimDuration::from_millis(5),
     );
     faults.timeout = Some(SimDuration::from_millis(50));
-    run_lookup_heavy(faults, efind_cluster::ChaosPlan::none())
+    run_lookup_heavy(
+        faults,
+        efind_cluster::ChaosPlan::none(),
+        efind_cluster::CorruptionPlan::none(),
+    )
 }
 
 /// `lookup_heavy` with two seeded node crashes landing mid-job (the
@@ -288,10 +298,35 @@ fn bench_lookup_heavy_nodecrash() -> (u64, f64) {
         SimTime::ZERO + SimDuration::from_millis(25),
         SimDuration::from_millis(90),
     );
-    run_lookup_heavy(efind::FaultConfig::disabled(), chaos)
+    run_lookup_heavy(
+        efind::FaultConfig::disabled(),
+        chaos,
+        efind_cluster::CorruptionPlan::none(),
+    )
 }
 
-fn run_lookup_heavy(faults: efind::FaultConfig, chaos: efind_cluster::ChaosPlan) -> (u64, f64) {
+/// `lookup_heavy` with the corruption plan armed on every surface at low
+/// rates: CRC verification on each chunk read, shuffle fetch, cache hit,
+/// and index response, plus the repair paths the detections trigger.
+/// Enabled by `--faults`, recorded only — `run_check` skips it.
+fn bench_lookup_heavy_corrupt() -> (u64, f64) {
+    let corruption = efind_cluster::CorruptionPlan::new(0xEF1D_0004)
+        .chunks(0.02)
+        .shuffle(0.05)
+        .cache(0.05)
+        .responses(0.02);
+    run_lookup_heavy(
+        efind::FaultConfig::disabled(),
+        efind_cluster::ChaosPlan::none(),
+        corruption,
+    )
+}
+
+fn run_lookup_heavy(
+    faults: efind::FaultConfig,
+    chaos: efind_cluster::ChaosPlan,
+    corruption: efind_cluster::CorruptionPlan,
+) -> (u64, f64) {
     let config = SyntheticConfig {
         num_records: 24_000,
         key_space: 2_400,
@@ -304,6 +339,7 @@ fn run_lookup_heavy(faults: efind::FaultConfig, chaos: efind_cluster::ChaosPlan)
     let efind_config = EFindConfig {
         faults,
         chaos,
+        corruption,
         ..EFindConfig::default()
     };
     let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, efind_config);

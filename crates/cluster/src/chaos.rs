@@ -13,7 +13,7 @@
 
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
-use efind_common::fx_hash_bytes;
+use efind_common::det::draw_unit_u64;
 
 /// One node death: `node` stops executing tasks and serving data at `at`.
 ///
@@ -37,17 +37,6 @@ pub struct ChaosPlan {
     seed: u64,
     /// Sorted by `(at, node)`; at most one event per node.
     events: Vec<CrashEvent>,
-}
-
-/// Pure `[0, 1)` draw from a seed, scope string, and key — the same
-/// fx-hash construction the fault layer uses, namespaced by `scope` so
-/// independent decision streams never correlate.
-fn draw_unit(seed: u64, scope: &str, key: u64) -> f64 {
-    let mut buf = Vec::with_capacity(scope.len() + 16);
-    buf.extend_from_slice(&seed.to_le_bytes());
-    buf.extend_from_slice(scope.as_bytes());
-    buf.extend_from_slice(&key.to_le_bytes());
-    (fx_hash_bytes(&buf) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl ChaosPlan {
@@ -97,14 +86,14 @@ impl ChaosPlan {
             // Rejection-sample a node not yet in the plan; the salt makes
             // each rejection a fresh, still-deterministic draw.
             let node = loop {
-                let u = draw_unit(seed, "chaos.node", (i as u64) << 32 | salt);
+                let u = draw_unit_u64(seed, "chaos.node", (i as u64) << 32 | salt);
                 salt += 1;
                 let cand = NodeId((u * num_nodes as f64) as u16 % num_nodes);
                 if !plan.events.iter().any(|e| e.node == cand) {
                     break cand;
                 }
             };
-            let ut = draw_unit(seed, "chaos.time", i as u64);
+            let ut = draw_unit_u64(seed, "chaos.time", i as u64);
             let at = window_start + window.mul_f64(ut);
             plan = plan.kill(node, at);
         }

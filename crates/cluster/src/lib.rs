@@ -19,12 +19,14 @@
 //! (records, bytes, lookups) are exact and times are reproducible.
 
 pub mod chaos;
+pub mod corrupt;
 pub mod model;
 pub mod node;
 pub mod sched;
 pub mod time;
 
 pub use chaos::{ChaosPlan, CrashEvent};
+pub use corrupt::CorruptionPlan;
 pub use model::{DiskModel, NetworkModel};
 pub use node::{Cluster, ClusterBuilder, NodeId};
 pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};

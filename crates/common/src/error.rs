@@ -18,6 +18,9 @@ pub enum Error {
     /// Data became permanently unavailable — every replica of a stored
     /// chunk was lost to node crashes and nothing can recompute it.
     DataLoss(String),
+    /// Data failed checksum verification on every available copy — all
+    /// replicas of a chunk are corrupt and no clean source remains.
+    DataCorruption(String),
 }
 
 impl fmt::Display for Error {
@@ -29,6 +32,7 @@ impl fmt::Display for Error {
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::DataLoss(msg) => write!(f, "data loss: {msg}"),
+            Error::DataCorruption(msg) => write!(f, "data corruption: {msg}"),
         }
     }
 }

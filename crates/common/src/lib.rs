@@ -13,7 +13,9 @@
 //!   lookup paths,
 //! * [`Error`] — the common error type.
 
+pub mod crc;
 pub mod datum;
+pub mod det;
 pub mod error;
 pub mod fm;
 pub mod fmtutil;
@@ -21,6 +23,7 @@ pub mod hash;
 pub mod intern;
 pub mod record;
 
+pub use crc::{crc32, Crc32};
 pub use datum::{Datum, KeyKind};
 pub use error::{Error, Result};
 pub use fm::FmSketch;

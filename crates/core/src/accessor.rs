@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use crate::fault::{Breaker, FaultConfig, FaultKind, FaultPlan, MissPolicy, RetryPolicy};
-use efind_cluster::{NetworkModel, NodeId, SimDuration};
+use efind_cluster::{CorruptionPlan, NetworkModel, NodeId, SimDuration};
 use efind_common::{Datum, KeyKind};
 use efind_mapreduce::{CounterHandle, TaskCtx};
 
@@ -108,6 +108,9 @@ pub struct ChargedLookup {
     prefix: String,
     /// Fault-tolerance state; `None` keeps the plain, zero-overhead path.
     fault: Option<FaultState>,
+    /// Corruption plan for response verification; a quiet plan keeps the
+    /// plain, checksum-free path.
+    corruption: CorruptionPlan,
     /// Per-index counter names, resolved once at construction so the
     /// per-lookup path never formats or allocates a name.
     c_lookups: CounterHandle,
@@ -125,6 +128,7 @@ pub struct ChargedLookup {
     c_f_backoff_nanos: CounterHandle,
     c_f_exhausted: CounterHandle,
     c_f_degraded: CounterHandle,
+    c_i_refetch: CounterHandle,
 }
 
 /// The per-index slice of [`FaultConfig`] installed in a wrapper.
@@ -162,6 +166,8 @@ impl ChargedLookup {
             c_f_backoff_nanos: h("fault.backoff.nanos"),
             c_f_exhausted: h("fault.exhausted"),
             c_f_degraded: h("fault.degraded"),
+            c_i_refetch: h("integrity.refetch"),
+            corruption: CorruptionPlan::none(),
             prefix,
         }
     }
@@ -180,6 +186,14 @@ impl ChargedLookup {
                 breaker_min_samples: config.breaker_min_samples,
             });
         }
+        self
+    }
+
+    /// Installs the corruption plan for response verification. A plan that
+    /// does not corrupt responses (or has verification disabled) keeps the
+    /// wrapper on the plain path.
+    pub fn with_corruption(mut self, plan: &CorruptionPlan) -> Self {
+        self.corruption = plan.clone();
         self
     }
 
@@ -253,6 +267,34 @@ impl ChargedLookup {
         ctx.counters.bump(self.c_tj_nanos, serve.as_nanos() as i64);
     }
 
+    /// Verifies a completed response against the corruption plan: each
+    /// corrupted transfer fails its checksum and is re-fetched, paying the
+    /// full serve + transfer cost again. The draw is keyed by attempt
+    /// number, so a re-fetch can itself be corrupted; rates below 1.0
+    /// terminate with probability 1 and identical answers either way —
+    /// response corruption costs virtual time, never correctness. Quiet
+    /// or unverified plans return without a single draw.
+    fn verify_response(
+        &self,
+        key: &Datum,
+        mode: LookupMode,
+        ctx: &mut TaskCtx,
+        serve: SimDuration,
+        transfer: SimDuration,
+    ) {
+        if !(self.corruption.corrupts_responses() && self.corruption.verification_enabled()) {
+            return;
+        }
+        let mut kb = Vec::new();
+        key.encode_into(&mut kb);
+        let mut attempt: u32 = 0;
+        while self.corruption.response_corrupt(&self.prefix, &kb, attempt) {
+            self.charge_split(mode, ctx, serve, transfer);
+            ctx.counters.bump(self.c_i_refetch, 1);
+            attempt += 1;
+        }
+    }
+
     /// The fault-free path; byte-for-byte the pre-fault-layer behavior for
     /// accessors whose `try_lookup` never reports a miss or failure.
     fn lookup_plain(&self, key: &Datum, mode: LookupMode, ctx: &mut TaskCtx) -> Arc<[Datum]> {
@@ -262,17 +304,21 @@ impl ChargedLookup {
                 let values: Arc<[Datum]> = values.into();
                 let siv: u64 = values.iter().map(Datum::size_bytes).sum();
                 let serve = self.accessor.serve_time(key, siv);
-                self.charge_split(mode, ctx, serve, self.network.transfer(sik + siv));
+                let transfer = self.network.transfer(sik + siv);
+                self.charge_split(mode, ctx, serve, transfer);
                 self.bump_lookup_counters(ctx, sik, siv, serve);
+                self.verify_response(key, mode, ctx, serve, transfer);
                 values
             }
             LookupResult::Miss => {
                 // A miss is a completed round trip with an empty answer;
                 // it costs the same as an empty hit but is counted apart.
                 let serve = self.accessor.serve_time(key, 0);
-                self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                let transfer = self.network.transfer(sik);
+                self.charge_split(mode, ctx, serve, transfer);
                 self.bump_lookup_counters(ctx, sik, 0, serve);
                 ctx.counters.bump(self.c_misses, 1);
+                self.verify_response(key, mode, ctx, serve, transfer);
                 Vec::new().into()
             }
             LookupResult::Failed(_) => {
@@ -344,6 +390,7 @@ impl ChargedLookup {
                             }
                             self.charge_split(mode, ctx, serve, transfer);
                             self.bump_lookup_counters(ctx, sik, siv, serve);
+                            self.verify_response(key, mode, ctx, serve, transfer);
                             if let Some(b) = breaker.as_deref_mut() {
                                 b.record(true);
                             }
@@ -356,9 +403,11 @@ impl ChargedLookup {
                             serve = serve.mul_f64(fault.plan.slowdown_factor);
                             ctx.counters.bump(self.c_f_slowdowns, 1);
                         }
-                        self.charge_split(mode, ctx, serve, self.network.transfer(sik));
+                        let transfer = self.network.transfer(sik);
+                        self.charge_split(mode, ctx, serve, transfer);
                         self.bump_lookup_counters(ctx, sik, 0, serve);
                         ctx.counters.bump(self.c_misses, 1);
+                        self.verify_response(key, mode, ctx, serve, transfer);
                         if let Some(b) = breaker.as_deref_mut() {
                             b.record(true);
                         }
@@ -696,6 +745,64 @@ mod tests {
         fn serve_time(&self, key: &Datum, result_bytes: u64) -> SimDuration {
             self.inner.serve_time(key, result_bytes)
         }
+    }
+
+    #[test]
+    fn quiet_corruption_plan_is_observably_identical_to_plain_path() {
+        let plain = charged();
+        let quiet = charged().with_corruption(&CorruptionPlan::new(9));
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..100i64 {
+            let key = Datum::Int(i % 3);
+            let va = plain.lookup(&key, LookupMode::Remote, &mut a);
+            let vb = quiet.lookup(&key, LookupMode::Remote, &mut b);
+            assert_eq!(va[..], vb[..]);
+        }
+        assert_eq!(a.charged(), b.charged());
+        assert_eq!(b.counters.get("efind.op.0.integrity.refetch"), 0);
+    }
+
+    #[test]
+    fn response_corruption_costs_refetch_time_but_not_answers() {
+        let plain = charged();
+        let noisy = charged().with_corruption(&CorruptionPlan::new(9).responses(0.5));
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..100i64 {
+            let key = Datum::Int(i % 3);
+            let va = plain.lookup(&key, LookupMode::Remote, &mut a);
+            let vb = noisy.lookup(&key, LookupMode::Remote, &mut b);
+            assert_eq!(
+                va[..],
+                vb[..],
+                "a corrupt transfer must never change the answer"
+            );
+        }
+        // Checksum failures re-transfer: strictly more virtual time, same
+        // lookup statistics, and every re-fetch shows up in the counter.
+        assert!(b.charged() > a.charged());
+        assert_eq!(
+            a.counters.get("efind.op.0.lookups"),
+            b.counters.get("efind.op.0.lookups")
+        );
+        assert!(b.counters.get("efind.op.0.integrity.refetch") > 0);
+    }
+
+    #[test]
+    fn response_corruption_without_verification_is_inert() {
+        let plain = charged();
+        let blind = charged()
+            .with_corruption(&CorruptionPlan::new(9).responses(0.9).without_verification());
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..50i64 {
+            let key = Datum::Int(i % 3);
+            plain.lookup(&key, LookupMode::Remote, &mut a);
+            blind.lookup(&key, LookupMode::Remote, &mut b);
+        }
+        assert_eq!(a.charged(), b.charged());
+        assert_eq!(b.counters.get("efind.op.0.integrity.refetch"), 0);
     }
 
     #[test]

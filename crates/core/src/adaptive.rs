@@ -30,11 +30,13 @@ use crate::plan::{forced_plan, optimize_operator, OperatorPlan, Strategy};
 use crate::runtime::{EFindJobResult, EFindRuntime};
 use crate::statsx::{extract_operator_stats, variance_ok};
 
-/// A runner carrying the runtime's node-crash plan, so every adaptive
-/// sub-step (wave execution, scheduling, re-planned sub-jobs) sees the
-/// same planned crashes as a plain `run_with_plans` execution.
+/// A runner carrying the runtime's node-crash and corruption plans, so
+/// every adaptive sub-step (wave execution, scheduling, re-planned
+/// sub-jobs) sees the same planned crashes and byte flips as a plain
+/// `run_with_plans` execution.
 fn runner<'r>(rt: &'r mut EFindRuntime<'_>) -> Runner<'r> {
     Runner::with_chaos(rt.cluster, rt.dfs, rt.config.chaos.clone())
+        .with_corruption(rt.config.corruption.clone())
 }
 
 /// Applies every planned crash at or before `upto` to the DFS and records
@@ -288,7 +290,12 @@ pub(crate) fn run_dynamic(
         }
         recovery.crashed_attempts +=
             lsched.crashed_attempts + outcome.phase.schedule.crashed_attempts;
+        let mut integrity = runner(rt).integrity_sweep(last);
+        integrity.shuffle_refetches = outcome.shuffle_refetches;
+        integrity.shuffle_refetch_time = outcome.shuffle_refetch_time;
+        integrity.collect_lookup_counters(&counters);
         recovery.add_counters(&mut counters);
+        integrity.add_counters(&mut counters);
         let output_bytes = outcome.output.total_bytes();
         job_stats.push(JobStats {
             name: last.name.clone(),
@@ -304,6 +311,7 @@ pub(crate) fn run_dynamic(
             shuffle_bytes: outcome.shuffle_bytes,
             output_bytes,
             recovery: std::mem::take(&mut recovery),
+            integrity,
         });
         (outcome.output, end)
     } else {
@@ -506,7 +514,10 @@ fn try_reduce_phase_replan(
             ..RecoveryLog::default()
         };
         apply_chaos_to_dfs(rt, finished, &mut recovery);
+        let mut integrity = runner(rt).integrity_sweep(conf);
+        integrity.collect_lookup_counters(&counters);
         recovery.add_counters(&mut counters);
+        integrity.add_counters(&mut counters);
         let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
         reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));
         let output_bytes = output.total_bytes();
@@ -527,6 +538,7 @@ fn try_reduce_phase_replan(
             shuffle_bytes,
             output_bytes,
             recovery,
+            integrity,
         };
         return Ok(Some(EFindJobResult {
             output,
@@ -631,7 +643,10 @@ fn try_reduce_phase_replan(
         ..RecoveryLog::default()
     };
     apply_chaos_to_dfs(rt, reduce_schedule.makespan, &mut recovery);
+    let mut integrity = runner(rt).integrity_sweep(conf);
+    integrity.collect_lookup_counters(&counters);
     recovery.add_counters(&mut counters);
+    integrity.add_counters(&mut counters);
     let output_bytes = output.total_bytes();
     let mut jobs = vec![JobStats {
         name: conf.name.clone(),
@@ -650,6 +665,7 @@ fn try_reduce_phase_replan(
         shuffle_bytes,
         output_bytes,
         recovery,
+        integrity,
     }];
     jobs.extend(job_stats);
 

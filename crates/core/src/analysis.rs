@@ -10,9 +10,10 @@
 //! statistics, for `explain`-style reporting.
 
 use efind_analyze::{
-    analyze, ChoiceModel, FaultModel, IndexModel, OperatorCosts, OperatorModel, PlacementKind,
-    PlanModel, Report, StrategyKind,
+    analyze, ChoiceModel, FaultModel, IndexModel, IntegrityModel, OperatorCosts, OperatorModel,
+    PlacementKind, PlanModel, Report, StrategyKind,
 };
+use efind_cluster::CorruptionPlan;
 use efind_common::{Error, FxHashMap, Result};
 
 use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
@@ -101,6 +102,7 @@ pub fn job_model(
         has_reduce: ijob.has_reduce(),
         operators,
         faults: None,
+        integrity: None,
     })
 }
 
@@ -121,6 +123,24 @@ pub fn fault_model(config: &FaultConfig) -> Option<FaultModel> {
     })
 }
 
+/// Lowers the runtime corruption configuration into the analyzer's IR.
+/// Only an armed (non-quiet) plan is lowered — the integrity checks are
+/// meaningless for the corruption-free path, which never flips a byte.
+pub fn integrity_model(
+    corruption: &CorruptionPlan,
+    dfs_replication: usize,
+) -> Option<IntegrityModel> {
+    if corruption.is_quiet() {
+        return None;
+    }
+    Some(IntegrityModel {
+        dfs_replication,
+        corrupts_chunks: corruption.corrupts_chunks(),
+        corrupts_cache: corruption.corrupts_cache(),
+        verification: corruption.verification_enabled(),
+    })
+}
+
 /// Runs the structural checks over a job and its plans.
 pub fn analyze_job(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>) -> Result<Report> {
     analyze_job_with_faults(ijob, plans, &FaultConfig::disabled())
@@ -128,14 +148,29 @@ pub fn analyze_job(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>)
 
 /// [`analyze_job`] with the runtime fault configuration lowered alongside
 /// the plan, so the fault checks (`EF015`, `EF016`) run when the fault
-/// layer is armed. This is the variant the compiler calls.
+/// layer is armed.
 pub fn analyze_job_with_faults(
     ijob: &IndexJobConf,
     plans: &FxHashMap<String, OperatorPlan>,
     faults: &FaultConfig,
 ) -> Result<Report> {
+    analyze_job_with_injections(ijob, plans, faults, &CorruptionPlan::none(), usize::MAX)
+}
+
+/// [`analyze_job`] with both injection layers lowered alongside the plan:
+/// the fault checks (`EF015`, `EF016`) run when the fault layer is armed
+/// and the integrity checks (`EF017`, `EF018`) when corruption is
+/// injected. This is the variant the compiler calls.
+pub fn analyze_job_with_injections(
+    ijob: &IndexJobConf,
+    plans: &FxHashMap<String, OperatorPlan>,
+    faults: &FaultConfig,
+    corruption: &CorruptionPlan,
+    dfs_replication: usize,
+) -> Result<Report> {
     let mut model = job_model(ijob, plans)?;
     model.faults = fault_model(faults);
+    model.integrity = integrity_model(corruption, dfs_replication);
     Ok(analyze(&model))
 }
 
@@ -181,6 +216,7 @@ pub fn analyze_costs(
         has_reduce: ijob.has_reduce(),
         operators,
         faults: None,
+        integrity: None,
     })
 }
 
@@ -346,6 +382,40 @@ mod tests {
 
         // The same job analyzed without faults stays clean.
         assert!(analyze_job(&ijob, &plans).unwrap().is_clean());
+    }
+
+    #[test]
+    fn chunk_corruption_on_unreplicated_dfs_fails_analysis() {
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let plan = CorruptionPlan::new(1).chunks(0.1);
+        let faults = FaultConfig::disabled();
+        let report = analyze_job_with_injections(&ijob, &plans, &faults, &plan, 1).unwrap();
+        assert!(report.has_code(efind_analyze::DiagCode::EF017));
+        assert!(report.into_result().is_err());
+
+        // With an intact replica to fall back on, the same plan is clean.
+        let report = analyze_job_with_injections(&ijob, &plans, &faults, &plan, 3).unwrap();
+        assert!(report.is_clean(), "{}", report.to_text());
+
+        // A quiet plan is never lowered at all.
+        assert!(integrity_model(&CorruptionPlan::none(), 1).is_none());
+    }
+
+    #[test]
+    fn unverified_cache_corruption_warns_but_passes() {
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let plan = CorruptionPlan::new(1).cache(0.2).without_verification();
+        let faults = FaultConfig::disabled();
+        let report = analyze_job_with_injections(&ijob, &plans, &faults, &plan, 3).unwrap();
+        assert!(report.has_code(efind_analyze::DiagCode::EF018));
+        assert!(report.is_passing());
+
+        // Baseline plans have no cache to poison.
+        let plans = plans_with(&ijob, Strategy::Baseline);
+        let report = analyze_job_with_injections(&ijob, &plans, &faults, &plan, 3).unwrap();
+        assert!(report.is_clean(), "{}", report.to_text());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use std::sync::Arc;
 
-use efind_common::{Datum, FxHashMap};
+use efind_cluster::CorruptionPlan;
+use efind_common::{crc32, Datum, FxHashMap};
 
 /// Intrusive doubly-linked LRU list over a slab of entries.
 struct Entry<V> {
@@ -24,6 +25,9 @@ const NIL: usize = usize::MAX;
 pub struct LruMap<V> {
     map: FxHashMap<Datum, usize>,
     slab: Vec<Entry<V>>,
+    /// Slab slots vacated by [`remove`](Self::remove), reused before the
+    /// slab grows. The stale entry parks in its slot until reuse.
+    free: Vec<usize>,
     head: usize,
     tail: usize,
     capacity: usize,
@@ -36,6 +40,7 @@ impl<V> LruMap<V> {
         LruMap {
             map: FxHashMap::default(),
             slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -93,6 +98,17 @@ impl<V> LruMap<V> {
         Some(&self.slab[idx].value)
     }
 
+    /// Removes `key` from the map, unlinking it from the recency list and
+    /// freeing its slab slot for reuse. Returns true if it was present.
+    pub fn remove(&mut self, key: &Datum) -> bool {
+        let Some(idx) = self.map.remove(key) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.free.push(idx);
+        true
+    }
+
     /// Inserts or refreshes `key`, evicting the least-recently-used entry
     /// at capacity.
     pub fn insert(&mut self, key: Datum, value: V) {
@@ -102,6 +118,17 @@ impl<V> LruMap<V> {
                 self.unlink(idx);
                 self.push_front(idx);
             }
+            return;
+        }
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            self.map.insert(key, idx);
+            self.push_front(idx);
             return;
         }
         if self.map.len() == self.capacity {
@@ -138,15 +165,43 @@ impl<V> LruMap<V> {
     }
 }
 
+/// One cached result list plus the checksums that guard it. On the plain
+/// (unarmed) path both CRCs are zero and verification never fires.
+struct CacheEntry {
+    values: Arc<[Datum]>,
+    /// CRC-32 of the encoded result list, computed at insertion.
+    write_crc: u32,
+    /// CRC-32 the stored copy reads back with — differs from `write_crc`
+    /// exactly when the corruption plan poisoned this insertion.
+    read_crc: u32,
+}
+
+/// Cache-poisoning state of an armed [`LookupCache`].
+struct ArmedCorruption {
+    plan: CorruptionPlan,
+    /// Draw scope: the owning lookup's `efind.<operator>.<index>.` prefix.
+    scope: String,
+    /// Per-key insertion ordinal, so re-inserted entries draw fresh.
+    generations: FxHashMap<Datum, u64>,
+}
+
 /// The lookup cache: an LRU of key → result lists, with hit statistics.
 ///
 /// Result lists are stored as `Arc<[Datum]>` so a probe hit hands back a
 /// shared handle — no deep copy of the cached values, regardless of how
 /// large the result list is.
+///
+/// When armed with a [`CorruptionPlan`] that poisons cache entries, every
+/// insertion computes a CRC-32 over the encoded result list and every hit
+/// verifies it; a mismatch evicts the poisoned entry and reports a miss,
+/// so the caller re-fetches from the index — a poisoned entry costs one
+/// invalidation and one extra lookup, never a wrong answer.
 pub struct LookupCache {
-    lru: LruMap<Arc<[Datum]>>,
+    lru: LruMap<CacheEntry>,
     probes: u64,
     hits: u64,
+    invalidations: u64,
+    armed: Option<ArmedCorruption>,
 }
 
 impl LookupCache {
@@ -159,23 +214,91 @@ impl LookupCache {
             lru: LruMap::new(capacity),
             probes: 0,
             hits: 0,
+            invalidations: 0,
+            armed: None,
         }
+    }
+
+    /// Arms cache poisoning under `plan`, drawing in `scope` (the owning
+    /// lookup's counter prefix). A plan that cannot poison the cache — or
+    /// has verification disabled, so poison would go undetected — leaves
+    /// the cache on the plain, checksum-free path.
+    pub fn with_corruption(mut self, plan: &CorruptionPlan, scope: &str) -> Self {
+        if plan.corrupts_cache() && plan.verification_enabled() {
+            self.armed = Some(ArmedCorruption {
+                plan: plan.clone(),
+                scope: scope.to_owned(),
+                generations: FxHashMap::default(),
+            });
+        }
+        self
     }
 
     /// Probes for `key`; returns a shared handle to the cached result
-    /// list on a hit (an `Arc` refcount bump, not a value clone).
+    /// list on a hit (an `Arc` refcount bump, not a value clone). A hit
+    /// whose stored checksum fails verification is *not* served: the
+    /// poisoned entry is evicted, the invalidation is counted, and the
+    /// probe reports a miss so the caller re-fetches from the index.
     pub fn probe(&mut self, key: &Datum) -> Option<Arc<[Datum]>> {
         self.probes += 1;
-        let hit = self.lru.get(key).cloned();
-        if hit.is_some() {
-            self.hits += 1;
+        let (verified, values) = {
+            let entry = self.lru.get(key)?;
+            (entry.read_crc == entry.write_crc, entry.values.clone())
+        };
+        if !verified {
+            self.lru.remove(key);
+            self.invalidations += 1;
+            return None;
         }
-        hit
+        self.hits += 1;
+        Some(values)
     }
 
-    /// Inserts a freshly looked-up result.
+    /// Inserts a freshly looked-up result, computing its checksum (and
+    /// drawing the poison decision) when armed.
     pub fn insert(&mut self, key: Datum, values: Arc<[Datum]>) {
-        self.lru.insert(key, values);
+        let (write_crc, read_crc) = match self.armed.as_mut() {
+            None => (0, 0),
+            Some(armed) => {
+                let generation = armed
+                    .generations
+                    .entry(key.clone())
+                    .and_modify(|g| *g += 1)
+                    .or_insert(0);
+                let mut buf = Vec::new();
+                for v in values.iter() {
+                    v.encode_into(&mut buf);
+                }
+                let write_crc = crc32(&buf);
+                let mut key_bytes = Vec::new();
+                key.encode_into(&mut key_bytes);
+                let read_crc = if armed
+                    .plan
+                    .cache_corrupt(&armed.scope, &key_bytes, *generation)
+                {
+                    // The stored copy has one byte flipped; an empty
+                    // result list is modeled as header corruption.
+                    if buf.is_empty() {
+                        !write_crc
+                    } else {
+                        let flip = *generation as usize % buf.len();
+                        buf[flip] ^= 0x55;
+                        crc32(&buf)
+                    }
+                } else {
+                    write_crc
+                };
+                (write_crc, read_crc)
+            }
+        };
+        self.lru.insert(
+            key,
+            CacheEntry {
+                values,
+                write_crc,
+                read_crc,
+            },
+        );
     }
 
     /// Total probes.
@@ -186,6 +309,11 @@ impl LookupCache {
     /// Total hits.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Poisoned entries detected on a hit, evicted, and re-fetched.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
     }
 
     /// Observed miss ratio `R` (1.0 before any probe).
@@ -331,6 +459,103 @@ mod tests {
     fn zero_capacity_clamps_to_one() {
         let c: LruMap<i32> = LruMap::new(0);
         assert_eq!(c.capacity(), 1);
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut c = LruMap::new(2);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        assert!(c.remove(&k(1)));
+        assert!(!c.remove(&k(1)), "double remove reports absence");
+        assert_eq!(c.len(), 1);
+        // The freed slot is reused without evicting the survivor.
+        c.insert(k(3), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&k(2)), Some(&2));
+        assert_eq!(c.get(&k(3)), Some(&3));
+        // Capacity still enforced after slot reuse.
+        c.insert(k(4), 4);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_head_and_tail_keep_list_consistent() {
+        let mut c = LruMap::new(3);
+        c.insert(k(1), 1);
+        c.insert(k(2), 2);
+        c.insert(k(3), 3);
+        assert!(c.remove(&k(3))); // head (MRU)
+        assert!(c.remove(&k(1))); // tail (LRU)
+        let order: Vec<i64> = c
+            .keys_mru_order()
+            .iter()
+            .map(|d| d.as_int().unwrap())
+            .collect();
+        assert_eq!(order, vec![2]);
+        c.insert(k(4), 4);
+        c.insert(k(5), 5);
+        c.insert(k(6), 6); // evicts 2, the LRU
+        assert!(c.get(&k(2)).is_none());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn unarmed_cache_never_invalidates() {
+        let mut c = LookupCache::new(4);
+        c.insert(k(1), vec![k(10)].into());
+        for _ in 0..50 {
+            assert!(c.probe(&k(1)).is_some());
+        }
+        assert_eq!(c.invalidations(), 0);
+    }
+
+    #[test]
+    fn poisoned_entry_is_evicted_not_served() {
+        use efind_cluster::CorruptionPlan;
+        // Rate 1.0: every insertion is poisoned, so every subsequent
+        // probe must detect, evict, and miss — never serve the entry.
+        let plan = CorruptionPlan::new(3).cache(1.0);
+        let mut c = LookupCache::new(4).with_corruption(&plan, "efind.op.0.");
+        c.insert(k(1), vec![k(10)].into());
+        assert!(c.probe(&k(1)).is_none(), "poisoned hit must not serve");
+        assert_eq!(c.invalidations(), 1);
+        assert_eq!(c.hits(), 0);
+        // The entry is gone: the next probe is a plain miss.
+        assert!(c.probe(&k(1)).is_none());
+        assert_eq!(c.invalidations(), 1);
+    }
+
+    #[test]
+    fn reinsertion_draws_a_fresh_generation() {
+        use efind_cluster::CorruptionPlan;
+        // At rate 0.5 some key must be poisoned at generation 0 and clean
+        // at generation 1 — the re-fetch path converges.
+        let plan = CorruptionPlan::new(7).cache(0.5);
+        let recovered = (0..100i64).any(|i| {
+            let mut c = LookupCache::new(4).with_corruption(&plan, "efind.op.0.");
+            c.insert(k(i), vec![k(1)].into());
+            if c.probe(&k(i)).is_some() {
+                return false; // clean at generation 0
+            }
+            c.insert(k(i), vec![k(1)].into());
+            c.probe(&k(i)).is_some()
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn quiet_or_unverified_plans_do_not_arm() {
+        use efind_cluster::CorruptionPlan;
+        let quiet = LookupCache::new(4).with_corruption(&CorruptionPlan::new(3), "s.");
+        assert!(quiet.armed.is_none());
+        let unverified = LookupCache::new(4).with_corruption(
+            &CorruptionPlan::new(3).cache(1.0).without_verification(),
+            "s.",
+        );
+        assert!(unverified.armed.is_none());
+        let armed = LookupCache::new(4).with_corruption(&CorruptionPlan::new(3).cache(0.1), "s.");
+        assert!(armed.armed.is_some());
     }
 
     #[test]

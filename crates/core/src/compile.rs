@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use efind_cluster::{NetworkModel, SimDuration};
+use efind_cluster::{CorruptionPlan, NetworkModel, SimDuration};
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
     partition::partitioner_fn, Collector, CounterHandle, HashPartitioner, JobConf, Mapper,
@@ -55,6 +55,14 @@ pub struct RuntimeEnv {
     /// Fault-tolerance configuration attached to every [`ChargedLookup`]
     /// built for this pipeline. Disabled = the plain lookup path.
     pub faults: FaultConfig,
+    /// Data-corruption plan threaded into every lookup cache (entry
+    /// poisoning) and [`ChargedLookup`] (response corruption) built for
+    /// this pipeline. Quiet = the plain, checksum-free path.
+    pub corruption: CorruptionPlan,
+    /// Replication factor of the DFS the job reads from, for the
+    /// analyzer's recoverability check (`EF017`): chunk corruption with
+    /// replication 1 is unrecoverable by construction.
+    pub dfs_replication: usize,
 }
 
 /// A logical stage of the compiled data flow.
@@ -199,6 +207,7 @@ struct DirectLookupMapper {
     t_cache: SimDuration,
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
+    c_cache_invalid: CounterHandle,
     /// Per-task circuit breaker (present only when faults are configured).
     breaker: Option<Breaker>,
 }
@@ -248,6 +257,12 @@ impl Mapper for DirectLookupMapper {
             ctx.counters
                 .bump(self.c_cache_probes, cache.probes() as i64);
             ctx.counters.bump(self.c_cache_hits, cache.hits() as i64);
+            // Guarded so corruption-free runs never materialize the counter
+            // (a zero entry would perturb golden counter fingerprints).
+            if cache.invalidations() > 0 {
+                ctx.counters
+                    .bump(self.c_cache_invalid, cache.invalidations() as i64);
+            }
         }
     }
 }
@@ -357,6 +372,7 @@ struct FusedSlot {
     t_cache: SimDuration,
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
+    c_cache_invalid: CounterHandle,
     /// Per-task circuit breaker (present only when faults are configured).
     breaker: Option<Breaker>,
 }
@@ -463,6 +479,11 @@ impl Mapper for FusedLookupMapper {
                 ctx.charge(fs.t_cache * cache.probes());
                 ctx.counters.bump(fs.c_cache_probes, cache.probes() as i64);
                 ctx.counters.bump(fs.c_cache_hits, cache.hits() as i64);
+                // Guarded: see DirectLookupMapper::flush.
+                if cache.invalidations() > 0 {
+                    ctx.counters
+                        .bump(fs.c_cache_invalid, cache.invalidations() as i64);
+                }
             }
         }
     }
@@ -510,7 +531,8 @@ fn compile_operator(
             .map(|(j, acc)| {
                 Arc::new(
                     ChargedLookup::new(acc.clone(), env.network, names::idx_prefix(&opname, j))
-                        .with_faults(&env.faults),
+                        .with_faults(&env.faults)
+                        .with_corruption(&env.corruption),
                 )
             })
             .collect(),
@@ -558,6 +580,7 @@ fn compile_operator(
         with_cache: bool,
         c_cache_probes: CounterHandle,
         c_cache_hits: CounterHandle,
+        c_cache_invalid: CounterHandle,
     }
     let mut direct_configs: Vec<DirectConfig> = Vec::new();
     for choice in &plan.choices {
@@ -570,6 +593,8 @@ fn compile_operator(
                 let capacity = env.cache_capacity;
                 let c_cache_probes = CounterHandle::new(&format!("{}cache.probes", cl.prefix()));
                 let c_cache_hits = CounterHandle::new(&format!("{}cache.hits", cl.prefix()));
+                let c_cache_invalid =
+                    CounterHandle::new(&format!("{}integrity.cache.invalid", cl.prefix()));
                 if all_direct {
                     direct_configs.push(DirectConfig {
                         charged: cl.clone(),
@@ -577,16 +602,21 @@ fn compile_operator(
                         with_cache,
                         c_cache_probes,
                         c_cache_hits,
+                        c_cache_invalid,
                     });
                 }
+                let corruption = env.corruption.clone();
                 op_stages.push(heavy(Arc::new(move || {
                     Box::new(DirectLookupMapper {
                         charged: cl.clone(),
                         slot,
-                        cache: with_cache.then(|| LookupCache::new(capacity)),
+                        cache: with_cache.then(|| {
+                            LookupCache::new(capacity).with_corruption(&corruption, cl.prefix())
+                        }),
                         t_cache,
                         c_cache_probes,
                         c_cache_hits,
+                        c_cache_invalid,
                         breaker: cl.new_breaker(),
                     })
                 })));
@@ -661,6 +691,7 @@ fn compile_operator(
         let t_cache = env.t_cache;
         let capacity = env.cache_capacity;
         let configs = Arc::new(direct_configs);
+        let corruption = env.corruption.clone();
         let fused: MapperFactory = Arc::new(move || {
             Box::new(FusedLookupMapper {
                 op: op.clone(),
@@ -674,10 +705,14 @@ fn compile_operator(
                     .map(|c| FusedSlot {
                         charged: c.charged.clone(),
                         slot: c.slot,
-                        cache: c.with_cache.then(|| LookupCache::new(capacity)),
+                        cache: c.with_cache.then(|| {
+                            LookupCache::new(capacity)
+                                .with_corruption(&corruption, c.charged.prefix())
+                        }),
                         t_cache,
                         c_cache_probes: c.c_cache_probes,
                         c_cache_hits: c.c_cache_hits,
+                        c_cache_invalid: c.c_cache_invalid,
                         breaker: c.charged.new_breaker(),
                     })
                     .collect(),
@@ -705,8 +740,14 @@ pub fn compile_pipeline(
     ijob.validate()?;
     // Static plan verification (EF001..): hard errors abort compilation
     // here, before any stage is built; warnings travel with the pipeline.
-    let analysis =
-        crate::analysis::analyze_job_with_faults(ijob, plans, &env.faults)?.into_result()?;
+    let analysis = crate::analysis::analyze_job_with_injections(
+        ijob,
+        plans,
+        &env.faults,
+        &env.corruption,
+        env.dfs_replication,
+    )?
+    .into_result()?;
     let plan_of = |bound: &BoundOperator| -> Result<&OperatorPlan> {
         plans
             .get(bound.op.name())
@@ -872,6 +913,8 @@ mod tests {
             intermediate_chunks: 8,
             hard_colocation: false,
             faults: FaultConfig::disabled(),
+            corruption: CorruptionPlan::none(),
+            dfs_replication: 2,
         }
     }
 
@@ -1027,6 +1070,41 @@ mod tests {
         assert!(c.get("efind.enrich.spre.bytes") > 0);
         assert!(c.get("efind.enrich.spost.bytes") > 0);
         assert!(c.get(names::MAPOUT_BYTES) > 0);
+    }
+
+    #[test]
+    fn cache_corruption_invalidates_entries_but_preserves_output() {
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .map_slots(1)
+            .reduce_slots(1)
+            .build();
+        let run = |plan: CorruptionPlan| {
+            let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+            let records: Vec<Record> = (0..100i64).map(|i| Record::new(i, "x")).collect();
+            dfs.write_file("in", records);
+            let (ijob, plans) = sample_ijob(Strategy::Cache);
+            let mut e = env();
+            e.corruption = plan.clone();
+            let compiled = compile_pipeline(&ijob, &plans, &e).unwrap();
+            let res = Runner::new(&cluster, &mut dfs)
+                .with_corruption(plan)
+                .run(&compiled.jobs[0], SimTime::ZERO)
+                .unwrap();
+            let mut out = dfs.read_file("out").unwrap();
+            out.sort();
+            (out, res.stats)
+        };
+        let (clean_out, clean) = run(CorruptionPlan::none());
+        let (out, noisy) = run(CorruptionPlan::new(11).cache(0.3));
+        // Poisoned entries are evicted and re-fetched from the index, so
+        // the answer is unchanged — only virtual time and the integrity
+        // counters move.
+        assert_eq!(clean_out, out);
+        assert!(noisy.counters.get("efind.enrich.0.integrity.cache.invalid") > 0);
+        assert!(noisy.integrity.cache_invalidations > 0);
+        assert!(noisy.finished > clean.finished);
+        assert!(clean.integrity.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! accessor path is byte-for-byte the plain lookup path.
 
 use efind_cluster::SimDuration;
-use efind_common::{fx_hash_bytes, Datum};
+use efind_common::{det, Datum};
 
 /// What the fault plan decides for one lookup attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,13 +106,10 @@ impl FaultPlan {
         if self.is_quiet() {
             return FaultKind::Ok;
         }
-        let mut buf = Vec::with_capacity(scope.len() + 24);
-        buf.extend_from_slice(&self.seed.to_le_bytes());
-        buf.extend_from_slice(scope.as_bytes());
-        key.encode_into(&mut buf);
-        buf.extend_from_slice(&attempt.to_le_bytes());
-        // 53 uniform mantissa bits → u ∈ [0, 1).
-        let u = (fx_hash_bytes(&buf) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut payload = Vec::with_capacity(16);
+        key.encode_into(&mut payload);
+        payload.extend_from_slice(&attempt.to_le_bytes());
+        let u = det::draw_unit(self.seed, scope, &payload);
         if u < self.failure_rate {
             FaultKind::Fail
         } else if u < self.failure_rate + self.timeout_rate {

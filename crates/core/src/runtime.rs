@@ -1,7 +1,7 @@
 //! The EFind runtime (Fig. 8): plan selection, plan implementation, and
 //! execution of enhanced jobs.
 
-use efind_cluster::{ChaosPlan, Cluster, SimDuration, SimTime};
+use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime};
 use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
 use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
@@ -60,6 +60,16 @@ pub struct EFindConfig {
     /// by default — the crash-free path is byte-identical to a build
     /// without the recovery layer.
     pub chaos: ChaosPlan,
+    /// Data-corruption plan applied to every constituent MapReduce job:
+    /// DFS chunk replicas, shuffle payloads, lookup-cache entries, and
+    /// index responses flip bytes per the plan's seeded draws, CRC-32
+    /// verification catches every flip at the read boundary, and the
+    /// repair paths (alternate replica + re-replication, shuffle refetch,
+    /// cache invalidation, response re-transfer) turn corruption into
+    /// virtual time instead of wrong answers. Quiet by default — the
+    /// corruption-free path is byte-identical to a build without the
+    /// integrity layer.
+    pub corruption: CorruptionPlan,
 }
 
 impl Default for EFindConfig {
@@ -76,6 +86,7 @@ impl Default for EFindConfig {
             job_overhead_secs: 0.02,
             faults: FaultConfig::disabled(),
             chaos: ChaosPlan::none(),
+            corruption: CorruptionPlan::none(),
         }
     }
 }
@@ -223,6 +234,8 @@ impl<'a> EFindRuntime<'a> {
             intermediate_chunks: self.cluster.total_map_slots() * 2,
             hard_colocation: self.config.hard_colocation,
             faults: self.config.faults.clone(),
+            corruption: self.config.corruption.clone(),
+            dfs_replication: self.dfs.config().replication,
         }
     }
 
@@ -331,6 +344,7 @@ impl<'a> EFindRuntime<'a> {
         let mut output: Option<DfsFile> = None;
         for conf in &compiled.jobs {
             let res = Runner::with_chaos(self.cluster, self.dfs, self.config.chaos.clone())
+                .with_corruption(self.config.corruption.clone())
                 .run(conf, t)?;
             t = res.stats.finished;
             jobs.push(res.stats);

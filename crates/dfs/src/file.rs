@@ -1,9 +1,9 @@
-//! File namespace, chunking, and cost accounting.
+//! File namespace, chunking, cost accounting, and chunk integrity.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use efind_cluster::{Cluster, NodeId, SimDuration};
-use efind_common::{fx_hash_bytes, Error, FxHashMap, Record, Result};
+use efind_cluster::{Cluster, CorruptionPlan, NodeId, SimDuration};
+use efind_common::{fx_hash_bytes, Crc32, Error, FxHashMap, Record, Result};
 
 use crate::placement::Placement;
 
@@ -69,6 +69,50 @@ struct StoredChunk {
     /// Shared so map tasks can read a chunk without copying it
     /// ([`Dfs::read_chunk_shared`]).
     records: Arc<[Record]>,
+    /// CRC-32 over the chunk's encoded records. Filled at write time when
+    /// the integrity layer is armed, lazily on first verified read
+    /// otherwise (files written before the plan was installed); never
+    /// computed at all on corruption-free runs, so the hot path is
+    /// untouched.
+    crc: OnceLock<u32>,
+}
+
+/// What a verified read discovered about one chunk's replicas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkIntegrity {
+    /// Replicas whose payload failed CRC verification, in host order.
+    pub corrupt: Vec<NodeId>,
+    /// Extra virtual time the reader spent fetching and discarding the
+    /// corrupt copies before a clean replica verified (one remote
+    /// retrieve per bad replica).
+    pub reread_cost: SimDuration,
+}
+
+/// CRC-32 of the chunk's payload (the concatenated record encodings),
+/// computed once and cached — the digest a write boundary seals the
+/// chunk with.
+fn chunk_crc(c: &StoredChunk) -> u32 {
+    *c.crc.get_or_init(|| encoded_crc(&c.records, None))
+}
+
+/// CRC-32 over the concatenated record encodings. `flip` simulates the
+/// payload a reader fetches from a corrupt replica: one byte (chosen by
+/// the flip salt) XOR-perturbed, which CRC-32 detects with certainty.
+fn encoded_crc(records: &[Record], flip: Option<usize>) -> u32 {
+    let mut buf = Vec::new();
+    for rec in records {
+        rec.key.encode_into(&mut buf);
+        rec.value.encode_into(&mut buf);
+    }
+    if let Some(salt) = flip {
+        if !buf.is_empty() {
+            let pos = salt % buf.len();
+            buf[pos] ^= 0x55;
+        }
+    }
+    let mut h = Crc32::new();
+    h.update(&buf);
+    h.finish()
 }
 
 /// Outcome of one background re-replication sweep
@@ -93,6 +137,9 @@ pub struct Dfs {
     /// Nodes declared dead, in crash order. Their replicas are gone; new
     /// placements avoid them.
     dead: Vec<NodeId>,
+    /// Corruption plan consulted at read boundaries. Quiet by default;
+    /// installed by the runtime via [`Dfs::set_corruption`].
+    corruption: CorruptionPlan,
 }
 
 impl Dfs {
@@ -103,12 +150,29 @@ impl Dfs {
             config,
             files: FxHashMap::default(),
             dead: Vec::new(),
+            corruption: CorruptionPlan::none(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &DfsConfig {
         &self.config
+    }
+
+    /// Installs the corruption plan consulted at read boundaries.
+    pub fn set_corruption(&mut self, plan: CorruptionPlan) {
+        self.corruption = plan;
+    }
+
+    /// The installed corruption plan (quiet by default).
+    pub fn corruption(&self) -> &CorruptionPlan {
+        &self.corruption
+    }
+
+    /// True when chunk reads verify CRCs: the plan can corrupt chunk
+    /// replicas and verification is enabled.
+    fn verifies_chunks(&self) -> bool {
+        self.corruption.corrupts_chunks() && self.corruption.verification_enabled()
     }
 
     /// Writes `records` as `name`, splitting into chunks of at most the
@@ -143,6 +207,11 @@ impl Dfs {
             self.config.seed ^ fx_hash_bytes(name.as_bytes()),
         );
         let dead = self.dead.clone();
+        // Write boundary: when the integrity layer is armed, checksum each
+        // chunk as it is sealed so read boundaries have something to
+        // verify against. Quiet runs skip this entirely (the lazy cell
+        // covers files that predate an installed plan).
+        let checksum_on_write = self.verifies_chunks();
         let mut chunks = Vec::new();
         let mut current = Vec::new();
         let mut current_bytes = 0u64;
@@ -150,10 +219,15 @@ impl Dfs {
             if current.is_empty() {
                 return;
             }
+            let crc = OnceLock::new();
+            if checksum_on_write {
+                let _ = crc.set(encoded_crc(current, None));
+            }
             chunks.push(StoredChunk {
                 hosts: placement.pick_avoiding(self.config.replication, &dead),
                 bytes: *current_bytes,
                 records: std::mem::take(current).into(),
+                crc,
             });
             *current_bytes = 0;
         };
@@ -219,6 +293,7 @@ impl Dfs {
                 "all replicas of chunk {chunk} of {name} lost to node crashes"
             )));
         }
+        self.verify_chunk(name, chunk, c)?;
         Ok(&c.records[..])
     }
 
@@ -238,6 +313,7 @@ impl Dfs {
                 "all replicas of chunk {chunk} of {name} lost to node crashes"
             )));
         }
+        self.verify_chunk(name, chunk, c)?;
         Ok(c.records.clone())
     }
 
@@ -252,10 +328,110 @@ impl Dfs {
                 "all replicas of chunk {idx} of {name} lost to node crashes"
             )));
         }
+        for (idx, c) in chunks.iter().enumerate() {
+            self.verify_chunk(name, idx, c)?;
+        }
         Ok(chunks
             .iter()
             .flat_map(|c| c.records.iter().cloned())
             .collect())
+    }
+
+    /// Read-boundary verification: fail fast with
+    /// [`Error::DataCorruption`] — naming file, chunk, and the replica
+    /// set — when *every* replica of the chunk fails its CRC. With at
+    /// least one clean replica the read proceeds (callers charge the
+    /// wasted fetches via [`Dfs::chunk_integrity`]).
+    fn verify_chunk(&self, name: &str, chunk: usize, c: &StoredChunk) -> Result<()> {
+        if !self.verifies_chunks() {
+            return Ok(());
+        }
+        let stored = chunk_crc(c);
+        let clean = c
+            .hosts
+            .iter()
+            .any(|&h| self.replica_crc(name, chunk, c, h) == stored);
+        if clean {
+            return Ok(());
+        }
+        Err(Error::DataCorruption(format!(
+            "all {} replicas of chunk {chunk} of {name} failed checksum verification (hosts {:?})",
+            c.hosts.len(),
+            c.hosts.iter().map(|h| h.0).collect::<Vec<_>>(),
+        )))
+    }
+
+    /// The CRC a reader observes fetching this chunk from `host`: the
+    /// write-time digest for a clean replica, the digest of the perturbed
+    /// payload when the corruption plan flipped a byte in that copy.
+    fn replica_crc(&self, name: &str, chunk: usize, c: &StoredChunk, host: NodeId) -> u32 {
+        if self.corruption.chunk_replica_corrupt(name, chunk, host) {
+            encoded_crc(&c.records, Some(host.0 as usize))
+        } else {
+            chunk_crc(c)
+        }
+    }
+
+    /// Replicas of one chunk whose payload fails CRC verification, in
+    /// host order. Pure in the DFS state — every read of the same chunk
+    /// discovers the same set. Empty when the integrity layer is quiet,
+    /// verification is off, or the file/chunk does not exist.
+    pub fn corrupt_replicas(&self, name: &str, chunk: usize) -> Vec<NodeId> {
+        if !self.verifies_chunks() {
+            return Vec::new();
+        }
+        let Some(c) = self.files.get(name).and_then(|cs| cs.get(chunk)) else {
+            return Vec::new();
+        };
+        let stored = chunk_crc(c);
+        c.hosts
+            .iter()
+            .copied()
+            .filter(|&h| self.replica_crc(name, chunk, c, h) != stored)
+            .collect()
+    }
+
+    /// What a verified read of this chunk discovers and what it costs:
+    /// the corrupt replicas plus one wasted remote retrieve per bad copy.
+    /// `None` when every replica is clean (the common case — callers can
+    /// skip all integrity accounting).
+    pub fn chunk_integrity(&self, name: &str, chunk: usize) -> Option<ChunkIntegrity> {
+        let corrupt = self.corrupt_replicas(name, chunk);
+        if corrupt.is_empty() {
+            return None;
+        }
+        let bytes = self
+            .files
+            .get(name)
+            .and_then(|cs| cs.get(chunk))
+            .map_or(0, |c| c.bytes);
+        let reread_cost = self
+            .retrieve_cost_remote(bytes)
+            .mul_f64(corrupt.len() as f64);
+        Some(ChunkIntegrity {
+            corrupt,
+            reread_cost,
+        })
+    }
+
+    /// Removes replicas that failed verification from a chunk's host set
+    /// so they are never served again, returning the quarantined hosts.
+    /// At least one clean replica must remain (an all-corrupt chunk is
+    /// left untouched — reads of it fail fast instead). The chunk drops
+    /// below its replication target, so the next [`Dfs::re_replicate`]
+    /// sweep restores it from a clean copy.
+    pub fn quarantine_corrupt_replicas(&mut self, name: &str, chunk: usize) -> Vec<NodeId> {
+        let bad = self.corrupt_replicas(name, chunk);
+        if bad.is_empty() {
+            return bad;
+        }
+        if let Some(c) = self.files.get_mut(name).and_then(|cs| cs.get_mut(chunk)) {
+            if bad.len() >= c.hosts.len() {
+                return Vec::new();
+            }
+            c.hosts.retain(|h| !bad.contains(h));
+        }
+        bad
     }
 
     /// Removes a file; removing a missing file is a no-op.
@@ -618,5 +794,103 @@ mod tests {
         assert!(d.retrieve_cost_local(1 << 20) < d.retrieve_cost_remote(1 << 20));
         let f = d.f_per_byte();
         assert!(f > 0.0 && f < 1e-6, "f = {f} s/byte");
+    }
+
+    #[test]
+    fn quiet_corruption_plan_checks_nothing() {
+        let mut d = dfs();
+        let data = records(50);
+        d.write_file("input", data.clone());
+        d.set_corruption(CorruptionPlan::new(9));
+        assert!(d.corrupt_replicas("input", 0).is_empty());
+        assert!(d.chunk_integrity("input", 0).is_none());
+        assert!(d.quarantine_corrupt_replicas("input", 0).is_empty());
+        assert_eq!(d.read_file("input").unwrap(), data);
+    }
+
+    #[test]
+    fn partial_corruption_serves_clean_data_and_prices_rereads() {
+        let mut d = dfs();
+        let data = records(50);
+        d.write_file("input", data.clone());
+        // High per-replica rate: at 3x replication, some chunk ends up
+        // with 1–2 corrupt copies but a clean one surviving somewhere.
+        let mut hit = None;
+        for seed in 0..64 {
+            d.set_corruption(CorruptionPlan::new(seed).chunks(0.4));
+            let stat = d.stat("input").unwrap();
+            let per_chunk: Vec<_> = stat
+                .chunks
+                .iter()
+                .map(|c| (c.index, c.hosts.len(), d.corrupt_replicas("input", c.index)))
+                .collect();
+            // Need a seed where some chunk is partially corrupt and no
+            // chunk lost every replica (reads must still succeed).
+            if per_chunk.iter().any(|(_, hosts, bad)| bad.len() >= *hosts) {
+                continue;
+            }
+            if let Some((idx, _, bad)) = per_chunk
+                .into_iter()
+                .find(|(_, hosts, bad)| !bad.is_empty() && bad.len() < *hosts)
+            {
+                hit = Some((seed, idx, bad));
+                break;
+            }
+        }
+        let (seed, chunk, bad) = hit.expect("some seed produces partial corruption");
+        d.set_corruption(CorruptionPlan::new(seed).chunks(0.4));
+        // The read still succeeds (clean replica exists) and returns the
+        // exact written records — corruption costs time, never answers.
+        let mut collected = Vec::new();
+        for c in &d.stat("input").unwrap().chunks {
+            collected.extend(d.read_chunk("input", c.index).unwrap().iter().cloned());
+        }
+        assert_eq!(collected, data);
+        let integ = d.chunk_integrity("input", chunk).unwrap();
+        assert_eq!(integ.corrupt, bad);
+        assert!(!integ.reread_cost.is_zero());
+        // Quarantine drops the bad replicas; re-replication restores the
+        // target from the clean copy.
+        let q = d.quarantine_corrupt_replicas("input", chunk);
+        assert_eq!(q, bad);
+        assert!(d.live_replicas("input", chunk).unwrap() < 3);
+        // Repair on a corruption-free DFS state (the plan stays pure, so
+        // fresh hosts may draw corrupt again; quiet it for the assert).
+        d.set_corruption(CorruptionPlan::none());
+        let rep = d.re_replicate();
+        assert!(rep.chunks >= 1);
+        assert_eq!(d.live_replicas("input", chunk).unwrap(), 3);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_a_diagnosable_data_corruption() {
+        let mut d = dfs();
+        d.write_file("input", records(50));
+        d.set_corruption(CorruptionPlan::new(1).chunks(1.0));
+        let err = d.read_chunk("input", 0).unwrap_err();
+        assert!(
+            matches!(err, Error::DataCorruption(_)),
+            "expected DataCorruption, got {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("input") && msg.contains("chunk 0"), "{msg}");
+        assert!(d.read_chunk_shared("input", 0).is_err());
+        assert!(d.read_file("input").is_err());
+        // All-corrupt chunks are not quarantined: there is no clean
+        // replica to keep, and the read path already fails fast.
+        assert!(d.quarantine_corrupt_replicas("input", 0).is_empty());
+        assert_eq!(d.live_replicas("input", 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn verification_off_serves_without_checking() {
+        let mut d = dfs();
+        let data = records(20);
+        d.write_file("input", data.clone());
+        d.set_corruption(CorruptionPlan::new(1).chunks(1.0).without_verification());
+        // Undetected by construction: reads pass, integrity reports are
+        // empty. The analyzer warns about this configuration (EF018).
+        assert_eq!(d.read_file("input").unwrap(), data);
+        assert!(d.corrupt_replicas("input", 0).is_empty());
     }
 }

@@ -27,6 +27,7 @@
 pub mod api;
 pub mod context;
 pub mod counters;
+pub mod integrity;
 pub mod job;
 pub mod partition;
 pub mod recovery;
@@ -40,6 +41,7 @@ pub use api::{
 };
 pub use context::TaskCtx;
 pub use counters::{CounterHandle, Counters, Sketches};
+pub use integrity::IntegrityLog;
 pub use job::JobConf;
 pub use partition::{HashPartitioner, Partitioner};
 pub use recovery::RecoveryLog;

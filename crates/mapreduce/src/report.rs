@@ -84,6 +84,22 @@ pub fn render_summary(stats: &JobStats) -> String {
             );
         }
     }
+    if !stats.integrity.is_empty() {
+        let integ = &stats.integrity;
+        let _ = writeln!(
+            s,
+            "  integrity: {} corrupt chunks ({} replicas quarantined, {} repaired), \
+             {} chunk rereads, {} shuffle refetches, {} cache invalidations, \
+             {} lookup refetches",
+            integ.corrupt_chunks.len(),
+            integ.quarantined_replicas,
+            integ.repaired_chunks,
+            integ.chunk_rereads,
+            integ.shuffle_refetches,
+            integ.cache_invalidations,
+            integ.lookup_refetches,
+        );
+    }
     if !counters.is_empty() {
         let _ = writeln!(s, "  efind counters:");
         for (k, v) in counters {
@@ -229,6 +245,27 @@ mod tests {
         assert!(s.contains("crash recovery: 1 node crashes"), "{s}");
         assert!(s.contains("1 recompute waves (2 map tasks)"), "{s}");
         assert!(s.contains("reused 2 surviving"), "{s}");
+    }
+
+    #[test]
+    fn summary_omits_integrity_line_on_corruption_free_runs() {
+        let stats = run();
+        assert!(stats.integrity.is_empty());
+        assert!(!render_summary(&stats).contains("integrity:"));
+    }
+
+    #[test]
+    fn summary_reports_integrity_when_corruption_was_repaired() {
+        let mut stats = run();
+        stats.integrity.corrupt_chunks = vec![("in".into(), 4)];
+        stats.integrity.quarantined_replicas = 1;
+        stats.integrity.chunk_rereads = 1;
+        stats.integrity.repaired_chunks = 1;
+        stats.integrity.shuffle_refetches = 2;
+        let s = render_summary(&stats);
+        assert!(s.contains("integrity: 1 corrupt chunks"), "{s}");
+        assert!(s.contains("1 replicas quarantined, 1 repaired"), "{s}");
+        assert!(s.contains("2 shuffle refetches"), "{s}");
     }
 
     #[test]

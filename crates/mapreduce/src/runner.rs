@@ -18,14 +18,15 @@ use std::thread;
 
 use efind_cluster::{
     sched::{schedule_phase_chaos, Schedule, SlotKind, TaskSpec},
-    ChaosPlan, Cluster, CrashEvent, SimDuration, SimTime,
+    ChaosPlan, Cluster, CorruptionPlan, CrashEvent, SimDuration, SimTime,
 };
-use efind_common::{Error, Record, Result};
+use efind_common::{crc32, Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
 use parking_lot::Mutex;
 
 use crate::api::{run_chain, run_chain_shared, Collector};
 use crate::context::TaskCtx;
+use crate::integrity::IntegrityLog;
 use crate::job::JobConf;
 use crate::recovery::RecoveryLog;
 use crate::stats::{JobStats, PhaseStats, TaskStats};
@@ -112,6 +113,13 @@ pub struct ReduceOutcome {
     pub output: DfsFile,
     /// Bytes moved through the shuffle.
     pub shuffle_bytes: u64,
+    /// Shuffle payloads that failed CRC verification at the reducer and
+    /// were refetched from the source map output (0 under a quiet
+    /// corruption plan).
+    pub shuffle_refetches: u64,
+    /// Virtual time the refetches cost (already charged into the
+    /// affected reduce tasks' costs).
+    pub shuffle_refetch_time: SimDuration,
 }
 
 /// Executes jobs against a cluster and DFS.
@@ -122,6 +130,9 @@ pub struct Runner<'a> {
     pub dfs: &'a mut Dfs,
     /// Node-crash plan replayed against every schedule (quiet by default).
     chaos: ChaosPlan,
+    /// Data-corruption plan consulted at the shuffle boundary and during
+    /// the integrity sweep in [`Runner::finish`] (quiet by default).
+    corruption: CorruptionPlan,
 }
 
 impl<'a> Runner<'a> {
@@ -131,6 +142,7 @@ impl<'a> Runner<'a> {
             cluster,
             dfs,
             chaos: ChaosPlan::none(),
+            corruption: CorruptionPlan::none(),
         }
     }
 
@@ -141,12 +153,33 @@ impl<'a> Runner<'a> {
             cluster,
             dfs,
             chaos,
+            corruption: CorruptionPlan::none(),
         }
+    }
+
+    /// Arms the data-corruption plan: installs it on the DFS (so chunk
+    /// reads verify CRCs) and on the runner's shuffle boundary. With a
+    /// quiet plan this changes nothing.
+    pub fn with_corruption(mut self, plan: CorruptionPlan) -> Self {
+        self.dfs.set_corruption(plan.clone());
+        self.corruption = plan;
+        self
     }
 
     /// The runner's crash plan.
     pub fn chaos(&self) -> &ChaosPlan {
         &self.chaos
+    }
+
+    /// The runner's corruption plan.
+    pub fn corruption(&self) -> &CorruptionPlan {
+        &self.corruption
+    }
+
+    /// True when shuffle payloads are verified at the reducer: the plan
+    /// can corrupt them and verification is enabled.
+    fn verifies_shuffle(&self) -> bool {
+        self.corruption.corrupts_shuffle() && self.corruption.verification_enabled()
     }
 
     /// The input chunks of a job, in order.
@@ -235,6 +268,13 @@ impl<'a> Runner<'a> {
         if conf.has_reduce() {
             // Map-side spill of the shuffle input.
             base_cost += self.cluster.disk.write(output_bytes);
+        }
+        // Corrupt replicas discovered at the read boundary: each wasted
+        // fetch (pull copy, CRC mismatch, move to the next replica) is
+        // charged as a remote retrieve. `chunk_integrity` is `None` on
+        // clean chunks and under quiet plans — the hot path pays nothing.
+        if let Some(integ) = dfs.chunk_integrity(&conf.input, chunk.index) {
+            base_cost += integ.reread_cost;
         }
 
         ctx.counters
@@ -442,9 +482,22 @@ impl<'a> Runner<'a> {
                 conf.name
             )));
         }
+        // Shuffle-boundary verification happens while the per-source map
+        // outputs still exist (the merge below loses source identity):
+        // each (source, partition) payload is checksummed as the sender
+        // would send it; a corrupted transfer fails the reducer-side CRC
+        // and is refetched from the in-memory source output.
+        let (extra_fetch, shuffle_refetches, shuffle_refetch_time) =
+            self.verify_shuffle_payloads(conf, &sources);
         let (partitions, shuffle_bytes) = self.partition_for_reduce(conf, sources);
-        let execs = self
+        let mut execs = self
             .execute_reduce_partitions_owned(conf, partitions.into_iter().enumerate().collect())?;
+        for e in &mut execs {
+            if let Some(extra) = extra_fetch.get(e.task_id).filter(|d| !d.is_zero()) {
+                e.spec.base += *extra;
+                e.stats.compute_cost += *extra;
+            }
+        }
 
         let mut tasks = Vec::with_capacity(execs.len());
         let mut specs = Vec::with_capacity(execs.len());
@@ -464,7 +517,63 @@ impl<'a> Runner<'a> {
             phase: PhaseStats { tasks, schedule },
             output,
             shuffle_bytes,
+            shuffle_refetches,
+            shuffle_refetch_time,
         })
+    }
+
+    /// Verifies every (map source, reduce partition) shuffle payload
+    /// against its sender-side CRC-32 and prices the refetch of corrupted
+    /// transfers. Returns per-partition extra fetch time, the refetch
+    /// count, and the total refetch time. Entirely skipped (three zeros)
+    /// unless the corruption plan can hit the shuffle.
+    fn verify_shuffle_payloads(
+        &self,
+        conf: &JobConf,
+        sources: &[Vec<Record>],
+    ) -> (Vec<SimDuration>, u64, SimDuration) {
+        let num_r = conf.num_reducers.max(1);
+        if !self.verifies_shuffle() {
+            return (Vec::new(), 0, SimDuration::ZERO);
+        }
+        let mut extra = vec![SimDuration::ZERO; num_r];
+        let mut refetches = 0u64;
+        let mut refetch_time = SimDuration::ZERO;
+        for (s, source) in sources.iter().enumerate() {
+            // The payload each reducer fetches from this source, encoded
+            // exactly as the sender serializes it.
+            let mut bufs: Vec<Vec<u8>> = (0..num_r).map(|_| Vec::new()).collect();
+            let mut bytes = vec![0u64; num_r];
+            for rec in source {
+                let p = conf.partitioner.partition(&rec.key, num_r);
+                rec.key.encode_into(&mut bufs[p]);
+                rec.value.encode_into(&mut bufs[p]);
+                bytes[p] += rec.size_bytes();
+            }
+            for (p, buf) in bufs.iter_mut().enumerate() {
+                if buf.is_empty() {
+                    continue;
+                }
+                let sent = crc32(buf);
+                if !self.corruption.shuffle_corrupt(&conf.name, s, p) {
+                    continue;
+                }
+                // The transfer flipped a byte; the reducer's CRC check
+                // catches it and the payload is fetched again (the map
+                // output is still in memory at the source — shuffle
+                // corruption is always recoverable).
+                let flip = s % buf.len();
+                buf[flip] ^= 0x55;
+                if crc32(buf) == sent {
+                    continue; // undetectable in principle; never for 1-byte flips
+                }
+                refetches += 1;
+                let cost = self.cluster.network.volume(bytes[p]);
+                extra[p] += cost;
+                refetch_time += cost;
+            }
+        }
+        (extra, refetches, refetch_time)
     }
 
     fn execute_one_reduce(
@@ -576,6 +685,43 @@ impl<'a> Runner<'a> {
             sketches: ctx.sketches,
         };
         Ok((stats, spec, output))
+    }
+
+    /// End-of-job integrity sweep over the job's input chunks. A map task
+    /// that hit a corrupt replica already paid the wasted fetch inside its
+    /// own cost ([`Dfs::chunk_integrity`]); here the runner records those
+    /// discoveries in the ledger, quarantines every replica that fails CRC
+    /// verification out of its chunk's host set, and re-replicates the
+    /// survivors back up to the replication target through the same
+    /// background repair path node crashes use. Quiet plans — and plans
+    /// with verification disabled, which cannot *detect* anything — return
+    /// the empty ledger untouched.
+    pub fn integrity_sweep(&mut self, conf: &JobConf) -> IntegrityLog {
+        let mut log = IntegrityLog::default();
+        if !(self.corruption.corrupts_chunks() && self.corruption.verification_enabled()) {
+            return log;
+        }
+        let Ok(meta) = self.dfs.stat(&conf.input) else {
+            return log;
+        };
+        let chunk_ids: Vec<usize> = meta.chunks.iter().map(|c| c.index).collect();
+        for idx in chunk_ids {
+            let Some(integ) = self.dfs.chunk_integrity(&conf.input, idx) else {
+                continue;
+            };
+            log.corrupt_chunks.push((conf.input.clone(), idx));
+            log.chunk_rereads += integ.corrupt.len() as u64;
+            log.reread_time += integ.reread_cost;
+            log.quarantined_replicas +=
+                self.dfs.quarantine_corrupt_replicas(&conf.input, idx).len();
+        }
+        if log.quarantined_replicas > 0 {
+            let rep = self.dfs.re_replicate();
+            log.repaired_chunks += rep.chunks;
+            log.repaired_bytes += rep.bytes;
+            log.repair_time += rep.duration;
+        }
+        log
     }
 
     /// Runs a full job starting at virtual time `start`.
@@ -780,7 +926,12 @@ impl<'a> Runner<'a> {
                     recovery.rereplication_time += rep.duration;
                 }
             }
+            let mut integrity = self.integrity_sweep(conf);
+            integrity.shuffle_refetches = outcome.shuffle_refetches;
+            integrity.shuffle_refetch_time = outcome.shuffle_refetch_time;
+            integrity.collect_lookup_counters(&counters);
             recovery.add_counters(&mut counters);
+            integrity.add_counters(&mut counters);
             let output_bytes = outcome.output.total_bytes();
             Ok(JobResult {
                 output: outcome.output,
@@ -795,6 +946,7 @@ impl<'a> Runner<'a> {
                     shuffle_bytes: outcome.shuffle_bytes,
                     output_bytes,
                     recovery,
+                    integrity,
                 },
             })
         } else {
@@ -803,7 +955,10 @@ impl<'a> Runner<'a> {
                 Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
                 None => self.dfs.write_file(&conf.output, all_output),
             };
+            let mut integrity = self.integrity_sweep(conf);
+            integrity.collect_lookup_counters(&counters);
             recovery.add_counters(&mut counters);
+            integrity.add_counters(&mut counters);
             let output_bytes = output.total_bytes();
             Ok(JobResult {
                 output,
@@ -818,6 +973,7 @@ impl<'a> Runner<'a> {
                     shuffle_bytes: 0,
                     output_bytes,
                     recovery,
+                    integrity,
                 },
             })
         }
@@ -1417,5 +1573,216 @@ mod crash_tests {
             dfs.read_file("copied").unwrap(),
             dfs_free.read_file("copied").unwrap()
         );
+    }
+}
+
+#[cfg(test)]
+mod corruption_tests {
+    use super::*;
+    use crate::api::{mapper_fn, reducer_fn};
+    use efind_cluster::CorruptionPlan;
+    use efind_common::Datum;
+    use efind_dfs::DfsConfig;
+
+    fn setup(replication: usize) -> (Cluster, Dfs) {
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication,
+                seed: 9,
+            },
+        );
+        let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+        let records: Vec<Record> = text
+            .iter()
+            .cycle()
+            .take(800)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect();
+        dfs.write_file("input", records);
+        (cluster, dfs)
+    }
+
+    fn wordcount_conf() -> JobConf {
+        JobConf::new("wordcount", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _ctx| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _ctx| {
+                    let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                    out.collect(Record::new(key, total));
+                }),
+                3,
+            )
+    }
+
+    /// Counter set with the `mr.integrity.*` ledger mirror stripped — the
+    /// invariance contract covers everything else.
+    fn non_integrity_counters(stats: &JobStats) -> Vec<(std::sync::Arc<str>, i64)> {
+        let mut c = stats.counters.iter_sorted();
+        c.retain(|(k, _)| !k.starts_with("mr.integrity."));
+        c
+    }
+
+    #[test]
+    fn quiet_corruption_plan_matches_the_plain_runner_exactly() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs1) = setup(2);
+        let plain = Runner::new(&cluster, &mut dfs1)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs2) = setup(2);
+        let quiet = Runner::new(&cluster, &mut dfs2)
+            .with_corruption(CorruptionPlan::new(77))
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        assert!(quiet.stats.integrity.is_empty());
+        assert_eq!(plain.stats.finished, quiet.stats.finished);
+        assert_eq!(
+            plain.stats.counters.iter_sorted(),
+            quiet.stats.counters.iter_sorted()
+        );
+        assert!(!quiet
+            .stats
+            .counters
+            .iter_sorted()
+            .iter()
+            .any(|(name, _)| name.starts_with("mr.integrity.")));
+        assert_eq!(
+            dfs1.read_file("out").unwrap(),
+            dfs2.read_file("out").unwrap()
+        );
+    }
+
+    /// Finds a seed whose chunk draws corrupt at least one replica of
+    /// `file` but never all replicas of any chunk — the recoverable case.
+    fn recoverable_chunk_seed(dfs: &Dfs, file: &str, rate: f64) -> CorruptionPlan {
+        let meta = dfs.stat(file).unwrap();
+        'seed: for seed in 0..500u64 {
+            let plan = CorruptionPlan::new(seed).chunks(rate);
+            let mut any = false;
+            for c in &meta.chunks {
+                let bad = c
+                    .hosts
+                    .iter()
+                    .filter(|h| plan.chunk_replica_corrupt(file, c.index, **h))
+                    .count();
+                if bad >= c.hosts.len() && !c.hosts.is_empty() {
+                    continue 'seed;
+                }
+                any |= bad > 0;
+            }
+            if any {
+                return plan;
+            }
+        }
+        panic!("no recoverable corruption seed found");
+    }
+
+    #[test]
+    fn chunk_corruption_costs_time_but_not_answers_or_counters() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_clean) = setup(3);
+        let clean = Runner::new(&cluster, &mut dfs_clean)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs) = setup(3);
+        let plan = recoverable_chunk_seed(&dfs, "input", 0.3);
+        let hit = Runner::new(&cluster, &mut dfs)
+            .with_corruption(plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        // Corruption was detected and repaired: the output and every
+        // non-ledger counter are bit-identical, only virtual time moved.
+        assert_eq!(
+            dfs_clean.read_file("out").unwrap(),
+            dfs.read_file("out").unwrap()
+        );
+        assert_eq!(
+            non_integrity_counters(&clean.stats),
+            non_integrity_counters(&hit.stats)
+        );
+        let integ = &hit.stats.integrity;
+        assert!(!integ.corrupt_chunks.is_empty());
+        assert!(integ.chunk_rereads > 0);
+        assert!(!integ.reread_time.is_zero());
+        assert_eq!(integ.quarantined_replicas as u64, integ.chunk_rereads);
+        assert!(integ.repaired_chunks > 0, "quarantine must trigger repair");
+        assert!(hit.stats.finished > clean.stats.finished);
+        assert_eq!(
+            hit.stats.counters.get("mr.integrity.chunks.corrupt"),
+            integ.corrupt_chunks.len() as i64
+        );
+    }
+
+    #[test]
+    fn all_replicas_corrupt_fails_fast_with_data_corruption() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs) = setup(1);
+        let err = Runner::new(&cluster, &mut dfs)
+            .with_corruption(CorruptionPlan::new(1).chunks(1.0))
+            .run(&conf, SimTime::ZERO)
+            .unwrap_err();
+        match err {
+            Error::DataCorruption(msg) => {
+                assert!(msg.contains("input"), "{msg}");
+                assert!(msg.contains("chunk"), "{msg}");
+            }
+            other => panic!("expected DataCorruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shuffle_corruption_refetches_and_preserves_output() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_clean) = setup(2);
+        let clean = Runner::new(&cluster, &mut dfs_clean)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs) = setup(2);
+        let hit = Runner::new(&cluster, &mut dfs)
+            .with_corruption(CorruptionPlan::new(3).shuffle(0.6))
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            dfs_clean.read_file("out").unwrap(),
+            dfs.read_file("out").unwrap()
+        );
+        let integ = &hit.stats.integrity;
+        assert!(integ.shuffle_refetches > 0);
+        assert!(!integ.shuffle_refetch_time.is_zero());
+        assert!(hit.stats.finished > clean.stats.finished);
+        assert_eq!(
+            non_integrity_counters(&clean.stats),
+            non_integrity_counters(&hit.stats)
+        );
+    }
+
+    #[test]
+    fn verification_disabled_means_no_detection_and_no_ledger() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_clean) = setup(3);
+        let clean = Runner::new(&cluster, &mut dfs_clean)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs) = setup(3);
+        let plan = recoverable_chunk_seed(&dfs, "input", 0.3).without_verification();
+        let unverified = Runner::new(&cluster, &mut dfs)
+            .with_corruption(plan)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        // Nothing checks, so nothing is detected, charged, or repaired —
+        // the run is indistinguishable from a clean one (the model does
+        // not forge wrong answers; EF018 exists to flag this setup).
+        assert!(unverified.stats.integrity.is_empty());
+        assert_eq!(clean.stats.finished, unverified.stats.finished);
     }
 }

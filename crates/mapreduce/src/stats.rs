@@ -8,6 +8,7 @@
 use efind_cluster::{sched::Schedule, SimDuration, SimTime};
 
 use crate::counters::{Counters, Sketches};
+use crate::integrity::IntegrityLog;
 use crate::recovery::RecoveryLog;
 
 /// Statistics of a single executed task.
@@ -90,6 +91,8 @@ pub struct JobStats {
     pub output_bytes: u64,
     /// Crash-recovery ledger (empty/default on crash-free runs).
     pub recovery: RecoveryLog,
+    /// Data-integrity ledger (empty/default on corruption-free runs).
+    pub integrity: IntegrityLog,
 }
 
 impl JobStats {

@@ -27,6 +27,14 @@ echo "== node crash recovery (pinned seed matrix) =="
 EFIND_CRASH_SEEDS="${EFIND_CRASH_SEEDS:-0xEF1D0003,0xDEADBEE5,41}" \
     cargo test -q --release --test node_crash
 
+echo "== data integrity (pinned seed matrix) =="
+# Deterministic corruption sweep: per (seed, rate, strategy) cell two
+# runs must be bit-identical (or fail fast identically), corruption
+# under replication 3 must change neither output nor non-ledger
+# counters, and the zero-corruption cell must match the hotpath goldens.
+EFIND_CORRUPT_SEEDS="${EFIND_CORRUPT_SEEDS:-0xEF1D0004,0xC0FFEE01,53}" \
+    cargo test -q --release --test integrity
+
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
 

@@ -1,4 +1,4 @@
-//! Property-based pins for the fault layer's two core guarantees:
+//! Property-based pins for the injection layers' core guarantees:
 //!
 //! 1. **Quiet-plan transparency** — arming the fault layer with a
 //!    zero-rate plan changes *nothing*: every virtual observable
@@ -10,13 +10,17 @@
 //!    seed and rate up to 0.2, under each miss policy. The real accessor
 //!    is only invoked on attempts the plan lets through, and with 16
 //!    retries exhaustion is unreachable at these rates.
+//! 3. **Quiet corruption transparency** — a seeded but zero-rate
+//!    [`CorruptionPlan`] arms CRC verification at every read boundary
+//!    yet changes nothing: the checksum machinery is free until a byte
+//!    actually flips, whatever the seed and strategy.
 //!
 //! Each case spins up a full simulated cluster, so the case counts stay
 //! small; the deterministic sweep in `tests/fault_injection.rs` covers
 //! the pinned seed matrix densely.
 
 use efind::{EFindRuntime, FaultConfig, FaultPlan, MissPolicy, Mode, RetryPolicy, Strategy};
-use efind_cluster::SimDuration;
+use efind_cluster::{CorruptionPlan, SimDuration};
 use efind_common::{fx_hash_bytes, Datum};
 use efind_dfs::Dfs;
 use efind_mapreduce::JobStats;
@@ -67,6 +71,32 @@ const STRATEGIES: [Strategy; 4] = [
 fn run_observed(strategy: Strategy, faults: FaultConfig) -> Observables {
     let mut s = multi::scenario(&tiny_config());
     s.efind_config.faults = faults;
+    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
+    let res = rt.run(&s.ijob, Mode::Uniform(strategy)).unwrap();
+    let mut captured: Observables = vec![
+        ("total.nanos".into(), res.total_time.as_nanos()),
+        ("jobs".into(), res.jobs.len() as u64),
+    ];
+    for (i, job) in res.jobs.iter().enumerate() {
+        captured.push((format!("job{i}.makespan.nanos"), job.makespan().as_nanos()));
+        captured.push((format!("job{i}.shuffle.bytes"), job.shuffle_bytes));
+        captured.push((
+            format!("job{i}.counters.fingerprint"),
+            counter_fingerprint(job),
+        ));
+    }
+    captured.push((
+        "output.fingerprint".into(),
+        file_fingerprint(&s.dfs, "ads.enriched"),
+    ));
+    captured
+}
+
+/// Runs the workload with a corruption plan armed (fault layer off),
+/// capturing the same observables as [`run_observed`].
+fn run_observed_corrupt(strategy: Strategy, corruption: CorruptionPlan) -> Observables {
+    let mut s = multi::scenario(&tiny_config());
+    s.efind_config.corruption = corruption;
     let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
     let res = rt.run(&s.ijob, Mode::Uniform(strategy)).unwrap();
     let mut captured: Observables = vec![
@@ -161,6 +191,23 @@ proptest! {
         // is not vacuous: some non-output observable must have moved.
         if rate > 0.05 {
             prop_assert_ne!(faulty, clean);
+        }
+    }
+
+    /// Satellite 3 (PR 5): a *quiet* corruption plan — seeded, zero
+    /// rates, checksum verification armed at every read boundary — is
+    /// observably absent: neither output nor counter fingerprint nor a
+    /// single nanosecond of virtual time moves, under every strategy.
+    #[test]
+    fn quiet_corruption_plan_changes_no_observable(seed in any::<u64>()) {
+        for &strategy in &STRATEGIES {
+            let without = run_observed_corrupt(strategy, CorruptionPlan::none());
+            let with = run_observed_corrupt(strategy, CorruptionPlan::new(seed));
+            prop_assert_eq!(
+                &with, &without,
+                "quiet corruption plan perturbed observables: seed={} strategy={:?}",
+                seed, strategy
+            );
         }
     }
 }
