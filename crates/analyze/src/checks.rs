@@ -1,7 +1,9 @@
 //! The analysis passes: every `EFxxx` check over a [`PlanModel`].
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
-use crate::model::{FaultModel, IntegrityModel, OperatorModel, PlanModel, StrategyKind};
+use crate::model::{
+    CacheModel, FaultModel, IntegrityModel, OperatorModel, PlanModel, StrategyKind,
+};
 
 use efind_common::FxHashSet;
 
@@ -28,6 +30,8 @@ pub fn analyze(model: &PlanModel) -> Report {
         check_determinism(pos, op, &mut report);
         check_enumeration_agreement(pos, op, &mut report);
         check_volatile_pinning(pos, op, &mut report);
+        check_stats_tokens(pos, op, &mut report);
+        check_cost_monotonicity(pos, op, &mut report);
     }
     if let Some(faults) = &model.faults {
         check_fault_config(faults, &mut report);
@@ -35,6 +39,11 @@ pub fn analyze(model: &PlanModel) -> Report {
     if let Some(integrity) = &model.integrity {
         check_integrity_config(model, integrity, &mut report);
     }
+    check_injection_conflicts(model, &mut report);
+    if let Some(cache) = &model.cache {
+        check_cache_coherence(model, cache, &mut report);
+    }
+    check_quiet_plan_purity(model, &mut report);
     report
 }
 
@@ -557,6 +566,239 @@ fn check_integrity_config(model: &PlanModel, integ: &IntegrityModel, report: &mu
     }
 }
 
+/// EF019 (part 1): every `statsx` token feeding Eqs. 1–4 must sit in its
+/// legal range. Out-of-range tokens poison every downstream estimate, so
+/// they are errors, not warnings.
+fn check_stats_tokens(pos: usize, op: &OperatorModel, report: &mut Report) {
+    for idx in &op.indices {
+        let Some(s) = &idx.stats else { continue };
+        let span = || Span::index(pos, &op.name, &idx.name);
+        let mut bad = |what: &str, value: f64, legal: &str| {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF019,
+                    span(),
+                    format!("statistics token {what} = {value} is outside {legal}"),
+                )
+                .with_hint(
+                    "the statsx extraction produced an impossible token; the Eq. 1-4 \
+                     estimates built from it are meaningless",
+                ),
+            );
+        };
+        for (what, v) in [
+            ("Sik", s.sik_bytes),
+            ("Siv", s.siv_bytes),
+            ("Tj", s.tj_secs),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                bad(what, v, "[0, inf)");
+            }
+        }
+        if !(0.0..=1.0 + EPS).contains(&s.miss_ratio) || s.miss_ratio.is_nan() {
+            bad("miss", s.miss_ratio, "[0, 1]");
+        }
+        if !s.theta.is_finite() || s.theta < 1.0 - EPS {
+            bad("theta", s.theta, "[1, inf)");
+        }
+        if !(0.0..1.0).contains(&s.failure_rate) || s.failure_rate.is_nan() {
+            bad("fail", s.failure_rate, "[0, 1)");
+        }
+        if let Some(nik) = idx.nik {
+            if !nik.is_finite() || nik < 0.0 {
+                bad("Nik", nik, "[0, inf)");
+            }
+        }
+    }
+}
+
+/// EF019 (part 2): the Eq. 1–4 estimates are sums of terms linear in the
+/// input cardinality `N1`, so re-planning with `N1` doubled can never
+/// produce a *cheaper* best plan. A decrease means the cost model and the
+/// statistics disagree about what `N1` multiplies.
+fn check_cost_monotonicity(pos: usize, op: &OperatorModel, report: &mut Report) {
+    let Some(costs) = &op.costs else { return };
+    let Some(doubled) = costs.est_at_double_n1_secs else {
+        return;
+    };
+    if doubled < costs.full_est_secs * (1.0 - 1e-6) - EPS {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF019,
+                Span::operator(pos, &op.name),
+                format!(
+                    "best plan cost drops from {:.6}s to {:.6}s when N1 doubles: \
+                     the estimate is not monotone in input cardinality",
+                    costs.full_est_secs, doubled
+                ),
+            )
+            .with_hint(
+                "Eq. 1-4 are sums of non-negative terms linear in N1; a decreasing \
+                 estimate means a term is subtracting input size",
+            ),
+        );
+    }
+}
+
+/// EF020: conflicts *between* injection layers. Each layer alone is
+/// checked by EF015–EF018; this check catches combinations that are
+/// unsurvivable (chaos kills the whole cluster) or quietly exhaust the
+/// recovery budget (kills plus corruption quarantines outrun the replica
+/// count).
+fn check_injection_conflicts(model: &PlanModel, report: &mut Report) {
+    let Some(chaos) = &model.chaos else { return };
+    if chaos.cluster_nodes > 0 && chaos.kill_events >= chaos.cluster_nodes {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF020,
+                Span::job(),
+                format!(
+                    "chaos plan kills {} nodes of a {}-node cluster: no node survives \
+                     to finish any wave",
+                    chaos.kill_events, chaos.cluster_nodes
+                ),
+            )
+            .with_hint("keep at least one node alive; recovery needs somewhere to run"),
+        );
+    }
+    if chaos.kill_events >= 1 && chaos.dfs_replication <= 1 {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF020,
+                Span::job(),
+                format!(
+                    "node kills are scheduled with DFS replication {}: any chunk on a \
+                     killed node is lost with no replica to recover from",
+                    chaos.dfs_replication
+                ),
+            )
+            .with_hint(
+                "raise replication to at least 2, or accept that the run exercises \
+                 the data-loss path by design",
+            ),
+        );
+    }
+    if let Some(integ) = &model.integrity {
+        if integ.corrupts_chunks
+            && chaos.dfs_replication > 1
+            && chaos.kill_events + 1 >= chaos.dfs_replication
+        {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF020,
+                    Span::job(),
+                    format!(
+                        "{} node kills plus chunk corruption against replication {}: \
+                         one quarantined replica plus the kills can exhaust every copy",
+                        chaos.kill_events, chaos.dfs_replication
+                    ),
+                )
+                .with_hint(
+                    "keep replication above kill_events + 1 when combining chaos with \
+                     chunk corruption, or the layers defeat each other's experiment",
+                ),
+            );
+        }
+    }
+}
+
+/// EF021: cache-config coherence. A plan that chose the cache strategy
+/// based on Eq. 2 must actually get a usable cache at runtime.
+fn check_cache_coherence(model: &PlanModel, cache: &CacheModel, report: &mut Report) {
+    let cache_in_use = model
+        .operators
+        .iter()
+        .any(|op| op.choices.iter().any(|c| c.strategy == StrategyKind::Cache));
+    if cache.t_cache_secs.is_nan() || cache.t_cache_secs < 0.0 {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF021,
+                Span::job(),
+                format!(
+                    "cache probe time T_cache = {} is negative or NaN",
+                    cache.t_cache_secs
+                ),
+            )
+            .with_hint("T_cache is a physical time; it must be a finite non-negative number"),
+        );
+    }
+    if !cache_in_use {
+        return;
+    }
+    if cache.capacity == 0 {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF021,
+                Span::job(),
+                "a cache-strategy plan is installed but the lookup cache holds zero \
+                 entries: every probe misses and the plan degenerates to baseline \
+                 plus pure overhead",
+            )
+            .with_hint("set cache_capacity to at least 1, or re-plan without the cache strategy"),
+        );
+    } else if cache.t_cache_secs == 0.0 {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF021,
+                Span::job(),
+                "cache strategy planned with T_cache = 0: probes are free and the \
+                 Eq. 2 floor is degenerate, so the planner can never prefer baseline",
+            )
+            .with_hint("use a small positive T_cache so cache and baseline stay comparable"),
+        );
+    }
+}
+
+/// EF022: quiet-plan purity. The lowering only arms an injection layer
+/// when its plan is non-quiet (`is_quiet()` short-circuits), so an armed
+/// layer that injects *nothing* means a guard was bypassed: the run pays
+/// injection bookkeeping and draws for a no-op experiment.
+fn check_quiet_plan_purity(model: &PlanModel, report: &mut Report) {
+    let quiet_hint = "quiet plans must short-circuit before arming the layer \
+                      (is_quiet() guards in the lowering); drop the empty plan";
+    if let Some(f) = &model.faults {
+        if f.inject_failure_rate == 0.0
+            && f.inject_timeout_rate == 0.0
+            && f.inject_slowdown_rate == 0.0
+        {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF022,
+                    Span::job(),
+                    "the fault layer is armed but its plan injects no failures, \
+                     timeouts, or slowdowns",
+                )
+                .with_hint(quiet_hint),
+            );
+        }
+    }
+    if let Some(i) = &model.integrity {
+        if !i.corrupts_chunks && !i.corrupts_cache {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF022,
+                    Span::job(),
+                    "the corruption layer is armed but its plan corrupts neither \
+                     chunks nor cache entries",
+                )
+                .with_hint(quiet_hint),
+            );
+        }
+    }
+    if let Some(c) = &model.chaos {
+        if c.kill_events == 0 {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF022,
+                    Span::job(),
+                    "the chaos layer is armed but its plan schedules zero node kills",
+                )
+                .with_hint(quiet_hint),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +820,7 @@ mod tests {
             krepart_k: 2,
             s_min_by_position: vec![100.0],
             carried_by_position: vec![200.0],
+            est_at_double_n1_secs: None,
         }
     }
 
@@ -896,13 +1139,14 @@ mod tests {
         assert!(report.has_code(DiagCode::EF017));
         assert!(report.has_errors());
 
-        // Without chunk corruption, replication 1 is fine.
+        // Without chunk corruption, replication 1 is fine for EF017 (the
+        // now-empty corruption plan earns EF022 instead).
         let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
         let mut i = crate::model::testutil::integrity();
         i.dfs_replication = 1;
         i.corrupts_chunks = false;
         model.integrity = Some(i);
-        assert!(analyze(&model).is_clean());
+        assert!(!analyze(&model).has_code(DiagCode::EF017));
     }
 
     #[test]
@@ -934,5 +1178,193 @@ mod tests {
         let report = analyze(&job(vec![operator("a", StrategyKind::Cache)]));
         assert!(!report.has_code(DiagCode::EF017));
         assert!(!report.has_code(DiagCode::EF018));
+    }
+
+    #[test]
+    fn ef019_legal_stats_tokens_are_clean() {
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].nik = Some(2.0);
+        op.indices[0].stats = Some(crate::model::testutil::index_stats());
+        let report = analyze(&job(vec![op]));
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef019_out_of_range_stats_tokens_are_errors() {
+        for mutate in [
+            (|s: &mut crate::model::IndexStatsModel| s.miss_ratio = 1.5)
+                as fn(&mut crate::model::IndexStatsModel),
+            |s| s.miss_ratio = -0.1,
+            |s| s.theta = 0.5,
+            |s| s.failure_rate = 1.0,
+            |s| s.sik_bytes = -1.0,
+            |s| s.tj_secs = f64::NAN,
+            |s| s.siv_bytes = f64::INFINITY,
+        ] {
+            let mut op = operator("a", StrategyKind::Cache);
+            let mut s = crate::model::testutil::index_stats();
+            mutate(&mut s);
+            op.indices[0].stats = Some(s);
+            let report = analyze(&job(vec![op]));
+            assert!(report.has_code(DiagCode::EF019), "{}", report.to_text());
+            assert!(report.has_errors());
+        }
+        // A NaN Nik alongside stats is also caught.
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].stats = Some(crate::model::testutil::index_stats());
+        op.indices[0].nik = Some(f64::NAN);
+        assert!(analyze(&job(vec![op])).has_code(DiagCode::EF019));
+    }
+
+    #[test]
+    fn ef019_cost_must_be_monotone_in_n1() {
+        let mut op = operator("a", StrategyKind::Cache);
+        let mut c = costs();
+        c.full_est_secs = 1.0;
+        c.krepart_est_secs = 1.0;
+        c.est_at_double_n1_secs = Some(0.4); // cheaper with twice the input
+        op.costs = Some(c);
+        let report = analyze(&job(vec![op]));
+        assert!(report.has_code(DiagCode::EF019), "{}", report.to_text());
+        assert!(report.has_errors());
+
+        // A doubled estimate at or above the base cost is fine (equal is
+        // legal: a plan may be dominated by N1-independent terms).
+        let mut op = operator("a", StrategyKind::Cache);
+        let mut c = costs();
+        c.est_at_double_n1_secs = Some(1.0);
+        op.costs = Some(c);
+        assert!(analyze(&job(vec![op])).is_clean());
+    }
+
+    #[test]
+    fn ef020_chaos_killing_every_node_is_an_error() {
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        let mut c = crate::model::testutil::chaos();
+        c.kill_events = 8; // == cluster_nodes
+        model.chaos = Some(c);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF020));
+        assert!(report.has_errors());
+
+        // One kill on an 8-node replicated cluster is a benign experiment.
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        model.chaos = Some(crate::model::testutil::chaos());
+        assert!(analyze(&model).is_clean(), "{}", analyze(&model).to_text());
+    }
+
+    #[test]
+    fn ef020_kills_at_replication_one_warn() {
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        let mut c = crate::model::testutil::chaos();
+        c.dfs_replication = 1;
+        model.chaos = Some(c);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF020));
+        assert!(!report.has_errors(), "data-loss-by-design stays a warning");
+    }
+
+    #[test]
+    fn ef020_kills_plus_corruption_exhaust_replicas() {
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        let mut c = crate::model::testutil::chaos();
+        c.kill_events = 2;
+        c.dfs_replication = 3; // 2 kills + 1 quarantine == 3 copies
+        model.chaos = Some(c);
+        model.integrity = Some(crate::model::testutil::integrity());
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF020), "{}", report.to_text());
+        assert!(!report.has_errors());
+
+        // With headroom (1 kill against replication 3) the combination is
+        // clean.
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        model.chaos = Some(crate::model::testutil::chaos());
+        model.integrity = Some(crate::model::testutil::integrity());
+        assert!(analyze(&model).is_clean(), "{}", analyze(&model).to_text());
+    }
+
+    #[test]
+    fn ef021_zero_capacity_cache_plan_is_an_error() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut c = crate::model::testutil::cache();
+        c.capacity = 0;
+        model.cache = Some(c);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF021));
+        assert!(report.has_errors());
+
+        // Zero capacity without any cache-strategy choice is harmless.
+        let mut model = job(vec![operator("a", StrategyKind::Baseline)]);
+        model.cache = Some(c);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef021_negative_t_cache_is_an_error_and_zero_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut c = crate::model::testutil::cache();
+        c.t_cache_secs = -1.0e-6;
+        model.cache = Some(c);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF021));
+        assert!(report.has_errors());
+
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut c = crate::model::testutil::cache();
+        c.t_cache_secs = 0.0;
+        model.cache = Some(c);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF021));
+        assert!(
+            !report.has_errors(),
+            "free probes are suspicious, not fatal"
+        );
+
+        // The benign config is clean.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.cache = Some(crate::model::testutil::cache());
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef022_armed_but_empty_layers_warn() {
+        // Fault layer armed with all-zero injection rates.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut f = crate::model::testutil::faults();
+        f.inject_failure_rate = 0.0;
+        f.inject_timeout_rate = 0.0;
+        f.inject_slowdown_rate = 0.0;
+        model.faults = Some(f);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF022), "{}", report.to_text());
+        assert!(!report.has_errors());
+
+        // Corruption layer armed but corrupting nothing.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut i = crate::model::testutil::integrity();
+        i.corrupts_chunks = false;
+        i.corrupts_cache = false;
+        model.integrity = Some(i);
+        assert!(analyze(&model).has_code(DiagCode::EF022));
+
+        // Chaos layer armed with zero kills.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut c = crate::model::testutil::chaos();
+        c.kill_events = 0;
+        model.chaos = Some(c);
+        assert!(analyze(&model).has_code(DiagCode::EF022));
+    }
+
+    #[test]
+    fn ef022_silent_on_genuinely_injecting_layers() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.faults = Some(crate::model::testutil::faults());
+        model.integrity = Some(crate::model::testutil::integrity());
+        model.chaos = Some(crate::model::testutil::chaos());
+        model.cache = Some(crate::model::testutil::cache());
+        let report = analyze(&model);
+        assert!(!report.has_code(DiagCode::EF022), "{}", report.to_text());
+        assert!(report.is_clean(), "{}", report.to_text());
     }
 }

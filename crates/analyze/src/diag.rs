@@ -52,6 +52,25 @@ pub enum DiagCode {
     /// while a cache-strategy plan is in use, but checksum verification is
     /// disabled — poisoned entries would be served as answers.
     EF018,
+    /// Cost-model inconsistency: a statistics token is out of its legal
+    /// range (`miss ∉ [0,1]`, `Θ < 1`, negative sizes/times), or the
+    /// Eq. 1–4 estimate *decreases* when the input cardinality doubles —
+    /// the estimates are sums of terms linear in `N1`, so they must be
+    /// monotone in it.
+    EF019,
+    /// Injection-plan conflict: two injection layers (faults, corruption,
+    /// chaos) are configured so their combination is unsurvivable or
+    /// silently defeats the experiment (e.g. chaos kills every node, or
+    /// kills + quarantines together exhaust the replica budget).
+    EF020,
+    /// Cache-config incoherence: a cache-strategy plan with a zero-entry
+    /// cache, or a negative/NaN `T_cache` probe time.
+    EF021,
+    /// Quiet-plan purity violation: an injection layer is armed by a plan
+    /// that injects nothing. Quiet plans must short-circuit before
+    /// arming (`is_quiet()`), so an armed-but-empty layer means a lowering
+    /// guard was bypassed and the run pays injection bookkeeping for free.
+    EF022,
 }
 
 impl DiagCode {
@@ -76,6 +95,10 @@ impl DiagCode {
             DiagCode::EF016 => "EF016",
             DiagCode::EF017 => "EF017",
             DiagCode::EF018 => "EF018",
+            DiagCode::EF019 => "EF019",
+            DiagCode::EF020 => "EF020",
+            DiagCode::EF021 => "EF021",
+            DiagCode::EF022 => "EF022",
         }
     }
 }

@@ -18,6 +18,6 @@ pub mod model;
 pub use checks::analyze;
 pub use diag::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use model::{
-    ChoiceModel, FaultModel, IndexModel, IntegrityModel, OperatorCosts, OperatorModel,
-    PlacementKind, PlanModel, StrategyKind,
+    CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel, IntegrityModel,
+    OperatorCosts, OperatorModel, PlacementKind, PlanModel, StrategyKind,
 };

@@ -73,6 +73,30 @@ pub struct IndexModel {
     /// Estimated lookup keys per input record (`Nik`), when statistics are
     /// available.
     pub nik: Option<f64>,
+    /// The full `statsx` token set backing the cost model, when a catalog
+    /// (or first-wave statistics) covers this index. `EF019` range-checks
+    /// these.
+    pub stats: Option<IndexStatsModel>,
+}
+
+/// The per-index statistics tokens of Table 1 / the `statsx` catalog
+/// line (`nik= sik= siv= tj= miss= theta= … fail=`), as the cost model
+/// consumes them.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStatsModel {
+    /// Mean index-key size in bytes (`Sik`).
+    pub sik_bytes: f64,
+    /// Mean index-value size in bytes (`Siv`).
+    pub siv_bytes: f64,
+    /// Mean remote lookup time in seconds (`Tj`).
+    pub tj_secs: f64,
+    /// Miss ratio in `[0, 1]`.
+    pub miss_ratio: f64,
+    /// Duplication factor `Θ` (distinct keys appear at least once, so
+    /// `Θ ≥ 1`).
+    pub theta: f64,
+    /// Injected lookup failure rate in `[0, 1)`.
+    pub failure_rate: f64,
 }
 
 /// One planned index access.
@@ -105,6 +129,11 @@ pub struct OperatorCosts {
     pub s_min_by_position: Vec<f64>,
     /// Carried intermediate size at each plan position, in access order.
     pub carried_by_position: Vec<f64>,
+    /// Best plan cost re-estimated with the input cardinality doubled
+    /// (`N1 → 2·N1`), when the lowering computes it. The Eq. 1–4
+    /// estimates are sums of terms linear in `N1`, so this can never be
+    /// below the plan cost at `N1` — `EF019` enforces that monotonicity.
+    pub est_at_double_n1_secs: Option<f64>,
 }
 
 /// What the analyzer knows about one operator.
@@ -152,6 +181,13 @@ pub struct FaultModel {
     pub breaker_threshold: f64,
     /// Attempts observed before the breaker may open.
     pub breaker_min_samples: u64,
+    /// Aggregate injected failure probability across the plan's rules
+    /// (0.0 when the plan injects no failures).
+    pub inject_failure_rate: f64,
+    /// Aggregate injected timeout probability.
+    pub inject_timeout_rate: f64,
+    /// Aggregate injected slowdown probability.
+    pub inject_slowdown_rate: f64,
 }
 
 /// The job-wide data-integrity configuration, lowered only when the
@@ -171,6 +207,28 @@ pub struct IntegrityModel {
     pub verification: bool,
 }
 
+/// The node-crash (chaos) configuration, lowered only when a chaos plan
+/// is armed. `EF020`/`EF022` consume it.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosModel {
+    /// Number of scheduled node-kill events.
+    pub kill_events: usize,
+    /// Nodes in the simulated cluster.
+    pub cluster_nodes: usize,
+    /// DFS replication factor the crashed replicas recover from.
+    pub dfs_replication: usize,
+}
+
+/// The lookup-cache configuration, lowered whenever any operator plans a
+/// cache-strategy access. `EF021` checks its coherence.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheModel {
+    /// Per-task LRU capacity in entries.
+    pub capacity: usize,
+    /// Cache probe time `T_cache` in seconds.
+    pub t_cache_secs: f64,
+}
+
 /// The whole job as the analyzer sees it.
 #[derive(Clone, Debug)]
 pub struct PlanModel {
@@ -184,6 +242,10 @@ pub struct PlanModel {
     pub faults: Option<FaultModel>,
     /// Data-integrity configuration, when corruption injection is armed.
     pub integrity: Option<IntegrityModel>,
+    /// Node-crash configuration, when a chaos plan is armed.
+    pub chaos: Option<ChaosModel>,
+    /// Lookup-cache configuration, when known to the lowering.
+    pub cache: Option<CacheModel>,
 }
 
 #[cfg(test)]
@@ -200,6 +262,7 @@ pub(crate) mod testutil {
             partitions: 0,
             key_kind: KeyKind::Any,
             nik: None,
+            stats: None,
         }
     }
 
@@ -230,6 +293,8 @@ pub(crate) mod testutil {
             operators,
             faults: None,
             integrity: None,
+            chaos: None,
+            cache: None,
         }
     }
 
@@ -254,6 +319,38 @@ pub(crate) mod testutil {
             fail_job_on_exhaustion: false,
             breaker_threshold: 0.5,
             breaker_min_samples: 16,
+            inject_failure_rate: 0.05,
+            inject_timeout_rate: 0.0,
+            inject_slowdown_rate: 0.0,
+        }
+    }
+
+    /// Legal per-index statistics tokens.
+    pub fn index_stats() -> IndexStatsModel {
+        IndexStatsModel {
+            sik_bytes: 16.0,
+            siv_bytes: 64.0,
+            tj_secs: 2.0e-3,
+            miss_ratio: 0.1,
+            theta: 2.0,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// A benign chaos configuration (one kill on a replicated cluster).
+    pub fn chaos() -> ChaosModel {
+        ChaosModel {
+            kill_events: 1,
+            cluster_nodes: 8,
+            dfs_replication: 3,
+        }
+    }
+
+    /// A benign cache configuration.
+    pub fn cache() -> CacheModel {
+        CacheModel {
+            capacity: 1024,
+            t_cache_secs: 1.0e-6,
         }
     }
 }

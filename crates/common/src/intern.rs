@@ -72,6 +72,155 @@ pub fn table_len() -> usize {
     table().read().expect("intern table poisoned").by_id.len()
 }
 
+/// The registry of counter-name shapes — the symbol table `efind-lint`
+/// rule `L004` checks counter-name string literals against.
+///
+/// Every counter the workspace charges is built from a small set of
+/// templates (`efind.<op>.n1`, `efind.<op>.<j>.lookups`,
+/// `mr.recovery.crashes`, …). A literal that matches none of them is
+/// almost always a typo — the counter silently reads 0 forever — so the
+/// shapes are enumerated here, next to the interner they feed, and the
+/// lint refuses unregistered names. The lists are append-only: add the
+/// pattern (and a leaf, for per-operator suffixes) when introducing a new
+/// counter family.
+pub mod registry {
+    /// Full counter-name patterns. `*` matches exactly one dot-free
+    /// segment (an operator name, an index slot, …).
+    pub const COUNTER_PATTERNS: &[&str] = &[
+        // Job-level Map output (Smap).
+        "efind.mapout.records",
+        "efind.mapout.bytes",
+        // Operator-level sizes: efind.<op>.<what>.
+        "efind.*.n1",
+        "efind.*.s1.bytes",
+        "efind.*.spre.bytes",
+        "efind.*.spost.bytes",
+        "efind.*.sidx.bytes",
+        "efind.*.post.out",
+        // Per-index lookup statistics: efind.<op>.<j>.<what>.
+        "efind.*.*.lookups",
+        "efind.*.*.misses",
+        "efind.*.*.nik",
+        "efind.*.*.nik.irregular",
+        "efind.*.*.key.bytes",
+        "efind.*.*.sik.bytes",
+        "efind.*.*.siv.bytes",
+        "efind.*.*.tj.nanos",
+        "efind.*.*.distinct",
+        "efind.*.*.cache.probes",
+        "efind.*.*.cache.hits",
+        "efind.*.*.shadow.probes",
+        "efind.*.*.shadow.hits",
+        // Fault layer: efind.<op>.<j>.fault.<what>.
+        "efind.*.*.fault.failures",
+        "efind.*.*.fault.timeouts",
+        "efind.*.*.fault.slowdowns",
+        "efind.*.*.fault.retries",
+        "efind.*.*.fault.backoff.nanos",
+        "efind.*.*.fault.exhausted",
+        "efind.*.*.fault.degraded",
+        // Integrity layer: efind.<op>.<j>.integrity.<what>.
+        "efind.*.*.integrity.refetch",
+        "efind.*.*.integrity.cache.invalid",
+        // Plain MapReduce task counters.
+        "mr.map.input.records",
+        "mr.map.input.bytes",
+        "mr.map.output.records",
+        "mr.map.output.bytes",
+        "mr.reduce.input.records",
+        "mr.reduce.input.bytes",
+        "mr.reduce.output.records",
+        "mr.reduce.output.bytes",
+        // Crash-recovery ledger (RecoveryLog::counters).
+        "mr.recovery.crashes",
+        "mr.recovery.crashed.attempts",
+        "mr.recovery.recompute.waves",
+        "mr.recovery.recompute.tasks",
+        "mr.recovery.fetch.retries",
+        "mr.recovery.fetch.backoff.nanos",
+        "mr.recovery.rereplicated.chunks",
+        "mr.recovery.rereplicated.bytes",
+        "mr.recovery.rereplication.nanos",
+        "mr.recovery.reused.tasks",
+        // Integrity ledger (IntegrityLog::counters).
+        "mr.integrity.chunks.corrupt",
+        "mr.integrity.replicas.quarantined",
+        "mr.integrity.chunk.rereads",
+        "mr.integrity.reread.nanos",
+        "mr.integrity.shuffle.refetches",
+        "mr.integrity.shuffle.refetch.nanos",
+        "mr.integrity.cache.invalidations",
+        "mr.integrity.lookup.refetches",
+        "mr.integrity.repaired.chunks",
+        "mr.integrity.repaired.bytes",
+        "mr.integrity.repair.nanos",
+    ];
+
+    /// Registered leaf suffixes — the `<what>` literals handed to the
+    /// `statsx::names::op`/`names::idx` helpers and to `ChargedLookup`'s
+    /// per-index handle constructor. Checked when a counter name is built
+    /// from a format template whose trailing segments are literal.
+    pub const COUNTER_LEAVES: &[&str] = &[
+        "n1",
+        "s1.bytes",
+        "spre.bytes",
+        "spost.bytes",
+        "sidx.bytes",
+        "post.out",
+        "lookups",
+        "misses",
+        "nik",
+        "nik.irregular",
+        "key.bytes",
+        "sik.bytes",
+        "siv.bytes",
+        "tj.nanos",
+        "distinct",
+        "cache.probes",
+        "cache.hits",
+        "shadow.probes",
+        "shadow.hits",
+        "fault.failures",
+        "fault.timeouts",
+        "fault.slowdowns",
+        "fault.retries",
+        "fault.backoff.nanos",
+        "fault.exhausted",
+        "fault.degraded",
+        "integrity.refetch",
+        "integrity.cache.invalid",
+    ];
+
+    /// True when `name` matches a registered full pattern. `*` in a
+    /// pattern matches exactly one dot-free segment of the name.
+    pub fn counter_name_registered(name: &str) -> bool {
+        COUNTER_PATTERNS.iter().any(|p| pattern_matches(p, name))
+    }
+
+    /// True when `leaf` (the trailing literal segments of a templated
+    /// counter name) is a registered leaf suffix, or a dot-boundary
+    /// suffix of one (`"fault.degraded"`, `"backoff.nanos"`, and the
+    /// bare `"nanos"` all pass; `"okups"` does not).
+    pub fn counter_leaf_registered(leaf: &str) -> bool {
+        COUNTER_LEAVES.iter().any(|l| {
+            *l == leaf
+                || l.strip_suffix(leaf)
+                    .map(|head| head.ends_with('.'))
+                    .unwrap_or(false)
+        })
+    }
+
+    fn pattern_matches(pattern: &str, name: &str) -> bool {
+        let ps: Vec<&str> = pattern.split('.').collect();
+        let ns: Vec<&str> = name.split('.').collect();
+        ps.len() == ns.len()
+            && ps
+                .iter()
+                .zip(&ns)
+                .all(|(p, n)| *p == "*" || p == n && !n.is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +243,48 @@ mod tests {
             intern("intern.test.stable");
         }
         assert_eq!(table_len(), before);
+    }
+
+    #[test]
+    fn registry_accepts_known_counter_shapes() {
+        for name in [
+            "efind.mapout.bytes",
+            "efind.enrich.n1",
+            "efind.enrich.spost.bytes",
+            "efind.synjoin.0.lookups",
+            "efind.op.3.fault.backoff.nanos",
+            "efind.op.0.integrity.cache.invalid",
+            "mr.map.output.records",
+            "mr.recovery.recompute.waves",
+            "mr.integrity.shuffle.refetch.nanos",
+        ] {
+            assert!(registry::counter_name_registered(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_rejects_unknown_counter_shapes() {
+        for name in [
+            "efind.op.lookups",         // per-index leaf at operator level
+            "efind.op.0.lokups",        // typo
+            "efind.op.0.fault.sadness", // unknown fault leaf
+            "mr.recovery.typo",         // unknown ledger entry
+            "efind.op.0.extra.lookups", // too many segments
+            "mr.map.input",             // too few segments
+        ] {
+            assert!(!registry::counter_name_registered(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_leaf_suffix_matching() {
+        assert!(registry::counter_leaf_registered("lookups"));
+        assert!(registry::counter_leaf_registered("fault.degraded"));
+        // A trailing piece of a registered leaf counts only on a dot
+        // boundary.
+        assert!(registry::counter_leaf_registered("backoff.nanos"));
+        assert!(registry::counter_leaf_registered("nanos"));
+        assert!(!registry::counter_leaf_registered("okups"));
+        assert!(!registry::counter_leaf_registered("lokups"));
     }
 }

@@ -188,6 +188,7 @@ pub(crate) fn run_dynamic(
             output: res.output,
             total_time,
             jobs: vec![res.stats],
+            // efind-lint: allow(unordered-iter, map-to-map collect; the destination is keyed and no order survives)
             plans: baseline_plans.into_iter().collect(),
             replanned: false,
         });
@@ -673,6 +674,7 @@ fn try_reduce_phase_replan(
         output,
         total_time: t.since(SimTime::ZERO),
         jobs,
+        // efind-lint: allow(unordered-iter, map-to-map collect; the destination is keyed and no order survives)
         plans: tail_plans.into_iter().collect(),
         replanned: true,
     }))

@@ -10,10 +10,10 @@
 //! statistics, for `explain`-style reporting.
 
 use efind_analyze::{
-    analyze, ChoiceModel, FaultModel, IndexModel, IntegrityModel, OperatorCosts, OperatorModel,
-    PlacementKind, PlanModel, Report, StrategyKind,
+    analyze, CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel,
+    IntegrityModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, Report, StrategyKind,
 };
-use efind_cluster::CorruptionPlan;
+use efind_cluster::{ChaosPlan, CorruptionPlan};
 use efind_common::{Error, FxHashMap, Result};
 
 use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
@@ -59,6 +59,7 @@ fn operator_model(
                 partitions: scheme.map(|s| s.num_partitions()).unwrap_or(0),
                 key_kind: acc.key_kind(),
                 nik: None,
+                stats: None,
             }
         })
         .collect();
@@ -103,6 +104,8 @@ pub fn job_model(
         operators,
         faults: None,
         integrity: None,
+        chaos: None,
+        cache: None,
     })
 }
 
@@ -111,8 +114,11 @@ pub fn job_model(
 /// the fault checks are meaningless for the zero-fault path, which never
 /// retries, pauses, or times out.
 pub fn fault_model(config: &FaultConfig) -> Option<FaultModel> {
-    config.plan.as_ref()?;
+    let plan = config.plan.as_ref()?;
     Some(FaultModel {
+        inject_failure_rate: plan.failure_rate,
+        inject_timeout_rate: plan.timeout_rate,
+        inject_slowdown_rate: plan.slowdown_rate,
         max_retries: config.retry.max_retries,
         backoff_base_nanos: config.retry.backoff_base.as_nanos(),
         max_backoff_nanos: config.retry.max_backoff.as_nanos(),
@@ -139,6 +145,34 @@ pub fn integrity_model(
         corrupts_cache: corruption.corrupts_cache(),
         verification: corruption.verification_enabled(),
     })
+}
+
+/// Lowers the node-crash plan into the analyzer's IR. Only an armed
+/// (non-quiet) plan is lowered — the conflict checks are meaningless for
+/// the crash-free path, which never kills a node.
+pub fn chaos_model(
+    chaos: &ChaosPlan,
+    cluster_nodes: usize,
+    dfs_replication: usize,
+) -> Option<ChaosModel> {
+    if chaos.is_quiet() {
+        return None;
+    }
+    Some(ChaosModel {
+        kill_events: chaos.events().len(),
+        cluster_nodes,
+        dfs_replication,
+    })
+}
+
+/// Lowers the lookup-cache configuration into the analyzer's IR. Always
+/// lowered when analyzing in a runtime environment — `EF021` itself only
+/// fires when some operator actually planned a cache-strategy access.
+pub fn cache_model(capacity: usize, t_cache_secs: f64) -> CacheModel {
+    CacheModel {
+        capacity,
+        t_cache_secs,
+    }
 }
 
 /// Runs the structural checks over a job and its plans.
@@ -171,6 +205,23 @@ pub fn analyze_job_with_injections(
     let mut model = job_model(ijob, plans)?;
     model.faults = fault_model(faults);
     model.integrity = integrity_model(corruption, dfs_replication);
+    Ok(analyze(&model))
+}
+
+/// [`analyze_job`] with the *whole* runtime environment lowered alongside
+/// the plan: fault, integrity, and chaos injection layers (`EF015`–`EF018`,
+/// `EF020`, `EF022`) plus the lookup-cache configuration (`EF021`). This
+/// is the variant the compiler calls.
+pub fn analyze_job_in_env(
+    ijob: &IndexJobConf,
+    plans: &FxHashMap<String, OperatorPlan>,
+    env: &crate::compile::RuntimeEnv,
+) -> Result<Report> {
+    let mut model = job_model(ijob, plans)?;
+    model.faults = fault_model(&env.faults);
+    model.integrity = integrity_model(&env.corruption, env.dfs_replication);
+    model.chaos = chaos_model(&env.chaos, env.cluster_nodes, env.dfs_replication);
+    model.cache = Some(cache_model(env.cache_capacity, env.t_cache.as_secs_f64()));
     Ok(analyze(&model))
 }
 
@@ -207,6 +258,14 @@ pub fn analyze_costs(
             if s.partitions > 0 {
                 m.partitions = s.partitions;
             }
+            m.stats = Some(IndexStatsModel {
+                sik_bytes: s.sik,
+                siv_bytes: s.siv,
+                tj_secs: s.tj_secs,
+                miss_ratio: s.miss_ratio,
+                theta: s.theta,
+                failure_rate: s.failure_rate,
+            });
         }
         model.costs = Some(operator_costs(&stats, env, placement, &plan, enumeration));
         operators.push(model);
@@ -217,6 +276,8 @@ pub fn analyze_costs(
         operators,
         faults: None,
         integrity: None,
+        chaos: None,
+        cache: None,
     })
 }
 
@@ -233,6 +294,14 @@ fn operator_costs(
         Enumeration::Full => 2,
     };
     let krepart = optimize_operator(stats, env, placement, Enumeration::KRepart(krepart_k));
+    // Monotonicity probe (EF019): the Eq. 1–4 estimates are sums of terms
+    // linear in `N1`, so doubling the input cardinality must not lower the
+    // best full-enumeration cost.
+    let doubled_est = {
+        let mut doubled = stats.clone();
+        doubled.n1 *= 2.0;
+        optimize_operator(&doubled, env, placement, Enumeration::Full).est_cost_secs
+    };
     let mut s_min_by_position = Vec::with_capacity(plan.choices.len());
     let mut carried_by_position = Vec::with_capacity(plan.choices.len());
     let mut accessed: Vec<usize> = Vec::with_capacity(plan.choices.len());
@@ -248,6 +317,7 @@ fn operator_costs(
         full_est_secs: full.est_cost_secs,
         krepart_est_secs: krepart.est_cost_secs,
         krepart_k,
+        est_at_double_n1_secs: Some(doubled_est),
         s_min_by_position,
         carried_by_position,
     }
@@ -572,6 +642,99 @@ mod tests {
         let ijob = sample_job(sample_bound("op"));
         let report = analyze_costs(&ijob, &Catalog::new(), &cost_env(), Enumeration::Full);
         assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn chaos_lowering_requires_an_armed_plan() {
+        use efind_cluster::SimTime;
+
+        assert!(chaos_model(&ChaosPlan::none(), 8, 3).is_none());
+        let plan = ChaosPlan::new(11)
+            .kill(efind_cluster::NodeId(0), SimTime::from_nanos(1_000_000_000))
+            .kill(efind_cluster::NodeId(1), SimTime::from_nanos(2_000_000_000));
+        let model = chaos_model(&plan, 8, 3).expect("armed plan lowers");
+        assert_eq!(model.kill_events, 2);
+        assert_eq!(model.cluster_nodes, 8);
+        assert_eq!(model.dfs_replication, 3);
+    }
+
+    fn sample_env() -> crate::compile::RuntimeEnv {
+        use efind_cluster::{NetworkModel, SimDuration};
+        crate::compile::RuntimeEnv {
+            network: NetworkModel::gigabit(),
+            t_cache: SimDuration::from_micros(1),
+            cache_capacity: 64,
+            shuffle_reducers: 4,
+            intermediate_chunks: 8,
+            hard_colocation: false,
+            faults: FaultConfig::disabled(),
+            corruption: CorruptionPlan::none(),
+            dfs_replication: 3,
+            chaos: ChaosPlan::none(),
+            cluster_nodes: 4,
+        }
+    }
+
+    #[test]
+    fn killing_every_node_fails_env_analysis() {
+        use efind_cluster::SimTime;
+
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut env = sample_env();
+        env.chaos = ChaosPlan::new(5)
+            .kill(efind_cluster::NodeId(0), SimTime::from_nanos(1_000_000_000))
+            .kill(efind_cluster::NodeId(1), SimTime::from_nanos(1_000_000_000))
+            .kill(efind_cluster::NodeId(2), SimTime::from_nanos(1_000_000_000))
+            .kill(efind_cluster::NodeId(3), SimTime::from_nanos(1_000_000_000));
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.has_code(DiagCode::EF020));
+        assert!(report.into_result().is_err());
+
+        // Killing fewer nodes than the cluster holds (with replicas to
+        // recover from) survives analysis.
+        env.chaos =
+            ChaosPlan::new(5).kill(efind_cluster::NodeId(0), SimTime::from_nanos(1_000_000_000));
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.is_passing(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn zero_capacity_cache_plan_fails_env_analysis() {
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut env = sample_env();
+        env.cache_capacity = 0;
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.has_code(DiagCode::EF021));
+        assert!(report.into_result().is_err());
+
+        // A baseline plan never probes the cache, so the degenerate
+        // capacity is irrelevant to it.
+        let plans = plans_with(&ijob, Strategy::Baseline);
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.is_passing(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn out_of_range_statistics_trigger_ef019() {
+        let ijob = sample_job(sample_bound("op"));
+        let mut cat = catalog_with("op", 2.0);
+        let mut stats = cat.get("op").unwrap().clone();
+        stats.indices[0].miss_ratio = 1.5;
+        cat.put("op", stats);
+        let report = analyze_costs(&ijob, &cat, &cost_env(), Enumeration::Full);
+        assert!(report.has_code(DiagCode::EF019), "{}", report.to_text());
+
+        // Sane statistics pass the same gate, and the monotonicity probe
+        // is populated on every operator with catalog statistics.
+        let report = analyze_costs(
+            &ijob,
+            &catalog_with("op", 2.0),
+            &cost_env(),
+            Enumeration::Full,
+        );
+        assert!(!report.has_code(DiagCode::EF019), "{}", report.to_text());
     }
 
     #[test]

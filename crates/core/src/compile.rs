@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use efind_cluster::{CorruptionPlan, NetworkModel, SimDuration};
+use efind_cluster::{ChaosPlan, CorruptionPlan, NetworkModel, SimDuration};
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
     partition::partitioner_fn, Collector, CounterHandle, HashPartitioner, JobConf, Mapper,
@@ -63,6 +63,13 @@ pub struct RuntimeEnv {
     /// analyzer's recoverability check (`EF017`): chunk corruption with
     /// replication 1 is unrecoverable by construction.
     pub dfs_replication: usize,
+    /// Node-crash plan applied to every constituent MapReduce job, for
+    /// the analyzer's injection-conflict check (`EF020`): killing every
+    /// node leaves no survivor to finish the job.
+    pub chaos: ChaosPlan,
+    /// Node count of the simulated cluster the job runs on, paired with
+    /// `chaos` for the survivability check.
+    pub cluster_nodes: usize,
 }
 
 /// A logical stage of the compiled data flow.
@@ -740,14 +747,7 @@ pub fn compile_pipeline(
     ijob.validate()?;
     // Static plan verification (EF001..): hard errors abort compilation
     // here, before any stage is built; warnings travel with the pipeline.
-    let analysis = crate::analysis::analyze_job_with_injections(
-        ijob,
-        plans,
-        &env.faults,
-        &env.corruption,
-        env.dfs_replication,
-    )?
-    .into_result()?;
+    let analysis = crate::analysis::analyze_job_in_env(ijob, plans, env)?.into_result()?;
     let plan_of = |bound: &BoundOperator| -> Result<&OperatorPlan> {
         plans
             .get(bound.op.name())
@@ -915,6 +915,8 @@ mod tests {
             faults: FaultConfig::disabled(),
             corruption: CorruptionPlan::none(),
             dfs_replication: 2,
+            chaos: ChaosPlan::none(),
+            cluster_nodes: 4,
         }
     }
 

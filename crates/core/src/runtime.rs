@@ -236,6 +236,8 @@ impl<'a> EFindRuntime<'a> {
             faults: self.config.faults.clone(),
             corruption: self.config.corruption.clone(),
             dfs_replication: self.dfs.config().replication,
+            chaos: self.config.chaos.clone(),
+            cluster_nodes: self.cluster.num_nodes() as usize,
         }
     }
 
@@ -310,6 +312,7 @@ impl<'a> EFindRuntime<'a> {
             }
         }
         debug_assert!(
+            // efind-lint: allow(unordered-iter, order-free forall predicate; no output depends on visit order)
             plans.values().all(crate::analysis::respects_property4),
             "planner produced a Property 4 violation (shuffle after non-shuffle)"
         );
@@ -361,6 +364,7 @@ impl<'a> EFindRuntime<'a> {
             output,
             total_time: t.since(SimTime::ZERO),
             jobs,
+            // efind-lint: allow(unordered-iter, map-to-map collect; the destination is keyed and no order survives)
             plans: plans.into_iter().collect(),
             replanned,
         })

@@ -8,7 +8,8 @@
 //! those raw counters into [`OperatorStatsEstimate`]s and keeps them in a
 //! [`Catalog`] across jobs.
 
-use efind_common::FxHashMap;
+use std::collections::BTreeMap;
+
 use efind_mapreduce::{Counters, Sketches, TaskStats};
 
 use crate::cost::{IndexStatsEstimate, OperatorStatsEstimate};
@@ -187,7 +188,9 @@ pub fn variance_ok(tasks: &[&TaskStats], desc: &OpDescriptor, threshold: f64) ->
 /// jobs, keyed by operator name.
 #[derive(Default)]
 pub struct Catalog {
-    ops: FxHashMap<String, OperatorStatsEstimate>,
+    /// Keyed by operator name; a `BTreeMap` so [`Catalog::to_text`]
+    /// serializes in sorted order without a collect-and-sort pass.
+    ops: BTreeMap<String, OperatorStatsEstimate>,
 }
 
 impl Catalog {
@@ -225,11 +228,8 @@ impl Catalog {
     /// between jobs, Fig. 8).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut names: Vec<&String> = self.ops.keys().collect();
-        names.sort();
         let mut s = String::from("efind-catalog v1\n");
-        for name in names {
-            let op = &self.ops[name];
+        for (name, op) in &self.ops {
             let _ = writeln!(
                 s,
                 "op {name} n1={} s1={} spre={} spost={} smap={}",

@@ -1,9 +1,10 @@
 //! File namespace, chunking, cost accounting, and chunk integrity.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 use efind_cluster::{Cluster, CorruptionPlan, NodeId, SimDuration};
-use efind_common::{fx_hash_bytes, Crc32, Error, FxHashMap, Record, Result};
+use efind_common::{fx_hash_bytes, Crc32, Error, Record, Result};
 
 use crate::placement::Placement;
 
@@ -133,7 +134,11 @@ pub struct ReReplication {
 pub struct Dfs {
     cluster: Cluster,
     config: DfsConfig,
-    files: FxHashMap<String, Vec<StoredChunk>>,
+    /// Chunk table keyed by file name. A `BTreeMap` on purpose: sweeps
+    /// (`crash_node`, `under_replicated`, `re_replicate`) iterate it and
+    /// their results are observable, so iteration order must be the sorted
+    /// file-name order, not a hash order.
+    files: BTreeMap<String, Vec<StoredChunk>>,
     /// Nodes declared dead, in crash order. Their replicas are gone; new
     /// placements avoid them.
     dead: Vec<NodeId>,
@@ -148,7 +153,7 @@ impl Dfs {
         Dfs {
             cluster,
             config,
-            files: FxHashMap::default(),
+            files: BTreeMap::new(),
             dead: Vec::new(),
             corruption: CorruptionPlan::none(),
         }
@@ -556,8 +561,7 @@ impl Dfs {
         if live.is_empty() {
             return rep;
         }
-        let mut names: Vec<String> = self.files.keys().cloned().collect();
-        names.sort();
+        let names: Vec<String> = self.files.keys().cloned().collect();
         let seed = self.config.seed;
         for name in names {
             let chunks = self.files.get_mut(&name).expect("name from keys()");

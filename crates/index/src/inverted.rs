@@ -80,6 +80,7 @@ impl InvertedIndex {
             for token in text.split_whitespace() {
                 *counts.entry(token.to_lowercase()).or_insert(0) += 1;
             }
+            // efind-lint: allow(unordered-iter, per-term postings are sorted after the build; insertion order does not survive)
             for (term, tf) in counts {
                 let p = scheme.partition_of(&Datum::Text(term.clone()));
                 partitions[p].entry(term).or_default().push((doc, tf));

@@ -1,0 +1,68 @@
+//! `efind-lint` CLI.
+//!
+//! Usage:
+//!
+//! ```text
+//! efind-lint [--json] [--root DIR] [FILE ...]
+//! ```
+//!
+//! With no `FILE` arguments, scans the workspace under `--root`
+//! (default `.`): `crates/`, `src/`, `tests/`, `examples/`, excluding
+//! `vendor/`, `target/`, and `tests/fixtures` corpora. Exit status:
+//! `0` clean (waived findings allowed), `1` un-waived findings,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("efind-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: efind-lint [--json] [--root DIR] [FILE ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("efind-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let result = if files.is_empty() {
+        efind_lint::scan_workspace(&root)
+    } else {
+        efind_lint::scan_paths(&root, &files)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("efind-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.is_passing() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: raw hash draw inside an injection module.
+pub fn should_kill(seed: u64, node: u64) -> bool {
+    mix64(seed ^ node) % 100 < 5
+}
+
+fn mix64(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,5 @@
+// Fixture: wall-clock time source outside crates/bench.
+pub fn elapsed() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,4 @@
+// Fixture: a typo'd counter name that would silently read 0 forever.
+pub fn charge(counters: &mut Vec<(String, i64)>) {
+    counters.push(("efind.enrich.0.lokups".to_string(), 1));
+}

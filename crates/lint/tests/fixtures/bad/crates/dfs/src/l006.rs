@@ -1,0 +1,10 @@
+// Fixture: float accumulation over an unordered collection.
+use std::collections::HashMap;
+
+pub fn mean_load(loads: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0f64;
+    for v in loads.values() {
+        total += *v;
+    }
+    total / loads.len().max(1) as f64
+}

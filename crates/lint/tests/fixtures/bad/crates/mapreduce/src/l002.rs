@@ -1,0 +1,10 @@
+// Fixture: hash-map iteration feeding observable output.
+use std::collections::HashMap;
+
+pub fn render(stats: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in stats.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

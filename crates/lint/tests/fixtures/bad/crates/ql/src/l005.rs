@@ -1,0 +1,4 @@
+// Fixture: panic on a ql error path.
+pub fn first_field(fields: &[String]) -> &String {
+    fields.first().expect("query has no fields")
+}

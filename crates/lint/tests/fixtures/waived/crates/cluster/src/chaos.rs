@@ -1,0 +1,10 @@
+// Fixture: the same draw, justified (e.g. while migrating to det::draw_unit).
+pub fn should_kill(seed: u64, node: u64) -> bool {
+    // efind-lint: allow(raw-draw, local mix64 is a verbatim copy of det::mix64 pending extraction)
+    mix64(seed ^ node) % 100 < 5
+}
+
+// efind-lint: allow(raw-draw, definition site of the temporary local copy; audited against det::mix64)
+fn mix64(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,6 @@
+// Fixture: the same wall-clock use, justified.
+pub fn elapsed() -> u64 {
+    // efind-lint: allow(wall-clock, operator progress display only; never charged to virtual time)
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+// Fixture: an experimental counter family, justified.
+pub fn charge(counters: &mut Vec<(String, i64)>) {
+    // efind-lint: allow(counter-name, experimental probe counter; registry entry lands with the feature PR)
+    counters.push(("efind.enrich.0.probe.depth".to_string(), 1));
+}

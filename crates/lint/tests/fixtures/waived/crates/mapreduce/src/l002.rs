@@ -1,0 +1,7 @@
+// Fixture: the same iteration, justified.
+use std::collections::HashMap;
+
+pub fn total(stats: &HashMap<String, u64>) -> u64 {
+    // efind-lint: allow(unordered-iter, values are summed; addition commutes and no order escapes)
+    stats.values().sum()
+}

@@ -1,0 +1,5 @@
+// Fixture: the same panic, justified as an internal invariant.
+pub fn first_field(fields: &[String]) -> &String {
+    // efind-lint: allow(panic, parser guarantees at least one field; empty here is a compiler bug)
+    fields.first().expect("query has no fields")
+}

@@ -88,6 +88,7 @@ impl Counters {
     /// Merges another counter set into this one by summing. Keys are
     /// interned symbols (`Copy`), so nothing is cloned.
     pub fn merge(&mut self, other: &Counters) {
+        // efind-lint: allow(unordered-iter, merge sums commute; no order reaches any output)
         for (&k, &v) in &other.values {
             *self.values.entry(k).or_insert(0) += v;
         }
@@ -98,6 +99,7 @@ impl Counters {
     /// rebuilt strings.
     pub fn iter_sorted(&self) -> Vec<(Arc<str>, i64)> {
         let mut items: Vec<(Arc<str>, i64)> =
+            // efind-lint: allow(unordered-iter, items are sorted by name before being returned)
             self.values.iter().map(|(&k, &v)| (resolve(k), v)).collect();
         items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         items
@@ -143,6 +145,7 @@ impl Sketches {
     /// ORs another sketch set into this one. Keys are interned symbols
     /// (`Copy`), so nothing is cloned.
     pub fn merge(&mut self, other: &Sketches) {
+        // efind-lint: allow(unordered-iter, sketch merge is a bitwise OR; it commutes and no order escapes)
         for (&k, v) in &other.sketches {
             self.sketches.entry(k).or_default().merge(v);
         }

@@ -366,10 +366,12 @@ impl<'a> Runner<'a> {
                     });
                 }
             })
+            // efind-lint: allow(panic, a panicked scoped worker already tore down the run; propagating the panic is the contract)
             .expect("partition worker panicked");
             outputs
                 .into_inner()
                 .into_iter()
+                // efind-lint: allow(panic, every slot is filled by construction; an empty one is a runner bug, not a user error)
                 .map(|slot| slot.expect("partition task produced no result"))
                 .collect()
         } else {
@@ -613,8 +615,10 @@ impl<'a> Runner<'a> {
                         let last = values.len() - 1;
                         for (i, v) in values.into_iter().enumerate() {
                             let k = if i == last {
+                                // efind-lint: allow(panic, key is Some until the final iteration by loop construction)
                                 key.take().expect("group key moved early")
                             } else {
+                                // efind-lint: allow(panic, key is Some until the final iteration by loop construction)
                                 key.clone().expect("group key moved early")
                             };
                             reduced.collect(Record { key: k, value: v });

@@ -158,6 +158,7 @@ pub fn build_job(config: &LogConfig, service: Arc<RemoteService>) -> IndexJobCon
                 for url in &urls {
                     *counts.entry(url).or_insert(0) += 1;
                 }
+                // efind-lint: allow(unordered-iter, ranked is re-sorted below with a total-order tiebreak)
                 let mut ranked: Vec<(&Datum, usize)> = counts.into_iter().collect();
                 ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
                 let top: Vec<Datum> = ranked

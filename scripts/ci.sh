@@ -6,6 +6,13 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== efind-lint (JSON, machine-readable gate) =="
+# The determinism lint runs twice in CI on purpose: once here in JSON
+# mode (the machine-readable artifact; nonzero exit on any un-waived
+# L001..L006 finding) and once inside lint.sh in human mode ahead of
+# clippy.
+cargo run -q -p efind-lint --bin efind-lint -- --json
+
 scripts/lint.sh
 
 echo "== cargo test =="

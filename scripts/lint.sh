@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Workspace lint gate: formatting + clippy with warnings denied.
-# Run from anywhere; operates on the repository root.
+# Workspace lint gate: determinism lint (efind-lint), formatting, and
+# clippy with warnings denied. Run from anywhere; operates on the
+# repository root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== efind-lint (determinism & virtual-time rules L001..L006) =="
+# Project-specific source lint: wall-clock reads outside the bench
+# crate, unordered iteration in observable-output crates, raw seed/hash
+# draws outside efind-common::det, unregistered counter names, panics in
+# runner/ql error paths, float accumulation over unordered collections.
+# Exits nonzero on any un-waived finding.
+cargo run -q -p efind-lint --bin efind-lint
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
