@@ -111,6 +111,13 @@ impl ChaosPlan {
         self.events.is_empty()
     }
 
+    /// The layer's once-per-job classification: `Armed` only when at
+    /// least one kill event is scheduled. Hot paths hoist this decision
+    /// outside their loops (see [`crate::profile::InjectionProfile`]).
+    pub fn layer_state(&self) -> crate::profile::LayerState {
+        crate::profile::LayerState::from_armed(!self.is_quiet())
+    }
+
     /// All crash events, sorted by `(time, node)`.
     pub fn events(&self) -> &[CrashEvent] {
         &self.events

@@ -141,6 +141,36 @@ impl CorruptionPlan {
         self.response_rate > 0.0
     }
 
+    /// The layer's once-per-job classification: `Armed` only when some
+    /// surface has a nonzero corruption rate. Hot paths hoist this
+    /// decision outside their loops (see
+    /// [`crate::profile::InjectionProfile`]).
+    pub fn layer_state(&self) -> crate::profile::LayerState {
+        crate::profile::LayerState::from_armed(!self.is_quiet())
+    }
+
+    /// True when DFS chunk reads both can be corrupted *and* verify
+    /// CRCs — the only combination where the chunk sub-layer does work.
+    pub fn verifies_chunks(&self) -> bool {
+        self.corrupts_chunks() && self.verification_enabled()
+    }
+
+    /// True when shuffle payloads are CRC-verified at the reducer.
+    pub fn verifies_shuffle(&self) -> bool {
+        self.corrupts_shuffle() && self.verification_enabled()
+    }
+
+    /// True when lookup-cache entries carry and check entry CRCs.
+    pub fn verifies_cache(&self) -> bool {
+        self.corrupts_cache() && self.verification_enabled()
+    }
+
+    /// True when index responses are verified (and re-fetched) on the
+    /// accessor path.
+    pub fn verifies_responses(&self) -> bool {
+        self.corrupts_responses() && self.verification_enabled()
+    }
+
     /// Whether the replica of chunk `chunk` of `file` stored on `host` is
     /// corrupt. Pure in `(seed, file, chunk, host)`: every reader of the
     /// same replica sees the same answer, and distinct replicas of the
@@ -213,6 +243,25 @@ mod tests {
         assert!(!CorruptionPlan::new(42).chunk_replica_corrupt("f", 0, NodeId(0)));
         assert!(!CorruptionPlan::new(42).shuffle_corrupt("j", 0, 0));
         assert!(CorruptionPlan::none().verification_enabled());
+    }
+
+    #[test]
+    fn layer_state_and_verify_gates() {
+        use crate::profile::LayerState;
+        // Configured-but-quiet stays Quiet; any rate arms the layer.
+        assert_eq!(CorruptionPlan::new(42).layer_state(), LayerState::Quiet);
+        assert_eq!(
+            CorruptionPlan::new(42).cache(0.1).layer_state(),
+            LayerState::Armed
+        );
+        // A sub-layer verifies only when it can corrupt AND verification
+        // is on — disabling verification silences every verify gate.
+        let armed = CorruptionPlan::new(1).chunks(0.1).shuffle(0.1);
+        assert!(armed.verifies_chunks() && armed.verifies_shuffle());
+        assert!(!armed.verifies_cache() && !armed.verifies_responses());
+        let blind = armed.without_verification();
+        assert_eq!(blind.layer_state(), LayerState::Armed);
+        assert!(!blind.verifies_chunks() && !blind.verifies_shuffle());
     }
 
     #[test]

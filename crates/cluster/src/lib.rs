@@ -22,6 +22,7 @@ pub mod chaos;
 pub mod corrupt;
 pub mod model;
 pub mod node;
+pub mod profile;
 pub mod sched;
 pub mod time;
 
@@ -29,5 +30,6 @@ pub use chaos::{ChaosPlan, CrashEvent};
 pub use corrupt::CorruptionPlan;
 pub use model::{DiskModel, NetworkModel};
 pub use node::{Cluster, ClusterBuilder, NodeId};
+pub use profile::{InjectionProfile, LayerState};
 pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};
 pub use time::{SimDuration, SimTime};

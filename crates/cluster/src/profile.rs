@@ -1,0 +1,132 @@
+//! Per-job injection-layer profile: each layer resolved to Quiet or
+//! Armed exactly once, before any hot loop runs.
+//!
+//! The resilience family (faults, chaos, corruption) promises that quiet
+//! plans change no virtual observable — but a promise about *observables*
+//! says nothing about *cost*. A plan that is present-but-quiet used to be
+//! consulted per lookup, per payload, and per schedule replay, paying
+//! hash draws, CRC sums, and ledger bookkeeping for experiments that
+//! inject nothing. The profile moves that decision out of the loops:
+//! every layer is classified here, once, at pipeline compilation or
+//! [`Runner`](../../efind_mapreduce/struct.Runner.html) construction, and
+//! the hot paths dispatch on the resulting [`LayerState`] *outside* their
+//! per-record/per-lookup bodies. The Quiet variant is the PR-2 hot path —
+//! no draw, no checksum, no breaker, no ledger — and the Armed variant is
+//! byte-for-byte the previous injected path, so both sides keep their
+//! bit-identical observables.
+
+use crate::chaos::ChaosPlan;
+use crate::corrupt::CorruptionPlan;
+
+/// Whether an injection layer can influence this run at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayerState {
+    /// The layer cannot fire: its plan is absent or draws nothing. Hot
+    /// loops take the plain path and skip the layer's bookkeeping
+    /// entirely.
+    Quiet,
+    /// The layer may fire; hot loops route through the guarded path.
+    Armed,
+}
+
+impl LayerState {
+    /// `Armed` when `armed`, `Quiet` otherwise.
+    pub fn from_armed(armed: bool) -> Self {
+        if armed {
+            LayerState::Armed
+        } else {
+            LayerState::Quiet
+        }
+    }
+
+    /// True for [`LayerState::Armed`].
+    pub fn is_armed(self) -> bool {
+        matches!(self, LayerState::Armed)
+    }
+}
+
+/// The once-per-job classification of all three injection layers.
+///
+/// Resolved at `compile_pipeline` / `Runner` construction and consulted
+/// only *outside* hot loops; the loops themselves see either the plain
+/// path or the armed path, never a per-iteration branch on plan state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectionProfile {
+    /// Index-access fault injection (retries, timeouts, breakers).
+    pub faults: LayerState,
+    /// Node-crash replay (recompute waves, re-replication).
+    pub chaos: LayerState,
+    /// Data corruption (chunk/shuffle/cache/response CRC verification).
+    pub corruption: LayerState,
+}
+
+impl InjectionProfile {
+    /// The all-quiet profile: every layer elided.
+    pub fn quiet() -> Self {
+        InjectionProfile {
+            faults: LayerState::Quiet,
+            chaos: LayerState::Quiet,
+            corruption: LayerState::Quiet,
+        }
+    }
+
+    /// Classifies the runner-visible layers (chaos, corruption). The
+    /// fault layer lives inside compiled mappers and is classified by
+    /// `FaultConfig::layer_state` in `efind-core`; callers that know it
+    /// can overwrite `faults`.
+    pub fn from_plans(chaos: &ChaosPlan, corruption: &CorruptionPlan) -> Self {
+        InjectionProfile {
+            faults: LayerState::Quiet,
+            chaos: chaos.layer_state(),
+            corruption: corruption.layer_state(),
+        }
+    }
+
+    /// True when at least one layer is armed.
+    pub fn any_armed(&self) -> bool {
+        self.faults.is_armed() || self.chaos.is_armed() || self.corruption.is_armed()
+    }
+}
+
+impl Default for InjectionProfile {
+    fn default() -> Self {
+        InjectionProfile::quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn quiet_profile_arms_nothing() {
+        let p = InjectionProfile::quiet();
+        assert!(!p.any_armed());
+        assert_eq!(p, InjectionProfile::default());
+        assert!(!LayerState::Quiet.is_armed());
+        assert!(LayerState::Armed.is_armed());
+    }
+
+    #[test]
+    fn seeded_but_quiet_plans_stay_quiet() {
+        // Configured-but-quiet is the production steady state: plans
+        // installed (seeded, ready to arm) but drawing nothing.
+        let p = InjectionProfile::from_plans(&ChaosPlan::new(7), &CorruptionPlan::new(7));
+        assert!(!p.any_armed());
+    }
+
+    #[test]
+    fn non_quiet_plans_arm_their_layer() {
+        let chaos = ChaosPlan::none().kill(NodeId(0), SimTime::ZERO + SimDuration::from_millis(1));
+        let p = InjectionProfile::from_plans(&chaos, &CorruptionPlan::none());
+        assert!(p.chaos.is_armed());
+        assert!(!p.corruption.is_armed());
+
+        let p =
+            InjectionProfile::from_plans(&ChaosPlan::none(), &CorruptionPlan::new(1).chunks(0.1));
+        assert!(!p.chaos.is_armed());
+        assert!(p.corruption.is_armed());
+    }
+}

@@ -426,8 +426,10 @@ pub fn schedule_phase_chaos(
     // whose node dies before it starts simply migrates; one interrupted
     // mid-run is killed at the crash instant (the wasted work stays on the
     // dead machine, which serves nothing afterwards anyway) and re-executed
-    // on the surviving node where it finishes earliest.
-    if !chaos.is_quiet() {
+    // on the surviving node where it finishes earliest. The layer is
+    // classified once here, outside the replay loop: a quiet plan skips
+    // the whole pass, keeping EFT placement free of per-task crash checks.
+    if chaos.layer_state().is_armed() {
         let mut slot_free: Vec<SimTime> = vec![phase_start; slots.len()];
         let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
         order.sort_by_key(|&i| (schedule.assignments[i].start, i));

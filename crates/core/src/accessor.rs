@@ -172,10 +172,18 @@ impl ChargedLookup {
         }
     }
 
-    /// Installs the fault layer. A config with no [`FaultPlan`] leaves the
-    /// wrapper on the plain path (real accessor failures are still counted,
-    /// but nothing is injected and no retries are attempted).
+    /// Installs the fault layer. The config is classified once here via
+    /// [`FaultConfig::layer_state`]: a `Quiet` config — no plan, or a
+    /// configured-but-quiet plan with no per-index timeout — leaves the
+    /// wrapper on the plain path, so per-lookup fault draws, breaker
+    /// bookkeeping, and timeout checks cost literally nothing. Only an
+    /// `Armed` config (nonzero rates, or any timeout alongside a plan)
+    /// installs [`FaultState`] and routes lookups through the guarded path.
     pub fn with_faults(mut self, config: &FaultConfig) -> Self {
+        if !config.layer_state().is_armed() {
+            self.fault = None;
+            return self;
+        }
         if let Some(plan) = config.plan {
             self.fault = Some(FaultState {
                 plan,
@@ -282,7 +290,7 @@ impl ChargedLookup {
         serve: SimDuration,
         transfer: SimDuration,
     ) {
-        if !(self.corruption.corrupts_responses() && self.corruption.verification_enabled()) {
+        if !self.corruption.verifies_responses() {
             return;
         }
         let mut kb = Vec::new();
@@ -616,6 +624,24 @@ mod tests {
         }
         assert_eq!(b.counters.get("efind.op.0.fault.failures"), 0);
         assert_eq!(b.counters.get("efind.op.0.fault.retries"), 0);
+    }
+
+    #[test]
+    fn quiet_config_installs_no_fault_state_or_breaker() {
+        // The tentpole contract: a configured-but-quiet fault layer is
+        // classified Quiet once at install time, so the wrapper carries no
+        // FaultState, hands out no breaker, and lookup_guarded dispatches
+        // straight to the plain path.
+        let quiet = charged_with(FaultConfig::disabled().with_plan(FaultPlan::new(5)));
+        assert!(quiet.fault.is_none());
+        assert!(quiet.new_breaker().is_none());
+        // A per-index timeout re-arms the layer even under a quiet plan:
+        // timeouts bound real serve times, not just injected ones.
+        let mut timed = FaultConfig::disabled().with_plan(FaultPlan::new(5));
+        timed.timeout = Some(SimDuration::from_micros(50));
+        let armed = charged_with(timed);
+        assert!(armed.fault.is_some());
+        assert!(armed.new_breaker().is_some());
     }
 
     #[test]

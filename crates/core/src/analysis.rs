@@ -110,10 +110,17 @@ pub fn job_model(
 }
 
 /// Lowers the runtime fault configuration into the analyzer's IR. Only an
-/// armed configuration (one with an injection plan installed) is lowered —
-/// the fault checks are meaningless for the zero-fault path, which never
-/// retries, pauses, or times out.
+/// `Armed` configuration ([`FaultConfig::layer_state`]) is lowered — the
+/// fault checks are meaningless for the Quiet path, which never retries,
+/// pauses, or times out. This mirrors the quiet guards of
+/// [`integrity_model`] and [`chaos_model`]: a configured-but-quiet plan
+/// takes the plain lookup path at runtime, so the analyzer must not treat
+/// it as armed either (and EF022's armed-but-quiet warning stays reserved
+/// for hand-built models that bypass this lowering).
 pub fn fault_model(config: &FaultConfig) -> Option<FaultModel> {
+    if !config.layer_state().is_armed() {
+        return None;
+    }
     let plan = config.plan.as_ref()?;
     Some(FaultModel {
         inject_failure_rate: plan.failure_rate,

@@ -224,7 +224,7 @@ impl LookupCache {
     /// has verification disabled, so poison would go undetected — leaves
     /// the cache on the plain, checksum-free path.
     pub fn with_corruption(mut self, plan: &CorruptionPlan, scope: &str) -> Self {
-        if plan.corrupts_cache() && plan.verification_enabled() {
+        if plan.verifies_cache() {
             self.armed = Some(ArmedCorruption {
                 plan: plan.clone(),
                 scope: scope.to_owned(),

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use efind_cluster::{ChaosPlan, CorruptionPlan, NetworkModel, SimDuration};
+use efind_cluster::{ChaosPlan, CorruptionPlan, InjectionProfile, NetworkModel, SimDuration};
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
     partition::partitioner_fn, Collector, CounterHandle, HashPartitioner, JobConf, Mapper,
@@ -70,6 +70,22 @@ pub struct RuntimeEnv {
     /// Node count of the simulated cluster the job runs on, paired with
     /// `chaos` for the survivability check.
     pub cluster_nodes: usize,
+}
+
+impl RuntimeEnv {
+    /// Classifies the three injection layers once for this pipeline.
+    ///
+    /// This is the compile-time half of the quiet-path monomorphization:
+    /// the profile is resolved here, before any stage closure is built, and
+    /// every per-index install ([`ChargedLookup::with_faults`],
+    /// [`LookupCache::with_corruption`]) makes the same Quiet/Armed call
+    /// from the plans it receives — so a configured-but-quiet pipeline
+    /// compiles to exactly the stages a never-configured one does.
+    pub fn injection_profile(&self) -> InjectionProfile {
+        let mut profile = InjectionProfile::from_plans(&self.chaos, &self.corruption);
+        profile.faults = self.faults.layer_state();
+        profile
+    }
 }
 
 /// A logical stage of the compiled data flow.

@@ -29,7 +29,7 @@
 //! injects nothing and changes nothing: with no `FaultPlan` installed the
 //! accessor path is byte-for-byte the plain lookup path.
 
-use efind_cluster::SimDuration;
+use efind_cluster::{LayerState, SimDuration};
 use efind_common::{det, Datum};
 
 /// What the fault plan decides for one lookup attempt.
@@ -255,6 +255,24 @@ impl FaultConfig {
         self.plan.is_some()
     }
 
+    /// The layer's once-per-job classification, resolved before any
+    /// per-lookup loop runs.
+    ///
+    /// `Quiet` when nothing this config describes can ever fire: no plan,
+    /// or a plan whose rates are all zero *and* no per-index timeout (a
+    /// timeout is enforced against real serve times even when the plan
+    /// injects nothing, so it keeps the layer armed). Quiet configs
+    /// compile down to the plain lookup path — no per-attempt hash draw,
+    /// no breaker, no retry bookkeeping — which is exactly the behavior
+    /// the quiet-plan bit-identity proptests pin.
+    pub fn layer_state(&self) -> LayerState {
+        match &self.plan {
+            None => LayerState::Quiet,
+            Some(plan) if plan.is_quiet() && self.timeout.is_none() => LayerState::Quiet,
+            Some(_) => LayerState::Armed,
+        }
+    }
+
     /// Breaker threshold as a ratio.
     pub fn breaker_threshold(&self) -> f64 {
         self.breaker_threshold_x1000 as f64 / 1000.0
@@ -404,6 +422,27 @@ mod tests {
         assert!(!ok.is_open(), "50% is not strictly above 50%");
         assert_eq!(ok.attempts(), 16);
         assert_eq!(ok.failures(), 8);
+    }
+
+    #[test]
+    fn layer_state_classification() {
+        // No plan, or a configured-but-quiet plan without a timeout:
+        // Quiet — the accessor keeps the plain path.
+        assert_eq!(FaultConfig::disabled().layer_state(), LayerState::Quiet);
+        let quiet = FaultConfig::disabled().with_plan(FaultPlan::new(7));
+        assert_eq!(quiet.layer_state(), LayerState::Quiet);
+        // Any nonzero rate arms the layer.
+        let rates = FaultConfig::disabled().with_plan(FaultPlan::new(7).failures(0.01));
+        assert_eq!(rates.layer_state(), LayerState::Armed);
+        // A per-index timeout arms it even under a quiet plan: timeouts
+        // bound *real* serve times, not just injected ones.
+        let mut timed = FaultConfig::disabled().with_plan(FaultPlan::new(7));
+        timed.timeout = Some(SimDuration::from_micros(50));
+        assert_eq!(timed.layer_state(), LayerState::Armed);
+        // A timeout with no plan at all stays Quiet (nothing consults it).
+        let mut planless = FaultConfig::disabled();
+        planless.timeout = Some(SimDuration::from_micros(50));
+        assert_eq!(planless.layer_state(), LayerState::Quiet);
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct EFindConfig {
     /// plan (tests/chaos runs), retry policy, per-index timeout, circuit
     /// breaker, and miss policy. Disabled by default — the zero-fault
     /// lookup path is byte-identical to a build without the fault layer.
+    ///
+    /// All three injection layers (`faults`, `chaos`, `corruption`) are
+    /// classified Quiet/Armed **once per job** when the pipeline compiles
+    /// (see [`RuntimeEnv::injection_profile`]): a configured-but-quiet
+    /// plan — seeded but with zero rates and no kill events — takes the
+    /// exact same hot path as a never-configured one, paying no per-record
+    /// or per-lookup draws, checksums, or ledger bookkeeping.
     pub faults: FaultConfig,
     /// Node-crash plan applied to every constituent MapReduce job: nodes
     /// die at their planned virtual times, completed map outputs lost with

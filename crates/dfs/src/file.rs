@@ -175,9 +175,11 @@ impl Dfs {
     }
 
     /// True when chunk reads verify CRCs: the plan can corrupt chunk
-    /// replicas and verification is enabled.
+    /// replicas and verification is enabled. Delegates to the plan's own
+    /// once-per-job classification so every read and write boundary in
+    /// this file makes the identical Quiet/Armed call.
     fn verifies_chunks(&self) -> bool {
-        self.corruption.corrupts_chunks() && self.corruption.verification_enabled()
+        self.corruption.verifies_chunks()
     }
 
     /// Writes `records` as `name`, splitting into chunks of at most the

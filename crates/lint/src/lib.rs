@@ -5,7 +5,7 @@
 //! injection plans that change nothing, virtual-time-only charging — is a
 //! *convention* until something enforces it. This crate is the enforcer:
 //! a zero-dependency line/token scanner (in the spirit of the hand-rolled
-//! `efind_common::crc`) over the workspace `.rs` files, with six rules:
+//! `efind_common::crc`) over the workspace `.rs` files, with seven rules:
 //!
 //! | Code | Waiver key | Meaning |
 //! |------|-----------|---------|
@@ -15,6 +15,7 @@
 //! | L004 | `counter-name` | counter-name literal not registered in `efind_common::intern::registry` |
 //! | L005 | `panic` | `unwrap`/`expect`/`panic!` in runner/ql error paths |
 //! | L006 | `float-accum` | float accumulation over an unordered collection |
+//! | L007 | `unguarded-injection` | injection-plan call in a hot-path loop with no Quiet/Armed guard |
 //!
 //! A finding is suppressed by a *justified* waiver comment on the same
 //! line or the comment line(s) directly above it:
@@ -60,6 +61,10 @@ pub enum LintCode {
     L005,
     /// Float accumulation over an unordered collection.
     L006,
+    /// Injection-plan draw/verify call inside a per-record or per-lookup
+    /// loop in a hot-path crate, with no Quiet/Armed classification in
+    /// the enclosing function.
+    L007,
 }
 
 impl LintCode {
@@ -72,6 +77,7 @@ impl LintCode {
             LintCode::L004 => "L004",
             LintCode::L005 => "L005",
             LintCode::L006 => "L006",
+            LintCode::L007 => "L007",
         }
     }
 
@@ -84,6 +90,7 @@ impl LintCode {
             LintCode::L004 => "counter-name",
             LintCode::L005 => "panic",
             LintCode::L006 => "float-accum",
+            LintCode::L007 => "unguarded-injection",
         }
     }
 }
@@ -520,6 +527,48 @@ const OBSERVABLE_CRATES: &[&str] = &["core", "mapreduce", "cluster", "dfs", "ind
 /// `efind_common::det`.
 const INJECTION_FILES: &[&str] = &["fault.rs", "chaos.rs", "corrupt.rs"];
 
+/// Hot-path crates where per-record/per-lookup loops must not reach an
+/// injection plan without a Quiet/Armed classification (L007). These are
+/// the crates the quiet-path monomorphization pinned: a draw or CRC
+/// verify inside their loops is exactly the per-iteration dispatch the
+/// profile is supposed to hoist.
+const HOT_PATH_CRATES: &[&str] = &["core", "mapreduce", "cluster", "dfs"];
+
+/// Injection-plan draw/verify calls that are priced per lookup, record,
+/// or task when armed — the calls L007 requires a guard for.
+const INJECTION_CALL_TOKENS: &[&str] = &[
+    "should_fail",
+    "outcome",
+    "draw_unit",
+    "draw_unit_u64",
+    "crc32",
+    "crash_time",
+    "is_dead_at",
+    "chunk_replica_corrupt",
+    "shuffle_corrupt",
+    "cache_corrupt",
+    "response_corrupt",
+    "chunk_integrity",
+];
+
+/// Tokens whose presence in the enclosing function shows the layer was
+/// classified before (or while) reaching the loop.
+const GUARD_TOKENS: &[&str] = &[
+    "is_quiet",
+    "layer_state",
+    "is_armed",
+    "LayerState",
+    "InjectionProfile",
+    "verification_enabled",
+    "FaultState",
+];
+
+/// True for identifiers that count as a Quiet/Armed guard: the profile
+/// vocabulary plus the `verifies_*`/`corrupts_*` plan classifiers.
+fn is_guard_ident(s: &str) -> bool {
+    GUARD_TOKENS.contains(&s) || s.starts_with("verifies_") || s.starts_with("corrupts_")
+}
+
 /// Extracts the crate name from a path like `crates/<name>/src/...`.
 fn crate_of(path: &str) -> Option<&str> {
     let norm = path.strip_prefix("./").unwrap_or(path);
@@ -573,6 +622,10 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
     let is_registry_module = path.ends_with("common/src/intern.rs");
     let panic_scoped =
         krate == "ql" || path.ends_with("mapreduce/src/runner.rs") || fname == "l005.rs";
+    // L007 scope: hot-path crate sources. The injection modules
+    // themselves are exempt (they *implement* the draws), as are
+    // integration tests (never on the measured path).
+    let hot_path = HOT_PATH_CRATES.contains(&krate) && path.contains("/src/") && !injection;
 
     // Pass A: collect hash-collection identifiers declared in this file.
     let mut hash_names: Vec<String> = Vec::new();
@@ -717,6 +770,9 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
         });
     };
 
+    // Lines already flagged by L007, so nested loops report each call once.
+    let mut l007_lines: Vec<usize> = Vec::new();
+
     for (idx, info) in lines.iter().enumerate() {
         if info.in_test {
             continue;
@@ -779,6 +835,75 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
                          contract); panics abort the whole simulated cluster",
                     );
                     break;
+                }
+            }
+        }
+
+        // L007: injection-plan calls in per-record/per-lookup loops must
+        // be reached through a Quiet/Armed classification. A loop header
+        // (`for`/`while`/`loop`) opens the scan; the loop body — plus the
+        // header itself, where `while plan.x(..)` puts the call — is
+        // searched for draw/verify calls; the enclosing function, from
+        // its `fn` line down to the loop's end, must mention a guard.
+        if hot_path {
+            let has_kw = |k: &str| toks.contains(&Tok::Ident(k));
+            let looped = (has_kw("for") && !has_kw("impl")) || has_kw("while") || has_kw("loop");
+            if looped {
+                // `(line, call)` injection hits on the header + body.
+                let mut hits: Vec<(usize, String)> = Vec::new();
+                let mut collect = |j: usize, ltoks: &[Tok<'_>]| {
+                    for i in 0..ltoks.len() {
+                        if let Some(t) = ident_at(ltoks, i) {
+                            if INJECTION_CALL_TOKENS.contains(&t) && punct_at(ltoks, i + 1, '(') {
+                                hits.push((j, t.to_string()));
+                            }
+                        }
+                    }
+                };
+                let has_fn = |j: usize| tokens(&lines[j].code).contains(&Tok::Ident("fn"));
+                collect(idx, &toks);
+                let mut body_end = idx;
+                if info.code.trim_end().ends_with('{') {
+                    let base = info.depth_start;
+                    for (j, body) in lines.iter().enumerate().skip(idx + 1) {
+                        if body.depth_start <= base {
+                            break;
+                        }
+                        collect(j, &tokens(&body.code));
+                        body_end = j;
+                    }
+                }
+                if !hits.is_empty() {
+                    // The enclosing `fn` item: the nearest preceding line
+                    // declaring one at a shallower brace depth.
+                    let fn_start = (0..idx)
+                        .rev()
+                        .find(|&j| lines[j].depth_start < info.depth_start && has_fn(j))
+                        .unwrap_or(0);
+                    let guarded = (fn_start..=body_end).any(|j| {
+                        tokens(&lines[j].code)
+                            .iter()
+                            .any(|t| matches!(t, Tok::Ident(s) if is_guard_ident(s)))
+                    });
+                    if !guarded {
+                        for (j, call) in hits {
+                            if l007_lines.contains(&j) {
+                                continue;
+                            }
+                            l007_lines.push(j);
+                            push(
+                                LintCode::L007,
+                                j,
+                                format!(
+                                    "injection call `{call}` in a hot-path loop with no \
+                                     Quiet/Armed guard"
+                                ),
+                                "classify the layer once outside the loop (InjectionProfile / \
+                                 layer_state / verifies_*) and branch on it, so quiet runs \
+                                 never reach the per-iteration draw",
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -1114,6 +1239,70 @@ mod tests {
             codes(&scan_file("crates/core/src/x.rs", src)),
             vec![LintCode::L002]
         );
+    }
+
+    #[test]
+    fn l007_unguarded_injection_in_loop() {
+        let src = "fn f(plan: &FaultPlan, keys: &[Datum]) -> u64 {\n\
+                   let mut n = 0;\n\
+                   for key in keys {\n\
+                   if plan.outcome(\"s.\", key, 0) == FaultKind::Fail { n += 1; }\n\
+                   }\n\
+                   n\n}\n";
+        let f = scan_file("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec![LintCode::L007]);
+        // Non-hot-path crates are out of scope.
+        assert!(scan_file("crates/analyze/src/x.rs", src).is_empty());
+        // The injection modules implement the draws — exempt.
+        assert!(scan_file("crates/core/src/fault.rs", src).is_empty());
+        // So are integration tests (never on the measured path).
+        assert!(scan_file("crates/core/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_guard_in_enclosing_fn_suppresses() {
+        // An early-return classification before the loop is the hoisted
+        // dispatch the rule wants.
+        let src = "fn f(plan: &FaultPlan, keys: &[Datum]) -> u64 {\n\
+                   if plan.is_quiet() { return 0; }\n\
+                   let mut n = 0;\n\
+                   for key in keys {\n\
+                   if plan.outcome(\"s.\", key, 0) == FaultKind::Fail { n += 1; }\n\
+                   }\n\
+                   n\n}\n";
+        assert!(scan_file("crates/core/src/x.rs", src).is_empty());
+        // A `FaultState` parameter counts: accessors only hold one when
+        // the layer classified Armed.
+        let src = "fn f(fault: &FaultState, keys: &[Datum]) -> u64 {\n\
+                   let mut n = 0;\n\
+                   for key in keys {\n\
+                   if fault.plan.outcome(\"s.\", key, 0) == FaultKind::Fail { n += 1; }\n\
+                   }\n\
+                   n\n}\n";
+        assert!(scan_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_while_header_call_and_waiver() {
+        // The call sits in the `while` condition itself, not the body.
+        let src = "fn f(plan: &CorruptionPlan, kb: &[u8]) {\n\
+                   let mut attempt = 0;\n\
+                   while plan.response_corrupt(\"s.\", kb, attempt) {\n\
+                   attempt += 1;\n\
+                   }\n}\n";
+        let f = scan_file("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec![LintCode::L007]);
+
+        let src = "fn f(plan: &CorruptionPlan, kb: &[u8]) {\n\
+                   let mut attempt = 0;\n\
+                   // efind-lint: allow(unguarded-injection, caller classifies the layer)\n\
+                   while plan.response_corrupt(\"s.\", kb, attempt) {\n\
+                   attempt += 1;\n\
+                   }\n}\n";
+        let f = scan_file("crates/core/src/x.rs", src);
+        assert!(codes(&f).is_empty());
+        assert_eq!(f.len(), 1, "waived finding still reported");
+        assert!(f[0].waived.is_some());
     }
 
     #[test]

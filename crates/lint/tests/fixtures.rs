@@ -1,4 +1,4 @@
-//! Fixture-corpus tests: one known-bad snippet per rule (L001–L006) plus
+//! Fixture-corpus tests: one known-bad snippet per rule (L001–L007) plus
 //! a waived variant, asserting exact diagnostic codes through the library
 //! and exit status through the `efind-lint` binary.
 
@@ -19,6 +19,7 @@ const CASES: &[(&str, &[LintCode])] = &[
     ("crates/core/src/l004.rs", &[LintCode::L004]),
     ("crates/ql/src/l005.rs", &[LintCode::L005]),
     ("crates/dfs/src/l006.rs", &[LintCode::L002, LintCode::L006]),
+    ("crates/core/src/l007.rs", &[LintCode::L007]),
 ];
 
 fn scan_one(variant: &str, rel: &str) -> efind_lint::LintReport {
@@ -85,7 +86,7 @@ fn run_binary(variant: &str, json: bool) -> (i32, String) {
 fn binary_fails_on_bad_corpus() {
     let (code, stdout) = run_binary("bad", false);
     assert_eq!(code, 1, "bad corpus must exit 1:\n{stdout}");
-    for rule in ["L001", "L002", "L003", "L004", "L005", "L006"] {
+    for rule in ["L001", "L002", "L003", "L004", "L005", "L006", "L007"] {
         assert!(
             stdout.contains(&format!("error[{rule}]")),
             "{rule} missing:\n{stdout}"

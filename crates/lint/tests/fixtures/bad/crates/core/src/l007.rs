@@ -1,0 +1,12 @@
+// Fixture: per-lookup fault draw with no Quiet/Armed classification in
+// the enclosing function — exactly the per-iteration dispatch the
+// injection profile is supposed to hoist out of the hot path.
+pub fn count_failures(plan: &FaultPlan, keys: &[Datum]) -> u64 {
+    let mut failures = 0u64;
+    for key in keys {
+        if plan.outcome("probe.", key, 0) == FaultKind::Fail {
+            failures += 1;
+        }
+    }
+    failures
+}

@@ -1,0 +1,12 @@
+// Fixture: the same per-lookup draw, justified (e.g. a migration shim
+// whose callers all classify the layer before entering).
+pub fn count_failures(plan: &FaultPlan, keys: &[Datum]) -> u64 {
+    let mut failures = 0u64;
+    for key in keys {
+        // efind-lint: allow(unguarded-injection, migration shim; every caller classifies the plan Armed before entering)
+        if plan.outcome("probe.", key, 0) == FaultKind::Fail {
+            failures += 1;
+        }
+    }
+    failures
+}

@@ -18,7 +18,7 @@ use std::thread;
 
 use efind_cluster::{
     sched::{schedule_phase_chaos, Schedule, SlotKind, TaskSpec},
-    ChaosPlan, Cluster, CorruptionPlan, CrashEvent, SimDuration, SimTime,
+    ChaosPlan, Cluster, CorruptionPlan, CrashEvent, InjectionProfile, SimDuration, SimTime,
 };
 use efind_common::{crc32, Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
@@ -133,6 +133,12 @@ pub struct Runner<'a> {
     /// Data-corruption plan consulted at the shuffle boundary and during
     /// the integrity sweep in [`Runner::finish`] (quiet by default).
     corruption: CorruptionPlan,
+    /// Quiet/Armed classification of the chaos and corruption layers,
+    /// resolved once at construction (and re-resolved by the `with_*`
+    /// builders). Every per-record, per-payload, and per-task loop in
+    /// this file dispatches on this profile *outside* the loop, so a
+    /// configured-but-quiet runner takes byte-for-byte the plain path.
+    profile: InjectionProfile,
 }
 
 impl<'a> Runner<'a> {
@@ -143,17 +149,20 @@ impl<'a> Runner<'a> {
             dfs,
             chaos: ChaosPlan::none(),
             corruption: CorruptionPlan::none(),
+            profile: InjectionProfile::quiet(),
         }
     }
 
     /// Creates a runner whose jobs suffer the node crashes of `chaos`.
     /// With a quiet plan this is exactly [`Runner::new`].
     pub fn with_chaos(cluster: &'a Cluster, dfs: &'a mut Dfs, chaos: ChaosPlan) -> Self {
+        let profile = InjectionProfile::from_plans(&chaos, &CorruptionPlan::none());
         Runner {
             cluster,
             dfs,
             chaos,
             corruption: CorruptionPlan::none(),
+            profile,
         }
     }
 
@@ -163,6 +172,7 @@ impl<'a> Runner<'a> {
     pub fn with_corruption(mut self, plan: CorruptionPlan) -> Self {
         self.dfs.set_corruption(plan.clone());
         self.corruption = plan;
+        self.profile = InjectionProfile::from_plans(&self.chaos, &self.corruption);
         self
     }
 
@@ -176,10 +186,16 @@ impl<'a> Runner<'a> {
         &self.corruption
     }
 
+    /// The once-per-job Quiet/Armed classification of the runner's
+    /// injection layers.
+    pub fn profile(&self) -> &InjectionProfile {
+        &self.profile
+    }
+
     /// True when shuffle payloads are verified at the reducer: the plan
     /// can corrupt them and verification is enabled.
     fn verifies_shuffle(&self) -> bool {
-        self.corruption.corrupts_shuffle() && self.corruption.verification_enabled()
+        self.corruption.verifies_shuffle()
     }
 
     /// The input chunks of a job, in order.
@@ -271,10 +287,13 @@ impl<'a> Runner<'a> {
         }
         // Corrupt replicas discovered at the read boundary: each wasted
         // fetch (pull copy, CRC mismatch, move to the next replica) is
-        // charged as a remote retrieve. `chunk_integrity` is `None` on
-        // clean chunks and under quiet plans — the hot path pays nothing.
-        if let Some(integ) = dfs.chunk_integrity(&conf.input, chunk.index) {
-            base_cost += integ.reread_cost;
+        // charged as a remote retrieve. The profile gate means a quiet
+        // corruption layer pays not even the per-task ledger probe;
+        // `chunk_integrity` is additionally `None` on clean chunks.
+        if self.profile.corruption.is_armed() {
+            if let Some(integ) = dfs.chunk_integrity(&conf.input, chunk.index) {
+                base_cost += integ.reread_cost;
+            }
         }
 
         ctx.counters
@@ -702,7 +721,7 @@ impl<'a> Runner<'a> {
     /// the empty ledger untouched.
     pub fn integrity_sweep(&mut self, conf: &JobConf) -> IntegrityLog {
         let mut log = IntegrityLog::default();
-        if !(self.corruption.corrupts_chunks() && self.corruption.verification_enabled()) {
+        if !self.corruption.verifies_chunks() {
             return log;
         }
         let Ok(meta) = self.dfs.stat(&conf.input) else {
@@ -776,7 +795,9 @@ impl<'a> Runner<'a> {
         // waves replace lost ones.
         let mut attempts = map_schedule.assignments.clone();
         let mut deferred: Vec<CrashEvent> = Vec::new();
-        if !self.chaos.is_quiet() {
+        // One branch on the hoisted classification replaces every
+        // per-event / per-attempt chaos check for quiet runs.
+        if self.profile.chaos.is_armed() {
             for e in self.chaos.events().to_vec() {
                 if e.at >= map_end {
                     // Falls past the (current) map phase; it can still hit
@@ -933,9 +954,17 @@ impl<'a> Runner<'a> {
             let mut integrity = self.integrity_sweep(conf);
             integrity.shuffle_refetches = outcome.shuffle_refetches;
             integrity.shuffle_refetch_time = outcome.shuffle_refetch_time;
-            integrity.collect_lookup_counters(&counters);
-            recovery.add_counters(&mut counters);
-            integrity.add_counters(&mut counters);
+            // Ledger bookkeeping only for armed layers: a quiet layer's
+            // ledger is all zeros and add_counters writes nothing for
+            // zeros, so skipping it is observably identical and saves the
+            // full counter-map scan on every quiet job.
+            if self.profile.corruption.is_armed() {
+                integrity.collect_lookup_counters(&counters);
+                integrity.add_counters(&mut counters);
+            }
+            if self.profile.chaos.is_armed() {
+                recovery.add_counters(&mut counters);
+            }
             let output_bytes = outcome.output.total_bytes();
             Ok(JobResult {
                 output: outcome.output,
@@ -960,9 +989,13 @@ impl<'a> Runner<'a> {
                 None => self.dfs.write_file(&conf.output, all_output),
             };
             let mut integrity = self.integrity_sweep(conf);
-            integrity.collect_lookup_counters(&counters);
-            recovery.add_counters(&mut counters);
-            integrity.add_counters(&mut counters);
+            if self.profile.corruption.is_armed() {
+                integrity.collect_lookup_counters(&counters);
+                integrity.add_counters(&mut counters);
+            }
+            if self.profile.chaos.is_armed() {
+                recovery.add_counters(&mut counters);
+            }
             let output_bytes = output.total_bytes();
             Ok(JobResult {
                 output,

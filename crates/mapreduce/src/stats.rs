@@ -89,9 +89,15 @@ pub struct JobStats {
     pub shuffle_bytes: u64,
     /// Bytes written to the DFS output file.
     pub output_bytes: u64,
-    /// Crash-recovery ledger (empty/default on crash-free runs).
+    /// Crash-recovery ledger. Stays `RecoveryLog::default()` whenever the
+    /// chaos layer is classified Quiet for the job — including
+    /// configured-but-quiet plans — and then mirrors nothing into the
+    /// counter set.
     pub recovery: RecoveryLog,
-    /// Data-integrity ledger (empty/default on corruption-free runs).
+    /// Data-integrity ledger. Stays `IntegrityLog::default()` whenever
+    /// the corruption layer is classified Quiet for the job — including
+    /// configured-but-quiet plans — and then mirrors nothing into the
+    /// counter set.
     pub integrity: IntegrityLog,
 }
 

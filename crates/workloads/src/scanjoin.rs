@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use efind_cluster::{Cluster, SimDuration, SimTime};
+use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime};
 use efind_common::{Datum, Record, Result};
 use efind_dfs::Dfs;
 use efind_mapreduce::{mapper_fn, reducer_fn, JobConf, Runner};
@@ -34,6 +34,31 @@ pub fn run_scan_join(
     data: &TpchData,
     ship_cutoff: i64,
     chunks: usize,
+) -> Result<(SimDuration, u64)> {
+    run_scan_join_with(
+        cluster,
+        dfs,
+        data,
+        ship_cutoff,
+        chunks,
+        ChaosPlan::none(),
+        CorruptionPlan::none(),
+    )
+}
+
+/// [`run_scan_join`] with explicit chaos and corruption plans installed on
+/// the runner. Quiet plans (including seeded-but-quiet ones) must be
+/// bit-identical to [`run_scan_join`] — the quiet-profile bench and golden
+/// tests pin exactly that.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scan_join_with(
+    cluster: &Cluster,
+    dfs: &mut Dfs,
+    data: &TpchData,
+    ship_cutoff: i64,
+    chunks: usize,
+    chaos: ChaosPlan,
+    corruption: CorruptionPlan,
 ) -> Result<(SimDuration, u64)> {
     // The combined tagged input both sides are scanned from — exactly how
     // a reduce-side join feeds one MapReduce job.
@@ -100,7 +125,9 @@ pub fn run_scan_join(
             24,
         );
 
-    let res = Runner::new(cluster, dfs).run(&conf, SimTime::ZERO)?;
+    let res = Runner::with_chaos(cluster, dfs, chaos)
+        .with_corruption(corruption)
+        .run(&conf, SimTime::ZERO)?;
     let joined: u64 = dfs
         .read_file("scanjoin.out")?
         .iter()

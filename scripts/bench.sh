@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Wall-clock hot-path benchmark: appends a labeled run to
 # BENCH_hotpath.json. Usage: scripts/bench.sh [label] [iters]
+#
+# Comparability contract (keep runs interchangeable across sessions):
+#   - default iters is 5 — always record labeled runs with the default;
+#   - every workload discards one warm-up iteration before timing;
+#   - each result line carries the mean (`wall_ms`) AND the fastest timed
+#     iteration (`wall_ms_min`); `--check` gates on the min, which is the
+#     noise-robust statistic on a shared 1-CPU box.
+# Arguments after [label] [iters] pass straight through to the bench
+# binary — e.g. `scripts/bench.sh local 5 --quiet-profile` measures the
+# configured-but-quiet injection path instead of the never-configured one.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 LABEL="${1:-local}"
 ITERS="${2:-5}"
+shift $(( $# > 2 ? 2 : $# )) || true
 
 cargo build --release -p efind-bench --bin hotpath
 cargo run --release -q -p efind-bench --bin hotpath -- \
-  --label "$LABEL" --iters "$ITERS" --out BENCH_hotpath.json
+  --label "$LABEL" --iters "$ITERS" --out BENCH_hotpath.json "$@"

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 echo "== efind-lint (JSON, machine-readable gate) =="
 # The determinism lint runs twice in CI on purpose: once here in JSON
 # mode (the machine-readable artifact; nonzero exit on any un-waived
-# L001..L006 finding) and once inside lint.sh in human mode ahead of
+# L001..L007 finding) and once inside lint.sh in human mode ahead of
 # clippy.
 cargo run -q -p efind-lint --bin efind-lint -- --json
 
@@ -44,5 +44,13 @@ EFIND_CORRUPT_SEEDS="${EFIND_CORRUPT_SEEDS:-0xEF1D0004,0xC0FFEE01,53}" \
 
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
+
+echo "== bench smoke (configured-but-quiet injection profile) =="
+# The same three base workloads with all three injection layers installed
+# as seeded-but-quiet plans (pinned seed 0xEF1D0007 inside the bench).
+# The profile classifies every layer Quiet, so this must clear the same
+# best-historical gate as the plain run — any per-iteration dispatch
+# creeping back into the hot path shows up here as a >25% min regression.
+cargo run --release -q -p efind-bench --bin hotpath -- --check --quiet-profile
 
 echo "ci: clean"

@@ -124,6 +124,138 @@ fn scanjoin_virtual_results_match_seed() {
     assert_eq!(captured, expected);
 }
 
+/// Quiet-profile monomorphization golden: every workload in this file,
+/// run with all three injection layers *configured but quiet* (a seeded
+/// fault plan with zero rates and no timeout, a seeded chaos plan with
+/// zero kills, a seeded corruption plan with zero rates), must produce
+/// byte-identical virtual observables to the plain run. Because the
+/// plain runs are pinned against the seed above, this transitively pins
+/// the quiet-profile runs to the seed too.
+#[test]
+fn quiet_profile_is_byte_identical_to_plain() {
+    use efind::{FaultConfig, FaultPlan};
+    use efind_cluster::{ChaosPlan, CorruptionPlan, SimTime};
+    use efind_mapreduce::Runner;
+    use efind_workloads::scanjoin::run_scan_join_with;
+
+    const SEED: u64 = 0xEF1D_0007;
+
+    // --- wordcount: plain runner vs configured-but-quiet runner.
+    let run_wordcount = |quiet: bool| -> Goldens {
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication: 2,
+                seed: 9,
+            },
+        );
+        let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+        let records: Vec<Record> = text
+            .iter()
+            .cycle()
+            .take(200)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect();
+        dfs.write_file("input", records);
+        let conf = JobConf::new("wordcount", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _| {
+                    let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                    out.collect(Record::new(key, total));
+                }),
+                3,
+            );
+        let res = if quiet {
+            Runner::with_chaos(&cluster, &mut dfs, ChaosPlan::new(SEED))
+                .with_corruption(CorruptionPlan::new(SEED))
+                .run(&conf, SimTime::ZERO)
+        } else {
+            run_job(&cluster, &mut dfs, &conf)
+        }
+        .unwrap();
+        vec![
+            golden("makespan.nanos", res.stats.makespan().as_nanos()),
+            golden("shuffle.bytes", res.stats.shuffle_bytes),
+            golden("counters.fingerprint", counter_fingerprint(&res.stats)),
+            golden("output.records", res.output.total_records() as u64),
+            golden("output.fingerprint", file_fingerprint(&dfs, "out")),
+        ]
+    };
+    assert_eq!(run_wordcount(false), run_wordcount(true), "wordcount");
+
+    // --- scanjoin: plain join vs configured-but-quiet plans on the runner.
+    let run_scanjoin = |quiet: bool| -> Goldens {
+        let cluster = Cluster::edbt_testbed();
+        let mut dfs = Dfs::new(cluster.clone(), DfsConfig::default());
+        let data = tpch::generate(&TpchConfig {
+            scale: 0.002,
+            chunks: 30,
+            seed: 3,
+            ..TpchConfig::default()
+        });
+        let (chaos, corruption) = if quiet {
+            (ChaosPlan::new(SEED), CorruptionPlan::new(SEED))
+        } else {
+            (ChaosPlan::none(), CorruptionPlan::none())
+        };
+        let (makespan, joined) =
+            run_scan_join_with(&cluster, &mut dfs, &data, 1_200, 30, chaos, corruption).unwrap();
+        vec![
+            golden("makespan.nanos", makespan.as_nanos()),
+            golden("joined.rows", joined),
+            golden("output.fingerprint", file_fingerprint(&dfs, "scanjoin.out")),
+        ]
+    };
+    assert_eq!(run_scanjoin(false), run_scanjoin(true), "scanjoin");
+
+    // --- multi-index EFind workload: quiet plans on all three layers of
+    // the runtime config, including the fault layer on every lookup.
+    let run_multi = |quiet: bool| -> Goldens {
+        let config = MultiConfig {
+            num_events: 3_000,
+            num_users: 200,
+            num_ads: 500,
+            num_sites: 100,
+            site_value_bytes: 200,
+            chunks: 30,
+            ..MultiConfig::default()
+        };
+        let mut s = multi::scenario(&config);
+        let mut efind_config = s.efind_config.clone();
+        if quiet {
+            efind_config.faults = FaultConfig::disabled().with_plan(FaultPlan::new(SEED));
+            efind_config.chaos = ChaosPlan::new(SEED);
+            efind_config.corruption = CorruptionPlan::new(SEED);
+        }
+        let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, efind_config);
+        let res = rt.run(&s.ijob, Mode::Uniform(Strategy::Cache)).unwrap();
+        vec![
+            golden("total.nanos", res.total_time.as_nanos()),
+            golden("jobs", res.jobs.len() as u64),
+            golden(
+                "job0.counters.fingerprint",
+                counter_fingerprint(&res.jobs[0]),
+            ),
+            golden("output.records", res.output.total_records() as u64),
+            golden(
+                "output.fingerprint",
+                file_fingerprint(&s.dfs, "ads.enriched"),
+            ),
+        ]
+    };
+    assert_eq!(run_multi(false), run_multi(true), "multi_index");
+}
+
 /// One multi-index workload (three independent indices in one operator)
 /// under both a chained strategy (cache) and a shuffle strategy
 /// (re-partitioning), pinning per-job makespans, shuffle bytes, counter
