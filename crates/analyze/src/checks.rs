@@ -2,7 +2,8 @@
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
 use crate::model::{
-    CacheModel, FaultModel, IntegrityModel, OperatorModel, PlanModel, StrategyKind,
+    CacheModel, FaultModel, IntegrityModel, MeasuredStatsModel, OperatorModel, PlanModel,
+    StrategyKind,
 };
 
 use efind_common::FxHashSet;
@@ -44,6 +45,9 @@ pub fn analyze(model: &PlanModel) -> Report {
         check_cache_coherence(model, cache, &mut report);
     }
     check_quiet_plan_purity(model, &mut report);
+    for m in &model.measured {
+        check_measured_stats(model, m, &mut report);
+    }
     report
 }
 
@@ -635,6 +639,78 @@ fn check_cost_monotonicity(pos: usize, op: &OperatorModel, report: &mut Report) 
             .with_hint(
                 "Eq. 1-4 are sums of non-negative terms linear in N1; a decreasing \
                  estimate means a term is subtracting input size",
+            ),
+        );
+    }
+}
+
+/// EF023: measured statistics injected from the cross-job store must
+/// satisfy the same invariants `EF019` enforces for `statsx` tokens —
+/// every token in its legal range and the Eq. 1–4 best-plan estimate
+/// monotone under the doubled-`N1` probe. Errors, not warnings: a store
+/// entry that fails here would poison every warm-start plan built from
+/// it, so the compile aborts and the caller falls back to estimates.
+fn check_measured_stats(model: &PlanModel, m: &MeasuredStatsModel, report: &mut Report) {
+    let pos = model
+        .operators
+        .iter()
+        .position(|op| op.name == m.operator)
+        .unwrap_or(0);
+    let mut bad = |what: &str, value: f64, legal: &str| {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF023,
+                Span::operator(pos, &m.operator),
+                format!("measured statistics token {what} = {value} is outside {legal}"),
+            )
+            .with_hint(
+                "the cross-job store served an impossible token; the warm-start plan \
+                 built from it is meaningless — fall back to estimates",
+            ),
+        );
+    };
+    if !m.n1.is_finite() || m.n1 < 0.0 {
+        bad("N1", m.n1, "[0, inf)");
+    }
+    for &nik in &m.nik {
+        if !nik.is_finite() || nik < 0.0 {
+            bad("Nik", nik, "[0, inf)");
+        }
+    }
+    for s in &m.indices {
+        for (what, v) in [
+            ("Sik", s.sik_bytes),
+            ("Siv", s.siv_bytes),
+            ("Tj", s.tj_secs),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                bad(what, v, "[0, inf)");
+            }
+        }
+        if !(0.0..=1.0 + EPS).contains(&s.miss_ratio) || s.miss_ratio.is_nan() {
+            bad("miss", s.miss_ratio, "[0, 1]");
+        }
+        if !s.theta.is_finite() || s.theta < 1.0 - EPS {
+            bad("theta", s.theta, "[1, inf)");
+        }
+        if !(0.0..1.0).contains(&s.failure_rate) || s.failure_rate.is_nan() {
+            bad("fail", s.failure_rate, "[0, 1)");
+        }
+    }
+    if m.est_at_double_n1_secs < m.full_est_secs * (1.0 - 1e-6) - EPS {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF023,
+                Span::operator(pos, &m.operator),
+                format!(
+                    "measured-stats plan cost drops from {:.6}s to {:.6}s when the \
+                     recorded N1 doubles: the estimate is not monotone in input cardinality",
+                    m.full_est_secs, m.est_at_double_n1_secs
+                ),
+            )
+            .with_hint(
+                "Eq. 1-4 are sums of non-negative terms linear in N1; a decreasing \
+                 estimate means the stored history disagrees with the cost model",
             ),
         );
     }
@@ -1366,5 +1442,69 @@ mod tests {
         let report = analyze(&model);
         assert!(!report.has_code(DiagCode::EF022), "{}", report.to_text());
         assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    fn measured(op: &str) -> crate::model::MeasuredStatsModel {
+        crate::model::MeasuredStatsModel {
+            operator: op.to_string(),
+            n1: 1000.0,
+            nik: vec![2.0],
+            indices: vec![crate::model::testutil::index_stats()],
+            full_est_secs: 1.0,
+            est_at_double_n1_secs: 1.8,
+        }
+    }
+
+    #[test]
+    fn ef023_legal_measured_stats_are_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.measured = vec![measured("a")];
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef023_out_of_range_measured_tokens_are_errors() {
+        for mutate in [
+            (|m: &mut crate::model::MeasuredStatsModel| m.n1 = -1.0)
+                as fn(&mut crate::model::MeasuredStatsModel),
+            |m| m.n1 = f64::NAN,
+            |m| m.nik[0] = -2.0,
+            |m| m.nik[0] = f64::INFINITY,
+            |m| m.indices[0].miss_ratio = 1.5,
+            |m| m.indices[0].miss_ratio = -0.1,
+            |m| m.indices[0].theta = 0.5,
+            |m| m.indices[0].failure_rate = 1.0,
+            |m| m.indices[0].sik_bytes = -1.0,
+            |m| m.indices[0].siv_bytes = f64::INFINITY,
+            |m| m.indices[0].tj_secs = f64::NAN,
+        ] {
+            let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+            let mut m = measured("a");
+            mutate(&mut m);
+            model.measured = vec![m];
+            let report = analyze(&model);
+            assert!(report.has_code(DiagCode::EF023), "{}", report.to_text());
+            assert!(report.has_errors());
+        }
+    }
+
+    #[test]
+    fn ef023_measured_cost_must_be_monotone_in_n1() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut m = measured("a");
+        m.est_at_double_n1_secs = 0.4; // cheaper with twice the recorded N1
+        model.measured = vec![m];
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF023), "{}", report.to_text());
+        assert!(report.has_errors());
+
+        // Equal cost at doubled N1 is legal: the plan may be dominated by
+        // N1-independent terms.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut m = measured("a");
+        m.est_at_double_n1_secs = 1.0;
+        model.measured = vec![m];
+        assert!(analyze(&model).is_clean());
     }
 }

@@ -71,6 +71,13 @@ pub enum DiagCode {
     /// arming (`is_quiet()`), so an armed-but-empty layer means a lowering
     /// guard was bypassed and the run pays injection bookkeeping for free.
     EF022,
+    /// Measured-stats injection inconsistency: statistics served from the
+    /// cross-job re-optimization store violate the same invariants
+    /// `EF019` enforces for `statsx` tokens — a token outside its legal
+    /// range, or an Eq. 1–4 estimate that *decreases* when the recorded
+    /// `N1` doubles. A store entry that fails here would poison every
+    /// warm-start plan built from it.
+    EF023,
 }
 
 impl DiagCode {
@@ -99,6 +106,7 @@ impl DiagCode {
             DiagCode::EF020 => "EF020",
             DiagCode::EF021 => "EF021",
             DiagCode::EF022 => "EF022",
+            DiagCode::EF023 => "EF023",
         }
     }
 }

@@ -19,5 +19,5 @@ pub use checks::analyze;
 pub use diag::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use model::{
     CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel, IntegrityModel,
-    OperatorCosts, OperatorModel, PlacementKind, PlanModel, StrategyKind,
+    MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, StrategyKind,
 };

@@ -229,6 +229,27 @@ pub struct CacheModel {
     pub t_cache_secs: f64,
 }
 
+/// Measured statistics served from the cross-job re-optimization store
+/// for one operator, lowered only when a store fingerprint matched at
+/// compile time. `EF023` verifies them against the same token-range and
+/// cost-monotonicity invariants `EF019` applies to `statsx` estimates.
+#[derive(Clone, Debug)]
+pub struct MeasuredStatsModel {
+    /// Operator the measured stats were injected for.
+    pub operator: String,
+    /// Recorded input cardinality (`N1`).
+    pub n1: f64,
+    /// Recorded lookup keys per input record (`Nik`), one per index slot.
+    pub nik: Vec<f64>,
+    /// Recorded per-index statistics tokens, one per index slot.
+    pub indices: Vec<IndexStatsModel>,
+    /// Best full-enumeration plan cost under the measured stats.
+    pub full_est_secs: f64,
+    /// Best full-enumeration plan cost with `N1` doubled — never below
+    /// `full_est_secs` for a consistent cost model.
+    pub est_at_double_n1_secs: f64,
+}
+
 /// The whole job as the analyzer sees it.
 #[derive(Clone, Debug)]
 pub struct PlanModel {
@@ -246,6 +267,9 @@ pub struct PlanModel {
     pub chaos: Option<ChaosModel>,
     /// Lookup-cache configuration, when known to the lowering.
     pub cache: Option<CacheModel>,
+    /// Measured-stats injections from the cross-job store, when any
+    /// operator was planned from recorded history (`EF023`).
+    pub measured: Vec<MeasuredStatsModel>,
 }
 
 #[cfg(test)]
@@ -295,6 +319,7 @@ pub(crate) mod testutil {
             integrity: None,
             chaos: None,
             cache: None,
+            measured: Vec::new(),
         }
     }
 

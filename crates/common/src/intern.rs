@@ -122,6 +122,9 @@ pub mod registry {
         // Integrity layer: efind.<op>.<j>.integrity.<what>.
         "efind.*.*.integrity.refetch",
         "efind.*.*.integrity.cache.invalid",
+        // Cross-job statistics store (statstore.rs): load-time rejections.
+        "efind.statstore.corrupt",
+        "efind.statstore.version.mismatch",
         // Plain MapReduce task counters.
         "mr.map.input.records",
         "mr.map.input.bytes",

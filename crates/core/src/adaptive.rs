@@ -59,6 +59,56 @@ fn apply_chaos_to_dfs(rt: &mut EFindRuntime<'_>, upto: SimTime, log: &mut Recove
     }
 }
 
+/// Computes warm-start plans from the attached store's measured history.
+///
+/// Returns `None` — meaning "run the full adaptive protocol" — when no
+/// store is attached, the store is empty, or any indexed, non-volatile
+/// operator lacks a matching fingerprint. Volatile and index-less
+/// operators take the baseline plan (as every mode forces), and an
+/// operator whose history shows a failing index is pinned to baseline by
+/// the same degradation gate the mid-job pass applies.
+fn warm_start_plans(
+    rt: &EFindRuntime<'_>,
+    ijob: &IndexJobConf,
+) -> Option<(
+    FxHashMap<String, OperatorPlan>,
+    Vec<crate::statstore::MeasuredOp>,
+)> {
+    let store = rt.store.as_ref()?;
+    if store.is_empty() {
+        return None;
+    }
+    let env = rt.cost_env();
+    let degrade = rt.config.faults.degrade_threshold();
+    let mut plans = FxHashMap::default();
+    let mut measured = Vec::new();
+    for (bound, placement) in ijob.operators() {
+        let name = bound.op.name().to_owned();
+        if bound.volatile || bound.indices.is_empty() {
+            plans.insert(name, forced_plan(&bound.caps(), Strategy::Baseline));
+            continue;
+        }
+        let (shape, mut stats) = rt.measured_for(bound, placement)?;
+        // Partition-scheme availability is structural — refresh it from
+        // the bound accessors, as every planning path does.
+        for (j, (_, scheme)) in bound.caps().iter().enumerate() {
+            if let Some(idx) = stats.indices.get_mut(j) {
+                idx.has_partition_scheme = *scheme;
+            }
+        }
+        if stats.indices.iter().any(|i| i.failure_rate > degrade) {
+            plans.insert(name, forced_plan(&bound.caps(), Strategy::Baseline));
+            continue;
+        }
+        let plan = optimize_operator(&stats, &env, placement, rt.config.enumeration);
+        measured.push(crate::statstore::MeasuredOp::probe(
+            &name, shape, &stats, &env, placement,
+        ));
+        plans.insert(name, plan);
+    }
+    Some((plans, measured))
+}
+
 /// Runs an enhanced job in dynamic (adaptive) mode.
 pub(crate) fn run_dynamic(
     rt: &mut EFindRuntime<'_>,
@@ -89,6 +139,16 @@ pub(crate) fn run_dynamic(
     // baseline plan end to end.
     if crate::analysis::has_nondeterministic_accessor(ijob) {
         return rt.run_with_plans(ijob, baseline_plans, false);
+    }
+
+    // Warm start from the cross-job store: when *every* indexed,
+    // non-volatile operator has measured history for its fingerprint, the
+    // winning plans are computed up front and the job runs statically —
+    // no statistics wave, no mid-job replan. Any missing fingerprint
+    // falls through to the full adaptive run below (a partial warm start
+    // would skip the statistics wave the cold operators still need).
+    if let Some((plans, measured)) = warm_start_plans(rt, ijob) {
+        return rt.run_with_plans_measured(ijob, plans, false, measured);
     }
 
     let compiled = compile_pipeline(ijob, &baseline_plans, &rt.runtime_env())?;
@@ -183,7 +243,7 @@ pub(crate) fn run_dynamic(
         }
         let res = runner(rt).finish(&conf, &mut exec1, SimTime::ZERO)?;
         let total_time = res.stats.makespan();
-        rt.absorb_stats(ijob, std::slice::from_ref(&res.stats));
+        rt.absorb_stats(ijob, std::slice::from_ref(&res.stats), &baseline_plans);
         return Ok(EFindJobResult {
             output: res.output,
             total_time,
@@ -344,14 +404,15 @@ pub(crate) fn run_dynamic(
         rt.dfs.delete(&remaining_name);
     }
 
-    // Catalog: wave-1 statistics plus everything the new plan collected.
+    // Catalog and store: wave-1 statistics plus everything the new plan
+    // collected, recorded under the plans that actually executed.
     let mut counters = wave_counters;
     let mut sketches = wave_sketches;
     for j in &job_stats {
         counters.merge(&j.counters);
         sketches.merge(&j.sketches);
     }
-    rt.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+    rt.record_observations(ijob, &counters, &sketches, &new_plans);
 
     Ok(EFindJobResult {
         output,
@@ -509,7 +570,7 @@ fn try_reduce_phase_replan(
             counters.merge(&x.counters);
             sketches.merge(&x.sketches);
         }
-        rt.catalog.absorb(&counters, &sketches, &ijob.descriptors());
+        rt.record_observations(ijob, &counters, &sketches, baseline_plans);
         let mut recovery = RecoveryLog {
             crashed_attempts: map_schedule.crashed_attempts + reduce_schedule.crashed_attempts,
             ..RecoveryLog::default()
@@ -629,8 +690,12 @@ fn try_reduce_phase_replan(
         absorb_counters.merge(&j.counters);
         absorb_sketches.merge(&j.sketches);
     }
-    rt.catalog
-        .absorb(&absorb_counters, &absorb_sketches, &ijob.descriptors());
+    // Head/body operators executed under the baseline plans; the tail
+    // operators under their re-planned strategies.
+    let mut final_plans = baseline_plans.clone();
+    // efind-lint: allow(unordered-iter, map-to-map merge; the destination is keyed and no order survives)
+    final_plans.extend(tail_plans.iter().map(|(k, v)| (k.clone(), v.clone())));
+    rt.record_observations(ijob, &absorb_counters, &absorb_sketches, &final_plans);
 
     let mut reduce_tasks: Vec<TaskStats> = wave1.iter().map(|x| x.stats.clone()).collect();
     reduce_tasks.extend(rest.iter().map(|x| x.stats.clone()));

@@ -11,7 +11,8 @@
 
 use efind_analyze::{
     analyze, CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel,
-    IntegrityModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, Report, StrategyKind,
+    IntegrityModel, MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
+    Report, StrategyKind,
 };
 use efind_cluster::{ChaosPlan, CorruptionPlan};
 use efind_common::{Error, FxHashMap, Result};
@@ -106,6 +107,7 @@ pub fn job_model(
         integrity: None,
         chaos: None,
         cache: None,
+        measured: Vec::new(),
     })
 }
 
@@ -229,7 +231,33 @@ pub fn analyze_job_in_env(
     model.integrity = integrity_model(&env.corruption, env.dfs_replication);
     model.chaos = chaos_model(&env.chaos, env.cluster_nodes, env.dfs_replication);
     model.cache = Some(cache_model(env.cache_capacity, env.t_cache.as_secs_f64()));
+    model.measured = env.measured.iter().map(measured_model).collect();
     Ok(analyze(&model))
+}
+
+/// Lowers one cross-job store injection into the analyzer's IR for the
+/// `EF023` measured-stats checks.
+fn measured_model(m: &crate::statstore::MeasuredOp) -> MeasuredStatsModel {
+    MeasuredStatsModel {
+        operator: m.operator.clone(),
+        n1: m.stats.n1,
+        nik: m.stats.indices.iter().map(|i| i.nik).collect(),
+        indices: m
+            .stats
+            .indices
+            .iter()
+            .map(|s| IndexStatsModel {
+                sik_bytes: s.sik,
+                siv_bytes: s.siv,
+                tj_secs: s.tj_secs,
+                miss_ratio: s.miss_ratio,
+                theta: s.theta,
+                failure_rate: s.failure_rate,
+            })
+            .collect(),
+        full_est_secs: m.full_est_secs,
+        est_at_double_n1_secs: m.est_at_double_n1_secs,
+    }
 }
 
 /// Runs the full check set — structural plus the statistics-dependent
@@ -285,6 +313,7 @@ pub fn analyze_costs(
         integrity: None,
         chaos: None,
         cache: None,
+        measured: Vec::new(),
     })
 }
 
@@ -679,6 +708,7 @@ mod tests {
             dfs_replication: 3,
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
+            measured: Vec::new(),
         }
     }
 

@@ -70,6 +70,12 @@ pub struct RuntimeEnv {
     /// Node count of the simulated cluster the job runs on, paired with
     /// `chaos` for the survivability check.
     pub cluster_nodes: usize,
+    /// Measured-stats injections from the cross-job store: operators whose
+    /// plans were built from recorded history instead of catalog
+    /// estimates, with the EF023 probe costs attached. Empty whenever no
+    /// store matched — the analyzer then runs exactly the pre-store
+    /// check set.
+    pub measured: Vec<crate::statstore::MeasuredOp>,
 }
 
 impl RuntimeEnv {
@@ -933,6 +939,7 @@ mod tests {
             dfs_replication: 2,
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
+            measured: Vec::new(),
         }
     }
 

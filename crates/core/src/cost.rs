@@ -163,6 +163,50 @@ impl OperatorStatsEstimate {
                 .map(|&j| self.indices[j].result_growth())
                 .sum::<f64>()
     }
+
+    /// Deterministic element-wise mean over several runs' estimates — the
+    /// aggregate the cross-job statistics store serves to the planner.
+    /// Numeric tokens average in slice order; `theta` keeps its `≥ 1`
+    /// floor and the ratio tokens their legal ranges, so a mean of legal
+    /// estimates is itself legal (EF023 relies on this). Structural fields
+    /// are not statistical: partition scheme and partition count follow
+    /// the most recent run, and shuffleability is the conjunction (one
+    /// irregular run disqualifies the shuffle strategies). Returns `None`
+    /// when `runs` is empty or the index arities disagree.
+    pub fn mean_of(runs: &[&OperatorStatsEstimate]) -> Option<OperatorStatsEstimate> {
+        let last = *runs.last()?;
+        let arity = last.indices.len();
+        if runs.iter().any(|r| r.indices.len() != arity) {
+            return None;
+        }
+        let n = runs.len() as f64;
+        let mean =
+            |f: &dyn Fn(&OperatorStatsEstimate) -> f64| runs.iter().map(|r| f(r)).sum::<f64>() / n;
+        let mut indices = Vec::with_capacity(arity);
+        for j in 0..arity {
+            let imean = |f: &dyn Fn(&IndexStatsEstimate) -> f64| mean(&|r| f(&r.indices[j]));
+            indices.push(IndexStatsEstimate {
+                nik: imean(&|i| i.nik),
+                sik: imean(&|i| i.sik),
+                siv: imean(&|i| i.siv),
+                tj_secs: imean(&|i| i.tj_secs),
+                miss_ratio: imean(&|i| i.miss_ratio).clamp(0.0, 1.0),
+                theta: imean(&|i| i.theta).max(1.0),
+                has_partition_scheme: last.indices[j].has_partition_scheme,
+                shuffleable: runs.iter().all(|r| r.indices[j].shuffleable),
+                partitions: last.indices[j].partitions,
+                failure_rate: imean(&|i| i.failure_rate).clamp(0.0, 1.0),
+            });
+        }
+        Some(OperatorStatsEstimate {
+            n1: mean(&|r| r.n1),
+            s1: mean(&|r| r.s1),
+            spre: mean(&|r| r.spre),
+            spost: mean(&|r| r.spost),
+            smap: mean(&|r| r.smap),
+            indices,
+        })
+    }
 }
 
 /// Eq. 1 — baseline: every key pays a remote lookup (inflated by the

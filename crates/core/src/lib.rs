@@ -72,6 +72,7 @@ pub mod jobconf;
 pub mod operator;
 pub mod plan;
 pub mod runtime;
+pub mod statstore;
 pub mod statsx;
 
 pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, LookupResult, PartitionScheme};
@@ -82,6 +83,10 @@ pub use efind_common::KeyKind;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, MissPolicy, RetryPolicy};
 pub use jobconf::{BoundOperator, IndexJobConf};
 pub use operator::{operator_fn, IndexInput, IndexOperator, IndexOutput};
-pub use plan::{Enumeration, OperatorPlan, Strategy};
+pub use plan::{forced_plan, Enumeration, OperatorPlan, Strategy};
 pub use runtime::{EFindConfig, EFindJobResult, EFindRuntime, Mode};
+pub use statstore::{
+    fingerprint_operator, fingerprint_plan, Fingerprint, LoadStatus, MeasuredOp, RunRecord,
+    StatStore,
+};
 pub use statsx::Catalog;

@@ -1,6 +1,8 @@
 //! The EFind runtime (Fig. 8): plan selection, plan implementation, and
 //! execution of enhanced jobs.
 
+use std::path::Path;
+
 use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime};
 use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
@@ -11,7 +13,10 @@ use crate::cost::CostEnv;
 use crate::fault::FaultConfig;
 use crate::jobconf::IndexJobConf;
 use crate::plan::{forced_plan, optimize_operator, Enumeration, OperatorPlan, Strategy};
-use crate::statsx::Catalog;
+use crate::statstore::{
+    fingerprint_operator, fingerprint_plan, LoadStatus, MeasuredOp, StatStore, DEFAULT_HISTORY,
+};
+use crate::statsx::{extract_operator_stats, Catalog};
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -184,6 +189,21 @@ pub struct EFindRuntime<'a> {
     pub config: EFindConfig,
     /// Statistics catalog persisted across jobs.
     pub catalog: Catalog,
+    /// Cross-job re-optimization store (`None` = disabled). When attached,
+    /// job-boundary observations are recorded per operator fingerprint and
+    /// `Mode::Optimized` (plus the adaptive warm start) prefers measured
+    /// history over catalog estimates.
+    pub store: Option<StatStore>,
+    /// Store-load anomalies pending surfacing as counters on the next run.
+    store_events: StoreEvents,
+}
+
+/// Pending store-load anomalies, drained into the next job's counters so
+/// an empty or clean store contributes nothing to the observables.
+#[derive(Clone, Copy, Debug, Default)]
+struct StoreEvents {
+    corrupt: u64,
+    version_mismatch: u64,
 }
 
 impl<'a> EFindRuntime<'a> {
@@ -199,6 +219,38 @@ impl<'a> EFindRuntime<'a> {
             dfs,
             config,
             catalog: Catalog::new(),
+            store: None,
+            store_events: StoreEvents::default(),
+        }
+    }
+
+    /// Attaches an in-memory re-optimization store.
+    pub fn attach_store(&mut self, store: StatStore) {
+        self.store = Some(store);
+    }
+
+    /// Loads and attaches a re-optimization store from `path` (job-boundary
+    /// I/O). A missing file attaches an empty store; a corrupt or
+    /// version-bumped file attaches an empty store and arms the
+    /// `efind.statstore.corrupt` / `efind.statstore.version.mismatch`
+    /// counter for the next run. Never panics, never fails the job.
+    pub fn attach_store_file(&mut self, path: &Path) -> LoadStatus {
+        let (store, status) = StatStore::load(path, DEFAULT_HISTORY);
+        match status {
+            LoadStatus::Corrupt => self.store_events.corrupt += 1,
+            LoadStatus::VersionMismatch => self.store_events.version_mismatch += 1,
+            LoadStatus::Created | LoadStatus::Loaded => {}
+        }
+        self.store = Some(store);
+        status
+    }
+
+    /// Writes the attached store to `path` (job-boundary I/O). A runtime
+    /// without a store writes nothing.
+    pub fn save_store(&self, path: &Path) -> std::io::Result<()> {
+        match &self.store {
+            Some(store) => store.save(path),
+            None => Ok(()),
         }
     }
 
@@ -245,6 +297,7 @@ impl<'a> EFindRuntime<'a> {
             dfs_replication: self.dfs.config().replication,
             chaos: self.config.chaos.clone(),
             cluster_nodes: self.cluster.num_nodes() as usize,
+            measured: Vec::new(),
         }
     }
 
@@ -255,7 +308,38 @@ impl<'a> EFindRuntime<'a> {
         ijob: &IndexJobConf,
         mode: &Mode,
     ) -> Result<FxHashMap<String, OperatorPlan>> {
+        Ok(self.plans_and_measured_for(ijob, mode)?.0)
+    }
+
+    /// The measured-stats history for one bound operator, if the attached
+    /// store has a matching fingerprint whose arity fits the binding.
+    pub fn measured_for(
+        &self,
+        bound: &crate::jobconf::BoundOperator,
+        placement: crate::cost::Placement,
+    ) -> Option<(
+        crate::statstore::Fingerprint,
+        crate::cost::OperatorStatsEstimate,
+    )> {
+        let shape = fingerprint_operator(bound, placement);
+        let stats = self
+            .store
+            .as_ref()?
+            .measured(shape)
+            .filter(|m| m.indices.len() == bound.indices.len())?;
+        Some((shape, stats))
+    }
+
+    /// [`plans_for`](Self::plans_for) plus the [`MeasuredOp`] injections
+    /// describing which operators were planned from store history instead
+    /// of catalog estimates (threaded to the analyzer's EF023 check).
+    pub(crate) fn plans_and_measured_for(
+        &self,
+        ijob: &IndexJobConf,
+        mode: &Mode,
+    ) -> Result<(FxHashMap<String, OperatorPlan>, Vec<MeasuredOp>)> {
         let mut plans = FxHashMap::default();
+        let mut measured = Vec::new();
         match mode {
             Mode::Uniform(strategy) => {
                 for (bound, _) in ijob.operators() {
@@ -278,21 +362,33 @@ impl<'a> EFindRuntime<'a> {
                 let env = self.cost_env();
                 for (bound, placement) in ijob.operators() {
                     let name = bound.op.name();
-                    let mut stats = self
-                        .catalog
-                        .get(name)
-                        .ok_or_else(|| {
-                            Error::InvalidConfig(format!(
-                                "no catalog statistics for operator {name}; run the job once \
-                                 (any mode) or use Mode::Dynamic"
-                            ))
-                        })?
-                        .clone();
+                    // The cross-job store outranks the catalog: a matching
+                    // fingerprint means these exact shapes were measured on
+                    // a previous run.
+                    let from_store = self.measured_for(bound, placement);
+                    let mut stats = match &from_store {
+                        Some((_, stats)) => stats.clone(),
+                        None => self
+                            .catalog
+                            .get(name)
+                            .ok_or_else(|| {
+                                Error::InvalidConfig(format!(
+                                    "no catalog statistics for operator {name}; run the job once \
+                                     (any mode) or use Mode::Dynamic"
+                                ))
+                            })?
+                            .clone(),
+                    };
                     // Partition-scheme availability is structural, not
                     // statistical — refresh it from the bound accessors.
                     for (j, (_, scheme)) in bound.caps().iter().enumerate() {
                         if let Some(idx) = stats.indices.get_mut(j) {
                             idx.has_partition_scheme = *scheme;
+                        }
+                    }
+                    if let Some((shape, _)) = from_store {
+                        if !bound.volatile {
+                            measured.push(MeasuredOp::probe(name, shape, &stats, &env, placement));
                         }
                     }
                     plans.insert(
@@ -323,19 +419,37 @@ impl<'a> EFindRuntime<'a> {
             plans.values().all(crate::analysis::respects_property4),
             "planner produced a Property 4 violation (shuffle after non-shuffle)"
         );
-        Ok(plans)
+        Ok((plans, measured))
     }
 
     /// Runs an enhanced job.
     pub fn run(&mut self, ijob: &IndexJobConf, mode: Mode) -> Result<EFindJobResult> {
         ijob.validate()?;
-        match mode {
-            Mode::Dynamic => crate::adaptive::run_dynamic(self, ijob),
+        let mut res = match mode {
+            Mode::Dynamic => crate::adaptive::run_dynamic(self, ijob)?,
             other => {
-                let plans = self.plans_for(ijob, &other)?;
-                self.run_with_plans(ijob, plans, false)
+                let (plans, measured) = self.plans_and_measured_for(ijob, &other)?;
+                self.run_with_plans_measured(ijob, plans, false, measured)?
+            }
+        };
+        // Surface pending store-load anomalies as counters on the first
+        // constituent job. A clean, empty, or absent store arms nothing,
+        // so the quiet path's observables stay byte-identical to a build
+        // without the store.
+        let events = std::mem::take(&mut self.store_events);
+        if let Some(job) = res.jobs.first_mut() {
+            if events.corrupt > 0 {
+                job.counters
+                    .add("efind.statstore.corrupt", events.corrupt as i64);
+            }
+            if events.version_mismatch > 0 {
+                job.counters.add(
+                    "efind.statstore.version.mismatch",
+                    events.version_mismatch as i64,
+                );
             }
         }
+        Ok(res)
     }
 
     /// Compiles and executes the pipeline for fixed plans.
@@ -345,7 +459,21 @@ impl<'a> EFindRuntime<'a> {
         plans: FxHashMap<String, OperatorPlan>,
         replanned: bool,
     ) -> Result<EFindJobResult> {
-        let compiled = compile_pipeline(ijob, &plans, &self.runtime_env())?;
+        self.run_with_plans_measured(ijob, plans, replanned, Vec::new())
+    }
+
+    /// [`run_with_plans`](Self::run_with_plans) with the measured-stats
+    /// injections threaded to the analyzer (EF023).
+    pub(crate) fn run_with_plans_measured(
+        &mut self,
+        ijob: &IndexJobConf,
+        plans: FxHashMap<String, OperatorPlan>,
+        replanned: bool,
+        measured: Vec<MeasuredOp>,
+    ) -> Result<EFindJobResult> {
+        let mut env = self.runtime_env();
+        env.measured = measured;
+        let compiled = compile_pipeline(ijob, &plans, &env)?;
         for warning in compiled.analysis.warnings() {
             eprintln!("efind: {warning}");
         }
@@ -360,7 +488,7 @@ impl<'a> EFindRuntime<'a> {
             jobs.push(res.stats);
             output = Some(res.output);
         }
-        self.absorb_stats(ijob, &jobs);
+        self.absorb_stats(ijob, &jobs, &plans);
         if !self.config.keep_intermediates {
             for tmp in &compiled.temp_files {
                 self.dfs.delete(tmp);
@@ -377,16 +505,44 @@ impl<'a> EFindRuntime<'a> {
         })
     }
 
-    /// Harvests operator statistics from executed jobs into the catalog.
-    pub(crate) fn absorb_stats(&mut self, ijob: &IndexJobConf, jobs: &[JobStats]) {
-        let mut counters = Counters::new();
-        let mut sketches = Sketches::new();
-        for j in jobs {
-            counters.merge(&j.counters);
-            sketches.merge(&j.sketches);
+    /// Harvests operator statistics from executed jobs into the catalog
+    /// and, when a store is attached, into the per-fingerprint history.
+    pub(crate) fn absorb_stats(
+        &mut self,
+        ijob: &IndexJobConf,
+        jobs: &[JobStats],
+        plans: &FxHashMap<String, OperatorPlan>,
+    ) {
+        let (counters, sketches) = JobStats::merged(jobs);
+        self.record_observations(ijob, &counters, &sketches, plans);
+    }
+
+    /// Job-boundary statistics sink: feeds the catalog, then appends one
+    /// [`crate::statstore::RunRecord`] per observed operator to the
+    /// attached store, keyed by shape fingerprint and tagged with the
+    /// fingerprint of the plan that actually executed.
+    pub(crate) fn record_observations(
+        &mut self,
+        ijob: &IndexJobConf,
+        counters: &Counters,
+        sketches: &Sketches,
+        plans: &FxHashMap<String, OperatorPlan>,
+    ) {
+        self.catalog.absorb(counters, sketches, &ijob.descriptors());
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        for (bound, placement) in ijob.operators() {
+            let name = bound.op.name();
+            if let Some(stats) = extract_operator_stats(counters, sketches, &bound.descriptor()) {
+                let shape = fingerprint_operator(bound, placement);
+                let plan_fp = plans
+                    .get(name)
+                    .map(|p| fingerprint_plan(shape, p))
+                    .unwrap_or(0);
+                store.record(shape, plan_fp, stats);
+            }
         }
-        self.catalog
-            .absorb(&counters, &sketches, &ijob.descriptors());
     }
 }
 

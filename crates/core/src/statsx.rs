@@ -184,6 +184,121 @@ pub fn variance_ok(tasks: &[&TaskStats], desc: &OpDescriptor, threshold: f64) ->
     true
 }
 
+/// Shared `key=value` token vocabulary for the line-oriented statistics
+/// formats: the catalog ("efind-catalog v1") and the cross-job statistics
+/// store ("efind-statstore v1") serialize [`OperatorStatsEstimate`]s with
+/// the same tokens, so the two files stay mutually readable by eye and by
+/// one pair of parsers.
+pub(crate) mod tokens {
+    use crate::cost::{IndexStatsEstimate, OperatorStatsEstimate};
+
+    /// Parses one `key=value` token when `key` matches.
+    pub fn kv<T: std::str::FromStr>(tok: &str, key: &str) -> Option<T> {
+        tok.strip_prefix(key)
+            .and_then(|s| s.strip_prefix('='))
+            .and_then(|s| s.parse().ok())
+    }
+
+    /// Operator-level tokens (`n1= s1= spre= spost= smap=`).
+    pub fn op_line(op: &OperatorStatsEstimate) -> String {
+        format!(
+            "n1={} s1={} spre={} spost={} smap={}",
+            op.n1, op.s1, op.spre, op.spost, op.smap
+        )
+    }
+
+    /// Per-index tokens (`nik= sik= … fail=`).
+    pub fn idx_line(idx: &IndexStatsEstimate) -> String {
+        format!(
+            "nik={} sik={} siv={} tj={} miss={} theta={} scheme={} shuffleable={} partitions={} fail={}",
+            idx.nik,
+            idx.sik,
+            idx.siv,
+            idx.tj_secs,
+            idx.miss_ratio,
+            idx.theta,
+            idx.has_partition_scheme,
+            idx.shuffleable,
+            idx.partitions,
+            idx.failure_rate,
+        )
+    }
+
+    /// A zeroed operator estimate for the parsers to fill.
+    pub fn blank_op() -> OperatorStatsEstimate {
+        OperatorStatsEstimate {
+            n1: 0.0,
+            s1: 0.0,
+            spre: 0.0,
+            spost: 0.0,
+            smap: 0.0,
+            indices: Vec::new(),
+        }
+    }
+
+    /// A default index estimate for the parsers to fill.
+    pub fn blank_idx() -> IndexStatsEstimate {
+        IndexStatsEstimate {
+            nik: 0.0,
+            sik: 0.0,
+            siv: 0.0,
+            tj_secs: 0.0,
+            miss_ratio: 1.0,
+            theta: 1.0,
+            has_partition_scheme: false,
+            shuffleable: true,
+            partitions: 0,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// Applies one operator-level token; `false` = unknown key.
+    pub fn apply_op(op: &mut OperatorStatsEstimate, tok: &str) -> bool {
+        if let Some(v) = kv(tok, "n1") {
+            op.n1 = v;
+        } else if let Some(v) = kv(tok, "s1") {
+            op.s1 = v;
+        } else if let Some(v) = kv(tok, "spre") {
+            op.spre = v;
+        } else if let Some(v) = kv(tok, "spost") {
+            op.spost = v;
+        } else if let Some(v) = kv(tok, "smap") {
+            op.smap = v;
+        } else {
+            return false;
+        }
+        true
+    }
+
+    /// Applies one per-index token; `false` = unknown key.
+    pub fn apply_idx(idx: &mut IndexStatsEstimate, tok: &str) -> bool {
+        if let Some(v) = kv(tok, "nik") {
+            idx.nik = v;
+        } else if let Some(v) = kv(tok, "sik") {
+            idx.sik = v;
+        } else if let Some(v) = kv(tok, "siv") {
+            idx.siv = v;
+        } else if let Some(v) = kv(tok, "tj") {
+            idx.tj_secs = v;
+        } else if let Some(v) = kv(tok, "miss") {
+            idx.miss_ratio = v;
+        } else if let Some(v) = kv(tok, "theta") {
+            idx.theta = v;
+        } else if let Some(v) = kv(tok, "scheme") {
+            idx.has_partition_scheme = v;
+        } else if let Some(v) = kv(tok, "shuffleable") {
+            idx.shuffleable = v;
+        } else if let Some(v) = kv(tok, "partitions") {
+            idx.partitions = v;
+        } else if let Some(v) = kv(tok, "fail") {
+            idx.failure_rate = v;
+        } else {
+            return false;
+        }
+        true
+    }
+}
+
 /// The statistics catalog (Fig. 8): operator statistics persisted across
 /// jobs, keyed by operator name.
 #[derive(Default)]
@@ -230,26 +345,9 @@ impl Catalog {
         use std::fmt::Write as _;
         let mut s = String::from("efind-catalog v1\n");
         for (name, op) in &self.ops {
-            let _ = writeln!(
-                s,
-                "op {name} n1={} s1={} spre={} spost={} smap={}",
-                op.n1, op.s1, op.spre, op.spost, op.smap
-            );
+            let _ = writeln!(s, "op {name} {}", tokens::op_line(op));
             for idx in &op.indices {
-                let _ = writeln!(
-                    s,
-                    "  idx nik={} sik={} siv={} tj={} miss={} theta={} scheme={} shuffleable={} partitions={} fail={}",
-                    idx.nik,
-                    idx.sik,
-                    idx.siv,
-                    idx.tj_secs,
-                    idx.miss_ratio,
-                    idx.theta,
-                    idx.has_partition_scheme,
-                    idx.shuffleable,
-                    idx.partitions,
-                    idx.failure_rate,
-                );
+                let _ = writeln!(s, "  idx {}", tokens::idx_line(idx));
             }
         }
         s
@@ -264,11 +362,6 @@ impl Catalog {
             Some("efind-catalog v1") => {}
             other => return Err(Error::Decode(format!("catalog: bad header {other:?}"))),
         }
-        fn kv<T: std::str::FromStr>(tok: &str, key: &str) -> Option<T> {
-            tok.strip_prefix(key)
-                .and_then(|s| s.strip_prefix('='))
-                .and_then(|s| s.parse().ok())
-        }
         let mut catalog = Catalog::new();
         let mut current: Option<(String, OperatorStatsEstimate)> = None;
         for line in lines {
@@ -282,66 +375,18 @@ impl Catalog {
                 }
                 let mut toks = rest.split_whitespace();
                 let name = toks.next().ok_or_else(|| parse_err(line))?.to_owned();
-                let mut op = OperatorStatsEstimate {
-                    n1: 0.0,
-                    s1: 0.0,
-                    spre: 0.0,
-                    spost: 0.0,
-                    smap: 0.0,
-                    indices: Vec::new(),
-                };
+                let mut op = tokens::blank_op();
                 for tok in toks {
-                    if let Some(v) = kv(tok, "n1") {
-                        op.n1 = v;
-                    } else if let Some(v) = kv(tok, "s1") {
-                        op.s1 = v;
-                    } else if let Some(v) = kv(tok, "spre") {
-                        op.spre = v;
-                    } else if let Some(v) = kv(tok, "spost") {
-                        op.spost = v;
-                    } else if let Some(v) = kv(tok, "smap") {
-                        op.smap = v;
-                    } else {
+                    if !tokens::apply_op(&mut op, tok) {
                         return Err(parse_err(line));
                     }
                 }
                 current = Some((name, op));
             } else if let Some(rest) = trimmed.strip_prefix("idx ") {
                 let (_, op) = current.as_mut().ok_or_else(|| parse_err(line))?;
-                let mut idx = IndexStatsEstimate {
-                    nik: 0.0,
-                    sik: 0.0,
-                    siv: 0.0,
-                    tj_secs: 0.0,
-                    miss_ratio: 1.0,
-                    theta: 1.0,
-                    has_partition_scheme: false,
-                    shuffleable: true,
-                    partitions: 0,
-                    failure_rate: 0.0,
-                };
+                let mut idx = tokens::blank_idx();
                 for tok in rest.split_whitespace() {
-                    if let Some(v) = kv(tok, "nik") {
-                        idx.nik = v;
-                    } else if let Some(v) = kv(tok, "sik") {
-                        idx.sik = v;
-                    } else if let Some(v) = kv(tok, "siv") {
-                        idx.siv = v;
-                    } else if let Some(v) = kv(tok, "tj") {
-                        idx.tj_secs = v;
-                    } else if let Some(v) = kv(tok, "miss") {
-                        idx.miss_ratio = v;
-                    } else if let Some(v) = kv(tok, "theta") {
-                        idx.theta = v;
-                    } else if let Some(v) = kv(tok, "scheme") {
-                        idx.has_partition_scheme = v;
-                    } else if let Some(v) = kv(tok, "shuffleable") {
-                        idx.shuffleable = v;
-                    } else if let Some(v) = kv(tok, "partitions") {
-                        idx.partitions = v;
-                    } else if let Some(v) = kv(tok, "fail") {
-                        idx.failure_rate = v;
-                    } else {
+                    if !tokens::apply_idx(&mut idx, tok) {
                         return Err(parse_err(line));
                     }
                 }

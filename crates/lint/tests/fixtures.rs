@@ -83,6 +83,19 @@ fn run_binary(variant: &str, json: bool) -> (i32, String) {
 }
 
 #[test]
+fn clean_statstore_idiom_has_no_findings() {
+    // The cross-job statstore pattern — job-boundary file I/O, ordered
+    // iteration, registered counters, arithmetic-only hot loops — must be
+    // invisible to every rule, L001 and L007 in particular.
+    let report = scan_one("clean", "crates/core/src/statstore_io.rs");
+    assert!(
+        report.findings.is_empty(),
+        "statstore idiom must be lint-clean:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
 fn binary_fails_on_bad_corpus() {
     let (code, stdout) = run_binary("bad", false);
     assert_eq!(code, 1, "bad corpus must exit 1:\n{stdout}");

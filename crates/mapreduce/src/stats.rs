@@ -106,6 +106,19 @@ impl JobStats {
     pub fn makespan(&self) -> SimDuration {
         self.finished.since(self.started)
     }
+
+    /// Merges the counters and sketches of several executed jobs into one
+    /// view — the job-boundary aggregation both the statistics catalog
+    /// and the cross-job re-optimization store consume.
+    pub fn merged(jobs: &[JobStats]) -> (Counters, Sketches) {
+        let mut counters = Counters::new();
+        let mut sketches = Sketches::new();
+        for j in jobs {
+            counters.merge(&j.counters);
+            sketches.merge(&j.sketches);
+        }
+        (counters, sketches)
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,14 @@ echo "== data integrity (pinned seed matrix) =="
 EFIND_CORRUPT_SEEDS="${EFIND_CORRUPT_SEEDS:-0xEF1D0004,0xC0FFEE01,53}" \
     cargo test -q --release --test integrity
 
+echo "== cross-job re-optimization (persistent stats store) =="
+# Deterministic re-optimization sweep: a warm store must plan the
+# measured winner at compile time with zero mid-job replans and
+# bit-identical observables across double runs; empty, absent, corrupt,
+# and version-bumped stores must be observably absent beyond their named
+# counters. Release mode: each case runs the full LOG workload.
+cargo test -q --release --test reopt_persistence --test reopt_props --test reopt_robustness
+
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
 
