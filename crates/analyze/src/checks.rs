@@ -3,7 +3,7 @@
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
 use crate::model::{
     CacheModel, FaultModel, IntegrityModel, MeasuredStatsModel, OperatorModel, PlanModel,
-    StrategyKind,
+    StrategyKind, TenancyModel,
 };
 
 use efind_common::FxHashSet;
@@ -47,6 +47,9 @@ pub fn analyze(model: &PlanModel) -> Report {
     check_quiet_plan_purity(model, &mut report);
     for m in &model.measured {
         check_measured_stats(model, m, &mut report);
+    }
+    if let Some(tenancy) = &model.tenancy {
+        check_tenancy_config(model, tenancy, &mut report);
     }
     report
 }
@@ -875,6 +878,252 @@ fn check_quiet_plan_purity(model: &PlanModel, report: &mut Report) {
     }
 }
 
+/// EF024: tenancy-config coherence. The multi-tenant scheduler is built
+/// to reject deterministically rather than hang, but a configuration with
+/// zero-slot quotas or degenerate weights rejects (or starves) *every*
+/// job by construction — that is a config error, not a scheduling
+/// outcome. Rate limits are softer: a bucket whose sustained rate plus
+/// burst cannot cover the job's expected lookup demand within its own
+/// estimated runtime likely starves the job it admits, so it warns.
+fn check_tenancy_config(model: &PlanModel, tenancy: &TenancyModel, report: &mut Report) {
+    let span = Span::job;
+    // Tenant table: names must be usable as counter segments and unique;
+    // quotas and weights must leave the tenant able to run something.
+    let mut seen = FxHashSet::default();
+    for t in &tenancy.tenants {
+        if t.name.is_empty() || t.name.contains('.') {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "tenant name {:?} is not a legal counter segment \
+                         (must be non-empty and dot-free)",
+                        t.name
+                    ),
+                )
+                .with_hint("tenant names become `efind.tenant.<name>.*` counter segments"),
+            );
+        }
+        if !seen.insert(t.name.as_str()) {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!("duplicate tenant name {:?}", t.name),
+                )
+                .with_hint("each tenant must be declared exactly once"),
+            );
+        }
+        if t.weight == 0 {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "tenant {:?} has deficit weight 0: it accrues no credit \
+                         and can never win a grant",
+                        t.name
+                    ),
+                )
+                .with_hint("weights must be at least 1; starvation-freedom assumes it"),
+            );
+        }
+        if t.max_running == 0 {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "tenant {:?} has max_running = 0: admitted jobs can never start",
+                        t.name
+                    ),
+                )
+                .with_hint("a zero-slot running quota turns every admission into a hang risk"),
+            );
+        }
+        if t.max_queued == 0 {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "tenant {:?} has max_queued = 0: every submission is \
+                         quota-rejected at the door",
+                        t.name
+                    ),
+                )
+                .with_hint("give each tenant at least one queue slot, or remove the tenant"),
+            );
+        }
+        if t.cache_share.is_nan() || !(0.0..=1.0).contains(&t.cache_share) {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "tenant {:?} has cache share {} outside [0, 1]",
+                        t.name, t.cache_share
+                    ),
+                )
+                .with_hint("shares are fractions of the shared lookup-cache capacity"),
+            );
+        }
+    }
+    let share_sum: f64 = tenancy
+        .tenants
+        .iter()
+        .map(|t| t.cache_share.clamp(0.0, 1.0))
+        .sum();
+    if share_sum > 1.0 + EPS {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF024,
+                span(),
+                format!(
+                    "tenant cache shares sum to {share_sum:.3}: the shared cache \
+                     is oversubscribed and reservations cannot all be honored"
+                ),
+            )
+            .with_hint("keep the share sum at or below 1.0"),
+        );
+    }
+    // Global admission bounds: zero capacity rejects or stalls everything.
+    if tenancy.queue_capacity == 0 {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF024,
+                span(),
+                "admission queue capacity is 0: every submission that cannot start \
+                 immediately is rejected",
+            )
+            .with_hint("size the queue for the expected burst, or at least 1"),
+        );
+    }
+    if tenancy.max_concurrent == 0 {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF024,
+                span(),
+                "max_concurrent is 0: no job can ever be granted a slot",
+            )
+            .with_hint("allow at least one concurrent job"),
+        );
+    }
+    // Job tag: an unknown tenant is rejected at submit time — catch it
+    // at analysis time instead.
+    if let Some(job_tenant) = &tenancy.job_tenant {
+        if !tenancy.tenants.is_empty() && !tenancy.tenants.iter().any(|t| &t.name == job_tenant) {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "job is tagged with tenant {job_tenant:?}, which is not \
+                         declared in the tenancy configuration"
+                    ),
+                )
+                .with_hint("declare the tenant, or drop the job's tenant tag"),
+            );
+        }
+    }
+    // QoS knobs are virtual times; negative or NaN values are meaningless.
+    for (what, v) in [
+        ("degrade_threshold", tenancy.degrade_threshold_secs),
+        ("scan_fallback_cost", tenancy.scan_fallback_cost_secs),
+    ] {
+        if v.is_nan() || v < 0.0 {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!("QoS parameter {what} = {v} is negative or NaN"),
+                )
+                .with_hint("QoS thresholds are virtual durations; use finite non-negative values"),
+            );
+        }
+    }
+    // Rate limits: malformed buckets are errors; a well-formed bucket
+    // that cannot cover the job's expected lookup demand over its own
+    // estimated runtime is a starvation warning.
+    for rl in &tenancy.rate_limits {
+        if rl.rate_per_sec.is_nan() || rl.rate_per_sec < 0.0 || rl.burst.is_nan() || rl.burst < 0.0
+        {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "rate limit for index {:?} has negative or NaN parameters \
+                         (rate = {}, burst = {})",
+                        rl.index, rl.rate_per_sec, rl.burst
+                    ),
+                )
+                .with_hint("token-bucket rate and burst must be finite and non-negative"),
+            );
+            continue;
+        }
+        if rl.rate_per_sec == 0.0 && rl.burst == 0.0 {
+            report.push(
+                Diagnostic::error(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "rate limit for index {:?} has zero rate and zero burst: \
+                         no lookup can ever be charged",
+                        rl.index
+                    ),
+                )
+                .with_hint("give the bucket a positive rate or burst, or remove the limit"),
+            );
+            continue;
+        }
+        // Expected lookups against this index: Σ over operators of
+        // N1 × Nik for every bound accessor matching the limited name.
+        let mut demand = 0.0;
+        let mut runtime_secs = 0.0;
+        for op in &model.operators {
+            let Some(costs) = &op.costs else { continue };
+            runtime_secs += op.est_cost_secs.max(0.0);
+            for idx in &op.indices {
+                if idx.name == rl.index {
+                    if let Some(nik) = idx.nik {
+                        demand += costs.n1.max(0.0) * nik.max(0.0);
+                    }
+                }
+            }
+        }
+        if demand <= 0.0 {
+            continue;
+        }
+        let supply = if runtime_secs > 0.0 {
+            rl.rate_per_sec * runtime_secs + rl.burst
+        } else {
+            // No runtime estimate: only the burst is guaranteed without
+            // paying queueing delay.
+            rl.burst
+        };
+        if supply + EPS < demand {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF024,
+                    span(),
+                    format!(
+                        "rate limit for index {:?} supplies ~{supply:.0} lookups over \
+                         the job's estimated runtime but the plan expects ~{demand:.0}: \
+                         the job will spend most of its time throttled or degraded to scan",
+                        rl.index
+                    ),
+                )
+                .with_hint(
+                    "raise the rate or burst, or accept that this job is expected to \
+                     run degraded under contention",
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1505,6 +1754,138 @@ mod tests {
         let mut m = measured("a");
         m.est_at_double_n1_secs = 1.0;
         model.measured = vec![m];
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef024_benign_tenancy_is_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.tenancy = Some(crate::model::testutil::tenancy());
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef024_zero_slot_quotas_and_degenerate_weights_are_errors() {
+        type Mutate = fn(&mut crate::model::TenancyModel);
+        for mutate in [
+            (|t: &mut crate::model::TenancyModel| t.tenants[0].weight = 0) as Mutate,
+            |t| t.tenants[0].max_running = 0,
+            |t| t.tenants[1].max_queued = 0,
+            |t| t.queue_capacity = 0,
+            |t| t.max_concurrent = 0,
+            |t| t.tenants[0].name = String::new(),
+            |t| t.tenants[0].name = "alpha.prod".into(),
+            |t| t.tenants[1].name = "alpha".into(),
+            |t| t.tenants[0].cache_share = 1.5,
+            |t| t.tenants[0].cache_share = f64::NAN,
+            |t| t.degrade_threshold_secs = -1.0,
+            |t| t.scan_fallback_cost_secs = f64::NAN,
+            |t| t.job_tenant = Some("gamma".into()),
+        ] {
+            let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+            let mut tenancy = crate::model::testutil::tenancy();
+            mutate(&mut tenancy);
+            model.tenancy = Some(tenancy);
+            let report = analyze(&model);
+            assert!(report.has_code(DiagCode::EF024), "{}", report.to_text());
+            assert!(report.has_errors(), "{}", report.to_text());
+        }
+    }
+
+    #[test]
+    fn ef024_oversubscribed_cache_shares_warn() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut tenancy = crate::model::testutil::tenancy();
+        tenancy.tenants[0].cache_share = 0.8;
+        tenancy.tenants[1].cache_share = 0.7;
+        model.tenancy = Some(tenancy);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF024), "{}", report.to_text());
+        assert!(
+            !report.has_errors(),
+            "oversubscription degrades, not breaks"
+        );
+    }
+
+    #[test]
+    fn ef024_malformed_rate_limits_are_errors() {
+        type Mutate = fn(&mut crate::model::RateLimitModel);
+        for mutate in [
+            (|rl: &mut crate::model::RateLimitModel| rl.rate_per_sec = -1.0) as Mutate,
+            |rl| rl.rate_per_sec = f64::NAN,
+            |rl| rl.burst = -2.0,
+            |rl| {
+                rl.rate_per_sec = 0.0;
+                rl.burst = 0.0;
+            },
+        ] {
+            let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+            let mut tenancy = crate::model::testutil::tenancy();
+            let mut rl = crate::model::RateLimitModel {
+                index: "idx".into(),
+                rate_per_sec: 100.0,
+                burst: 10.0,
+            };
+            mutate(&mut rl);
+            tenancy.rate_limits.push(rl);
+            model.tenancy = Some(tenancy);
+            let report = analyze(&model);
+            assert!(report.has_code(DiagCode::EF024), "{}", report.to_text());
+            assert!(report.has_errors(), "{}", report.to_text());
+        }
+    }
+
+    #[test]
+    fn ef024_rate_limit_below_expected_demand_warns() {
+        // 1000 input records × 2 lookups/record = 2000 expected lookups
+        // against `idx`, but the bucket supplies 10/s × 1s + 10 = 20.
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].nik = Some(2.0);
+        op.choices[0].est_cost_secs = 5.0e-3; // above the EF010 probe floor
+        op.est_cost_secs = 1.0;
+        op.costs = Some(costs());
+        let mut model = job(vec![op]);
+        let mut tenancy = crate::model::testutil::tenancy();
+        tenancy.rate_limits.push(crate::model::RateLimitModel {
+            index: "idx".into(),
+            rate_per_sec: 10.0,
+            burst: 10.0,
+        });
+        model.tenancy = Some(tenancy);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF024), "{}", report.to_text());
+        assert!(
+            !report.has_errors(),
+            "underprovisioning degrades, not breaks"
+        );
+
+        // A bucket that covers the demand is clean.
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].nik = Some(2.0);
+        op.choices[0].est_cost_secs = 5.0e-3;
+        op.est_cost_secs = 1.0;
+        op.costs = Some(costs());
+        let mut model = job(vec![op]);
+        let mut tenancy = crate::model::testutil::tenancy();
+        tenancy.rate_limits.push(crate::model::RateLimitModel {
+            index: "idx".into(),
+            rate_per_sec: 5000.0,
+            burst: 100.0,
+        });
+        model.tenancy = Some(tenancy);
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+
+        // A limit on an index the plan never touches says nothing.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut tenancy = crate::model::testutil::tenancy();
+        tenancy.rate_limits.push(crate::model::RateLimitModel {
+            index: "other".into(),
+            rate_per_sec: 0.001,
+            burst: 0.0,
+        });
+        model.tenancy = Some(tenancy);
         assert!(analyze(&model).is_clean());
     }
 }

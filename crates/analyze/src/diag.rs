@@ -78,6 +78,14 @@ pub enum DiagCode {
     /// `N1` doubles. A store entry that fails here would poison every
     /// warm-start plan built from it.
     EF023,
+    /// Tenancy-config incoherence: a multi-tenant serving configuration
+    /// that cannot serve — zero-slot quotas (`max_running`/`max_queued`/
+    /// queue capacity/concurrency of 0), degenerate deficit weights
+    /// (weight 0 never wins a grant), malformed tenant names or cache
+    /// shares, a job tagged with an unknown tenant — or that likely
+    /// starves the job it admits (a rate limit below the job's expected
+    /// lookup demand; warning).
+    EF024,
 }
 
 impl DiagCode {
@@ -107,6 +115,7 @@ impl DiagCode {
             DiagCode::EF021 => "EF021",
             DiagCode::EF022 => "EF022",
             DiagCode::EF023 => "EF023",
+            DiagCode::EF024 => "EF024",
         }
     }
 }

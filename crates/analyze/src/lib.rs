@@ -19,5 +19,6 @@ pub use checks::analyze;
 pub use diag::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use model::{
     CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel, IntegrityModel,
-    MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, StrategyKind,
+    MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, RateLimitModel,
+    StrategyKind, TenancyModel, TenantModel,
 };

@@ -250,6 +250,54 @@ pub struct MeasuredStatsModel {
     pub est_at_double_n1_secs: f64,
 }
 
+/// One serving tenant of the multi-tenant cluster configuration.
+#[derive(Clone, Debug)]
+pub struct TenantModel {
+    /// Tenant name (a counter-name segment: non-empty, dot-free).
+    pub name: String,
+    /// Deficit-round-robin weight (0 = the tenant can never win a grant).
+    pub weight: u64,
+    /// Per-tenant queued-job quota.
+    pub max_queued: usize,
+    /// Per-tenant running-job quota (0 = admitted jobs can never start).
+    pub max_running: usize,
+    /// Reserved share of the shared lookup cache, in `[0, 1]`.
+    pub cache_share: f64,
+}
+
+/// One per-index rate limit of the multi-tenant configuration.
+#[derive(Clone, Debug)]
+pub struct RateLimitModel {
+    /// Index (accessor) name the token bucket throttles.
+    pub index: String,
+    /// Sustained refill rate in lookups per virtual second.
+    pub rate_per_sec: f64,
+    /// Burst capacity in lookups.
+    pub burst: f64,
+}
+
+/// The multi-tenant serving configuration, lowered only when the tenancy
+/// layer is armed (more than one tenant, or any quota/rate limit that can
+/// constrain a run). `EF024` checks its coherence; the quiet single-job
+/// path never lowers one.
+#[derive(Clone, Debug)]
+pub struct TenancyModel {
+    /// Declared tenants in configuration order.
+    pub tenants: Vec<TenantModel>,
+    /// Shared admission-queue bound.
+    pub queue_capacity: usize,
+    /// Cluster-wide concurrent-job bound.
+    pub max_concurrent: usize,
+    /// Per-index token-bucket rate limits.
+    pub rate_limits: Vec<RateLimitModel>,
+    /// QoS degrade threshold in seconds of queueing delay per lookup.
+    pub degrade_threshold_secs: f64,
+    /// Modeled per-lookup cost of the scan fallback, in seconds.
+    pub scan_fallback_cost_secs: f64,
+    /// The tenant this job claims to run as, when tagged.
+    pub job_tenant: Option<String>,
+}
+
 /// The whole job as the analyzer sees it.
 #[derive(Clone, Debug)]
 pub struct PlanModel {
@@ -270,6 +318,9 @@ pub struct PlanModel {
     /// Measured-stats injections from the cross-job store, when any
     /// operator was planned from recorded history (`EF023`).
     pub measured: Vec<MeasuredStatsModel>,
+    /// Multi-tenant serving configuration, when the tenancy layer is
+    /// armed (`EF024`).
+    pub tenancy: Option<TenancyModel>,
 }
 
 #[cfg(test)]
@@ -320,6 +371,7 @@ pub(crate) mod testutil {
             chaos: None,
             cache: None,
             measured: Vec::new(),
+            tenancy: None,
         }
     }
 
@@ -376,6 +428,34 @@ pub(crate) mod testutil {
         CacheModel {
             capacity: 1024,
             t_cache_secs: 1.0e-6,
+        }
+    }
+
+    /// A benign two-tenant serving configuration.
+    pub fn tenancy() -> TenancyModel {
+        TenancyModel {
+            tenants: vec![
+                TenantModel {
+                    name: "alpha".into(),
+                    weight: 2,
+                    max_queued: 8,
+                    max_running: 2,
+                    cache_share: 0.5,
+                },
+                TenantModel {
+                    name: "beta".into(),
+                    weight: 1,
+                    max_queued: 8,
+                    max_running: 2,
+                    cache_share: 0.25,
+                },
+            ],
+            queue_capacity: 16,
+            max_concurrent: 4,
+            rate_limits: Vec::new(),
+            degrade_threshold_secs: 1.0e-3,
+            scan_fallback_cost_secs: 2.0e-6,
+            job_tenant: Some("alpha".into()),
         }
     }
 }

@@ -11,6 +11,12 @@
 //! * `lookup_heavy` — the synthetic join under the cache strategy: one
 //!   index lookup per record through `ChargedLookup`, the per-lookup
 //!   counter/sketch path, and the lookup cache.
+//! * `scheduler_throughput` — 36 small jobs from three weighted tenants
+//!   through the armed multi-tenant executor: bounded admission,
+//!   deficit-weighted grants, token-bucket charging, ledger mirroring.
+//!
+//! `--tenants` additionally records (never gates) `tenant_mix_injected`,
+//! the contended serving mix with one tenant's chaos/corruption armed.
 //!
 //! Results append to `BENCH_hotpath.json` as one labeled run:
 //! `{workload, wall_ms, wall_ms_min, peak_rss_kb, lookups_per_s,
@@ -41,9 +47,10 @@ use std::time::Instant;
 
 use efind::{EFindConfig, EFindRuntime, Mode, Strategy};
 use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimTime};
+use efind_cluster::{IndexRateLimit, SimDuration, TenancyConfig, TenantSpec};
 use efind_common::{Datum, Record};
 use efind_dfs::{Dfs, DfsConfig};
-use efind_mapreduce::{mapper_fn, reducer_fn, run_job, JobConf, Runner};
+use efind_mapreduce::{mapper_fn, reducer_fn, run_job, run_tenant_mix, JobConf, Runner, TenantJob};
 use efind_workloads::scanjoin::{run_scan_join, run_scan_join_with};
 use efind_workloads::synthetic::{self, SyntheticConfig};
 use efind_workloads::tpch::{self, TpchConfig};
@@ -83,6 +90,7 @@ fn main() {
     let mut out_path = String::from("BENCH_hotpath.json");
     let mut check = false;
     let mut faults = false;
+    let mut tenants = false;
     let mut quiet_profile = false;
 
     let mut args = std::env::args().skip(1);
@@ -102,6 +110,7 @@ fn main() {
             "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--check" => check = true,
             "--faults" => faults = true,
+            "--tenants" => tenants = true,
             "--quiet-profile" => quiet_profile = true,
             other => usage(&format!("unknown argument {other}")),
         }
@@ -111,7 +120,7 @@ fn main() {
         std::process::exit(run_check(&out_path, quiet_profile));
     }
 
-    let run = measure_all(&label, iters.max(1), faults, quiet_profile);
+    let run = measure_all(&label, iters.max(1), faults, tenants, quiet_profile);
     print_table(&run);
     let mut runs = parse_runs(&std::fs::read_to_string(&out_path).unwrap_or_default());
     runs.push(run);
@@ -127,7 +136,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("hotpath: {msg}");
     eprintln!(
         "usage: hotpath [--label NAME] [--iters N] [--out PATH] [--check] [--faults] \
-         [--quiet-profile]"
+         [--tenants] [--quiet-profile]"
     );
     std::process::exit(2)
 }
@@ -136,11 +145,22 @@ fn usage(msg: &str) -> ! {
 // Measurement
 // ---------------------------------------------------------------------
 
-fn measure_all(label: &str, iters: usize, faults: bool, quiet_profile: bool) -> BenchRun {
+fn measure_all(
+    label: &str,
+    iters: usize,
+    faults: bool,
+    tenants: bool,
+    quiet_profile: bool,
+) -> BenchRun {
     let mut results = vec![
         measure("wordcount", iters, || bench_wordcount(quiet_profile)),
         measure("scanjoin", iters, bench_scanjoin(quiet_profile)),
         measure("lookup_heavy", iters, || bench_lookup_heavy(quiet_profile)),
+        measure(
+            "scheduler_throughput",
+            iters,
+            bench_scheduler_throughput(quiet_profile),
+        ),
     ];
     if faults {
         // Recorded only, never gated: `run_check` skips workloads absent
@@ -161,6 +181,16 @@ fn measure_all(label: &str, iters: usize, faults: bool, quiet_profile: bool) -> 
             "lookup_heavy_corrupt",
             iters,
             bench_lookup_heavy_corrupt,
+        ));
+    }
+    if tenants {
+        // Recorded only, never gated: one tenant of the mix carries armed
+        // chaos + corruption and a saturating index demand, so the wall
+        // clock is dominated by recovery-path variance.
+        results.push(measure(
+            "tenant_mix_injected",
+            iters,
+            bench_tenant_mix_injected(),
         ));
     }
     BenchRun {
@@ -382,6 +412,176 @@ fn bench_lookup_heavy_corrupt() -> (u64, f64) {
     )
 }
 
+/// Multi-tenant scheduler throughput: 36 small wordcount jobs from three
+/// weighted tenants pushed through the armed `run_tenant_mix` executor —
+/// bounded admission, deficit-weighted grants, per-index token-bucket
+/// charging, and the ledger/counter mirror. `lookups_per_s` reports
+/// schedule-log decisions per wall-clock second. Part of the gated base
+/// set: the admission/grant machinery is a real-time hot path once mixes
+/// reach hundreds of jobs. Under `--quiet-profile` every job additionally
+/// carries seeded-but-quiet chaos and corruption plans.
+fn bench_scheduler_throughput(quiet_profile: bool) -> impl FnMut() -> (u64, f64) {
+    const VOCAB: [&str; 8] = [
+        "the", "quick", "fox", "jumps", "over", "lazy", "dog", "pack",
+    ];
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build();
+    let records: Vec<Record> = (0..400usize)
+        .map(|i| Record::new(i as i64, VOCAB[(i * 7) % VOCAB.len()]))
+        .collect();
+    move || {
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 1 << 12,
+                replication: 2,
+                seed: 9,
+            },
+        );
+        dfs.write_file("input", records.clone());
+        let cfg = TenancyConfig::none()
+            .tenant(
+                TenantSpec::new("alpha")
+                    .weight(3)
+                    .max_queued(24)
+                    .max_running(2),
+            )
+            .tenant(
+                TenantSpec::new("beta")
+                    .weight(2)
+                    .max_queued(24)
+                    .max_running(2),
+            )
+            .tenant(
+                TenantSpec::new("gamma")
+                    .weight(1)
+                    .max_queued(24)
+                    .max_running(2),
+            )
+            .queue_capacity(64)
+            .max_concurrent(2)
+            .rate_limit(IndexRateLimit::new("idx", 50_000.0, 1_000.0))
+            .degrade_threshold(SimDuration::from_millis(5));
+        let tenants = ["alpha", "beta", "gamma"];
+        let jobs: Vec<TenantJob> = (0..36usize)
+            .map(|i| {
+                let conf = JobConf::new(format!("j{i}"), "input", format!("j{i}.out"))
+                    .add_mapper(mapper_fn(|rec, out, _| {
+                        out.collect(Record::new(rec.value.clone(), 1i64));
+                    }))
+                    .with_reducer(
+                        reducer_fn(|key, values, out, _| {
+                            let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                            out.collect(Record::new(key, total));
+                        }),
+                        2,
+                    );
+                let mut job = TenantJob::new(
+                    tenants[i % tenants.len()],
+                    SimTime::ZERO + SimDuration::from_micros(i as u64),
+                    conf,
+                )
+                .cost_hint(1 + (i % 3) as u64)
+                .demand("idx", 100);
+                if quiet_profile {
+                    job = job
+                        .with_chaos(ChaosPlan::new(QUIET_SEED))
+                        .with_corruption(CorruptionPlan::new(QUIET_SEED));
+                }
+                job
+            })
+            .collect();
+        let mix = run_tenant_mix(&cluster, &mut dfs, &cfg, jobs).expect("tenant mix failed");
+        assert!(
+            mix.jobs.iter().all(|j| j.rejected.is_none()),
+            "scheduler bench mix must admit every job"
+        );
+        (mix.log.len() as u64, mix.makespan.as_secs_f64())
+    }
+}
+
+/// The contended serving mix with injections armed (enabled by
+/// `--tenants`, recorded only — `run_check` skips it): one tenant's jobs
+/// carry a seeded node-kill chaos plan plus chunk corruption, and a tight
+/// rate limit pushes the other tenant's demand through the throttle and
+/// degrade paths.
+fn bench_tenant_mix_injected() -> impl FnMut() -> (u64, f64) {
+    const VOCAB: [&str; 8] = [
+        "the", "quick", "fox", "jumps", "over", "lazy", "dog", "pack",
+    ];
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .map_slots(2)
+        .reduce_slots(2)
+        .build();
+    let records: Vec<Record> = (0..400usize)
+        .map(|i| Record::new(i as i64, VOCAB[(i * 7) % VOCAB.len()]))
+        .collect();
+    move || {
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 1 << 12,
+                replication: 2,
+                seed: 9,
+            },
+        );
+        dfs.write_file("input", records.clone());
+        let cfg = TenancyConfig::none()
+            .tenant(
+                TenantSpec::new("alpha")
+                    .weight(2)
+                    .max_queued(16)
+                    .max_running(1),
+            )
+            .tenant(
+                TenantSpec::new("beta")
+                    .weight(1)
+                    .max_queued(16)
+                    .max_running(1),
+            )
+            .queue_capacity(32)
+            .max_concurrent(2)
+            .rate_limit(IndexRateLimit::new("idx", 500.0, 50.0))
+            .degrade_threshold(SimDuration::from_micros(100));
+        let jobs: Vec<TenantJob> = (0..16usize)
+            .map(|i| {
+                let conf = JobConf::new(format!("t{i}"), "input", format!("t{i}.out"))
+                    .add_mapper(mapper_fn(|rec, out, _| {
+                        out.collect(Record::new(rec.value.clone(), 1i64));
+                    }))
+                    .with_reducer(
+                        reducer_fn(|key, values, out, _| {
+                            let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                            out.collect(Record::new(key, total));
+                        }),
+                        2,
+                    );
+                let mut job = TenantJob::new(
+                    if i % 2 == 0 { "alpha" } else { "beta" },
+                    SimTime::ZERO + SimDuration::from_micros(i as u64),
+                    conf,
+                )
+                .demand("idx", 400);
+                if i % 4 == 1 {
+                    job = job
+                        .with_chaos(
+                            ChaosPlan::new(0xEF1D_0009)
+                                .kill(efind_cluster::NodeId(2), SimTime::ZERO),
+                        )
+                        .with_corruption(CorruptionPlan::new(0xC0FF_EE09).chunks(0.05));
+                }
+                job
+            })
+            .collect();
+        let mix = run_tenant_mix(&cluster, &mut dfs, &cfg, jobs).expect("tenant mix failed");
+        (mix.log.len() as u64, mix.makespan.as_secs_f64())
+    }
+}
+
 fn run_lookup_heavy(
     faults: efind::FaultConfig,
     chaos: efind_cluster::ChaosPlan,
@@ -471,14 +671,14 @@ fn run_check(out_path: &str, quiet_profile: bool) -> i32 {
                 .is_some_and(|(best, _)| now.wall_ms_min > best * (1.0 + CHECK_TOLERANCE))
         })
     };
-    let mut fresh = measure_all("check", 5, false, quiet_profile);
+    let mut fresh = measure_all("check", 5, false, false, quiet_profile);
     for retry in 1..=2 {
         if !over(&fresh.results) {
             break;
         }
         println!("  over limit; re-measuring (attempt {})", retry + 1);
         std::thread::sleep(std::time::Duration::from_secs(2));
-        let again = measure_all("check", 5, false, quiet_profile);
+        let again = measure_all("check", 5, false, false, quiet_profile);
         for (have, new) in fresh.results.iter_mut().zip(again.results) {
             if new.wall_ms_min < have.wall_ms_min {
                 *have = new;

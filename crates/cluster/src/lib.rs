@@ -24,6 +24,7 @@ pub mod model;
 pub mod node;
 pub mod profile;
 pub mod sched;
+pub mod tenancy;
 pub mod time;
 
 pub use chaos::{ChaosPlan, CrashEvent};
@@ -32,4 +33,8 @@ pub use model::{DiskModel, NetworkModel};
 pub use node::{Cluster, ClusterBuilder, NodeId};
 pub use profile::{InjectionProfile, LayerState};
 pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};
+pub use tenancy::{
+    Grant, IndexRateLimit, MultiTenantScheduler, QosCharge, SchedDecision, SchedLogEntry,
+    TenancyConfig, TenancyLedger, TenantId, TenantLedgerRow, TenantSpec, TokenBucket,
+};
 pub use time::{SimDuration, SimTime};

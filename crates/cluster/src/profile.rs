@@ -17,6 +17,7 @@
 
 use crate::chaos::ChaosPlan;
 use crate::corrupt::CorruptionPlan;
+use crate::tenancy::TenancyConfig;
 
 /// Whether an injection layer can influence this run at all.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -58,6 +59,11 @@ pub struct InjectionProfile {
     pub chaos: LayerState,
     /// Data corruption (chunk/shuffle/cache/response CRC verification).
     pub corruption: LayerState,
+    /// Multi-tenant serving (admission control, quotas, index QoS).
+    /// Quiet whenever the tenancy config cannot influence the run — the
+    /// single-job no-tenancy path must stay byte-identical to a runtime
+    /// without the layer.
+    pub tenancy: LayerState,
 }
 
 impl InjectionProfile {
@@ -67,6 +73,7 @@ impl InjectionProfile {
             faults: LayerState::Quiet,
             chaos: LayerState::Quiet,
             corruption: LayerState::Quiet,
+            tenancy: LayerState::Quiet,
         }
     }
 
@@ -79,12 +86,23 @@ impl InjectionProfile {
             faults: LayerState::Quiet,
             chaos: chaos.layer_state(),
             corruption: corruption.layer_state(),
+            tenancy: LayerState::Quiet,
         }
+    }
+
+    /// Classifies the tenancy layer from its config values, keeping the
+    /// other layers as already resolved.
+    pub fn with_tenancy(mut self, cfg: &TenancyConfig) -> Self {
+        self.tenancy = cfg.layer_state();
+        self
     }
 
     /// True when at least one layer is armed.
     pub fn any_armed(&self) -> bool {
-        self.faults.is_armed() || self.chaos.is_armed() || self.corruption.is_armed()
+        self.faults.is_armed()
+            || self.chaos.is_armed()
+            || self.corruption.is_armed()
+            || self.tenancy.is_armed()
     }
 }
 
@@ -128,5 +146,23 @@ mod tests {
             InjectionProfile::from_plans(&ChaosPlan::none(), &CorruptionPlan::new(1).chunks(0.1));
         assert!(!p.chaos.is_armed());
         assert!(p.corruption.is_armed());
+    }
+
+    #[test]
+    fn tenancy_layer_classifies_from_config_values() {
+        use crate::tenancy::{TenancyConfig, TenantSpec};
+        let quiet = InjectionProfile::quiet().with_tenancy(&TenancyConfig::none());
+        assert!(!quiet.any_armed());
+        // One unlimited tenant cannot influence a run: still quiet.
+        let solo = InjectionProfile::quiet()
+            .with_tenancy(&TenancyConfig::none().tenant(TenantSpec::new("solo")));
+        assert!(!solo.tenancy.is_armed());
+        let armed = InjectionProfile::quiet().with_tenancy(
+            &TenancyConfig::none()
+                .tenant(TenantSpec::new("a"))
+                .tenant(TenantSpec::new("b")),
+        );
+        assert!(armed.tenancy.is_armed());
+        assert!(armed.any_armed());
     }
 }

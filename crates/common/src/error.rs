@@ -21,6 +21,13 @@ pub enum Error {
     /// Data failed checksum verification on every available copy — all
     /// replicas of a chunk are corrupt and no clean source remains.
     DataCorruption(String),
+    /// A job submission was refused by admission control — the bounded
+    /// admission queue is full. The submission is dropped deterministically
+    /// (never queued, never hung); resubmit later or widen the queue.
+    AdmissionRejected(String),
+    /// A job submission exceeded its tenant's configured quota (queued or
+    /// running job bound). Deterministic, per-tenant, and immediate.
+    QuotaExhausted(String),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +40,8 @@ impl fmt::Display for Error {
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
             Error::DataLoss(msg) => write!(f, "data loss: {msg}"),
             Error::DataCorruption(msg) => write!(f, "data corruption: {msg}"),
+            Error::AdmissionRejected(msg) => write!(f, "admission rejected: {msg}"),
+            Error::QuotaExhausted(msg) => write!(f, "quota exhausted: {msg}"),
         }
     }
 }

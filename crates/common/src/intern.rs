@@ -125,6 +125,22 @@ pub mod registry {
         // Cross-job statistics store (statstore.rs): load-time rejections.
         "efind.statstore.corrupt",
         "efind.statstore.version.mismatch",
+        // Multi-tenant admission control (cluster::tenancy): mix-level
+        // totals, charged only when the tenancy layer is armed.
+        "efind.admission.submitted",
+        "efind.admission.granted",
+        "efind.admission.rejected",
+        "efind.admission.quota.rejected",
+        // Per-tenant serving ledger: efind.tenant.<tenant>.<what>.
+        "efind.tenant.*.granted",
+        "efind.tenant.*.completed",
+        "efind.tenant.*.rejected",
+        "efind.tenant.*.quota.rejected",
+        "efind.tenant.*.degraded",
+        "efind.tenant.*.shed.lookups",
+        "efind.tenant.*.throttle.nanos",
+        "efind.tenant.*.wait.nanos",
+        "efind.tenant.*.cache.evictions",
         // Plain MapReduce task counters.
         "mr.map.input.records",
         "mr.map.input.bytes",
@@ -192,6 +208,16 @@ pub mod registry {
         "fault.degraded",
         "integrity.refetch",
         "integrity.cache.invalid",
+        // Per-tenant serving ledger leaves (cluster::tenancy).
+        "granted",
+        "completed",
+        "rejected",
+        "quota.rejected",
+        "degraded",
+        "shed.lookups",
+        "throttle.nanos",
+        "wait.nanos",
+        "cache.evictions",
     ];
 
     /// True when `name` matches a registered full pattern. `*` in a
@@ -260,6 +286,12 @@ mod tests {
             "mr.map.output.records",
             "mr.recovery.recompute.waves",
             "mr.integrity.shuffle.refetch.nanos",
+            "efind.admission.submitted",
+            "efind.admission.quota.rejected",
+            "efind.tenant.alpha.granted",
+            "efind.tenant.beta.shed.lookups",
+            "efind.tenant.beta.throttle.nanos",
+            "efind.tenant.gamma.cache.evictions",
         ] {
             assert!(registry::counter_name_registered(name), "{name}");
         }
@@ -274,6 +306,9 @@ mod tests {
             "mr.recovery.typo",         // unknown ledger entry
             "efind.op.0.extra.lookups", // too many segments
             "mr.map.input",             // too few segments
+            "efind.tenant.granted",     // tenant segment missing
+            "efind.tenant.a.sheds",     // unknown tenant leaf
+            "efind.admission.dropped",  // unknown admission counter
         ] {
             assert!(!registry::counter_name_registered(name), "{name}");
         }

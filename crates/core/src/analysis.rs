@@ -12,9 +12,9 @@
 use efind_analyze::{
     analyze, CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel,
     IntegrityModel, MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
-    Report, StrategyKind,
+    RateLimitModel, Report, StrategyKind, TenancyModel, TenantModel,
 };
-use efind_cluster::{ChaosPlan, CorruptionPlan};
+use efind_cluster::{ChaosPlan, CorruptionPlan, TenancyConfig};
 use efind_common::{Error, FxHashMap, Result};
 
 use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
@@ -108,6 +108,7 @@ pub fn job_model(
         chaos: None,
         cache: None,
         measured: Vec::new(),
+        tenancy: None,
     })
 }
 
@@ -184,6 +185,46 @@ pub fn cache_model(capacity: usize, t_cache_secs: f64) -> CacheModel {
     }
 }
 
+/// Lowers the multi-tenant serving configuration into the analyzer's IR.
+/// Only an armed configuration ([`TenancyConfig::layer_state`]) is lowered
+/// — the tenancy checks are meaningless for the quiet single-job path,
+/// which never queues, throttles, or meters anything. `job_tenant` is the
+/// tenant the analyzed job resolves to (the job's own tag, falling back to
+/// the runtime default), so `EF024` can catch an unknown-tenant tag before
+/// the scheduler rejects it at submit time.
+pub fn tenancy_model(cfg: &TenancyConfig, job_tenant: Option<&str>) -> Option<TenancyModel> {
+    if !cfg.layer_state().is_armed() {
+        return None;
+    }
+    Some(TenancyModel {
+        tenants: cfg
+            .tenants
+            .iter()
+            .map(|t| TenantModel {
+                name: t.name.clone(),
+                weight: t.weight,
+                max_queued: t.max_queued,
+                max_running: t.max_running,
+                cache_share: t.cache_share,
+            })
+            .collect(),
+        queue_capacity: cfg.queue_capacity,
+        max_concurrent: cfg.max_concurrent,
+        rate_limits: cfg
+            .rate_limits
+            .iter()
+            .map(|rl| RateLimitModel {
+                index: rl.index.clone(),
+                rate_per_sec: rl.rate_per_sec,
+                burst: rl.burst,
+            })
+            .collect(),
+        degrade_threshold_secs: cfg.degrade_threshold.as_secs_f64(),
+        scan_fallback_cost_secs: cfg.scan_fallback_cost.as_secs_f64(),
+        job_tenant: job_tenant.map(str::to_string),
+    })
+}
+
 /// Runs the structural checks over a job and its plans.
 pub fn analyze_job(ijob: &IndexJobConf, plans: &FxHashMap<String, OperatorPlan>) -> Result<Report> {
     analyze_job_with_faults(ijob, plans, &FaultConfig::disabled())
@@ -232,6 +273,10 @@ pub fn analyze_job_in_env(
     model.chaos = chaos_model(&env.chaos, env.cluster_nodes, env.dfs_replication);
     model.cache = Some(cache_model(env.cache_capacity, env.t_cache.as_secs_f64()));
     model.measured = env.measured.iter().map(measured_model).collect();
+    model.tenancy = tenancy_model(
+        &env.tenancy,
+        ijob.tenant.as_deref().or(env.tenant.as_deref()),
+    );
     Ok(analyze(&model))
 }
 
@@ -314,6 +359,7 @@ pub fn analyze_costs(
         chaos: None,
         cache: None,
         measured: Vec::new(),
+        tenancy: None,
     })
 }
 
@@ -709,6 +755,8 @@ mod tests {
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
             measured: Vec::new(),
+            tenancy: efind_cluster::TenancyConfig::none(),
+            tenant: None,
         }
     }
 

@@ -110,15 +110,15 @@ impl<V> LruMap<V> {
     }
 
     /// Inserts or refreshes `key`, evicting the least-recently-used entry
-    /// at capacity.
-    pub fn insert(&mut self, key: Datum, value: V) {
+    /// at capacity. Returns true exactly when an entry was evicted.
+    pub fn insert(&mut self, key: Datum, value: V) -> bool {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
             if idx != self.head {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return;
+            return false;
         }
         if let Some(idx) = self.free.pop() {
             self.slab[idx] = Entry {
@@ -129,7 +129,7 @@ impl<V> LruMap<V> {
             };
             self.map.insert(key, idx);
             self.push_front(idx);
-            return;
+            return false;
         }
         if self.map.len() == self.capacity {
             // Evict LRU and reuse its slab slot.
@@ -140,6 +140,7 @@ impl<V> LruMap<V> {
             self.slab[victim].value = value;
             self.map.insert(key, victim);
             self.push_front(victim);
+            true
         } else {
             let idx = self.slab.len();
             self.slab.push(Entry {
@@ -150,6 +151,7 @@ impl<V> LruMap<V> {
             });
             self.map.insert(key, idx);
             self.push_front(idx);
+            false
         }
     }
 
@@ -201,6 +203,7 @@ pub struct LookupCache {
     probes: u64,
     hits: u64,
     invalidations: u64,
+    evictions: u64,
     armed: Option<ArmedCorruption>,
 }
 
@@ -215,6 +218,7 @@ impl LookupCache {
             probes: 0,
             hits: 0,
             invalidations: 0,
+            evictions: 0,
             armed: None,
         }
     }
@@ -291,14 +295,16 @@ impl LookupCache {
                 (write_crc, read_crc)
             }
         };
-        self.lru.insert(
+        if self.lru.insert(
             key,
             CacheEntry {
                 values,
                 write_crc,
                 read_crc,
             },
-        );
+        ) {
+            self.evictions += 1;
+        }
     }
 
     /// Total probes.
@@ -314,6 +320,12 @@ impl LookupCache {
     /// Poisoned entries detected on a hit, evicted, and re-fetched.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// LRU evictions at capacity — the cache-pressure signal the
+    /// multi-tenant accounting surfaces per tenant.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Observed miss ratio `R` (1.0 before any probe).
@@ -498,6 +510,20 @@ mod tests {
         c.insert(k(6), 6); // evicts 2, the LRU
         assert!(c.get(&k(2)).is_none());
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn evictions_counted_only_at_capacity() {
+        let mut c = LookupCache::new(2);
+        c.insert(k(1), Vec::new().into());
+        c.insert(k(2), Vec::new().into());
+        assert_eq!(c.evictions(), 0, "filling to capacity is not eviction");
+        for i in 3..6 {
+            c.insert(k(i), Vec::new().into());
+        }
+        assert_eq!(c.evictions(), 3);
+        c.insert(k(5), Vec::new().into()); // refresh: no eviction
+        assert_eq!(c.evictions(), 3);
     }
 
     #[test]

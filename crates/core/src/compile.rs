@@ -19,7 +19,9 @@
 
 use std::sync::Arc;
 
-use efind_cluster::{ChaosPlan, CorruptionPlan, InjectionProfile, NetworkModel, SimDuration};
+use efind_cluster::{
+    ChaosPlan, CorruptionPlan, InjectionProfile, NetworkModel, SimDuration, TenancyConfig,
+};
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
     partition::partitioner_fn, Collector, CounterHandle, HashPartitioner, JobConf, Mapper,
@@ -76,6 +78,14 @@ pub struct RuntimeEnv {
     /// store matched — the analyzer then runs exactly the pre-store
     /// check set.
     pub measured: Vec<crate::statstore::MeasuredOp>,
+    /// Multi-tenant serving configuration of the cluster this job is
+    /// admitted to. Quiet ([`TenancyConfig::is_quiet`]) = the plain
+    /// single-job path: full cache capacity, no tenant counters, and the
+    /// analyzer's EF024 checks never lower a tenancy model.
+    pub tenancy: TenancyConfig,
+    /// The tenant this job runs as (`None` = the implicit default
+    /// tenant). Only consulted when `tenancy` is armed.
+    pub tenant: Option<String>,
 }
 
 impl RuntimeEnv {
@@ -88,9 +98,45 @@ impl RuntimeEnv {
     /// from the plans it receives — so a configured-but-quiet pipeline
     /// compiles to exactly the stages a never-configured one does.
     pub fn injection_profile(&self) -> InjectionProfile {
-        let mut profile = InjectionProfile::from_plans(&self.chaos, &self.corruption);
+        let mut profile =
+            InjectionProfile::from_plans(&self.chaos, &self.corruption).with_tenancy(&self.tenancy);
         profile.faults = self.faults.layer_state();
         profile
+    }
+
+    /// The lookup-cache capacity this pipeline's caches are built with:
+    /// the full configured capacity on the quiet path, or the tenant's
+    /// reserved share of the shared cache when the tenancy layer is armed
+    /// and the tenant holds a non-zero [`cache
+    /// share`](efind_cluster::tenancy::TenantSpec::cache_share). A tenant
+    /// without a reservation sees the full shared capacity, competing
+    /// unreserved.
+    pub fn effective_cache_capacity(&self) -> usize {
+        if !self.tenancy.layer_state().is_armed() {
+            return self.cache_capacity;
+        }
+        let share = self
+            .tenant
+            .as_deref()
+            .map_or(0.0, |t| self.tenancy.cache_share(t));
+        if share <= 0.0 {
+            self.cache_capacity
+        } else {
+            ((self.cache_capacity as f64 * share) as usize).max(1)
+        }
+    }
+
+    /// The per-tenant cache-eviction counter handle, present only when
+    /// the tenancy layer is armed for a named tenant — the quiet path
+    /// compiles mappers with no eviction accounting at all.
+    fn tenant_eviction_handle(&self) -> Option<CounterHandle> {
+        if !self.tenancy.layer_state().is_armed() {
+            return None;
+        }
+        let tenant = self.tenant.as_deref()?;
+        Some(CounterHandle::new(&format!(
+            "efind.tenant.{tenant}.cache.evictions"
+        )))
     }
 }
 
@@ -237,6 +283,9 @@ struct DirectLookupMapper {
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
     c_cache_invalid: CounterHandle,
+    /// Per-tenant eviction accounting (present only when the tenancy
+    /// layer is armed for a named tenant).
+    c_cache_evict: Option<CounterHandle>,
     /// Per-task circuit breaker (present only when faults are configured).
     breaker: Option<Breaker>,
 }
@@ -291,6 +340,11 @@ impl Mapper for DirectLookupMapper {
             if cache.invalidations() > 0 {
                 ctx.counters
                     .bump(self.c_cache_invalid, cache.invalidations() as i64);
+            }
+            if let Some(h) = self.c_cache_evict {
+                if cache.evictions() > 0 {
+                    ctx.counters.bump(h, cache.evictions() as i64);
+                }
             }
         }
     }
@@ -402,6 +456,9 @@ struct FusedSlot {
     c_cache_probes: CounterHandle,
     c_cache_hits: CounterHandle,
     c_cache_invalid: CounterHandle,
+    /// Per-tenant eviction accounting (present only when the tenancy
+    /// layer is armed for a named tenant).
+    c_cache_evict: Option<CounterHandle>,
     /// Per-task circuit breaker (present only when faults are configured).
     breaker: Option<Breaker>,
 }
@@ -513,6 +570,11 @@ impl Mapper for FusedLookupMapper {
                     ctx.counters
                         .bump(fs.c_cache_invalid, cache.invalidations() as i64);
                 }
+                if let Some(h) = fs.c_cache_evict {
+                    if cache.evictions() > 0 {
+                        ctx.counters.bump(h, cache.evictions() as i64);
+                    }
+                }
             }
         }
     }
@@ -576,9 +638,11 @@ fn compile_operator(
 
     let mut op_stages: Vec<Stage> = Vec::new();
     let pre_handles = PreHandles::new(&opname, charged.len());
-    // The shadow cache must mirror the real lookup cache's capacity,
-    // or the miss ratio R it reports misleads the planner.
-    let shadow_capacity = env.cache_capacity;
+    // The shadow cache must mirror the real lookup cache's capacity —
+    // including a tenant's reserved share — or the miss ratio R it
+    // reports misleads the planner.
+    let shadow_capacity = env.effective_cache_capacity();
+    let c_cache_evict = env.tenant_eviction_handle();
 
     // preProcess stage.
     {
@@ -619,7 +683,7 @@ fn compile_operator(
             Strategy::Baseline | Strategy::Cache => {
                 let with_cache = choice.strategy == Strategy::Cache;
                 let t_cache = env.t_cache;
-                let capacity = env.cache_capacity;
+                let capacity = env.effective_cache_capacity();
                 let c_cache_probes = CounterHandle::new(&format!("{}cache.probes", cl.prefix()));
                 let c_cache_hits = CounterHandle::new(&format!("{}cache.hits", cl.prefix()));
                 let c_cache_invalid =
@@ -646,6 +710,7 @@ fn compile_operator(
                         c_cache_probes,
                         c_cache_hits,
                         c_cache_invalid,
+                        c_cache_evict,
                         breaker: cl.new_breaker(),
                     })
                 })));
@@ -718,7 +783,7 @@ fn compile_operator(
         let charged = charged.clone();
         let h = pre_handles;
         let t_cache = env.t_cache;
-        let capacity = env.cache_capacity;
+        let capacity = env.effective_cache_capacity();
         let configs = Arc::new(direct_configs);
         let corruption = env.corruption.clone();
         let fused: MapperFactory = Arc::new(move || {
@@ -742,6 +807,7 @@ fn compile_operator(
                         c_cache_probes: c.c_cache_probes,
                         c_cache_hits: c.c_cache_hits,
                         c_cache_invalid: c.c_cache_invalid,
+                        c_cache_evict,
                         breaker: c.charged.new_breaker(),
                     })
                     .collect(),
@@ -767,6 +833,16 @@ pub fn compile_pipeline(
     env: &RuntimeEnv,
 ) -> Result<CompiledPipeline> {
     ijob.validate()?;
+    // The job's own tenant tag outranks the runtime-level default, so one
+    // runtime can compile jobs for several tenants.
+    let mut env_owned;
+    let env = if ijob.tenant.is_some() && ijob.tenant != env.tenant {
+        env_owned = env.clone();
+        env_owned.tenant = ijob.tenant.clone();
+        &env_owned
+    } else {
+        env
+    };
     // Static plan verification (EF001..): hard errors abort compilation
     // here, before any stage is built; warnings travel with the pipeline.
     let analysis = crate::analysis::analyze_job_in_env(ijob, plans, env)?.into_result()?;
@@ -940,6 +1016,8 @@ mod tests {
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
             measured: Vec::new(),
+            tenancy: TenancyConfig::none(),
+            tenant: None,
         }
     }
 

@@ -135,6 +135,12 @@ pub struct IndexJobConf {
     pub tail: Vec<BoundOperator>,
     /// Modeled CPU cost per record.
     pub cpu_per_record: SimDuration,
+    /// The tenant this job runs as under a multi-tenant cluster config
+    /// (`None` = the implicit default tenant). Ignored — and free — when
+    /// the runtime's tenancy layer is quiet; when armed, `EF024` verifies
+    /// the name resolves in the cluster's [`TenancyConfig`]
+    /// (`efind_cluster::TenancyConfig`).
+    pub tenant: Option<String>,
 }
 
 impl IndexJobConf {
@@ -156,7 +162,14 @@ impl IndexJobConf {
             body: Vec::new(),
             tail: Vec::new(),
             cpu_per_record: SimDuration::from_micros(1),
+            tenant: None,
         }
+    }
+
+    /// Tags the job with the tenant it runs as.
+    pub fn set_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Sets the Map function(s).

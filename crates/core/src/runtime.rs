@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime};
+use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime, TenancyConfig};
 use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
 use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
@@ -82,6 +82,16 @@ pub struct EFindConfig {
     /// corruption-free path is byte-identical to a build without the
     /// integrity layer.
     pub corruption: CorruptionPlan,
+    /// Multi-tenant serving configuration of the cluster this runtime's
+    /// jobs are admitted to: per-tenant quotas and weights, the bounded
+    /// admission queue, per-index rate limits, and cache shares. Quiet by
+    /// default ([`TenancyConfig::none`]) — a runtime without tenants (or
+    /// with a single unlimited tenant) takes the literal plain path: full
+    /// cache capacity, no tenant counters, no EF024 tenancy checks.
+    pub tenancy: TenancyConfig,
+    /// The tenant this runtime's jobs run as (`None` = the implicit
+    /// default tenant). Only consulted when `tenancy` is armed.
+    pub tenant: Option<String>,
 }
 
 impl Default for EFindConfig {
@@ -99,6 +109,8 @@ impl Default for EFindConfig {
             faults: FaultConfig::disabled(),
             chaos: ChaosPlan::none(),
             corruption: CorruptionPlan::none(),
+            tenancy: TenancyConfig::none(),
+            tenant: None,
         }
     }
 }
@@ -298,6 +310,8 @@ impl<'a> EFindRuntime<'a> {
             chaos: self.config.chaos.clone(),
             cluster_nodes: self.cluster.num_nodes() as usize,
             measured: Vec::new(),
+            tenancy: self.config.tenancy.clone(),
+            tenant: self.config.tenant.clone(),
         }
     }
 

@@ -443,6 +443,39 @@ mod tests {
     }
 
     #[test]
+    fn default_history_ring_evicts_across_the_eighth_run() {
+        // Pins the ring discipline at the shipped DEFAULT_HISTORY = 8:
+        // the 8th run fills the ring without eviction, the 9th evicts
+        // exactly the oldest entry, and the order survives persistence.
+        let mut store = StatStore::new(DEFAULT_HISTORY);
+        for i in 0..DEFAULT_HISTORY as u64 {
+            store.record(Fingerprint(7), i, stats(1000.0 + i as f64, 2.0));
+        }
+        assert_eq!(store.runs(Fingerprint(7)).len(), DEFAULT_HISTORY);
+        assert_eq!(store.runs(Fingerprint(7))[0].plan_fp, 0);
+
+        store.record(Fingerprint(7), 8, stats(2000.0, 2.0));
+        assert_eq!(store.runs(Fingerprint(7)).len(), DEFAULT_HISTORY);
+        assert_eq!(store.runs(Fingerprint(7))[0].plan_fp, 1);
+
+        store.record(Fingerprint(7), 9, stats(2001.0, 2.0));
+        let plan_fps: Vec<u64> = store
+            .runs(Fingerprint(7))
+            .iter()
+            .map(|r| r.plan_fp)
+            .collect();
+        assert_eq!(plan_fps, (2..=9).collect::<Vec<u64>>());
+
+        let back = StatStore::from_bytes(&store.to_bytes()).unwrap();
+        let restored: Vec<u64> = back
+            .runs(Fingerprint(7))
+            .iter()
+            .map(|r| r.plan_fp)
+            .collect();
+        assert_eq!(restored, plan_fps);
+    }
+
+    #[test]
     fn measured_averages_matching_arity_only() {
         let mut store = StatStore::new(8);
         store.record(Fingerprint(1), 0, stats(1000.0, 2.0));

@@ -1202,6 +1202,37 @@ mod tests {
     }
 
     #[test]
+    fn l004_tenancy_counter_names() {
+        // The multi-tenant ledger templates its tenant segment; the leaf
+        // after the placeholder must still be a registered leaf.
+        for ok in [
+            "c.add(&format!(\"efind.tenant.{name}.granted\"), 1);\n",
+            "c.add(&format!(\"efind.tenant.{name}.quota.rejected\"), 1);\n",
+            "c.add(&format!(\"efind.tenant.{name}.shed.lookups\"), n);\n",
+            "let h = CounterHandle::new(&format!(\"efind.tenant.{t}.cache.evictions\"));\n",
+            "c.add(\"efind.admission.submitted\", 1);\n",
+            "c.add(\"efind.admission.quota.rejected\", 1);\n",
+        ] {
+            let src = format!("fn f(c: &mut Counters) {{ {ok} }}\n");
+            assert!(
+                scan_file("crates/mapreduce/src/tenancy.rs", &src).is_empty(),
+                "expected clean: {ok}"
+            );
+        }
+        for bad in [
+            "c.add(&format!(\"efind.tenant.{name}.grants\"), 1);\n",
+            "c.add(\"efind.admission.throttled\", 1);\n",
+        ] {
+            let src = format!("fn f(c: &mut Counters) {{ {bad} }}\n");
+            assert_eq!(
+                codes(&scan_file("crates/mapreduce/src/tenancy.rs", &src)),
+                vec![LintCode::L004],
+                "expected L004: {bad}"
+            );
+        }
+    }
+
+    #[test]
     fn l005_panic_in_runner_scope() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         let f = scan_file("crates/mapreduce/src/runner.rs", src);

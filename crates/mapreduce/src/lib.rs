@@ -34,6 +34,7 @@ pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod tenancy;
 
 pub use api::{
     identity_mapper, mapper_fn, reducer_fn, Collector, Mapper, MapperFactory, Reducer,
@@ -47,3 +48,4 @@ pub use partition::{HashPartitioner, Partitioner};
 pub use recovery::RecoveryLog;
 pub use runner::{run_job, JobResult, MapPhaseExec, ReduceTaskExec, Runner};
 pub use stats::{JobStats, PhaseStats, TaskStats};
+pub use tenancy::{run_tenant_mix, TenantJob, TenantJobOutcome, TenantMixOutcome};

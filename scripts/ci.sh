@@ -50,6 +50,15 @@ echo "== cross-job re-optimization (persistent stats store) =="
 # counters. Release mode: each case runs the full LOG workload.
 cargo test -q --release --test reopt_persistence --test reopt_props --test reopt_robustness
 
+echo "== multi-tenant serving (pinned-seed mix) =="
+# Deterministic tenancy sweep: the quiet-tenancy mix must match the
+# hotpath goldens byte-for-byte, the contended mix (chaos armed on one
+# tenant, pinned seed 0xEF1D0009) must produce bit-identical schedules
+# across double runs, weighted contention must complete every admitted
+# job, and one tenant's armed injections must not move another tenant's
+# observables. Release mode: the proptest cases each run a full mix.
+cargo test -q --release --test tenancy
+
 echo "== bench smoke (regression check) =="
 cargo run --release -q -p efind-bench --bin hotpath -- --check
 
