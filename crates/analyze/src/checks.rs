@@ -2,8 +2,8 @@
 
 use crate::diag::{DiagCode, Diagnostic, Report, Span};
 use crate::model::{
-    CacheModel, FaultModel, IntegrityModel, MeasuredStatsModel, OperatorModel, PlanModel,
-    StrategyKind, TenancyModel,
+    CacheModel, FaultModel, HedgeModel, IntegrityModel, MeasuredStatsModel, OperatorModel,
+    PartitionModel, PlanModel, StrategyKind, TenancyModel,
 };
 
 use efind_common::FxHashSet;
@@ -50,6 +50,12 @@ pub fn analyze(model: &PlanModel) -> Report {
     }
     if let Some(tenancy) = &model.tenancy {
         check_tenancy_config(model, tenancy, &mut report);
+    }
+    if let Some(partition) = &model.partition {
+        check_partition_config(partition, &mut report);
+    }
+    if let Some(hedge) = &model.hedge {
+        check_hedge_config(model, hedge, &mut report);
     }
     report
 }
@@ -874,6 +880,119 @@ fn check_quiet_plan_purity(model: &PlanModel, report: &mut Report) {
                 )
                 .with_hint(quiet_hint),
             );
+        }
+    }
+    if let Some(p) = &model.partition {
+        if p.partition_events == 0 && p.slow_links == 0 {
+            report.push(
+                Diagnostic::warning(
+                    DiagCode::EF022,
+                    Span::job(),
+                    "the partition layer is armed but its plan schedules no cuts \
+                     or link slowdowns",
+                )
+                .with_hint(quiet_hint),
+            );
+        }
+    }
+}
+
+/// EF025: gray-failure configuration sanity. Partitions cut visibility,
+/// never state, so a cut that heals is always survivable — but a cut that
+/// *never* heals permanently removes its nodes from the reachable replica
+/// budget, and a cut isolating the whole cluster leaves no side to finish
+/// the job. The detector is also checked: suspicion below the heartbeat
+/// interval means every node is suspected on its first silent beat, so
+/// false positives dominate and re-placement churns.
+fn check_partition_config(partition: &PartitionModel, report: &mut Report) {
+    if partition.cluster_nodes > 0 && partition.permanently_isolated >= partition.cluster_nodes {
+        report.push(
+            Diagnostic::error(
+                DiagCode::EF025,
+                Span::job(),
+                format!(
+                    "an unhealed partition isolates all {} nodes of the cluster: \
+                     no reachable side is left to finish the job",
+                    partition.cluster_nodes
+                ),
+            )
+            .with_hint("give the cut a heal time, or leave at least one node reachable"),
+        );
+    }
+    if partition.permanently_isolated >= 1 && partition.dfs_replication <= 1 {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF025,
+                Span::job(),
+                format!(
+                    "{} node(s) stay isolated forever with DFS replication {}: any \
+                     chunk hosted behind the cut has no reachable replica and the \
+                     job fails fast with a partition error",
+                    partition.permanently_isolated, partition.dfs_replication
+                ),
+            )
+            .with_hint(
+                "raise replication to at least 2, heal the cut, or accept that the \
+                 run exercises the fail-fast path by design",
+            ),
+        );
+    }
+    if partition.heartbeat_interval_nanos >= partition.suspicion_nanos {
+        report.push(
+            Diagnostic::warning(
+                DiagCode::EF025,
+                Span::job(),
+                format!(
+                    "detector heartbeat interval ({} ns) is at or above the suspicion \
+                     threshold ({} ns): every silent beat immediately suspects the \
+                     node, so false positives dominate and tasks churn between nodes",
+                    partition.heartbeat_interval_nanos, partition.suspicion_nanos
+                ),
+            )
+            .with_hint("keep the suspicion threshold at 2-3 heartbeat intervals"),
+        );
+    }
+}
+
+/// EF026: pointless hedging. A hedged lookup races a backup against a
+/// *different* replica or partition-side of the index; an accessor that
+/// exposes only one side (a single-partition scheme, or no scheme over an
+/// unreplicated DFS) makes the backup race the very service it is hedging
+/// against — it can never answer sooner and only adds virtual cost under
+/// the charge-both policy.
+fn check_hedge_config(model: &PlanModel, hedge: &HedgeModel, report: &mut Report) {
+    for (pos, op) in model.operators.iter().enumerate() {
+        for idx in &op.indices {
+            let sides = if idx.has_partition_scheme {
+                idx.partitions
+            } else {
+                hedge.dfs_replication
+            };
+            if sides <= 1 {
+                let what = if idx.has_partition_scheme {
+                    "exposes a single partition-side".to_string()
+                } else {
+                    format!(
+                        "exposes no partition scheme and the DFS holds {} replica(s)",
+                        hedge.dfs_replication
+                    )
+                };
+                report.push(
+                    Diagnostic::warning(
+                        DiagCode::EF026,
+                        Span::index(pos, &op.name, &idx.name),
+                        format!(
+                            "hedged lookups are armed but index `{}` {}: the backup \
+                             races the same service and can only lose",
+                            idx.name, what
+                        ),
+                    )
+                    .with_hint(
+                        "hedging needs a second replica or partition-side to race \
+                         against; raise replication or disable hedging for this run",
+                    ),
+                );
+            }
         }
     }
 }
@@ -1887,5 +2006,122 @@ mod tests {
         });
         model.tenancy = Some(tenancy);
         assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn benign_partition_config_is_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.partition = Some(crate::model::testutil::partition());
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef025_unhealed_full_cluster_partition_is_an_error() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.permanently_isolated = p.cluster_nodes;
+        model.partition = Some(p);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF025), "{}", report.to_text());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn ef025_permanent_isolation_on_unreplicated_dfs_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.permanently_isolated = 1;
+        p.dfs_replication = 1;
+        model.partition = Some(p);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF025), "{}", report.to_text());
+        assert!(!report.has_errors(), "fail-fast by design is a warning");
+
+        // The same permanent cut against a replicated DFS is clean: the
+        // reachable side still holds a copy of every chunk.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.permanently_isolated = 1;
+        model.partition = Some(p);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef025_detector_interval_at_or_above_suspicion_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.heartbeat_interval_nanos = 2_000_000;
+        p.suspicion_nanos = 2_000_000;
+        model.partition = Some(p);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF025), "{}", report.to_text());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn ef022_armed_but_empty_partition_plan_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.partition_events = 0;
+        p.slow_links = 0;
+        model.partition = Some(p);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF022), "{}", report.to_text());
+        assert!(!report.has_errors());
+
+        // Slowdowns alone are a real experiment — no purity warning.
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut p = crate::model::testutil::partition();
+        p.partition_events = 0;
+        p.slow_links = 2;
+        model.partition = Some(p);
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn benign_hedge_config_is_clean() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        model.hedge = Some(crate::model::testutil::hedge());
+        let report = analyze(&model);
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn ef026_hedging_single_partition_side_warns() {
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].has_partition_scheme = true;
+        op.indices[0].partitions = 1;
+        let mut model = job(vec![op]);
+        model.hedge = Some(crate::model::testutil::hedge());
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF026), "{}", report.to_text());
+        assert!(!report.has_errors(), "EF026 is a warning");
+
+        // Two partition-sides give the backup something to race.
+        let mut op = operator("a", StrategyKind::Cache);
+        op.indices[0].has_partition_scheme = true;
+        op.indices[0].partitions = 2;
+        let mut model = job(vec![op]);
+        model.hedge = Some(crate::model::testutil::hedge());
+        assert!(analyze(&model).is_clean());
+    }
+
+    #[test]
+    fn ef026_hedging_unreplicated_schemeless_index_warns() {
+        let mut model = job(vec![operator("a", StrategyKind::Cache)]);
+        let mut h = crate::model::testutil::hedge();
+        h.dfs_replication = 1;
+        model.hedge = Some(h);
+        let report = analyze(&model);
+        assert!(report.has_code(DiagCode::EF026), "{}", report.to_text());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn absent_partition_and_hedge_models_skip_their_checks() {
+        let report = analyze(&job(vec![operator("a", StrategyKind::Cache)]));
+        assert!(!report.has_code(DiagCode::EF025));
+        assert!(!report.has_code(DiagCode::EF026));
     }
 }

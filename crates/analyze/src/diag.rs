@@ -86,6 +86,19 @@ pub enum DiagCode {
     /// starves the job it admits (a rate limit below the job's expected
     /// lookup demand; warning).
     EF024,
+    /// Unsurvivable or degenerate gray-failure configuration: a partition
+    /// that never heals isolates every node of the cluster (no reachable
+    /// side is left to finish the job; error), permanent isolation
+    /// against an unreplicated DFS (any chunk hosted behind the partition
+    /// has no reachable replica; warning), or a failure detector whose
+    /// heartbeat interval is at or above its suspicion threshold (every
+    /// silent beat immediately suspects the node; warning).
+    EF025,
+    /// Pointless hedging: hedged lookups are armed but an accessor
+    /// exposes only a single partition-side (or, without a partition
+    /// scheme, the DFS holds a single replica) — the backup races the
+    /// same service it is hedging against and can only add virtual cost.
+    EF026,
 }
 
 impl DiagCode {
@@ -116,6 +129,8 @@ impl DiagCode {
             DiagCode::EF022 => "EF022",
             DiagCode::EF023 => "EF023",
             DiagCode::EF024 => "EF024",
+            DiagCode::EF025 => "EF025",
+            DiagCode::EF026 => "EF026",
         }
     }
 }

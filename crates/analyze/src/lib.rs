@@ -18,7 +18,7 @@ pub mod model;
 pub use checks::analyze;
 pub use diag::{DiagCode, Diagnostic, Report, Severity, Span};
 pub use model::{
-    CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel, IntegrityModel,
-    MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel, RateLimitModel,
-    StrategyKind, TenancyModel, TenantModel,
+    CacheModel, ChaosModel, ChoiceModel, FaultModel, HedgeModel, IndexModel, IndexStatsModel,
+    IntegrityModel, MeasuredStatsModel, OperatorCosts, OperatorModel, PartitionModel,
+    PlacementKind, PlanModel, RateLimitModel, StrategyKind, TenancyModel, TenantModel,
 };

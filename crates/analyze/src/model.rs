@@ -219,6 +219,46 @@ pub struct ChaosModel {
     pub dfs_replication: usize,
 }
 
+/// The network-partition / failure-detector configuration, lowered only
+/// when the partition layer is armed (a non-quiet partition plan is
+/// installed). `EF025` consumes it. Partitions cut *visibility*, never
+/// state: an isolated node keeps running, but nothing it holds can be
+/// reached until the cut heals — so a cut that never heals permanently
+/// removes its nodes from the reachable replica budget.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionModel {
+    /// Scheduled partition (isolation) events, healed or not.
+    pub partition_events: usize,
+    /// Scheduled link-slowdown events.
+    pub slow_links: usize,
+    /// Distinct nodes isolated by an event that never heals.
+    pub permanently_isolated: usize,
+    /// Nodes in the simulated cluster.
+    pub cluster_nodes: usize,
+    /// DFS replication factor of the input the job reads.
+    pub dfs_replication: usize,
+    /// Failure-detector heartbeat interval in nanoseconds.
+    pub heartbeat_interval_nanos: u64,
+    /// Failure-detector suspicion threshold in nanoseconds.
+    pub suspicion_nanos: u64,
+}
+
+/// The hedged-lookup configuration, lowered only when hedging is armed (a
+/// latency threshold is set). `EF026` warns when a hedged accessor has no
+/// second replica or partition-side to race the backup against.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeModel {
+    /// Latency threshold past which a backup lookup is raced, in
+    /// nanoseconds.
+    pub threshold_nanos: u64,
+    /// True when the loser's virtual cost is charged on top of the
+    /// winner's (the `ChargeBoth` policy).
+    pub charge_both: bool,
+    /// DFS replication factor — the backup-side count for accessors that
+    /// expose no partition scheme.
+    pub dfs_replication: usize,
+}
+
 /// The lookup-cache configuration, lowered whenever any operator plans a
 /// cache-strategy access. `EF021` checks its coherence.
 #[derive(Clone, Copy, Debug)]
@@ -321,6 +361,11 @@ pub struct PlanModel {
     /// Multi-tenant serving configuration, when the tenancy layer is
     /// armed (`EF024`).
     pub tenancy: Option<TenancyModel>,
+    /// Network-partition configuration, when the partition layer is armed
+    /// (`EF025`).
+    pub partition: Option<PartitionModel>,
+    /// Hedged-lookup configuration, when hedging is armed (`EF026`).
+    pub hedge: Option<HedgeModel>,
 }
 
 #[cfg(test)]
@@ -372,6 +417,8 @@ pub(crate) mod testutil {
             cache: None,
             measured: Vec::new(),
             tenancy: None,
+            partition: None,
+            hedge: None,
         }
     }
 
@@ -428,6 +475,29 @@ pub(crate) mod testutil {
         CacheModel {
             capacity: 1024,
             t_cache_secs: 1.0e-6,
+        }
+    }
+
+    /// A benign partition configuration (one healed cut on a replicated
+    /// cluster, a sane detector).
+    pub fn partition() -> PartitionModel {
+        PartitionModel {
+            partition_events: 1,
+            slow_links: 0,
+            permanently_isolated: 0,
+            cluster_nodes: 8,
+            dfs_replication: 3,
+            heartbeat_interval_nanos: 500_000,
+            suspicion_nanos: 1_500_000,
+        }
+    }
+
+    /// A benign hedge configuration (replicated DFS to race against).
+    pub fn hedge() -> HedgeModel {
+        HedgeModel {
+            threshold_nanos: 2_000_000,
+            charge_both: false,
+            dfs_replication: 3,
         }
     }
 

@@ -182,6 +182,11 @@ fn measure_all(
             iters,
             bench_lookup_heavy_corrupt,
         ));
+        results.push(measure(
+            "lookup_heavy_partition",
+            iters,
+            bench_lookup_heavy_partition,
+        ));
     }
     if tenants {
         // Recorded only, never gated: one tenant of the mix carries armed
@@ -412,6 +417,34 @@ fn bench_lookup_heavy_corrupt() -> (u64, f64) {
     )
 }
 
+/// `lookup_heavy` under a gray failure: two seeded transient partitions
+/// landing mid-job (healing inside the run) with hedged index lookups
+/// armed at a hair-trigger threshold — exercises the partition visibility
+/// checks, the suspicion/refutation ledger, fetch failover, and the
+/// per-lookup hedge race on the wall clock. Enabled by `--faults`,
+/// recorded only — `run_check` skips it.
+fn bench_lookup_heavy_partition() -> (u64, f64) {
+    use efind_cluster::{DetectorConfig, PartitionPlan};
+    let netsplit = PartitionPlan::seeded(
+        0xEF1D_0005,
+        Cluster::edbt_testbed().num_nodes(),
+        2,
+        SimTime::ZERO + SimDuration::from_millis(25),
+        SimDuration::from_millis(90),
+    );
+    let config = EFindConfig {
+        netsplit,
+        detector: DetectorConfig::default(),
+        hedge: efind::HedgeConfig {
+            seed: 0xEF1D_0006,
+            threshold: Some(SimDuration::from_micros(2)),
+            policy: efind::HedgePolicy::ChargeWinner,
+        },
+        ..EFindConfig::default()
+    };
+    run_lookup_heavy_with(config)
+}
+
 /// Multi-tenant scheduler throughput: 36 small wordcount jobs from three
 /// weighted tenants pushed through the armed `run_tenant_mix` executor —
 /// bounded admission, deficit-weighted grants, per-index token-bucket
@@ -587,6 +620,15 @@ fn run_lookup_heavy(
     chaos: efind_cluster::ChaosPlan,
     corruption: efind_cluster::CorruptionPlan,
 ) -> (u64, f64) {
+    run_lookup_heavy_with(EFindConfig {
+        faults,
+        chaos,
+        corruption,
+        ..EFindConfig::default()
+    })
+}
+
+fn run_lookup_heavy_with(efind_config: EFindConfig) -> (u64, f64) {
     let config = SyntheticConfig {
         num_records: 24_000,
         key_space: 2_400,
@@ -596,12 +638,6 @@ fn run_lookup_heavy(
         ..SyntheticConfig::default()
     };
     let mut s = synthetic::scenario(&config);
-    let efind_config = EFindConfig {
-        faults,
-        chaos,
-        corruption,
-        ..EFindConfig::default()
-    };
     let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, efind_config);
     let res = rt
         .run(&s.ijob, Mode::Uniform(Strategy::Cache))

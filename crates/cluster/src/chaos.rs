@@ -134,12 +134,18 @@ impl ChaosPlan {
     }
 
     /// Nodes already dead at virtual time `t`, in crash order.
-    pub fn dead_at(&self, t: SimTime) -> Vec<NodeId> {
+    ///
+    /// Returns a borrowed iterator rather than a fresh `Vec` — scheduling
+    /// replays query this inside per-assignment loops, and an allocation
+    /// per query was pure overhead (callers that need a set can still
+    /// `collect()`). Like every chaos query, loops must consult it only
+    /// behind a [`LayerState`](crate::profile::LayerState) check (lint
+    /// L007 flags unguarded query calls in hot loops).
+    pub fn dead_at(&self, t: SimTime) -> impl Iterator<Item = NodeId> + '_ {
         self.events
             .iter()
-            .filter(|e| e.at <= t)
+            .filter(move |e| e.at <= t)
             .map(|e| e.node)
-            .collect()
     }
 }
 
@@ -185,7 +191,9 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(a.events().len(), 3);
-        let dead = a.dead_at(SimTime::ZERO + SimDuration::from_millis(100));
+        let dead: Vec<NodeId> = a
+            .dead_at(SimTime::ZERO + SimDuration::from_millis(100))
+            .collect();
         assert_eq!(dead.len(), 3);
         // One of the four nodes survives.
         assert!((0..4).any(|n| !dead.contains(&NodeId(n))));

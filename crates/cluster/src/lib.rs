@@ -20,7 +20,9 @@
 
 pub mod chaos;
 pub mod corrupt;
+pub mod detector;
 pub mod model;
+pub mod netsplit;
 pub mod node;
 pub mod profile;
 pub mod sched;
@@ -29,10 +31,12 @@ pub mod time;
 
 pub use chaos::{ChaosPlan, CrashEvent};
 pub use corrupt::CorruptionPlan;
+pub use detector::{DetectorConfig, Suspicion, Verdict};
 pub use model::{DiskModel, NetworkModel};
+pub use netsplit::{LinkSlowdown, PartitionEvent, PartitionPlan};
 pub use node::{Cluster, ClusterBuilder, NodeId};
 pub use profile::{InjectionProfile, LayerState};
-pub use sched::{Assignment, Schedule, SlotKind, TaskSpec};
+pub use sched::{Assignment, PartitionReplay, Schedule, SlotKind, TaskSpec};
 pub use tenancy::{
     Grant, IndexRateLimit, MultiTenantScheduler, QosCharge, SchedDecision, SchedLogEntry,
     TenancyConfig, TenancyLedger, TenantId, TenantLedgerRow, TenantSpec, TokenBucket,

@@ -17,6 +17,7 @@
 
 use crate::chaos::ChaosPlan;
 use crate::corrupt::CorruptionPlan;
+use crate::netsplit::PartitionPlan;
 use crate::tenancy::TenancyConfig;
 
 /// Whether an injection layer can influence this run at all.
@@ -64,6 +65,10 @@ pub struct InjectionProfile {
     /// single-job no-tenancy path must stay byte-identical to a runtime
     /// without the layer.
     pub tenancy: LayerState,
+    /// Gray failures: network partitions, link slowdowns, heartbeat
+    /// suspicion, node rejoin. Quiet whenever the partition plan has no
+    /// effective window.
+    pub partition: LayerState,
 }
 
 impl InjectionProfile {
@@ -74,6 +79,7 @@ impl InjectionProfile {
             chaos: LayerState::Quiet,
             corruption: LayerState::Quiet,
             tenancy: LayerState::Quiet,
+            partition: LayerState::Quiet,
         }
     }
 
@@ -87,6 +93,7 @@ impl InjectionProfile {
             chaos: chaos.layer_state(),
             corruption: corruption.layer_state(),
             tenancy: LayerState::Quiet,
+            partition: LayerState::Quiet,
         }
     }
 
@@ -97,12 +104,20 @@ impl InjectionProfile {
         self
     }
 
+    /// Classifies the gray-failure layer from its plan values, keeping
+    /// the other layers as already resolved.
+    pub fn with_partition(mut self, plan: &PartitionPlan) -> Self {
+        self.partition = plan.layer_state();
+        self
+    }
+
     /// True when at least one layer is armed.
     pub fn any_armed(&self) -> bool {
         self.faults.is_armed()
             || self.chaos.is_armed()
             || self.corruption.is_armed()
             || self.tenancy.is_armed()
+            || self.partition.is_armed()
     }
 }
 
@@ -164,5 +179,20 @@ mod tests {
         );
         assert!(armed.tenancy.is_armed());
         assert!(armed.any_armed());
+    }
+
+    #[test]
+    fn partition_layer_classifies_from_plan_values() {
+        use crate::netsplit::PartitionPlan;
+        let quiet = InjectionProfile::quiet().with_partition(&PartitionPlan::new(7));
+        assert!(!quiet.any_armed());
+        let armed = InjectionProfile::quiet().with_partition(&PartitionPlan::new(7).split(
+            &[NodeId(1)],
+            SimTime::ZERO,
+            None,
+        ));
+        assert!(armed.partition.is_armed());
+        assert!(armed.any_armed());
+        assert!(!armed.chaos.is_armed());
     }
 }

@@ -10,6 +10,8 @@
 //! (the remote-lookup network cost in the index locality cost model, Eq. 4).
 
 use crate::chaos::ChaosPlan;
+use crate::detector::{DetectorConfig, Verdict};
+use crate::netsplit::PartitionPlan;
 use crate::node::{Cluster, NodeId};
 use crate::time::{SimDuration, SimTime};
 
@@ -113,6 +115,43 @@ pub struct Schedule {
     /// Attempts killed mid-run by a node crash and re-executed elsewhere
     /// (chaos plan; 0 under the quiet plan).
     pub crashed_attempts: usize,
+    /// Task-level effects of the gray-failure replay (all zero under a
+    /// quiet partition plan).
+    pub partition: PartitionReplay,
+}
+
+/// Task-level bookkeeping of one gray-failure replay pass.
+///
+/// Node-level detector outcomes (suspected / refuted / confirmed counts,
+/// re-replication intents) are *not* counted here — the runner derives
+/// them once per job from [`DetectorConfig::assess_all`], so a job whose
+/// map and reduce phases both replay the same plan does not double-count
+/// per-node events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionReplay {
+    /// Attempts re-placed onto a reachable node after their node was
+    /// suspected (includes pre-dispatch migrations off suspected nodes).
+    pub replaced_tasks: u64,
+    /// Tasks whose result delivery waited for a partition that healed
+    /// before the detector noticed it (a stall, never a suspicion).
+    pub stalled_tasks: u64,
+    /// Total virtual time results waited on heals.
+    pub stall: SimDuration,
+    /// Duplicate results reconciled exactly-once: a replaced task's
+    /// original attempt (or a losing replacement) also completed, and its
+    /// late answer was discarded.
+    pub orphan_results: u64,
+    /// Tasks stretched by a degraded (but connected) link.
+    pub slowed_tasks: u64,
+    /// Total virtual time added by link slowdowns.
+    pub slowdown: SimDuration,
+}
+
+impl PartitionReplay {
+    /// True when the replay changed nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == PartitionReplay::default()
+    }
 }
 
 impl Schedule {
@@ -186,6 +225,7 @@ pub fn schedule_phase_chaos(
         speculative_copies: 0,
         retried_tasks: 0,
         crashed_attempts: 0,
+        partition: PartitionReplay::default(),
     };
     if tasks.is_empty() {
         return schedule;
@@ -510,6 +550,230 @@ pub fn schedule_phase_chaos(
             }
             schedule.makespan = schedule.makespan.max(assignment.end);
         }
+    }
+    schedule
+}
+
+/// [`schedule_phase_chaos`] with a gray-failure plan replayed on top,
+/// through the heartbeat detector instead of an omniscient master.
+///
+/// Planning stays failure-blind; after the crash replay, assignments are
+/// replayed against the partition plan. Unlike a crash, an isolated node
+/// keeps *executing* — only visibility is cut — so three outcomes exist:
+///
+/// * **Stall** — the partition heals before the detector fires: the task
+///   finishes on its node and its result merely arrives at the heal.
+/// * **Replace + reconcile** — the node is suspected: the attempt is
+///   re-placed on a reachable node at the suspicion instant. If the node
+///   later rejoins (refuted suspicion, or a slow-link false positive),
+///   both attempts complete and the later answer is discarded — counted
+///   as an orphan, applied exactly once.
+/// * **Gone** — the partition never heals (confirmed): only the
+///   replacement's result ever lands.
+///
+/// Link slowdowns stretch the affected span of a task's runtime. With a
+/// quiet partition plan the whole pass is skipped, bit-identical to
+/// [`schedule_phase_chaos`].
+pub fn schedule_phase_gray(
+    cluster: &Cluster,
+    tasks: &[TaskSpec],
+    phase_start: SimTime,
+    chaos: &ChaosPlan,
+    partition: &PartitionPlan,
+    detector: &DetectorConfig,
+) -> Schedule {
+    let mut schedule = schedule_phase_chaos(cluster, tasks, phase_start, chaos);
+    if !partition.layer_state().is_armed() || tasks.is_empty() {
+        return schedule;
+    }
+    let kind = tasks[0].kind;
+    let slots_per_node = match kind {
+        SlotKind::Map => cluster.map_slots(),
+        SlotKind::Reduce => cluster.reduce_slots(),
+    };
+    let slot_nodes: Vec<NodeId> = (0..slots_per_node).flat_map(|_| cluster.nodes()).collect();
+    let mut slot_free: Vec<SimTime> = vec![phase_start; slot_nodes.len()];
+    // A replacement may run on any node; track its slot occupancy on the
+    // same ledger so replacements queue instead of stacking.
+    let suspicions = detector.assess_all(partition, cluster.num_nodes());
+    let suspicion_of = |node: NodeId| suspicions.iter().find(|s| s.node == node).copied();
+    // Extra runtime a degraded link adds to a span `[start, end)` on
+    // `node` — the stretch applies only to the overlapping portion.
+    let link_stretch = |node: NodeId, start: SimTime, end: SimTime| -> SimDuration {
+        match partition.slow_window(node) {
+            Some(s) if s.factor > 1.0 => {
+                let lo = start.max(s.start);
+                let hi = match s.heal {
+                    Some(h) => {
+                        if end < h {
+                            end
+                        } else {
+                            h
+                        }
+                    }
+                    None => end,
+                };
+                hi.since(lo).mul_f64(s.factor - 1.0)
+            }
+            _ => SimDuration::ZERO,
+        }
+    };
+    let mut order: Vec<usize> = (0..schedule.assignments.len()).collect();
+    order.sort_by_key(|&i| (schedule.assignments[i].start, i));
+    schedule.makespan = phase_start;
+    for i in order {
+        let task = &tasks[i];
+        let assignment = &mut schedule.assignments[i];
+        let slot = slot_nodes
+            .iter()
+            .position(|&n| n == assignment.node)
+            .expect("assignment node has a slot");
+        let planned = assignment.end.since(assignment.start);
+        let start = assignment.start.max(slot_free[slot]);
+        let mut end = start + planned;
+        // Degraded link: the overlapping span runs `factor`× slower.
+        let stretch = link_stretch(assignment.node, start, end);
+        if !stretch.is_zero() {
+            end += stretch;
+            schedule.partition.slowed_tasks += 1;
+            schedule.partition.slowdown += stretch;
+        }
+        assignment.start = start;
+        assignment.end = end;
+
+        let window = partition.isolation_window(assignment.node);
+        let suspicion = suspicion_of(assignment.node);
+        // Tasks fully delivered before any impairment opened are
+        // untouched; so are tasks on never-impaired nodes.
+        let affected_from = match (window, suspicion) {
+            (Some((ps, _)), _) => Some(ps),
+            (None, Some(s)) => Some(s.suspect_at), // slow-link false positive
+            (None, None) => None,
+        };
+        // A task dispatched after the node rejoined runs on a full member
+        // again — suspicion is history by then.
+        let rejoined_before_start = suspicion.is_some_and(|s| match s.verdict {
+            Verdict::Refuted { rejoin_at } => start >= rejoin_at,
+            Verdict::Confirmed => false,
+        });
+        if affected_from.filter(|&f| end > f).is_none() || rejoined_before_start {
+            slot_free[slot] = end;
+            schedule.makespan = schedule.makespan.max(end);
+            continue;
+        }
+
+        match suspicion {
+            None => {
+                // Isolation healed before the detector noticed: the task
+                // keeps its node and its result waits for the heal.
+                let heal = window
+                    .and_then(|(_, h)| h)
+                    .expect("undetected impairment must heal");
+                slot_free[slot] = end;
+                if end < heal {
+                    schedule.partition.stall += heal.since(end);
+                    schedule.partition.stalled_tasks += 1;
+                    assignment.end = heal;
+                }
+            }
+            Some(s) => {
+                // When (if ever) the original attempt's result becomes
+                // visible to the master: at its physical end once the
+                // node is back, never for a confirmed partition.
+                let orig_visible = match (window, s.verdict) {
+                    (Some(_), Verdict::Confirmed) => None,
+                    (Some(_), Verdict::Refuted { rejoin_at }) => Some(end.max(rejoin_at)),
+                    // False positive: the node was reachable all along.
+                    (None, _) => Some(end),
+                };
+                // Dispatched before suspicion? Then work ran (and may
+                // produce an orphan). At or after suspicion the master
+                // simply routes the task elsewhere — nothing to orphan.
+                let ran_on_suspect = start < s.suspect_at;
+                slot_free[slot] = if ran_on_suspect { end } else { start };
+                // Re-place at the suspicion instant on a node that is
+                // reachable for the whole candidate attempt; hard
+                // affinity is honoured first, then relaxed.
+                let floor = s.suspect_at.max(start);
+                let mut best: Option<(SimTime, SimTime, usize)> = None;
+                for honour_affinity in [true, false] {
+                    for (j, &node) in slot_nodes.iter().enumerate() {
+                        if node == assignment.node {
+                            continue;
+                        }
+                        if honour_affinity
+                            && task.hard_affinity
+                            && !task.affinity.is_empty()
+                            && !task.affinity.contains(&node)
+                        {
+                            continue;
+                        }
+                        let rstart = slot_free[j].max(floor);
+                        let mut rdur = task
+                            .duration_on(node, cluster)
+                            .mul_f64(cluster.hidden_slowdown(node));
+                        rdur += link_stretch(node, rstart, rstart + rdur);
+                        let rend = rstart + rdur;
+                        if partition.is_isolated_at(node, rstart)
+                            || partition.is_isolated_at(node, rend)
+                        {
+                            continue;
+                        }
+                        if chaos.crash_time(node).is_some_and(|at| at < rend) {
+                            continue;
+                        }
+                        if best.is_none_or(|(bend, _, _)| rend < bend) {
+                            best = Some((rend, rstart, j));
+                        }
+                    }
+                    if best.is_some() {
+                        break;
+                    }
+                }
+                match best {
+                    Some((rend, rstart, rslot)) => {
+                        schedule.partition.replaced_tasks += 1;
+                        match orig_visible {
+                            // Original's answer lands first: replacement
+                            // killed on arrival, its work reconciled away.
+                            Some(v) if v <= rend => {
+                                if ran_on_suspect {
+                                    assignment.end = v;
+                                }
+                                schedule.partition.orphan_results += 1;
+                                slot_free[rslot] = slot_free[rslot].max(v.min(rend));
+                            }
+                            // Replacement wins; a rejoining original that
+                            // also ran delivers a late duplicate.
+                            other => {
+                                if other.is_some() && ran_on_suspect {
+                                    schedule.partition.orphan_results += 1;
+                                }
+                                assignment.node = slot_nodes[rslot];
+                                assignment.start = rstart;
+                                assignment.end = rend;
+                                assignment.input_local = task.input_hosts.is_empty()
+                                    || task.input_hosts.contains(&assignment.node);
+                                assignment.affinity_hit = task.affinity.is_empty()
+                                    || task.affinity.contains(&assignment.node);
+                                slot_free[rslot] = rend;
+                            }
+                        }
+                    }
+                    // Nothing reachable to re-place onto: wait out the
+                    // original if it can ever deliver (the runner turns
+                    // truly total isolation into `Error::Partitioned`).
+                    None => {
+                        if let Some(v) = orig_visible {
+                            if ran_on_suspect {
+                                assignment.end = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        schedule.makespan = schedule.makespan.max(assignment.end);
     }
     schedule
 }
@@ -997,5 +1261,193 @@ mod tests {
         assert!(s.makespan >= SimTime::ZERO + SimDuration::from_millis(50));
         // And cannot exceed the serial sum.
         assert!(s.makespan <= SimTime::ZERO + SimDuration::from_millis(150));
+    }
+
+    // --- Gray-failure replay. ---
+
+    fn det() -> DetectorConfig {
+        DetectorConfig {
+            interval: SimDuration::from_millis(1),
+            suspicion: SimDuration::from_millis(3),
+        }
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn quiet_partition_plan_changes_nothing() {
+        let c = Cluster::builder()
+            .nodes(3)
+            .map_slots(2)
+            .flaky(NodeId(1), 0.5)
+            .degrade_hidden(NodeId(2), 2.0)
+            .speculation(true)
+            .build();
+        let tasks: Vec<_> = (0..10).map(|i| task(i, 10 + i as u64)).collect();
+        let chaos = ChaosPlan::new(3).kill(NodeId(2), at(15));
+        let plain = schedule_phase_chaos(&c, &tasks, SimTime::ZERO, &chaos);
+        let quiet = schedule_phase_gray(
+            &c,
+            &tasks,
+            SimTime::ZERO,
+            &chaos,
+            &PartitionPlan::new(9),
+            &det(),
+        );
+        assert_eq!(plain.assignments, quiet.assignments);
+        assert_eq!(plain.makespan, quiet.makespan);
+        assert!(quiet.partition.is_empty());
+    }
+
+    #[test]
+    fn heal_before_detection_stalls_results_without_replacing() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        // 100 ms task on node0; isolated [50 ms, 52 ms): shorter than the
+        // 3 ms suspicion threshold is NOT — wait: the window must close
+        // before start + suspect_delay = 53 ms for a stall.
+        let plan = PartitionPlan::new(1).split(&[NodeId(0)], at(50), Some(at(52)));
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        // Task ends at 100 ms, after the heal: no stall, no replacement.
+        assert!(s.partition.is_empty());
+        assert_eq!(s.makespan, at(100));
+
+        // A short task ending *inside* the window waits for the heal.
+        let plan = PartitionPlan::new(1).split(&[NodeId(0)], at(8), Some(at(10)));
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 9)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.stalled_tasks, 1);
+        assert_eq!(s.partition.replaced_tasks, 0);
+        assert_eq!(s.partition.stall, SimDuration::from_millis(1));
+        assert_eq!(s.assignments[0].node, NodeId(0));
+        assert_eq!(s.makespan, at(10));
+    }
+
+    #[test]
+    fn confirmed_partition_replaces_onto_a_reachable_node() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        // node0 partitions away at 50 ms and never heals; suspicion at
+        // 53 ms re-places the 100 ms task on node1.
+        let plan = PartitionPlan::new(1).split(&[NodeId(0)], at(50), None);
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.replaced_tasks, 1);
+        // Confirmed: the original's answer never lands, so no orphan.
+        assert_eq!(s.partition.orphan_results, 0);
+        assert_eq!(s.assignments[0].node, NodeId(1));
+        assert_eq!(s.makespan, at(153));
+    }
+
+    #[test]
+    fn refuted_partition_rejoins_and_reconciles_the_duplicate() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        // node0 isolated [50 ms, 400 ms): suspected at 53 ms, replacement
+        // runs 53–153 ms on node1 and wins; the original still finishes
+        // at 100 ms on node0 and its answer lands at the 400 ms rejoin —
+        // a duplicate, reconciled exactly-once.
+        let plan = PartitionPlan::new(1).split(&[NodeId(0)], at(50), Some(at(400)));
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.replaced_tasks, 1);
+        assert_eq!(s.partition.orphan_results, 1);
+        assert_eq!(s.assignments[0].node, NodeId(1));
+        assert_eq!(s.makespan, at(153));
+
+        // Early heal: the original's answer (visible at the 120 ms
+        // rejoin) beats the replacement (153 ms) — the node rejoined and
+        // its in-flight result counts, the replacement is the orphan.
+        let plan = PartitionPlan::new(1).split(&[NodeId(0)], at(50), Some(at(120)));
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.replaced_tasks, 1);
+        assert_eq!(s.partition.orphan_results, 1);
+        assert_eq!(s.assignments[0].node, NodeId(0));
+        assert_eq!(s.makespan, at(120));
+    }
+
+    #[test]
+    fn slow_link_stretches_and_can_falsely_suspect() {
+        let c = Cluster::builder().nodes(2).map_slots(1).build();
+        // A 2× link slowdown across the whole task: runtime doubles but
+        // 2 ms stretched beats stay under the 3 ms threshold.
+        let plan = PartitionPlan::new(1).slow_link(NodeId(0), at(0), None, 2.0);
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.slowed_tasks, 1);
+        assert_eq!(s.partition.slowdown, SimDuration::from_millis(100));
+        assert_eq!(s.partition.replaced_tasks, 0);
+        assert_eq!(s.assignments[0].node, NodeId(0));
+        assert_eq!(s.makespan, at(200));
+
+        // A 5× slowdown starves heartbeats (5 ms > 3 ms): the healthy
+        // node is falsely suspected at 3 ms, a redundant copy launches,
+        // and whichever answer lands second is reconciled away.
+        let plan = PartitionPlan::new(1).slow_link(NodeId(0), at(0), None, 5.0);
+        let s = schedule_phase_gray(
+            &c,
+            &[task(0, 100)],
+            SimTime::ZERO,
+            &ChaosPlan::none(),
+            &plan,
+            &det(),
+        );
+        assert_eq!(s.partition.replaced_tasks, 1);
+        assert_eq!(s.partition.orphan_results, 1);
+        // The un-stretched replacement on node1 (3–103 ms) beats the
+        // 500 ms stretched original.
+        assert_eq!(s.assignments[0].node, NodeId(1));
+        assert_eq!(s.makespan, at(103));
+    }
+
+    #[test]
+    fn gray_replay_is_deterministic_and_composes_with_chaos() {
+        let c = Cluster::builder().nodes(4).map_slots(2).build();
+        let tasks: Vec<_> = (0..16).map(|i| task(i, 10 + (i as u64 % 5) * 7)).collect();
+        let chaos = ChaosPlan::seeded(0xBADD, 4, 1, SimTime::ZERO, SimDuration::from_millis(40));
+        let plan = PartitionPlan::seeded(0xEF1D, 4, 2, SimTime::ZERO, SimDuration::from_millis(60))
+            .slow_link(NodeId(3), at(5), Some(at(25)), 3.0);
+        let a = schedule_phase_gray(&c, &tasks, SimTime::ZERO, &chaos, &plan, &det());
+        let b = schedule_phase_gray(&c, &tasks, SimTime::ZERO, &chaos, &plan, &det());
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.partition, b.partition);
     }
 }

@@ -28,6 +28,12 @@ pub enum Error {
     /// A job submission exceeded its tenant's configured quota (queued or
     /// running job bound). Deterministic, per-tenant, and immediate.
     QuotaExhausted(String),
+    /// A network partition that never heals has isolated every reachable
+    /// copy of data the job needs. Unlike [`Error::DataLoss`] the bytes
+    /// still exist — on nodes the rest of the cluster cannot reach — so
+    /// the job fails fast with a partition diagnosis instead of hanging
+    /// on fetches that can never complete.
+    Partitioned(String),
 }
 
 impl fmt::Display for Error {
@@ -42,6 +48,7 @@ impl fmt::Display for Error {
             Error::DataCorruption(msg) => write!(f, "data corruption: {msg}"),
             Error::AdmissionRejected(msg) => write!(f, "admission rejected: {msg}"),
             Error::QuotaExhausted(msg) => write!(f, "quota exhausted: {msg}"),
+            Error::Partitioned(msg) => write!(f, "partitioned: {msg}"),
         }
     }
 }

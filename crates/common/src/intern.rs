@@ -122,6 +122,10 @@ pub mod registry {
         // Integrity layer: efind.<op>.<j>.integrity.<what>.
         "efind.*.*.integrity.refetch",
         "efind.*.*.integrity.cache.invalid",
+        // Hedged lookups: efind.<op>.<j>.hedge.<what>.
+        "efind.*.*.hedge.fired",
+        "efind.*.*.hedge.wins",
+        "efind.*.*.hedge.loser.nanos",
         // Cross-job statistics store (statstore.rs): load-time rejections.
         "efind.statstore.corrupt",
         "efind.statstore.version.mismatch",
@@ -161,6 +165,24 @@ pub mod registry {
         "mr.recovery.rereplicated.bytes",
         "mr.recovery.rereplication.nanos",
         "mr.recovery.reused.tasks",
+        // Gray-failure ledger (PartitionLog::counters).
+        "mr.partition.events",
+        "mr.partition.slow.links",
+        "mr.partition.suspected",
+        "mr.partition.refuted",
+        "mr.partition.confirmed",
+        "mr.partition.false.positives",
+        "mr.partition.replaced.tasks",
+        "mr.partition.stalled.tasks",
+        "mr.partition.stall.nanos",
+        "mr.partition.orphan.results",
+        "mr.partition.failover.fetches",
+        "mr.partition.failover.nanos",
+        "mr.partition.rereplication.pending",
+        "mr.partition.rereplication.cancelled",
+        "mr.partition.rereplicated.chunks",
+        "mr.partition.rereplicated.bytes",
+        "mr.partition.rereplication.nanos",
         // Integrity ledger (IntegrityLog::counters).
         "mr.integrity.chunks.corrupt",
         "mr.integrity.replicas.quarantined",
@@ -208,6 +230,9 @@ pub mod registry {
         "fault.degraded",
         "integrity.refetch",
         "integrity.cache.invalid",
+        "hedge.fired",
+        "hedge.wins",
+        "hedge.loser.nanos",
         // Per-tenant serving ledger leaves (cluster::tenancy).
         "granted",
         "completed",

@@ -84,6 +84,54 @@ pub trait IndexAccessor: Send + Sync {
     }
 }
 
+/// Which attempts of a hedged lookup pay virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HedgePolicy {
+    /// Only the winning attempt's wall time is charged: the loser is
+    /// cancelled for free the instant the first answer lands (the
+    /// optimistic tail-latency model).
+    #[default]
+    ChargeWinner,
+    /// The winner's wall time plus the loser's spent time are charged:
+    /// the losing attempt's work is real resource usage the index side
+    /// performed before the cancel arrived.
+    ChargeBoth,
+}
+
+/// Configuration of hedged index lookups: after `threshold` of modeled
+/// latency, a backup request races the primary against a different
+/// replica / partition side and the first answer wins.
+///
+/// Hedging is a *virtual-cost race*: exactly one real
+/// [`IndexAccessor::try_lookup`] runs either way (the accessor is
+/// idempotent for the job, §3.2, so both attempts would return the same
+/// bytes), which keeps hedged answers bit-identical to unhedged ones.
+/// Only the charged virtual time — and the `hedge.*` counters — differ.
+/// With `threshold: None` the layer is quiet: [`ChargedLookup`] installs
+/// no state and takes the literal plain path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Seed for the backup attempt's latency draw.
+    pub seed: u64,
+    /// Modeled primary latency after which the backup fires. `None`
+    /// disables hedging entirely.
+    pub threshold: Option<SimDuration>,
+    /// How the losing attempt is charged.
+    pub policy: HedgePolicy,
+}
+
+impl HedgeConfig {
+    /// The disabled (quiet) configuration.
+    pub fn disabled() -> Self {
+        HedgeConfig::default()
+    }
+
+    /// True when lookups actually hedge.
+    pub fn is_armed(&self) -> bool {
+        self.threshold.is_some()
+    }
+}
+
 /// How a lookup's network leg is charged.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LookupMode {
@@ -108,6 +156,8 @@ pub struct ChargedLookup {
     prefix: String,
     /// Fault-tolerance state; `None` keeps the plain, zero-overhead path.
     fault: Option<FaultState>,
+    /// Hedged-lookup state; `None` keeps the plain, race-free path.
+    hedge: Option<HedgeState>,
     /// Corruption plan for response verification; a quiet plan keeps the
     /// plain, checksum-free path.
     corruption: CorruptionPlan,
@@ -129,6 +179,9 @@ pub struct ChargedLookup {
     c_f_exhausted: CounterHandle,
     c_f_degraded: CounterHandle,
     c_i_refetch: CounterHandle,
+    c_h_fired: CounterHandle,
+    c_h_wins: CounterHandle,
+    c_h_loser_nanos: CounterHandle,
 }
 
 /// The per-index slice of [`FaultConfig`] installed in a wrapper.
@@ -139,6 +192,20 @@ struct FaultState {
     miss_policy: MissPolicy,
     breaker_threshold: f64,
     breaker_min_samples: u64,
+    breaker_cooldown: Option<SimDuration>,
+}
+
+/// The resolved hedging state of a wrapper: only an armed [`HedgeConfig`]
+/// installs one. The partition scheme is resolved once at install so the
+/// per-lookup race never re-queries the accessor.
+struct HedgeState {
+    seed: u64,
+    threshold: SimDuration,
+    policy: HedgePolicy,
+    /// The index's partition scheme, when it exposes one: the backup
+    /// attempt races against the *other* partition side of the key, so
+    /// its latency draw is keyed by that side.
+    scheme: Option<Arc<dyn PartitionScheme>>,
 }
 
 impl ChargedLookup {
@@ -151,6 +218,7 @@ impl ChargedLookup {
             accessor,
             network,
             fault: None,
+            hedge: None,
             c_lookups: h("lookups"),
             c_sik_bytes: h("sik.bytes"),
             c_siv_bytes: h("siv.bytes"),
@@ -167,6 +235,9 @@ impl ChargedLookup {
             c_f_exhausted: h("fault.exhausted"),
             c_f_degraded: h("fault.degraded"),
             c_i_refetch: h("integrity.refetch"),
+            c_h_fired: h("hedge.fired"),
+            c_h_wins: h("hedge.wins"),
+            c_h_loser_nanos: h("hedge.loser.nanos"),
             corruption: CorruptionPlan::none(),
             prefix,
         }
@@ -192,6 +263,7 @@ impl ChargedLookup {
                 miss_policy: config.miss_policy.clone(),
                 breaker_threshold: config.breaker_threshold(),
                 breaker_min_samples: config.breaker_min_samples,
+                breaker_cooldown: config.breaker_cooldown,
             });
         }
         self
@@ -205,13 +277,32 @@ impl ChargedLookup {
         self
     }
 
+    /// Installs the hedging layer. A disabled config (`threshold: None`)
+    /// installs no state, so the wrapper keeps the literal plain path —
+    /// not a single draw, comparison, or counter bump per lookup.
+    pub fn with_hedging(mut self, config: &HedgeConfig) -> Self {
+        self.hedge = config.threshold.map(|threshold| HedgeState {
+            seed: config.seed,
+            threshold,
+            policy: config.policy,
+            scheme: self.accessor.partition_scheme(),
+        });
+        self
+    }
+
+    /// True when lookups race a hedged backup past the threshold.
+    pub fn hedges(&self) -> bool {
+        self.hedge.is_some()
+    }
+
     /// A fresh per-task circuit breaker, or `None` when the fault layer is
     /// not installed. Each mapper/reducer instance owns its breaker so
     /// degradation decisions never couple concurrent tasks.
     pub fn new_breaker(&self) -> Option<Breaker> {
-        self.fault
-            .as_ref()
-            .map(|f| Breaker::new(f.breaker_threshold, f.breaker_min_samples))
+        self.fault.as_ref().map(|f| {
+            Breaker::new(f.breaker_threshold, f.breaker_min_samples)
+                .with_cooldown(f.breaker_cooldown)
+        })
     }
 
     /// The wrapped accessor.
@@ -267,6 +358,70 @@ impl ChargedLookup {
         }
     }
 
+    /// Charges one *completed* lookup round trip, racing a hedged backup
+    /// when the layer is armed and the primary's modeled latency exceeds
+    /// the threshold. Exactly one real lookup happened either way — the
+    /// race only decides how much virtual time the answer cost:
+    ///
+    /// * the backup fires at `threshold` against the other partition side
+    ///   of the key (or another replica) and completes after a seeded
+    ///   draw of its own latency,
+    /// * the first answer wins the wall clock,
+    /// * the loser's spent time is recorded — and, under
+    ///   [`HedgePolicy::ChargeBoth`], charged on top.
+    ///
+    /// Index-locality lookups ([`LookupMode::Local`]) never hedge: their
+    /// slow leg is the placement penalty, not index-side latency, and
+    /// hedging it would double-charge the affinity machinery. Failed and
+    /// timed-out attempts never reach this path.
+    fn charge_completed(
+        &self,
+        key: &Datum,
+        mode: LookupMode,
+        ctx: &mut TaskCtx,
+        serve: SimDuration,
+        transfer: SimDuration,
+    ) {
+        let hedge = match &self.hedge {
+            Some(h) if mode == LookupMode::Remote => h,
+            _ => return self.charge_split(mode, ctx, serve, transfer),
+        };
+        let primary = serve + transfer;
+        if primary <= hedge.threshold {
+            return self.charge_split(mode, ctx, serve, transfer);
+        }
+        ctx.counters.bump(self.c_h_fired, 1);
+        let mut payload = Vec::new();
+        key.encode_into(&mut payload);
+        // Key the backup's latency draw by the *other* partition side of
+        // the key (unpartitioned indexes hedge against another replica of
+        // the single side), so the two attempts see independent latency.
+        if let Some(scheme) = &hedge.scheme {
+            let n = scheme.num_partitions().max(1);
+            let side = (scheme.partition_of(key) + 1) % n;
+            payload.extend_from_slice(&(side as u64).to_le_bytes());
+        }
+        let draw = efind_common::det::draw_unit(hedge.seed, "hedge.backup", &payload);
+        let backup = hedge.threshold + primary.mul_f64(draw);
+        let wall = primary.min(backup);
+        let loser_spent = if backup < primary {
+            // Backup won: the primary ran from t=0 until the backup's
+            // answer cancelled it.
+            ctx.counters.bump(self.c_h_wins, 1);
+            backup
+        } else {
+            // Primary won: the backup ran from the threshold until the
+            // primary's answer cancelled it.
+            primary.saturating_sub(hedge.threshold)
+        };
+        ctx.counters
+            .bump(self.c_h_loser_nanos, loser_spent.as_nanos() as i64);
+        match hedge.policy {
+            HedgePolicy::ChargeWinner => ctx.charge(wall),
+            HedgePolicy::ChargeBoth => ctx.charge(wall + loser_spent),
+        }
+    }
+
     /// Bumps the four per-lookup statistics counters of §4.2.
     fn bump_lookup_counters(&self, ctx: &mut TaskCtx, sik: u64, siv: u64, serve: SimDuration) {
         ctx.counters.bump(self.c_lookups, 1);
@@ -313,7 +468,7 @@ impl ChargedLookup {
                 let siv: u64 = values.iter().map(Datum::size_bytes).sum();
                 let serve = self.accessor.serve_time(key, siv);
                 let transfer = self.network.transfer(sik + siv);
-                self.charge_split(mode, ctx, serve, transfer);
+                self.charge_completed(key, mode, ctx, serve, transfer);
                 self.bump_lookup_counters(ctx, sik, siv, serve);
                 self.verify_response(key, mode, ctx, serve, transfer);
                 values
@@ -323,7 +478,7 @@ impl ChargedLookup {
                 // it costs the same as an empty hit but is counted apart.
                 let serve = self.accessor.serve_time(key, 0);
                 let transfer = self.network.transfer(sik);
-                self.charge_split(mode, ctx, serve, transfer);
+                self.charge_completed(key, mode, ctx, serve, transfer);
                 self.bump_lookup_counters(ctx, sik, 0, serve);
                 ctx.counters.bump(self.c_misses, 1);
                 self.verify_response(key, mode, ctx, serve, transfer);
@@ -354,7 +509,8 @@ impl ChargedLookup {
         ctx: &mut TaskCtx,
         mut breaker: Option<&mut Breaker>,
     ) -> Arc<[Datum]> {
-        if breaker.as_deref().is_some_and(Breaker::is_open) {
+        let now = ctx.charged();
+        if breaker.as_deref_mut().is_some_and(|b| b.blocks_at(now)) {
             ctx.counters.bump(self.c_f_degraded, 1);
             return self.miss_result(fault, key, ctx);
         }
@@ -396,11 +552,11 @@ impl ChargedLookup {
                             if kind == FaultKind::Slow {
                                 ctx.counters.bump(self.c_f_slowdowns, 1);
                             }
-                            self.charge_split(mode, ctx, serve, transfer);
+                            self.charge_completed(key, mode, ctx, serve, transfer);
                             self.bump_lookup_counters(ctx, sik, siv, serve);
                             self.verify_response(key, mode, ctx, serve, transfer);
                             if let Some(b) = breaker.as_deref_mut() {
-                                b.record(true);
+                                b.record_at(true, ctx.charged());
                             }
                             return values;
                         }
@@ -412,12 +568,12 @@ impl ChargedLookup {
                             ctx.counters.bump(self.c_f_slowdowns, 1);
                         }
                         let transfer = self.network.transfer(sik);
-                        self.charge_split(mode, ctx, serve, transfer);
+                        self.charge_completed(key, mode, ctx, serve, transfer);
                         self.bump_lookup_counters(ctx, sik, 0, serve);
                         ctx.counters.bump(self.c_misses, 1);
                         self.verify_response(key, mode, ctx, serve, transfer);
                         if let Some(b) = breaker.as_deref_mut() {
-                            b.record(true);
+                            b.record_at(true, ctx.charged());
                         }
                         return Vec::new().into();
                     }
@@ -431,8 +587,8 @@ impl ChargedLookup {
             // The attempt failed (injected or real). Update the breaker,
             // then either retry on the virtual clock or give up.
             if let Some(b) = breaker.as_deref_mut() {
-                b.record(false);
-                if b.is_open() {
+                b.record_at(false, ctx.charged());
+                if b.blocks_at(ctx.charged()) {
                     ctx.counters.bump(self.c_f_degraded, 1);
                     return self.miss_result(fault, key, ctx);
                 }
@@ -829,6 +985,142 @@ mod tests {
         }
         assert_eq!(a.charged(), b.charged());
         assert_eq!(b.counters.get("efind.op.0.integrity.refetch"), 0);
+    }
+
+    #[test]
+    fn quiet_hedge_config_is_the_literal_plain_path() {
+        let plain = charged();
+        let quiet = charged().with_hedging(&HedgeConfig::disabled());
+        assert!(!quiet.hedges());
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..100i64 {
+            let key = Datum::Int(i % 3);
+            let va = plain.lookup(&key, LookupMode::Remote, &mut a);
+            let vb = quiet.lookup(&key, LookupMode::Remote, &mut b);
+            assert_eq!(va[..], vb[..]);
+        }
+        assert_eq!(a.charged(), b.charged());
+        assert_eq!(a.counters.iter_sorted(), b.counters.iter_sorted());
+        assert_eq!(b.counters.get("efind.op.0.hedge.fired"), 0);
+    }
+
+    #[test]
+    fn hedged_answers_are_bit_identical_and_only_costs_move() {
+        let plain = charged();
+        let hedged = charged().with_hedging(&HedgeConfig {
+            seed: 42,
+            // The MemIndex serves in 100 µs, so every remote lookup
+            // crosses the threshold and fires a backup.
+            threshold: Some(SimDuration::from_micros(10)),
+            policy: HedgePolicy::ChargeWinner,
+        });
+        assert!(hedged.hedges());
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..50i64 {
+            let key = Datum::Int(i % 3);
+            let va = plain.lookup(&key, LookupMode::Remote, &mut a);
+            let vb = hedged.lookup(&key, LookupMode::Remote, &mut b);
+            assert_eq!(va[..], vb[..], "hedging must never change the answer");
+        }
+        assert_eq!(b.counters.get("efind.op.0.hedge.fired"), 50);
+        // A winner-charged race can only ever be as slow as the primary.
+        assert!(b.charged() <= a.charged());
+        // Lookup statistics (§4.2) are identical either way.
+        for c in ["lookups", "sik.bytes", "siv.bytes", "tj.nanos", "misses"] {
+            let name = format!("efind.op.0.{c}");
+            assert_eq!(a.counters.get(&name), b.counters.get(&name), "{c}");
+        }
+    }
+
+    #[test]
+    fn hedge_below_threshold_never_fires() {
+        let hedged = charged().with_hedging(&HedgeConfig {
+            seed: 42,
+            threshold: Some(SimDuration::from_secs(1)),
+            policy: HedgePolicy::ChargeWinner,
+        });
+        let plain = charged();
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..20i64 {
+            plain.lookup(&Datum::Int(i % 3), LookupMode::Remote, &mut a);
+            hedged.lookup(&Datum::Int(i % 3), LookupMode::Remote, &mut b);
+        }
+        assert_eq!(b.counters.get("efind.op.0.hedge.fired"), 0);
+        assert_eq!(a.charged(), b.charged());
+    }
+
+    #[test]
+    fn charge_both_pays_for_the_loser() {
+        let mk = |policy| {
+            charged().with_hedging(&HedgeConfig {
+                seed: 42,
+                threshold: Some(SimDuration::from_micros(10)),
+                policy,
+            })
+        };
+        let winner_only = mk(HedgePolicy::ChargeWinner);
+        let both = mk(HedgePolicy::ChargeBoth);
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        for i in 0..50i64 {
+            let key = Datum::Int(i % 3);
+            winner_only.lookup(&key, LookupMode::Remote, &mut a);
+            both.lookup(&key, LookupMode::Remote, &mut b);
+        }
+        // Same races, same losers — only the charging policy differs.
+        assert_eq!(
+            a.counters.get("efind.op.0.hedge.fired"),
+            b.counters.get("efind.op.0.hedge.fired")
+        );
+        assert_eq!(
+            a.counters.get("efind.op.0.hedge.wins"),
+            b.counters.get("efind.op.0.hedge.wins")
+        );
+        let loser = a.counters.get("efind.op.0.hedge.loser.nanos");
+        assert_eq!(loser, b.counters.get("efind.op.0.hedge.loser.nanos"));
+        assert!(loser > 0);
+        assert_eq!(
+            b.charged().as_nanos() as i64 - a.charged().as_nanos() as i64,
+            loser,
+            "ChargeBoth must pay exactly the losers' spent time on top"
+        );
+    }
+
+    #[test]
+    fn local_lookups_never_hedge() {
+        let plain = charged();
+        let hedged = charged().with_hedging(&HedgeConfig {
+            seed: 42,
+            threshold: Some(SimDuration::ZERO),
+            policy: HedgePolicy::ChargeBoth,
+        });
+        let mut a = TaskCtx::new(0);
+        let mut b = TaskCtx::new(0);
+        plain.lookup(&Datum::Int(1), LookupMode::Local, &mut a);
+        hedged.lookup(&Datum::Int(1), LookupMode::Local, &mut b);
+        assert_eq!(a.charged(), b.charged());
+        assert_eq!(a.affinity_penalty(), b.affinity_penalty());
+        assert_eq!(b.counters.get("efind.op.0.hedge.fired"), 0);
+    }
+
+    #[test]
+    fn hedging_is_deterministic_across_runs() {
+        let run = || {
+            let cl = charged().with_hedging(&HedgeConfig {
+                seed: 7,
+                threshold: Some(SimDuration::from_micros(10)),
+                policy: HedgePolicy::ChargeBoth,
+            });
+            let mut ctx = TaskCtx::new(0);
+            for i in 0..100i64 {
+                cl.lookup(&Datum::Int(i % 5), LookupMode::Remote, &mut ctx);
+            }
+            (ctx.charged(), ctx.counters.iter_sorted())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 
 use efind_cluster::{SimDuration, SimTime};
 use efind_common::{Error, FxHashMap, Result};
-use efind_mapreduce::{Counters, JobStats, PhaseStats, RecoveryLog, Runner, Sketches, TaskStats};
+use efind_mapreduce::{
+    Counters, JobStats, PartitionLog, PhaseStats, RecoveryLog, Runner, Sketches, TaskStats,
+};
 
 use crate::compile::compile_pipeline;
 use crate::cost::cost_baseline;
@@ -373,6 +375,7 @@ pub(crate) fn run_dynamic(
             output_bytes,
             recovery: std::mem::take(&mut recovery),
             integrity,
+            partition: PartitionLog::default(),
         });
         (outcome.output, end)
     } else {
@@ -601,6 +604,7 @@ fn try_reduce_phase_replan(
             output_bytes,
             recovery,
             integrity,
+            partition: PartitionLog::default(),
         };
         return Ok(Some(EFindJobResult {
             output,
@@ -732,6 +736,7 @@ fn try_reduce_phase_replan(
         output_bytes,
         recovery,
         integrity,
+        partition: PartitionLog::default(),
     }];
     jobs.extend(job_stats);
 

@@ -10,11 +10,12 @@
 //! statistics, for `explain`-style reporting.
 
 use efind_analyze::{
-    analyze, CacheModel, ChaosModel, ChoiceModel, FaultModel, IndexModel, IndexStatsModel,
-    IntegrityModel, MeasuredStatsModel, OperatorCosts, OperatorModel, PlacementKind, PlanModel,
-    RateLimitModel, Report, StrategyKind, TenancyModel, TenantModel,
+    analyze, CacheModel, ChaosModel, ChoiceModel, FaultModel, HedgeModel, IndexModel,
+    IndexStatsModel, IntegrityModel, MeasuredStatsModel, OperatorCosts, OperatorModel,
+    PartitionModel, PlacementKind, PlanModel, RateLimitModel, Report, StrategyKind, TenancyModel,
+    TenantModel,
 };
-use efind_cluster::{ChaosPlan, CorruptionPlan, TenancyConfig};
+use efind_cluster::{ChaosPlan, CorruptionPlan, DetectorConfig, PartitionPlan, TenancyConfig};
 use efind_common::{Error, FxHashMap, Result};
 
 use crate::cost::{s_min, CostEnv, OperatorStatsEstimate, Placement};
@@ -109,6 +110,8 @@ pub fn job_model(
         cache: None,
         measured: Vec::new(),
         tenancy: None,
+        partition: None,
+        hedge: None,
     })
 }
 
@@ -171,6 +174,52 @@ pub fn chaos_model(
     Some(ChaosModel {
         kill_events: chaos.events().len(),
         cluster_nodes,
+        dfs_replication,
+    })
+}
+
+/// Lowers the network-partition plan and failure-detector configuration
+/// into the analyzer's IR. Only an armed (non-quiet) plan is lowered —
+/// the gray-failure checks are meaningless for the partition-free path,
+/// which never cuts a link, and the detector is only consulted when a
+/// partition plan is armed.
+pub fn partition_model(
+    netsplit: &PartitionPlan,
+    detector: &DetectorConfig,
+    cluster_nodes: usize,
+    dfs_replication: usize,
+) -> Option<PartitionModel> {
+    if netsplit.is_quiet() {
+        return None;
+    }
+    let permanently_isolated = netsplit
+        .events()
+        .iter()
+        .filter(|e| e.is_permanent())
+        .map(|e| e.nodes.len())
+        .sum();
+    Some(PartitionModel {
+        partition_events: netsplit.events().len(),
+        slow_links: netsplit.slow_links().len(),
+        permanently_isolated,
+        cluster_nodes,
+        dfs_replication,
+        heartbeat_interval_nanos: detector.interval.as_nanos(),
+        suspicion_nanos: detector.suspicion.as_nanos(),
+    })
+}
+
+/// Lowers the hedged-lookup configuration into the analyzer's IR. Only an
+/// armed configuration (a latency threshold set) is lowered — `EF026` is
+/// meaningless when no lookup ever hedges.
+pub fn hedge_model(
+    hedge: &crate::accessor::HedgeConfig,
+    dfs_replication: usize,
+) -> Option<HedgeModel> {
+    let threshold = hedge.threshold?;
+    Some(HedgeModel {
+        threshold_nanos: threshold.as_nanos(),
+        charge_both: matches!(hedge.policy, crate::accessor::HedgePolicy::ChargeBoth),
         dfs_replication,
     })
 }
@@ -259,9 +308,10 @@ pub fn analyze_job_with_injections(
 }
 
 /// [`analyze_job`] with the *whole* runtime environment lowered alongside
-/// the plan: fault, integrity, and chaos injection layers (`EF015`–`EF018`,
-/// `EF020`, `EF022`) plus the lookup-cache configuration (`EF021`). This
-/// is the variant the compiler calls.
+/// the plan: fault, integrity, chaos, and partition injection layers
+/// (`EF015`–`EF018`, `EF020`, `EF022`, `EF025`) plus the lookup-cache
+/// (`EF021`), tenancy (`EF024`), and hedged-lookup (`EF026`)
+/// configurations. This is the variant the compiler calls.
 pub fn analyze_job_in_env(
     ijob: &IndexJobConf,
     plans: &FxHashMap<String, OperatorPlan>,
@@ -277,6 +327,13 @@ pub fn analyze_job_in_env(
         &env.tenancy,
         ijob.tenant.as_deref().or(env.tenant.as_deref()),
     );
+    model.partition = partition_model(
+        &env.netsplit,
+        &env.detector,
+        env.cluster_nodes,
+        env.dfs_replication,
+    );
+    model.hedge = hedge_model(&env.hedge, env.dfs_replication);
     Ok(analyze(&model))
 }
 
@@ -360,6 +417,8 @@ pub fn analyze_costs(
         cache: None,
         measured: Vec::new(),
         tenancy: None,
+        partition: None,
+        hedge: None,
     })
 }
 
@@ -754,6 +813,9 @@ mod tests {
             dfs_replication: 3,
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
+            netsplit: efind_cluster::PartitionPlan::none(),
+            detector: efind_cluster::DetectorConfig::default(),
+            hedge: crate::accessor::HedgeConfig::disabled(),
             measured: Vec::new(),
             tenancy: efind_cluster::TenancyConfig::none(),
             tenant: None,
@@ -782,6 +844,85 @@ mod tests {
             ChaosPlan::new(5).kill(efind_cluster::NodeId(0), SimTime::from_nanos(1_000_000_000));
         let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
         assert!(report.is_passing(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn unhealed_full_cluster_partition_fails_env_analysis() {
+        use efind_cluster::{NodeId, SimTime};
+
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut env = sample_env();
+        env.netsplit = efind_cluster::PartitionPlan::new(7).split(
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            SimTime::ZERO,
+            None,
+        );
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.has_code(DiagCode::EF025));
+        assert!(report.into_result().is_err());
+
+        // The same cut with a heal time is transient — a survivable
+        // experiment, clean under EF025.
+        env.netsplit = efind_cluster::PartitionPlan::new(7).split(
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            SimTime::ZERO,
+            Some(SimTime::from_nanos(1_000_000)),
+        );
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.is_passing(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn miscalibrated_detector_warns_under_env_analysis() {
+        use efind_cluster::{NodeId, SimDuration, SimTime};
+
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut env = sample_env();
+        env.netsplit = efind_cluster::PartitionPlan::new(7).split(
+            &[NodeId(1)],
+            SimTime::ZERO,
+            Some(SimTime::from_nanos(1_000_000)),
+        );
+        env.detector = efind_cluster::DetectorConfig {
+            interval: SimDuration::from_micros(500),
+            suspicion: SimDuration::from_micros(500),
+        };
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.has_code(DiagCode::EF025), "{}", report.to_text());
+        assert!(report.is_passing(), "detector miscalibration is a warning");
+
+        // A quiet partition plan never lowers a model: the detector is
+        // not consulted, so its calibration is irrelevant.
+        env.netsplit = efind_cluster::PartitionPlan::none();
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(!report.has_code(DiagCode::EF025));
+    }
+
+    #[test]
+    fn hedging_against_unreplicated_dfs_warns_under_env_analysis() {
+        use efind_cluster::SimDuration;
+
+        let ijob = sample_job(sample_bound("op"));
+        let plans = plans_with(&ijob, Strategy::Cache);
+        let mut env = sample_env();
+        env.hedge.threshold = Some(SimDuration::from_micros(2));
+        env.dfs_replication = 1;
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.has_code(DiagCode::EF026), "{}", report.to_text());
+        assert!(report.is_passing(), "EF026 is a warning");
+
+        // With replicas to race against, hedging is clean — and a
+        // disabled hedge lowers no model at all.
+        env.dfs_replication = 3;
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(report.is_passing(), "{}", report.to_text());
+        assert!(!report.has_code(DiagCode::EF026));
+        env.hedge = crate::accessor::HedgeConfig::disabled();
+        env.dfs_replication = 1;
+        let report = analyze_job_in_env(&ijob, &plans, &env).unwrap();
+        assert!(!report.has_code(DiagCode::EF026));
     }
 
     #[test]

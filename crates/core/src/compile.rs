@@ -20,7 +20,8 @@
 use std::sync::Arc;
 
 use efind_cluster::{
-    ChaosPlan, CorruptionPlan, InjectionProfile, NetworkModel, SimDuration, TenancyConfig,
+    ChaosPlan, CorruptionPlan, DetectorConfig, InjectionProfile, NetworkModel, PartitionPlan,
+    SimDuration, TenancyConfig,
 };
 use efind_common::{Datum, Error, FxHashMap, Record, Result};
 use efind_mapreduce::{
@@ -28,7 +29,7 @@ use efind_mapreduce::{
     MapperFactory, Partitioner, Reducer, ReducerFactory, TaskCtx,
 };
 
-use crate::accessor::{ChargedLookup, LookupMode, PartitionScheme};
+use crate::accessor::{ChargedLookup, HedgeConfig, LookupMode, PartitionScheme};
 use crate::cache::{LookupCache, ShadowCache};
 use crate::carrier::Carrier;
 use crate::fault::{Breaker, FaultConfig};
@@ -72,6 +73,19 @@ pub struct RuntimeEnv {
     /// Node count of the simulated cluster the job runs on, paired with
     /// `chaos` for the survivability check.
     pub cluster_nodes: usize,
+    /// Network-partition plan applied to every constituent MapReduce job,
+    /// for the analyzer's reachability check (`EF025`): a partition that
+    /// never heals and isolates every replica of the input leaves the job
+    /// no way to finish.
+    pub netsplit: PartitionPlan,
+    /// Heartbeat failure-detector parameters paired with `netsplit` for
+    /// the analyzer's EF025 interval-vs-suspicion sanity check.
+    pub detector: DetectorConfig,
+    /// Hedged-lookup configuration attached to every [`ChargedLookup`]
+    /// built for this pipeline. Quiet (no threshold) = the plain lookup
+    /// path; armed without a second replica/partition-side to race
+    /// against trips the analyzer's EF026 warning.
+    pub hedge: HedgeConfig,
     /// Measured-stats injections from the cross-job store: operators whose
     /// plans were built from recorded history instead of catalog
     /// estimates, with the EF023 probe costs attached. Empty whenever no
@@ -98,8 +112,9 @@ impl RuntimeEnv {
     /// from the plans it receives — so a configured-but-quiet pipeline
     /// compiles to exactly the stages a never-configured one does.
     pub fn injection_profile(&self) -> InjectionProfile {
-        let mut profile =
-            InjectionProfile::from_plans(&self.chaos, &self.corruption).with_tenancy(&self.tenancy);
+        let mut profile = InjectionProfile::from_plans(&self.chaos, &self.corruption)
+            .with_partition(&self.netsplit)
+            .with_tenancy(&self.tenancy);
         profile.faults = self.faults.layer_state();
         profile
     }
@@ -623,7 +638,8 @@ fn compile_operator(
                 Arc::new(
                     ChargedLookup::new(acc.clone(), env.network, names::idx_prefix(&opname, j))
                         .with_faults(&env.faults)
-                        .with_corruption(&env.corruption),
+                        .with_corruption(&env.corruption)
+                        .with_hedging(&env.hedge),
                 )
             })
             .collect(),
@@ -1015,6 +1031,9 @@ mod tests {
             dfs_replication: 2,
             chaos: ChaosPlan::none(),
             cluster_nodes: 4,
+            netsplit: PartitionPlan::none(),
+            detector: DetectorConfig::default(),
+            hedge: HedgeConfig::disabled(),
             measured: Vec::new(),
             tenancy: TenancyConfig::none(),
             tenant: None,

@@ -219,6 +219,13 @@ pub struct FaultConfig {
     pub breaker_threshold_x1000: u32,
     /// Attempts observed before the breaker may open.
     pub breaker_min_samples: u64,
+    /// Half-open cooldown on the task's virtual clock: once this much
+    /// charged time has passed since the trip, the breaker admits one
+    /// probe lookup — success closes it (counters reset), failure re-opens
+    /// it for another full cooldown. `None` (the default) preserves
+    /// trip-only behavior: an open breaker stays open for the task's
+    /// lifetime.
+    pub breaker_cooldown: Option<SimDuration>,
     /// Per-index measured failure rate above which the adaptive runtime
     /// degrades the operator to the baseline strategy (×1000).
     pub degrade_threshold_x1000: u32,
@@ -240,6 +247,7 @@ impl FaultConfig {
             miss_policy: MissPolicy::Skip,
             breaker_threshold_x1000: 1000,
             breaker_min_samples: 16,
+            breaker_cooldown: None,
             degrade_threshold_x1000: 500,
         }
     }
@@ -296,11 +304,20 @@ pub struct Breaker {
     threshold: f64,
     min_samples: u64,
     open: bool,
+    /// Half-open cooldown; `None` means trip-only (open stays open).
+    cooldown: Option<SimDuration>,
+    /// Task-clock instant of the most recent trip, meaningful while open.
+    tripped_at: SimDuration,
+    /// True while exactly one probe lookup is in flight after a cooldown.
+    probing: bool,
+    /// Times a probe succeeded and fully closed the breaker.
+    resets: u64,
 }
 
 impl Breaker {
     /// A closed breaker opening above `threshold` (strict) after
-    /// `min_samples` attempts.
+    /// `min_samples` attempts. Without a cooldown it stays open for the
+    /// task's lifetime once tripped.
     pub fn new(threshold: f64, min_samples: u64) -> Self {
         Breaker {
             attempts: 0,
@@ -308,11 +325,40 @@ impl Breaker {
             threshold,
             min_samples: min_samples.max(1),
             open: false,
+            cooldown: None,
+            tripped_at: SimDuration::ZERO,
+            probing: false,
+            resets: 0,
         }
     }
 
-    /// Records one attempt outcome.
-    pub fn record(&mut self, success: bool) {
+    /// Installs a half-open cooldown measured on the task's virtual
+    /// clock (the accessor passes `ctx.charged()` as "now"). `None`
+    /// leaves the breaker trip-only.
+    pub fn with_cooldown(mut self, cooldown: Option<SimDuration>) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Records one attempt outcome at task-clock instant `now`.
+    ///
+    /// While probing, the outcome resolves the probe instead of feeding
+    /// the ratio: success closes the breaker and resets its counters so a
+    /// later trip again needs `min_samples` fresh attempts; failure
+    /// re-opens it and restarts the cooldown from `now`.
+    pub fn record_at(&mut self, success: bool, now: SimDuration) {
+        if self.probing {
+            self.probing = false;
+            if success {
+                self.open = false;
+                self.attempts = 0;
+                self.failures = 0;
+                self.resets += 1;
+            } else {
+                self.tripped_at = now;
+            }
+            return;
+        }
         self.attempts += 1;
         if !success {
             self.failures += 1;
@@ -322,22 +368,56 @@ impl Breaker {
             && self.failures as f64 > self.threshold * self.attempts as f64
         {
             self.open = true;
+            self.tripped_at = now;
         }
     }
 
-    /// True once the failure ratio has crossed the threshold.
+    /// Records one attempt outcome on a breaker without a cooldown.
+    pub fn record(&mut self, success: bool) {
+        self.record_at(success, SimDuration::ZERO);
+    }
+
+    /// Whether a lookup issued at task-clock instant `now` is blocked.
+    ///
+    /// An open breaker whose cooldown has elapsed flips to half-open and
+    /// lets the caller's lookup through as the probe; the next
+    /// [`record_at`](Self::record_at) resolves it. Without a cooldown
+    /// this is exactly [`is_open`](Self::is_open).
+    pub fn blocks_at(&mut self, now: SimDuration) -> bool {
+        if !self.open {
+            return false;
+        }
+        if self.probing {
+            return false;
+        }
+        match self.cooldown {
+            Some(cd) if now >= self.tripped_at + cd => {
+                self.probing = true;
+                false
+            }
+            _ => true,
+        }
+    }
+
+    /// True once the failure ratio has crossed the threshold (raw open
+    /// state; ignores any pending half-open probe).
     pub fn is_open(&self) -> bool {
         self.open
     }
 
-    /// Attempts observed so far.
+    /// Attempts observed so far (since the last reset).
     pub fn attempts(&self) -> u64 {
         self.attempts
     }
 
-    /// Failures observed so far.
+    /// Failures observed so far (since the last reset).
     pub fn failures(&self) -> u64 {
         self.failures
+    }
+
+    /// Times a half-open probe succeeded and closed the breaker.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 }
 
@@ -422,6 +502,66 @@ mod tests {
         assert!(!ok.is_open(), "50% is not strictly above 50%");
         assert_eq!(ok.attempts(), 16);
         assert_eq!(ok.failures(), 8);
+    }
+
+    #[test]
+    fn breaker_without_cooldown_stays_open_forever() {
+        let mut b = Breaker::new(0.5, 2);
+        b.record_at(false, SimDuration::from_micros(1));
+        b.record_at(false, SimDuration::from_micros(2));
+        assert!(b.is_open());
+        // No cooldown: arbitrarily far in the future it still blocks.
+        assert!(b.blocks_at(SimDuration::from_secs(3600)));
+        assert!(b.is_open());
+        assert_eq!(b.resets(), 0);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_success_closes_and_resets() {
+        let cd = SimDuration::from_millis(1);
+        let mut b = Breaker::new(0.5, 2).with_cooldown(Some(cd));
+        b.record_at(false, SimDuration::from_micros(10));
+        b.record_at(false, SimDuration::from_micros(20));
+        assert!(b.is_open(), "tripped at t=20µs");
+        // Inside the cooldown the breaker still blocks.
+        assert!(b.blocks_at(SimDuration::from_micros(500)));
+        // Past the cooldown it admits exactly one probe.
+        let probe_t = SimDuration::from_micros(20) + cd;
+        assert!(!b.blocks_at(probe_t), "cooldown elapsed: half-open");
+        assert!(b.is_open(), "half-open is still raw-open until resolved");
+        // Probe succeeds: fully closed, counters reset, reset counted.
+        b.record_at(true, probe_t);
+        assert!(!b.is_open());
+        assert!(!b.blocks_at(probe_t));
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.failures(), 0);
+        assert_eq!(b.resets(), 1);
+        // A later trip needs min_samples fresh attempts again.
+        b.record_at(false, probe_t + cd);
+        assert!(!b.is_open(), "one failure after reset is below min_samples");
+    }
+
+    #[test]
+    fn breaker_half_open_probe_failure_reopens_with_fresh_cooldown() {
+        let cd = SimDuration::from_millis(1);
+        let mut b = Breaker::new(0.5, 2).with_cooldown(Some(cd));
+        b.record_at(false, SimDuration::ZERO);
+        b.record_at(false, SimDuration::ZERO);
+        assert!(b.is_open());
+        let probe_t = cd; // tripped at t=0, cooldown just elapsed
+        assert!(!b.blocks_at(probe_t));
+        // Probe fails: re-open and the cooldown restarts from the probe.
+        b.record_at(false, probe_t);
+        assert!(b.is_open());
+        assert_eq!(b.resets(), 0);
+        assert!(
+            b.blocks_at(probe_t + SimDuration::from_micros(999)),
+            "inside the restarted cooldown"
+        );
+        assert!(!b.blocks_at(probe_t + cd), "second probe after restart");
+        b.record_at(true, probe_t + cd);
+        assert!(!b.is_open());
+        assert_eq!(b.resets(), 1);
     }
 
     #[test]

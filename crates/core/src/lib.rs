@@ -75,7 +75,10 @@ pub mod runtime;
 pub mod statstore;
 pub mod statsx;
 
-pub use accessor::{ChargedLookup, IndexAccessor, LookupMode, LookupResult, PartitionScheme};
+pub use accessor::{
+    ChargedLookup, HedgeConfig, HedgePolicy, IndexAccessor, LookupMode, LookupResult,
+    PartitionScheme,
+};
 pub use cache::LookupCache;
 pub use cost::{CostEnv, IndexStatsEstimate, OperatorStatsEstimate, Placement};
 pub use efind_analyze::{DiagCode, Diagnostic, Report, Severity, Span};

@@ -3,11 +3,15 @@
 
 use std::path::Path;
 
-use efind_cluster::{ChaosPlan, Cluster, CorruptionPlan, SimDuration, SimTime, TenancyConfig};
+use efind_cluster::{
+    ChaosPlan, Cluster, CorruptionPlan, DetectorConfig, PartitionPlan, SimDuration, SimTime,
+    TenancyConfig,
+};
 use efind_common::{Error, FxHashMap, Result};
 use efind_dfs::{Dfs, DfsFile};
 use efind_mapreduce::{Counters, JobStats, Runner, Sketches};
 
+use crate::accessor::HedgeConfig;
 use crate::compile::{compile_pipeline, RuntimeEnv};
 use crate::cost::CostEnv;
 use crate::fault::FaultConfig;
@@ -82,6 +86,30 @@ pub struct EFindConfig {
     /// corruption-free path is byte-identical to a build without the
     /// integrity layer.
     pub corruption: CorruptionPlan,
+    /// Network-partition plan applied to every constituent MapReduce job:
+    /// partitions cut *visibility*, never state — isolated nodes keep
+    /// running, their completed outputs strand until the partition heals
+    /// (or are recomputed elsewhere when it never does), and the DFS is
+    /// never mutated. Quiet by default ([`PartitionPlan::none`]) — the
+    /// partition-free path is byte-identical to a build without the
+    /// gray-failure layer.
+    pub netsplit: PartitionPlan,
+    /// Heartbeat failure-detector parameters consulted only when
+    /// `netsplit` is armed: nodes silent past the suspicion threshold are
+    /// suspected (tasks re-placed, re-replication queued); nodes that
+    /// come back refute the suspicion, rejoin, and have their pending
+    /// re-replication cancelled and in-flight results reconciled
+    /// exactly-once.
+    pub detector: DetectorConfig,
+    /// Hedged index lookups: past the configured latency threshold a
+    /// lookup races a seeded backup against a different replica or
+    /// partition-side, the first answer wins, and the loser's virtual
+    /// cost is charged per [`HedgePolicy`](crate::HedgePolicy). Answers
+    /// are bit-identical to unhedged runs (idempotent lookups, §3.2) —
+    /// only virtual time and the `hedge.*` counters move. Quiet by
+    /// default (no threshold) — the unhedged path is byte-identical to a
+    /// build without the hedging layer.
+    pub hedge: HedgeConfig,
     /// Multi-tenant serving configuration of the cluster this runtime's
     /// jobs are admitted to: per-tenant quotas and weights, the bounded
     /// admission queue, per-index rate limits, and cache shares. Quiet by
@@ -109,6 +137,9 @@ impl Default for EFindConfig {
             faults: FaultConfig::disabled(),
             chaos: ChaosPlan::none(),
             corruption: CorruptionPlan::none(),
+            netsplit: PartitionPlan::none(),
+            detector: DetectorConfig::default(),
+            hedge: HedgeConfig::disabled(),
             tenancy: TenancyConfig::none(),
             tenant: None,
         }
@@ -309,6 +340,9 @@ impl<'a> EFindRuntime<'a> {
             dfs_replication: self.dfs.config().replication,
             chaos: self.config.chaos.clone(),
             cluster_nodes: self.cluster.num_nodes() as usize,
+            netsplit: self.config.netsplit.clone(),
+            detector: self.config.detector,
+            hedge: self.config.hedge,
             measured: Vec::new(),
             tenancy: self.config.tenancy.clone(),
             tenant: self.config.tenant.clone(),
@@ -497,6 +531,7 @@ impl<'a> EFindRuntime<'a> {
         for conf in &compiled.jobs {
             let res = Runner::with_chaos(self.cluster, self.dfs, self.config.chaos.clone())
                 .with_corruption(self.config.corruption.clone())
+                .with_netsplit(self.config.netsplit.clone(), self.config.detector)
                 .run(conf, t)?;
             t = res.stats.finished;
             jobs.push(res.stats);

@@ -525,7 +525,7 @@ const OBSERVABLE_CRATES: &[&str] = &["core", "mapreduce", "cluster", "dfs", "ind
 
 /// Injection modules: all randomness must route through
 /// `efind_common::det`.
-const INJECTION_FILES: &[&str] = &["fault.rs", "chaos.rs", "corrupt.rs"];
+const INJECTION_FILES: &[&str] = &["fault.rs", "chaos.rs", "corrupt.rs", "netsplit.rs"];
 
 /// Hot-path crates where per-record/per-lookup loops must not reach an
 /// injection plan without a Quiet/Armed classification (L007). These are
@@ -544,6 +544,11 @@ const INJECTION_CALL_TOKENS: &[&str] = &[
     "crc32",
     "crash_time",
     "is_dead_at",
+    "is_isolated_at",
+    "slowdown_at",
+    "isolation_window",
+    "isolated_forever_from",
+    "suspect_delay",
     "chunk_replica_corrupt",
     "shuffle_corrupt",
     "cache_corrupt",
@@ -1311,6 +1316,32 @@ mod tests {
                    }\n\
                    n\n}\n";
         assert!(scan_file("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l007_partition_queries_in_loops_need_a_guard() {
+        // A per-record partition query without a Quiet/Armed guard is the
+        // per-iteration dispatch the profile exists to hoist.
+        let src = "fn f(plan: &PartitionPlan, keys: &[Datum], t: SimTime) -> u64 {\n\
+                   let mut n = 0;\n\
+                   for _key in keys {\n\
+                   if plan.is_isolated_at(NodeId(0), t) { n += 1; }\n\
+                   }\n\
+                   n\n}\n";
+        let f = scan_file("crates/mapreduce/src/x.rs", src);
+        assert_eq!(codes(&f), vec![LintCode::L007]);
+        // The netsplit module implements the plan — exempt.
+        assert!(scan_file("crates/cluster/src/netsplit.rs", src).is_empty());
+
+        // Classified before the loop: the hoisted dispatch the rule wants.
+        let src = "fn f(plan: &PartitionPlan, keys: &[Datum], t: SimTime) -> u64 {\n\
+                   if !plan.layer_state().is_armed() { return 0; }\n\
+                   let mut n = 0;\n\
+                   for _key in keys {\n\
+                   if plan.slowdown_at(NodeId(0), t) > 1.0 { n += 1; }\n\
+                   }\n\
+                   n\n}\n";
+        assert!(scan_file("crates/mapreduce/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod context;
 pub mod counters;
 pub mod integrity;
 pub mod job;
+pub mod netsplit_log;
 pub mod partition;
 pub mod recovery;
 pub mod report;
@@ -44,6 +45,7 @@ pub use context::TaskCtx;
 pub use counters::{CounterHandle, Counters, Sketches};
 pub use integrity::IntegrityLog;
 pub use job::JobConf;
+pub use netsplit_log::PartitionLog;
 pub use partition::{HashPartitioner, Partitioner};
 pub use recovery::RecoveryLog;
 pub use runner::{run_job, JobResult, MapPhaseExec, ReduceTaskExec, Runner};

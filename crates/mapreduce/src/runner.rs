@@ -17,8 +17,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use efind_cluster::{
-    sched::{schedule_phase_chaos, Schedule, SlotKind, TaskSpec},
-    ChaosPlan, Cluster, CorruptionPlan, CrashEvent, InjectionProfile, SimDuration, SimTime,
+    sched::{
+        schedule_phase_chaos, schedule_phase_gray, PartitionReplay, Schedule, SlotKind, TaskSpec,
+    },
+    ChaosPlan, Cluster, CorruptionPlan, CrashEvent, DetectorConfig, InjectionProfile,
+    PartitionPlan, SimDuration, SimTime, Suspicion, Verdict,
 };
 use efind_common::{crc32, Error, Record, Result};
 use efind_dfs::{ChunkMeta, Dfs, DfsFile};
@@ -28,6 +31,7 @@ use crate::api::{run_chain, run_chain_shared, Collector};
 use crate::context::TaskCtx;
 use crate::integrity::IntegrityLog;
 use crate::job::JobConf;
+use crate::netsplit_log::PartitionLog;
 use crate::recovery::RecoveryLog;
 use crate::stats::{JobStats, PhaseStats, TaskStats};
 
@@ -133,6 +137,16 @@ pub struct Runner<'a> {
     /// Data-corruption plan consulted at the shuffle boundary and during
     /// the integrity sweep in [`Runner::finish`] (quiet by default).
     corruption: CorruptionPlan,
+    /// Network-partition / link-slowdown plan replayed against every
+    /// schedule (quiet by default). Unlike chaos crashes, partitions cut
+    /// *visibility*, never state: isolated nodes keep running and the
+    /// DFS is never mutated — replicas behind a partition still exist,
+    /// they are just unreachable until the heal.
+    netsplit: PartitionPlan,
+    /// Heartbeat failure detector that turns partition windows into
+    /// suspicions (and refutes them when nodes rejoin). Only consulted
+    /// when the partition layer is armed.
+    detector: DetectorConfig,
     /// Quiet/Armed classification of the chaos and corruption layers,
     /// resolved once at construction (and re-resolved by the `with_*`
     /// builders). Every per-record, per-payload, and per-task loop in
@@ -149,6 +163,8 @@ impl<'a> Runner<'a> {
             dfs,
             chaos: ChaosPlan::none(),
             corruption: CorruptionPlan::none(),
+            netsplit: PartitionPlan::none(),
+            detector: DetectorConfig::default(),
             profile: InjectionProfile::quiet(),
         }
     }
@@ -162,6 +178,8 @@ impl<'a> Runner<'a> {
             dfs,
             chaos,
             corruption: CorruptionPlan::none(),
+            netsplit: PartitionPlan::none(),
+            detector: DetectorConfig::default(),
             profile,
         }
     }
@@ -172,7 +190,27 @@ impl<'a> Runner<'a> {
     pub fn with_corruption(mut self, plan: CorruptionPlan) -> Self {
         self.dfs.set_corruption(plan.clone());
         self.corruption = plan;
-        self.profile = InjectionProfile::from_plans(&self.chaos, &self.corruption);
+        self.profile = InjectionProfile::from_plans(&self.chaos, &self.corruption)
+            .with_partition(&self.netsplit);
+        self
+    }
+
+    /// Arms the network-partition plan and the failure detector that
+    /// observes it. With a quiet plan this changes nothing — the runner
+    /// takes byte-for-byte the plain path.
+    ///
+    /// Partition semantics differ from chaos crashes on purpose: nodes
+    /// inside a partition keep executing (their results surface at the
+    /// heal), the DFS is never mutated, and a partition that never heals
+    /// while isolating every replica of needed data fails the job fast
+    /// with [`Error::Partitioned`] rather than hanging on fetches that
+    /// can never complete. DFS write placement is not modeled per node,
+    /// so map-only outputs are not subject to partition visibility.
+    pub fn with_netsplit(mut self, plan: PartitionPlan, detector: DetectorConfig) -> Self {
+        self.netsplit = plan;
+        self.detector = detector;
+        self.profile = InjectionProfile::from_plans(&self.chaos, &self.corruption)
+            .with_partition(&self.netsplit);
         self
     }
 
@@ -184,6 +222,16 @@ impl<'a> Runner<'a> {
     /// The runner's corruption plan.
     pub fn corruption(&self) -> &CorruptionPlan {
         &self.corruption
+    }
+
+    /// The runner's partition plan.
+    pub fn netsplit(&self) -> &PartitionPlan {
+        &self.netsplit
+    }
+
+    /// The runner's failure-detector configuration.
+    pub fn detector(&self) -> &DetectorConfig {
+        &self.detector
     }
 
     /// The once-per-job Quiet/Armed classification of the runner's
@@ -329,6 +377,25 @@ impl<'a> Runner<'a> {
         })
     }
 
+    /// Schedules one phase's tasks, replaying the crash plan and — only
+    /// when the partition layer is armed — the gray-failure plan on top.
+    /// The hoisted branch keeps the quiet partition path literally the
+    /// pre-partition code path.
+    fn schedule_phase(&self, specs: &[TaskSpec], start: SimTime) -> Schedule {
+        if self.profile.partition.is_armed() {
+            schedule_phase_gray(
+                self.cluster,
+                specs,
+                start,
+                &self.chaos,
+                &self.netsplit,
+                &self.detector,
+            )
+        } else {
+            schedule_phase_chaos(self.cluster, specs, start, &self.chaos)
+        }
+    }
+
     /// Schedules executed map tasks onto the cluster starting at `start`.
     pub fn schedule_maps(&self, exec: &MapPhaseExec, start: SimTime) -> Schedule {
         let specs: Vec<TaskSpec> = exec
@@ -345,7 +412,7 @@ impl<'a> Runner<'a> {
                 hard_affinity: t.hard_affinity,
             })
             .collect();
-        schedule_phase_chaos(self.cluster, &specs, start, &self.chaos)
+        self.schedule_phase(&specs, start)
     }
 
     /// Partitions per-source map outputs into the job's reduce buckets,
@@ -528,7 +595,7 @@ impl<'a> Runner<'a> {
             specs.push(e.spec);
             outputs.push(e.output);
         }
-        let schedule = schedule_phase_chaos(self.cluster, &specs, start, &self.chaos);
+        let schedule = self.schedule_phase(&specs, start);
         let all_output: Vec<Record> = outputs.into_iter().flatten().collect();
         let output = match conf.output_chunks {
             Some(n) => self.dfs.write_file_with_chunks(&conf.output, all_output, n),
@@ -747,6 +814,63 @@ impl<'a> Runner<'a> {
         log
     }
 
+    /// Records the node-level gray-failure outcomes of one job into its
+    /// ledger: plan events inside the job window, every suspicion's
+    /// resolution, and the re-replication intents the detector raised —
+    /// *pending* on suspicion, *cancelled* on rejoin, and priced (but
+    /// never applied to DFS state: the isolated replicas still exist) for
+    /// confirmed-gone nodes, against the job's input chunks they host.
+    fn account_gray_nodes(
+        &self,
+        conf: &JobConf,
+        suspicions: &[Suspicion],
+        finished: SimTime,
+        gray: &mut PartitionLog,
+    ) {
+        gray.events = self
+            .netsplit
+            .events()
+            .iter()
+            .filter(|e| e.start < finished)
+            .count();
+        gray.slow_links = self
+            .netsplit
+            .slow_links()
+            .iter()
+            .filter(|l| l.start < finished)
+            .count();
+        let meta = self.dfs.stat(&conf.input).ok();
+        for s in suspicions {
+            if s.suspect_at >= finished {
+                continue;
+            }
+            gray.suspected += 1;
+            gray.rereplication_pending += 1;
+            match s.verdict {
+                Verdict::Confirmed => {
+                    gray.confirmed += 1;
+                    let Some(meta) = meta.as_ref() else { continue };
+                    for chunk in &meta.chunks {
+                        if chunk.hosts.contains(&s.node) {
+                            gray.rereplicated_chunks += 1;
+                            gray.rereplicated_bytes += chunk.bytes;
+                            gray.rereplication_time += self.cluster.network.volume(chunk.bytes)
+                                + self.cluster.disk.write(chunk.bytes);
+                        }
+                    }
+                }
+                Verdict::Refuted { .. } => {
+                    if s.false_positive {
+                        gray.false_positives += 1;
+                    } else {
+                        gray.refuted += 1;
+                    }
+                    gray.rereplication_cancelled += 1;
+                }
+            }
+        }
+    }
+
     /// Runs a full job starting at virtual time `start`.
     pub fn run(&mut self, conf: &JobConf, start: SimTime) -> Result<JobResult> {
         let chunks = self.chunks(conf)?;
@@ -794,6 +918,46 @@ impl<'a> Runner<'a> {
         // The surviving attempt of every map task, updated as recompute
         // waves replace lost ones.
         let mut attempts = map_schedule.assignments.clone();
+        let mut gray = PartitionLog::default();
+        // Node-level detector outcomes, assessed once per job: the phase
+        // schedules replay only task-level effects, so a suspicion seen by
+        // both the map and the reduce schedule is never double-counted.
+        let mut suspicions: Vec<Suspicion> = Vec::new();
+        if self.profile.partition.is_armed() {
+            fold_partition_replay(&mut gray, &map_schedule.partition);
+            suspicions = self
+                .detector
+                .assess_all(&self.netsplit, self.cluster.num_nodes());
+            // Fail fast — never hang — when a partition that never heals
+            // has isolated every replica host of a chunk some attempt
+            // still needs to read. The replicas are intact (partitions
+            // never mutate the DFS), just unreachable forever, which is
+            // why this is `Partitioned` and not `DataLoss`.
+            let meta = self.dfs.stat(&conf.input)?;
+            for a in &attempts {
+                let Some(chunk) = meta.chunks.get(a.task_id) else {
+                    continue;
+                };
+                let mut cut = SimTime::ZERO;
+                let mut all_isolated = !chunk.hosts.is_empty();
+                for h in &chunk.hosts {
+                    match self.netsplit.isolated_forever_from(*h) {
+                        Some(s) => cut = cut.max(s),
+                        None => {
+                            all_isolated = false;
+                            break;
+                        }
+                    }
+                }
+                if all_isolated && a.end > cut {
+                    return Err(Error::Partitioned(format!(
+                        "job {}: map task {} needs chunk {} of {} but a partition \
+                         that never heals has isolated every replica host",
+                        conf.name, a.task_id, a.task_id, conf.input
+                    )));
+                }
+            }
+        }
         let mut deferred: Vec<CrashEvent> = Vec::new();
         // One branch on the hoisted classification replaces every
         // per-event / per-attempt chaos check for quiet runs.
@@ -895,6 +1059,82 @@ impl<'a> Runner<'a> {
             recovery.recomputed_map_tasks.sort_unstable();
         }
 
+        // Permanent partitions strand completed node-local map outputs:
+        // once the detector confirms a node gone, every map task that
+        // completed on it before the cut re-runs on reachable nodes — the
+        // gray analog of the chaos recompute wave. The stranded outputs
+        // still exist on the isolated node (nothing is lost, so no DFS
+        // mutation and no replica repair); they are simply unreachable
+        // for the rest of the job.
+        let mut gray_recomputed = false;
+        if self.profile.partition.is_armed() && conf.has_reduce() {
+            for s in &suspicions {
+                if !matches!(s.verdict, Verdict::Confirmed) {
+                    continue;
+                }
+                let Some((cut, _)) = self.netsplit.isolation_window(s.node) else {
+                    continue;
+                };
+                let lost_ids: Vec<usize> = attempts
+                    .iter()
+                    .filter(|a| a.node == s.node && a.end <= cut)
+                    .map(|a| a.task_id)
+                    .collect();
+                if lost_ids.is_empty() {
+                    continue;
+                }
+                let meta = self.dfs.stat(&conf.input)?;
+                let mut specs = Vec::with_capacity(lost_ids.len());
+                for id in &lost_ids {
+                    let t = exec
+                        .tasks
+                        .iter()
+                        .find(|t| t.task_id == *id)
+                        .ok_or_else(|| {
+                            Error::Internal(format!("gray recompute of unknown map task {id}"))
+                        })?;
+                    let chunk = meta.chunks.get(*id).ok_or_else(|| {
+                        Error::Internal(format!(
+                            "map task {id} has no chunk {id} in {}",
+                            conf.input
+                        ))
+                    })?;
+                    if chunk
+                        .hosts
+                        .iter()
+                        .all(|h| self.netsplit.isolated_forever_from(*h).is_some())
+                    {
+                        return Err(Error::Partitioned(format!(
+                            "job {}: recomputing map task {id} needs chunk {id} of {} \
+                             but a partition that never heals has isolated every \
+                             replica host",
+                            conf.name, conf.input
+                        )));
+                    }
+                    specs.push(TaskSpec {
+                        id: *id,
+                        kind: SlotKind::Map,
+                        base: t.base_cost,
+                        input_bytes: t.input_bytes,
+                        input_hosts: chunk.hosts.clone(),
+                        affinity: t.affinity.clone(),
+                        affinity_penalty: t.affinity_penalty,
+                        hard_affinity: t.hard_affinity,
+                    });
+                }
+                let wave = self.schedule_phase(&specs, s.suspect_at);
+                fold_partition_replay(&mut gray, &wave.partition);
+                gray.replaced_tasks += lost_ids.len() as u64;
+                for wa in wave.assignments {
+                    if let Some(a) = attempts.iter_mut().find(|a| a.task_id == wa.task_id) {
+                        *a = wa;
+                    }
+                }
+                map_end = map_end.max(wave.makespan);
+                gray_recomputed = true;
+            }
+        }
+
         // Shuffle-fetch retry: reducers began fetching at the original map
         // phase end, found dead hosts, and back off exponentially until
         // the recomputed outputs become available.
@@ -917,6 +1157,51 @@ impl<'a> Runner<'a> {
             reduce_start = map_end.max(t);
         }
 
+        // Partition fetch failover: a reducer whose map outputs sit behind
+        // a transient partition at fetch time backs off until the heal —
+        // the outputs are unreachable, not lost, so no recompute fires.
+        // Recomputed stranded outputs (never-healing partitions) are
+        // waited for the same way.
+        if self.profile.partition.is_armed() && conf.has_reduce() {
+            let mut wait_until = if gray_recomputed {
+                map_end
+            } else {
+                fetch_ready
+            };
+            for a in &attempts {
+                if !self.netsplit.is_isolated_at(a.node, fetch_ready) {
+                    continue;
+                }
+                match self.netsplit.isolation_window(a.node).and_then(|(_, h)| h) {
+                    Some(heal) => wait_until = wait_until.max(heal),
+                    None => {
+                        return Err(Error::Partitioned(format!(
+                            "job {}: map outputs of task {} sit on node {} behind \
+                             a partition that never heals",
+                            conf.name, a.task_id, a.node.0
+                        )))
+                    }
+                }
+            }
+            if wait_until > fetch_ready {
+                let mut t = fetch_ready;
+                let mut tries: u32 = 0;
+                while t < wait_until {
+                    let pause = SimDuration::exp_backoff(
+                        FETCH_BACKOFF_BASE,
+                        FETCH_BACKOFF_MULT,
+                        tries,
+                        FETCH_BACKOFF_CAP,
+                    );
+                    gray.failover_wait += pause;
+                    t += pause;
+                    tries += 1;
+                }
+                gray.failover_fetches = tries as u64 * conf.num_reducers.max(1) as u64;
+                reduce_start = reduce_start.max(t);
+            }
+        }
+
         let mut counters = crate::counters::Counters::new();
         let mut sketches = crate::counters::Sketches::new();
         for t in &exec.tasks {
@@ -937,6 +1222,9 @@ impl<'a> Runner<'a> {
                 sketches.merge(&t.sketches);
             }
             recovery.crashed_attempts += outcome.phase.schedule.crashed_attempts;
+            if self.profile.partition.is_armed() {
+                fold_partition_replay(&mut gray, &outcome.phase.schedule.partition);
+            }
             let finished = outcome.phase.schedule.makespan.max(reduce_start);
             // Crashes that fell after the map phase but inside the reduce
             // window still take DFS replicas with them (the reduce schedule
@@ -965,6 +1253,10 @@ impl<'a> Runner<'a> {
             if self.profile.chaos.is_armed() {
                 recovery.add_counters(&mut counters);
             }
+            if self.profile.partition.is_armed() {
+                self.account_gray_nodes(conf, &suspicions, finished, &mut gray);
+                gray.add_counters(&mut counters);
+            }
             let output_bytes = outcome.output.total_bytes();
             Ok(JobResult {
                 output: outcome.output,
@@ -980,6 +1272,7 @@ impl<'a> Runner<'a> {
                     output_bytes,
                     recovery,
                     integrity,
+                    partition: gray,
                 },
             })
         } else {
@@ -996,6 +1289,10 @@ impl<'a> Runner<'a> {
             if self.profile.chaos.is_armed() {
                 recovery.add_counters(&mut counters);
             }
+            if self.profile.partition.is_armed() {
+                self.account_gray_nodes(conf, &suspicions, map_end, &mut gray);
+                gray.add_counters(&mut counters);
+            }
             let output_bytes = output.total_bytes();
             Ok(JobResult {
                 output,
@@ -1011,10 +1308,22 @@ impl<'a> Runner<'a> {
                     output_bytes,
                     recovery,
                     integrity,
+                    partition: gray,
                 },
             })
         }
     }
+}
+
+/// Folds one phase schedule's task-level partition effects into the job
+/// ledger. Node-level outcomes (suspicions, re-replication intents) are
+/// intentionally absent from the replay — [`Runner::finish`] derives them
+/// once per job so two phases never double-count a suspicion.
+fn fold_partition_replay(gray: &mut PartitionLog, replay: &PartitionReplay) {
+    gray.replaced_tasks += replay.replaced_tasks;
+    gray.stalled_tasks += replay.stalled_tasks;
+    gray.stall += replay.stall;
+    gray.orphan_results += replay.orphan_results;
 }
 
 /// Partitions one map task's output into `num_r` reduce buckets, returning
@@ -1610,6 +1919,264 @@ mod crash_tests {
             dfs.read_file("copied").unwrap(),
             dfs_free.read_file("copied").unwrap()
         );
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use crate::api::{mapper_fn, reducer_fn};
+    use efind_cluster::NodeId;
+    use efind_common::Datum;
+    use efind_dfs::DfsConfig;
+
+    fn setup(replication: usize) -> (Cluster, Dfs) {
+        let cluster = Cluster::builder()
+            .nodes(4)
+            .map_slots(2)
+            .reduce_slots(2)
+            .build();
+        let mut dfs = Dfs::new(
+            cluster.clone(),
+            DfsConfig {
+                chunk_size_bytes: 512,
+                replication,
+                seed: 9,
+            },
+        );
+        let text = ["the", "quick", "fox", "the", "lazy", "dog", "the", "fox"];
+        let records: Vec<Record> = text
+            .iter()
+            .cycle()
+            .take(800)
+            .enumerate()
+            .map(|(i, w)| Record::new(i as i64, *w))
+            .collect();
+        dfs.write_file("input", records);
+        (cluster, dfs)
+    }
+
+    fn wordcount_conf() -> JobConf {
+        JobConf::new("wordcount", "input", "out")
+            .add_mapper(mapper_fn(|rec, out, _ctx| {
+                out.collect(Record::new(rec.value.clone(), 1i64));
+            }))
+            .with_reducer(
+                reducer_fn(|key, values, out, _ctx| {
+                    let total: i64 = values.iter().filter_map(Datum::as_int).sum();
+                    out.collect(Record::new(key, total));
+                }),
+                3,
+            )
+    }
+
+    #[test]
+    fn quiet_partition_plan_matches_the_plain_runner_exactly() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs1) = setup(2);
+        let plain = Runner::new(&cluster, &mut dfs1)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let (_, mut dfs2) = setup(2);
+        let quiet = Runner::new(&cluster, &mut dfs2)
+            .with_netsplit(PartitionPlan::none(), DetectorConfig::default())
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        assert!(quiet.stats.partition.is_empty());
+        assert_eq!(plain.stats.finished, quiet.stats.finished);
+        assert_eq!(
+            plain.stats.counters.iter_sorted(),
+            quiet.stats.counters.iter_sorted()
+        );
+        assert!(!quiet
+            .stats
+            .counters
+            .iter_sorted()
+            .iter()
+            .any(|(name, _)| name.starts_with("mr.partition.")));
+        assert_eq!(
+            dfs1.read_file("out").unwrap(),
+            dfs2.read_file("out").unwrap()
+        );
+    }
+
+    /// Tentpole acceptance: a partition that opens mid-job and heals
+    /// completes bit-identically to the unpartitioned run — only timing
+    /// and the gray ledger differ. The reducers back off across the heal
+    /// instead of recomputing (the outputs are unreachable, not lost).
+    #[test]
+    fn partition_healing_mid_job_is_bit_identical_to_unpartitioned() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_free) = setup(2);
+        let free = Runner::new(&cluster, &mut dfs_free)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let free_out = dfs_free.read_file("out").unwrap();
+
+        // Isolate the node that drains first, from one nanosecond before
+        // the map phase ends until shortly after: its completed outputs
+        // sit behind the cut exactly when reducers start fetching.
+        let sched = &free.stats.map.schedule;
+        let idle_since = |node| {
+            sched
+                .assignments
+                .iter()
+                .filter(|a| a.node == node)
+                .map(|a| a.end)
+                .max()
+                .unwrap()
+        };
+        let victim = sched
+            .assignments
+            .iter()
+            .map(|a| a.node)
+            .min_by_key(|&n| (idle_since(n), n.0))
+            .unwrap();
+        let cut = SimTime::from_nanos(sched.makespan.as_nanos() - 1);
+        let heal = sched.makespan + SimDuration::from_micros(500);
+        let plan = PartitionPlan::new(13).split(&[victim], cut, Some(heal));
+
+        let (_, mut dfs) = setup(2);
+        let split = Runner::new(&cluster, &mut dfs)
+            .with_netsplit(plan, DetectorConfig::default())
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let gray = &split.stats.partition;
+        assert!(!gray.is_empty(), "the cut must leave a trace");
+        // The job waits out the heal one way or the other: results stall
+        // behind the cut, or reducers back off on the fetch.
+        assert!(
+            gray.stalled_tasks > 0 || gray.failover_fetches > 0,
+            "someone must wait for the heal, got {gray:?}"
+        );
+        assert!(gray.stall + gray.failover_wait > SimDuration::ZERO);
+        // Waiting costs time but never correctness — and no data was
+        // lost, so nothing recomputes or re-replicates.
+        assert!(split.stats.finished >= free.stats.finished);
+        assert!(split.stats.recovery.recomputed_map_tasks.is_empty());
+        assert_eq!(gray.rereplicated_chunks, 0);
+        assert_eq!(dfs.read_file("out").unwrap(), free_out);
+        // The ledger surfaces as counters.
+        assert!(split.stats.counters.get("mr.partition.events") >= 1);
+    }
+
+    /// A partition that never heals: the detector confirms the node gone,
+    /// its completed map outputs are re-run on reachable nodes (the gray
+    /// recompute wave), and the job still finishes bit-identically — the
+    /// isolated replicas are unreachable, not lost, so the DFS is never
+    /// repaired.
+    #[test]
+    fn confirmed_gone_node_is_replaced_and_the_job_recovers() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_free) = setup(2);
+        let free = Runner::new(&cluster, &mut dfs_free)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let free_out = dfs_free.read_file("out").unwrap();
+
+        let sched = &free.stats.map.schedule;
+        let idle_since = |node| {
+            sched
+                .assignments
+                .iter()
+                .filter(|a| a.node == node)
+                .map(|a| a.end)
+                .max()
+                .unwrap()
+        };
+        let victim = sched
+            .assignments
+            .iter()
+            .map(|a| a.node)
+            .min_by_key(|&n| (idle_since(n), n.0))
+            .unwrap();
+        assert!(
+            idle_since(victim) < sched.makespan,
+            "need a node that drains before the map phase ends"
+        );
+        // The cut opens the instant the victim drains and never heals.
+        let plan = PartitionPlan::new(17).split(&[victim], idle_since(victim), None);
+
+        let (_, mut dfs) = setup(2);
+        let split = Runner::new(&cluster, &mut dfs)
+            .with_netsplit(plan, DetectorConfig::default())
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let gray = &split.stats.partition;
+        assert!(gray.suspected >= 1, "{gray:?}");
+        assert!(gray.confirmed >= 1, "{gray:?}");
+        assert!(gray.replaced_tasks > 0, "{gray:?}");
+        assert!(split.stats.finished >= free.stats.finished);
+        assert_eq!(dfs.read_file("out").unwrap(), free_out);
+        assert!(split.stats.counters.get("mr.partition.confirmed") >= 1);
+        assert!(split.stats.counters.get("mr.partition.replaced.tasks") >= 1);
+    }
+
+    /// Tentpole acceptance: an unhealed partition isolating the last
+    /// reachable replica fails fast with `Error::Partitioned` — never a
+    /// hang, and never `DataLoss` (the replica still exists).
+    #[test]
+    fn unhealed_partition_isolating_last_replica_fails_fast() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs) = setup(1);
+        let host = dfs.stat("input").unwrap().chunks[0].hosts[0];
+        let plan = PartitionPlan::new(3).split(&[host], SimTime::ZERO, None);
+        let err = Runner::new(&cluster, &mut dfs)
+            .with_netsplit(plan, DetectorConfig::default())
+            .run(&conf, SimTime::ZERO)
+            .unwrap_err();
+        match err {
+            Error::Partitioned(msg) => assert!(msg.contains("never heals"), "{msg}"),
+            other => panic!("expected Partitioned, got {other:?}"),
+        }
+    }
+
+    /// Replay determinism: the same armed plan (cuts, a slow link, and
+    /// chaos kills together) produces bit-identical runs.
+    #[test]
+    fn partition_replay_is_deterministic_across_runs() {
+        let conf = wordcount_conf();
+        let (cluster, mut dfs_probe) = setup(2);
+        let probe = Runner::new(&cluster, &mut dfs_probe)
+            .run(&conf, SimTime::ZERO)
+            .unwrap();
+        let victim = probe
+            .stats
+            .map
+            .schedule
+            .assignments
+            .iter()
+            .min_by_key(|a| (a.end, a.task_id))
+            .unwrap();
+        let heal = probe.stats.map.schedule.makespan + SimDuration::from_micros(200);
+        let plan = PartitionPlan::new(23)
+            .split(&[victim.node], victim.end, Some(heal))
+            .slow_link(
+                NodeId((victim.node.0 + 1) % 4),
+                SimTime::ZERO,
+                Some(heal),
+                3.0,
+            );
+
+        let run = |plan: PartitionPlan| {
+            let (_, mut dfs) = setup(2);
+            let r = Runner::new(&cluster, &mut dfs)
+                .with_netsplit(plan, DetectorConfig::default())
+                .run(&conf, SimTime::ZERO)
+                .unwrap();
+            (
+                r.stats.finished,
+                r.stats.partition.clone(),
+                r.stats.counters.iter_sorted(),
+                dfs.read_file("out").unwrap(),
+            )
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
     }
 }
 

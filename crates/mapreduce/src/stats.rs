@@ -9,6 +9,7 @@ use efind_cluster::{sched::Schedule, SimDuration, SimTime};
 
 use crate::counters::{Counters, Sketches};
 use crate::integrity::IntegrityLog;
+use crate::netsplit_log::PartitionLog;
 use crate::recovery::RecoveryLog;
 
 /// Statistics of a single executed task.
@@ -99,6 +100,11 @@ pub struct JobStats {
     /// configured-but-quiet plans — and then mirrors nothing into the
     /// counter set.
     pub integrity: IntegrityLog,
+    /// Gray-failure ledger. Stays `PartitionLog::default()` whenever the
+    /// partition layer is classified Quiet for the job — including
+    /// configured-but-quiet plans — and then mirrors nothing into the
+    /// counter set.
+    pub partition: PartitionLog,
 }
 
 impl JobStats {

@@ -50,6 +50,16 @@ echo "== cross-job re-optimization (persistent stats store) =="
 # counters. Release mode: each case runs the full LOG workload.
 cargo test -q --release --test reopt_persistence --test reopt_props --test reopt_robustness
 
+echo "== gray failures (pinned seed matrix) =="
+# Deterministic partition/hedge sweep: configured-but-quiet partition and
+# hedge layers must match the plain run byte-for-byte (the quiet golden
+# smoke), hedged lookups must win time but never bytes, a partition
+# healing mid-job must leave the output bit-identical, and the full gray
+# stack (partition + hedge + chaos) must replay bit-identically across
+# double runs. Release mode: stalled schedules multiply virtual work.
+EFIND_NETSPLIT_SEEDS="${EFIND_NETSPLIT_SEEDS:-0xEF1D0010,0x5EED5EED}" \
+    cargo test -q --release --test netsplit
+
 echo "== multi-tenant serving (pinned-seed mix) =="
 # Deterministic tenancy sweep: the quiet-tenancy mix must match the
 # hotpath goldens byte-for-byte, the contended mix (chaos armed on one

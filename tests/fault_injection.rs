@@ -339,6 +339,68 @@ fn black_holed_index_degrades_instead_of_failing() {
     assert!(degraded > 0, "breaker never opened under 100% failures");
 }
 
+/// Half-open breakers on the virtual clock: with a cooldown configured,
+/// a tripped breaker admits deterministic probe lookups once the task's
+/// charged time passes the cooldown; a probe success closes the breaker
+/// (resetting its counters) and real lookups resume until the ratio
+/// trips it again. The whole trip → cooldown → probe → close cycle is
+/// bit-identical across runs.
+#[test]
+fn breaker_cooldown_reprobes_and_recovers_deterministically() {
+    let config = sweep_config();
+    let faults_with = |cooldown: Option<SimDuration>| {
+        let mut f = FaultConfig::disabled().with_plan(FaultPlan::new(11).failures(0.9));
+        f.retry = RetryPolicy::none();
+        f.breaker_threshold_x1000 = 200;
+        f.breaker_min_samples = 4;
+        f.breaker_cooldown = cooldown;
+        f
+    };
+    let cooldown = Some(SimDuration::from_micros(200));
+    let run = |faults: FaultConfig| {
+        let mut s = multi::scenario(&config);
+        s.efind_config.faults = faults;
+        let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
+        rt.run(&s.ijob, Mode::Uniform(Strategy::Cache))
+            .unwrap()
+            .jobs[0]
+            .clone()
+    };
+    let trip_only = run(faults_with(None));
+    let half_open = run(faults_with(cooldown));
+
+    let sum = |stats: &JobStats, leaf: &str| -> i64 {
+        (0..3)
+            .map(|j| stats.counters.get(&format!("efind.enrich3.{j}.{leaf}")))
+            .sum()
+    };
+    // Trip-only: breakers open early and stay open for the task's life.
+    assert!(
+        sum(&trip_only, "fault.degraded") > 0,
+        "breakers never tripped at 90% failures"
+    );
+    // Probes convert short-circuited lookups back into real attempts, so
+    // fewer lookups degrade and more failures are actually observed.
+    assert!(
+        sum(&half_open, "fault.degraded") < sum(&trip_only, "fault.degraded"),
+        "cooldown probes never fired"
+    );
+    assert!(
+        sum(&half_open, "fault.failures") > sum(&trip_only, "fault.failures"),
+        "probes observed no real outcomes"
+    );
+    // Recovery is real: successful probes close breakers, so completed
+    // lookups keep accruing after the first trip.
+    assert!(
+        sum(&half_open, "lookups") > sum(&trip_only, "lookups"),
+        "no probe ever closed a breaker"
+    );
+    // And the whole cycle is deterministic per seed.
+    let first = run_multi(&config, Strategy::Cache, faults_with(cooldown));
+    let second = run_multi(&config, Strategy::Cache, faults_with(cooldown));
+    assert_eq!(first, second, "half-open breaker cycle is nondeterministic");
+}
+
 /// Regenerates the EXPERIMENTS.md "Fig. 11(a) with failures" table: the
 /// LOG geo-IP delay sweep with the fault layer armed at a 5% mixed rate.
 /// Ignored by default (it is a table printer, not an assertion suite);

@@ -20,7 +20,7 @@
 //! the pinned seed matrix densely.
 
 use efind::{EFindRuntime, FaultConfig, FaultPlan, MissPolicy, Mode, RetryPolicy, Strategy};
-use efind_cluster::{CorruptionPlan, SimDuration};
+use efind_cluster::{CorruptionPlan, NodeId, PartitionPlan, SimDuration, SimTime};
 use efind_common::{fx_hash_bytes, Datum};
 use efind_dfs::Dfs;
 use efind_mapreduce::JobStats;
@@ -118,6 +118,32 @@ fn run_observed_corrupt(strategy: Strategy, corruption: CorruptionPlan) -> Obser
     captured
 }
 
+/// Runs the workload with a partition plan armed (everything else off),
+/// capturing the same observables as [`run_observed`].
+fn run_observed_split(strategy: Strategy, netsplit: PartitionPlan) -> Observables {
+    let mut s = multi::scenario(&tiny_config());
+    s.efind_config.netsplit = netsplit;
+    let mut rt = EFindRuntime::with_config(&s.cluster, &mut s.dfs, s.efind_config.clone());
+    let res = rt.run(&s.ijob, Mode::Uniform(strategy)).unwrap();
+    let mut captured: Observables = vec![
+        ("total.nanos".into(), res.total_time.as_nanos()),
+        ("jobs".into(), res.jobs.len() as u64),
+    ];
+    for (i, job) in res.jobs.iter().enumerate() {
+        captured.push((format!("job{i}.makespan.nanos"), job.makespan().as_nanos()));
+        captured.push((format!("job{i}.shuffle.bytes"), job.shuffle_bytes));
+        captured.push((
+            format!("job{i}.counters.fingerprint"),
+            counter_fingerprint(job),
+        ));
+    }
+    captured.push((
+        "output.fingerprint".into(),
+        file_fingerprint(&s.dfs, "ads.enriched"),
+    ));
+    captured
+}
+
 /// Only the output rows of an observable vector.
 fn output_of(observables: &Observables) -> Vec<(String, u64)> {
     observables
@@ -191,6 +217,38 @@ proptest! {
         // is not vacuous: some non-output observable must have moved.
         if rate > 0.05 {
             prop_assert_ne!(faulty, clean);
+        }
+    }
+
+    /// A partition that heals entirely before the job starts never
+    /// existed: jobs start at virtual zero and windows are half-open
+    /// `[start, heal)`, so a window closing at-or-before its own start
+    /// (the only way to close by time zero) is dropped at insertion, the
+    /// plan classifies Quiet, and the run is byte-identical to one with
+    /// no plan at all — whatever the seed, node, window, or strategy.
+    #[test]
+    fn partition_healed_before_job_start_changes_no_observable(
+        seed in any::<u64>(),
+        node in 0u16..4,
+        start_nanos in 0u64..10_000,
+        shrink in 0u64..10_000,
+        factor in 0.0f64..=1.0,
+    ) {
+        let start = SimTime::from_nanos(start_nanos + shrink);
+        let heal = SimTime::from_nanos(start_nanos); // heal <= start
+        let plan = PartitionPlan::new(seed)
+            .split(&[NodeId(node)], start, Some(heal))
+            .slow_link(NodeId(node), start, Some(heal), 4.0)
+            .slow_link(NodeId((node + 1) % 4), SimTime::ZERO, None, factor);
+        prop_assert!(plan.is_quiet(), "a pre-start heal must be dropped");
+        for &strategy in &STRATEGIES {
+            let without = run_observed_split(strategy, PartitionPlan::none());
+            let with = run_observed_split(strategy, plan.clone());
+            prop_assert_eq!(
+                &with, &without,
+                "healed-before-start plan perturbed observables: seed={} strategy={:?}",
+                seed, strategy
+            );
         }
     }
 
